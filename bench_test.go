@@ -1,0 +1,337 @@
+// Package repro's root benchmarks regenerate the measurable artifacts of
+// the paper, one benchmark family per experiment id of EXPERIMENTS.md:
+//
+//	BenchmarkExactOCQA/*        — E6: exponential exact engine (Theorem 5)
+//	BenchmarkSamplingWalks/*    — E6/E7: polynomial sampling (Theorem 9)
+//	BenchmarkEstimateOCA        — E7: full (ε,δ) estimation at n = 150
+//	BenchmarkRewriteOriginal/*  — E8: original query plans (Section 5)
+//	BenchmarkRewriteModified/*  — E8: R − R_del rewritten plans
+//	BenchmarkPracticalScheme    — E8: full n-round practical scheme
+//	BenchmarkViolationsFull/*   — ablation: from-scratch V(D,Σ)
+//	BenchmarkViolationsDelta/*  — ablation: incremental maintenance
+//	BenchmarkJustifiedOps       — ablation: operation enumeration
+//	BenchmarkChainStep          — ablation: one chain transition
+//	BenchmarkHomomorphism/*     — substrate: join search
+//	BenchmarkFOEval/*           — substrate: CQ fast path vs generic eval
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/practical"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+func keysQuery() *fo.Query {
+	x, y := logic.Var("x"), logic.Var("y")
+	return fo.MustQuery("Keys", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: logic.NewAtom("R", x, y)}})
+}
+
+// BenchmarkExactOCQA measures the exact engine against instance size; the
+// cost triples-and-more per added conflict (Theorem 5's FP^#P shape).
+func BenchmarkExactOCQA(b *testing.B) {
+	for _, conflicts := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			q := keysQuery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sem.OCA(q)
+			}
+		})
+	}
+}
+
+// BenchmarkSamplingWalks measures one random walk against database size;
+// the per-walk cost stays polynomial as conflicts grow.
+func BenchmarkSamplingWalks(b *testing.B) {
+	for _, conflicts := range []int{5, 10, 20, 40} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts * 2, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampling.Walk(inst, generators.Uniform{}, rng, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateOCA is the full Theorem 9 pipeline at the paper's
+// n = 150 (ε = δ = 0.1) on the running example.
+func BenchmarkEstimateOCA(b *testing.B) {
+	d, sigma := workload.Preferences(workload.PreferenceConfig{
+		Products: 10, Prefs: 20, ConflictRate: 0.3, Seed: 1,
+	})
+	inst := repair.MustInstance(d, sigma)
+	x, y := logic.Var("x"), logic.Var("y")
+	q := fo.MustQuery("Top", []logic.Term{x}, fo.ForAll{
+		Vars: []logic.Term{y},
+		F:    fo.Or{L: fo.Atom{A: logic.NewAtom("Pref", x, y)}, R: fo.Eq{L: x, R: y}},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := &sampling.Estimator{Inst: inst, Gen: generators.Preference{}, Seed: int64(i)}
+		if _, err := est.EstimateAnswers(q, 0.1, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// rewritePlans are the three §5 experiment queries.
+func rewritePlans() map[string]engine.Plan {
+	return map[string]engine.Plan{
+		"filter": engine.Select{
+			Input: engine.Scan{Table: "orders"},
+			Cond:  engine.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
+		},
+		"join": engine.Project{
+			Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+			Cols:  []string{"oid", "region"},
+		},
+		"aggregate": engine.GroupCount{
+			Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+			By:    []string{"region"},
+		},
+	}
+}
+
+// BenchmarkRewriteOriginal times the original plans (E8 baseline).
+func BenchmarkRewriteOriginal(b *testing.B) {
+	oc := workload.Orders(workload.OrdersConfig{Orders: 10000, Customers: 1000, ViolationRate: 0.1, Seed: 7})
+	for name, plan := range rewritePlans() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Exec(oc.Catalog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRewriteModified times the same plans after the R − R_del
+// rewriting of Section 5; the paper's feasibility claim is that the ratio
+// to BenchmarkRewriteOriginal stays small.
+func BenchmarkRewriteModified(b *testing.B) {
+	oc := workload.Orders(workload.OrdersConfig{Orders: 10000, Customers: 1000, ViolationRate: 0.1, Seed: 7})
+	rng := rand.New(rand.NewSource(3))
+	orders, err := oc.Catalog.Table("orders")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rdel := practical.SampleRdel(rng, orders, oc.Catalog.Key("orders"), practical.Policy{})
+	repl := map[string]*engine.Relation{"orders": rdel}
+	for name, plan := range rewritePlans() {
+		rewritten := engine.RewriteScans(plan, repl)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rewritten.Exec(oc.Catalog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPracticalScheme runs the full n = 150 round scheme end to end.
+func BenchmarkPracticalScheme(b *testing.B) {
+	oc := workload.Orders(workload.OrdersConfig{Orders: 2000, Customers: 200, ViolationRate: 0.1, Seed: 7})
+	plan := engine.Distinct{Input: engine.Project{
+		Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &practical.Runner{Catalog: oc.Catalog, Seed: int64(i)}
+		if _, err := r.RunWithGuarantee(plan, 0.1, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViolationsFull / BenchmarkViolationsDelta are the ablation for
+// the incremental violation maintenance (the Section 6 localization idea):
+// recomputing V(D,Σ) from scratch after one deletion vs. maintaining it.
+func BenchmarkViolationsFull(b *testing.B) {
+	for _, size := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: size, Violations: size / 10, Seed: 1,
+			})
+			victim := d.Facts()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Delete(victim)
+				constraint.FindViolations(d, sigma)
+				d.Insert(victim)
+			}
+		})
+	}
+}
+
+func BenchmarkViolationsDelta(b *testing.B) {
+	for _, size := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: size, Violations: size / 10, Seed: 1,
+			})
+			before := constraint.FindViolations(d, sigma)
+			victim := d.Facts()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Delete(victim)
+				constraint.UpdateViolations(d, sigma, before, []relation.Fact{victim}, false)
+				d.Insert(victim)
+			}
+		})
+	}
+}
+
+// BenchmarkJustifiedOps measures operation enumeration at a repairing
+// state.
+func BenchmarkJustifiedOps(b *testing.B) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 100, Violations: 20, Seed: 1})
+	inst := repair.MustInstance(d, sigma)
+	root := inst.Root()
+	vs := root.Violations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops.JustifiedOps(root.Result(), sigma, vs, inst.Base())
+	}
+}
+
+// BenchmarkChainStep measures one transition: extension enumeration plus
+// generator probabilities.
+func BenchmarkChainStep(b *testing.B) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 100, Violations: 20, Seed: 1})
+	inst := repair.MustInstance(d, sigma)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := inst.Root()
+		if _, err := markov.Step(generators.Uniform{}, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHomomorphism measures the join search on a path query.
+func BenchmarkHomomorphism(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("facts=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			d := relation.NewDatabase()
+			for i := 0; i < size; i++ {
+				d.Insert(relation.NewFact("E",
+					fmt.Sprintf("n%d", rng.Intn(size/2)),
+					fmt.Sprintf("n%d", rng.Intn(size/2))))
+			}
+			x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+			path := []logic.Atom{logic.NewAtom("E", x, y), logic.NewAtom("E", y, z)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				relation.CountHoms(path, d, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkFOEval contrasts the CQ fast path with generic active-domain
+// evaluation on the same query.
+func BenchmarkFOEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := relation.NewDatabase()
+	for i := 0; i < 300; i++ {
+		d.Insert(relation.NewFact("E",
+			fmt.Sprintf("n%d", rng.Intn(60)),
+			fmt.Sprintf("n%d", rng.Intn(60))))
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	cq := fo.MustQuery("Path", []logic.Term{x, z},
+		fo.Exists{Vars: []logic.Term{y},
+			F: fo.And{
+				L: fo.Atom{A: logic.NewAtom("E", x, y)},
+				R: fo.Atom{A: logic.NewAtom("E", y, z)},
+			}})
+	// The negated variant disables the CQ fast path.
+	nonCQ := fo.MustQuery("NotSink", []logic.Term{x},
+		fo.Not{F: fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: logic.NewAtom("E", x, y)}}})
+
+	b.Run("cq-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cq.Answers(d)
+		}
+	})
+	b.Run("generic-eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nonCQ.Answers(d)
+		}
+	})
+}
+
+// BenchmarkFactoredExact is the ablation for the Section 6 localization
+// optimization: exact semantics via conflict-component factorization. At
+// k independent conflicts the monolithic chain has 3^k·k! sequences while
+// the factored computation does k tiny explorations; compare with
+// BenchmarkExactOCQA.
+func BenchmarkFactoredExact(b *testing.B) {
+	for _, conflicts := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			target := inst.Initial().Facts()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fac.FactProbability(target)
+			}
+		})
+	}
+}
+
+// BenchmarkFactoredSampleRepair draws exact repairs from the factored
+// distribution; contrast with BenchmarkSamplingWalks.
+func BenchmarkFactoredSampleRepair(b *testing.B) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 80, Violations: 40, Seed: 1})
+	inst := repair.MustInstance(d, sigma)
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fac.SampleRepair(rng)
+	}
+}

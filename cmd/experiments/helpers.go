@@ -1,0 +1,46 @@
+package main
+
+// Small constructors shared by the experiment files, avoiding repeated
+// package-qualified boilerplate.
+
+import (
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/engine"
+	"repro/internal/logic"
+	"repro/internal/practical"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func relationFromFacts(fs ...relation.Fact) *relation.Database {
+	return relation.FromFacts(fs...)
+}
+
+func mustTGD(body logic.Atom, head logic.Atom) *constraint.Constraint {
+	return constraint.MustTGD([]logic.Atom{body}, []logic.Atom{head})
+}
+
+func mustDC(body ...logic.Atom) *constraint.Constraint {
+	return constraint.MustDC(body)
+}
+
+func newSet(cs ...*constraint.Constraint) *constraint.Set {
+	return constraint.NewSet(cs...)
+}
+
+// newPracticalSampler draws one R_del per keyed table of the catalog, for
+// timing the rewritten plan shape.
+func newPracticalSampler(oc *workload.OrdersCatalog) map[string]*engine.Relation {
+	rng := rand.New(rand.NewSource(99))
+	repl := map[string]*engine.Relation{}
+	for _, table := range oc.Catalog.KeyedTables() {
+		rel, err := oc.Catalog.Table(table)
+		if err != nil {
+			panic(err)
+		}
+		repl[table] = practical.SampleRdel(rng, rel, oc.Catalog.Key(table), practical.Policy{})
+	}
+	return repl
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates every reproduction experiment of
+// EXPERIMENTS.md (E1–E12): the paper's worked examples with their exact
+// probabilities, the complexity-shape measurements for exact OCQA, the
+// Hoeffding sample-size table and measured additive-error coverage, and the
+// Section 5 query-rewriting overhead experiment.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -run E7    # run one experiment by id
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one reproducible unit keyed by its EXPERIMENTS.md id.
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+var registry []experiment
+
+func register(id, title string, run func() error) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		runID = flag.String("run", "", "run only the experiment with this id (e.g. E3)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.BoolVar(&fullScale, "full", false, "run the slow large-scale points (e.g. 6-conflict exact OCQA, ~45s)")
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool {
+		return idOrdinal(registry[i].id) < idOrdinal(registry[j].id)
+	})
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range registry {
+		if *runID != "" && !strings.EqualFold(e.id, *runID) {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; use -list\n", *runID)
+		os.Exit(2)
+	}
+}
+
+func idOrdinal(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}

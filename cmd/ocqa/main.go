@@ -1,0 +1,132 @@
+// Command ocqa answers a first-order query over an inconsistent database
+// under the operational CQA semantics of Calautti, Libkin and Pieris
+// (PODS 2018). It computes either the exact operational consistent answers
+// (exponential; Theorem 5) or the additive-error approximation of
+// Theorem 9.
+//
+// Usage:
+//
+//	ocqa -db data.facts -constraints schema.rules -query query.fo \
+//	     [-gen uniform|uniform-deletions|preference|trust[:seed]] \
+//	     [-mode exact|approx] [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4]
+//
+// File arguments also accept "inline:<text>".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/repair"
+	"repro/internal/sampling"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "database file (facts terminated by '.'), or inline:<text>")
+		sigmaPath = flag.String("constraints", "", "constraint file (TGDs/EGDs/DCs), or inline:<text>")
+		queryPath = flag.String("query", "", "query file (Q(X) := formula), or inline:<text>")
+		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
+		mode      = flag.String("mode", "exact", "exact (full chain exploration) or approx (Theorem 9 sampling)")
+		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx mode)")
+		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx mode)")
+		seed      = flag.Int64("seed", 1, "random seed (approx mode)")
+		workers   = flag.Int("workers", 1, "parallel walkers (approx mode)")
+		maxStates = flag.Int("max-states", 1_000_000, "exact-mode state budget (0 = unlimited)")
+		nulls     = flag.Bool("nulls", false, "repair TGDs with labeled-null insertions (Section 6 extension)")
+	)
+	flag.Parse()
+	if *dbPath == "" || *sigmaPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "ocqa: -db, -constraints and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *eps, *delta, *seed, *workers, *maxStates, *nulls); err != nil {
+		fmt.Fprintln(os.Stderr, "ocqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64, seed int64, workers, maxStates int, nulls bool) error {
+	d, err := cliutil.LoadDatabase(dbPath)
+	if err != nil {
+		return err
+	}
+	sigma, err := cliutil.LoadConstraints(sigmaPath)
+	if err != nil {
+		return err
+	}
+	q, err := cliutil.LoadQuery(queryPath)
+	if err != nil {
+		return err
+	}
+	gen, err := cliutil.ResolveGenerator(genName, d)
+	if err != nil {
+		return err
+	}
+	inst, err := repair.NewInstanceOpts(d, sigma, repair.Options{NullInsertions: nulls})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("database: %d facts, %d constraints; consistent: %v\n",
+		d.Size(), sigma.Len(), inst.Consistent())
+	fmt.Printf("query: %s\ngenerator: %s\n\n", q, gen.Name())
+
+	switch mode {
+	case "exact":
+		sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: maxStates})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chain: %d absorbing states (%d failing); success mass %s\n",
+			sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
+		fmt.Printf("operational repairs: %d\n\n", len(sem.Repairs))
+		fmt.Print(sem.OCA(q))
+		return nil
+
+	case "approx":
+		est := &sampling.Estimator{Inst: inst, Gen: gen, Seed: seed, Workers: workers}
+		run, err := est.EstimateAnswers(q, eps, delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("samples: n = %d (ε = %g, δ = %g); %d successful, %d failing walks\n\n",
+			run.N, eps, delta, run.SuccessfulWalks, run.FailingWalks)
+		if len(run.Estimates) == 0 {
+			fmt.Println("no tuple was observed in any successful repair")
+			return nil
+		}
+		fmt.Printf("approximate OCA for %s:\n", q)
+		for _, e := range run.Estimates {
+			fmt.Printf("  (%s) : %.4f  (count %d/%d)\n",
+				joinTuple(e.Tuple), e.P, e.Count, run.N)
+		}
+		if run.FailingWalks > 0 {
+			fmt.Println("\nnote: failing walks present; the conditional (ratio) estimates are:")
+			for _, e := range run.Estimates {
+				fmt.Printf("  (%s) : %.4f\n", joinTuple(e.Tuple), e.Conditional)
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q (want exact or approx)", mode)
+	}
+}
+
+func joinTuple(tuple []string) string {
+	out := ""
+	for i, c := range tuple {
+		if i > 0 {
+			out += ", "
+		}
+		out += c
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Dataintegration plays out Example 5 of the paper: a database integrated
+// from sources of varying reliability violates a key constraint, and the
+// trust-based repairing Markov chain generator turns per-source trust
+// levels into repair probabilities — including the case where *neither*
+// conflicting source is believed, which classical CQA cannot express.
+//
+// Run with: go run ./examples/dataintegration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/generators"
+	"repro/internal/markov"
+	"repro/internal/parse"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func main() {
+	// city(name, population-bracket) integrated from three feeds. Two
+	// feeds disagree on the bracket of lyon and of nice.
+	db, err := parse.Database(`
+		city(paris, huge).
+		city(lyon, large).   # from feed A (reliable)
+		city(lyon, medium).  # from feed B (sloppy)
+		city(nice, medium).  # from feed B (sloppy)
+		city(nice, small).   # from feed C (sloppy too)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma, err := parse.Constraints(`city(X, Y), city(X, Z) -> Y = Z.`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := repair.NewInstance(db, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trust levels per fact, from source reliability: feed A 0.9,
+	// feed B 0.5, feed C 0.4.
+	gen := generators.NewTrust(big.NewRat(1, 2))
+	set := func(f relation.Fact, num, den int64) {
+		if err := gen.Set(f, big.NewRat(num, den)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	set(relation.NewFact("city", "lyon", "large"), 9, 10)
+	set(relation.NewFact("city", "lyon", "medium"), 1, 2)
+	set(relation.NewFact("city", "nice", "medium"), 1, 2)
+	set(relation.NewFact("city", "nice", "small"), 2, 5)
+
+	fmt.Println("first repairing step (probabilities from relative trust):")
+	root := inst.Root()
+	exts := root.Extensions()
+	ps, err := gen.Transitions(root, exts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, op := range exts {
+		if ps[i].Sign() > 0 {
+			fmt.Printf("  P(%-38s) = %s\n", op, prob.Format(ps[i]))
+		}
+	}
+
+	sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noperational repairs:")
+	for _, r := range sem.Repairs {
+		fmt.Printf("  P = %-18s %s\n", prob.Format(r.P), r.DB)
+	}
+
+	// How likely is each bracket classification to survive repair?
+	q, err := parse.Query(`Bracket(C, B) := city(C, B).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(sem.OCA(q))
+	fmt.Println("\nnote how lyon's feed-A bracket (trust 0.9) survives with much")
+	fmt.Println("higher probability than feed B's, and how each conflicting pair also")
+	fmt.Println("leaves mass on dropping *both* facts — the introduction's 'trust")
+	fmt.Println("neither source' case that the ABC semantics cannot model.")
+}

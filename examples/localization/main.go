@@ -1,0 +1,84 @@
+// Localization demonstrates the Section 6 "localization of repairs"
+// extension: for EGDs and denial constraints the conflict components of an
+// inconsistent database repair independently, so the exact repair
+// distribution factorizes. A database with 500 key conflicts — whose
+// monolithic chain has more absorbing states than atoms in the universe —
+// is answered *exactly* in milliseconds for atomic queries, and with the
+// Theorem 9 additive guarantee for arbitrary first-order queries via exact
+// factored repair draws.
+//
+// Run with: go run ./examples/localization
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/generators"
+	"repro/internal/markov"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+func main() {
+	const conflicts = 500
+
+	d, sigma := workload.KeyViolations(workload.KeyConfig{
+		Keys: conflicts * 2, Violations: conflicts, Seed: 99,
+	})
+	inst, err := repair.NewInstance(d, sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d facts, %d independent key conflicts\n", d.Size(), conflicts)
+	fmt.Printf("monolithic chain: ~3^%d absorbing states — utterly infeasible\n\n", conflicts)
+
+	// Trust levels: make one side of each conflict more credible.
+	gen := generators.NewTrust(big.NewRat(1, 2))
+	for i, f := range d.Facts() {
+		if i%2 == 0 {
+			if err := gen.Set(f, big.NewRat(4, 5)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+	fac, err := core.ComputeFactored(inst, gen, markov.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factored semantics computed in %s:\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  components: %d, untouched facts: %d\n", len(fac.Components), fac.Untouched.Size())
+	fmt.Printf("  total distinct repairs: %s\n\n", fac.NumRepairs())
+
+	// Exact per-fact marginals at full scale.
+	var conflicted relation.Fact
+	for _, c := range fac.Components {
+		conflicted = c.Facts[0]
+		break
+	}
+	clean := fac.Untouched.Facts()[0]
+	fmt.Println("exact fact marginals (atomic queries, no sampling):")
+	fmt.Printf("  P(%-16s ∈ repair) = %s (clean fact)\n", clean, fac.FactProbability(clean).RatString())
+	fmt.Printf("  P(%-16s ∈ repair) = %s (conflicted fact)\n",
+		conflicted, fac.FactProbability(conflicted).RatString())
+
+	// Exact repair draws: sample three full repairs from the exact
+	// distribution (each is a consistent database over all facts).
+	fmt.Println("\nthree exact repair draws:")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		db := fac.SampleRepair(rng)
+		fmt.Printf("  draw %d: %d facts, consistent: %v\n", i+1, db.Size(), sigma.Satisfied(db))
+	}
+
+	fmt.Println("\nthe preference generator of Example 4 is rejected here: its weights")
+	fmt.Println("depend on the whole database, so factorization would be unsound —")
+	fmt.Println("the LocalGenerator interface encodes that requirement in the types.")
+}

@@ -1,0 +1,239 @@
+// Package abc implements the classical Arenas–Bertossi–Chomicki repair
+// semantics [[D]]^{ABC}_Σ used by the paper as the baseline: repairs are
+// consistent databases over dom(D) and the constants of Σ whose symmetric
+// difference with D is minimal under set inclusion, and consistent query
+// answers are the certain answers over all repairs.
+//
+// For constraint sets without TGDs (EGDs and DCs only) satisfaction is
+// antimonotone, so the ABC repairs are exactly the maximal consistent
+// subsets of D; these are enumerated efficiently by branching on violation
+// bodies. For sets with TGDs the package falls back to exhaustive search
+// over subsets of the base, which is only feasible for the small instances
+// used in tests and experiments.
+package abc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/fo"
+	"repro/internal/relation"
+)
+
+// maxBruteForceBase bounds the base size for the exhaustive general-case
+// search (2^|B| subsets are examined).
+const maxBruteForceBase = 20
+
+// Repairs computes [[D]]^{ABC}_Σ in deterministic (database-key) order.
+func Repairs(d *relation.Database, sigma *constraint.Set) ([]*relation.Database, error) {
+	hasTGD := false
+	for _, c := range sigma.All() {
+		if c.Kind() == constraint.TGD {
+			hasTGD = true
+			break
+		}
+	}
+	if !hasTGD {
+		return subsetRepairs(d, sigma), nil
+	}
+	return bruteForceRepairs(d, sigma)
+}
+
+// subsetRepairs enumerates the maximal consistent subsets of D for
+// antimonotone constraints (EGDs and DCs): starting from D, repeatedly pick
+// a violation and branch on deleting each single fact of its body. Each
+// consistent leaf is a candidate; non-maximal candidates are filtered by
+// the single-fact re-addition test (sound for antimonotone constraints).
+func subsetRepairs(d *relation.Database, sigma *constraint.Set) []*relation.Database {
+	seen := map[string]bool{}
+	var candidates []*relation.Database
+
+	var explore func(cur *relation.Database)
+	explore = func(cur *relation.Database) {
+		k := cur.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		vs := constraint.FindViolations(cur, sigma)
+		if vs.Empty() {
+			candidates = append(candidates, cur.Clone())
+			return
+		}
+		v := vs.All()[0]
+		for _, f := range v.BodyFacts() {
+			next := cur.Clone()
+			next.Delete(f)
+			explore(next)
+		}
+	}
+	explore(d.Clone())
+
+	var out []*relation.Database
+	for _, cand := range candidates {
+		if isMaximalSubsetRepair(cand, d, sigma) {
+			out = append(out, cand)
+		}
+	}
+	sortDatabases(out)
+	return dedupDatabases(out)
+}
+
+// isMaximalSubsetRepair reports whether no single removed fact can be added
+// back consistently; for antimonotone constraints this is equivalent to
+// subset-maximality.
+func isMaximalSubsetRepair(cand, d *relation.Database, sigma *constraint.Set) bool {
+	for _, f := range d.Facts() {
+		if cand.Contains(f) {
+			continue
+		}
+		cand.Insert(f)
+		ok := sigma.Satisfied(cand)
+		cand.Delete(f)
+		if ok {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteForceRepairs searches all subsets of B(D,Σ) for consistent databases
+// with ⊆-minimal symmetric difference from D. Exponential; guarded by
+// maxBruteForceBase.
+func bruteForceRepairs(d *relation.Database, sigma *constraint.Set) ([]*relation.Database, error) {
+	base, err := sigma.Base(d)
+	if err != nil {
+		return nil, err
+	}
+	universe := materializeBase(base)
+	if len(universe) > maxBruteForceBase {
+		return nil, fmt.Errorf("abc: base has %d facts, exceeding the brute-force bound %d (TGD repairs are exponential)",
+			len(universe), maxBruteForceBase)
+	}
+
+	inD := make([]bool, len(universe))
+	for i, f := range universe {
+		inD[i] = d.Contains(f)
+	}
+
+	type cons struct {
+		db   *relation.Database
+		diff map[int]bool // indexes in the symmetric difference
+	}
+	var consistent []cons
+	n := len(universe)
+	for mask := 0; mask < 1<<n; mask++ {
+		db := relation.NewDatabase()
+		diff := map[int]bool{}
+		for i := 0; i < n; i++ {
+			has := mask&(1<<i) != 0
+			if has {
+				db.Insert(universe[i])
+			}
+			if has != inD[i] {
+				diff[i] = true
+			}
+		}
+		if sigma.Satisfied(db) {
+			consistent = append(consistent, cons{db: db, diff: diff})
+		}
+	}
+
+	var out []*relation.Database
+	for i, a := range consistent {
+		minimal := true
+		for j, b := range consistent {
+			if i != j && strictSubsetInt(b.diff, a.diff) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, a.db)
+		}
+	}
+	sortDatabases(out)
+	return dedupDatabases(out), nil
+}
+
+// materializeBase lists every fact of the base; only used by the
+// brute-force path, where the base is known to be small.
+func materializeBase(b *relation.Base) []relation.Fact {
+	dom := b.Dom()
+	var out []relation.Fact
+	for _, pred := range b.Schema().Predicates() {
+		arity, _ := b.Schema().Arity(pred)
+		args := make([]string, arity)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == arity {
+				out = append(out, relation.NewFact(pred, append([]string(nil), args...)...))
+				return
+			}
+			for _, c := range dom {
+				args[i] = c
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+func strictSubsetInt(a, b map[int]bool) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortDatabases(dbs []*relation.Database) {
+	sort.Slice(dbs, func(i, j int) bool { return dbs[i].Key() < dbs[j].Key() })
+}
+
+func dedupDatabases(dbs []*relation.Database) []*relation.Database {
+	var out []*relation.Database
+	var last string
+	for _, db := range dbs {
+		if k := db.Key(); k != last || len(out) == 0 {
+			out = append(out, db)
+			last = k
+		}
+	}
+	return out
+}
+
+// CertainAnswers computes the consistent answers of [1]: the intersection
+// of Q(D') over all ABC repairs D'.
+func CertainAnswers(d *relation.Database, sigma *constraint.Set, q *fo.Query) ([][]string, error) {
+	repairs, err := Repairs(d, sigma)
+	if err != nil {
+		return nil, err
+	}
+	if len(repairs) == 0 {
+		return nil, nil
+	}
+	counts := map[string]int{}
+	tuples := map[string][]string{}
+	for _, r := range repairs {
+		for _, t := range q.Answers(r) {
+			k := fo.TupleKey(t)
+			counts[k]++
+			tuples[k] = t
+		}
+	}
+	var out [][]string
+	for k, c := range counts {
+		if c == len(repairs) {
+			out = append(out, tuples[k])
+		}
+	}
+	fo.SortTuples(out)
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package abc
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+func f(p string, args ...string) relation.Fact { return relation.NewFact(p, args...) }
+
+func keySet() *constraint.Set {
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	return constraint.NewSet(eta)
+}
+
+func TestSubsetRepairsKey(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "q", "r"))
+	repairs, err := Repairs(d, keySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep exactly one of the conflicting pair; R(q,r) always stays.
+	if len(repairs) != 2 {
+		t.Fatalf("got %d repairs, want 2", len(repairs))
+	}
+	for _, r := range repairs {
+		if !r.Contains(f("R", "q", "r")) {
+			t.Errorf("repair %s lost the non-conflicting fact", r)
+		}
+		if r.Size() != 2 {
+			t.Errorf("repair %s has %d facts, want 2", r, r.Size())
+		}
+	}
+}
+
+func TestSubsetRepairsOverlappingConflicts(t *testing.T) {
+	// Three facts with one key: repairs keep exactly one.
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d"))
+	repairs, err := Repairs(d, keySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 3 {
+		t.Fatalf("got %d repairs, want 3", len(repairs))
+	}
+	for _, r := range repairs {
+		if r.Size() != 1 {
+			t.Errorf("repair %s must keep exactly one fact", r)
+		}
+	}
+}
+
+func TestSubsetRepairsConsistentInput(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "q", "r"))
+	repairs, err := Repairs(d, keySet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 1 || !repairs[0].Equal(d) {
+		t.Errorf("consistent database must be its own unique repair, got %v", repairs)
+	}
+}
+
+func TestSubsetRepairsDenial(t *testing.T) {
+	dc := constraint.MustDC([]logic.Atom{at("Pref", v("x"), v("y")), at("Pref", v("y"), v("x"))})
+	set := constraint.NewSet(dc)
+	d := relation.FromFacts(f("Pref", "a", "b"), f("Pref", "b", "a"), f("Pref", "a", "c"))
+	repairs, err := Repairs(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop either Pref(a,b) or Pref(b,a); Pref(a,c) stays.
+	if len(repairs) != 2 {
+		t.Fatalf("got %d repairs, want 2", len(repairs))
+	}
+	for _, r := range repairs {
+		if !r.Contains(f("Pref", "a", "c")) || r.Size() != 2 {
+			t.Errorf("unexpected repair %s", r)
+		}
+	}
+}
+
+func TestBruteForceRepairsTGD(t *testing.T) {
+	// D = {R(a)}, Σ = {R(x) → T(x)} over a single constant: the ⊕-minimal
+	// repairs are {} (delete R(a)) and {R(a), T(a)} (insert T(a)).
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	set := constraint.NewSet(tgd)
+	repairs, err := Repairs(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 2 {
+		t.Fatalf("got %d repairs, want 2: %v", len(repairs), repairs)
+	}
+	var sawEmpty, sawCompleted bool
+	for _, r := range repairs {
+		switch {
+		case r.Size() == 0:
+			sawEmpty = true
+		case r.Size() == 2 && r.Contains(f("R", "a")) && r.Contains(f("T", "a")):
+			sawCompleted = true
+		default:
+			t.Errorf("unexpected repair %s", r)
+		}
+	}
+	if !sawEmpty || !sawCompleted {
+		t.Error("both minimal repairs must be found")
+	}
+}
+
+func TestBruteForceBaseBound(t *testing.T) {
+	// A TGD instance whose base exceeds the brute-force bound must error
+	// rather than hang.
+	d := relation.NewDatabase()
+	for i := 0; i < 6; i++ {
+		d.Insert(f("R", string(rune('a'+i)), string(rune('h'+i))))
+	}
+	tgd := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"), v("y"))},
+		[]logic.Atom{at("S", v("y"), v("z"))},
+	)
+	if _, err := Repairs(d, constraint.NewSet(tgd)); err == nil {
+		t.Error("oversized base must be rejected")
+	}
+}
+
+// TestProp4ABCInclusion verifies Proposition 4 on EGD and DC instances:
+// every ABC repair appears among the operational repairs of the uniform
+// chain.
+func TestProp4ABCInclusion(t *testing.T) {
+	instances := []*relation.Database{
+		relation.FromFacts(f("R", "a", "b"), f("R", "a", "c")),
+		relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "b", "x"), f("R", "b", "y")),
+		relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d")),
+	}
+	for _, d := range instances {
+		abcRepairs, err := Repairs(d, keySet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := repair.MustInstance(d, keySet())
+		sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		operational := map[string]bool{}
+		for _, r := range sem.Repairs {
+			operational[r.DB.Key()] = true
+		}
+		for _, r := range abcRepairs {
+			if !operational[r.Key()] {
+				t.Errorf("ABC repair %s missing from the uniform operational repairs of %s", r, d)
+			}
+		}
+	}
+}
+
+// TestProp4WithTGDs: the inclusion also holds on the paper's failing-chain
+// instance (R(a) with R→T, ¬T): the single ABC repair ∅ is operationally
+// reachable.
+func TestProp4WithTGDs(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	dc := constraint.MustDC([]logic.Atom{at("T", v("x"))})
+	set := constraint.NewSet(tgd, dc)
+
+	abcRepairs, err := Repairs(d, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abcRepairs) != 1 || abcRepairs[0].Size() != 0 {
+		t.Fatalf("ABC repairs = %v, want just the empty database", abcRepairs)
+	}
+
+	inst := repair.MustInstance(d, set)
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range sem.Repairs {
+		if r.DB.Size() == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the empty repair must be operationally reachable")
+	}
+	// And the chain does have failing mass (+T(a) dead-ends).
+	if sem.FailingStates == 0 {
+		t.Error("expected a failing absorbing state (+T(a))")
+	}
+	if sem.FailP.Sign() <= 0 {
+		t.Error("failing mass must be positive")
+	}
+}
+
+func TestCertainAnswers(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "q", "r"))
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("Q", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: at("R", x, y)}})
+	certain, err := CertainAnswers(d, keySet(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key a keeps one tuple in every repair, so both a and q are certain.
+	if len(certain) != 2 {
+		t.Fatalf("certain = %v, want [a q]", certain)
+	}
+	if certain[0][0] != "a" || certain[1][0] != "q" {
+		t.Errorf("certain = %v", certain)
+	}
+}
+
+func TestCertainAnswersEmptyWhenValueQueried(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"))
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("Vals", []logic.Term{y},
+		fo.Exists{Vars: []logic.Term{x}, F: fo.Atom{A: at("R", x, y)}})
+	certain, err := CertainAnswers(d, keySet(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certain) != 0 {
+		t.Errorf("no value is certain, got %v", certain)
+	}
+}
+
+func TestConflictGraph(t *testing.T) {
+	d := relation.FromFacts(
+		f("R", "a", "b"), f("R", "a", "c"), // conflict 1
+		f("R", "q", "r"), f("R", "q", "s"), // conflict 2
+		f("R", "z", "z"), // clean
+	)
+	g := BuildConflictGraph(d, keySet())
+	if len(g.Edges()) != 2 {
+		t.Fatalf("edges = %d, want 2 (EGD pairs, symmetric homs deduped)", len(g.Edges()))
+	}
+	facts := g.Facts()
+	if len(facts) != 4 {
+		t.Errorf("involved facts = %d, want 4", len(facts))
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	for _, comp := range comps {
+		if len(comp) != 2 {
+			t.Errorf("component %v should have 2 facts", comp)
+		}
+	}
+}
+
+func TestConflictGraphConnected(t *testing.T) {
+	// Overlapping conflicts merge into one component.
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d"))
+	g := BuildConflictGraph(d, keySet())
+	comps := g.Components()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Errorf("components = %v, want one of size 3", comps)
+	}
+}

@@ -1,0 +1,106 @@
+package abc
+
+import (
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+)
+
+// ConflictGraph is the conflict hypergraph of an inconsistent database:
+// one hyperedge per violation, containing the facts of the violation body.
+// It supports the repair-localization optimization sketched in Section 6 of
+// the paper (Eiter et al.): repairing can be restricted to the connected
+// components of the conflict graph, since facts outside every violation are
+// never touched by deletion-only repairing sequences.
+type ConflictGraph struct {
+	edges [][]relation.Fact
+}
+
+// BuildConflictGraph computes the hypergraph from V(D,Σ).
+func BuildConflictGraph(d *relation.Database, sigma *constraint.Set) *ConflictGraph {
+	vs := constraint.FindViolations(d, sigma)
+	seen := map[string]bool{}
+	g := &ConflictGraph{}
+	for _, v := range vs.All() {
+		body := v.BodyFacts()
+		key := ""
+		for _, f := range body {
+			key += f.Key() + "|"
+		}
+		if !seen[key] {
+			seen[key] = true
+			g.edges = append(g.edges, body)
+		}
+	}
+	return g
+}
+
+// Edges returns the hyperedges (violation bodies), deduplicated.
+func (g *ConflictGraph) Edges() [][]relation.Fact { return g.edges }
+
+// Facts returns the sorted set of facts involved in at least one conflict.
+func (g *ConflictGraph) Facts() []relation.Fact {
+	seen := map[string]bool{}
+	var out []relation.Fact
+	for _, e := range g.edges {
+		for _, f := range e {
+			if k := f.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, f)
+			}
+		}
+	}
+	relation.SortFacts(out)
+	return out
+}
+
+// Components returns the connected components of the hypergraph as fact
+// sets, sorted for determinism. Two facts are connected when some chain of
+// overlapping hyperedges links them.
+func (g *ConflictGraph) Components() [][]relation.Fact {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	factByKey := map[string]relation.Fact{}
+	for _, e := range g.edges {
+		for _, f := range e {
+			k := f.Key()
+			factByKey[k] = f
+			if _, ok := parent[k]; !ok {
+				parent[k] = k
+			}
+		}
+		for i := 1; i < len(e); i++ {
+			union(e[0].Key(), e[i].Key())
+		}
+	}
+	groups := map[string][]relation.Fact{}
+	for k, f := range factByKey {
+		root := find(k)
+		groups[root] = append(groups[root], f)
+	}
+	var roots []string
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	out := make([][]relation.Fact, 0, len(groups))
+	for _, r := range roots {
+		fs := groups[r]
+		relation.SortFacts(fs)
+		out = append(out, fs)
+	}
+	return out
+}

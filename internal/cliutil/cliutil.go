@@ -1,0 +1,100 @@
+// Package cliutil holds the small amount of logic shared by the command
+// line tools: loading databases/constraints/queries from files or inline
+// strings and resolving generator names.
+package cliutil
+
+import (
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/markov"
+	"repro/internal/parse"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// LoadText returns the contents of the file at path, or, when path starts
+// with "inline:", the remainder of the string verbatim.
+func LoadText(path string) (string, error) {
+	if rest, ok := strings.CutPrefix(path, "inline:"); ok {
+		return rest, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// LoadDatabase parses a database file.
+func LoadDatabase(path string) (*relation.Database, error) {
+	src, err := LoadText(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading database: %w", err)
+	}
+	d, perr := parse.Database(src)
+	if perr != nil {
+		return nil, fmt.Errorf("parsing database %s: %w", path, perr)
+	}
+	return d, nil
+}
+
+// LoadConstraints parses a constraint file.
+func LoadConstraints(path string) (*constraint.Set, error) {
+	src, err := LoadText(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading constraints: %w", err)
+	}
+	set, perr := parse.Constraints(src)
+	if perr != nil {
+		return nil, fmt.Errorf("parsing constraints %s: %w", path, perr)
+	}
+	return set, nil
+}
+
+// LoadQuery parses a query file.
+func LoadQuery(path string) (*fo.Query, error) {
+	src, err := LoadText(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading query: %w", err)
+	}
+	q, perr := parse.Query(src)
+	if perr != nil {
+		return nil, fmt.Errorf("parsing query %s: %w", path, perr)
+	}
+	return q, nil
+}
+
+// GeneratorNames lists the generators resolvable by ResolveGenerator.
+func GeneratorNames() string {
+	return "uniform, uniform-deletions, preference, trust (trust uses level 1/2 everywhere; seed trust levels via trust:<seed> for random levels)"
+}
+
+// ResolveGenerator maps a CLI name to a chain generator. The trust
+// generator accepts an optional ":<seed>" suffix that assigns random trust
+// levels to the database facts.
+func ResolveGenerator(name string, d *relation.Database) (markov.Generator, error) {
+	switch {
+	case name == "uniform" || name == "":
+		return generators.Uniform{}, nil
+	case name == "uniform-deletions":
+		return generators.UniformDeletions{}, nil
+	case name == "preference":
+		return generators.Preference{}, nil
+	case name == "trust":
+		return generators.NewTrust(big.NewRat(1, 2)), nil
+	case strings.HasPrefix(name, "trust:"):
+		var seed int64
+		if _, err := fmt.Sscanf(name, "trust:%d", &seed); err != nil {
+			return nil, fmt.Errorf("bad trust seed in %q: %w", name, err)
+		}
+		return workload.RandomTrust(d, 10, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (have: %s)", name, GeneratorNames())
+	}
+}

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadTextInline(t *testing.T) {
+	got, err := LoadText("inline:R(a, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "R(a, b)." {
+		t.Errorf("LoadText = %q", got)
+	}
+}
+
+func TestLoadTextFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.facts")
+	if err := os.WriteFile(path, []byte("R(a)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadText(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "R(a)." {
+		t.Errorf("LoadText = %q", got)
+	}
+	if _, err := LoadText(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestLoadDatabaseAndConstraintsAndQuery(t *testing.T) {
+	d, err := LoadDatabase("inline:R(a, b). R(a, c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2 {
+		t.Errorf("size = %d", d.Size())
+	}
+	if _, err := LoadDatabase("inline:R(X)."); err == nil {
+		t.Error("variables in facts must fail")
+	}
+
+	set, err := LoadConstraints("inline:R(X, Y), R(X, Z) -> Y = Z.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Errorf("constraints = %d", set.Len())
+	}
+	if _, err := LoadConstraints("inline:nonsense"); err == nil {
+		t.Error("garbage constraints must fail")
+	}
+
+	q, err := LoadQuery("inline:Q(X) := exists Y: R(X, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Arity() != 1 {
+		t.Errorf("arity = %d", q.Arity())
+	}
+	if _, err := LoadQuery("inline:Q(X) :="); err == nil {
+		t.Error("garbage query must fail")
+	}
+}
+
+func TestResolveGenerator(t *testing.T) {
+	d, err := LoadDatabase("inline:R(a, b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "uniform", "uniform-deletions", "preference", "trust", "trust:42"} {
+		g, err := ResolveGenerator(name, d)
+		if err != nil {
+			t.Errorf("ResolveGenerator(%q): %v", name, err)
+			continue
+		}
+		if g == nil {
+			t.Errorf("ResolveGenerator(%q) returned nil", name)
+		}
+	}
+	if _, err := ResolveGenerator("no-such-generator", d); err == nil {
+		t.Error("unknown generator must fail")
+	}
+	if _, err := ResolveGenerator("trust:not-a-number", d); err == nil {
+		t.Error("bad trust seed must fail")
+	}
+}

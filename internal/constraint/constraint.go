@@ -1,0 +1,255 @@
+// Package constraint implements the three constraint classes of the paper —
+// tuple-generating dependencies (TGDs), equality-generating dependencies
+// (EGDs), and denial constraints (DCs) — together with satisfaction checking
+// and the violation sets V(D,Σ) of Definition 2.
+package constraint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Kind distinguishes the constraint classes.
+type Kind int
+
+const (
+	// TGD is a tuple-generating dependency ∀x̄∀ȳ (ϕ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)).
+	TGD Kind = iota
+	// EGD is an equality-generating dependency ∀x̄ (ϕ(x̄) → xi = xj).
+	EGD
+	// DC is a denial constraint ∀x̄ ¬ϕ(x̄).
+	DC
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TGD:
+		return "TGD"
+	case EGD:
+		return "EGD"
+	case DC:
+		return "DC"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Constraint is a single TGD, EGD, or DC. Universal quantifiers are
+// implicit: every variable of the body is universally quantified; variables
+// appearing only in a TGD head are existentially quantified.
+//
+// Constraints are immutable after construction through the NewXxx helpers.
+type Constraint struct {
+	id   string
+	kind Kind
+	body []logic.Atom
+	head []logic.Atom // TGD only
+	left logic.Term   // EGD only
+	rght logic.Term   // EGD only
+}
+
+// NewTGD builds the TGD body → ∃z̄ head, where z̄ are the head variables not
+// occurring in the body.
+func NewTGD(body, head []logic.Atom) (*Constraint, error) {
+	c := &Constraint{kind: TGD, body: body, head: head}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewEGD builds the EGD body → left = right.
+func NewEGD(body []logic.Atom, left, right logic.Term) (*Constraint, error) {
+	c := &Constraint{kind: EGD, body: body, left: left, rght: right}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewDC builds the denial constraint ¬body.
+func NewDC(body []logic.Atom) (*Constraint, error) {
+	c := &Constraint{kind: DC, body: body}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustTGD is NewTGD that panics on error; for constraints that are valid by
+// construction (tests, examples).
+func MustTGD(body, head []logic.Atom) *Constraint {
+	c, err := NewTGD(body, head)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustEGD is NewEGD that panics on error.
+func MustEGD(body []logic.Atom, left, right logic.Term) *Constraint {
+	c, err := NewEGD(body, left, right)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustDC is NewDC that panics on error.
+func MustDC(body []logic.Atom) *Constraint {
+	c, err := NewDC(body)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Constraint) validate() error {
+	if len(c.body) == 0 {
+		return errors.New("constraint body must be a non-empty conjunction of atoms")
+	}
+	switch c.kind {
+	case TGD:
+		if len(c.head) == 0 {
+			return errors.New("TGD head must be a non-empty conjunction of atoms")
+		}
+	case EGD:
+		if !c.left.IsVar() || !c.rght.IsVar() {
+			return errors.New("EGD equality must relate two variables")
+		}
+		bodyVars := map[string]bool{}
+		for _, v := range logic.VarsOf(c.body) {
+			bodyVars[v.Name()] = true
+		}
+		if !bodyVars[c.left.Name()] || !bodyVars[c.rght.Name()] {
+			return fmt.Errorf("EGD equality variables %s, %s must occur in the body",
+				c.left.Name(), c.rght.Name())
+		}
+		if c.left == c.rght {
+			return errors.New("EGD equality x = x is trivially satisfied")
+		}
+	case DC:
+		if len(c.head) != 0 {
+			return errors.New("DC must not have a head")
+		}
+	default:
+		return fmt.Errorf("unknown constraint kind %d", int(c.kind))
+	}
+	return nil
+}
+
+// ID returns the constraint's identifier within its Set ("" before the
+// constraint is added to a Set).
+func (c *Constraint) ID() string { return c.id }
+
+// Kind reports the constraint class.
+func (c *Constraint) Kind() Kind { return c.kind }
+
+// Body returns the body conjunction ϕ. The slice must not be modified.
+func (c *Constraint) Body() []logic.Atom { return c.body }
+
+// Head returns the head conjunction ψ of a TGD (nil otherwise). The slice
+// must not be modified.
+func (c *Constraint) Head() []logic.Atom { return c.head }
+
+// Equality returns the two variables related by an EGD (zero terms
+// otherwise).
+func (c *Constraint) Equality() (left, right logic.Term) { return c.left, c.rght }
+
+// UniversalVars returns the distinct variables of the body in order of
+// first occurrence; these are the universally quantified variables and the
+// domain of every violation homomorphism.
+func (c *Constraint) UniversalVars() []logic.Term { return logic.VarsOf(c.body) }
+
+// ExistentialVars returns, for a TGD, the head variables that do not occur
+// in the body (the existentially quantified z̄); nil for EGDs and DCs.
+func (c *Constraint) ExistentialVars() []logic.Term {
+	if c.kind != TGD {
+		return nil
+	}
+	bodyVars := map[string]bool{}
+	for _, v := range logic.VarsOf(c.body) {
+		bodyVars[v.Name()] = true
+	}
+	var out []logic.Term
+	for _, v := range logic.VarsOf(c.head) {
+		if !bodyVars[v.Name()] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Consts returns the distinct constants mentioned by the constraint.
+func (c *Constraint) Consts() []logic.Term {
+	atoms := append([]logic.Atom{}, c.body...)
+	atoms = append(atoms, c.head...)
+	return logic.ConstsOf(atoms)
+}
+
+// String renders the constraint in the text format accepted by the parser.
+func (c *Constraint) String() string {
+	var b strings.Builder
+	b.WriteString(logic.AtomsString(c.body))
+	switch c.kind {
+	case TGD:
+		b.WriteString(" -> ")
+		if ex := c.ExistentialVars(); len(ex) > 0 {
+			b.WriteString("exists ")
+			for i, v := range ex {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.Name())
+			}
+			b.WriteString(": ")
+		}
+		b.WriteString(logic.AtomsString(c.head))
+	case EGD:
+		b.WriteString(" -> ")
+		b.WriteString(c.left.Name())
+		b.WriteString(" = ")
+		b.WriteString(c.rght.Name())
+	case DC:
+		b.WriteString(" -> false")
+	}
+	return b.String()
+}
+
+// Satisfied reports whether the database satisfies the constraint:
+//
+//   - a TGD holds when every body homomorphism extends to a head
+//     homomorphism;
+//   - an EGD holds when every body homomorphism equates the two variables;
+//   - a DC holds when the body has no homomorphism into the database.
+func (c *Constraint) Satisfied(d *relation.Database) bool {
+	ok := true
+	relation.ForEachHom(c.body, d, logic.NewSubst(), func(h logic.Subst) bool {
+		if c.violatedBy(d, h) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// violatedBy reports whether the body homomorphism h witnesses a violation
+// of c in d.
+func (c *Constraint) violatedBy(d *relation.Database, h logic.Subst) bool {
+	switch c.kind {
+	case TGD:
+		return !relation.HasHom(c.head, d, h)
+	case EGD:
+		l, _ := h.Lookup(c.left.Name())
+		r, _ := h.Lookup(c.rght.Name())
+		return l != r
+	case DC:
+		return true
+	}
+	return false
+}

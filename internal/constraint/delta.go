@@ -1,0 +1,239 @@
+package constraint
+
+import (
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// This file implements incremental maintenance of violation sets: given
+// V(D,Σ) and an update that inserted or deleted a set of facts, compute
+// V(D',Σ) without re-running homomorphism search for unaffected
+// constraints. This realizes the "localization of repairs" optimization
+// sketched in Section 6 of the paper and is the workhorse behind fast
+// chain walks; FindViolations remains the reference implementation and the
+// test suite checks the two agree on random transitions.
+//
+// Correctness cases:
+//
+//   - EGD/DC + deletion: a violation disappears iff its body loses a fact;
+//     no violation can appear. Pure filtering, no search.
+//   - EGD/DC + insertion: existing violations persist (their bodies are
+//     untouched); new violations must map at least one body atom to an
+//     inserted fact (semi-naive delta search).
+//   - TGD: insertions can both create violations (new body matches) and
+//     satisfy old ones (new head witnesses); deletions can both remove
+//     violations (destroyed bodies) and create them (destroyed witnesses).
+//     TGDs whose body or head mentions a changed predicate are recomputed
+//     in full.
+//   - Constraints mentioning none of the changed predicates keep their
+//     violations verbatim.
+
+// UpdateViolations computes V(dNew, Σ) from before = V(dOld, Σ), where
+// dNew is dOld with the facts `changed` inserted (insert = true) or
+// deleted (insert = false). The facts in `changed` must actually have
+// changed (as reported by ops.Op.Do). The input set is not modified.
+func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) *Violations {
+	changedPreds := map[string]bool{}
+	changedKeys := map[string]bool{}
+	for _, f := range changed {
+		changedPreds[f.Pred] = true
+		changedKeys[f.Key()] = true
+	}
+
+	out := NewViolations()
+	for _, c := range s.constraints {
+		switch {
+		case !constraintTouches(c, changedPreds):
+			// Unaffected: copy this constraint's violations.
+			copyConstraintViolations(out, before, c)
+
+		case c.kind == TGD:
+			// Full recompute for this constraint only.
+			relation.ForEachHom(c.body, dNew, logic.NewSubst(), func(h logic.Subst) bool {
+				if c.violatedBy(dNew, h) {
+					out.add(NewViolation(c, h))
+				}
+				return true
+			})
+
+		case !insert:
+			// EGD/DC + deletion: drop violations whose body lost a fact.
+			for _, v := range before.byKey {
+				if v.Constraint != c {
+					continue
+				}
+				if !bodyIntersects(v, changedKeys) {
+					out.add(v)
+				}
+			}
+
+		default:
+			// EGD/DC + insertion: keep the old violations, add the delta.
+			copyConstraintViolations(out, before, c)
+			forEachHomTouching(c.body, dNew, changedKeys, changedPreds, func(h logic.Subst) {
+				if c.violatedBy(dNew, h) {
+					out.add(NewViolation(c, h))
+				}
+			})
+		}
+	}
+	return out
+}
+
+// IntroducedViolations returns only the violations of dNew that were not
+// violations before the update — the set after − before. It is the cheap
+// side of UpdateViolations, used by the req2 admissibility check: a
+// candidate operation is inadmissible iff it reintroduces an eliminated
+// violation, and eliminated violations are disjoint from the current set,
+// so only genuinely new violations matter. For EGD/DC deletions the answer
+// is always empty without any search.
+func IntroducedViolations(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) []Violation {
+	changedPreds := map[string]bool{}
+	changedKeys := map[string]bool{}
+	for _, f := range changed {
+		changedPreds[f.Pred] = true
+		changedKeys[f.Key()] = true
+	}
+	var out []Violation
+	for _, c := range s.constraints {
+		switch {
+		case !constraintTouches(c, changedPreds):
+			// Unaffected constraints introduce nothing.
+
+		case c.kind == TGD:
+			relation.ForEachHom(c.body, dNew, logic.NewSubst(), func(h logic.Subst) bool {
+				if c.violatedBy(dNew, h) {
+					v := NewViolation(c, h)
+					if !before.Has(v.Key()) {
+						out = append(out, v)
+					}
+				}
+				return true
+			})
+
+		case !insert:
+			// EGD/DC deletions can only remove violations.
+
+		default:
+			forEachHomTouching(c.body, dNew, changedKeys, changedPreds, func(h logic.Subst) {
+				if c.violatedBy(dNew, h) {
+					out = append(out, NewViolation(c, h))
+				}
+			})
+		}
+	}
+	return out
+}
+
+// MayIntroduceViolations reports whether an update of the given polarity
+// touching the given predicates can possibly create a new violation:
+// insertions need a constraint body mentioning a touched predicate;
+// deletions can only create TGD violations by destroying head witnesses.
+// When this returns false, callers may skip computing the introduced set
+// (and the database update itself) entirely.
+func (s *Set) MayIntroduceViolations(preds []string, insert bool) bool {
+	for _, c := range s.constraints {
+		if insert {
+			for _, a := range c.body {
+				for _, p := range preds {
+					if a.Pred == p {
+						return true
+					}
+				}
+			}
+			continue
+		}
+		if c.kind != TGD {
+			continue
+		}
+		for _, a := range c.head {
+			for _, p := range preds {
+				if a.Pred == p {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// constraintTouches reports whether any body or head predicate of c is in
+// the changed set.
+func constraintTouches(c *Constraint, preds map[string]bool) bool {
+	for _, a := range c.body {
+		if preds[a.Pred] {
+			return true
+		}
+	}
+	for _, a := range c.head {
+		if preds[a.Pred] {
+			return true
+		}
+	}
+	return false
+}
+
+func copyConstraintViolations(dst *Violations, src *Violations, c *Constraint) {
+	for _, v := range src.byKey {
+		if v.Constraint == c {
+			dst.add(v)
+		}
+	}
+}
+
+// bodyIntersects reports whether h(body) includes any changed fact.
+func bodyIntersects(v Violation, changedKeys map[string]bool) bool {
+	for k := range changedKeys {
+		if v.bodyHasKey(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachHomTouching enumerates the homomorphisms from atoms into d that
+// map at least one atom onto a changed fact (the semi-naive delta): for
+// each atom position in turn, the atom is pinned to each changed fact and
+// the remaining atoms are matched against the full database. Duplicate
+// homomorphisms (touching several changed facts) are emitted once.
+func forEachHomTouching(atoms []logic.Atom, d *relation.Database, changedKeys map[string]bool, changedPreds map[string]bool, fn func(logic.Subst)) {
+	seen := map[string]bool{}
+	for i, pivot := range atoms {
+		if !changedPreds[pivot.Pred] {
+			continue
+		}
+		rest := make([]logic.Atom, 0, len(atoms)-1)
+		rest = append(rest, atoms[:i]...)
+		rest = append(rest, atoms[i+1:]...)
+		for _, f := range d.FactsByPred(pivot.Pred) {
+			if !changedKeys[f.Key()] || len(f.Args) != len(pivot.Args) {
+				continue
+			}
+			base := logic.NewSubst()
+			ok := true
+			for j, t := range pivot.Args {
+				if t.IsConst() {
+					if t.Name() != f.Args[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !base.Bind(t.Name(), f.Args[j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			relation.ForEachHom(rest, d, base, func(h logic.Subst) bool {
+				if k := h.Key(); !seen[k] {
+					seen[k] = true
+					fn(h)
+				}
+				return true
+			})
+		}
+	}
+}

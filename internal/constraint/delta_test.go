@@ -1,0 +1,173 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// mixedSet builds a constraint set covering all three classes over R/2,
+// S/2, T/1: a key on R, a DC forbidding R(x,x), and the inclusion
+// R(x,y) → ∃z S(y,z).
+func mixedSet() *Set {
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	dc := MustDC([]logic.Atom{logic.NewAtom("R", x, x)})
+	tgd := MustTGD(
+		[]logic.Atom{logic.NewAtom("R", x, y)},
+		[]logic.Atom{logic.NewAtom("S", y, z)},
+	)
+	return NewSet(key, dc, tgd)
+}
+
+// randomDB draws a small random database over a tiny domain so that
+// violations of all three constraints arise frequently.
+func randomDB(rng *rand.Rand) *relation.Database {
+	dom := []string{"a", "b", "c"}
+	d := relation.NewDatabase()
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			d.Insert(relation.NewFact("R", dom[rng.Intn(3)], dom[rng.Intn(3)]))
+		default:
+			d.Insert(relation.NewFact("S", dom[rng.Intn(3)], dom[rng.Intn(3)]))
+		}
+	}
+	return d
+}
+
+// TestUpdateViolationsMatchesFull: the incremental maintenance agrees with
+// the from-scratch computation over random databases and random updates of
+// both polarities (the delta path is what the repair machinery trusts).
+func TestUpdateViolationsMatchesFull(t *testing.T) {
+	set := mixedSet()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDB(rng)
+		before := FindViolations(d, set)
+
+		// Random update: insert or delete 1–2 facts.
+		insert := rng.Intn(2) == 0
+		var changed []relation.Fact
+		dNew := d.Clone()
+		k := 1 + rng.Intn(2)
+		for i := 0; i < k; i++ {
+			dom := []string{"a", "b", "c"}
+			var f relation.Fact
+			if rng.Intn(2) == 0 {
+				f = relation.NewFact("R", dom[rng.Intn(3)], dom[rng.Intn(3)])
+			} else {
+				f = relation.NewFact("S", dom[rng.Intn(3)], dom[rng.Intn(3)])
+			}
+			if insert {
+				if dNew.Insert(f) {
+					changed = append(changed, f)
+				}
+			} else {
+				if dNew.Delete(f) {
+					changed = append(changed, f)
+				}
+			}
+		}
+
+		got := UpdateViolations(dNew, set, before, changed, insert)
+		want := FindViolations(dNew, set)
+		if got.Len() != want.Len() {
+			t.Logf("seed %d: delta has %d violations, full has %d", seed, got.Len(), want.Len())
+			return false
+		}
+		for _, key := range want.Keys() {
+			if !got.Has(key) {
+				t.Logf("seed %d: delta missing violation %s", seed, key)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpdateViolationsDeletionFastPath: EGD/DC deletions never invoke
+// homomorphism search; spot-check the filtering on a concrete case.
+func TestUpdateViolationsDeletionFastPath(t *testing.T) {
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	set := NewSet(key)
+	d := relation.FromFacts(
+		relation.NewFact("R", "a", "b"),
+		relation.NewFact("R", "a", "c"),
+		relation.NewFact("R", "q", "r"),
+		relation.NewFact("R", "q", "s"),
+	)
+	before := FindViolations(d, set)
+	if before.Len() != 4 {
+		t.Fatalf("before = %d violations, want 4", before.Len())
+	}
+	f := relation.NewFact("R", "a", "b")
+	dNew := d.Clone()
+	dNew.Delete(f)
+	after := UpdateViolations(dNew, set, before, []relation.Fact{f}, false)
+	if after.Len() != 2 {
+		t.Fatalf("after = %d violations, want 2 (only the q pair)", after.Len())
+	}
+	for _, v := range after.All() {
+		for _, bf := range v.BodyFacts() {
+			if bf.Args[0] != "q" {
+				t.Errorf("unexpected surviving violation %s", v.Key())
+			}
+		}
+	}
+}
+
+// TestUpdateViolationsInsertionDelta: inserting a conflicting fact adds
+// exactly the new violations.
+func TestUpdateViolationsInsertionDelta(t *testing.T) {
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	set := NewSet(key)
+	d := relation.FromFacts(relation.NewFact("R", "a", "b"))
+	before := FindViolations(d, set)
+	if !before.Empty() {
+		t.Fatal("single fact cannot violate the key")
+	}
+	f := relation.NewFact("R", "a", "c")
+	dNew := d.Clone()
+	dNew.Insert(f)
+	after := UpdateViolations(dNew, set, before, []relation.Fact{f}, true)
+	if after.Len() != 2 {
+		t.Fatalf("after = %d violations, want 2 (both orientations)", after.Len())
+	}
+}
+
+// TestUpdateViolationsUnrelatedPredicate: updates to predicates outside
+// every constraint leave the violation set untouched.
+func TestUpdateViolationsUnrelatedPredicate(t *testing.T) {
+	set := mixedSet()
+	d := relation.FromFacts(
+		relation.NewFact("R", "a", "b"),
+		relation.NewFact("R", "a", "c"),
+	)
+	before := FindViolations(d, set)
+	f := relation.NewFact("Unrelated", "w")
+	dNew := d.Clone()
+	dNew.Insert(f)
+	after := UpdateViolations(dNew, set, before, []relation.Fact{f}, true)
+	if after.Len() != before.Len() {
+		t.Errorf("unrelated insert changed violations: %d vs %d", after.Len(), before.Len())
+	}
+}

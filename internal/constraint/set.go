@@ -1,0 +1,303 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Set is an ordered collection of constraints with stable identifiers.
+// Identifiers ("c0", "c1", ...) name constraints inside violation keys, so
+// a Set must not be mutated once violations derived from it are in flight.
+type Set struct {
+	constraints []*Constraint
+	byID        map[string]*Constraint
+}
+
+// NewSet builds a set from the given constraints, assigning sequential IDs
+// to those that do not have one. Constraints are shared, not copied; a
+// constraint may belong to only one set.
+func NewSet(cs ...*Constraint) *Set {
+	s := &Set{byID: map[string]*Constraint{}}
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add appends a constraint, assigning it an ID if needed.
+func (s *Set) Add(c *Constraint) {
+	if c.id == "" {
+		c.id = fmt.Sprintf("c%d", len(s.constraints))
+	}
+	if _, dup := s.byID[c.id]; dup {
+		panic(fmt.Sprintf("constraint: duplicate id %q in set", c.id))
+	}
+	s.constraints = append(s.constraints, c)
+	s.byID[c.id] = c
+}
+
+// Len reports the number of constraints.
+func (s *Set) Len() int { return len(s.constraints) }
+
+// All returns the constraints in insertion order; the slice must not be
+// modified.
+func (s *Set) All() []*Constraint { return s.constraints }
+
+// ByID looks a constraint up by identifier.
+func (s *Set) ByID(id string) (*Constraint, bool) {
+	c, ok := s.byID[id]
+	return c, ok
+}
+
+// Satisfied reports whether D |= Σ.
+func (s *Set) Satisfied(d *relation.Database) bool {
+	for _, c := range s.constraints {
+		if !c.Satisfied(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema collects the predicates mentioned by the constraints into schema,
+// checking arity consistency.
+func (s *Set) Schema(schema *relation.Schema) error {
+	for _, c := range s.constraints {
+		for _, a := range c.body {
+			if err := schema.Add(a.Pred, a.Arity()); err != nil {
+				return err
+			}
+		}
+		for _, a := range c.head {
+			if err := schema.Add(a.Pred, a.Arity()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Consts returns the distinct constants mentioned anywhere in the set.
+func (s *Set) Consts() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range s.constraints {
+		for _, t := range c.Consts() {
+			if !seen[t.Name()] {
+				seen[t.Name()] = true
+				out = append(out, t.Name())
+			}
+		}
+	}
+	return out
+}
+
+// Base constructs B(D,Σ): the base whose schema covers both the database
+// and the constraints and whose constants are dom(D) plus the constants of
+// the constraints.
+func (s *Set) Base(d *relation.Database) (*relation.Base, error) {
+	schema := relation.NewSchema()
+	if err := schema.AddDatabase(d); err != nil {
+		return nil, err
+	}
+	if err := s.Schema(schema); err != nil {
+		return nil, err
+	}
+	consts := d.Dom()
+	consts = append(consts, s.Consts()...)
+	return relation.NewBase(schema, consts), nil
+}
+
+// String renders the set one constraint per line, each terminated by a dot.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, c := range s.constraints {
+		b.WriteString(c.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// Violation is a pair (κ, h): constraint κ is violated in a database via
+// the body homomorphism h (Definition 2). h binds exactly the universal
+// variables of κ. Construct violations with NewViolation so the cached
+// identity and body-fact encodings are populated; they sit on the hot path
+// of incremental violation maintenance.
+type Violation struct {
+	Constraint *Constraint
+	H          logic.Subst
+
+	key       string
+	bodyKey   string
+	bodyFacts []relation.Fact
+	bodyKeys  map[string]bool
+}
+
+// NewViolation builds a violation and precomputes its identity and body
+// image. The substitution is cloned.
+func NewViolation(c *Constraint, h logic.Subst) Violation {
+	v := Violation{Constraint: c, H: h.Clone()}
+	v.key = c.id + "|" + v.H.Key()
+	seen := map[string]bool{}
+	for _, a := range v.H.ApplyAtoms(c.body) {
+		f := relation.MustFactFromAtom(a)
+		if k := f.Key(); !seen[k] {
+			seen[k] = true
+			v.bodyFacts = append(v.bodyFacts, f)
+		}
+	}
+	relation.SortFacts(v.bodyFacts)
+	v.bodyKeys = seen
+	var b strings.Builder
+	for i, f := range v.bodyFacts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(f.Key())
+	}
+	v.bodyKey = b.String()
+	return v
+}
+
+// BodyKey returns the canonical encoding of h(ϕ) as a fact set; violations
+// with equal body images (e.g. the two orientations of an EGD match) share
+// it, and the justified deletions of a violation are a function of it.
+func (v Violation) BodyKey() string { return v.bodyKey }
+
+// Key returns the canonical identity of the violation, stable across
+// database states: the constraint ID together with the encoded assignment.
+func (v Violation) Key() string {
+	if v.key != "" {
+		return v.key
+	}
+	return v.Constraint.id + "|" + v.H.Key()
+}
+
+// BodyFacts returns h(ϕ): the (distinct) facts of the body image under h.
+// For a violation of D, these facts all belong to D. The slice is shared;
+// callers must not modify it.
+func (v Violation) BodyFacts() []relation.Fact {
+	if v.bodyFacts != nil || len(v.Constraint.body) == 0 {
+		return v.bodyFacts
+	}
+	return NewViolation(v.Constraint, v.H).bodyFacts
+}
+
+// bodyHasKey reports whether h(ϕ) contains a fact with the given key.
+func (v Violation) bodyHasKey(k string) bool {
+	if v.bodyKeys != nil {
+		return v.bodyKeys[k]
+	}
+	for _, f := range v.BodyFacts() {
+		if f.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the violation as (id: constraint, {x -> a, ...}).
+func (v Violation) String() string {
+	return fmt.Sprintf("(%s: %s, %s)", v.Constraint.id, v.Constraint, v.H)
+}
+
+// Violations is the set V(D,Σ) for some database D, keyed by Violation.Key.
+type Violations struct {
+	byKey map[string]Violation
+}
+
+// NewViolations returns an empty violation set.
+func NewViolations() *Violations { return &Violations{byKey: map[string]Violation{}} }
+
+// FindViolations computes V(D,Σ).
+func FindViolations(d *relation.Database, s *Set) *Violations {
+	vs := NewViolations()
+	for _, c := range s.constraints {
+		relation.ForEachHom(c.body, d, logic.NewSubst(), func(h logic.Subst) bool {
+			if c.violatedBy(d, h) {
+				vs.add(NewViolation(c, h))
+			}
+			return true
+		})
+	}
+	return vs
+}
+
+func (vs *Violations) add(v Violation) { vs.byKey[v.Key()] = v }
+
+// Len reports the number of violations.
+func (vs *Violations) Len() int { return len(vs.byKey) }
+
+// Empty reports whether there are no violations, i.e. D |= Σ.
+func (vs *Violations) Empty() bool { return len(vs.byKey) == 0 }
+
+// Has reports whether the violation with the given key is present.
+func (vs *Violations) Has(key string) bool {
+	_, ok := vs.byKey[key]
+	return ok
+}
+
+// Get returns the violation with the given key.
+func (vs *Violations) Get(key string) (Violation, bool) {
+	v, ok := vs.byKey[key]
+	return v, ok
+}
+
+// All returns the violations in deterministic (key-sorted) order.
+func (vs *Violations) All() []Violation {
+	keys := make([]string, 0, len(vs.byKey))
+	for k := range vs.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Violation, len(keys))
+	for i, k := range keys {
+		out[i] = vs.byKey[k]
+	}
+	return out
+}
+
+// Keys returns the sorted violation keys.
+func (vs *Violations) Keys() []string {
+	keys := make([]string, 0, len(vs.byKey))
+	for k := range vs.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Minus returns the violations of vs whose keys are not in other:
+// V(D,Σ) − V(D',Σ).
+func (vs *Violations) Minus(other *Violations) []Violation {
+	var out []Violation
+	for k, v := range vs.byKey {
+		if !other.Has(k) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// InvolvedFacts returns the union of h(ϕ) over all violations: the facts of
+// the database that participate in at least one violation. This is the set
+// V_Σ(D) of atoms used by the preference generator of Example 4 and the
+// localization optimization of Section 6.
+func (vs *Violations) InvolvedFacts() []relation.Fact {
+	seen := map[string]bool{}
+	var out []relation.Fact
+	for _, v := range vs.byKey {
+		for _, f := range v.BodyFacts() {
+			if k := f.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, f)
+			}
+		}
+	}
+	relation.SortFacts(out)
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/fo"
+	"repro/internal/prob"
+)
+
+// This file adds aggregate answers over the repair distribution — the
+// "more expressive languages" direction of Section 6 (after Arenas et al.'s
+// scalar aggregation in inconsistent databases): instead of per-tuple
+// probabilities, report the distribution and expectation of an aggregate of
+// the query answer across operational repairs.
+
+// CountPoint is one point of an answer-cardinality distribution.
+type CountPoint struct {
+	// Count is |Q(D')| for some repair(s) D'.
+	Count int
+	// P is the total (conditional) probability of repairs with that count.
+	P *big.Rat
+}
+
+// CountDistribution is the distribution of |Q(D')| over operational
+// repairs, normalized by the success mass.
+type CountDistribution struct {
+	Points []CountPoint
+}
+
+// AnswerCountDistribution computes the distribution of the number of query
+// answers across repairs. With no repairs the distribution is empty.
+func (s *Semantics) AnswerCountDistribution(q *fo.Query) *CountDistribution {
+	if s.SuccessP.Sign() == 0 {
+		return &CountDistribution{}
+	}
+	byCount := map[int]*big.Rat{}
+	for _, r := range s.Repairs {
+		n := len(q.Answers(r.DB))
+		if _, ok := byCount[n]; !ok {
+			byCount[n] = prob.Zero()
+		}
+		byCount[n].Add(byCount[n], r.P)
+	}
+	out := &CountDistribution{}
+	counts := make([]int, 0, len(byCount))
+	for n := range byCount {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	for _, n := range counts {
+		p := byCount[n]
+		p.Quo(p, s.SuccessP)
+		out.Points = append(out.Points, CountPoint{Count: n, P: p})
+	}
+	return out
+}
+
+// Expectation returns E[|Q(D')|] under the distribution.
+func (d *CountDistribution) Expectation() *big.Rat {
+	e := prob.Zero()
+	for _, pt := range d.Points {
+		term := new(big.Rat).Mul(big.NewRat(int64(pt.Count), 1), pt.P)
+		e.Add(e, term)
+	}
+	return e
+}
+
+// Min and Max return the range of answer counts (0, 0 for an empty
+// distribution).
+func (d *CountDistribution) Min() int {
+	if len(d.Points) == 0 {
+		return 0
+	}
+	return d.Points[0].Count
+}
+
+// Max returns the largest possible answer count.
+func (d *CountDistribution) Max() int {
+	if len(d.Points) == 0 {
+		return 0
+	}
+	return d.Points[len(d.Points)-1].Count
+}
+
+// PAtLeast returns P(|Q(D')| ≥ k): the probability that the query has at
+// least k answers on an operational repair.
+func (d *CountDistribution) PAtLeast(k int) *big.Rat {
+	p := prob.Zero()
+	for _, pt := range d.Points {
+		if pt.Count >= k {
+			p.Add(p, pt.P)
+		}
+	}
+	return p
+}
+
+// ExpectedAnswerCount is shorthand for the expectation of the answer
+// cardinality; for a boolean query it equals the probability that the
+// query holds on an operational repair.
+func (s *Semantics) ExpectedAnswerCount(q *fo.Query) *big.Rat {
+	return s.AnswerCountDistribution(q).Expectation()
+}

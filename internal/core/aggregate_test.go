@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// TestAnswerCountDistribution on the employee scenario: the repairs keep
+// {m}, {s}, or {} for eve, so the department count is 3 with probability
+// 2/3 and 2 with probability 1/3.
+func TestAnswerCountDistribution(t *testing.T) {
+	d := relation.FromFacts(
+		f("emp", "alice", "sales"),
+		f("emp", "bob", "engineering"),
+		f("emp", "eve", "marketing"),
+		f("emp", "eve", "support"),
+	)
+	x, y, z := v("x"), v("y"), v("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{at("emp", x, y), at("emp", x, z)},
+		y, z,
+	)
+	inst := repair.MustInstance(d, constraint.NewSet(key))
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fo.MustQuery("Dept", []logic.Term{v("d")},
+		fo.Exists{Vars: []logic.Term{v("e")}, F: fo.Atom{A: at("emp", v("e"), v("d"))}})
+
+	dist := sem.AnswerCountDistribution(q)
+	if len(dist.Points) != 2 {
+		t.Fatalf("distribution = %+v, want two points", dist.Points)
+	}
+	if dist.Min() != 2 || dist.Max() != 3 {
+		t.Errorf("range = [%d, %d], want [2, 3]", dist.Min(), dist.Max())
+	}
+	for _, pt := range dist.Points {
+		switch pt.Count {
+		case 2:
+			if pt.P.Cmp(big.NewRat(1, 3)) != 0 {
+				t.Errorf("P(2 depts) = %s, want 1/3", pt.P.RatString())
+			}
+		case 3:
+			if pt.P.Cmp(big.NewRat(2, 3)) != 0 {
+				t.Errorf("P(3 depts) = %s, want 2/3", pt.P.RatString())
+			}
+		}
+	}
+	// E = 2·1/3 + 3·2/3 = 8/3.
+	if e := dist.Expectation(); e.Cmp(big.NewRat(8, 3)) != 0 {
+		t.Errorf("expectation = %s, want 8/3", e.RatString())
+	}
+	if p := dist.PAtLeast(3); p.Cmp(big.NewRat(2, 3)) != 0 {
+		t.Errorf("P(≥3) = %s, want 2/3", p.RatString())
+	}
+	if p := dist.PAtLeast(4); p.Sign() != 0 {
+		t.Errorf("P(≥4) = %s, want 0", p.RatString())
+	}
+	if p := dist.PAtLeast(0); !prob.IsOne(p) {
+		t.Errorf("P(≥0) = %s, want 1", p.RatString())
+	}
+}
+
+// TestExpectedCountBooleanQuery: for a boolean query the expected count is
+// the probability the query holds.
+func TestExpectedCountBooleanQuery(t *testing.T) {
+	inst := preferenceInstance(t)
+	sem, err := core.Compute(inst, generators.Preference{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a is the most preferred product" as a boolean query.
+	y := v("y")
+	q := fo.MustQuery("ATop", nil, fo.ForAll{
+		Vars: []logic.Term{y},
+		F: fo.Or{
+			L: fo.Atom{A: at("Pref", logic.Const("a"), y)},
+			R: fo.Eq{L: logic.Const("a"), R: y},
+		},
+	})
+	e := sem.ExpectedAnswerCount(q)
+	if e.Cmp(big.NewRat(9, 20)) != 0 {
+		t.Errorf("E[boolean] = %s, want 9/20 (= CP(a) of Example 7)", e.RatString())
+	}
+}
+
+// TestCountDistributionNoRepairs: all-failing chains yield the empty
+// distribution.
+func TestCountDistributionNoRepairs(t *testing.T) {
+	inst := failingInstance(t)
+	insertOnly := generators.WeightFunc{
+		Label: "insert-only",
+		Fn: func(_ *repair.State, op ops.Op) *big.Rat {
+			if op.IsInsert() {
+				return prob.One()
+			}
+			return prob.Zero()
+		},
+	}
+	sem, err := core.Compute(inst, insertOnly, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fo.MustQuery("True", nil, fo.Truth{Value: true})
+	dist := sem.AnswerCountDistribution(q)
+	if len(dist.Points) != 0 {
+		t.Errorf("distribution = %+v, want empty", dist.Points)
+	}
+	if e := dist.Expectation(); e.Sign() != 0 {
+		t.Errorf("expectation = %s, want 0", e.RatString())
+	}
+}

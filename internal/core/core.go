@@ -1,0 +1,227 @@
+// Package core implements the paper's central contribution: operational
+// repairs (Definition 6), the repair semantics [[D]]_{MΣ} of an inconsistent
+// database, exact operational consistent query answering (Definition 7 and
+// the OCQA problem of Section 4), and the TPC decision problem of Section 5.
+//
+// Exact computation explores the full repairing Markov chain and is
+// exponential in general — Theorem 5 shows OCQA is FP^{#P}-complete — so the
+// exact engine is intended for small instances, ground truth in tests, and
+// the scaling experiments; large instances use internal/sampling.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/fo"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// Repair is an operational repair: a consistent database s(D) for some
+// reachable absorbing state s, together with its probability
+// P_{D,MΣ}(D') = Σ π(s) over the absorbing states producing it.
+type Repair struct {
+	// DB is the repaired database.
+	DB *relation.Database
+	// P is the repair's probability under the hitting distribution.
+	P *big.Rat
+	// Sequences counts the absorbing sequences s with s(D) = DB.
+	Sequences int
+}
+
+// Semantics is [[D]]_{MΣ} together with bookkeeping about the chain: the
+// set of repair/probability pairs, the total success mass (the denominator
+// of the conditional probability CP), and leaf statistics.
+type Semantics struct {
+	// Repairs lists the operational repairs with positive probability, in
+	// deterministic (database-key) order.
+	Repairs []Repair
+	// SuccessP is Σ_{(D',p) ∈ [[D]]} p: the probability that the repairing
+	// process succeeds. It is 1 exactly when no failing sequence has
+	// positive probability (e.g. for non-failing generators, Prop. 8).
+	SuccessP *big.Rat
+	// FailP is the probability mass on failing sequences.
+	FailP *big.Rat
+	// AbsorbingStates counts the reachable absorbing states (chain leaves).
+	AbsorbingStates int
+	// FailingStates counts the failing leaves.
+	FailingStates int
+}
+
+// Compute explores the chain M_Σ(D) exactly and assembles [[D]]_{MΣ}.
+// opt.MaxStates bounds the exploration (0 = unlimited).
+func Compute(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
+	leaves, err := markov.Explore(inst, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	type agg struct {
+		db   *relation.Database
+		p    *big.Rat
+		seqs int
+	}
+	byDB := map[string]*agg{}
+	sem := &Semantics{SuccessP: prob.Zero(), FailP: prob.Zero()}
+	for _, leaf := range leaves {
+		sem.AbsorbingStates++
+		if !leaf.State.IsSuccessful() {
+			sem.FailingStates++
+			sem.FailP.Add(sem.FailP, leaf.Pi)
+			continue
+		}
+		sem.SuccessP.Add(sem.SuccessP, leaf.Pi)
+		db := leaf.State.Result()
+		k := db.Key()
+		a, ok := byDB[k]
+		if !ok {
+			a = &agg{db: db.Clone(), p: prob.Zero()}
+			byDB[k] = a
+		}
+		a.p.Add(a.p, leaf.Pi)
+		a.seqs++
+	}
+	keys := make([]string, 0, len(byDB))
+	for k := range byDB {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a := byDB[k]
+		sem.Repairs = append(sem.Repairs, Repair{DB: a.db, P: a.p, Sequences: a.seqs})
+	}
+	return sem, nil
+}
+
+// UniformOverRepairs reweights the semantics so that every distinct repair
+// is equally likely, the "equally likely repairs" measure of certainty
+// discussed in Section 6 (after Greco and Molinaro). The chain structure is
+// kept only to determine which repairs exist.
+func (s *Semantics) UniformOverRepairs() *Semantics {
+	out := &Semantics{
+		SuccessP:        prob.Zero(),
+		FailP:           prob.Zero(),
+		AbsorbingStates: s.AbsorbingStates,
+		FailingStates:   s.FailingStates,
+	}
+	n := int64(len(s.Repairs))
+	if n == 0 {
+		return out
+	}
+	for _, r := range s.Repairs {
+		out.Repairs = append(out.Repairs, Repair{DB: r.DB, P: big.NewRat(1, n), Sequences: r.Sequences})
+	}
+	out.SuccessP = prob.One()
+	return out
+}
+
+// CP computes the conditional probability CP_{D,MΣ,Q}(t̄) of Section 4:
+// the probability mass of repairs answering t̄, normalized by the success
+// mass; it is 0 when no operational repair exists.
+func (s *Semantics) CP(q *fo.Query, tuple []string) *big.Rat {
+	if s.SuccessP.Sign() == 0 {
+		return prob.Zero()
+	}
+	num := prob.Zero()
+	for _, r := range s.Repairs {
+		if q.Holds(r.DB, tuple) {
+			num.Add(num, r.P)
+		}
+	}
+	return num.Quo(num, s.SuccessP)
+}
+
+// Answer is a tuple together with its conditional probability.
+type Answer struct {
+	Tuple []string
+	P     *big.Rat
+}
+
+// AnswerSet is the operational consistent answers OCA_{MΣ}(D,Q) restricted
+// to tuples with positive probability (every tuple not listed has CP 0;
+// Definition 7 formally assigns a probability to all of
+// dom(B(D,Σ))^{|x̄|}, which is exponentially large and almost everywhere
+// zero).
+type AnswerSet struct {
+	Query   *fo.Query
+	Answers []Answer
+}
+
+// OCA evaluates the query over every operational repair and returns the
+// tuples with positive conditional probability, sorted lexicographically.
+func (s *Semantics) OCA(q *fo.Query) *AnswerSet {
+	num := map[string]*Answer{}
+	for _, r := range s.Repairs {
+		for _, tuple := range q.Answers(r.DB) {
+			k := fo.TupleKey(tuple)
+			a, ok := num[k]
+			if !ok {
+				a = &Answer{Tuple: tuple, P: prob.Zero()}
+				num[k] = a
+			}
+			a.P.Add(a.P, r.P)
+		}
+	}
+	out := &AnswerSet{Query: q}
+	for _, a := range num {
+		if s.SuccessP.Sign() != 0 {
+			a.P.Quo(a.P, s.SuccessP)
+		} else {
+			a.P = prob.Zero()
+		}
+		if a.P.Sign() > 0 {
+			out.Answers = append(out.Answers, *a)
+		}
+	}
+	sort.Slice(out.Answers, func(i, j int) bool {
+		return fo.TupleKey(out.Answers[i].Tuple) < fo.TupleKey(out.Answers[j].Tuple)
+	})
+	return out
+}
+
+// Certain returns the tuples with CP = 1: answers that hold in every
+// operational repair. Under the uniform chain and a non-failing setting
+// these coincide with the certain answers over the reachable repairs.
+func (s *Semantics) Certain(q *fo.Query) [][]string {
+	var out [][]string
+	for _, a := range s.OCA(q).Answers {
+		if prob.IsOne(a.P) {
+			out = append(out, a.Tuple)
+		}
+	}
+	return out
+}
+
+// TPC decides the tuple probability checking problem of Section 5:
+// is CP_{D,MΣ,Q}(t̄) > 0?
+func (s *Semantics) TPC(q *fo.Query, tuple []string) bool {
+	return s.CP(q, tuple).Sign() > 0
+}
+
+// Lookup returns the answer for a tuple in the answer set (zero probability
+// when absent).
+func (as *AnswerSet) Lookup(tuple []string) *big.Rat {
+	k := fo.TupleKey(tuple)
+	for _, a := range as.Answers {
+		if fo.TupleKey(a.Tuple) == k {
+			return a.P
+		}
+	}
+	return prob.Zero()
+}
+
+// String renders the answer set one tuple per line with exact and decimal
+// probabilities.
+func (as *AnswerSet) String() string {
+	out := fmt.Sprintf("OCA for %s:\n", as.Query)
+	if len(as.Answers) == 0 {
+		return out + "  (no tuple has positive probability)\n"
+	}
+	for _, a := range as.Answers {
+		out += fmt.Sprintf("  %s : %s\n", fo.TupleString(a.Tuple), prob.Format(a.P))
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func keyEGD() *constraint.Set {
+	x, y, z := v("x"), v("y"), v("z")
+	return constraint.NewSet(constraint.MustEGD(
+		[]logic.Atom{at("R", x, y), at("R", x, z)},
+		y, z,
+	))
+}
+
+// multiComponentInstance: three independent key conflicts plus clean facts.
+func multiComponentInstance(t *testing.T) *repair.Instance {
+	t.Helper()
+	d := relation.FromFacts(
+		f("R", "a", "1"), f("R", "a", "2"),
+		f("R", "b", "1"), f("R", "b", "2"),
+		f("R", "c", "1"), f("R", "c", "2"),
+		f("R", "clean1", "x"), f("R", "clean2", "y"),
+	)
+	return repair.MustInstance(d, keyEGD())
+}
+
+// TestFactoredMatchesMonolithic: the factorized repair distribution equals
+// the monolithic chain's, repair by repair, under the uniform generator.
+func TestFactoredMatchesMonolithic(t *testing.T) {
+	inst := multiComponentInstance(t)
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatalf("ComputeFactored: %v", err)
+	}
+	if len(fac.Components) != 3 {
+		t.Fatalf("components = %d, want 3", len(fac.Components))
+	}
+	if fac.Untouched.Size() != 2 {
+		t.Errorf("untouched = %d facts, want 2", fac.Untouched.Size())
+	}
+	if fac.NumRepairs().Int64() != 27 {
+		t.Errorf("NumRepairs = %s, want 27 (3 per component)", fac.NumRepairs())
+	}
+
+	mono, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 2_000_000})
+	if err != nil {
+		t.Fatalf("monolithic Compute: %v", err)
+	}
+	if len(mono.Repairs) != 27 {
+		t.Fatalf("monolithic repairs = %d, want 27", len(mono.Repairs))
+	}
+
+	// Compare every repair probability through the factored CP of the
+	// boolean query "this repair's facts" — simpler: per-fact marginals and
+	// a full-tuple query.
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	for _, fact := range inst.Initial().Facts() {
+		got := fac.FactProbability(fact)
+		want := mono.CP(q, []string{fact.Args[0], fact.Args[1]})
+		if got.Cmp(want) != 0 {
+			t.Errorf("fact %s: factored %s vs monolithic %s", fact, got.RatString(), want.RatString())
+		}
+	}
+
+	// And exact CP through enumeration of the product distribution.
+	cp, err := fac.CP(q, []string{"a", "1"})
+	if err != nil {
+		t.Fatalf("factored CP: %v", err)
+	}
+	if want := mono.CP(q, []string{"a", "1"}); cp.Cmp(want) != 0 {
+		t.Errorf("CP(a,1): factored %s vs monolithic %s", cp.RatString(), want.RatString())
+	}
+}
+
+// TestFactoredTrustGenerator: factorization is exact for the (local) trust
+// generator with asymmetric levels.
+func TestFactoredTrustGenerator(t *testing.T) {
+	d := relation.FromFacts(
+		f("R", "a", "1"), f("R", "a", "2"),
+		f("R", "b", "1"), f("R", "b", "2"),
+	)
+	inst := repair.MustInstance(d, keyEGD())
+	gen := generators.NewTrust(big.NewRat(1, 2))
+	if err := gen.Set(f("R", "a", "1"), big.NewRat(9, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Set(f("R", "a", "2"), big.NewRat(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	fac, err := core.ComputeFactored(inst, gen, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	for _, fact := range inst.Initial().Facts() {
+		got := fac.FactProbability(fact)
+		want := mono.CP(q, []string{fact.Args[0], fact.Args[1]})
+		if got.Cmp(want) != 0 {
+			t.Errorf("fact %s: factored %s vs monolithic %s", fact, got.RatString(), want.RatString())
+		}
+	}
+}
+
+// TestFactoredRejectsTGDs: factorization is only sound for deletion-only
+// (EGD/DC) settings.
+func TestFactoredRejectsTGDs(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	inst := repair.MustInstance(d, constraint.NewSet(tgd))
+	if _, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{}); err == nil {
+		t.Error("TGD instance must be rejected")
+	}
+}
+
+// TestFactoredSampleRepair: sampled repairs are consistent supersets of the
+// untouched core, and the empirical fact marginal converges to the exact
+// one.
+func TestFactoredSampleRepair(t *testing.T) {
+	inst := multiComponentInstance(t)
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	target := f("R", "a", "1")
+	exact := prob.Float(fac.FactProbability(target))
+	hits, n := 0, 3000
+	for i := 0; i < n; i++ {
+		db := fac.SampleRepair(rng)
+		if !inst.Sigma().Satisfied(db) {
+			t.Fatal("sampled repair is inconsistent")
+		}
+		if !fac.Untouched.SubsetOf(db) {
+			t.Fatal("sampled repair lost untouched facts")
+		}
+		if db.Contains(target) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if diff := got - exact; diff > 0.03 || diff < -0.03 {
+		t.Errorf("empirical marginal %.3f vs exact %.3f", got, exact)
+	}
+}
+
+// TestFactoredEstimateCP: the factored sampler honors the additive bound on
+// a larger instance (30 components — monolithic exact would need 3^30
+// sequences).
+func TestFactoredEstimateCP(t *testing.T) {
+	d := relation.NewDatabase()
+	for i := 0; i < 30; i++ {
+		k := string(rune('a' + i%26))
+		d.Insert(f("R", k+"x", "1"))
+		d.Insert(f("R", k+"x", "2"))
+	}
+	inst := repair.MustInstance(d, keyEGD())
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fac.Components) != 26 && len(fac.Components) != 30 {
+		// 26 letters: some keys repeat; just require >1 component.
+		if len(fac.Components) < 2 {
+			t.Fatalf("components = %d", len(fac.Components))
+		}
+	}
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	target := fac.Components[0].Facts[0]
+	exact := prob.Float(fac.FactProbability(target))
+	got, err := fac.EstimateCP(q, []string{target.Args[0], target.Args[1]}, 0.1, 0.1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - exact; diff > 0.1 || diff < -0.1 {
+		t.Errorf("estimate %.3f vs exact %.3f beyond ε", got, exact)
+	}
+}
+
+// TestFactoredCPBudget: over-budget enumeration errors out cleanly.
+func TestFactoredCPBudget(t *testing.T) {
+	d := relation.NewDatabase()
+	for i := 0; i < 26; i++ {
+		k := string(rune('a' + i))
+		d.Insert(f("R", k, "1"))
+		d.Insert(f("R", k, "2"))
+	}
+	inst := repair.MustInstance(d, keyEGD())
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3^26 > 2^20: enumeration must refuse.
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	if _, err := fac.CP(q, []string{"a", "1"}); err == nil {
+		t.Error("expected the enumeration budget to trigger")
+	}
+	// But fact marginals remain exact and cheap.
+	if p := fac.FactProbability(f("R", "a", "1")); !prob.InUnit(p) || p.Sign() == 0 {
+		t.Errorf("FactProbability = %s", p.RatString())
+	}
+}
+
+// TestFactoredPreferenceNotLocal: the preference generator lacks the
+// LocalWeights marker, and the type system enforces it — documented here by
+// asserting the interface is not satisfied.
+func TestFactoredPreferenceNotLocal(t *testing.T) {
+	var g interface{} = generators.Preference{}
+	if _, ok := g.(core.LocalGenerator); ok {
+		t.Error("Preference must NOT satisfy LocalGenerator: its weights depend on the whole database")
+	}
+	var u interface{} = generators.Uniform{}
+	if _, ok := u.(core.LocalGenerator); !ok {
+		t.Error("Uniform must satisfy LocalGenerator")
+	}
+}

@@ -1,0 +1,262 @@
+package core_test
+
+// Golden tests reproducing the paper's worked examples end to end:
+// the Section 3 running example (product preferences), the Markov chain
+// figure, Example 6 (repairs and their exact probabilities) and Example 7
+// (operational consistent answers vs. the empty ABC certain answers).
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/abc"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// preferenceInstance builds the running example of Section 3:
+// D = {Pref(a,b), Pref(a,c), Pref(a,d), Pref(b,a), Pref(b,d), Pref(c,a)}
+// Σ = {Pref(x,y), Pref(y,x) → ⊥}.
+func preferenceInstance(t *testing.T) *repair.Instance {
+	t.Helper()
+	d := relation.FromFacts(
+		relation.NewFact("Pref", "a", "b"),
+		relation.NewFact("Pref", "a", "c"),
+		relation.NewFact("Pref", "a", "d"),
+		relation.NewFact("Pref", "b", "a"),
+		relation.NewFact("Pref", "b", "d"),
+		relation.NewFact("Pref", "c", "a"),
+	)
+	x, y := logic.Var("x"), logic.Var("y")
+	dc := constraint.MustDC([]logic.Atom{
+		logic.NewAtom("Pref", x, y),
+		logic.NewAtom("Pref", y, x),
+	})
+	sigma := constraint.NewSet(dc)
+	inst, err := repair.NewInstance(d, sigma)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return inst
+}
+
+func prefFact(a, b string) relation.Fact { return relation.NewFact("Pref", a, b) }
+
+// TestPreferenceChainFigure reproduces the edge probabilities of the
+// Markov chain figure in Section 3.
+func TestPreferenceChainFigure(t *testing.T) {
+	inst := preferenceInstance(t)
+	gen := generators.Preference{}
+
+	tree, err := markov.BuildTree(inst, gen, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+
+	// Root edges: -(a,b): 2/9, -(b,a): 3/9, -(a,c): 1/9, -(c,a): 3/9.
+	wantRoot := map[string]*big.Rat{
+		"-" + prefFact("a", "b").Key(): big.NewRat(2, 9),
+		"-" + prefFact("b", "a").Key(): big.NewRat(3, 9),
+		"-" + prefFact("a", "c").Key(): big.NewRat(1, 9),
+		"-" + prefFact("c", "a").Key(): big.NewRat(3, 9),
+	}
+	if len(tree.Children) != len(wantRoot) {
+		t.Fatalf("root has %d positive-probability edges, want %d", len(tree.Children), len(wantRoot))
+	}
+	for _, c := range tree.Children {
+		want, ok := wantRoot[c.Op.Key()]
+		if !ok {
+			t.Fatalf("unexpected root edge %s", c.Op)
+		}
+		if c.P.Cmp(want) != 0 {
+			t.Errorf("edge %s has probability %s, want %s", c.Op, c.P.RatString(), want.RatString())
+		}
+	}
+
+	// Second-level probabilities from the figure, keyed by (first op,
+	// second op): after -(a,b): 1/3 and 2/3; after -(b,a): 1/4 and 3/4;
+	// after -(a,c): 2/4 and 2/4; after -(c,a): 2/5 and 3/5.
+	wantSecond := map[string]map[string]*big.Rat{
+		"-" + prefFact("a", "b").Key(): {
+			"-" + prefFact("a", "c").Key(): big.NewRat(1, 3),
+			"-" + prefFact("c", "a").Key(): big.NewRat(2, 3),
+		},
+		"-" + prefFact("b", "a").Key(): {
+			"-" + prefFact("a", "c").Key(): big.NewRat(1, 4),
+			"-" + prefFact("c", "a").Key(): big.NewRat(3, 4),
+		},
+		"-" + prefFact("a", "c").Key(): {
+			"-" + prefFact("a", "b").Key(): big.NewRat(2, 4),
+			"-" + prefFact("b", "a").Key(): big.NewRat(2, 4),
+		},
+		"-" + prefFact("c", "a").Key(): {
+			"-" + prefFact("a", "b").Key(): big.NewRat(2, 5),
+			"-" + prefFact("b", "a").Key(): big.NewRat(3, 5),
+		},
+	}
+	for _, c := range tree.Children {
+		want := wantSecond[c.Op.Key()]
+		if len(c.Node.Children) != len(want) {
+			t.Fatalf("state %s has %d edges, want %d", c.Node.State, len(c.Node.Children), len(want))
+		}
+		for _, cc := range c.Node.Children {
+			w, ok := want[cc.Op.Key()]
+			if !ok {
+				t.Fatalf("unexpected edge %s after %s", cc.Op, c.Op)
+			}
+			if cc.P.Cmp(w) != 0 {
+				t.Errorf("edge %s after %s: probability %s, want %s", cc.Op, c.Op, cc.P.RatString(), w.RatString())
+			}
+			if !cc.Node.IsLeaf() {
+				t.Errorf("state %s should be absorbing", cc.Node.State)
+			}
+		}
+	}
+
+	if got := tree.CountStates(); got != 13 {
+		t.Errorf("chain has %d states, want 13 (1 root + 4 + 8 leaves)", got)
+	}
+}
+
+// TestExample6Repairs checks the four operational repairs and their exact
+// probabilities (Example 6): 7/54, 38/135, 5/36, 9/20.
+func TestExample6Repairs(t *testing.T) {
+	inst := preferenceInstance(t)
+	sem, err := core.Compute(inst, generators.Preference{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+
+	if !prob.IsOne(sem.SuccessP) {
+		t.Errorf("success probability is %s, want 1 (deletion-only chains are non-failing)", sem.SuccessP.RatString())
+	}
+	if sem.FailingStates != 0 {
+		t.Errorf("found %d failing states, want 0", sem.FailingStates)
+	}
+	if sem.AbsorbingStates != 8 {
+		t.Errorf("found %d absorbing states, want 8", sem.AbsorbingStates)
+	}
+	if len(sem.Repairs) != 4 {
+		t.Fatalf("found %d repairs, want 4", len(sem.Repairs))
+	}
+
+	full := preferenceInstance(t).Initial()
+	repairRemoving := func(fs ...relation.Fact) string {
+		db := full.Clone()
+		db.DeleteAll(fs)
+		return db.Key()
+	}
+	want := map[string]*big.Rat{
+		repairRemoving(prefFact("a", "b"), prefFact("a", "c")): big.NewRat(7, 54),
+		repairRemoving(prefFact("a", "b"), prefFact("c", "a")): big.NewRat(38, 135),
+		repairRemoving(prefFact("b", "a"), prefFact("a", "c")): big.NewRat(5, 36),
+		repairRemoving(prefFact("b", "a"), prefFact("c", "a")): big.NewRat(9, 20),
+	}
+	total := prob.Zero()
+	for _, r := range sem.Repairs {
+		w, ok := want[r.DB.Key()]
+		if !ok {
+			t.Fatalf("unexpected repair %s", r.DB)
+		}
+		if r.P.Cmp(w) != 0 {
+			t.Errorf("repair %s has probability %s, want %s", r.DB, r.P.RatString(), w.RatString())
+		}
+		if r.Sequences != 2 {
+			t.Errorf("repair %s reached by %d sequences, want 2", r.DB, r.Sequences)
+		}
+		total.Add(total, r.P)
+	}
+	if !prob.IsOne(total) {
+		t.Errorf("repair probabilities sum to %s, want 1", total.RatString())
+	}
+}
+
+// mostPreferredQuery is Example 7's Q(x) := forall y (Pref(x,y) | x = y).
+func mostPreferredQuery(t *testing.T) *fo.Query {
+	t.Helper()
+	x, y := logic.Var("x"), logic.Var("y")
+	return fo.MustQuery("Q", []logic.Term{x}, fo.ForAll{
+		Vars: []logic.Term{y},
+		F: fo.Or{
+			L: fo.Atom{A: logic.NewAtom("Pref", x, y)},
+			R: fo.Eq{L: x, R: y},
+		},
+	})
+}
+
+// TestExample7OCA checks OCA = {(a, 0.45)} and that the ABC certain
+// answers are empty on the same input.
+func TestExample7OCA(t *testing.T) {
+	inst := preferenceInstance(t)
+	q := mostPreferredQuery(t)
+
+	sem, err := core.Compute(inst, generators.Preference{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	oca := sem.OCA(q)
+	if len(oca.Answers) != 1 {
+		t.Fatalf("OCA has %d answers, want 1: %v", len(oca.Answers), oca)
+	}
+	got := oca.Answers[0]
+	if len(got.Tuple) != 1 || got.Tuple[0] != "a" {
+		t.Fatalf("OCA answer is %v, want (a)", got.Tuple)
+	}
+	if want := big.NewRat(9, 20); got.P.Cmp(want) != 0 {
+		t.Errorf("CP(a) = %s, want 9/20 = 0.45", got.P.RatString())
+	}
+
+	// Direct CP computation must agree.
+	if cp := sem.CP(q, []string{"a"}); cp.Cmp(big.NewRat(9, 20)) != 0 {
+		t.Errorf("CP(a) = %s, want 9/20", cp.RatString())
+	}
+	if cp := sem.CP(q, []string{"b"}); cp.Sign() != 0 {
+		t.Errorf("CP(b) = %s, want 0", cp.RatString())
+	}
+	if sem.TPC(q, []string{"b"}) {
+		t.Error("TPC(b) = true, want false")
+	}
+	if !sem.TPC(q, []string{"a"}) {
+		t.Error("TPC(a) = false, want true")
+	}
+
+	// The classical baseline cannot return anything here: the ABC certain
+	// answers are empty (the most preferred product is not certain).
+	certain, err := abc.CertainAnswers(inst.Initial(), inst.Sigma(), q)
+	if err != nil {
+		t.Fatalf("CertainAnswers: %v", err)
+	}
+	if len(certain) != 0 {
+		t.Errorf("ABC certain answers = %v, want empty", certain)
+	}
+}
+
+// TestExample6UniformOverRepairs sanity-checks the equally-likely-repairs
+// reweighting of Section 6: each of the 4 repairs gets probability 1/4.
+func TestExample6UniformOverRepairs(t *testing.T) {
+	inst := preferenceInstance(t)
+	sem, err := core.Compute(inst, generators.Preference{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	u := sem.UniformOverRepairs()
+	if len(u.Repairs) != 4 {
+		t.Fatalf("got %d repairs, want 4", len(u.Repairs))
+	}
+	for _, r := range u.Repairs {
+		if want := big.NewRat(1, 4); r.P.Cmp(want) != 0 {
+			t.Errorf("repair %s has probability %s, want 1/4", r.DB, r.P.RatString())
+		}
+	}
+	q := mostPreferredQuery(t)
+	if cp := u.CP(q, []string{"a"}); cp.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Errorf("uniform-repair CP(a) = %s, want 1/4", cp.RatString())
+	}
+}

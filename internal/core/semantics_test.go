@@ -1,0 +1,240 @@
+package core_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+func f(p string, args ...string) relation.Fact { return relation.NewFact(p, args...) }
+
+// failingInstance is the paper's D = {R(a)}, Σ = {R(x) → T(x), T(x) → ⊥}.
+func failingInstance(t *testing.T) *repair.Instance {
+	t.Helper()
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	dc := constraint.MustDC([]logic.Atom{at("T", v("x"))})
+	return repair.MustInstance(d, constraint.NewSet(tgd, dc))
+}
+
+// TestConditionalProbabilityNormalization: under the uniform chain the
+// instance has two absorbing sequences — the failing +T(a) and the
+// successful -R(a) — each with probability 1/2. The empty database is the
+// only repair; a query true on it has CP 1 (normalized by success mass),
+// not 1/2.
+func TestConditionalProbabilityNormalization(t *testing.T) {
+	inst := failingInstance(t)
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sem.AbsorbingStates != 2 || sem.FailingStates != 1 {
+		t.Fatalf("absorbing = %d failing = %d, want 2 and 1", sem.AbsorbingStates, sem.FailingStates)
+	}
+	if sem.SuccessP.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("success mass = %s, want 1/2", sem.SuccessP.RatString())
+	}
+	if sem.FailP.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("failing mass = %s, want 1/2", sem.FailP.RatString())
+	}
+	if len(sem.Repairs) != 1 || sem.Repairs[0].DB.Size() != 0 {
+		t.Fatalf("repairs = %v, want only the empty database", sem.Repairs)
+	}
+
+	// Boolean query "no R fact": true on the empty repair.
+	noR := fo.MustQuery("NoR", nil,
+		fo.Not{F: fo.Exists{Vars: []logic.Term{v("x")}, F: fo.Atom{A: at("R", v("x"))}}})
+	cp := sem.CP(noR, nil)
+	if !prob.IsOne(cp) {
+		t.Errorf("CP(NoR) = %s, want 1 (conditional on success)", cp.RatString())
+	}
+}
+
+// TestNoRepairMeansZero: when every absorbing state fails, CP is 0 by
+// definition.
+func TestNoRepairMeansZero(t *testing.T) {
+	// D = {R(a)}, Σ = {R(x) → T(x), T(x) → ⊥} with insert-only chain:
+	// assign all probability to insertions.
+	inst := failingInstance(t)
+	insertOnly := generators.WeightFunc{
+		Label: "insert-only",
+		Fn: func(_ *repair.State, op ops.Op) *big.Rat {
+			if op.IsInsert() {
+				return prob.One()
+			}
+			return prob.Zero()
+		},
+	}
+	sem, err := core.Compute(inst, insertOnly, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sem.Repairs) != 0 {
+		t.Fatalf("repairs = %v, want none", sem.Repairs)
+	}
+	if sem.SuccessP.Sign() != 0 {
+		t.Errorf("success mass = %s, want 0", sem.SuccessP.RatString())
+	}
+	q := fo.MustQuery("True", nil, fo.Truth{Value: true})
+	if cp := sem.CP(q, nil); cp.Sign() != 0 {
+		t.Errorf("CP = %s, want 0 when no repair exists", cp.RatString())
+	}
+	if oca := sem.OCA(q); len(oca.Answers) != 0 {
+		t.Errorf("OCA = %v, want empty", oca.Answers)
+	}
+}
+
+// TestHittingMassConservation: repairs' probabilities plus failing mass is
+// exactly 1 for every generator on a mixed instance.
+func TestHittingMassConservation(t *testing.T) {
+	inst := failingInstance(t)
+	for _, gen := range []markov.Generator{
+		generators.Uniform{},
+		generators.UniformDeletions{},
+	} {
+		sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: 1000})
+		if err != nil {
+			t.Fatalf("%s: %v", gen.Name(), err)
+		}
+		total := new(big.Rat).Add(sem.SuccessP, sem.FailP)
+		if !prob.IsOne(total) {
+			t.Errorf("%s: success + fail = %s, want 1", gen.Name(), total.RatString())
+		}
+		repairMass := prob.Zero()
+		for _, r := range sem.Repairs {
+			repairMass.Add(repairMass, r.P)
+		}
+		if repairMass.Cmp(sem.SuccessP) != 0 {
+			t.Errorf("%s: repair mass %s ≠ success mass %s", gen.Name(), repairMass.RatString(), sem.SuccessP.RatString())
+		}
+	}
+}
+
+// randomKeyInstance builds a small random key-violation instance from a
+// quick-check seed.
+func randomKeyInstance(seed int64) *repair.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	d := relation.NewDatabase()
+	keys := []string{"k1", "k2"}
+	vals := []string{"u", "w", "z"}
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		d.Insert(f("R", keys[rng.Intn(len(keys))], vals[rng.Intn(len(vals))]))
+	}
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	return repair.MustInstance(d, constraint.NewSet(eta))
+}
+
+// TestQuickRepairInvariants: on random key instances under the uniform
+// chain — (1) every repair is a consistent subset of D, (2) probabilities
+// sum to 1, (3) CP values lie in [0,1], (4) certain ABC facts (those in no
+// conflict) have CP 1.
+func TestQuickRepairInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomKeyInstance(seed)
+		sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 500000})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !prob.IsOne(sem.SuccessP) {
+			t.Logf("seed %d: success mass %s", seed, sem.SuccessP.RatString())
+			return false
+		}
+		vs := constraint.FindViolations(inst.Initial(), inst.Sigma())
+		conflicted := map[string]bool{}
+		for _, fact := range vs.InvolvedFacts() {
+			conflicted[fact.Key()] = true
+		}
+		x, y := v("x"), v("y")
+		q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+		oca := sem.OCA(q)
+		for _, r := range sem.Repairs {
+			if !r.DB.SubsetOf(inst.Initial()) {
+				t.Logf("seed %d: repair adds facts", seed)
+				return false
+			}
+			if !inst.Sigma().Satisfied(r.DB) {
+				t.Logf("seed %d: inconsistent repair", seed)
+				return false
+			}
+		}
+		for _, a := range oca.Answers {
+			if !prob.InUnit(a.P) {
+				t.Logf("seed %d: CP outside [0,1]", seed)
+				return false
+			}
+			fact := f("R", a.Tuple[0], a.Tuple[1])
+			if !conflicted[fact.Key()] && !prob.IsOne(a.P) {
+				t.Logf("seed %d: clean fact %s has CP %s", seed, fact, a.P.RatString())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values:   nil,
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCPHoldsVsOCAAgreement: per-tuple CP must equal the OCA entry.
+func TestCPHoldsVsOCAAgreement(t *testing.T) {
+	inst := randomKeyInstance(77)
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	oca := sem.OCA(q)
+	for _, a := range oca.Answers {
+		if cp := sem.CP(q, a.Tuple); cp.Cmp(a.P) != 0 {
+			t.Errorf("CP(%v) = %s but OCA says %s", a.Tuple, cp.RatString(), a.P.RatString())
+		}
+	}
+	// A tuple outside every repair.
+	if cp := sem.CP(q, []string{"nope", "nope"}); cp.Sign() != 0 {
+		t.Errorf("CP(nope) = %s", cp.RatString())
+	}
+}
+
+// TestCertainSubsetOfAnswers: tuples with CP = 1 are exactly those holding
+// in every repair.
+func TestCertainSubsetOfAnswers(t *testing.T) {
+	inst := randomKeyInstance(123)
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{MaxStates: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
+	certain := sem.Certain(q)
+	for _, tuple := range certain {
+		for _, r := range sem.Repairs {
+			if !q.Holds(r.DB, tuple) {
+				t.Errorf("certain tuple %v missing from repair %s", tuple, r.DB)
+			}
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleCatalog() *Catalog {
+	orders := NewRelation("orders", "oid", "cust", "amount").
+		Add("o1", "c1", "100").
+		Add("o1", "c2", "150"). // key violation on oid
+		Add("o2", "c1", "200").
+		Add("o3", "c3", "50")
+	customers := NewRelation("customers", "cust", "region").
+		Add("c1", "north").
+		Add("c2", "south").
+		Add("c3", "north")
+	cat := NewCatalog().AddTable(orders).AddTable(customers)
+	if err := cat.DeclareKey("orders", "oid"); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func TestScan(t *testing.T) {
+	cat := sampleCatalog()
+	out, err := Scan{Table: "orders"}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Errorf("rows = %d, want 4", out.Len())
+	}
+	if _, err := (Scan{Table: "missing"}).Exec(cat); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	cat := sampleCatalog()
+	out, err := Select{
+		Input: Scan{Table: "orders"},
+		Cond:  ColEqVal{Col: "cust", Op: "=", Val: "c1"},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("rows = %d, want 2", out.Len())
+	}
+	out, err = Select{
+		Input: Scan{Table: "orders"},
+		Cond:  ColEqVal{Col: "amount", Op: ">=", Val: "150"},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("numeric >= filter rows = %d, want 2", out.Len())
+	}
+}
+
+func TestSelectCompound(t *testing.T) {
+	cat := sampleCatalog()
+	out, err := Select{
+		Input: Scan{Table: "orders"},
+		Cond: AndCond{Conds: []Cond{
+			ColEqVal{Col: "cust", Op: "=", Val: "c1"},
+			NotCond{C: ColEqVal{Col: "amount", Op: "<", Val: "150"}},
+		}},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0] != "o2" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+	out, err = Select{
+		Input: Scan{Table: "orders"},
+		Cond: OrCond{Conds: []Cond{
+			ColEqVal{Col: "oid", Op: "=", Val: "o2"},
+			ColEqVal{Col: "oid", Op: "=", Val: "o3"},
+		}},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("or-filter rows = %d, want 2", out.Len())
+	}
+}
+
+func TestSelectUnknownColumn(t *testing.T) {
+	cat := sampleCatalog()
+	_, err := Select{
+		Input: Scan{Table: "orders"},
+		Cond:  ColEqVal{Col: "nope", Op: "=", Val: "1"},
+	}.Exec(cat)
+	if err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	cat := sampleCatalog()
+	out, err := Project{Input: Scan{Table: "orders"}, Cols: []string{"cust"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 1 || out.Cols[0] != "cust" {
+		t.Errorf("cols = %v", out.Cols)
+	}
+	if out.Len() != 4 {
+		t.Errorf("projection keeps bag semantics: rows = %d, want 4", out.Len())
+	}
+	d, err := Distinct{Input: Project{Input: Scan{Table: "orders"}, Cols: []string{"cust"}}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("distinct customers = %d, want 3", d.Len())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cat := sampleCatalog()
+	out, err := Join{L: Scan{Table: "orders"}, R: Scan{Table: "customers"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural join on cust: every order row matches exactly one customer.
+	if out.Len() != 4 {
+		t.Errorf("join rows = %d, want 4", out.Len())
+	}
+	wantCols := []string{"oid", "cust", "amount", "region"}
+	if len(out.Cols) != len(wantCols) {
+		t.Fatalf("join cols = %v", out.Cols)
+	}
+	for i, c := range wantCols {
+		if out.Cols[i] != c {
+			t.Errorf("col[%d] = %s, want %s", i, out.Cols[i], c)
+		}
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	a := NewRelation("a", "x").Add("1").Add("2")
+	b := NewRelation("b", "y").Add("p").Add("q").Add("r")
+	cat := NewCatalog().AddTable(a).AddTable(b)
+	out, err := Join{L: Scan{Table: "a"}, R: Scan{Table: "b"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Errorf("cross product rows = %d, want 6", out.Len())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	cat := sampleCatalog()
+	del := NewRelation("orders_del", "oid", "cust", "amount").Add("o1", "c2", "150")
+	out, err := Diff{L: Scan{Table: "orders"}, R: Literal{Rel: del}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("rows after diff = %d, want 3", out.Len())
+	}
+	// Mismatched headers fail.
+	bad := NewRelation("bad", "only")
+	if _, err := (Diff{L: Scan{Table: "orders"}, R: Literal{Rel: bad}}).Exec(cat); err == nil {
+		t.Error("mismatched diff must fail")
+	}
+}
+
+func TestUnionAndGroupCount(t *testing.T) {
+	cat := sampleCatalog()
+	u, err := Union{L: Scan{Table: "orders"}, R: Scan{Table: "orders"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 8 {
+		t.Errorf("union rows = %d, want 8", u.Len())
+	}
+	g, err := GroupCount{Input: Scan{Table: "orders"}, By: []string{"cust"}, CountAs: "n"}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", g.Len())
+	}
+	for _, row := range g.Rows {
+		if row[0] == "c1" && row[1] != "2" {
+			t.Errorf("count(c1) = %s, want 2", row[1])
+		}
+	}
+}
+
+// TestRewriteIdentity: rewriting with empty R_del relations leaves query
+// results unchanged (invariant 9 of DESIGN.md).
+func TestRewriteIdentity(t *testing.T) {
+	cat := sampleCatalog()
+	plan := Project{
+		Input: Join{L: Scan{Table: "orders"}, R: Scan{Table: "customers"}},
+		Cols:  []string{"oid", "region"},
+	}
+	orig, err := plan.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyDel := &Relation{Name: "orders_del", Cols: []string{"oid", "cust", "amount"}}
+	rewritten := RewriteScans(plan, map[string]*Relation{"orders": emptyDel})
+	out, err := rewritten.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(out) {
+		t.Errorf("rewrite with empty R_del changed the answer:\n%s\n%s", orig, out)
+	}
+}
+
+func TestRewriteRemovesRows(t *testing.T) {
+	cat := sampleCatalog()
+	plan := Select{Input: Scan{Table: "orders"}, Cond: ColEqVal{Col: "oid", Op: "=", Val: "o1"}}
+	del := NewRelation("orders_del", "oid", "cust", "amount").Add("o1", "c2", "150")
+	rewritten := RewriteScans(plan, map[string]*Relation{"orders": del})
+	out, err := rewritten.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][1] != "c1" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestRelationEqualIgnoresOrder(t *testing.T) {
+	a := NewRelation("t", "x").Add("1").Add("2")
+	b := NewRelation("t", "x").Add("2").Add("1")
+	if !a.Equal(b) {
+		t.Error("row order must not matter")
+	}
+	c := NewRelation("t", "x").Add("1").Add("1")
+	if a.Equal(c) {
+		t.Error("bag multiplicity matters")
+	}
+}
+
+func TestCatalogKeys(t *testing.T) {
+	cat := sampleCatalog()
+	if got := cat.Key("orders"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Key(orders) = %v", got)
+	}
+	if got := cat.KeyedTables(); len(got) != 1 || got[0] != "orders" {
+		t.Errorf("KeyedTables = %v", got)
+	}
+	if err := cat.DeclareKey("orders", "nope"); err == nil {
+		t.Error("unknown key column must fail")
+	}
+	if err := cat.DeclareKey("missing", "x"); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestColEqColCondition(t *testing.T) {
+	rel := NewRelation("pairs", "x", "y").
+		Add("1", "1").
+		Add("1", "2").
+		Add("3", "2")
+	cat := NewCatalog().AddTable(rel)
+	out, err := Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "x", Op: "=", Col2: "y"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0] != "1" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+	out, err = Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "x", Op: ">", Col2: "y"}}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0] != "3" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+	if _, err := (Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "zz", Op: "=", Col2: "y"}}).Exec(cat); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := (Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "x", Op: "~", Col2: "y"}}).Exec(cat); err == nil {
+		t.Error("unknown operator must fail")
+	}
+}
+
+func TestPlanAndCondStrings(t *testing.T) {
+	plan := Project{
+		Input: Select{
+			Input: Join{L: Scan{Table: "a"}, R: Scan{Table: "b"}},
+			Cond: AndCond{Conds: []Cond{
+				ColEqVal{Col: "x", Op: "=", Val: "1"},
+				NotCond{C: OrCond{Conds: []Cond{
+					ColEqCol{Col1: "x", Op: "<", Col2: "y"},
+				}}},
+			}},
+		},
+		Cols: []string{"x"},
+	}
+	s := plan.String()
+	for _, want := range []string{"π[x]", "σ[", "a ⋈ b", `x = "1"`, "NOT", "x < y"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+	more := []Plan{
+		Diff{L: Scan{Table: "a"}, R: Scan{Table: "b"}},
+		Union{L: Scan{Table: "a"}, R: Scan{Table: "b"}},
+		Distinct{Input: Scan{Table: "a"}},
+		GroupCount{Input: Scan{Table: "a"}, By: []string{"x"}},
+		Literal{Rel: NewRelation("lit", "x")},
+	}
+	for _, p := range more {
+		if p.String() == "" {
+			t.Errorf("%T renders empty", p)
+		}
+	}
+}
+
+func TestRelationStringAndClone(t *testing.T) {
+	rel := NewRelation("t", "x", "y").Add("1", "2")
+	if !strings.Contains(rel.String(), "t(x, y): 1 rows") {
+		t.Errorf("String = %q", rel.String())
+	}
+	c := rel.Clone()
+	c.Add("3", "4")
+	c.Rows[0][0] = "mutated"
+	if rel.Len() != 1 || rel.Rows[0][0] != "1" {
+		t.Error("clone shares storage with the original")
+	}
+}
+
+func TestAddPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on row width mismatch")
+		}
+	}()
+	NewRelation("t", "x").Add("1", "2")
+}

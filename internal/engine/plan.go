@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan is a relational algebra expression evaluated against a catalog.
+type Plan interface {
+	fmt.Stringer
+	// Exec evaluates the plan.
+	Exec(c *Catalog) (*Relation, error)
+}
+
+// Scan reads a base table.
+type Scan struct{ Table string }
+
+// Literal wraps an in-memory relation as a leaf (used by the rewriter to
+// splice R_del relations into plans).
+type Literal struct{ Rel *Relation }
+
+// Select filters rows by a condition.
+type Select struct {
+	Input Plan
+	Cond  Cond
+}
+
+// Project keeps the named columns (in the given order; duplicates allowed).
+type Project struct {
+	Input Plan
+	Cols  []string
+}
+
+// Join is a natural join: rows agreeing on all shared columns are combined;
+// with no shared columns it degenerates to a cross product.
+type Join struct{ L, R Plan }
+
+// Diff is set difference L − R over identical headers (bag semantics:
+// every row of L whose value appears anywhere in R is dropped, matching
+// SQL's EXCEPT over the deduplicated R, which is what the R − R_del
+// rewriting needs).
+type Diff struct{ L, R Plan }
+
+// Union concatenates two inputs with identical headers (bag semantics).
+type Union struct{ L, R Plan }
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Plan }
+
+// GroupCount groups by the given columns and appends a count column.
+type GroupCount struct {
+	Input   Plan
+	By      []string
+	CountAs string
+}
+
+// Cond is a row predicate for Select.
+type Cond interface {
+	fmt.Stringer
+	eval(cols map[string]int, row []string) (bool, error)
+}
+
+// ColEqVal compares a column to a literal value with the given operator
+// (=, !=, <, <=, >, >=; order comparisons are numeric when both sides
+// parse as numbers, lexicographic otherwise).
+type ColEqVal struct {
+	Col string
+	Op  string
+	Val string
+}
+
+// ColEqCol compares two columns with the given operator.
+type ColEqCol struct {
+	Col1 string
+	Op   string
+	Col2 string
+}
+
+// AndCond conjoins conditions.
+type AndCond struct{ Conds []Cond }
+
+// OrCond disjoins conditions.
+type OrCond struct{ Conds []Cond }
+
+// NotCond negates a condition.
+type NotCond struct{ C Cond }
+
+func compare(a, op, b string) (bool, error) {
+	switch op {
+	case "=":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	}
+	// Order comparisons: numeric when possible.
+	var less, eq bool
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		less, eq = fa < fb, fa == fb
+	} else {
+		less, eq = a < b, a == b
+	}
+	switch op {
+	case "<":
+		return less, nil
+	case "<=":
+		return less || eq, nil
+	case ">":
+		return !less && !eq, nil
+	case ">=":
+		return !less, nil
+	}
+	return false, fmt.Errorf("engine: unknown comparison operator %q", op)
+}
+
+func (c ColEqVal) eval(cols map[string]int, row []string) (bool, error) {
+	i, ok := cols[c.Col]
+	if !ok {
+		return false, fmt.Errorf("engine: unknown column %q in condition", c.Col)
+	}
+	return compare(row[i], c.Op, c.Val)
+}
+
+func (c ColEqCol) eval(cols map[string]int, row []string) (bool, error) {
+	i, ok := cols[c.Col1]
+	if !ok {
+		return false, fmt.Errorf("engine: unknown column %q in condition", c.Col1)
+	}
+	j, ok := cols[c.Col2]
+	if !ok {
+		return false, fmt.Errorf("engine: unknown column %q in condition", c.Col2)
+	}
+	return compare(row[i], c.Op, row[j])
+}
+
+func (c AndCond) eval(cols map[string]int, row []string) (bool, error) {
+	for _, sub := range c.Conds {
+		ok, err := sub.eval(cols, row)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (c OrCond) eval(cols map[string]int, row []string) (bool, error) {
+	for _, sub := range c.Conds {
+		ok, err := sub.eval(cols, row)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (c NotCond) eval(cols map[string]int, row []string) (bool, error) {
+	ok, err := c.C.eval(cols, row)
+	return !ok, err
+}
+
+func (c ColEqVal) String() string { return fmt.Sprintf("%s %s %q", c.Col, c.Op, c.Val) }
+func (c ColEqCol) String() string { return fmt.Sprintf("%s %s %s", c.Col1, c.Op, c.Col2) }
+func (c AndCond) String() string  { return joinConds(c.Conds, " AND ") }
+func (c OrCond) String() string   { return "(" + joinConds(c.Conds, " OR ") + ")" }
+func (c NotCond) String() string  { return "NOT (" + c.C.String() + ")" }
+
+func joinConds(cs []Cond, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func colIndexMap(cols []string) map[string]int {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	return m
+}
+
+func (p Scan) Exec(c *Catalog) (*Relation, error) { return c.Table(p.Table) }
+
+func (p Literal) Exec(*Catalog) (*Relation, error) { return p.Rel, nil }
+
+func (p Select) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	cols := colIndexMap(in.Cols)
+	out := &Relation{Name: "σ", Cols: in.Cols}
+	for _, row := range in.Rows {
+		ok, err := p.Cond.eval(cols, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p Project) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(p.Cols))
+	for i, col := range p.Cols {
+		j, err := in.ColIndex(col)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	out := &Relation{Name: "π", Cols: append([]string(nil), p.Cols...)}
+	for _, row := range in.Rows {
+		proj := make([]string, len(idx))
+		for i, j := range idx {
+			proj[i] = row[j]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+func (p Join) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	// Shared columns join; right-only columns are appended.
+	var sharedL, sharedR []int
+	rCols := colIndexMap(r.Cols)
+	for i, col := range l.Cols {
+		if j, ok := rCols[col]; ok {
+			sharedL = append(sharedL, i)
+			sharedR = append(sharedR, j)
+		}
+	}
+	var rightOnly []int
+	outCols := append([]string(nil), l.Cols...)
+	lCols := colIndexMap(l.Cols)
+	for j, col := range r.Cols {
+		if _, ok := lCols[col]; !ok {
+			rightOnly = append(rightOnly, j)
+			outCols = append(outCols, col)
+		}
+	}
+	out := &Relation{Name: "⋈", Cols: outCols}
+
+	// Hash join on the shared columns.
+	buckets := map[string][][]string{}
+	for _, rrow := range r.Rows {
+		key := joinKey(rrow, sharedR)
+		buckets[key] = append(buckets[key], rrow)
+	}
+	for _, lrow := range l.Rows {
+		key := joinKey(lrow, sharedL)
+		for _, rrow := range buckets[key] {
+			combined := append(append([]string(nil), lrow...), pick(rrow, rightOnly)...)
+			out.Rows = append(out.Rows, combined)
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row []string, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, j := range idx {
+		parts[i] = fmt.Sprintf("%q", row[j])
+	}
+	return strings.Join(parts, ",")
+}
+
+func pick(row []string, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = row[j]
+	}
+	return out
+}
+
+func (p Diff) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("engine: difference over mismatched headers (%d vs %d columns)", len(l.Cols), len(r.Cols))
+	}
+	drop := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		drop[rowKey(row)] = true
+	}
+	out := &Relation{Name: "−", Cols: l.Cols}
+	for _, row := range l.Rows {
+		if !drop[rowKey(row)] {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p Union) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("engine: union over mismatched headers (%d vs %d columns)", len(l.Cols), len(r.Cols))
+	}
+	out := &Relation{Name: "∪", Cols: l.Cols}
+	out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+	return out, nil
+}
+
+func (p Distinct) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Name: "δ", Cols: in.Cols}
+	seen := map[string]bool{}
+	for _, row := range in.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p GroupCount) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(p.By))
+	for i, col := range p.By {
+		j, err := in.ColIndex(col)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	countCol := p.CountAs
+	if countCol == "" {
+		countCol = "count"
+	}
+	counts := map[string]int{}
+	reps := map[string][]string{}
+	for _, row := range in.Rows {
+		k := joinKey(row, idx)
+		counts[k]++
+		if _, ok := reps[k]; !ok {
+			reps[k] = pick(row, idx)
+		}
+	}
+	out := &Relation{Name: "γ", Cols: append(append([]string(nil), p.By...), countCol)}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out.Rows = append(out.Rows, append(append([]string(nil), reps[k]...), strconv.Itoa(counts[k])))
+	}
+	return out, nil
+}
+
+func (p Scan) String() string    { return p.Table }
+func (p Literal) String() string { return fmt.Sprintf("literal(%s)", p.Rel.Name) }
+func (p Select) String() string  { return fmt.Sprintf("σ[%s](%s)", p.Cond, p.Input) }
+func (p Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.Input)
+}
+func (p Join) String() string  { return fmt.Sprintf("(%s ⋈ %s)", p.L, p.R) }
+func (p Diff) String() string  { return fmt.Sprintf("(%s − %s)", p.L, p.R) }
+func (p Union) String() string { return fmt.Sprintf("(%s ∪ %s)", p.L, p.R) }
+func (p Distinct) String() string {
+	return fmt.Sprintf("δ(%s)", p.Input)
+}
+func (p GroupCount) String() string {
+	return fmt.Sprintf("γ[%s;count](%s)", strings.Join(p.By, ","), p.Input)
+}
+
+// RewriteScans returns a copy of the plan in which every Scan of a table
+// with an entry in repl is replaced by (Scan − literal): the R → R − R_del
+// rewriting of Section 5. Tables without an entry are left untouched.
+func RewriteScans(p Plan, repl map[string]*Relation) Plan {
+	switch n := p.(type) {
+	case Scan:
+		if del, ok := repl[n.Table]; ok {
+			return Diff{L: n, R: Literal{Rel: del}}
+		}
+		return n
+	case Literal:
+		return n
+	case Select:
+		return Select{Input: RewriteScans(n.Input, repl), Cond: n.Cond}
+	case Project:
+		return Project{Input: RewriteScans(n.Input, repl), Cols: n.Cols}
+	case Join:
+		return Join{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Diff:
+		return Diff{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Union:
+		return Union{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Distinct:
+		return Distinct{Input: RewriteScans(n.Input, repl)}
+	case GroupCount:
+		return GroupCount{Input: RewriteScans(n.Input, repl), By: n.By, CountAs: n.CountAs}
+	default:
+		panic(fmt.Sprintf("engine: unknown plan node %T", p))
+	}
+}

@@ -1,0 +1,171 @@
+// Package engine is a small in-memory relational algebra engine: named
+// relations with string-valued columns and the operators needed by the
+// paper's Section 5 practical approximation scheme — scan, selection,
+// projection, equi-join, set difference, union, distinct, and grouped
+// counting. It substitutes for the unnamed RDBMS of the paper's initial
+// experiments; the experiment of interest (running a query where every base
+// relation R is replaced by R − R_del) exercises the same code path.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named table: a column header and a list of rows. Rows are
+// bags (duplicates allowed) unless passed through Distinct.
+type Relation struct {
+	Name string
+	Cols []string
+	Rows [][]string
+}
+
+// NewRelation creates an empty relation with the given columns.
+func NewRelation(name string, cols ...string) *Relation {
+	return &Relation{Name: name, Cols: cols}
+}
+
+// Add appends a row; the row length must match the column count.
+func (r *Relation) Add(row ...string) *Relation {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("engine: row width %d does not match %d columns of %s", len(row), len(r.Cols), r.Name))
+	}
+	r.Rows = append(r.Rows, row)
+	return r
+}
+
+// ColIndex returns the index of a column.
+func (r *Relation) ColIndex(col string) (int, error) {
+	for i, c := range r.Cols {
+		if c == col {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: relation %s has no column %q (columns: %s)", r.Name, col, strings.Join(r.Cols, ", "))
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name, Cols: append([]string(nil), r.Cols...)}
+	out.Rows = make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// Len reports the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// rowKey encodes a row for hashing.
+func rowKey(row []string) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = fmt.Sprintf("%q", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Sorted returns the rows sorted lexicographically (for deterministic
+// comparisons in tests).
+func (r *Relation) Sorted() [][]string {
+	out := make([][]string, len(r.Rows))
+	copy(out, r.Rows)
+	sort.Slice(out, func(i, j int) bool { return rowKey(out[i]) < rowKey(out[j]) })
+	return out
+}
+
+// Equal reports whether two relations hold the same bag of rows over the
+// same columns (row order is ignored).
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.Cols) != len(o.Cols) || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Cols {
+		if r.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	counts := map[string]int{}
+	for _, row := range r.Rows {
+		counts[rowKey(row)]++
+	}
+	for _, row := range o.Rows {
+		counts[rowKey(row)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a simple table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s): %d rows\n", r.Name, strings.Join(r.Cols, ", "), len(r.Rows))
+	for _, row := range r.Sorted() {
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(row, ", "))
+	}
+	return b.String()
+}
+
+// Catalog maps table names to relations and records declared keys
+// (column-index lists) used by the practical repair scheme.
+type Catalog struct {
+	tables map[string]*Relation
+	keys   map[string][]int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Relation{}, keys: map[string][]int{}}
+}
+
+// AddTable registers a relation under its name.
+func (c *Catalog) AddTable(r *Relation) *Catalog {
+	c.tables[r.Name] = r
+	return c
+}
+
+// Table looks a relation up.
+func (c *Catalog) Table(name string) (*Relation, error) {
+	r, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return r, nil
+}
+
+// DeclareKey records that the given columns form a key of the table.
+func (c *Catalog) DeclareKey(table string, cols ...string) error {
+	r, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, len(cols))
+	for i, col := range cols {
+		j, err := r.ColIndex(col)
+		if err != nil {
+			return err
+		}
+		idx[i] = j
+	}
+	c.keys[table] = idx
+	return nil
+}
+
+// Key returns the key column indexes of a table (nil when none declared).
+func (c *Catalog) Key(table string) []int { return c.keys[table] }
+
+// KeyedTables returns the names of tables with a declared key, sorted.
+func (c *Catalog) KeyedTables() []string {
+	var out []string
+	for t := range c.keys {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

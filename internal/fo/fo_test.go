@@ -1,0 +1,272 @@
+package fo
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func c(n string) logic.Term                    { return logic.Const(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+func f(p string, args ...string) relation.Fact { return relation.NewFact(p, args...) }
+
+func pathDB() *relation.Database {
+	return relation.FromFacts(
+		f("E", "a", "b"), f("E", "b", "c"), f("E", "c", "d"),
+	)
+}
+
+func TestEvalAtomAndEq(t *testing.T) {
+	d := pathDB()
+	dom := d.Dom()
+	env := logic.Subst{"x": "a", "y": "b"}
+	if !(Atom{A: at("E", v("x"), v("y"))}).Eval(d, dom, env) {
+		t.Error("E(a,b) holds")
+	}
+	if (Atom{A: at("E", v("y"), v("x"))}).Eval(d, dom, env) {
+		t.Error("E(b,a) does not hold")
+	}
+	if !(Eq{L: v("x"), R: c("a")}).Eval(d, dom, env) {
+		t.Error("x = a holds")
+	}
+	if (Eq{L: v("x"), R: v("y")}).Eval(d, dom, env) {
+		t.Error("x = y does not hold")
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	d := pathDB()
+	dom := d.Dom()
+	env := logic.NewSubst()
+	tru := Truth{Value: true}
+	fls := Truth{Value: false}
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Not{F: fls}, true},
+		{Not{F: tru}, false},
+		{And{L: tru, R: tru}, true},
+		{And{L: tru, R: fls}, false},
+		{Or{L: fls, R: tru}, true},
+		{Or{L: fls, R: fls}, false},
+		{Implies{L: fls, R: fls}, true},
+		{Implies{L: tru, R: fls}, false},
+		{Iff{L: fls, R: fls}, true},
+		{Iff{L: tru, R: fls}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Eval(d, dom, env); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestEvalQuantifiers(t *testing.T) {
+	d := pathDB()
+	dom := d.Dom()
+	env := logic.NewSubst()
+
+	// ∃x,y E(x,y) — true.
+	ex := Exists{Vars: []logic.Term{v("x"), v("y")}, F: Atom{A: at("E", v("x"), v("y"))}}
+	if !ex.Eval(d, dom, env) {
+		t.Error("∃ edge must hold")
+	}
+	// ∀x ∃y E(x,y) — false (d has no outgoing edge).
+	all := ForAll{Vars: []logic.Term{v("x")},
+		F: Exists{Vars: []logic.Term{v("y")}, F: Atom{A: at("E", v("x"), v("y"))}}}
+	if all.Eval(d, dom, env) {
+		t.Error("∀x∃y E(x,y) must fail at x=d")
+	}
+	// Environment must be restored after quantification.
+	if len(env) != 0 {
+		t.Errorf("environment leaked bindings: %v", env)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	phi := And{
+		L: Atom{A: at("E", v("x"), v("y"))},
+		R: Exists{Vars: []logic.Term{v("z")},
+			F: And{L: Atom{A: at("E", v("y"), v("z"))}, R: Eq{L: v("w"), R: c("a")}}},
+	}
+	fv := FreeVars(phi)
+	want := []string{"x", "y", "w"}
+	if len(fv) != len(want) {
+		t.Fatalf("FreeVars = %v, want %v", fv, want)
+	}
+	for i := range want {
+		if fv[i] != want[i] {
+			t.Errorf("FreeVars[%d] = %s, want %s", i, fv[i], want[i])
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	phi := Atom{A: at("E", v("x"), v("y"))}
+	if _, err := NewQuery("Q", []logic.Term{v("x")}, phi); err == nil {
+		t.Error("free variable y not among outputs must fail")
+	}
+	if _, err := NewQuery("Q", []logic.Term{v("x"), v("x"), v("y")}, phi); err == nil {
+		t.Error("duplicate output variable must fail")
+	}
+	if _, err := NewQuery("Q", []logic.Term{c("a"), v("x"), v("y")}, phi); err == nil {
+		t.Error("constant output term must fail")
+	}
+	if _, err := NewQuery("Q", []logic.Term{v("x"), v("y"), v("extra")}, phi); err != nil {
+		t.Errorf("extra output variables are allowed: %v", err)
+	}
+}
+
+func TestAnswersCQ(t *testing.T) {
+	d := pathDB()
+	q := MustQuery("Path2", []logic.Term{v("x"), v("z")},
+		Exists{Vars: []logic.Term{v("y")},
+			F: And{
+				L: Atom{A: at("E", v("x"), v("y"))},
+				R: Atom{A: at("E", v("y"), v("z"))},
+			}})
+	got := q.Answers(d)
+	want := [][]string{{"a", "c"}, {"b", "d"}}
+	if len(got) != len(want) {
+		t.Fatalf("Answers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if TupleKey(got[i]) != TupleKey(want[i]) {
+			t.Errorf("Answers[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnswersCQMatchesEnum(t *testing.T) {
+	// The CQ fast path and the generic evaluator must agree.
+	d := pathDB()
+	q := MustQuery("Path2", []logic.Term{v("x"), v("z")},
+		Exists{Vars: []logic.Term{v("y")},
+			F: And{
+				L: Atom{A: at("E", v("x"), v("y"))},
+				R: Atom{A: at("E", v("y"), v("z"))},
+			}})
+	atoms, ok := q.asConjunctiveBody()
+	if !ok {
+		t.Fatal("query must be recognized as a CQ")
+	}
+	cq := q.answersCQ(d, atoms)
+	enum := q.answersEnum(d)
+	if len(cq) != len(enum) {
+		t.Fatalf("CQ path: %v, enum path: %v", cq, enum)
+	}
+	for i := range cq {
+		if TupleKey(cq[i]) != TupleKey(enum[i]) {
+			t.Errorf("paths disagree at %d: %v vs %v", i, cq[i], enum[i])
+		}
+	}
+}
+
+func TestAnswersNonCQ(t *testing.T) {
+	// Sinks: nodes with no outgoing edge. ¬∃y E(x,y), with x ranging over
+	// the active domain.
+	d := pathDB()
+	q := MustQuery("Sink", []logic.Term{v("x")},
+		Not{F: Exists{Vars: []logic.Term{v("y")}, F: Atom{A: at("E", v("x"), v("y"))}}})
+	got := q.Answers(d)
+	if len(got) != 1 || got[0][0] != "d" {
+		t.Errorf("Sinks = %v, want [d]", got)
+	}
+}
+
+func TestHoldsRespectsActiveDomain(t *testing.T) {
+	d := pathDB()
+	// x = x holds for any binding, but tuples outside dom(D) are not
+	// answers by the paper's semantics.
+	q := MustQuery("All", []logic.Term{v("x")}, Eq{L: v("x"), R: v("x")})
+	if !q.Holds(d, []string{"a"}) {
+		t.Error("a ∈ dom(D) must satisfy x = x")
+	}
+	if q.Holds(d, []string{"zz"}) {
+		t.Error("zz ∉ dom(D) must not be an answer")
+	}
+	if q.Holds(d, []string{"a", "b"}) {
+		t.Error("wrong arity must not hold")
+	}
+}
+
+func TestBooleanQuery(t *testing.T) {
+	d := pathDB()
+	q := MustQuery("HasEdge", nil,
+		Exists{Vars: []logic.Term{v("x"), v("y")}, F: Atom{A: at("E", v("x"), v("y"))}})
+	if !q.IsBoolean() {
+		t.Error("no outputs → boolean")
+	}
+	got := q.Answers(d)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("true boolean query must return one empty tuple, got %v", got)
+	}
+	if !q.Holds(d, nil) {
+		t.Error("Holds(nil) must be true")
+	}
+	empty := relation.NewDatabase()
+	if got := q.Answers(empty); len(got) != 0 {
+		t.Errorf("false boolean query must return no tuples, got %v", got)
+	}
+}
+
+func TestUnconstrainedOutputVar(t *testing.T) {
+	// Output variable not in the body ranges over the active domain; CQ
+	// and enum paths must agree.
+	d := relation.FromFacts(f("E", "a", "b"))
+	q := MustQuery("Pair", []logic.Term{v("x"), v("w")},
+		Exists{Vars: []logic.Term{v("y")}, F: Atom{A: at("E", v("x"), v("y"))}})
+	got := q.Answers(d)
+	// x = a; w ∈ {a, b}.
+	if len(got) != 2 {
+		t.Fatalf("Answers = %v", got)
+	}
+	enum := q.answersEnum(d)
+	if len(enum) != 2 {
+		t.Fatalf("enum = %v", enum)
+	}
+}
+
+func TestConjDisjHelpers(t *testing.T) {
+	d := pathDB()
+	dom := d.Dom()
+	env := logic.NewSubst()
+	if !Conj().Eval(d, dom, env) {
+		t.Error("empty conjunction is true")
+	}
+	if Disj().Eval(d, dom, env) {
+		t.Error("empty disjunction is false")
+	}
+	g := Conj(Truth{Value: true}, Truth{Value: true}, Truth{Value: false})
+	if g.Eval(d, dom, env) {
+		t.Error("conjunction with false is false")
+	}
+	h := Disj(Truth{Value: false}, Truth{Value: true})
+	if !h.Eval(d, dom, env) {
+		t.Error("disjunction with true is true")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	phi := ForAll{Vars: []logic.Term{v("y")},
+		F: Or{L: Atom{A: at("Pref", v("x"), v("y"))}, R: Eq{L: v("x"), R: v("y")}}}
+	q := MustQuery("Q", []logic.Term{v("x")}, phi)
+	want := "Q(x) := forall y: (Pref(x, y) | x = y)"
+	if got := q.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := [][]string{{"b"}, {"a", "c"}, {"a"}, {"a", "b"}}
+	SortTuples(ts)
+	want := [][]string{{"a"}, {"a", "b"}, {"a", "c"}, {"b"}}
+	for i := range want {
+		if TupleKey(ts[i]) != TupleKey(want[i]) {
+			t.Fatalf("SortTuples = %v", ts)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package fo implements first-order queries Q(x̄) = {x̄ | ϕ} over relational
+// databases, with active-domain semantics as in the paper: the output of Q
+// on D is {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)}, and quantifiers range over
+// dom(D). Conjunctive queries take a fast path through homomorphism search;
+// arbitrary FO formulas are evaluated recursively.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Formula is a first-order formula over relational atoms and equalities.
+type Formula interface {
+	fmt.Stringer
+	// Eval reports whether the formula holds in d under the environment
+	// env (which must bind all free variables of the formula); quantifiers
+	// range over the active domain dom, passed in so that it is computed
+	// once per evaluation.
+	Eval(d *relation.Database, dom []string, env logic.Subst) bool
+	// collectFree adds the free variables of the formula (minus bound) to
+	// acc in order of first occurrence.
+	collectFree(bound map[string]bool, acc *freeAcc)
+}
+
+type freeAcc struct {
+	seen  map[string]bool
+	order []string
+}
+
+func (a *freeAcc) add(v string) {
+	if !a.seen[v] {
+		a.seen[v] = true
+		a.order = append(a.order, v)
+	}
+}
+
+// FreeVars returns the free variables of a formula in order of first
+// occurrence.
+func FreeVars(f Formula) []string {
+	acc := &freeAcc{seen: map[string]bool{}}
+	f.collectFree(map[string]bool{}, acc)
+	return acc.order
+}
+
+// Atom is an atomic formula R(t1, ..., tn).
+type Atom struct{ A logic.Atom }
+
+// Eq is the equality t1 = t2.
+type Eq struct{ L, R logic.Term }
+
+// Truth is the constant true or false.
+type Truth struct{ Value bool }
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is material implication.
+type Implies struct{ L, R Formula }
+
+// Iff is biconditional.
+type Iff struct{ L, R Formula }
+
+// Exists is existential quantification over one or more variables.
+type Exists struct {
+	Vars []logic.Term
+	F    Formula
+}
+
+// ForAll is universal quantification over one or more variables.
+type ForAll struct {
+	Vars []logic.Term
+	F    Formula
+}
+
+// Conj builds a right-nested conjunction of the given formulas (Truth true
+// for an empty list).
+func Conj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth{Value: true}
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = And{L: fs[i], R: out}
+	}
+	return out
+}
+
+// Disj builds a right-nested disjunction (Truth false for an empty list).
+func Disj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth{Value: false}
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = Or{L: fs[i], R: out}
+	}
+	return out
+}
+
+func (f Atom) Eval(d *relation.Database, _ []string, env logic.Subst) bool {
+	ground := env.ApplyAtom(f.A)
+	if !ground.IsGround() {
+		panic(fmt.Sprintf("fo: unbound variable in atom %s under %s", f.A, env))
+	}
+	return d.ContainsAtom(ground)
+}
+
+func (f Eq) Eval(_ *relation.Database, _ []string, env logic.Subst) bool {
+	l := env.ApplyTerm(f.L)
+	r := env.ApplyTerm(f.R)
+	if l.IsVar() || r.IsVar() {
+		panic(fmt.Sprintf("fo: unbound variable in equality %s = %s under %s", f.L, f.R, env))
+	}
+	return l.Name() == r.Name()
+}
+
+func (f Truth) Eval(*relation.Database, []string, logic.Subst) bool { return f.Value }
+
+func (f Not) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return !f.F.Eval(d, dom, env)
+}
+
+func (f And) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return f.L.Eval(d, dom, env) && f.R.Eval(d, dom, env)
+}
+
+func (f Or) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return f.L.Eval(d, dom, env) || f.R.Eval(d, dom, env)
+}
+
+func (f Implies) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return !f.L.Eval(d, dom, env) || f.R.Eval(d, dom, env)
+}
+
+func (f Iff) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return f.L.Eval(d, dom, env) == f.R.Eval(d, dom, env)
+}
+
+func (f Exists) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return quantify(f.Vars, d, dom, env, f.F, false)
+}
+
+func (f ForAll) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+	return quantify(f.Vars, d, dom, env, f.F, true)
+}
+
+// quantify evaluates ∃/∀ vars. body by iterating assignments over the
+// active domain; universal quantification is early-exited on a falsifying
+// assignment, existential on a satisfying one.
+func quantify(vars []logic.Term, d *relation.Database, dom []string, env logic.Subst, body Formula, universal bool) bool {
+	if len(vars) == 0 {
+		return body.Eval(d, dom, env)
+	}
+	v := vars[0]
+	saved, had := env[v.Name()]
+	for _, c := range dom {
+		env[v.Name()] = c
+		holds := quantify(vars[1:], d, dom, env, body, universal)
+		if universal && !holds {
+			restore(env, v.Name(), saved, had)
+			return false
+		}
+		if !universal && holds {
+			restore(env, v.Name(), saved, had)
+			return true
+		}
+	}
+	restore(env, v.Name(), saved, had)
+	return universal
+}
+
+func restore(env logic.Subst, name, saved string, had bool) {
+	if had {
+		env[name] = saved
+	} else {
+		delete(env, name)
+	}
+}
+
+func (f Atom) collectFree(bound map[string]bool, acc *freeAcc) {
+	for _, t := range f.A.Args {
+		if t.IsVar() && !bound[t.Name()] {
+			acc.add(t.Name())
+		}
+	}
+}
+
+func (f Eq) collectFree(bound map[string]bool, acc *freeAcc) {
+	for _, t := range []logic.Term{f.L, f.R} {
+		if t.IsVar() && !bound[t.Name()] {
+			acc.add(t.Name())
+		}
+	}
+}
+
+func (f Truth) collectFree(map[string]bool, *freeAcc) {}
+
+func (f Not) collectFree(bound map[string]bool, acc *freeAcc) { f.F.collectFree(bound, acc) }
+
+func (f And) collectFree(bound map[string]bool, acc *freeAcc) {
+	f.L.collectFree(bound, acc)
+	f.R.collectFree(bound, acc)
+}
+
+func (f Or) collectFree(bound map[string]bool, acc *freeAcc) {
+	f.L.collectFree(bound, acc)
+	f.R.collectFree(bound, acc)
+}
+
+func (f Implies) collectFree(bound map[string]bool, acc *freeAcc) {
+	f.L.collectFree(bound, acc)
+	f.R.collectFree(bound, acc)
+}
+
+func (f Iff) collectFree(bound map[string]bool, acc *freeAcc) {
+	f.L.collectFree(bound, acc)
+	f.R.collectFree(bound, acc)
+}
+
+func (f Exists) collectFree(bound map[string]bool, acc *freeAcc) {
+	collectQuantified(f.Vars, f.F, bound, acc)
+}
+
+func (f ForAll) collectFree(bound map[string]bool, acc *freeAcc) {
+	collectQuantified(f.Vars, f.F, bound, acc)
+}
+
+func collectQuantified(vars []logic.Term, body Formula, bound map[string]bool, acc *freeAcc) {
+	inner := make(map[string]bool, len(bound)+len(vars))
+	for k := range bound {
+		inner[k] = true
+	}
+	for _, v := range vars {
+		inner[v.Name()] = true
+	}
+	body.collectFree(inner, acc)
+}
+
+func (f Atom) String() string { return f.A.String() }
+func (f Eq) String() string   { return f.L.String() + " = " + f.R.String() }
+func (f Truth) String() string {
+	if f.Value {
+		return "true"
+	}
+	return "false"
+}
+func (f Not) String() string     { return "!" + parens(f.F) }
+func (f And) String() string     { return parens(f.L) + " & " + parens(f.R) }
+func (f Or) String() string      { return parens(f.L) + " | " + parens(f.R) }
+func (f Implies) String() string { return parens(f.L) + " -> " + parens(f.R) }
+func (f Iff) String() string     { return parens(f.L) + " <-> " + parens(f.R) }
+
+func (f Exists) String() string { return quantString("exists", f.Vars, f.F) }
+func (f ForAll) String() string { return quantString("forall", f.Vars, f.F) }
+
+func quantString(q string, vars []logic.Term, body Formula) string {
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = v.Name()
+	}
+	return q + " " + strings.Join(names, ", ") + ": " + parens(body)
+}
+
+// parens wraps compound subformulas in parentheses for unambiguous output.
+func parens(f Formula) string {
+	switch f.(type) {
+	case Atom, Eq, Truth, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// SortTuples orders tuples lexicographically; used for deterministic
+// output.
+func SortTuples(ts [][]string) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

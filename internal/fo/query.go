@@ -1,0 +1,229 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Query is a first-order query Q(x̄) = {x̄ | ϕ}: a named formula with an
+// explicit tuple of output variables. The declared output variables must
+// cover the free variables of the formula; extra output variables simply
+// range over the active domain.
+type Query struct {
+	Name string
+	Out  []logic.Term
+	F    Formula
+}
+
+// NewQuery builds and validates a query.
+func NewQuery(name string, out []logic.Term, f Formula) (*Query, error) {
+	q := &Query{Name: name, Out: out, F: f}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustQuery is NewQuery that panics on error.
+func MustQuery(name string, out []logic.Term, f Formula) *Query {
+	q, err := NewQuery(name, out, f)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks that output variables are distinct variables covering the
+// free variables of the formula.
+func (q *Query) Validate() error {
+	seen := map[string]bool{}
+	for _, v := range q.Out {
+		if !v.IsVar() {
+			return fmt.Errorf("query %s: output term %s is not a variable", q.Name, v)
+		}
+		if seen[v.Name()] {
+			return fmt.Errorf("query %s: duplicate output variable %s", q.Name, v.Name())
+		}
+		seen[v.Name()] = true
+	}
+	for _, fv := range FreeVars(q.F) {
+		if !seen[fv] {
+			return fmt.Errorf("query %s: free variable %s is not among the output variables", q.Name, fv)
+		}
+	}
+	return nil
+}
+
+// Arity reports the number of output variables.
+func (q *Query) Arity() int { return len(q.Out) }
+
+// IsBoolean reports whether the query has no output variables.
+func (q *Query) IsBoolean() bool { return len(q.Out) == 0 }
+
+// String renders the query in the text format, e.g.
+// Q(X) := forall Y: (Pref(X, Y) | X = Y).
+func (q *Query) String() string {
+	names := make([]string, len(q.Out))
+	for i, v := range q.Out {
+		names[i] = v.Name()
+	}
+	return fmt.Sprintf("%s(%s) := %s", q.Name, strings.Join(names, ", "), q.F)
+}
+
+// Holds reports whether D ⊨ ϕ(t̄) for the given tuple of constants. Note
+// that per the paper's semantics a tuple outside dom(D)^{|x̄|} is never an
+// answer on D; Holds checks exactly that before evaluating.
+func (q *Query) Holds(d *relation.Database, tuple []string) bool {
+	if len(tuple) != len(q.Out) {
+		return false
+	}
+	dom := d.Dom()
+	inDom := make(map[string]bool, len(dom))
+	for _, c := range dom {
+		inDom[c] = true
+	}
+	env := logic.NewSubst()
+	for i, v := range q.Out {
+		if !inDom[tuple[i]] {
+			return false
+		}
+		env[v.Name()] = tuple[i]
+	}
+	return q.F.Eval(d, dom, env)
+}
+
+// Answers computes Q(D) = {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)} as a sorted list
+// of tuples. Conjunctions of positive atoms take the homomorphism-search
+// fast path; general formulas enumerate dom(D)^{|x̄|}.
+func (q *Query) Answers(d *relation.Database) [][]string {
+	if atoms, ok := q.asConjunctiveBody(); ok {
+		return q.answersCQ(d, atoms)
+	}
+	return q.answersEnum(d)
+}
+
+// answersEnum is the generic active-domain evaluation.
+func (q *Query) answersEnum(d *relation.Database) [][]string {
+	dom := d.Dom()
+	var out [][]string
+	env := logic.NewSubst()
+	tuple := make([]string, len(q.Out))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Out) {
+			if q.F.Eval(d, dom, env) {
+				out = append(out, append([]string(nil), tuple...))
+			}
+			return
+		}
+		for _, c := range dom {
+			env[q.Out[i].Name()] = c
+			tuple[i] = c
+			rec(i + 1)
+		}
+		delete(env, q.Out[i].Name())
+	}
+	rec(0)
+	SortTuples(out)
+	return out
+}
+
+// asConjunctiveBody reports whether the formula is a pure conjunction of
+// positive relational atoms (possibly under existential quantifiers) whose
+// free variables are exactly the output variables — i.e. a conjunctive
+// query — and returns its atoms.
+func (q *Query) asConjunctiveBody() ([]logic.Atom, bool) {
+	f := q.F
+	// Strip one layer of existential quantifiers.
+	if ex, ok := f.(Exists); ok {
+		f = ex.F
+	}
+	var atoms []logic.Atom
+	var collect func(Formula) bool
+	collect = func(g Formula) bool {
+		switch t := g.(type) {
+		case Atom:
+			atoms = append(atoms, t.A)
+			return true
+		case And:
+			return collect(t.L) && collect(t.R)
+		case Exists:
+			return false // nested quantifiers: fall back to enumeration
+		default:
+			return false
+		}
+	}
+	if !collect(f) {
+		return nil, false
+	}
+	return atoms, true
+}
+
+// answersCQ evaluates a conjunctive query via homomorphism search and
+// projects onto the output variables. Output variables that do not occur
+// in the body range over the full active domain, preserving the
+// active-domain semantics of answersEnum.
+func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
+	bodyVars := map[string]bool{}
+	for _, v := range logic.VarsOf(atoms) {
+		bodyVars[v.Name()] = true
+	}
+	var unconstrained []int
+	for i, v := range q.Out {
+		if !bodyVars[v.Name()] {
+			unconstrained = append(unconstrained, i)
+		}
+	}
+	dom := d.Dom()
+
+	seen := map[string]bool{}
+	var out [][]string
+	emit := func(tuple []string) {
+		k := strings.Join(tuple, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, append([]string(nil), tuple...))
+		}
+	}
+	relation.ForEachHom(atoms, d, logic.NewSubst(), func(h logic.Subst) bool {
+		tuple := make([]string, len(q.Out))
+		for i, v := range q.Out {
+			if c, ok := h.Lookup(v.Name()); ok {
+				tuple[i] = c
+			}
+		}
+		// Expand unconstrained output variables over the domain.
+		var expand func(j int)
+		expand = func(j int) {
+			if j == len(unconstrained) {
+				emit(tuple)
+				return
+			}
+			for _, c := range dom {
+				tuple[unconstrained[j]] = c
+				expand(j + 1)
+			}
+		}
+		expand(0)
+		return true
+	})
+	SortTuples(out)
+	return out
+}
+
+// TupleKey encodes an answer tuple canonically for map keys.
+func TupleKey(tuple []string) string {
+	parts := make([]string, len(tuple))
+	for i, c := range tuple {
+		parts[i] = fmt.Sprintf("%q", c)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// TupleString renders a tuple for display, e.g. (a, b).
+func TupleString(tuple []string) string {
+	return "(" + strings.Join(tuple, ", ") + ")"
+}

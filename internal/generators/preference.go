@@ -1,0 +1,90 @@
+package generators
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// Preference is the support-based generator of Example 4, defined for a
+// schema with a binary preference relation (by default Pref) under the
+// denial constraint Pref(x,y), Pref(y,x) → ⊥ stating that preference is
+// not symmetric.
+//
+// The weight w(α, D) of an atom α = Pref(a,b) is the number of facts
+// Pref(a, ·) in D (how often a is preferred); the importance I_Σ(α, D) is
+// the weight of α relative to all atoms involved in a violation; and the
+// probability of removing α is the importance of its symmetric atom
+// ᾱ = Pref(b,a). Intuitively, the more support a product has, the more
+// likely the facts preferring something over it are to be removed.
+//
+// The generator assigns probability zero to every non-singleton deletion
+// (and to insertions, which never arise for a DC); the singleton deletion
+// probabilities sum to 1 because the involved-atom set is closed under the
+// symmetry α ↔ ᾱ.
+type Preference struct {
+	// Pred is the preference predicate; empty means "Pref".
+	Pred string
+}
+
+// Name implements markov.Generator.
+func (p Preference) Name() string { return "preference" }
+
+func (p Preference) pred() string {
+	if p.Pred == "" {
+		return "Pref"
+	}
+	return p.Pred
+}
+
+// weight returns w(α, D): the number of facts Pref(a, ·) where a is the
+// first argument of α.
+func (p Preference) weight(db *relation.Database, first string) int64 {
+	var n int64
+	for _, f := range db.FactsByPred(p.pred()) {
+		if len(f.Args) == 2 && f.Args[0] == first {
+			n++
+		}
+	}
+	return n
+}
+
+// Transitions implements markov.Generator.
+func (p Preference) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
+	db := s.Result()
+	involved := s.Violations().InvolvedFacts()
+
+	// Σ_{β ∈ V_Σ(D)} w(β, D), the normalizing constant of the importance.
+	totalWeight := new(big.Rat)
+	for _, f := range involved {
+		if f.Pred != p.pred() || len(f.Args) != 2 {
+			return nil, fmt.Errorf("generators: preference generator saw violation atom %s outside %s/2", f, p.pred())
+		}
+		totalWeight.Add(totalWeight, new(big.Rat).SetInt64(p.weight(db, f.Args[0])))
+	}
+	if totalWeight.Sign() == 0 {
+		return nil, fmt.Errorf("generators: preference generator has zero total weight at state %q", s)
+	}
+
+	out := make([]*big.Rat, len(exts))
+	for i, op := range exts {
+		if !op.IsDelete() || op.Size() != 1 {
+			out[i] = prob.Zero()
+			continue
+		}
+		alpha := op.Facts()[0]
+		// The probability of removing α = Pref(a,b) is the importance of
+		// the symmetric atom ᾱ = Pref(b,a).
+		sym := relation.NewFact(p.pred(), alpha.Args[1], alpha.Args[0])
+		w := new(big.Rat).SetInt64(p.weight(db, sym.Args[0]))
+		out[i] = w.Quo(w, totalWeight)
+	}
+	return out, nil
+}
+
+var _ markov.Generator = Preference{}

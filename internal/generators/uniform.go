@@ -1,0 +1,113 @@
+// Package generators provides repairing Markov chain generators M_Σ: the
+// uniform generator M^u_Σ of Proposition 4, the support-based preference
+// generator of Example 4, the trust-based data-integration generator of
+// Example 5, deletion-only generators (Proposition 8), and a generic
+// weight-function generator for user-defined policies.
+package generators
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// Uniform is the uniform Markov chain generator M^u_Σ: if a repairing
+// sequence s has exactly the extensions s·op_1, ..., s·op_k, each gets
+// probability 1/k. Proposition 4: every ABC repair is an operational repair
+// with respect to this generator.
+type Uniform struct{}
+
+// Name implements markov.Generator.
+func (Uniform) Name() string { return "uniform" }
+
+// LocalWeights asserts that uniform choice within a conflict component is
+// independent of the rest of the database, enabling the factorized exact
+// semantics of core.ComputeFactored.
+func (Uniform) LocalWeights() bool { return true }
+
+// Transitions implements markov.Generator.
+func (Uniform) Transitions(_ *repair.State, exts []ops.Op) ([]*big.Rat, error) {
+	k := int64(len(exts))
+	out := make([]*big.Rat, len(exts))
+	for i := range out {
+		out[i] = big.NewRat(1, k)
+	}
+	return out, nil
+}
+
+// UniformDeletions is the uniform generator restricted to deletion
+// operations: additions get probability zero and the deletions share the
+// mass equally. By Proposition 8 the resulting generator is non-failing for
+// every set of TGDs, EGDs, and DCs.
+type UniformDeletions struct{}
+
+// Name implements markov.Generator.
+func (UniformDeletions) Name() string { return "uniform-deletions" }
+
+// LocalWeights asserts locality (see Uniform.LocalWeights).
+func (UniformDeletions) LocalWeights() bool { return true }
+
+// Transitions implements markov.Generator.
+func (UniformDeletions) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
+	var dels int64
+	for _, op := range exts {
+		if op.IsDelete() {
+			dels++
+		}
+	}
+	if dels == 0 {
+		return nil, fmt.Errorf("generators: no deletion extension at state %q; deletion-only chain undefined", s)
+	}
+	out := make([]*big.Rat, len(exts))
+	for i, op := range exts {
+		if op.IsDelete() {
+			out[i] = big.NewRat(1, dels)
+		} else {
+			out[i] = prob.Zero()
+		}
+	}
+	return out, nil
+}
+
+// WeightFunc adapts a user-supplied weight function into a generator: each
+// valid extension receives weight fn(s, op) ≥ 0 and the weights are
+// normalized to probabilities. It returns an error at states where every
+// weight is zero.
+type WeightFunc struct {
+	// Label names the generator.
+	Label string
+	// Fn assigns a non-negative weight to an extension.
+	Fn func(s *repair.State, op ops.Op) *big.Rat
+}
+
+// Name implements markov.Generator.
+func (w WeightFunc) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "weight-func"
+}
+
+// Transitions implements markov.Generator.
+func (w WeightFunc) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
+	weights := make([]*big.Rat, len(exts))
+	for i, op := range exts {
+		weights[i] = w.Fn(s, op)
+	}
+	ps, err := prob.Normalize(weights)
+	if err != nil {
+		return nil, fmt.Errorf("generators: %s at state %q: %w", w.Name(), s, err)
+	}
+	return ps, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ markov.Generator = Uniform{}
+	_ markov.Generator = UniformDeletions{}
+	_ markov.Generator = WeightFunc{}
+)

@@ -1,0 +1,170 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to constant
+// names. Substitutions represent the homomorphisms h of the paper, which are
+// the identity on constants; applying a substitution leaves constants and
+// unmapped variables untouched.
+type Subst map[string]string
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return Subst{} }
+
+// Clone returns a copy of the substitution that can be extended
+// independently.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind returns whether the variable can be bound (or is already bound) to
+// the constant; if the variable is free it is bound in place.
+func (s Subst) Bind(variable, constant string) bool {
+	if existing, ok := s[variable]; ok {
+		return existing == constant
+	}
+	s[variable] = constant
+	return true
+}
+
+// Lookup reports the binding of a variable name, if any.
+func (s Subst) Lookup(variable string) (string, bool) {
+	v, ok := s[variable]
+	return v, ok
+}
+
+// ApplyTerm maps a term through the substitution: constants are fixed,
+// bound variables become constants, free variables are returned unchanged.
+func (s Subst) ApplyTerm(t Term) Term {
+	if !t.IsVar() {
+		return t
+	}
+	if c, ok := s[t.name]; ok {
+		return Const(c)
+	}
+	return t
+}
+
+// ApplyAtom maps an atom through the substitution.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.ApplyTerm(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms maps every atom of the list through the substitution. This is
+// h(A) = {R(h(t̄)) | R(t̄) ∈ A} in the paper's notation.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// Grounds reports whether the substitution binds every variable of the
+// given atoms.
+func (s Subst) Grounds(atoms []Atom) bool {
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := s[t.name]; !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Restrict returns a new substitution containing only the bindings for the
+// given variables.
+func (s Subst) Restrict(vars []Term) Subst {
+	out := make(Subst, len(vars))
+	for _, v := range vars {
+		if !v.IsVar() {
+			continue
+		}
+		if c, ok := s[v.name]; ok {
+			out[v.name] = c
+		}
+	}
+	return out
+}
+
+// Extends reports whether s extends base: every binding of base appears
+// unchanged in s.
+func (s Subst) Extends(base Subst) bool {
+	for k, v := range base {
+		if sv, ok := s[k]; !ok || sv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the substitution, suitable as
+// a map key; bindings are sorted by variable name. Violations (κ, h) are
+// identified by the constraint id together with this key.
+func (s Subst) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q=%q", k, s[k])
+	}
+	return b.String()
+}
+
+// String renders the substitution as {x -> a, y -> b} with sorted variables.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString(" -> ")
+		b.WriteString(s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether two substitutions contain exactly the same bindings.
+func (s Subst) Equal(o Subst) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}

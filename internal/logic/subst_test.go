@@ -1,0 +1,151 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubstBind(t *testing.T) {
+	s := NewSubst()
+	if !s.Bind("x", "a") {
+		t.Fatal("fresh bind must succeed")
+	}
+	if !s.Bind("x", "a") {
+		t.Error("re-bind to the same constant must succeed")
+	}
+	if s.Bind("x", "b") {
+		t.Error("re-bind to a different constant must fail")
+	}
+	if c, ok := s.Lookup("x"); !ok || c != "a" {
+		t.Errorf("Lookup(x) = %q, %v", c, ok)
+	}
+	if _, ok := s.Lookup("y"); ok {
+		t.Error("unbound variable must not be found")
+	}
+}
+
+func TestSubstApply(t *testing.T) {
+	s := Subst{"x": "a"}
+	if got := s.ApplyTerm(Var("x")); got != Const("a") {
+		t.Errorf("ApplyTerm(x) = %v", got)
+	}
+	if got := s.ApplyTerm(Var("y")); got != Var("y") {
+		t.Errorf("unbound variable must pass through, got %v", got)
+	}
+	if got := s.ApplyTerm(Const("x")); got != Const("x") {
+		t.Errorf("constants are fixed, got %v", got)
+	}
+	a := s.ApplyAtom(NewAtom("R", Var("x"), Var("y"), Const("c")))
+	want := NewAtom("R", Const("a"), Var("y"), Const("c"))
+	if !a.Equal(want) {
+		t.Errorf("ApplyAtom = %v, want %v", a, want)
+	}
+}
+
+func TestSubstCloneIndependence(t *testing.T) {
+	s := Subst{"x": "a"}
+	c := s.Clone()
+	c["y"] = "b"
+	if _, ok := s.Lookup("y"); ok {
+		t.Error("mutating the clone must not affect the original")
+	}
+}
+
+func TestSubstGrounds(t *testing.T) {
+	atoms := []Atom{NewAtom("R", Var("x"), Var("y"))}
+	s := Subst{"x": "a"}
+	if s.Grounds(atoms) {
+		t.Error("partially bound substitution must not ground the atoms")
+	}
+	s["y"] = "b"
+	if !s.Grounds(atoms) {
+		t.Error("fully bound substitution must ground the atoms")
+	}
+}
+
+func TestSubstRestrictAndExtends(t *testing.T) {
+	s := Subst{"x": "a", "y": "b", "z": "c"}
+	r := s.Restrict([]Term{Var("x"), Var("z"), Var("missing")})
+	if len(r) != 2 || r["x"] != "a" || r["z"] != "c" {
+		t.Errorf("Restrict = %v", r)
+	}
+	if !s.Extends(r) {
+		t.Error("s must extend its own restriction")
+	}
+	if r.Extends(s) {
+		t.Error("a restriction must not extend the full substitution")
+	}
+}
+
+func TestSubstKeyCanonical(t *testing.T) {
+	a := Subst{"x": "1", "y": "2"}
+	b := Subst{"y": "2", "x": "1"}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for equal substitutions: %q vs %q", a.Key(), b.Key())
+	}
+	c := Subst{"x": "1", "y": "3"}
+	if a.Key() == c.Key() {
+		t.Error("different substitutions must have different keys")
+	}
+	if NewSubst().Key() != "" {
+		t.Error("empty substitution key must be empty")
+	}
+}
+
+func TestSubstString(t *testing.T) {
+	s := Subst{"y": "b", "x": "a"}
+	if got := s.String(); got != "{x -> a, y -> b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSubstEqual(t *testing.T) {
+	a := Subst{"x": "1"}
+	if !a.Equal(Subst{"x": "1"}) {
+		t.Error("equal substitutions")
+	}
+	if a.Equal(Subst{"x": "2"}) || a.Equal(Subst{"x": "1", "y": "2"}) {
+		t.Error("unequal substitutions reported equal")
+	}
+}
+
+// Property: Key is injective over small random substitutions.
+func TestSubstKeyInjective(t *testing.T) {
+	f := func(k1, v1, k2, v2 string) bool {
+		a := Subst{k1: v1}
+		b := Subst{k2: v2}
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ApplyAtoms preserves length and predicate names.
+func TestApplyAtomsShape(t *testing.T) {
+	f := func(pred string, vars []string) bool {
+		if pred == "" {
+			pred = "R"
+		}
+		var args []Term
+		s := NewSubst()
+		for i, v := range vars {
+			if v == "" {
+				continue
+			}
+			args = append(args, Var(v))
+			if i%2 == 0 {
+				s[v] = "c"
+			}
+		}
+		atoms := []Atom{{Pred: pred, Args: args}}
+		out := s.ApplyAtoms(atoms)
+		return len(out) == 1 && out[0].Pred == pred && len(out[0].Args) == len(args)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

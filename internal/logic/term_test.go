@@ -1,0 +1,128 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermBasics(t *testing.T) {
+	c := Const("a")
+	v := Var("x")
+	if c.IsVar() || !c.IsConst() {
+		t.Error("Const must not be a variable")
+	}
+	if !v.IsVar() || v.IsConst() {
+		t.Error("Var must be a variable")
+	}
+	if c.Name() != "a" || v.Name() != "x" {
+		t.Error("names not preserved")
+	}
+	if Const("x") == Var("x") {
+		t.Error("constant and variable with the same name must differ")
+	}
+	if !Term.Zero(Term{}) {
+		t.Error("zero term must report Zero")
+	}
+	if Const("a").Zero() {
+		t.Error("non-empty constant is not zero")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{Const("a"), "a"},
+		{Const("abc_1"), "abc_1"},
+		{Var("X"), "X"},
+		{Const("X"), `"X"`}, // leading uppercase constant needs quoting
+		{Const("has space"), `"has space"`},
+		{Const(""), `""`},
+		{Const("42"), "42"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("R", Const("a"), Var("x"), Const("b"))
+	if a.Arity() != 3 {
+		t.Errorf("arity = %d, want 3", a.Arity())
+	}
+	if a.IsGround() {
+		t.Error("atom with variable must not be ground")
+	}
+	g := NewAtom("R", Const("a"), Const("b"))
+	if !g.IsGround() {
+		t.Error("constant-only atom must be ground")
+	}
+	if got := a.String(); got != "R(a, x, b)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAtomVarsOrder(t *testing.T) {
+	a := NewAtom("R", Var("y"), Var("x"), Var("y"))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0].Name() != "y" || vars[1].Name() != "x" {
+		t.Errorf("Vars() = %v, want [y x] in first-occurrence order", vars)
+	}
+}
+
+func TestVarsOfAndConstsOf(t *testing.T) {
+	atoms := []Atom{
+		NewAtom("R", Var("x"), Const("b")),
+		NewAtom("S", Const("a"), Var("x"), Var("z")),
+	}
+	vars := VarsOf(atoms)
+	if len(vars) != 2 || vars[0].Name() != "x" || vars[1].Name() != "z" {
+		t.Errorf("VarsOf = %v", vars)
+	}
+	consts := ConstsOf(atoms)
+	if len(consts) != 2 || consts[0].Name() != "a" || consts[1].Name() != "b" {
+		t.Errorf("ConstsOf = %v (want sorted [a b])", consts)
+	}
+}
+
+func TestAtomEqual(t *testing.T) {
+	a := NewAtom("R", Const("a"), Var("x"))
+	if !a.Equal(NewAtom("R", Const("a"), Var("x"))) {
+		t.Error("identical atoms must be equal")
+	}
+	if a.Equal(NewAtom("R", Var("x"), Const("a"))) {
+		t.Error("argument order matters")
+	}
+	if a.Equal(NewAtom("S", Const("a"), Var("x"))) {
+		t.Error("predicate matters")
+	}
+	if a.Equal(NewAtom("R", Const("a"))) {
+		t.Error("arity matters")
+	}
+}
+
+func TestAtomsString(t *testing.T) {
+	atoms := []Atom{
+		NewAtom("R", Var("x"), Var("y")),
+		NewAtom("S", Var("y")),
+	}
+	if got := AtomsString(atoms); got != "R(x, y), S(y)" {
+		t.Errorf("AtomsString = %q", got)
+	}
+}
+
+// Property: quoting in Term.String keeps distinct constants distinct.
+func TestQuotingInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return Const(a).String() != Const(b).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

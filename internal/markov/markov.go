@@ -1,0 +1,156 @@
+// Package markov implements repairing Markov chains (Definition 5 of the
+// paper): tree-shaped Markov chains whose states are repairing sequences,
+// whose absorbing states are exactly the complete sequences, and whose
+// transition probabilities are supplied by a Generator (the paper's
+// repairing Markov chain generator M_Σ). It computes hitting distributions
+// exactly over big.Rat (Proposition 3 guarantees existence) and exposes the
+// chain tree for inspection and rendering.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// Generator assigns transition probabilities to the valid extensions of a
+// repairing sequence; it is the computational core of a repairing Markov
+// chain generator M_Σ. Implementations live in internal/generators.
+//
+// Transitions receives the current state s and its valid extensions (as
+// enumerated by the repair package, never empty) and returns one
+// probability per extension, aligned by index. The probabilities must be
+// non-negative and sum to exactly 1; extensions assigned probability zero
+// are simply absent from the chain's support. Assigning zero to every
+// extension of a non-complete state would make the state absorbing without
+// being complete, violating Definition 5, and is reported as an error by
+// the chain machinery.
+type Generator interface {
+	// Name identifies the generator in reports and CLI flags.
+	Name() string
+	// Transitions returns the transition probabilities for the extensions
+	// of s.
+	Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error)
+}
+
+// ErrNotWellDefined is returned when a generator's probabilities do not
+// form a valid repairing Markov chain at some state.
+var ErrNotWellDefined = errors.New("markov: generator does not define a repairing Markov chain")
+
+// Step validates and returns the outgoing edges of a state under a
+// generator: the valid extensions with positive probability. A complete
+// state has no outgoing edges (it is absorbing).
+func Step(g Generator, s *repair.State) ([]Edge, error) {
+	exts := s.Extensions()
+	if len(exts) == 0 {
+		return nil, nil
+	}
+	ps, err := g.Transitions(s, exts)
+	if err != nil {
+		return nil, fmt.Errorf("generator %s at state %q: %w", g.Name(), s, err)
+	}
+	if len(ps) != len(exts) {
+		return nil, fmt.Errorf("%w: generator %s returned %d probabilities for %d extensions",
+			ErrNotWellDefined, g.Name(), len(ps), len(exts))
+	}
+	var edges []Edge
+	total := new(big.Rat)
+	for i, p := range ps {
+		if p.Sign() < 0 {
+			return nil, fmt.Errorf("%w: negative probability %s for %s", ErrNotWellDefined, p, exts[i])
+		}
+		total.Add(total, p)
+		if p.Sign() > 0 {
+			edges = append(edges, Edge{Op: exts[i], P: p})
+		}
+	}
+	if !prob.IsOne(total) {
+		return nil, fmt.Errorf("%w: probabilities at state %q sum to %s, want 1",
+			ErrNotWellDefined, s, total.RatString())
+	}
+	return edges, nil
+}
+
+// Edge is a positive-probability transition of the chain.
+type Edge struct {
+	Op ops.Op
+	P  *big.Rat
+}
+
+// Leaf is a reachable absorbing state of the chain together with its
+// hitting probability π(s) (the product of edge probabilities along the
+// unique path from ε, since the chain is a tree).
+type Leaf struct {
+	State *repair.State
+	Pi    *big.Rat
+}
+
+// ExploreOptions tunes chain exploration.
+type ExploreOptions struct {
+	// MaxStates aborts the exploration once more than this many states have
+	// been visited (0 means unlimited). Exact exploration is exponential in
+	// general — Theorem 5 — so callers on untrusted input should set a
+	// bound.
+	MaxStates int
+}
+
+// ErrStateBudget is returned when exploration exceeds MaxStates.
+var ErrStateBudget = errors.New("markov: state budget exceeded during exact exploration")
+
+// Explore walks the support of the repairing Markov chain M_Σ(D) and
+// returns its reachable absorbing states with their hitting probabilities.
+// The leaf probabilities sum to exactly 1 (Proposition 3: the hitting
+// distribution exists because the chain is a finite tree).
+func Explore(inst *repair.Instance, g Generator, opt ExploreOptions) ([]Leaf, error) {
+	var leaves []Leaf
+	visited := 0
+	var dfs func(s *repair.State, pi *big.Rat) error
+	dfs = func(s *repair.State, pi *big.Rat) error {
+		visited++
+		if opt.MaxStates > 0 && visited > opt.MaxStates {
+			return ErrStateBudget
+		}
+		edges, err := Step(g, s)
+		if err != nil {
+			return err
+		}
+		if len(edges) == 0 {
+			leaves = append(leaves, Leaf{State: s, Pi: pi})
+			return nil
+		}
+		for _, e := range edges {
+			child := s.Child(e.Op)
+			if err := dfs(child, new(big.Rat).Mul(pi, e.P)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(inst.Root(), prob.One()); err != nil {
+		return nil, err
+	}
+	return leaves, nil
+}
+
+// HittingDistribution returns the leaves keyed by sequence encoding; it is
+// Explore plus the Proposition 3 sanity check that probabilities sum to 1.
+func HittingDistribution(inst *repair.Instance, g Generator, opt ExploreOptions) (map[string]Leaf, error) {
+	leaves, err := Explore(inst, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	total := new(big.Rat)
+	out := make(map[string]Leaf, len(leaves))
+	for _, l := range leaves {
+		total.Add(total, l.Pi)
+		out[l.State.Key()] = l
+	}
+	if !prob.IsOne(total) {
+		return nil, fmt.Errorf("%w: hitting distribution sums to %s", ErrNotWellDefined, total.RatString())
+	}
+	return out, nil
+}

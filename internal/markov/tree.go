@@ -1,0 +1,115 @@
+package markov
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// Node is a state of the chain tree with its outgoing edges resolved; it is
+// produced by BuildTree and used for inspection and for rendering the
+// Section 3 figure of the paper.
+type Node struct {
+	State    *repair.State
+	Pi       *big.Rat // path probability from ε to this state
+	Children []ChildEdge
+}
+
+// ChildEdge pairs a transition edge with its resolved subtree.
+type ChildEdge struct {
+	Edge
+	Node *Node
+}
+
+// IsLeaf reports whether the node is absorbing (a complete sequence).
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// BuildTree materializes the whole chain tree. Use only on small instances
+// (the tree is exponential in general); opt.MaxStates guards runaway
+// inputs.
+func BuildTree(inst *repair.Instance, g Generator, opt ExploreOptions) (*Node, error) {
+	visited := 0
+	var build func(s *repair.State, pi *big.Rat) (*Node, error)
+	build = func(s *repair.State, pi *big.Rat) (*Node, error) {
+		visited++
+		if opt.MaxStates > 0 && visited > opt.MaxStates {
+			return nil, ErrStateBudget
+		}
+		edges, err := Step(g, s)
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{State: s, Pi: pi}
+		for _, e := range edges {
+			child, err := build(s.Child(e.Op), new(big.Rat).Mul(pi, e.P))
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, ChildEdge{Edge: e, Node: child})
+		}
+		return node, nil
+	}
+	return build(inst.Root(), prob.One())
+}
+
+// Leaves returns the absorbing states of the tree in DFS order.
+func (n *Node) Leaves() []Leaf {
+	var out []Leaf
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() {
+			out = append(out, Leaf{State: m.State, Pi: m.Pi})
+			return
+		}
+		for _, c := range m.Children {
+			walk(c.Node)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// CountStates returns the number of states in the tree (|RS(D,Σ)| within
+// the chain support, including ε).
+func (n *Node) CountStates() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.Node.CountStates()
+	}
+	return total
+}
+
+// Render prints the tree with one state per line, indenting children and
+// annotating edges with their probabilities, in the spirit of the paper's
+// Section 3 figure:
+//
+//	ε
+//	├─ 2/9 → -Pref(a, b)
+//	│   ├─ 1/3 → -Pref(a, b), -Pref(a, c)   [absorbing]
+//	...
+func (n *Node) Render() string {
+	var b strings.Builder
+	b.WriteString(n.State.String())
+	b.WriteByte('\n')
+	renderChildren(&b, n, "")
+	return b.String()
+}
+
+func renderChildren(b *strings.Builder, n *Node, prefix string) {
+	for i, c := range n.Children {
+		last := i == len(n.Children)-1
+		connector, childPrefix := "├─ ", prefix+"│   "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"    "
+		}
+		suffix := ""
+		if c.Node.IsLeaf() {
+			suffix = "   [absorbing]"
+		}
+		fmt.Fprintf(b, "%s%s%s → %s%s\n", prefix, connector, c.P.RatString(), c.Node.State, suffix)
+		renderChildren(b, c.Node, childPrefix)
+	}
+}

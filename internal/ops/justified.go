@@ -1,0 +1,236 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// maxSubsetFacts bounds the violation-body sizes for which the direct
+// (exponential in |F|) Definition 3 test enumerates subsets. Constraint
+// bodies are tiny in practice; 20 facts is far beyond anything realistic
+// and keeps the bitmask enumeration within int range.
+const maxSubsetFacts = 20
+
+// IsFixing reports whether op is (D,Σ)-fixing: applying it removes at least
+// one violation, i.e. V(D,Σ) − V(op(D),Σ) ≠ ∅ (requirement req1).
+func IsFixing(op Op, d *relation.Database, sigma *constraint.Set) bool {
+	before := constraint.FindViolations(d, sigma)
+	if before.Empty() {
+		return false
+	}
+	after := constraint.FindViolations(op.Apply(d), sigma)
+	return len(before.Minus(after)) > 0
+}
+
+// IsJustified implements Definition 3 directly: op is (D,Σ)-justified if
+// some violation (κ,h) eliminated by op satisfies the minimality side
+// conditions over every non-empty proper subset G ⊊ F. This is the
+// reference implementation used to validate the efficient enumeration in
+// JustifiedOps and to check global justification of additions.
+func IsJustified(op Op, d *relation.Database, sigma *constraint.Set) bool {
+	if len(op.facts) > maxSubsetFacts {
+		panic(fmt.Sprintf("ops: |F| = %d exceeds the supported subset-enumeration bound", len(op.facts)))
+	}
+	before := constraint.FindViolations(d, sigma)
+	after := constraint.FindViolations(op.Apply(d), sigma)
+	eliminated := before.Minus(after)
+	if len(eliminated) == 0 {
+		return false
+	}
+	// Precompute V(op_G(D)) for every non-empty proper subset G ⊊ F.
+	n := len(op.facts)
+	subsetViolations := make(map[int]*constraint.Violations)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var g []relation.Fact
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				g = append(g, op.facts[i])
+			}
+		}
+		var sub Op
+		if op.insert {
+			sub = Insert(g...)
+		} else {
+			sub = Delete(g...)
+		}
+		subsetViolations[mask] = constraint.FindViolations(sub.Apply(d), sigma)
+	}
+	for _, v := range eliminated {
+		key := v.Key()
+		ok := true
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			vg := subsetViolations[mask]
+			if op.insert {
+				// Condition 1: (κ,h) must still be violated after adding
+				// any proper subset.
+				if !vg.Has(key) {
+					ok = false
+					break
+				}
+			} else {
+				// Condition 2: (κ,h) must already be eliminated after
+				// deleting any proper subset.
+				if vg.Has(key) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// JustifiedOps enumerates every justified operation at the state d, given
+// its violation set vs = V(d,Σ) and the base B(D,Σ). Following
+// Proposition 1:
+//
+//   - for every violation (κ,h) and every non-empty F ⊆ h(ϕ), the deletion
+//     −F is justified;
+//   - for every TGD violation (κ,h), the insertions +F with
+//     F = h'(ψ) − d minimal (under strict inclusion) over the extensions h'
+//     of h into dom(B(D,Σ)) are justified.
+//
+// The result is deduplicated and canonically ordered.
+func JustifiedOps(d *relation.Database, sigma *constraint.Set, vs *constraint.Violations, base *relation.Base) []Op {
+	byKey := map[string]Op{}
+	for _, v := range vs.All() {
+		for _, op := range JustifiedDeletions(v) {
+			byKey[op.Key()] = op
+		}
+		if v.Constraint.Kind() == constraint.TGD {
+			for _, op := range JustifiedAdditions(v, d, base) {
+				byKey[op.Key()] = op
+			}
+		}
+	}
+	out := make([]Op, 0, len(byKey))
+	for _, op := range byKey {
+		out = append(out, op)
+	}
+	SortOps(out)
+	return out
+}
+
+// JustifiedDeletions returns −F for every non-empty F ⊆ h(ϕ): the justified
+// deletions fixing the violation (Proposition 1). The result depends only
+// on the violation's body image, so callers may cache it by body key.
+func JustifiedDeletions(v constraint.Violation) []Op {
+	body := v.BodyFacts()
+	n := len(body)
+	if n > maxSubsetFacts {
+		panic(fmt.Sprintf("ops: violation body with %d facts exceeds the subset-enumeration bound", n))
+	}
+	out := make([]Op, 0, (1<<n)-1)
+	for mask := 1; mask < 1<<n; mask++ {
+		var f []relation.Fact
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				f = append(f, body[i])
+			}
+		}
+		out = append(out, Delete(f...))
+	}
+	return out
+}
+
+// JustifiedAdditions returns the minimal head-completion insertions for a
+// TGD violation: +F with F = h'(ψ) − d over extensions h' of h that map the
+// existential variables into the base domain, keeping only the candidates
+// minimal under strict inclusion (Definition 3, condition 1).
+func JustifiedAdditions(v constraint.Violation, d *relation.Database, base *relation.Base) []Op {
+	c := v.Constraint
+	exVars := c.ExistentialVars()
+	dom := base.Dom()
+
+	// Enumerate every extension of h over the existential variables.
+	var candidates [][]relation.Fact
+	keys := map[string]bool{}
+	var extend func(i int, h logic.Subst)
+	extend = func(i int, h logic.Subst) {
+		if i == len(exVars) {
+			var f []relation.Fact
+			seen := map[string]bool{}
+			for _, a := range h.ApplyAtoms(c.Head()) {
+				fact, err := relation.FactFromAtom(a)
+				if err != nil {
+					panic(fmt.Sprintf("ops: TGD head atom %s not grounded by extension %s", a, h))
+				}
+				if d.Contains(fact) {
+					continue
+				}
+				if k := fact.Key(); !seen[k] {
+					seen[k] = true
+					f = append(f, fact)
+				}
+			}
+			if len(f) == 0 {
+				// The head is already satisfied; (κ,h) was not a violation.
+				return
+			}
+			relation.SortFacts(f)
+			k := factSetKey(f)
+			if !keys[k] {
+				keys[k] = true
+				candidates = append(candidates, f)
+			}
+			return
+		}
+		for _, cst := range dom {
+			h[exVars[i].Name()] = cst
+			extend(i+1, h)
+			delete(h, exVars[i].Name())
+		}
+	}
+	extend(0, v.H.Clone())
+
+	// Keep only candidates minimal under strict inclusion: +F is justified
+	// iff no other candidate F' ⊊ F (Definition 3, condition 1).
+	var out []Op
+	for i, f := range candidates {
+		minimal := true
+		for j, g := range candidates {
+			if i != j && strictSubset(g, f) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, Insert(f...))
+		}
+	}
+	return out
+}
+
+func factSetKey(fs []relation.Fact) string {
+	out := ""
+	for i, f := range fs {
+		if i > 0 {
+			out += ";"
+		}
+		out += f.Key()
+	}
+	return out
+}
+
+// strictSubset reports whether a ⊊ b for canonically sorted fact slices.
+func strictSubset(a, b []relation.Fact) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	bKeys := make(map[string]bool, len(b))
+	for _, f := range b {
+		bKeys[f.Key()] = true
+	}
+	for _, f := range a {
+		if !bKeys[f.Key()] {
+			return false
+		}
+	}
+	return true
+}

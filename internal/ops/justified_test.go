@@ -1,0 +1,248 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+
+// example1 is the setting of Example 1: D = {R(a,b), R(a,c), T(a,b)},
+// σ = R(x,y) → ∃z S(x,y,z), η = R(x,y), R(x,z) → y = z.
+func example1(t *testing.T) (*relation.Database, *constraint.Set, *relation.Base) {
+	t.Helper()
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("T", "a", "b"))
+	sigma := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"), v("y"))},
+		[]logic.Atom{at("S", v("x"), v("y"), v("z"))},
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	set := constraint.NewSet(sigma, eta)
+	base, err := set.Base(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, set, base
+}
+
+// TestExample1FixingButUnjustified: op1 = +{S(a,b,c), S(a,a,a)} is fixing
+// but not justified (S(a,a,a) is gratuitous); op2 = -{R(a,b), T(a,b)} is
+// fixing but not justified (T(a,b) contributes to no violation).
+func TestExample1FixingButUnjustified(t *testing.T) {
+	d, set, _ := example1(t)
+
+	op1 := Insert(f("S", "a", "b", "c"), f("S", "a", "a", "a"))
+	if !IsFixing(op1, d, set) {
+		t.Error("op1 must be fixing")
+	}
+	if IsJustified(op1, d, set) {
+		t.Error("op1 must not be justified (adds the unnecessary S(a,a,a))")
+	}
+
+	op2 := Delete(f("R", "a", "b"), f("T", "a", "b"))
+	if !IsFixing(op2, d, set) {
+		t.Error("op2 must be fixing")
+	}
+	if IsJustified(op2, d, set) {
+		t.Error("op2 must not be justified (T(a,b) is in no violation)")
+	}
+}
+
+// TestExample1JustifiedOps: the justified operations called out in
+// Example 1 are recognized, and the minimal insertion +S(a,b,c) is
+// justified.
+func TestExample1JustifiedOps(t *testing.T) {
+	d, set, _ := example1(t)
+	for _, op := range []Op{
+		Insert(f("S", "a", "b", "c")),
+		Delete(f("R", "a", "b")),
+		Delete(f("R", "a", "c")),
+		Delete(f("R", "a", "b"), f("R", "a", "c")),
+	} {
+		if !IsJustified(op, d, set) {
+			t.Errorf("%s must be justified", op)
+		}
+	}
+	if IsJustified(Delete(f("T", "a", "b")), d, set) {
+		t.Error("-T(a,b) must not be justified")
+	}
+}
+
+// TestJustifiedOpsEnumeration cross-checks the efficient enumeration
+// against the direct Definition 3 test on Example 1.
+func TestJustifiedOpsEnumeration(t *testing.T) {
+	d, set, base := example1(t)
+	vs := constraint.FindViolations(d, set)
+	enumerated := JustifiedOps(d, set, vs, base)
+
+	if len(enumerated) == 0 {
+		t.Fatal("no justified operations found")
+	}
+	seen := map[string]bool{}
+	for _, op := range enumerated {
+		seen[op.Key()] = true
+		if !IsJustified(op, d, set) {
+			t.Errorf("enumerated operation %s fails the direct Definition 3 test", op)
+		}
+		if op.IsInsert() && !op.InBase(base) {
+			t.Errorf("insertion %s leaves the base", op)
+		}
+	}
+
+	// Expected members.
+	for _, op := range []Op{
+		Delete(f("R", "a", "b")),
+		Delete(f("R", "a", "c")),
+		Delete(f("R", "a", "b"), f("R", "a", "c")),
+		Insert(f("S", "a", "b", "a")), // any z from the base domain {a,b,c}
+		Insert(f("S", "a", "b", "b")),
+		Insert(f("S", "a", "b", "c")),
+		Insert(f("S", "a", "c", "a")),
+	} {
+		if !seen[op.Key()] {
+			t.Errorf("missing justified operation %s", op)
+		}
+	}
+	// Non-members.
+	for _, op := range []Op{
+		Delete(f("T", "a", "b")),
+		Insert(f("S", "a", "a", "a")),
+		Delete(f("R", "a", "b"), f("T", "a", "b")),
+	} {
+		if seen[op.Key()] {
+			t.Errorf("operation %s must not be enumerated", op)
+		}
+	}
+}
+
+// TestJustifiedOpsCountExample1: deletions: 3 (from the two EGD violations,
+// which share the pair {R(a,b), R(a,c)}) plus the two σ-violations' single
+// deletions (already among them); insertions: 3 choices of z for each of
+// the two σ violations = 6.
+func TestJustifiedOpsCountExample1(t *testing.T) {
+	d, set, base := example1(t)
+	vs := constraint.FindViolations(d, set)
+	enumerated := JustifiedOps(d, set, vs, base)
+	dels, ins := 0, 0
+	for _, op := range enumerated {
+		if op.IsDelete() {
+			dels++
+		} else {
+			ins++
+		}
+	}
+	if dels != 3 {
+		t.Errorf("justified deletions = %d, want 3", dels)
+	}
+	if ins != 6 {
+		t.Errorf("justified insertions = %d, want 6 (2 violations × 3 base constants)", ins)
+	}
+}
+
+// TestMultiHeadTGDAdditions: a TGD with a two-atom head requires inserting
+// both atoms at once; single-atom insertions are not justified
+// (Proposition 1 remark on multi-head TGDs).
+func TestMultiHeadTGDAdditions(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"))},
+		[]logic.Atom{at("S", v("x"), v("z")), at("U", v("z"))},
+	)
+	set := constraint.NewSet(tgd)
+	base, err := set.Base(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := constraint.FindViolations(d, set)
+	enumerated := JustifiedOps(d, set, vs, base)
+	for _, op := range enumerated {
+		if op.IsInsert() && op.Size() != 2 {
+			t.Errorf("insertion %s must add both head atoms", op)
+		}
+	}
+	// With dom = {a}: +{S(a,a), U(a)} and the deletion -R(a).
+	if len(enumerated) != 2 {
+		t.Errorf("enumerated %d operations, want 2: %v", len(enumerated), enumerated)
+	}
+}
+
+// TestAdditionMinimality: when one head atom already exists, the justified
+// insertion adds only the missing one.
+func TestAdditionMinimality(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"), f("U", "a"))
+	tgd := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"))},
+		[]logic.Atom{at("S", v("x"), v("z")), at("U", v("z"))},
+	)
+	set := constraint.NewSet(tgd)
+	base, err := set.Base(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := constraint.FindViolations(d, set)
+	enumerated := JustifiedOps(d, set, vs, base)
+
+	// Candidates per extension z→a: {S(a,a)} (U(a) exists); the singleton
+	// is minimal, so no two-atom insertion with z = a may appear.
+	wantKey := Insert(f("S", "a", "a")).Key()
+	foundMinimal := false
+	for _, op := range enumerated {
+		if op.Key() == wantKey {
+			foundMinimal = true
+		}
+		if op.IsInsert() {
+			for _, fact := range op.Facts() {
+				if fact.Equal(f("U", "a")) {
+					t.Errorf("insertion %s re-adds existing U(a)", op)
+				}
+			}
+		}
+	}
+	if !foundMinimal {
+		t.Error("minimal insertion +S(a,a) missing")
+	}
+}
+
+// TestDCJustifiedOpsAreDeletions: DC violations admit only deletions.
+func TestDCJustifiedOpsAreDeletions(t *testing.T) {
+	d := relation.FromFacts(f("Pref", "a", "b"), f("Pref", "b", "a"))
+	dc := constraint.MustDC([]logic.Atom{at("Pref", v("x"), v("y")), at("Pref", v("y"), v("x"))})
+	set := constraint.NewSet(dc)
+	base, err := set.Base(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := constraint.FindViolations(d, set)
+	enumerated := JustifiedOps(d, set, vs, base)
+	if len(enumerated) != 3 {
+		t.Fatalf("enumerated %d ops, want 3 (two singles + the pair)", len(enumerated))
+	}
+	for _, op := range enumerated {
+		if !op.IsDelete() {
+			t.Errorf("op %s must be a deletion", op)
+		}
+	}
+}
+
+// TestIsFixingOnConsistent: nothing is fixing on a consistent database.
+func TestIsFixingOnConsistent(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"))
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	set := constraint.NewSet(eta)
+	if IsFixing(Delete(f("R", "a", "b")), d, set) {
+		t.Error("no violations to fix")
+	}
+	if IsJustified(Delete(f("R", "a", "b")), d, set) {
+		t.Error("nothing is justified on a consistent database")
+	}
+}

@@ -1,0 +1,83 @@
+package ops
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+)
+
+// This file implements the null-based insertions sketched under "Null
+// Values" in Section 6 of the paper (after Bertossi et al.): instead of
+// grounding a TGD's existential variables over the |dom|^|z̄| constants of
+// the base, a single justified insertion per violation maps each
+// existential variable to a fresh labeled null. This both matches how
+// practical chase-style systems repair TGDs and collapses the insertion
+// branching factor from |dom|^|z̄| to 1.
+//
+// Nulls are ordinary constants with a reserved prefix; constraint
+// satisfaction and query evaluation treat them naively (each null equal
+// only to itself), which is sound for satisfaction checking. Null names
+// are derived deterministically from the violation identity, so chains
+// remain reproducible and re-deriving the operation for the same violation
+// yields the same fact.
+
+// NullPrefix marks labeled nulls among constants.
+const NullPrefix = "null_"
+
+// IsNullConst reports whether the constant is a labeled null.
+func IsNullConst(c string) bool { return strings.HasPrefix(c, NullPrefix) }
+
+// HasNulls reports whether the fact mentions a labeled null.
+func HasNulls(f relation.Fact) bool {
+	for _, a := range f.Args {
+		if IsNullConst(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// nullFor derives the canonical null constant for an existential variable
+// of a violation.
+func nullFor(v constraint.Violation, varName string) string {
+	sum := crc32.ChecksumIEEE([]byte(v.Key()))
+	return fmt.Sprintf("%s%08x_%s", NullPrefix, sum, varName)
+}
+
+// NullAddition returns the single null-based justified insertion fixing a
+// TGD violation: +F with F = h'(ψ) − D where h' extends h by mapping each
+// existential variable to a fresh labeled null. It returns false when the
+// violation is not a TGD violation or the head is (unexpectedly) already
+// satisfied by the addition's absence.
+func NullAddition(v constraint.Violation, d *relation.Database) (Op, bool) {
+	c := v.Constraint
+	if c.Kind() != constraint.TGD {
+		return Op{}, false
+	}
+	h := v.H.Clone()
+	for _, z := range c.ExistentialVars() {
+		h[z.Name()] = nullFor(v, z.Name())
+	}
+	var facts []relation.Fact
+	seen := map[string]bool{}
+	for _, a := range h.ApplyAtoms(c.Head()) {
+		f, err := relation.FactFromAtom(a)
+		if err != nil {
+			panic(fmt.Sprintf("ops: TGD head atom %s not grounded by null extension %s", a, h))
+		}
+		if d.Contains(f) {
+			continue
+		}
+		if k := f.Key(); !seen[k] {
+			seen[k] = true
+			facts = append(facts, f)
+		}
+	}
+	if len(facts) == 0 {
+		return Op{}, false
+	}
+	return Insert(facts...), true
+}

@@ -1,0 +1,151 @@
+// Package ops implements the (D,Σ)-operations of the paper: updates +F that
+// insert a set of facts from the base B(D,Σ) and updates −F that remove a
+// set of facts (Definition 1), the fixing test, the justified-operation test
+// of Definition 3, and the enumeration of all justified operations at a
+// database state following the shape result of Proposition 1.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Op is a single operation +F or −F over a set of facts F ⊆ B(D,Σ).
+// The fact set is non-empty, deduplicated, and canonically sorted.
+// The zero Op is invalid; construct with Insert or Delete.
+type Op struct {
+	insert bool
+	facts  []relation.Fact
+	key    string // canonical encoding, cached at construction
+}
+
+// Insert returns the operation +F.
+func Insert(fs ...relation.Fact) Op { return newOp(true, fs) }
+
+// Delete returns the operation −F.
+func Delete(fs ...relation.Fact) Op { return newOp(false, fs) }
+
+func newOp(insert bool, fs []relation.Fact) Op {
+	if len(fs) == 0 {
+		panic("ops: operation over an empty fact set")
+	}
+	seen := map[string]bool{}
+	facts := make([]relation.Fact, 0, len(fs))
+	for _, f := range fs {
+		if k := f.Key(); !seen[k] {
+			seen[k] = true
+			facts = append(facts, f)
+		}
+	}
+	relation.SortFacts(facts)
+	op := Op{insert: insert, facts: facts}
+	var b strings.Builder
+	if insert {
+		b.WriteByte('+')
+	} else {
+		b.WriteByte('-')
+	}
+	for i, f := range facts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(f.Key())
+	}
+	op.key = b.String()
+	return op
+}
+
+// IsInsert reports whether the operation is +F.
+func (o Op) IsInsert() bool { return o.insert }
+
+// IsDelete reports whether the operation is −F.
+func (o Op) IsDelete() bool { return !o.insert }
+
+// Facts returns F in canonical order; the slice must not be modified.
+func (o Op) Facts() []relation.Fact { return o.facts }
+
+// Size reports |F|.
+func (o Op) Size() int { return len(o.facts) }
+
+// Key returns the canonical encoding of the operation, usable as a map
+// key; it is precomputed at construction.
+func (o Op) Key() string { return o.key }
+
+// String renders the operation like the paper: +R(a, b) for singletons,
+// +{R(a, b), S(c)} for larger sets.
+func (o Op) String() string {
+	sign := "+"
+	if !o.insert {
+		sign = "-"
+	}
+	if len(o.facts) == 1 {
+		return sign + o.facts[0].String()
+	}
+	parts := make([]string, len(o.facts))
+	for i, f := range o.facts {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("%s{%s}", sign, strings.Join(parts, ", "))
+}
+
+// Equal reports whether two operations are identical.
+func (o Op) Equal(p Op) bool {
+	if o.insert != p.insert || len(o.facts) != len(p.facts) {
+		return false
+	}
+	for i := range o.facts {
+		if !o.facts[i].Equal(p.facts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply returns op(D) as a fresh database, leaving d untouched.
+func (o Op) Apply(d *relation.Database) *relation.Database {
+	out := d.Clone()
+	o.Do(out)
+	return out
+}
+
+// Do applies the operation to d in place and returns the facts that
+// actually changed (were inserted or removed); feeding those to Undo
+// restores d exactly.
+func (o Op) Do(d *relation.Database) []relation.Fact {
+	var changed []relation.Fact
+	for _, f := range o.facts {
+		if o.insert {
+			if d.Insert(f) {
+				changed = append(changed, f)
+			}
+		} else {
+			if d.Delete(f) {
+				changed = append(changed, f)
+			}
+		}
+	}
+	return changed
+}
+
+// Undo reverts a previous Do given its returned change set.
+func (o Op) Undo(d *relation.Database, changed []relation.Fact) {
+	for _, f := range changed {
+		if o.insert {
+			d.Delete(f)
+		} else {
+			d.Insert(f)
+		}
+	}
+}
+
+// InBase reports whether every fact of the operation lies in the base, as
+// Definition 1 requires.
+func (o Op) InBase(b *relation.Base) bool { return b.ContainsAll(o.facts) }
+
+// SortOps orders operations canonically (by key) for deterministic output.
+func SortOps(os []Op) {
+	sort.Slice(os, func(i, j int) bool { return os[i].Key() < os[j].Key() })
+}

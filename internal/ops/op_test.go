@@ -1,0 +1,126 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func f(pred string, args ...string) relation.Fact { return relation.NewFact(pred, args...) }
+
+func TestOpConstruction(t *testing.T) {
+	op := Insert(f("R", "a"), f("R", "a"), f("S", "b"))
+	if op.Size() != 2 {
+		t.Errorf("duplicates must collapse: size = %d", op.Size())
+	}
+	if !op.IsInsert() || op.IsDelete() {
+		t.Error("Insert must be an insertion")
+	}
+	del := Delete(f("R", "a"))
+	if !del.IsDelete() || del.IsInsert() {
+		t.Error("Delete must be a deletion")
+	}
+}
+
+func TestOpEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty operation must panic")
+		}
+	}()
+	Insert()
+}
+
+func TestOpKeyAndEqual(t *testing.T) {
+	a := Delete(f("R", "a"), f("R", "b"))
+	b := Delete(f("R", "b"), f("R", "a"))
+	if a.Key() != b.Key() || !a.Equal(b) {
+		t.Error("fact order must not matter")
+	}
+	c := Insert(f("R", "a"), f("R", "b"))
+	if a.Key() == c.Key() || a.Equal(c) {
+		t.Error("sign must matter")
+	}
+	d := Delete(f("R", "a"))
+	if a.Equal(d) {
+		t.Error("different sizes must differ")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := Delete(f("Pref", "a", "b")).String(); got != "-Pref(a, b)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Insert(f("R", "b"), f("R", "a")).String(); got != "+{R(a), R(b)}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOpApplyInsertDelete(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	ins := Insert(f("R", "b"), f("R", "a"))
+	out := ins.Apply(d)
+	if d.Size() != 1 {
+		t.Error("Apply must not mutate the input")
+	}
+	if out.Size() != 2 || !out.Contains(f("R", "b")) {
+		t.Errorf("out = %v", out)
+	}
+	del := Delete(f("R", "a"), f("R", "zz"))
+	out2 := del.Apply(out)
+	if out2.Size() != 1 || out2.Contains(f("R", "a")) {
+		t.Errorf("out2 = %v", out2)
+	}
+}
+
+func TestOpDoUndo(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	before := d.Key()
+
+	ins := Insert(f("R", "a"), f("R", "b")) // R(a) already present
+	changed := ins.Do(d)
+	if len(changed) != 1 || !changed[0].Equal(f("R", "b")) {
+		t.Errorf("changed = %v, want only R(b)", changed)
+	}
+	ins.Undo(d, changed)
+	if d.Key() != before {
+		t.Error("Undo after insert must restore the database")
+	}
+
+	del := Delete(f("R", "a"), f("R", "q")) // R(q) absent
+	changed = del.Do(d)
+	if len(changed) != 1 || !changed[0].Equal(f("R", "a")) {
+		t.Errorf("changed = %v, want only R(a)", changed)
+	}
+	del.Undo(d, changed)
+	if d.Key() != before {
+		t.Error("Undo after delete must restore the database")
+	}
+}
+
+func TestOpInBase(t *testing.T) {
+	schema := relation.NewSchema()
+	if err := schema.Add("R", 1); err != nil {
+		t.Fatal(err)
+	}
+	base := relation.NewBase(schema, []string{"a"})
+	if !Insert(f("R", "a")).InBase(base) {
+		t.Error("R(a) is in the base")
+	}
+	if Insert(f("R", "z")).InBase(base) {
+		t.Error("R(z) is outside the base")
+	}
+}
+
+func TestSortOpsDeterministic(t *testing.T) {
+	opsList := []Op{Insert(f("R", "b")), Delete(f("R", "a")), Insert(f("R", "a"))}
+	SortOps(opsList)
+	got := ""
+	for _, op := range opsList {
+		got += op.String() + ";"
+	}
+	want := "+R(a);+R(b);-R(a);"
+	if got != want {
+		t.Errorf("sorted = %q, want %q", got, want)
+	}
+}

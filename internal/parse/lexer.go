@@ -1,0 +1,312 @@
+// Package parse implements the text formats of the library: databases
+// (lists of facts), constraint sets (TGDs, EGDs, DCs), and first-order
+// queries. The formats follow the Prolog case convention — identifiers
+// beginning with an uppercase letter are variables, everything else is a
+// constant — because the paper's mathematical convention (x, y vs. a, b)
+// cannot be distinguished lexically.
+//
+// Grammar sketch (all statements end with '.'):
+//
+//	fact        := pred '(' const {',' const} ')'
+//	constraint  := atoms '->' (atoms | var '=' var | 'false')
+//	             | '!' '(' atoms ')'
+//	query       := name '(' vars ')' ':=' formula
+//	formula     := iff
+//	iff         := implies {'<->' implies}
+//	implies     := or ['->' implies]
+//	or          := and {'|' and}
+//	and         := unary {'&' unary}
+//	unary       := '!' unary | 'exists' vars ':' unary
+//	             | 'forall' vars ':' unary | primary
+//	primary     := '(' formula ')' | atom | term '=' term
+//	             | term '!=' term | 'true' | 'false'
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow   // ->
+	tokIff     // <->
+	tokEq      // =
+	tokNeq     // !=
+	tokBang    // !
+	tokAmp     // &
+	tokPipe    // |
+	tokColon   // :
+	tokDefined // :=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "quoted constant"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "'->'"
+	case tokIff:
+		return "'<->'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokBang:
+		return "'!'"
+	case tokAmp:
+		return "'&'"
+	case tokPipe:
+		return "'|'"
+	case tokColon:
+		return "':'"
+	case tokDefined:
+		return "':='"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// skipSpace consumes whitespace and comments (# and % to end of line).
+func (l *lexer) skipSpace() {
+	for {
+		r, ok := l.peekRune()
+		if !ok {
+			return
+		}
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#' || r == '%':
+			for {
+				r, ok := l.peekRune()
+				if !ok || r == '\n' {
+					break
+				}
+				_ = r
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (token, *Error) {
+	l.skipSpace()
+	line, col := l.line, l.col
+	r, ok := l.peekRune()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	mk := func(kind tokenKind, text string) token {
+		return token{kind: kind, text: text, line: line, col: col}
+	}
+	switch r {
+	case '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case '.':
+		l.advance()
+		return mk(tokDot, "."), nil
+	case '&':
+		l.advance()
+		return mk(tokAmp, "&"), nil
+	case '|':
+		l.advance()
+		return mk(tokPipe, "|"), nil
+	case '=':
+		l.advance()
+		return mk(tokEq, "="), nil
+	case ':':
+		l.advance()
+		if r2, ok := l.peekRune(); ok && r2 == '=' {
+			l.advance()
+			return mk(tokDefined, ":="), nil
+		}
+		return mk(tokColon, ":"), nil
+	case '!':
+		l.advance()
+		if r2, ok := l.peekRune(); ok && r2 == '=' {
+			l.advance()
+			return mk(tokNeq, "!="), nil
+		}
+		return mk(tokBang, "!"), nil
+	case '-':
+		l.advance()
+		if r2, ok := l.peekRune(); ok && r2 == '>' {
+			l.advance()
+			return mk(tokArrow, "->"), nil
+		}
+		return token{}, &Error{Line: line, Col: col, Msg: "expected '>' after '-'"}
+	case '<':
+		l.advance()
+		if r2, ok := l.peekRune(); ok && r2 == '-' {
+			l.advance()
+			if r3, ok := l.peekRune(); ok && r3 == '>' {
+				l.advance()
+				return mk(tokIff, "<->"), nil
+			}
+		}
+		return token{}, &Error{Line: line, Col: col, Msg: "expected '<->'"}
+	case '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			r, ok := l.peekRune()
+			if !ok {
+				return token{}, &Error{Line: line, Col: col, Msg: "unterminated string"}
+			}
+			l.advance()
+			if r == '"' {
+				return mk(tokString, b.String()), nil
+			}
+			if r == '\\' {
+				esc, ok := l.peekRune()
+				if !ok {
+					return token{}, &Error{Line: line, Col: col, Msg: "unterminated escape"}
+				}
+				l.advance()
+				switch esc {
+				case 'n':
+					b.WriteRune('\n')
+				case 't':
+					b.WriteRune('\t')
+				default:
+					b.WriteRune(esc)
+				}
+				continue
+			}
+			b.WriteRune(r)
+		}
+	}
+	if unicode.IsDigit(r) {
+		var b strings.Builder
+		for {
+			r, ok := l.peekRune()
+			if !ok || (!unicode.IsDigit(r) && r != '.') {
+				break
+			}
+			// A dot followed by a non-digit terminates the statement, not
+			// the number.
+			if r == '.' {
+				if l.pos+1 >= len(l.src) || !unicode.IsDigit(l.src[l.pos+1]) {
+					break
+				}
+			}
+			b.WriteRune(r)
+			l.advance()
+		}
+		return mk(tokNumber, b.String()), nil
+	}
+	if unicode.IsLetter(r) || r == '_' {
+		var b strings.Builder
+		for {
+			r, ok := l.peekRune()
+			if !ok || (!unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_') {
+				break
+			}
+			b.WriteRune(r)
+			l.advance()
+		}
+		return mk(tokIdent, b.String()), nil
+	}
+	return token{}, &Error{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, *Error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

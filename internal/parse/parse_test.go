@@ -1,0 +1,258 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+)
+
+func TestParseDatabase(t *testing.T) {
+	d, err := Database(`
+		# product preferences
+		Pref(a, b). Pref(a, c).
+		R("quoted constant", 42).
+		% alternative comment style
+		S(x_1).
+	`)
+	if err != nil {
+		t.Fatalf("Database: %v", err)
+	}
+	if d.Size() != 4 {
+		t.Fatalf("parsed %d facts, want 4: %s", d.Size(), d)
+	}
+	if !d.Contains(relation.NewFact("R", "quoted constant", "42")) {
+		t.Error("quoted and numeric constants mishandled")
+	}
+	if !d.Contains(relation.NewFact("S", "x_1")) {
+		t.Error("lowercase identifier must be a constant")
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	cases := []string{
+		"Pref(a, b)",   // missing dot
+		"Pref(X, b).",  // variable in fact
+		"Pref().",      // empty args
+		"Pref(a,, b).", // stray comma
+		"Pref(a b).",   // missing comma
+		"123(a).",      // number as predicate
+	}
+	for _, src := range cases {
+		if _, err := Database(src); err == nil {
+			t.Errorf("Database(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseConstraints(t *testing.T) {
+	set, err := Constraints(`
+		R(X, Y), R(X, Z) -> Y = Z.
+		R(X, Y) -> exists Z: S(Z, X).
+		T(X, Y) -> R(X, Y).
+		Pref(X, Y), Pref(Y, X) -> false.
+		!(Q(X, X)).
+	`)
+	if err != nil {
+		t.Fatalf("Constraints: %v", err)
+	}
+	if set.Len() != 5 {
+		t.Fatalf("parsed %d constraints, want 5", set.Len())
+	}
+	kinds := []constraint.Kind{
+		constraint.EGD, constraint.TGD, constraint.TGD, constraint.DC, constraint.DC,
+	}
+	for i, c := range set.All() {
+		if c.Kind() != kinds[i] {
+			t.Errorf("constraint %d has kind %s, want %s", i, c.Kind(), kinds[i])
+		}
+	}
+}
+
+func TestParseImplicitExistential(t *testing.T) {
+	set, err := Constraints(`R(X, Y) -> S(Y, Z).`)
+	if err != nil {
+		t.Fatalf("Constraints: %v", err)
+	}
+	c := set.All()[0]
+	if c.Kind() != constraint.TGD {
+		t.Fatalf("kind = %s", c.Kind())
+	}
+	ex := c.ExistentialVars()
+	if len(ex) != 1 || ex[0].Name() != "Z" {
+		t.Errorf("existential vars = %v, want [Z]", ex)
+	}
+}
+
+func TestParseConstraintErrors(t *testing.T) {
+	cases := []string{
+		"R(X, Y) -> Y = Z, S(X).",    // EGD with trailing junk
+		"R(X, Y) -> exists X: S(X).", // existential var occurs in body
+		"R(X, Y) -> exists Z: S(Y).", // declared existential missing from head
+		"-> S(X).",                   // empty body
+		"R(X, Y) ->",                 // empty head
+		"R(X, Y) -> Y = Y.",          // trivial EGD
+		"R(X) -> X = Y.",             // equality var outside body
+		"!(R(X)",                     // unclosed denial
+	}
+	for _, src := range cases {
+		if _, err := Constraints(src); err == nil {
+			t.Errorf("Constraints(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := Query(`Q(X) := forall Y: (Pref(X, Y) | X = Y).`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if q.Name != "Q" || q.Arity() != 1 {
+		t.Errorf("query = %s", q)
+	}
+	d, err := Database(`Pref(a, b). Pref(a, c). Pref(a, a).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := q.Answers(d)
+	if len(ans) != 1 || ans[0][0] != "a" {
+		t.Errorf("Answers = %v, want [[a]]", ans)
+	}
+}
+
+func TestParseQueryConnectives(t *testing.T) {
+	q, err := Query(`Q(X, Y) := E(X, Y) & !(X = Y) & exists Z: (E(Y, Z) -> E(X, Z)).`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := len(q.Out); got != 2 {
+		t.Errorf("arity = %d", got)
+	}
+}
+
+func TestParseQueryPrecedence(t *testing.T) {
+	// A & B | C parses as (A & B) | C.
+	q, err := Query(`Q() := exists X: (P(X) & Q(X) | R(X)).`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	want := "Q() := exists X: ((P(X) & Q(X)) | R(X))"
+	if got := q.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestParseQueryNeq(t *testing.T) {
+	q, err := Query(`Q(X, Y) := E(X, Y) & X != Y.`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	d, _ := Database(`E(a, a). E(a, b).`)
+	ans := q.Answers(d)
+	if len(ans) != 1 || ans[0][0] != "a" || ans[0][1] != "b" {
+		t.Errorf("Answers = %v", ans)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []string{
+		`Q(X) :=`,               // missing formula
+		`Q(X) := Pref(X, Y).`,   // free variable Y not in output
+		`Q(a) := Pref(a, a).`,   // constant output
+		`Q(X) := forall: P(X).`, // missing binder variable
+		`Q(X) := P(X) extra`,    // trailing junk
+		`Q(X) := (P(X).`,        // unbalanced paren
+		`Q(X) Pref(X, X).`,      // missing :=
+	}
+	for _, src := range cases {
+		if _, err := Query(src); err == nil {
+			t.Errorf("Query(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Database("Pref(a, b).\nPref(a b).")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+	if !strings.Contains(perr.Error(), "line 2") {
+		t.Errorf("message %q lacks position", perr.Error())
+	}
+}
+
+// Round-trips: printing and re-parsing is the identity.
+
+func TestConstraintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"R(X, Y), R(X, Z) -> Y = Z.",
+		"R(X, Y) -> exists Z: S(Z, X).",
+		"T(X, Y) -> R(X, Y).",
+		"Pref(X, Y), Pref(Y, X) -> false.",
+	}
+	for _, src := range srcs {
+		set1, err := Constraints(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := set1.String()
+		set2, err := Constraints(printed)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", printed, err)
+		}
+		if set1.String() != set2.String() {
+			t.Errorf("round trip changed %q to %q", set1.String(), set2.String())
+		}
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	srcs := []string{
+		`Q(X) := forall Y: (Pref(X, Y) | X = Y).`,
+		`Q(X, Y) := E(X, Y) & !(X = Y).`,
+		`B() := exists X: P(X).`,
+		`Q(X) := P(X) <-> R(X).`,
+	}
+	for _, src := range srcs {
+		q1, err := Query(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		q2, err := Query(q1.String() + ".")
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed %q to %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	src := `Pref(a, b). R("has space", 42). S(z).`
+	d1, err := Database(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render facts back to text and re-parse.
+	var b strings.Builder
+	for _, fact := range d1.Facts() {
+		b.WriteString(fact.String())
+		b.WriteString(".\n")
+	}
+	d2, err := Database(b.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", b.String(), err)
+	}
+	if !d1.Equal(d2) {
+		t.Errorf("round trip changed database:\n%s\n%s", d1, d2)
+	}
+}

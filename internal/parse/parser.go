@@ -1,0 +1,521 @@
+package parse
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/constraint"
+	"repro/internal/fo"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, *Error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) *Error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind) (token, *Error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, p.errf(t, "expected %s, found %s %q", kind, t.kind, t.text)
+	}
+	return t, nil
+}
+
+// isVariableName applies the case convention: leading uppercase (or '_')
+// means variable.
+func isVariableName(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return r == '_' || unicode.IsUpper(r)
+}
+
+// term parses a single term: identifier (variable or constant by case),
+// quoted string, or number (constants).
+func (p *parser) term() (logic.Term, *Error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if isVariableName(t.text) {
+			return logic.Var(t.text), nil
+		}
+		return logic.Const(t.text), nil
+	case tokString, tokNumber:
+		return logic.Const(t.text), nil
+	default:
+		return logic.Term{}, p.errf(t, "expected a term, found %s %q", t.kind, t.text)
+	}
+}
+
+// atom parses pred(t1, ..., tn). The predicate is any identifier.
+func (p *parser) atom() (logic.Atom, *Error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return logic.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return logic.Atom{}, err
+	}
+	var args []logic.Term
+	if p.peek().kind != tokRParen {
+		for {
+			t, err := p.term()
+			if err != nil {
+				return logic.Atom{}, err
+			}
+			args = append(args, t)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return logic.Atom{}, err
+	}
+	if len(args) == 0 {
+		return logic.Atom{}, p.errf(name, "predicate %s must have at least one argument", name.text)
+	}
+	return logic.NewAtom(name.text, args...), nil
+}
+
+// atomList parses atom {',' atom}.
+func (p *parser) atomList() ([]logic.Atom, *Error) {
+	var out []logic.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.next()
+	}
+}
+
+// Database parses a list of facts, each terminated by a dot:
+//
+//	Pref(a, b). Pref(a, c).
+//	R("quoted constant", 42).
+func Database(src string) (*relation.Database, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	d := relation.NewDatabase()
+	for p.peek().kind != tokEOF {
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		f, ferr := relation.FactFromAtom(a)
+		if ferr != nil {
+			return nil, p.errf(p.peek(), "fact %s contains variables", a)
+		}
+		d.Insert(f)
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Constraints parses a constraint set, one statement per dot:
+//
+//	R(X, Y), R(X, Z) -> Y = Z.            # EGD (key)
+//	R(X, Y) -> exists Z: S(Z, X).         # TGD (explicit existentials)
+//	T(X, Y) -> R(X, Y).                   # TGD (full)
+//	Pref(X, Y), Pref(Y, X) -> false.      # DC
+//	!(Pref(X, Y), Pref(Y, X)).            # DC, alternative syntax
+//
+// Head variables absent from the body are implicitly existential even
+// without the 'exists' keyword.
+func Constraints(src string) (*constraint.Set, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	set := constraint.NewSet()
+	for p.peek().kind != tokEOF {
+		c, err := p.constraintStmt()
+		if err != nil {
+			return nil, err
+		}
+		set.Add(c)
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+func (p *parser) constraintStmt() (*constraint.Constraint, *Error) {
+	// Denial syntax: !(atoms)
+	if p.peek().kind == tokBang {
+		bang := p.next()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		body, err := p.atomList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		c, cerr := constraint.NewDC(body)
+		if cerr != nil {
+			return nil, p.errf(bang, "%v", cerr)
+		}
+		return c, nil
+	}
+
+	body, err := p.atomList()
+	if err != nil {
+		return nil, err
+	}
+	arrow, err := p.expect(tokArrow)
+	if err != nil {
+		return nil, err
+	}
+
+	switch t := p.peek(); {
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		c, cerr := constraint.NewDC(body)
+		if cerr != nil {
+			return nil, p.errf(arrow, "%v", cerr)
+		}
+		return c, nil
+
+	case t.kind == tokIdent && t.text == "exists":
+		p.next()
+		// Explicit existential prefix: exists Z1, Z2: head
+		var exVars []logic.Term
+		for {
+			v, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsVar() {
+				return nil, p.errf(t, "existential binder requires variables, found constant %s", v)
+			}
+			exVars = append(exVars, v)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		head, err := p.atomList()
+		if err != nil {
+			return nil, err
+		}
+		c, cerr := constraint.NewTGD(body, head)
+		if cerr != nil {
+			return nil, p.errf(arrow, "%v", cerr)
+		}
+		// Verify the declared existentials match the implicit ones.
+		implicit := map[string]bool{}
+		for _, v := range c.ExistentialVars() {
+			implicit[v.Name()] = true
+		}
+		for _, v := range exVars {
+			if !implicit[v.Name()] {
+				return nil, p.errf(t, "existential variable %s occurs in the body (or not in the head)", v.Name())
+			}
+		}
+		if len(exVars) != len(implicit) {
+			return nil, p.errf(t, "existential binder lists %d variables but the head has %d body-free variables",
+				len(exVars), len(implicit))
+		}
+		return c, nil
+
+	default:
+		// Either an EGD (var = var) or a TGD head (atom list). Disambiguate
+		// by looking ahead: an EGD continues with ident '='.
+		if t.kind == tokIdent && p.toks[p.pos+1].kind == tokEq {
+			left, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokEq); err != nil {
+				return nil, err
+			}
+			right, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			c, cerr := constraint.NewEGD(body, left, right)
+			if cerr != nil {
+				return nil, p.errf(arrow, "%v", cerr)
+			}
+			return c, nil
+		}
+		head, err := p.atomList()
+		if err != nil {
+			return nil, err
+		}
+		c, cerr := constraint.NewTGD(body, head)
+		if cerr != nil {
+			return nil, p.errf(arrow, "%v", cerr)
+		}
+		return c, nil
+	}
+}
+
+// Query parses a named first-order query:
+//
+//	Q(X) := forall Y: (Pref(X, Y) | X = Y).
+//	Boolean() := exists X: R(X, X).
+func Query(src string) (*fo.Query, error) {
+	p, perr := newParser(src)
+	if perr != nil {
+		return nil, perr
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []logic.Term
+	if p.peek().kind != tokRParen {
+		for {
+			v, verr := p.term()
+			if verr != nil {
+				return nil, verr
+			}
+			if !v.IsVar() {
+				return nil, p.errf(name, "query output terms must be variables, found %s", v)
+			}
+			out = append(out, v)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDefined); err != nil {
+		return nil, err
+	}
+	f, ferr := p.formula()
+	if ferr != nil {
+		return nil, ferr
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %s %q after query", t.kind, t.text)
+	}
+	q, qerr := fo.NewQuery(name.text, out, f)
+	if qerr != nil {
+		return nil, qerr
+	}
+	return q, nil
+}
+
+// formula parses with the precedence !, quantifiers > & > | > -> > <->.
+func (p *parser) formula() (fo.Formula, *Error) { return p.iff() }
+
+func (p *parser) iff() (fo.Formula, *Error) {
+	l, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIff {
+		p.next()
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		l = fo.Iff{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) implies() (fo.Formula, *Error) {
+	l, err := p.disj()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokArrow {
+		p.next()
+		r, err := p.implies() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return fo.Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) disj() (fo.Formula, *Error) {
+	l, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokPipe {
+		p.next()
+		r, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		l = fo.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) conj() (fo.Formula, *Error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAmp {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = fo.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (fo.Formula, *Error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokBang:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return fo.Not{F: f}, nil
+	case t.kind == tokIdent && (t.text == "exists" || t.text == "forall"):
+		p.next()
+		var vars []logic.Term
+		for {
+			v, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsVar() {
+				return nil, p.errf(t, "%s binds variables, found constant %s", t.text, v)
+			}
+			vars = append(vars, v)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "exists" {
+			return fo.Exists{Vars: vars, F: body}, nil
+		}
+		return fo.ForAll{Vars: vars, F: body}, nil
+	default:
+		return p.primary()
+	}
+}
+
+func (p *parser) primary() (fo.Formula, *Error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		if t.text == "true" {
+			p.next()
+			return fo.Truth{Value: true}, nil
+		}
+		if t.text == "false" {
+			p.next()
+			return fo.Truth{Value: false}, nil
+		}
+		// Either an atom pred(...) or an equality term (=|!=) term.
+		if p.toks[p.pos+1].kind == tokLParen {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			return fo.Atom{A: a}, nil
+		}
+		return p.equality()
+	case tokString, tokNumber:
+		return p.equality()
+	default:
+		return nil, p.errf(t, "expected a formula, found %s %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) equality() (fo.Formula, *Error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	switch t.kind {
+	case tokEq:
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return fo.Eq{L: l, R: r}, nil
+	case tokNeq:
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return fo.Not{F: fo.Eq{L: l, R: r}}, nil
+	default:
+		return nil, p.errf(t, "expected '=' or '!=' after term %s", l)
+	}
+}

@@ -1,0 +1,178 @@
+// Package practical implements the implementation sketch at the end of
+// Section 5 of the paper for the common case of key violations and deletion
+// updates:
+//
+//	The user sets ε and δ and computes n = ⌈ln(2/δ)/(2ε²)⌉. Then, n times:
+//	from each group of tuples violating a key, randomly pick at most one
+//	tuple to be left, collecting the others in R_del; run the original
+//	query with each relation R replaced by R − R_del; append the outcome
+//	to a table T. Finally return n_t̄ / n for every tuple t̄ of T.
+//
+// The random draw "keep exactly one, uniformly" corresponds to the
+// classical one-tuple-per-key repairs; the optional drop-all probability
+// implements the paper's "at most one" reading, mirroring the trust
+// example of the introduction where neither conflicting source is
+// believed.
+package practical
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/prob"
+)
+
+// Policy controls how a violating key group is repaired in one round.
+type Policy struct {
+	// DropAll is the probability that a violating group keeps no tuple at
+	// all (the introduction's "trust neither source" case). Zero reproduces
+	// the classical keep-exactly-one scheme.
+	DropAll float64
+}
+
+// KeyGroups returns the row-index groups of rel that agree on the key
+// columns and have more than one member — the violating groups.
+func KeyGroups(rel *engine.Relation, keyIdx []int) [][]int {
+	byKey := map[string][]int{}
+	var order []string
+	for i, row := range rel.Rows {
+		parts := make([]string, len(keyIdx))
+		for j, k := range keyIdx {
+			parts[j] = fmt.Sprintf("%q", row[k])
+		}
+		key := fmt.Sprint(parts)
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], i)
+	}
+	var out [][]int
+	for _, k := range order {
+		if g := byKey[k]; len(g) > 1 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SampleRdel draws one R_del for the relation: for every violating key
+// group, with probability pol.DropAll all members are deleted; otherwise
+// one member is kept uniformly at random and the rest are deleted.
+func SampleRdel(rng *rand.Rand, rel *engine.Relation, keyIdx []int, pol Policy) *engine.Relation {
+	del := &engine.Relation{Name: rel.Name + "_del", Cols: rel.Cols}
+	for _, group := range KeyGroups(rel, keyIdx) {
+		keep := -1
+		if pol.DropAll <= 0 || rng.Float64() >= pol.DropAll {
+			keep = group[rng.Intn(len(group))]
+		}
+		for _, i := range group {
+			if i != keep {
+				del.Rows = append(del.Rows, rel.Rows[i])
+			}
+		}
+	}
+	return del
+}
+
+// TupleFreq is an output tuple with its frequency over the n rounds.
+type TupleFreq struct {
+	Row   []string
+	Count int
+	P     float64 // Count / n — the approximation of CP
+}
+
+// Result is the outcome of a practical-scheme run.
+type Result struct {
+	N          int
+	Eps, Delta float64
+	Tuples     []TupleFreq
+}
+
+// Lookup returns the frequency entry for a row (zero entry when absent).
+func (r *Result) Lookup(row []string) TupleFreq {
+	k := fmt.Sprint(row)
+	for _, t := range r.Tuples {
+		if fmt.Sprint(t.Row) == k {
+			return t
+		}
+	}
+	return TupleFreq{Row: row}
+}
+
+// Runner executes the scheme against a catalog.
+type Runner struct {
+	Catalog *engine.Catalog
+	Policy  Policy
+	Seed    int64
+}
+
+// Run executes n rounds of the scheme for the query plan and returns the
+// per-tuple frequencies. Output rows are deduplicated within each round
+// (the scheme counts whether a tuple is in the round's answer, not how many
+// times).
+func (r *Runner) Run(plan engine.Plan, n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("practical: need at least one round, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	counts := map[string]int{}
+	rows := map[string][]string{}
+	for round := 0; round < n; round++ {
+		repl := map[string]*engine.Relation{}
+		for _, table := range r.Catalog.KeyedTables() {
+			rel, err := r.Catalog.Table(table)
+			if err != nil {
+				return nil, err
+			}
+			repl[table] = SampleRdel(rng, rel, r.Catalog.Key(table), r.Policy)
+		}
+		rewritten := engine.RewriteScans(plan, repl)
+		out, err := rewritten.Exec(r.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, row := range out.Rows {
+			k := fmt.Sprint(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			counts[k]++
+			if _, ok := rows[k]; !ok {
+				rows[k] = append([]string(nil), row...)
+			}
+		}
+	}
+	res := &Result{N: n}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Tuples = append(res.Tuples, TupleFreq{
+			Row:   rows[k],
+			Count: counts[k],
+			P:     float64(counts[k]) / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// RunWithGuarantee computes n from (ε, δ) via the Hoeffding bound and runs
+// the scheme; for ε = δ = 0.1 this is the paper's n = 150.
+func (r *Runner) RunWithGuarantee(plan engine.Plan, eps, delta float64) (*Result, error) {
+	n, err := prob.HoeffdingSamples(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	res, rerr := r.Run(plan, n)
+	if rerr != nil {
+		return nil, rerr
+	}
+	res.Eps, res.Delta = eps, delta
+	return res, nil
+}

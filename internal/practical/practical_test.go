@@ -1,0 +1,171 @@
+package practical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func catalogWithConflicts() *engine.Catalog {
+	orders := engine.NewRelation("orders", "oid", "cust", "amount").
+		Add("o1", "c1", "100").
+		Add("o1", "c2", "150").
+		Add("o2", "c1", "200").
+		Add("o3", "c3", "50").
+		Add("o3", "c4", "60").
+		Add("o3", "c5", "70")
+	customers := engine.NewRelation("customers", "cust", "region").
+		Add("c1", "north").Add("c2", "south").Add("c3", "north").
+		Add("c4", "west").Add("c5", "east")
+	cat := engine.NewCatalog().AddTable(orders).AddTable(customers)
+	if err := cat.DeclareKey("orders", "oid"); err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+func TestKeyGroups(t *testing.T) {
+	cat := catalogWithConflicts()
+	rel, err := cat.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := KeyGroups(rel, cat.Key("orders"))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 (o1 and o3)", groups)
+	}
+	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
+	if !sizes[2] || !sizes[3] {
+		t.Errorf("group sizes = %v, want {2,3}", sizes)
+	}
+}
+
+func TestSampleRdelKeepsExactlyOne(t *testing.T) {
+	cat := catalogWithConflicts()
+	rel, _ := cat.Table("orders")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		del := SampleRdel(rng, rel, cat.Key("orders"), Policy{})
+		// o1 group: 2 rows → 1 deleted; o3 group: 3 rows → 2 deleted.
+		if del.Len() != 3 {
+			t.Fatalf("R_del size = %d, want 3", del.Len())
+		}
+		// The survivor set must keep exactly one per violating key.
+		kept := map[string]int{"o1": 0, "o3": 0}
+		drop := map[string]bool{}
+		for _, row := range del.Rows {
+			drop[row[0]+"|"+row[1]] = true
+		}
+		for _, row := range rel.Rows {
+			if row[0] == "o2" {
+				continue
+			}
+			if !drop[row[0]+"|"+row[1]] {
+				kept[row[0]]++
+			}
+		}
+		if kept["o1"] != 1 || kept["o3"] != 1 {
+			t.Fatalf("kept = %v, want one per group", kept)
+		}
+	}
+}
+
+func TestSampleRdelDropAll(t *testing.T) {
+	cat := catalogWithConflicts()
+	rel, _ := cat.Table("orders")
+	rng := rand.New(rand.NewSource(2))
+	del := SampleRdel(rng, rel, cat.Key("orders"), Policy{DropAll: 1.0})
+	// Everything in violating groups goes: 2 + 3 rows.
+	if del.Len() != 5 {
+		t.Errorf("R_del size = %d, want 5", del.Len())
+	}
+}
+
+func TestRunnerFrequencies(t *testing.T) {
+	cat := catalogWithConflicts()
+	r := &Runner{Catalog: cat, Seed: 7}
+	// Which customers own an order? Project cust from orders.
+	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	res, err := r.Run(plan, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1 appears via clean o2 in every round → frequency 1.
+	if got := res.Lookup([]string{"c1"}).P; got != 1 {
+		t.Errorf("P(c1) = %v, want 1", got)
+	}
+	// c2 survives only when o1 keeps its second row: ≈ 1/2.
+	if got := res.Lookup([]string{"c2"}).P; math.Abs(got-0.5) > 0.03 {
+		t.Errorf("P(c2) = %v, want ≈ 0.5", got)
+	}
+	// c3/c4/c5 each ≈ 1/3 (o3 keeps one of three rows).
+	for _, cust := range []string{"c3", "c4", "c5"} {
+		if got := res.Lookup([]string{cust}).P; math.Abs(got-1.0/3) > 0.03 {
+			t.Errorf("P(%s) = %v, want ≈ 1/3", cust, got)
+		}
+	}
+}
+
+func TestRunnerJoinQuery(t *testing.T) {
+	cat := catalogWithConflicts()
+	r := &Runner{Catalog: cat, Seed: 11}
+	// Regions with at least one order.
+	plan := engine.Distinct{Input: engine.Project{
+		Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	res, err := r.Run(plan, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// north holds via o2→c1 regardless of repairs.
+	if got := res.Lookup([]string{"north"}).P; got != 1 {
+		t.Errorf("P(north) = %v, want 1", got)
+	}
+	// south requires o1 keeping c2: ≈ 0.5.
+	if got := res.Lookup([]string{"south"}).P; math.Abs(got-0.5) > 0.04 {
+		t.Errorf("P(south) = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestRunWithGuaranteeUsesHoeffdingN(t *testing.T) {
+	cat := catalogWithConflicts()
+	r := &Runner{Catalog: cat, Seed: 3}
+	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	res, err := r.RunWithGuarantee(plan, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 150 {
+		t.Errorf("N = %d, want the paper's 150", res.N)
+	}
+	if res.Eps != 0.1 || res.Delta != 0.1 {
+		t.Errorf("guarantee parameters lost: %+v", res)
+	}
+}
+
+func TestRunnerDeterministicPerSeed(t *testing.T) {
+	cat := catalogWithConflicts()
+	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	a, err := (&Runner{Catalog: cat, Seed: 5}).Run(plan, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Runner{Catalog: cat, Seed: 5}).Run(plan, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lookup([]string{"c2"}).Count != b.Lookup([]string{"c2"}).Count {
+		t.Error("same seed must reproduce counts")
+	}
+}
+
+func TestRunnerBadN(t *testing.T) {
+	cat := catalogWithConflicts()
+	r := &Runner{Catalog: cat, Seed: 1}
+	if _, err := r.Run(engine.Scan{Table: "orders"}, 0); err == nil {
+		t.Error("n = 0 must fail")
+	}
+}

@@ -1,0 +1,145 @@
+// Package prob provides small utilities over exact rational probabilities
+// (math/big.Rat) used throughout the library: normalization, summation,
+// formatting, weighted random choice, and the Hoeffding sample-size bound
+// n = ⌈ln(2/δ) / (2ε²)⌉ that drives the additive-error approximation scheme
+// of Theorem 9.
+package prob
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+)
+
+// Zero returns a fresh rational 0.
+func Zero() *big.Rat { return new(big.Rat) }
+
+// One returns a fresh rational 1.
+func One() *big.Rat { return big.NewRat(1, 1) }
+
+// R is shorthand for big.NewRat.
+func R(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+// Sum returns the sum of the rationals (zero for an empty list).
+func Sum(rs []*big.Rat) *big.Rat {
+	total := new(big.Rat)
+	for _, r := range rs {
+		total.Add(total, r)
+	}
+	return total
+}
+
+// IsZero reports whether r equals 0.
+func IsZero(r *big.Rat) bool { return r.Sign() == 0 }
+
+// IsOne reports whether r equals 1.
+func IsOne(r *big.Rat) bool { return r.Cmp(One()) == 0 }
+
+// InUnit reports whether 0 ≤ r ≤ 1.
+func InUnit(r *big.Rat) bool { return r.Sign() >= 0 && r.Cmp(One()) <= 0 }
+
+// ErrBadWeights is returned by Normalize when weights are unusable.
+var ErrBadWeights = errors.New("prob: weights must be non-negative with positive sum")
+
+// Normalize scales non-negative weights to sum to exactly 1. It fails when
+// any weight is negative or all weights are zero. The input is not
+// modified.
+func Normalize(ws []*big.Rat) ([]*big.Rat, error) {
+	total := new(big.Rat)
+	for _, w := range ws {
+		if w.Sign() < 0 {
+			return nil, ErrBadWeights
+		}
+		total.Add(total, w)
+	}
+	if total.Sign() == 0 {
+		return nil, ErrBadWeights
+	}
+	out := make([]*big.Rat, len(ws))
+	for i, w := range ws {
+		out[i] = new(big.Rat).Quo(w, total)
+	}
+	return out, nil
+}
+
+// SumsToOne reports whether the rationals sum to exactly 1.
+func SumsToOne(rs []*big.Rat) bool { return IsOne(Sum(rs)) }
+
+// Float converts a rational to float64 (for reporting only; all chain
+// arithmetic stays exact).
+func Float(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// Format renders a rational as "num/den (decimal)", e.g. "9/20 (0.4500)".
+func Format(r *big.Rat) string {
+	if r.IsInt() {
+		return fmt.Sprintf("%s (%.4f)", r.Num().String(), Float(r))
+	}
+	return fmt.Sprintf("%s/%s (%.4f)", r.Num().String(), r.Denom().String(), Float(r))
+}
+
+// HoeffdingSamples returns the number of independent samples
+// n = ⌈ln(2/δ) / (2ε²)⌉ sufficient for the sample mean of {0,1} variables
+// to lie within ε of its expectation with probability at least 1−δ
+// (Hoeffding's inequality, as used in the proof of Theorem 9). For
+// ε = δ = 0.1 this yields the paper's n = 150.
+func HoeffdingSamples(eps, delta float64) (int, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("prob: need ε > 0 and 0 < δ < 1, got ε=%v δ=%v", eps, delta)
+	}
+	n := math.Ceil(math.Log(2/delta) / (2 * eps * eps))
+	if n < 1 {
+		n = 1
+	}
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("prob: sample size %.0f is impractically large", n)
+	}
+	return int(n), nil
+}
+
+// Pick draws an index with probability proportional to the given
+// non-negative weights, using the provided source of randomness. It panics
+// on an empty or all-zero weight list (the chain machinery validates
+// weights before sampling).
+func Pick(rng *rand.Rand, ws []*big.Rat) int {
+	total := Sum(ws)
+	if len(ws) == 0 || total.Sign() <= 0 {
+		panic("prob: Pick requires non-empty weights with positive sum")
+	}
+	// Draw u uniform in [0, total) as an exact rational with a 53-bit
+	// numerator, then walk the cumulative sum. Precision is bounded by the
+	// RNG, not by floating-point accumulation.
+	const resolution = 1 << 53
+	u := new(big.Rat).SetFrac64(rng.Int63n(resolution), resolution)
+	u.Mul(u, total)
+	acc := new(big.Rat)
+	for i, w := range ws {
+		if w.Sign() == 0 {
+			continue
+		}
+		acc.Add(acc, w)
+		if u.Cmp(acc) < 0 {
+			return i
+		}
+	}
+	// Numerically unreachable; return the last positive-weight index.
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i].Sign() > 0 {
+			return i
+		}
+	}
+	panic("prob: unreachable")
+}
+
+// Equal reports whether two rationals are equal.
+func Equal(a, b *big.Rat) bool { return a.Cmp(b) == 0 }
+
+// AbsDiff returns |a − b| as a float64; used by approximation tests to
+// compare estimates against exact values.
+func AbsDiff(a float64, b *big.Rat) float64 {
+	return math.Abs(a - Float(b))
+}

@@ -1,0 +1,188 @@
+package prob
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum(t *testing.T) {
+	if !IsZero(Sum(nil)) {
+		t.Error("empty sum must be 0")
+	}
+	s := Sum([]*big.Rat{R(1, 2), R(1, 3), R(1, 6)})
+	if !IsOne(s) {
+		t.Errorf("1/2+1/3+1/6 = %s, want 1", s.RatString())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ps, err := Normalize([]*big.Rat{R(1, 1), R(3, 1)})
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if ps[0].Cmp(R(1, 4)) != 0 || ps[1].Cmp(R(3, 4)) != 0 {
+		t.Errorf("Normalize = %s, %s", ps[0].RatString(), ps[1].RatString())
+	}
+	if !SumsToOne(ps) {
+		t.Error("normalized weights must sum to 1")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize([]*big.Rat{Zero(), Zero()}); err == nil {
+		t.Error("all-zero weights must fail")
+	}
+	if _, err := Normalize([]*big.Rat{R(-1, 2), R(3, 2)}); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	in := []*big.Rat{R(2, 1), R(2, 1)}
+	if _, err := Normalize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].Cmp(R(2, 1)) != 0 {
+		t.Error("Normalize mutated its input")
+	}
+}
+
+func TestInUnit(t *testing.T) {
+	for _, tc := range []struct {
+		r    *big.Rat
+		want bool
+	}{
+		{Zero(), true}, {One(), true}, {R(1, 2), true},
+		{R(-1, 2), false}, {R(3, 2), false},
+	} {
+		if got := InUnit(tc.r); got != tc.want {
+			t.Errorf("InUnit(%s) = %v, want %v", tc.r.RatString(), got, tc.want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if got := Format(R(9, 20)); got != "9/20 (0.4500)" {
+		t.Errorf("Format(9/20) = %q", got)
+	}
+	if got := Format(R(2, 1)); got != "2 (2.0000)" {
+		t.Errorf("Format(2) = %q", got)
+	}
+}
+
+func TestHoeffdingSamplesPaperValue(t *testing.T) {
+	// The paper: "for ε = δ = 0.1, it is 150".
+	n, err := HoeffdingSamples(0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 {
+		t.Errorf("n(0.1, 0.1) = %d, want 150", n)
+	}
+}
+
+func TestHoeffdingSamplesTable(t *testing.T) {
+	cases := []struct {
+		eps, delta float64
+		want       int
+	}{
+		{0.05, 0.1, 600},
+		{0.1, 0.05, 185}, // ceil(ln(40)/0.02) = ceil(184.44)
+		{0.2, 0.2, 29},   // ceil(ln(10)/0.08) = ceil(28.78)
+		{0.01, 0.01, 26492},
+	}
+	for _, tc := range cases {
+		n, err := HoeffdingSamples(tc.eps, tc.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tc.want {
+			t.Errorf("n(%v, %v) = %d, want %d", tc.eps, tc.delta, n, tc.want)
+		}
+	}
+}
+
+func TestHoeffdingSamplesErrors(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 0.1}, {-1, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, 2}} {
+		if _, err := HoeffdingSamples(tc[0], tc[1]); err == nil {
+			t.Errorf("HoeffdingSamples(%v, %v) must fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestHoeffdingBoundIsSufficient(t *testing.T) {
+	// The defining inequality: 2·exp(−2nε²) ≤ δ at the returned n.
+	f := func(e, d float64) bool {
+		eps := 0.01 + math.Mod(math.Abs(e), 0.5)
+		delta := 0.01 + math.Mod(math.Abs(d), 0.9)
+		n, err := HoeffdingSamples(eps, delta)
+		if err != nil {
+			return false
+		}
+		return 2*math.Exp(-2*float64(n)*eps*eps) <= delta+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickRespectsZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ws := []*big.Rat{Zero(), R(1, 2), Zero(), R(1, 2), Zero()}
+	for i := 0; i < 200; i++ {
+		idx := Pick(rng, ws)
+		if idx != 1 && idx != 3 {
+			t.Fatalf("picked zero-weight index %d", idx)
+		}
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ws := []*big.Rat{R(1, 4), R(3, 4)}
+	n := 20000
+	count := 0
+	for i := 0; i < n; i++ {
+		if Pick(rng, ws) == 1 {
+			count++
+		}
+	}
+	got := float64(count) / float64(n)
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("Pick frequency of index 1 = %.3f, want ≈ 0.75", got)
+	}
+}
+
+func TestPickUnnormalizedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := []*big.Rat{R(2, 1), R(6, 1)} // 1/4 vs 3/4 after normalization
+	n := 20000
+	count := 0
+	for i := 0; i < n; i++ {
+		if Pick(rng, ws) == 1 {
+			count++
+		}
+	}
+	got := float64(count) / float64(n)
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("Pick frequency = %.3f, want ≈ 0.75", got)
+	}
+}
+
+func TestPickPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pick over zero weights must panic")
+		}
+	}()
+	Pick(rand.New(rand.NewSource(1)), []*big.Rat{Zero()})
+}
+
+func TestAbsDiff(t *testing.T) {
+	if d := AbsDiff(0.5, R(1, 4)); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("AbsDiff = %v", d)
+	}
+}

@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schema is a finite set of relation symbols with associated arities.
+type Schema struct {
+	arity map[string]int
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return &Schema{arity: map[string]int{}} }
+
+// Add records a predicate with its arity. Re-adding with the same arity is
+// a no-op; a conflicting arity is an error.
+func (s *Schema) Add(pred string, arity int) error {
+	if existing, ok := s.arity[pred]; ok {
+		if existing != arity {
+			return fmt.Errorf("predicate %s declared with arity %d and %d", pred, existing, arity)
+		}
+		return nil
+	}
+	s.arity[pred] = arity
+	return nil
+}
+
+// Arity reports the arity of a predicate and whether it is declared.
+func (s *Schema) Arity(pred string) (int, bool) {
+	a, ok := s.arity[pred]
+	return a, ok
+}
+
+// Predicates returns the sorted predicate names.
+func (s *Schema) Predicates() []string {
+	out := make([]string, 0, len(s.arity))
+	for p := range s.arity {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *Schema) Clone() *Schema {
+	out := NewSchema()
+	for p, a := range s.arity {
+		out.arity[p] = a
+	}
+	return out
+}
+
+// AddDatabase records every predicate of the database, inferring arities
+// from the facts.
+func (s *Schema) AddDatabase(d *Database) error {
+	for _, f := range d.Facts() {
+		if err := s.Add(f.Pred, len(f.Args)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Base describes B(D,Σ): the set of all facts R(c1, ..., cn) where R is a
+// schema predicate and each ci is a constant occurring in dom(D) or in Σ.
+// The set is typically astronomically large, so it is never materialized;
+// Base answers membership queries and exposes its constant domain.
+type Base struct {
+	schema *Schema
+	consts map[string]bool
+}
+
+// NewBase builds a base from a schema and a set of constants.
+func NewBase(schema *Schema, consts []string) *Base {
+	m := make(map[string]bool, len(consts))
+	for _, c := range consts {
+		m[c] = true
+	}
+	return &Base{schema: schema, consts: m}
+}
+
+// Schema returns the underlying schema.
+func (b *Base) Schema() *Schema { return b.schema }
+
+// Dom returns the sorted constant domain dom(B(D,Σ)).
+func (b *Base) Dom() []string {
+	out := make([]string, 0, len(b.consts))
+	for c := range b.consts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasConst reports whether the constant belongs to the base domain.
+func (b *Base) HasConst(c string) bool { return b.consts[c] }
+
+// Contains reports whether the fact belongs to B(D,Σ): its predicate is in
+// the schema with matching arity and all its constants are in the domain.
+func (b *Base) Contains(f Fact) bool {
+	arity, ok := b.schema.Arity(f.Pred)
+	if !ok || arity != len(f.Args) {
+		return false
+	}
+	for _, c := range f.Args {
+		if !b.consts[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every fact of the slice is in the base.
+func (b *Base) ContainsAll(fs []Fact) bool {
+	for _, f := range fs {
+		if !b.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of facts in the base, i.e.
+// Σ_R |dom|^arity(R). It saturates at MaxInt on overflow.
+func (b *Base) Size() int {
+	n := len(b.consts)
+	total := 0
+	for _, p := range b.schema.Predicates() {
+		a, _ := b.schema.Arity(p)
+		count := 1
+		for i := 0; i < a; i++ {
+			if n != 0 && count > (int(^uint(0)>>1))/n {
+				return int(^uint(0) >> 1)
+			}
+			count *= n
+		}
+		if total > (int(^uint(0)>>1))-count {
+			return int(^uint(0) >> 1)
+		}
+		total += count
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestSchemaArityConflict(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add("R", 2); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Add("R", 2); err != nil {
+		t.Errorf("same arity re-add must succeed: %v", err)
+	}
+	if err := s.Add("R", 3); err == nil {
+		t.Error("conflicting arity must fail")
+	}
+	if a, ok := s.Arity("R"); !ok || a != 2 {
+		t.Errorf("Arity(R) = %d, %v", a, ok)
+	}
+	if _, ok := s.Arity("S"); ok {
+		t.Error("undeclared predicate must not be found")
+	}
+}
+
+func TestSchemaAddDatabase(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "b"), NewFact("S", "c"))
+	s := NewSchema()
+	if err := s.AddDatabase(d); err != nil {
+		t.Fatalf("AddDatabase: %v", err)
+	}
+	preds := s.Predicates()
+	if len(preds) != 2 || preds[0] != "R" || preds[1] != "S" {
+		t.Errorf("Predicates = %v", preds)
+	}
+}
+
+func TestBaseContains(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBase(s, []string{"a", "b"})
+	if !b.Contains(NewFact("R", "a", "b")) {
+		t.Error("fact over base constants must be in the base")
+	}
+	if b.Contains(NewFact("R", "a", "z")) {
+		t.Error("constant outside the domain must be rejected")
+	}
+	if b.Contains(NewFact("S", "a", "b")) {
+		t.Error("undeclared predicate must be rejected")
+	}
+	if b.Contains(NewFact("R", "a")) {
+		t.Error("wrong arity must be rejected")
+	}
+	if !b.ContainsAll([]Fact{NewFact("R", "a", "a"), NewFact("R", "b", "b")}) {
+		t.Error("ContainsAll over valid facts")
+	}
+	if b.ContainsAll([]Fact{NewFact("R", "a", "a"), NewFact("R", "b", "q")}) {
+		t.Error("ContainsAll must reject any invalid fact")
+	}
+}
+
+func TestBaseDomSorted(t *testing.T) {
+	s := NewSchema()
+	b := NewBase(s, []string{"c", "a", "b", "a"})
+	dom := b.Dom()
+	if len(dom) != 3 || dom[0] != "a" || dom[1] != "b" || dom[2] != "c" {
+		t.Errorf("Dom = %v", dom)
+	}
+	if !b.HasConst("a") || b.HasConst("z") {
+		t.Error("HasConst misbehaves")
+	}
+}
+
+func TestBaseSize(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBase(s, []string{"a", "b", "c"})
+	// |R| = 3^2 = 9, |S| = 3 → 12.
+	if got := b.Size(); got != 12 {
+		t.Errorf("Size = %d, want 12", got)
+	}
+}
+
+func TestBaseSizeSaturates(t *testing.T) {
+	s := NewSchema()
+	if err := s.Add("Wide", 20); err != nil {
+		t.Fatal(err)
+	}
+	consts := make([]string, 100)
+	for i := range consts {
+		consts[i] = string(rune('a' + i%26))
+	}
+	b := NewBase(s, []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"})
+	if got := b.Size(); got <= 0 {
+		t.Errorf("Size must saturate positively, got %d", got)
+	}
+}

@@ -1,0 +1,265 @@
+package relation
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Database is a finite set of facts with per-predicate indexes. It
+// implements logic's fact-source interface so that homomorphism search can
+// run directly against it.
+//
+// A Database is mutable; Clone produces an independent copy. All read
+// methods are safe for concurrent use provided no writer is active.
+type Database struct {
+	facts  map[string]Fact   // canonical key -> fact
+	byPred map[string][]Fact // predicate -> facts (unordered)
+	dirty  map[string]bool   // predicates whose byPred slice has tombstones
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		facts:  map[string]Fact{},
+		byPred: map[string][]Fact{},
+		dirty:  map[string]bool{},
+	}
+}
+
+// FromFacts builds a database containing the given facts (duplicates are
+// collapsed, as databases are sets).
+func FromFacts(fs ...Fact) *Database {
+	d := NewDatabase()
+	for _, f := range fs {
+		d.Insert(f)
+	}
+	return d
+}
+
+// Size reports the number of facts.
+func (d *Database) Size() int { return len(d.facts) }
+
+// Contains reports whether the fact is present.
+func (d *Database) Contains(f Fact) bool {
+	_, ok := d.facts[f.Key()]
+	return ok
+}
+
+// ContainsAtom reports whether the ground atom is present as a fact.
+func (d *Database) ContainsAtom(a logic.Atom) bool {
+	f, err := FactFromAtom(a)
+	if err != nil {
+		return false
+	}
+	return d.Contains(f)
+}
+
+// Insert adds a fact; inserting an existing fact is a no-op. It reports
+// whether the database changed.
+func (d *Database) Insert(f Fact) bool {
+	k := f.Key()
+	if _, ok := d.facts[k]; ok {
+		return false
+	}
+	// Compact first: a tombstoned copy of f may still sit in the index
+	// (delete-then-reinsert), and appending blindly would duplicate it.
+	d.compact(f.Pred)
+	d.facts[k] = f
+	d.byPred[f.Pred] = append(d.byPred[f.Pred], f)
+	return true
+}
+
+// Delete removes a fact; deleting an absent fact is a no-op. It reports
+// whether the database changed. Deletion marks the predicate index dirty;
+// the index is compacted lazily on the next read.
+func (d *Database) Delete(f Fact) bool {
+	k := f.Key()
+	if _, ok := d.facts[k]; !ok {
+		return false
+	}
+	delete(d.facts, k)
+	d.dirty[f.Pred] = true
+	return true
+}
+
+// compact drops deleted facts from the predicate index.
+func (d *Database) compact(pred string) {
+	if !d.dirty[pred] {
+		return
+	}
+	live := d.byPred[pred][:0]
+	for _, f := range d.byPred[pred] {
+		if _, ok := d.facts[f.Key()]; ok {
+			live = append(live, f)
+		}
+	}
+	if len(live) == 0 {
+		delete(d.byPred, pred)
+	} else {
+		d.byPred[pred] = live
+	}
+	delete(d.dirty, pred)
+}
+
+// FactsByPred returns the facts with the given predicate. The returned
+// slice must not be modified. This method makes *Database a
+// logic.FactSource.
+func (d *Database) FactsByPred(pred string) []Fact {
+	d.compact(pred)
+	return d.byPred[pred]
+}
+
+// AtomsByPred returns the facts with the given predicate as ground atoms,
+// satisfying logic.FactSource.
+func (d *Database) AtomsByPred(pred string) []logic.Atom {
+	fs := d.FactsByPred(pred)
+	out := make([]logic.Atom, len(fs))
+	for i, f := range fs {
+		out[i] = f.Atom()
+	}
+	return out
+}
+
+// Facts returns all facts in canonical order.
+func (d *Database) Facts() []Fact {
+	out := make([]Fact, 0, len(d.facts))
+	for _, f := range d.facts {
+		out = append(out, f)
+	}
+	SortFacts(out)
+	return out
+}
+
+// Predicates returns the sorted list of predicates with at least one fact.
+func (d *Database) Predicates() []string {
+	var out []string
+	for p := range d.byPred {
+		d.compact(p)
+		if len(d.byPred[p]) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dom returns the active domain dom(D): the sorted set of constants
+// appearing in the database.
+func (d *Database) Dom() []string {
+	seen := map[string]bool{}
+	for _, f := range d.facts {
+		for _, c := range f.Args {
+			seen[c] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the database. The copy shares the
+// (immutable) Fact values but none of the index structures; canonical keys
+// are not recomputed.
+func (d *Database) Clone() *Database {
+	out := &Database{
+		facts:  make(map[string]Fact, len(d.facts)),
+		byPred: make(map[string][]Fact, len(d.byPred)),
+		dirty:  make(map[string]bool, len(d.dirty)),
+	}
+	for k, f := range d.facts {
+		out.facts[k] = f
+	}
+	for p, fs := range d.byPred {
+		out.byPred[p] = append([]Fact(nil), fs...)
+	}
+	for p := range d.dirty {
+		out.dirty[p] = true
+	}
+	return out
+}
+
+// Equal reports whether two databases contain exactly the same facts.
+func (d *Database) Equal(o *Database) bool {
+	if len(d.facts) != len(o.facts) {
+		return false
+	}
+	for k := range d.facts {
+		if _, ok := o.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every fact of d is in o.
+func (d *Database) SubsetOf(o *Database) bool {
+	if len(d.facts) > len(o.facts) {
+		return false
+	}
+	for k := range d.facts {
+		if _, ok := o.facts[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the database contents, suitable for
+// grouping repairs that arise from different repairing sequences.
+func (d *Database) Key() string {
+	keys := make([]string, 0, len(d.facts))
+	for k := range d.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// String renders the database as a sorted fact set.
+func (d *Database) String() string { return FactsString(d.Facts()) }
+
+// InsertAll inserts every fact of the slice, reporting how many were new.
+func (d *Database) InsertAll(fs []Fact) int {
+	n := 0
+	for _, f := range fs {
+		if d.Insert(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// DeleteAll deletes every fact of the slice, reporting how many were
+// present.
+func (d *Database) DeleteAll(fs []Fact) int {
+	n := 0
+	for _, f := range fs {
+		if d.Delete(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// SymmetricDiff returns ∆(d, o) = (d − o) ∪ (o − d) as two slices: the
+// facts only in d, and the facts only in o.
+func (d *Database) SymmetricDiff(o *Database) (onlyD, onlyO []Fact) {
+	for k, f := range d.facts {
+		if _, ok := o.facts[k]; !ok {
+			onlyD = append(onlyD, f)
+		}
+	}
+	for k, f := range o.facts {
+		if _, ok := d.facts[k]; !ok {
+			onlyO = append(onlyO, f)
+		}
+	}
+	SortFacts(onlyD)
+	SortFacts(onlyO)
+	return onlyD, onlyO
+}

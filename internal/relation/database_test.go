@@ -1,0 +1,208 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestFactKeyDistinguishesArgs(t *testing.T) {
+	// Quoting must prevent collisions like R("a,b") vs R("a","b").
+	a := NewFact("R", "a,b")
+	b := NewFact("R", "a", "b")
+	if a.Key() == b.Key() {
+		t.Errorf("keys collide: %q", a.Key())
+	}
+}
+
+func TestFactAtomRoundTrip(t *testing.T) {
+	f := NewFact("R", "a", "b")
+	g, err := FactFromAtom(f.Atom())
+	if err != nil {
+		t.Fatalf("FactFromAtom: %v", err)
+	}
+	if !f.Equal(g) {
+		t.Errorf("round trip changed the fact: %v vs %v", f, g)
+	}
+}
+
+func TestFactFromAtomRejectsVariables(t *testing.T) {
+	if _, err := FactFromAtom(logic.NewAtom("R", logic.Var("x"))); err == nil {
+		t.Error("expected error for non-ground atom")
+	}
+}
+
+func TestDatabaseInsertDelete(t *testing.T) {
+	d := NewDatabase()
+	f := NewFact("R", "a", "b")
+	if !d.Insert(f) {
+		t.Error("first insert must report change")
+	}
+	if d.Insert(f) {
+		t.Error("duplicate insert must be a no-op")
+	}
+	if d.Size() != 1 {
+		t.Errorf("size = %d, want 1", d.Size())
+	}
+	if !d.Contains(f) {
+		t.Error("inserted fact must be present")
+	}
+	if !d.Delete(f) {
+		t.Error("delete of present fact must report change")
+	}
+	if d.Delete(f) {
+		t.Error("delete of absent fact must be a no-op")
+	}
+	if d.Size() != 0 || d.Contains(f) {
+		t.Error("fact must be gone")
+	}
+}
+
+func TestDatabaseFactsByPredAfterDelete(t *testing.T) {
+	d := FromFacts(
+		NewFact("R", "a"),
+		NewFact("R", "b"),
+		NewFact("S", "c"),
+	)
+	d.Delete(NewFact("R", "a"))
+	rs := d.FactsByPred("R")
+	if len(rs) != 1 || rs[0].Args[0] != "b" {
+		t.Errorf("FactsByPred(R) = %v", rs)
+	}
+	if preds := d.Predicates(); len(preds) != 2 || preds[0] != "R" || preds[1] != "S" {
+		t.Errorf("Predicates = %v", preds)
+	}
+	d.Delete(NewFact("R", "b"))
+	if preds := d.Predicates(); len(preds) != 1 || preds[0] != "S" {
+		t.Errorf("Predicates after emptying R = %v", preds)
+	}
+}
+
+func TestDatabaseDom(t *testing.T) {
+	d := FromFacts(NewFact("R", "b", "a"), NewFact("S", "c"))
+	dom := d.Dom()
+	if strings.Join(dom, ",") != "a,b,c" {
+		t.Errorf("Dom = %v, want sorted [a b c]", dom)
+	}
+}
+
+func TestDatabaseCloneIndependence(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"))
+	c := d.Clone()
+	c.Insert(NewFact("R", "b"))
+	c.Delete(NewFact("R", "a"))
+	if !d.Contains(NewFact("R", "a")) || d.Contains(NewFact("R", "b")) {
+		t.Error("mutating the clone affected the original")
+	}
+}
+
+func TestDatabaseEqualAndSubset(t *testing.T) {
+	a := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
+	b := FromFacts(NewFact("R", "b"), NewFact("R", "a"))
+	if !a.Equal(b) {
+		t.Error("insertion order must not matter for equality")
+	}
+	c := FromFacts(NewFact("R", "a"))
+	if a.Equal(c) {
+		t.Error("different contents must not be equal")
+	}
+	if !c.SubsetOf(a) {
+		t.Error("c ⊆ a")
+	}
+	if a.SubsetOf(c) {
+		t.Error("a ⊄ c")
+	}
+}
+
+func TestDatabaseKeyGroupsEqualDatabases(t *testing.T) {
+	a := FromFacts(NewFact("R", "a"), NewFact("S", "b"))
+	b := FromFacts(NewFact("S", "b"), NewFact("R", "a"))
+	if a.Key() != b.Key() {
+		t.Error("equal databases must share a key")
+	}
+}
+
+func TestSymmetricDiff(t *testing.T) {
+	a := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
+	b := FromFacts(NewFact("R", "b"), NewFact("R", "c"))
+	onlyA, onlyB := a.SymmetricDiff(b)
+	if len(onlyA) != 1 || onlyA[0].Args[0] != "a" {
+		t.Errorf("onlyA = %v", onlyA)
+	}
+	if len(onlyB) != 1 || onlyB[0].Args[0] != "c" {
+		t.Errorf("onlyB = %v", onlyB)
+	}
+}
+
+func TestFactsString(t *testing.T) {
+	got := FactsString([]Fact{NewFact("S", "b"), NewFact("R", "a")})
+	if got != "{R(a), S(b)}" {
+		t.Errorf("FactsString = %q", got)
+	}
+}
+
+func TestCompareFactsTotalOrder(t *testing.T) {
+	f := func(a1, a2, b1, b2 string) bool {
+		x := NewFact("R", a1, a2)
+		y := NewFact("R", b1, b2)
+		cmpXY := CompareFacts(x, y)
+		cmpYX := CompareFacts(y, x)
+		if x.Equal(y) {
+			return cmpXY == 0 && cmpYX == 0
+		}
+		return cmpXY == -cmpYX && cmpXY != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert-then-delete returns the database to its original state.
+func TestInsertDeleteInverse(t *testing.T) {
+	f := func(pred string, args []string) bool {
+		if pred == "" {
+			pred = "P"
+		}
+		if len(args) == 0 {
+			args = []string{"a"}
+		}
+		d := FromFacts(NewFact("Q", "fixed"))
+		before := d.Key()
+		fact := NewFact(pred, args...)
+		if d.Contains(fact) {
+			return true
+		}
+		d.Insert(fact)
+		d.Delete(fact)
+		return d.Key() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeleteReinsertNoDuplicateIndex is a regression test: deleting a fact
+// tombstones its index entry; re-inserting it must not leave a duplicate in
+// the per-predicate index.
+func TestDeleteReinsertNoDuplicateIndex(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
+	f := NewFact("R", "a")
+	d.Delete(f)
+	d.Insert(f)
+	if got := len(d.FactsByPred("R")); got != 2 {
+		t.Fatalf("index has %d entries after delete+reinsert, want 2", got)
+	}
+	// Repeating the cycle must stay stable.
+	for i := 0; i < 5; i++ {
+		d.Delete(f)
+		d.Insert(f)
+	}
+	if got := len(d.FactsByPred("R")); got != 2 {
+		t.Fatalf("index has %d entries after repeated cycles, want 2", got)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("size = %d, want 2", d.Size())
+	}
+}

@@ -1,0 +1,154 @@
+// Package relation implements the relational storage substrate: ground
+// facts, database instances with per-predicate indexes, active domains, and
+// the base B(D,Σ) over which repairing operations are defined.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Fact is a ground atom R(c1, ..., cn): a predicate applied to constants.
+// Facts are immutable once constructed.
+type Fact struct {
+	Pred string
+	Args []string
+}
+
+// NewFact constructs a fact from a predicate name and constant names.
+func NewFact(pred string, args ...string) Fact {
+	return Fact{Pred: pred, Args: args}
+}
+
+// FactFromAtom converts a ground atom to a fact. It returns an error when
+// the atom contains variables.
+func FactFromAtom(a logic.Atom) (Fact, error) {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			return Fact{}, fmt.Errorf("atom %s is not ground: variable %s", a, t.Name())
+		}
+		args[i] = t.Name()
+	}
+	return Fact{Pred: a.Pred, Args: args}, nil
+}
+
+// MustFactFromAtom is FactFromAtom that panics on non-ground atoms; for use
+// with atoms that are ground by construction.
+func MustFactFromAtom(a logic.Atom) Fact {
+	f, err := FactFromAtom(a)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FactsFromAtoms converts a list of ground atoms into facts.
+func FactsFromAtoms(atoms []logic.Atom) ([]Fact, error) {
+	out := make([]Fact, len(atoms))
+	for i, a := range atoms {
+		f, err := FactFromAtom(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Atom converts the fact back into a ground atom.
+func (f Fact) Atom() logic.Atom {
+	ts := make([]logic.Term, len(f.Args))
+	for i, c := range f.Args {
+		ts[i] = logic.Const(c)
+	}
+	return logic.Atom{Pred: f.Pred, Args: ts}
+}
+
+// Key returns the canonical encoding of the fact, usable as a map key.
+// Every token is length-prefixed, so distinct facts never collide
+// regardless of the characters in predicate or constants; the encoding is
+// deliberately cheap since Key sits on the hot path of violation
+// maintenance and chain walks.
+func (f Fact) Key() string {
+	n := len(f.Pred) + 8
+	for _, a := range f.Args {
+		n += len(a) + 8
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(strconv.Itoa(len(f.Pred)))
+	b.WriteByte(':')
+	b.WriteString(f.Pred)
+	for _, a := range f.Args {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(a)))
+		b.WriteByte(':')
+		b.WriteString(a)
+	}
+	return b.String()
+}
+
+// String renders the fact in the text format, e.g. R(a, b).
+func (f Fact) String() string { return f.Atom().String() }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Pred != g.Pred || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareFacts orders facts by predicate, then arity, then argument values;
+// it is used to produce deterministic output.
+func CompareFacts(a, b Fact) int {
+	if a.Pred != b.Pred {
+		if a.Pred < b.Pred {
+			return -1
+		}
+		return 1
+	}
+	if len(a.Args) != len(b.Args) {
+		if len(a.Args) < len(b.Args) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			if a.Args[i] < b.Args[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// SortFacts sorts a slice of facts in place into the canonical order.
+func SortFacts(fs []Fact) {
+	sort.Slice(fs, func(i, j int) bool { return CompareFacts(fs[i], fs[j]) < 0 })
+}
+
+// FactsString renders a set of facts as a sorted, comma-separated list in
+// braces, e.g. {R(a, b), T(a, b)}.
+func FactsString(fs []Fact) string {
+	sorted := make([]Fact, len(fs))
+	copy(sorted, fs)
+	SortFacts(sorted)
+	parts := make([]string, len(sorted))
+	for i, f := range sorted {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

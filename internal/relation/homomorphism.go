@@ -1,0 +1,157 @@
+package relation
+
+import (
+	"repro/internal/logic"
+)
+
+// This file implements backtracking homomorphism search from conjunctions
+// of atoms into databases. A homomorphism h maps the variables of the atoms
+// to constants (it is the identity on constants) so that every atom lands on
+// a fact of the database. Constraint satisfaction, violation detection, and
+// conjunctive-query evaluation are all phrased in terms of this search.
+
+// ForEachHom enumerates the homomorphisms from atoms into d that extend
+// base. The callback receives a substitution owned by the callee (clone it
+// to retain); returning false stops the enumeration early. The base
+// substitution itself is not modified. ForEachHom reports whether the
+// enumeration ran to completion (i.e. was not stopped by the callback).
+func ForEachHom(atoms []logic.Atom, d *Database, base logic.Subst, fn func(logic.Subst) bool) bool {
+	if len(atoms) == 0 {
+		return fn(base.Clone())
+	}
+	order := planOrder(atoms, d, base)
+	cur := base.Clone()
+	return matchFrom(order, 0, d, cur, fn)
+}
+
+// FindHoms returns all homomorphisms from atoms into d extending base
+// (pass nil for an unconstrained search).
+func FindHoms(atoms []logic.Atom, d *Database, base logic.Subst) []logic.Subst {
+	if base == nil {
+		base = logic.NewSubst()
+	}
+	var out []logic.Subst
+	ForEachHom(atoms, d, base, func(h logic.Subst) bool {
+		out = append(out, h.Clone())
+		return true
+	})
+	return out
+}
+
+// HasHom reports whether at least one homomorphism from atoms into d
+// extends base (pass nil for an unconstrained search).
+func HasHom(atoms []logic.Atom, d *Database, base logic.Subst) bool {
+	if base == nil {
+		base = logic.NewSubst()
+	}
+	found := false
+	ForEachHom(atoms, d, base, func(logic.Subst) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// planOrder chooses an evaluation order for the atoms: at each step pick the
+// atom with the smallest estimated number of candidate facts, preferring
+// atoms whose variables are already bound. This is the classic greedy
+// join-ordering heuristic; it keeps the backtracking search shallow on the
+// constraint bodies that arise in practice.
+func planOrder(atoms []logic.Atom, d *Database, base logic.Subst) []logic.Atom {
+	remaining := make([]logic.Atom, len(atoms))
+	copy(remaining, atoms)
+	bound := map[string]bool{}
+	for v := range base {
+		bound[v] = true
+	}
+	order := make([]logic.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		bestIdx, bestScore := 0, int(^uint(0)>>1)
+		for i, a := range remaining {
+			score := len(d.FactsByPred(a.Pred))
+			// Every argument that is a constant or an already-bound
+			// variable filters candidates; reward such atoms by halving.
+			for _, t := range a.Args {
+				if t.IsConst() || (t.IsVar() && bound[t.Name()]) {
+					score /= 2
+				}
+			}
+			if score < bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		chosen := remaining[bestIdx]
+		order = append(order, chosen)
+		for _, t := range chosen.Args {
+			if t.IsVar() {
+				bound[t.Name()] = true
+			}
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return order
+}
+
+// matchFrom extends cur to cover order[i:]; it reports whether enumeration
+// completed without the callback requesting a stop.
+func matchFrom(order []logic.Atom, i int, d *Database, cur logic.Subst, fn func(logic.Subst) bool) bool {
+	if i == len(order) {
+		return fn(cur)
+	}
+	atom := order[i]
+	for _, f := range d.FactsByPred(atom.Pred) {
+		if len(f.Args) != len(atom.Args) {
+			continue
+		}
+		// Attempt to unify atom with fact under cur, tracking fresh
+		// bindings so they can be undone on backtrack.
+		var added []string
+		ok := true
+		for j, t := range atom.Args {
+			c := f.Args[j]
+			if t.IsConst() {
+				if t.Name() != c {
+					ok = false
+					break
+				}
+				continue
+			}
+			v := t.Name()
+			if existing, bound := cur[v]; bound {
+				if existing != c {
+					ok = false
+					break
+				}
+				continue
+			}
+			cur[v] = c
+			added = append(added, v)
+		}
+		if ok {
+			if !matchFrom(order, i+1, d, cur, fn) {
+				for _, v := range added {
+					delete(cur, v)
+				}
+				return false
+			}
+		}
+		for _, v := range added {
+			delete(cur, v)
+		}
+	}
+	return true
+}
+
+// CountHoms returns the number of homomorphisms from atoms into d extending
+// base; used by benchmarks and tests.
+func CountHoms(atoms []logic.Atom, d *Database, base logic.Subst) int {
+	if base == nil {
+		base = logic.NewSubst()
+	}
+	n := 0
+	ForEachHom(atoms, d, base, func(logic.Subst) bool {
+		n++
+		return true
+	})
+	return n
+}

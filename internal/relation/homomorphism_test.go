@@ -1,0 +1,148 @@
+package relation
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func atom(pred string, terms ...logic.Term) logic.Atom { return logic.NewAtom(pred, terms...) }
+
+func v(n string) logic.Term { return logic.Var(n) }
+func c(n string) logic.Term { return logic.Const(n) }
+
+func TestFindHomsSingleAtom(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "a", "c"))
+	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("y"))}, d, nil)
+	if len(homs) != 2 {
+		t.Fatalf("found %d homomorphisms, want 2", len(homs))
+	}
+	for _, h := range homs {
+		if h["x"] != "a" {
+			t.Errorf("x bound to %q, want a", h["x"])
+		}
+	}
+}
+
+func TestFindHomsJoin(t *testing.T) {
+	d := FromFacts(
+		NewFact("R", "a", "b"),
+		NewFact("R", "b", "c"),
+		NewFact("R", "c", "d"),
+	)
+	// Path of length 2: R(x,y), R(y,z).
+	homs := FindHoms([]logic.Atom{
+		atom("R", v("x"), v("y")),
+		atom("R", v("y"), v("z")),
+	}, d, nil)
+	if len(homs) != 2 {
+		t.Fatalf("found %d homomorphisms, want 2 (a-b-c and b-c-d)", len(homs))
+	}
+}
+
+func TestFindHomsConstants(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "c", "b"))
+	homs := FindHoms([]logic.Atom{atom("R", c("a"), v("y"))}, d, nil)
+	if len(homs) != 1 || homs[0]["y"] != "b" {
+		t.Fatalf("homs = %v", homs)
+	}
+	if HasHom([]logic.Atom{atom("R", c("z"), v("y"))}, d, nil) {
+		t.Error("no fact matches constant z")
+	}
+}
+
+func TestFindHomsRepeatedVariable(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "a"), NewFact("R", "a", "b"))
+	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("x"))}, d, nil)
+	if len(homs) != 1 || homs[0]["x"] != "a" {
+		t.Fatalf("homs = %v, want single x->a", homs)
+	}
+}
+
+func TestFindHomsSelfJoinSameFact(t *testing.T) {
+	// Two body atoms may map to the same fact.
+	d := FromFacts(NewFact("R", "a", "b"))
+	homs := FindHoms([]logic.Atom{
+		atom("R", v("x"), v("y")),
+		atom("R", v("x"), v("z")),
+	}, d, nil)
+	if len(homs) != 1 {
+		t.Fatalf("found %d homomorphisms, want 1", len(homs))
+	}
+	if homs[0]["y"] != "b" || homs[0]["z"] != "b" {
+		t.Errorf("hom = %v", homs[0])
+	}
+}
+
+func TestFindHomsWithBase(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "c", "d"))
+	base := logic.Subst{"x": "c"}
+	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("y"))}, d, base)
+	if len(homs) != 1 || homs[0]["y"] != "d" {
+		t.Fatalf("homs = %v", homs)
+	}
+	// The base must not be mutated.
+	if len(base) != 1 {
+		t.Errorf("base mutated: %v", base)
+	}
+}
+
+func TestFindHomsEmptyAtoms(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"))
+	homs := FindHoms(nil, d, logic.Subst{"x": "q"})
+	if len(homs) != 1 || homs[0]["x"] != "q" {
+		t.Fatalf("empty conjunction must yield exactly the base, got %v", homs)
+	}
+}
+
+func TestForEachHomEarlyStop(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "b"), NewFact("R", "c"))
+	calls := 0
+	completed := ForEachHom([]logic.Atom{atom("R", v("x"))}, d, logic.NewSubst(), func(logic.Subst) bool {
+		calls++
+		return false
+	})
+	if completed {
+		t.Error("enumeration must report early stop")
+	}
+	if calls != 1 {
+		t.Errorf("callback called %d times, want 1", calls)
+	}
+}
+
+func TestCountHoms(t *testing.T) {
+	d := FromFacts(NewFact("E", "1", "2"), NewFact("E", "2", "1"))
+	// Directed 2-cycles: E(x,y), E(y,x).
+	n := CountHoms([]logic.Atom{
+		atom("E", v("x"), v("y")),
+		atom("E", v("y"), v("x")),
+	}, d, nil)
+	if n != 2 {
+		t.Errorf("CountHoms = %d, want 2", n)
+	}
+}
+
+func TestFindHomsArityMismatchIgnored(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "a", "b"))
+	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("y"))}, d, nil)
+	if len(homs) != 1 {
+		t.Fatalf("homs = %v, want only the arity-2 fact", homs)
+	}
+}
+
+func TestHomomorphismTriangleQuery(t *testing.T) {
+	// Triangles in a small directed graph.
+	d := FromFacts(
+		NewFact("E", "a", "b"), NewFact("E", "b", "c"), NewFact("E", "c", "a"),
+		NewFact("E", "a", "d"),
+	)
+	triangle := []logic.Atom{
+		atom("E", v("x"), v("y")),
+		atom("E", v("y"), v("z")),
+		atom("E", v("z"), v("x")),
+	}
+	homs := FindHoms(triangle, d, nil)
+	if len(homs) != 3 {
+		t.Errorf("found %d triangle homomorphisms, want 3 rotations", len(homs))
+	}
+}

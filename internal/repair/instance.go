@@ -1,0 +1,120 @@
+// Package repair implements repairing sequences of operations
+// (Definition 4 of the paper): sequences of justified operations subject to
+// req1 (every step eliminates a violation), req2 (eliminated violations
+// never reappear), no-cancellation (a fact added is never removed and vice
+// versa) and global justification of additions. It provides incremental
+// state tracking for tree exploration, a full-tree walker, and an
+// independent sequence validator used by the test suite.
+package repair
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/constraint"
+	"repro/internal/ops"
+	"repro/internal/relation"
+)
+
+// Options tunes the repairing operation space.
+type Options struct {
+	// NullInsertions switches TGD repairs to the null-based insertions of
+	// Section 6 ("Null Values"): instead of grounding existential head
+	// variables over every base constant (|dom|^|z̄| candidate operations),
+	// each TGD violation gets a single canonical insertion whose
+	// existential positions carry fresh labeled nulls. This is an
+	// extension beyond Definition 1 (null facts live outside B(D,Σ)) and
+	// trades the full Definition 3 minimality comparison against grounded
+	// candidates for a polynomial operation space.
+	NullInsertions bool
+}
+
+// Instance bundles the fixed context of a repairing process: the initial
+// (possibly inconsistent) database D, the constraint set Σ, and the base
+// B(D,Σ) from which operations draw their facts.
+type Instance struct {
+	initial *relation.Database
+	sigma   *constraint.Set
+	base    *relation.Base
+	opts    Options
+
+	// delOps caches the justified deletions of a violation, keyed by its
+	// body image: they are a pure function of the body facts and recur at
+	// every state where the violation survives. Safe for concurrent
+	// walkers.
+	delOpsMu sync.Mutex
+	delOps   map[string][]ops.Op
+}
+
+// NewInstance builds the context for repairing d under sigma. The database
+// is cloned; later mutations of d do not affect the instance.
+func NewInstance(d *relation.Database, sigma *constraint.Set) (*Instance, error) {
+	return NewInstanceOpts(d, sigma, Options{})
+}
+
+// NewInstanceOpts is NewInstance with explicit options.
+func NewInstanceOpts(d *relation.Database, sigma *constraint.Set, opts Options) (*Instance, error) {
+	base, err := sigma.Base(d)
+	if err != nil {
+		return nil, fmt.Errorf("building base B(D,Σ): %w", err)
+	}
+	return &Instance{
+		initial: d.Clone(),
+		sigma:   sigma,
+		base:    base,
+		opts:    opts,
+		delOps:  map[string][]ops.Op{},
+	}, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(d *relation.Database, sigma *constraint.Set) *Instance {
+	inst, err := NewInstance(d, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Initial returns (a private copy of) the initial database; callers must
+// not modify it.
+func (in *Instance) Initial() *relation.Database { return in.initial }
+
+// Sigma returns the constraint set.
+func (in *Instance) Sigma() *constraint.Set { return in.sigma }
+
+// Base returns B(D,Σ).
+func (in *Instance) Base() *relation.Base { return in.base }
+
+// Opts returns the instance options.
+func (in *Instance) Opts() Options { return in.opts }
+
+// Consistent reports whether the initial database already satisfies Σ.
+func (in *Instance) Consistent() bool { return in.sigma.Satisfied(in.initial) }
+
+// justifiedDeletions returns the cached justified deletions of a
+// violation, computing and caching them on first use.
+func (in *Instance) justifiedDeletions(v constraint.Violation) []ops.Op {
+	key := v.BodyKey()
+	in.delOpsMu.Lock()
+	cached, ok := in.delOps[key]
+	if !ok {
+		cached = ops.JustifiedDeletions(v)
+		in.delOps[key] = cached
+	}
+	in.delOpsMu.Unlock()
+	return cached
+}
+
+// Root returns the state of the empty repairing sequence ε.
+func (in *Instance) Root() *State {
+	db := in.initial.Clone()
+	return &State{
+		inst:       in,
+		db:         db,
+		violations: constraint.FindViolations(db, in.sigma),
+		eliminated: map[string]bool{},
+		added:      map[string]bool{},
+		removed:    map[string]bool{},
+	}
+}

@@ -1,0 +1,157 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// randomMixedInstance draws a small random instance exercising all three
+// constraint classes so the walk can mix insertions and deletions.
+func randomMixedInstance(seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	dom := []string{"a", "b"}
+	d := relation.NewDatabase()
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.Insert(f("R", dom[rng.Intn(2)], dom[rng.Intn(2)]))
+		case 1:
+			d.Insert(f("S", dom[rng.Intn(2)]))
+		default:
+			d.Insert(f("U", dom[rng.Intn(2)]))
+		}
+	}
+	x, y, z := v("x"), v("y"), v("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{at("R", x, y), at("R", x, z)},
+		y, z,
+	)
+	tgd := constraint.MustTGD(
+		[]logic.Atom{at("R", x, y)},
+		[]logic.Atom{at("S", y)},
+	)
+	dc := constraint.MustDC([]logic.Atom{at("U", x), at("S", x)})
+	return MustInstance(d, constraint.NewSet(key, tgd, dc))
+}
+
+// TestQuickTreeAgreesWithValidator: on random mixed instances, every
+// sequence enumerated by the incremental machinery passes the reference
+// Definition 4 validator, every complete successful state is consistent,
+// and every failing state is inconsistent with no extensions.
+func TestQuickTreeAgreesWithValidator(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomMixedInstance(seed)
+		okAll := true
+		count := 0
+		Walk(inst, func(s *State) bool {
+			count++
+			if count > 30000 {
+				t.Logf("seed %d: tree too large, pruning", seed)
+				return false
+			}
+			if err := Validate(inst, s.Ops()); err != nil {
+				t.Logf("seed %d: sequence %q invalid: %v", seed, s, err)
+				okAll = false
+				return false
+			}
+			if s.IsComplete() {
+				if s.IsSuccessful() != s.Consistent() {
+					t.Logf("seed %d: success/consistency mismatch at %q", seed, s)
+					okAll = false
+				}
+				if s.IsFailing() && len(s.Extensions()) != 0 {
+					t.Logf("seed %d: failing state with extensions at %q", seed, s)
+					okAll = false
+				}
+			}
+			return okAll
+		})
+		return okAll
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEliminatedNeverReturns: along every root-to-leaf path of random
+// instances, the violation sets at consecutive states never resurrect a
+// violation that disappeared earlier (req2, checked globally).
+func TestQuickEliminatedNeverReturns(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomMixedInstance(seed)
+		ok := true
+		var dfs func(s *State, eliminated map[string]bool)
+		count := 0
+		dfs = func(s *State, eliminated map[string]bool) {
+			count++
+			if !ok || count > 30000 {
+				return
+			}
+			for k := range eliminated {
+				if s.Violations().Has(k) {
+					t.Logf("seed %d: violation %s resurrected at %q", seed, k, s)
+					ok = false
+					return
+				}
+			}
+			for _, op := range s.Extensions() {
+				child := s.Child(op)
+				nextElim := map[string]bool{}
+				for k := range eliminated {
+					nextElim[k] = true
+				}
+				for _, v := range s.Violations().Minus(child.Violations()) {
+					nextElim[v.Key()] = true
+				}
+				dfs(child, nextElim)
+			}
+		}
+		dfs(inst.Root(), map[string]bool{})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSuccessfulResultsConsistent: results of successful sequences
+// satisfy Σ and differ from D only in base facts.
+func TestQuickSuccessfulResultsConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomMixedInstance(seed)
+		ok := true
+		count := 0
+		Walk(inst, func(s *State) bool {
+			count++
+			if count > 30000 {
+				return false
+			}
+			if s.IsSuccessful() {
+				if !inst.Sigma().Satisfied(s.Result()) {
+					t.Logf("seed %d: successful state %q inconsistent", seed, s)
+					ok = false
+					return false
+				}
+				added, removed := s.Result().SymmetricDiff(inst.Initial())
+				for _, fct := range append(added, removed...) {
+					if !inst.Base().Contains(fct) {
+						t.Logf("seed %d: repair changed non-base fact %s", seed, fct)
+						ok = false
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/ops"
+	"repro/internal/relation"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+func f(p string, args ...string) relation.Fact { return relation.NewFact(p, args...) }
+
+// keyInstance: D = {R(a,b), R(a,c)}, Σ = {key on R[1]}.
+func keyInstance(t *testing.T) *Instance {
+	t.Helper()
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"))
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	return MustInstance(d, constraint.NewSet(eta))
+}
+
+func TestRootState(t *testing.T) {
+	inst := keyInstance(t)
+	root := inst.Root()
+	if root.Len() != 0 || root.String() != "ε" {
+		t.Errorf("root = %q, len %d", root, root.Len())
+	}
+	if root.Consistent() {
+		t.Error("root of an inconsistent instance must be inconsistent")
+	}
+	if root.IsComplete() {
+		t.Error("inconsistent root with justified ops must not be complete")
+	}
+	if inst.Consistent() {
+		t.Error("instance must report inconsistency")
+	}
+}
+
+func TestKeyRepairSequences(t *testing.T) {
+	inst := keyInstance(t)
+	root := inst.Root()
+	exts := root.Extensions()
+	// -R(a,b), -R(a,c), -{R(a,b),R(a,c)}.
+	if len(exts) != 3 {
+		t.Fatalf("root extensions = %v, want 3", exts)
+	}
+	for _, op := range exts {
+		child := root.Child(op)
+		if !child.Consistent() {
+			t.Errorf("after %s the database must be consistent", op)
+		}
+		if !child.IsComplete() || !child.IsSuccessful() {
+			t.Errorf("state after %s must be complete and successful", op)
+		}
+		if child.Len() != 1 {
+			t.Errorf("child length = %d", child.Len())
+		}
+	}
+}
+
+// TestExample2NoCancellation: with Σ' = {T(x,y) → R(x,y), key(R)} and
+// D = {R(a,b), R(a,c), T(a,b)}, the sequence
+// -{R(a,b), R(a,c)}, +R(a,b) satisfies req1/req2 but is ruled out by
+// no-cancellation.
+func TestExample2NoCancellation(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("T", "a", "b"))
+	sigmaP := constraint.MustTGD(
+		[]logic.Atom{at("T", v("x"), v("y"))},
+		[]logic.Atom{at("R", v("x"), v("y"))},
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := MustInstance(d, constraint.NewSet(sigmaP, eta))
+
+	seq := []ops.Op{
+		ops.Delete(f("R", "a", "b"), f("R", "a", "c")),
+		ops.Insert(f("R", "a", "b")),
+	}
+	if err := Validate(inst, seq); err == nil {
+		t.Error("the cancelling sequence of Example 2 must be rejected")
+	}
+	if _, err := StateFor(inst, seq); err == nil {
+		t.Error("StateFor must reject the cancelling sequence")
+	}
+
+	// The equivalent simpler sequence -R(a,c) is repairing and successful.
+	simple := []ops.Op{ops.Delete(f("R", "a", "c"))}
+	if err := Validate(inst, simple); err != nil {
+		t.Errorf("-R(a,c) must be a repairing sequence: %v", err)
+	}
+	s, err := StateFor(inst, simple)
+	if err != nil {
+		t.Fatalf("StateFor: %v", err)
+	}
+	if !s.IsSuccessful() {
+		t.Error("-R(a,c) must repair the database")
+	}
+}
+
+// TestExample3GlobalJustification: with Example 1's Σ, the sequence
+// +S(a,b,c), -R(a,b) leaves the added S(a,b,c) unjustified and must be
+// rejected.
+func TestExample3GlobalJustification(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("T", "a", "b"))
+	sigma := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"), v("y"))},
+		[]logic.Atom{at("S", v("x"), v("y"), v("z"))},
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := MustInstance(d, constraint.NewSet(sigma, eta))
+
+	bad := []ops.Op{
+		ops.Insert(f("S", "a", "b", "c")),
+		ops.Delete(f("R", "a", "b")),
+	}
+	if err := Validate(inst, bad); err == nil {
+		t.Error("Example 3's sequence must violate global justification")
+	}
+
+	// The prefix alone is fine.
+	if err := Validate(inst, bad[:1]); err != nil {
+		t.Errorf("+S(a,b,c) alone must be repairing: %v", err)
+	}
+
+	// Deleting the *other* key fact keeps the addition justified.
+	good := []ops.Op{
+		ops.Insert(f("S", "a", "b", "c")),
+		ops.Delete(f("R", "a", "c")),
+	}
+	if err := Validate(inst, good); err != nil {
+		t.Errorf("+S(a,b,c), -R(a,c) must be repairing: %v", err)
+	}
+
+	// And the incremental machinery must agree with the validator.
+	if _, err := StateFor(inst, bad); err == nil {
+		t.Error("StateFor must reject Example 3's sequence")
+	}
+	if _, err := StateFor(inst, good); err != nil {
+		t.Errorf("StateFor must accept the good variant: %v", err)
+	}
+}
+
+// TestPaperFailingSequence: D = {R(a)}, Σ = {R(x) → T(x), T(x) → ⊥};
+// the sequence +T(a) is complete but failing (Section 3).
+func TestPaperFailingSequence(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	dc := constraint.MustDC([]logic.Atom{at("T", v("x"))})
+	inst := MustInstance(d, constraint.NewSet(tgd, dc))
+
+	s, err := StateFor(inst, []ops.Op{ops.Insert(f("T", "a"))})
+	if err != nil {
+		t.Fatalf("+T(a) must be a repairing sequence: %v", err)
+	}
+	if !s.IsComplete() {
+		t.Errorf("+T(a) must be complete; extensions = %v", s.Extensions())
+	}
+	if s.IsSuccessful() {
+		t.Error("+T(a) must not be successful")
+	}
+	if !s.IsFailing() {
+		t.Error("+T(a) must be failing")
+	}
+
+	// The deletion route succeeds: -R(a) yields the empty database.
+	s2, err := StateFor(inst, []ops.Op{ops.Delete(f("R", "a"))})
+	if err != nil {
+		t.Fatalf("-R(a): %v", err)
+	}
+	if !s2.IsSuccessful() || s2.Result().Size() != 0 {
+		t.Error("-R(a) must successfully produce the empty database")
+	}
+}
+
+// TestReq2Blocking: deleting a TGD head witness would reintroduce a
+// previously eliminated violation and must be blocked by req2.
+func TestReq2Blocking(t *testing.T) {
+	// D = {R(a), U(a), U(b)}; Σ = {R(x) → T(x); U(x), U(y) → x = y}.
+	// After +T(a) (fixing the TGD violation), the EGD on U remains. A
+	// deletion of T(a) is blocked twice over (no-cancellation AND req2);
+	// deletions of U facts must remain allowed.
+	d := relation.FromFacts(f("R", "a"), f("U", "a"), f("U", "b"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	egd := constraint.MustEGD([]logic.Atom{at("U", v("x")), at("U", v("y"))}, v("x"), v("y"))
+	inst := MustInstance(d, constraint.NewSet(tgd, egd))
+
+	s, err := StateFor(inst, []ops.Op{ops.Insert(f("T", "a"))})
+	if err != nil {
+		t.Fatalf("+T(a): %v", err)
+	}
+	for _, op := range s.Extensions() {
+		if op.IsDelete() {
+			for _, fact := range op.Facts() {
+				if fact.Equal(f("T", "a")) {
+					t.Errorf("extension %s deletes the freshly added T(a)", op)
+				}
+				if fact.Equal(f("R", "a")) {
+					t.Errorf("extension %s would unjustify the addition", op)
+				}
+			}
+		}
+	}
+}
+
+// TestSequenceOpsRoundTrip: Ops() returns the sequence in order.
+func TestSequenceOpsRoundTrip(t *testing.T) {
+	inst := keyInstance(t)
+	seq := []ops.Op{ops.Delete(f("R", "a", "b"))}
+	s, err := StateFor(inst, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Ops()
+	if len(got) != 1 || !got[0].Equal(seq[0]) {
+		t.Errorf("Ops() = %v", got)
+	}
+	if s.Key() == "" {
+		t.Error("non-root state must have a non-empty key")
+	}
+}
+
+func TestWalkVisitsWholeTree(t *testing.T) {
+	inst := keyInstance(t)
+	var states []string
+	Walk(inst, func(s *State) bool {
+		states = append(states, s.String())
+		return true
+	})
+	// ε + 3 children.
+	if len(states) != 4 {
+		t.Errorf("visited %d states, want 4: %v", len(states), states)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	inst := keyInstance(t)
+	count := 0
+	Walk(inst, func(s *State) bool {
+		count++
+		return false // prune below the root
+	})
+	if count != 1 {
+		t.Errorf("visited %d states with immediate pruning, want 1", count)
+	}
+}
+
+func TestSurveyKeyInstance(t *testing.T) {
+	inst := keyInstance(t)
+	st := Survey(inst)
+	if st.Sequences != 4 || st.Complete != 3 || st.Successful != 3 || st.Failing != 0 {
+		t.Errorf("Survey = %+v", st)
+	}
+	if st.MaxLength != 1 {
+		t.Errorf("MaxLength = %d, want 1", st.MaxLength)
+	}
+}
+
+// TestSurveyProp2Bound: sequence length never exceeds the initial violation
+// count for deletion-only instances (each deletion permanently eliminates at
+// least one violation and EGD/DC violations never reappear).
+func TestSurveyProp2Bound(t *testing.T) {
+	d := relation.FromFacts(
+		f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d"),
+		f("R", "b", "x"), f("R", "b", "y"),
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := MustInstance(d, constraint.NewSet(eta))
+	violations := constraint.FindViolations(inst.Initial(), inst.Sigma()).Len()
+	st := Survey(inst)
+	if st.MaxLength > violations {
+		t.Errorf("max sequence length %d exceeds violation count %d", st.MaxLength, violations)
+	}
+	if st.Failing != 0 {
+		t.Errorf("deletion-only instance has %d failing sequences", st.Failing)
+	}
+}
+
+// TestValidateRejectsGarbage: operations out of thin air are rejected.
+func TestValidateRejectsGarbage(t *testing.T) {
+	inst := keyInstance(t)
+	if err := Validate(inst, []ops.Op{ops.Delete(f("R", "zz", "zz"))}); err == nil {
+		t.Error("deleting an absent fact must not be a repairing sequence")
+	}
+	if err := Validate(inst, []ops.Op{ops.Insert(f("R", "a", "b"))}); err == nil {
+		t.Error("inserting an existing fact fixes nothing")
+	}
+	if err := Validate(inst, []ops.Op{
+		ops.Delete(f("R", "a", "b")),
+		ops.Delete(f("R", "a", "c")),
+	}); err == nil {
+		t.Error("second deletion has no violation left to fix")
+	}
+	// Facts outside the base are rejected up front.
+	schemaViolating := ops.Insert(f("Q", "zz"))
+	if err := Validate(inst, []ops.Op{schemaViolating}); err == nil {
+		t.Error("operation outside B(D,Σ) must be rejected")
+	}
+}
+
+// TestEveryEnumeratedSequenceValidates: the incremental extension machinery
+// and the direct Definition 4 validator agree on the whole tree of a mixed
+// TGD+EGD instance.
+func TestEveryEnumeratedSequenceValidates(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("T", "a", "b"))
+	sigma := constraint.MustTGD(
+		[]logic.Atom{at("R", v("x"), v("y"))},
+		[]logic.Atom{at("S", v("x"), v("y"), v("z"))},
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := MustInstance(d, constraint.NewSet(sigma, eta))
+
+	count := 0
+	Walk(inst, func(s *State) bool {
+		count++
+		if count > 2000 {
+			t.Fatal("tree unexpectedly large")
+		}
+		if err := Validate(inst, s.Ops()); err != nil {
+			t.Errorf("enumerated sequence %q fails validation: %v", s, err)
+			return false
+		}
+		return true
+	})
+	if count < 10 {
+		t.Errorf("tree suspiciously small: %d states", count)
+	}
+}

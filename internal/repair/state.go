@@ -1,0 +1,299 @@
+package repair
+
+import (
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/ops"
+	"repro/internal/relation"
+)
+
+// State is a repairing sequence s together with the database D^s_i it
+// produces and the bookkeeping needed to check the conditions of
+// Definition 4 incrementally. States form a tree: the root is the empty
+// sequence ε and each child extends its parent by one operation.
+//
+// States are immutable after creation; Child produces new states.
+type State struct {
+	inst       *Instance
+	parent     *State
+	op         ops.Op // operation that produced this state (zero at root)
+	depth      int
+	db         *relation.Database     // D^s_i, owned by this state
+	violations *constraint.Violations // V(D^s_i, Σ)
+	eliminated map[string]bool        // keys of violations eliminated at steps ≤ i
+	added      map[string]bool        // fact keys inserted so far
+	removed    map[string]bool        // fact keys deleted so far
+	extensions []ops.Op               // cached valid extensions (nil until computed)
+	extsReady  bool
+}
+
+// Instance returns the repairing context.
+func (s *State) Instance() *Instance { return s.inst }
+
+// Len reports the length of the sequence.
+func (s *State) Len() int { return s.depth }
+
+// Ops returns the operations of the sequence in order.
+func (s *State) Ops() []ops.Op {
+	out := make([]ops.Op, s.depth)
+	for cur := s; cur.parent != nil; cur = cur.parent {
+		out[cur.depth-1] = cur.op
+	}
+	return out
+}
+
+// Result returns the database produced by the sequence; callers must not
+// modify it (use Result().Clone() to mutate).
+func (s *State) Result() *relation.Database { return s.db }
+
+// Violations returns V(D^s_i, Σ).
+func (s *State) Violations() *constraint.Violations { return s.violations }
+
+// Consistent reports whether the current database satisfies Σ.
+func (s *State) Consistent() bool { return s.violations.Empty() }
+
+// Key returns a canonical encoding of the sequence (the concatenated
+// operation keys), identifying the Markov-chain state.
+func (s *State) Key() string {
+	opsList := s.Ops()
+	parts := make([]string, len(opsList))
+	for i, op := range opsList {
+		parts[i] = op.Key()
+	}
+	return strings.Join(parts, "|")
+}
+
+// String renders the sequence like the paper's figures: "-(a,b), -(c,a)";
+// the empty sequence prints as ε.
+func (s *State) String() string {
+	if s.depth == 0 {
+		return "ε"
+	}
+	opsList := s.Ops()
+	parts := make([]string, len(opsList))
+	for i, op := range opsList {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Extensions returns every operation op such that s·op is a repairing
+// sequence: op is justified at the current database, does not cancel an
+// earlier operation, does not reintroduce an eliminated violation (req2),
+// and keeps every earlier addition globally justified. The result is
+// cached, deterministic, and canonically ordered.
+func (s *State) Extensions() []ops.Op {
+	if s.extsReady {
+		return s.extensions
+	}
+	byKey := map[string]ops.Op{}
+	for _, v := range s.violations.All() {
+		for _, op := range s.inst.justifiedDeletions(v) {
+			byKey[op.Key()] = op
+		}
+		if v.Constraint.Kind() == constraint.TGD {
+			if s.inst.opts.NullInsertions {
+				if op, ok := ops.NullAddition(v, s.db); ok {
+					byKey[op.Key()] = op
+				}
+			} else {
+				for _, op := range ops.JustifiedAdditions(v, s.db, s.inst.base) {
+					byKey[op.Key()] = op
+				}
+			}
+		}
+	}
+	candidates := make([]ops.Op, 0, len(byKey))
+	for _, op := range byKey {
+		candidates = append(candidates, op)
+	}
+	ops.SortOps(candidates)
+
+	var valid []ops.Op
+	for _, op := range candidates {
+		if s.admissible(op) {
+			valid = append(valid, op)
+		}
+	}
+	s.extensions = valid
+	s.extsReady = true
+	return valid
+}
+
+// admissible checks the non-local conditions of Definition 4 for appending
+// op to s (local justification is already guaranteed by JustifiedOps).
+func (s *State) admissible(op ops.Op) bool {
+	// No cancellation: an inserted fact must never have been removed and
+	// vice versa (condition 2).
+	for _, f := range op.Facts() {
+		k := f.Key()
+		if op.IsInsert() && s.removed[k] {
+			return false
+		}
+		if op.IsDelete() && s.added[k] {
+			return false
+		}
+	}
+
+	// req2: no violation eliminated at an earlier step may reappear. The
+	// current violation set is disjoint from the eliminated set (req2 held
+	// so far), so only violations *introduced* by op can break it — and
+	// most operations (e.g. any deletion under EGDs/DCs only) provably
+	// introduce none, which the predicate check below detects without
+	// touching the database.
+	preds := make([]string, 0, 2)
+	seenPred := map[string]bool{}
+	for _, f := range op.Facts() {
+		if !seenPred[f.Pred] {
+			seenPred[f.Pred] = true
+			preds = append(preds, f.Pred)
+		}
+	}
+	if s.inst.sigma.MayIntroduceViolations(preds, op.IsInsert()) {
+		changed := op.Do(s.db)
+		introduced := constraint.IntroducedViolations(s.db, s.inst.sigma, s.violations, changed, op.IsInsert())
+		op.Undo(s.db, changed)
+		for _, v := range introduced {
+			if s.eliminated[v.Key()] {
+				return false
+			}
+		}
+	}
+
+	// Global justification of additions (condition 3): appending a deletion
+	// −G may strip the support of an earlier addition +F; every earlier
+	// addition op_i must remain justified w.r.t. D^s_{i-1} − H where H is
+	// the union of deletions applied after step i (now including G).
+	if op.IsDelete() && len(s.added) > 0 {
+		if !s.additionsStillJustified(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// additionsStillJustified re-checks condition 3 of Definition 4 assuming
+// the deletion del is appended. It replays the sequence from the initial
+// database to recover each prefix D^s_{i-1}.
+func (s *State) additionsStillJustified(del ops.Op) bool {
+	seq := s.Ops()
+	// suffixDeletions[i] = union of deleted fact sets over steps k with
+	// k > i (1-based step numbering), plus del.
+	cur := s.inst.initial.Clone()
+	for i, op := range seq {
+		if op.IsInsert() {
+			// Build D^s_{i} − H with H = deletions after this step + del.
+			reduced := cur.Clone()
+			for _, later := range seq[i+1:] {
+				if later.IsDelete() {
+					reduced.DeleteAll(later.Facts())
+				}
+			}
+			reduced.DeleteAll(del.Facts())
+			if !ops.IsJustified(op, reduced, s.inst.sigma) {
+				return false
+			}
+		}
+		op.Do(cur)
+	}
+	return true
+}
+
+// Child returns the state reached by appending op; op must come from
+// Extensions (or otherwise be a valid extension).
+func (s *State) Child(op ops.Op) *State {
+	db := s.db.Clone()
+	changed := op.Do(db)
+	after := constraint.UpdateViolations(db, s.inst.sigma, s.violations, changed, op.IsInsert())
+
+	eliminated := make(map[string]bool, len(s.eliminated)+4)
+	for k := range s.eliminated {
+		eliminated[k] = true
+	}
+	for _, v := range s.violations.Minus(after) {
+		eliminated[v.Key()] = true
+	}
+
+	added := s.added
+	removed := s.removed
+	if op.IsInsert() {
+		added = cloneSet(s.added)
+		for _, f := range op.Facts() {
+			added[f.Key()] = true
+		}
+	} else {
+		removed = cloneSet(s.removed)
+		for _, f := range op.Facts() {
+			removed[f.Key()] = true
+		}
+	}
+
+	return &State{
+		inst:       s.inst,
+		parent:     s,
+		op:         op,
+		depth:      s.depth + 1,
+		db:         db,
+		violations: after,
+		eliminated: eliminated,
+		added:      added,
+		removed:    removed,
+	}
+}
+
+// ChildInPlace is Child for walk-style exploration where the parent state
+// is discarded after stepping: it transfers ownership of the receiver's
+// database and bookkeeping to the child instead of cloning them. The
+// receiver must not be used after the call (its database is set to nil to
+// surface misuse early).
+func (s *State) ChildInPlace(op ops.Op) *State {
+	db := s.db
+	changed := op.Do(db)
+	after := constraint.UpdateViolations(db, s.inst.sigma, s.violations, changed, op.IsInsert())
+
+	eliminated := s.eliminated
+	for _, v := range s.violations.Minus(after) {
+		eliminated[v.Key()] = true
+	}
+	added, removed := s.added, s.removed
+	for _, f := range op.Facts() {
+		if op.IsInsert() {
+			added[f.Key()] = true
+		} else {
+			removed[f.Key()] = true
+		}
+	}
+	s.db = nil
+	return &State{
+		inst:       s.inst,
+		parent:     s,
+		op:         op,
+		depth:      s.depth + 1,
+		db:         db,
+		violations: after,
+		eliminated: eliminated,
+		added:      added,
+		removed:    removed,
+	}
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+2)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// IsComplete reports whether the sequence cannot be extended.
+func (s *State) IsComplete() bool { return len(s.Extensions()) == 0 }
+
+// IsSuccessful reports whether the sequence is complete and its result
+// satisfies Σ. For the constraint classes of the paper a consistent state
+// has no justified operations, so consistency alone implies completeness.
+func (s *State) IsSuccessful() bool { return s.Consistent() }
+
+// IsFailing reports whether the sequence is complete but its result still
+// violates Σ.
+func (s *State) IsFailing() bool { return !s.Consistent() && s.IsComplete() }

@@ -1,0 +1,206 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/ops"
+	"repro/internal/relation"
+)
+
+// Walk traverses the tree of all repairing sequences of the instance in
+// depth-first pre-order, starting at the empty sequence. The visit callback
+// may return false to prune the subtree below the visited state (the state
+// itself has already been visited). By Proposition 2 the tree is finite, so
+// Walk always terminates.
+func Walk(inst *Instance, visit func(*State) bool) {
+	var dfs func(*State)
+	dfs = func(s *State) {
+		if !visit(s) {
+			return
+		}
+		for _, op := range s.Extensions() {
+			dfs(s.Child(op))
+		}
+	}
+	dfs(inst.Root())
+}
+
+// Stats summarizes a full traversal of RS(D,Σ).
+type Stats struct {
+	Sequences  int // |RS(D,Σ)|, including ε
+	Complete   int // complete sequences (leaves)
+	Successful int // complete sequences whose result satisfies Σ
+	Failing    int // complete sequences whose result violates Σ
+	MaxLength  int // longest repairing sequence
+}
+
+// Survey walks the whole tree and gathers statistics; used by tests for
+// Propositions 2 and 8 and by the scaling experiments.
+func Survey(inst *Instance) Stats {
+	var st Stats
+	Walk(inst, func(s *State) bool {
+		st.Sequences++
+		if s.Len() > st.MaxLength {
+			st.MaxLength = s.Len()
+		}
+		if s.IsComplete() {
+			st.Complete++
+			if s.IsSuccessful() {
+				st.Successful++
+			} else {
+				st.Failing++
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// Validate independently re-checks that seq is a (D,Σ)-repairing sequence
+// per Definition 4, without trusting the incremental bookkeeping of State.
+// It returns nil when the sequence is valid and a descriptive error naming
+// the first violated condition otherwise. It is deliberately a direct
+// transcription of the definition and is used by the property-based tests.
+func Validate(inst *Instance, seq []ops.Op) error {
+	// Reconstruct every prefix database D^s_0 .. D^s_n and violation set.
+	dbs := make([]*relation.Database, len(seq)+1)
+	viol := make([]*constraint.Violations, len(seq)+1)
+	dbs[0] = inst.initial.Clone()
+	viol[0] = constraint.FindViolations(dbs[0], inst.sigma)
+	for i, op := range seq {
+		if !opInBase(inst, op) {
+			return fmt.Errorf("step %d: operation %s uses facts outside B(D,Σ)", i+1, op)
+		}
+		dbs[i+1] = op.Apply(dbs[i])
+		viol[i+1] = constraint.FindViolations(dbs[i+1], inst.sigma)
+	}
+
+	// req1 + local justification (condition 1): every op is justified at
+	// its prefix (justified implies fixing, hence req1). Null-based
+	// insertions sit outside Definition 3's grounded candidate space; they
+	// are validated as fixing (req1) instead.
+	for i, op := range seq {
+		if inst.opts.NullInsertions && op.IsInsert() && opHasNulls(op) {
+			if !ops.IsFixing(op, dbs[i], inst.sigma) {
+				return fmt.Errorf("step %d: null insertion %s fixes no violation", i+1, op)
+			}
+			continue
+		}
+		if !ops.IsJustified(op, dbs[i], inst.sigma) {
+			return fmt.Errorf("step %d: operation %s is not justified", i+1, op)
+		}
+	}
+
+	// req2: a violation eliminated at step i must not reappear at any
+	// later state j > i.
+	for i := 1; i <= len(seq); i++ {
+		for _, v := range viol[i-1].Minus(viol[i]) {
+			for j := i + 1; j <= len(seq); j++ {
+				if viol[j].Has(v.Key()) {
+					return fmt.Errorf("req2: violation %s eliminated at step %d reappears at step %d", v.Key(), i, j)
+				}
+			}
+		}
+	}
+
+	// No cancellation (condition 2): +F at one step and −G at another must
+	// have F ∩ G = ∅.
+	for i, a := range seq {
+		for j, b := range seq {
+			if i == j || a.IsInsert() == b.IsInsert() {
+				continue
+			}
+			for _, fa := range a.Facts() {
+				for _, fb := range b.Facts() {
+					if fa.Equal(fb) {
+						return fmt.Errorf("no-cancellation: fact %s both inserted (step %d) and deleted (step %d)",
+							fa, i+1, j+1)
+					}
+				}
+			}
+		}
+	}
+
+	// Global justification of additions (condition 3).
+	for i, op := range seq { // paper's op_{i+1}
+		if !op.IsInsert() {
+			continue
+		}
+		nullOp := inst.opts.NullInsertions && opHasNulls(op)
+		for j := i + 1; j < len(seq); j++ {
+			reduced := dbs[i].Clone()
+			for k := i + 1; k <= j; k++ {
+				if seq[k].IsDelete() {
+					reduced.DeleteAll(seq[k].Facts())
+				}
+			}
+			justified := false
+			if nullOp {
+				justified = ops.IsFixing(op, reduced, inst.sigma)
+			} else {
+				justified = ops.IsJustified(op, reduced, inst.sigma)
+			}
+			if !justified {
+				return fmt.Errorf("global justification: addition %s at step %d loses its justification by step %d",
+					op, i+1, j+1)
+			}
+		}
+	}
+	return nil
+}
+
+// opInBase checks Definition 1's base membership, admitting labeled nulls
+// when the instance runs in null-insertion mode.
+func opInBase(inst *Instance, op ops.Op) bool {
+	if op.InBase(inst.base) {
+		return true
+	}
+	if !inst.opts.NullInsertions {
+		return false
+	}
+	for _, f := range op.Facts() {
+		if !inst.base.Contains(f) && !ops.HasNulls(f) {
+			return false
+		}
+		if arity, ok := inst.base.Schema().Arity(f.Pred); !ok || arity != len(f.Args) {
+			return false
+		}
+	}
+	return true
+}
+
+// opHasNulls reports whether any fact of the operation carries a null.
+func opHasNulls(op ops.Op) bool {
+	for _, f := range op.Facts() {
+		if ops.HasNulls(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrNotRepairing is returned by helpers when a supplied operation list is
+// not a valid repairing sequence.
+var ErrNotRepairing = errors.New("repair: not a repairing sequence")
+
+// StateFor replays the operation sequence, validating each step against the
+// incrementally enumerated extensions, and returns the resulting state.
+func StateFor(inst *Instance, seq []ops.Op) (*State, error) {
+	s := inst.Root()
+	for i, op := range seq {
+		found := false
+		for _, ext := range s.Extensions() {
+			if ext.Equal(op) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: step %d operation %s is not a valid extension", ErrNotRepairing, i+1, op)
+		}
+		s = s.Child(op)
+	}
+	return s, nil
+}

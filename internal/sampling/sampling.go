@@ -1,0 +1,256 @@
+// Package sampling implements the randomized approximation machinery of
+// Section 5 of the paper: the Sample algorithm (a single random walk down
+// the repairing Markov chain) and the polynomial-time additive-error
+// approximation scheme of Theorem 9, which averages n = ⌈ln(2/δ)/(2ε²)⌉
+// independent samples so that the estimate of CP(t̄) is within ε of the
+// true value with probability at least 1−δ (Hoeffding's inequality).
+//
+// The scheme's guarantee holds for non-failing generators (Definition 8;
+// e.g. any deletion-only generator, Proposition 8). For failing chains the
+// package still reports the conditional estimate successes/successful-walks
+// together with the raw counts — approximating the ratio is the paper's
+// stated open problem, so no (ε,δ)-guarantee is attached to it.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/fo"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// ErrWalkBudget is returned when a random walk exceeds the configured step
+// budget; by Proposition 2 repairing sequences are finite and polynomial,
+// so hitting this indicates a misconfigured budget rather than divergence.
+var ErrWalkBudget = errors.New("sampling: walk exceeded the step budget")
+
+// Walk performs one random walk down the repairing Markov chain from ε to
+// an absorbing state and returns the final state. maxSteps ≤ 0 means
+// unbounded (termination is guaranteed by Proposition 2).
+func Walk(inst *repair.Instance, g markov.Generator, rng *rand.Rand, maxSteps int) (*repair.State, error) {
+	s := inst.Root()
+	steps := 0
+	for {
+		edges, err := markov.Step(g, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(edges) == 0 {
+			return s, nil
+		}
+		if maxSteps > 0 && steps >= maxSteps {
+			return nil, ErrWalkBudget
+		}
+		weights := make([]*big.Rat, len(edges))
+		for i, e := range edges {
+			weights[i] = e.P
+		}
+		// The walk never revisits the parent, so ownership of the state's
+		// database can be transferred instead of cloned.
+		s = s.ChildInPlace(edges[prob.Pick(rng, weights)].Op)
+		steps++
+	}
+}
+
+// Sample is the algorithm of Section 5: it draws one repairing sequence s
+// from the chain and returns 1 if t̄ ∈ Q(s(D)) and the sequence is
+// successful, and 0 otherwise. For non-failing generators
+// Pr(Sample = 1) = CP(t̄) exactly (Proposition 10).
+func Sample(inst *repair.Instance, g markov.Generator, q *fo.Query, tuple []string, rng *rand.Rand) (int, error) {
+	s, err := Walk(inst, g, rng, 0)
+	if err != nil {
+		return 0, err
+	}
+	if !s.IsSuccessful() {
+		return 0, nil
+	}
+	if q.Holds(s.Result(), tuple) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Estimator runs repeated random walks to approximate conditional
+// probabilities.
+type Estimator struct {
+	Inst *repair.Instance
+	Gen  markov.Generator
+	// Seed makes runs reproducible; workers derive their generators from
+	// it deterministically.
+	Seed int64
+	// Workers is the number of concurrent walkers (≤ 1 means sequential).
+	// Counts are merged, so results are reproducible for a fixed seed and
+	// worker count.
+	Workers int
+	// MaxSteps bounds each walk (0 = unbounded).
+	MaxSteps int
+}
+
+// TupleEstimate is one tuple's estimated probability.
+type TupleEstimate struct {
+	Tuple []string
+	// P is the additive-error estimate of Σ_{(D',p): t̄∈Q(D')} p, i.e. of
+	// CP(t̄) when the generator is non-failing.
+	P float64
+	// Conditional is the count normalized by successful walks only — the
+	// ratio estimator for failing chains (no (ε,δ)-guarantee attached).
+	Conditional float64
+	// Count is the number of walks whose (successful) result answered the
+	// tuple.
+	Count int
+}
+
+// Run is the outcome of an estimation.
+type Run struct {
+	// N is the number of walks performed.
+	N int
+	// Eps, Delta are the requested guarantee parameters.
+	Eps, Delta float64
+	// SuccessfulWalks and FailingWalks partition the N walks.
+	SuccessfulWalks, FailingWalks int
+	// Estimates lists the tuples observed in at least one successful walk,
+	// sorted lexicographically.
+	Estimates []TupleEstimate
+}
+
+// Lookup returns the estimate of a tuple (zero estimate when never seen).
+func (r *Run) Lookup(tuple []string) TupleEstimate {
+	k := fo.TupleKey(tuple)
+	for _, e := range r.Estimates {
+		if fo.TupleKey(e.Tuple) == k {
+			return e
+		}
+	}
+	return TupleEstimate{Tuple: tuple}
+}
+
+// EstimateAnswers approximates the operational consistent answers of the
+// query: it performs n = ⌈ln(2/δ)/(2ε²)⌉ walks and, for every tuple
+// observed, reports the fraction of walks answering it. With a non-failing
+// generator each tuple's estimate is within ε of CP(t̄) with probability at
+// least 1−δ (the guarantee is per-tuple; divide δ by the number of tuples
+// of interest for a simultaneous guarantee via the union bound).
+func (e *Estimator) EstimateAnswers(q *fo.Query, eps, delta float64) (*Run, error) {
+	n, err := prob.HoeffdingSamples(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	run, err := e.run(q, n)
+	if err != nil {
+		return nil, err
+	}
+	run.Eps, run.Delta = eps, delta
+	return run, nil
+}
+
+// EstimateTuple approximates CP(t̄) for a single tuple with the additive
+// (ε,δ) guarantee of Theorem 9.
+func (e *Estimator) EstimateTuple(q *fo.Query, tuple []string, eps, delta float64) (TupleEstimate, *Run, error) {
+	run, err := e.EstimateAnswers(q, eps, delta)
+	if err != nil {
+		return TupleEstimate{}, nil, err
+	}
+	return run.Lookup(tuple), run, nil
+}
+
+// EstimateWithN runs exactly n walks (for convergence experiments).
+func (e *Estimator) EstimateWithN(q *fo.Query, n int) (*Run, error) {
+	return e.run(q, n)
+}
+
+type walkTally struct {
+	success int
+	failing int
+	counts  map[string]int
+	tuples  map[string][]string
+	err     error
+}
+
+func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sampling: need at least one walk, got %d", n)
+	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	tallies := make([]walkTally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			t := &tallies[w]
+			t.counts = map[string]int{}
+			t.tuples = map[string][]string{}
+			rng := rand.New(rand.NewSource(e.Seed + int64(w)*0x9E3779B97F4A7C))
+			for i := 0; i < share; i++ {
+				s, err := Walk(e.Inst, e.Gen, rng, e.MaxSteps)
+				if err != nil {
+					t.err = err
+					return
+				}
+				if !s.IsSuccessful() {
+					t.failing++
+					continue
+				}
+				t.success++
+				for _, tuple := range q.Answers(s.Result()) {
+					k := fo.TupleKey(tuple)
+					t.counts[k]++
+					t.tuples[k] = tuple
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+
+	run := &Run{N: n}
+	counts := map[string]int{}
+	tuples := map[string][]string{}
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return nil, t.err
+		}
+		run.SuccessfulWalks += t.success
+		run.FailingWalks += t.failing
+		for k, c := range t.counts {
+			counts[k] += c
+			tuples[k] = t.tuples[k]
+		}
+	}
+
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		est := TupleEstimate{
+			Tuple: tuples[k],
+			P:     float64(counts[k]) / float64(n),
+			Count: counts[k],
+		}
+		if run.SuccessfulWalks > 0 {
+			est.Conditional = float64(counts[k]) / float64(run.SuccessfulWalks)
+		}
+		run.Estimates = append(run.Estimates, est)
+	}
+	return run, nil
+}

@@ -1,0 +1,276 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+func v(n string) logic.Term                    { return logic.Var(n) }
+func at(p string, ts ...logic.Term) logic.Atom { return logic.NewAtom(p, ts...) }
+func f(p string, args ...string) relation.Fact { return relation.NewFact(p, args...) }
+
+// preferenceInstance is the paper's running example (Section 3).
+func preferenceInstance(t *testing.T) (*repair.Instance, *fo.Query) {
+	t.Helper()
+	d := relation.FromFacts(
+		f("Pref", "a", "b"), f("Pref", "a", "c"), f("Pref", "a", "d"),
+		f("Pref", "b", "a"), f("Pref", "b", "d"), f("Pref", "c", "a"),
+	)
+	dc := constraint.MustDC([]logic.Atom{at("Pref", v("x"), v("y")), at("Pref", v("y"), v("x"))})
+	inst := repair.MustInstance(d, constraint.NewSet(dc))
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("Q", []logic.Term{x}, fo.ForAll{
+		Vars: []logic.Term{y},
+		F:    fo.Or{L: fo.Atom{A: at("Pref", x, y)}, R: fo.Eq{L: x, R: y}},
+	})
+	return inst, q
+}
+
+func TestWalkReachesAbsorbingState(t *testing.T) {
+	inst, _ := preferenceInstance(t)
+	rng := rand.New(rand.NewSource(1))
+	s, err := Walk(inst, generators.Preference{}, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsComplete() {
+		t.Error("walk must end in an absorbing state")
+	}
+	if !s.IsSuccessful() {
+		t.Error("deletion-only chain walks always succeed")
+	}
+	if s.Len() != 2 {
+		t.Errorf("walk length = %d, want 2 (two conflicts)", s.Len())
+	}
+}
+
+func TestWalkBudget(t *testing.T) {
+	inst, _ := preferenceInstance(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Walk(inst, generators.Preference{}, rng, 1); err != ErrWalkBudget {
+		t.Errorf("err = %v, want ErrWalkBudget", err)
+	}
+}
+
+func TestSampleMatchesCP(t *testing.T) {
+	// Pr(Sample = 1) = CP(a) = 0.45 for the paper's example; check the
+	// frequency over many runs.
+	inst, q := preferenceInstance(t)
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	ones := 0
+	for i := 0; i < n; i++ {
+		b, err := Sample(inst, generators.Preference{}, q, []string{"a"}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += b
+	}
+	got := float64(ones) / float64(n)
+	if math.Abs(got-0.45) > 0.01 {
+		t.Errorf("Sample frequency = %.4f, want ≈ 0.45", got)
+	}
+}
+
+func TestEstimateTupleWithinEps(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 11}
+	e, run, err := est.EstimateTuple(q, []string{"a"}, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.N != 150 {
+		t.Errorf("n = %d, want the paper's 150 at ε = δ = 0.1", run.N)
+	}
+	if run.FailingWalks != 0 {
+		t.Errorf("failing walks = %d, want 0", run.FailingWalks)
+	}
+	if math.Abs(e.P-0.45) > 0.1 {
+		t.Errorf("estimate %.4f deviates from 0.45 by more than ε", e.P)
+	}
+}
+
+// TestAdditiveErrorGuarantee measures the empirical coverage of the (ε,δ)
+// guarantee: over many independent estimations, the fraction within ε of
+// the exact CP must be at least 1−δ (Theorem 9). Exact value from the
+// exact engine.
+func TestAdditiveErrorGuarantee(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	sem, err := core.Compute(inst, generators.Preference{}, markov.ExploreOptions{MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := prob.Float(sem.CP(q, []string{"a"}))
+
+	const eps, delta = 0.1, 0.1
+	trials := 60
+	within := 0
+	for i := 0; i < trials; i++ {
+		est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: int64(1000 + i)}
+		e, _, err := est.EstimateTuple(q, []string{"a"}, eps, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e.P-exact) <= eps {
+			within++
+		}
+	}
+	coverage := float64(within) / float64(trials)
+	if coverage < 1-delta {
+		t.Errorf("coverage %.3f below the 1-δ = %.2f guarantee", coverage, 1-delta)
+	}
+}
+
+func TestEstimateAnswersAllTuples(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 3}
+	run, err := est.EstimateWithN(q, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only tuple (a) can be an answer in any repair.
+	if len(run.Estimates) != 1 {
+		t.Fatalf("estimates = %v, want just (a)", run.Estimates)
+	}
+	e := run.Estimates[0]
+	if e.Tuple[0] != "a" {
+		t.Errorf("tuple = %v", e.Tuple)
+	}
+	if math.Abs(e.P-0.45) > 0.05 {
+		t.Errorf("estimate %.4f too far from 0.45", e.P)
+	}
+	if e.Conditional != e.P {
+		t.Errorf("non-failing chain: conditional %.4f must equal plain estimate %.4f", e.Conditional, e.P)
+	}
+}
+
+func TestEstimatorDeterministicForSeed(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	a := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 42}
+	b := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 42}
+	runA, err := a.EstimateWithN(q, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := b.EstimateWithN(q, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runA.Lookup([]string{"a"}).Count != runB.Lookup([]string{"a"}).Count {
+		t.Error("same seed must reproduce identical counts")
+	}
+}
+
+func TestEstimatorParallelWorkers(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 5, Workers: 4}
+	run, err := est.EstimateWithN(q, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SuccessfulWalks != 2000 {
+		t.Errorf("successful walks = %d, want 2000", run.SuccessfulWalks)
+	}
+	e := run.Lookup([]string{"a"})
+	if math.Abs(e.P-0.45) > 0.05 {
+		t.Errorf("parallel estimate %.4f too far from 0.45", e.P)
+	}
+}
+
+// TestFailingChainConditional: on the paper's failing instance
+// (D = {R(a)}, Σ = {R→T, ¬T}) under the uniform chain, half the walks fail;
+// the conditional estimate of the empty database's answers normalizes by
+// the successful half.
+func TestFailingChainConditional(t *testing.T) {
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	dc := constraint.MustDC([]logic.Atom{at("T", v("x"))})
+	inst := repair.MustInstance(d, constraint.NewSet(tgd, dc))
+
+	// Boolean query: is there any R fact? (False on the empty repair.)
+	q := fo.MustQuery("AnyR", nil,
+		fo.Exists{Vars: []logic.Term{v("x")}, F: fo.Atom{A: at("R", v("x"))}})
+
+	est := &Estimator{Inst: inst, Gen: generators.Uniform{}, Seed: 9}
+	run, err := est.EstimateWithN(q, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FailingWalks == 0 {
+		t.Fatal("uniform chain on this instance must produce failing walks")
+	}
+	frac := float64(run.FailingWalks) / float64(run.N)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("failing fraction = %.3f, want ≈ 0.5 (two equiprobable root edges)", frac)
+	}
+	// The only repair is ∅, which answers nothing: no estimates.
+	if len(run.Estimates) != 0 {
+		t.Errorf("estimates = %v, want none", run.Estimates)
+	}
+}
+
+// TestSampleAgainstExactOCA compares sampled estimates with the exact OCA
+// across all tuples on a trust-weighted instance.
+func TestSampleAgainstExactOCA(t *testing.T) {
+	d := relation.FromFacts(
+		f("R", "a", "b"), f("R", "a", "c"),
+		f("R", "q", "r"), f("R", "q", "s"),
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := repair.MustInstance(d, constraint.NewSet(eta))
+	gen := generators.NewTrust(prob.R(1, 2))
+	if err := gen.Set(f("R", "a", "b"), prob.R(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Set(f("R", "a", "c"), prob.R(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("Keys", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: at("R", x, y)}})
+
+	sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactOCA := sem.OCA(q)
+
+	est := &Estimator{Inst: inst, Gen: gen, Seed: 13}
+	run, err := est.EstimateWithN(q, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range exactOCA.Answers {
+		e := run.Lookup(a.Tuple)
+		if diff := prob.AbsDiff(e.P, a.P); diff > 0.05 {
+			t.Errorf("tuple %v: estimate %.4f vs exact %s (diff %.4f)",
+				a.Tuple, e.P, a.P.RatString(), diff)
+		}
+	}
+}
+
+func TestEstimateBadParams(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 1}
+	if _, err := est.EstimateAnswers(q, 0, 0.1); err == nil {
+		t.Error("ε = 0 must fail")
+	}
+	if _, err := est.EstimateWithN(q, 0); err == nil {
+		t.Error("n = 0 must fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Package workload generates the synthetic inputs used by the examples,
+// benchmarks, and experiments: preference tournaments with symmetric
+// conflicts (the paper's running example at scale), key-violating relations
+// with trust levels (the data-integration scenario of Example 5), and
+// inclusion-dependency chains exercising TGD repairs with insertions.
+// All generators are deterministic given the seed.
+package workload
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/engine"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// PreferenceConfig sizes a preference tournament.
+type PreferenceConfig struct {
+	// Products is the number of distinct products.
+	Products int
+	// Prefs is the number of preference facts to draw.
+	Prefs int
+	// ConflictRate is the fraction of drawn preferences that also insert
+	// their symmetric (violating) counterpart.
+	ConflictRate float64
+	Seed         int64
+}
+
+// Preferences generates a Pref database with controlled symmetric
+// conflicts, plus the paper's asymmetry denial constraint.
+func Preferences(cfg PreferenceConfig) (*relation.Database, *constraint.Set) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relation.NewDatabase()
+	product := func(i int) string { return fmt.Sprintf("p%d", i) }
+	for len(d.Facts()) < cfg.Prefs {
+		i := rng.Intn(cfg.Products)
+		j := rng.Intn(cfg.Products)
+		if i == j {
+			continue
+		}
+		a, b := product(i), product(j)
+		rev := relation.NewFact("Pref", b, a)
+		if d.Contains(rev) && rng.Float64() >= cfg.ConflictRate {
+			continue // avoid creating a conflict beyond the configured rate
+		}
+		d.Insert(relation.NewFact("Pref", a, b))
+		if rng.Float64() < cfg.ConflictRate {
+			d.Insert(rev)
+		}
+	}
+	x, y := logic.Var("x"), logic.Var("y")
+	dc := constraint.MustDC([]logic.Atom{
+		logic.NewAtom("Pref", x, y),
+		logic.NewAtom("Pref", y, x),
+	})
+	return d, constraint.NewSet(dc)
+}
+
+// KeyConfig sizes a key-violating relation R(k, v).
+type KeyConfig struct {
+	// Keys is the number of distinct key values.
+	Keys int
+	// Violations is the number of keys that receive a second conflicting
+	// tuple (each violating key gets exactly two tuples; the rest get one).
+	Violations int
+	Seed       int64
+}
+
+// KeyViolations generates R(k,v) facts where `Violations` keys carry two
+// distinct values, together with the key EGD R(x,y), R(x,z) → y = z.
+func KeyViolations(cfg KeyConfig) (*relation.Database, *constraint.Set) {
+	if cfg.Violations > cfg.Keys {
+		cfg.Violations = cfg.Keys
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relation.NewDatabase()
+	for i := 0; i < cfg.Keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		d.Insert(relation.NewFact("R", k, fmt.Sprintf("v%d", rng.Intn(1000))))
+		if i < cfg.Violations {
+			d.Insert(relation.NewFact("R", k, fmt.Sprintf("w%d", rng.Intn(1000))))
+		}
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	return d, constraint.NewSet(key)
+}
+
+// RandomTrust assigns pseudo-random trust levels (k/denominator with
+// 1 ≤ k ≤ denominator) to every fact of the database, mirroring the
+// source-reliability levels of Example 5.
+func RandomTrust(d *relation.Database, denominator int64, seed int64) *generators.Trust {
+	rng := rand.New(rand.NewSource(seed))
+	t := generators.NewTrust(big.NewRat(1, 2))
+	for _, f := range d.Facts() {
+		level := big.NewRat(1+rng.Int63n(denominator), denominator)
+		if err := t.Set(f, level); err != nil {
+			panic(err) // level is in (0,1] by construction
+		}
+	}
+	return t
+}
+
+// InclusionConfig sizes an inclusion-dependency instance.
+type InclusionConfig struct {
+	// Rows is the number of R facts.
+	Rows int
+	// MissingRate is the fraction of R facts without the S fact required
+	// by the inclusion dependency R(x,y) → ∃z S(y,z).
+	MissingRate float64
+	Seed        int64
+}
+
+// Inclusion generates an instance of the inclusion dependency
+// R(x,y) → ∃z S(y,z) with a configurable fraction of dangling R facts.
+// Repairing it exercises insertions (and hence failing-sequence handling).
+func Inclusion(cfg InclusionConfig) (*relation.Database, *constraint.Set) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relation.NewDatabase()
+	for i := 0; i < cfg.Rows; i++ {
+		y := fmt.Sprintf("y%d", i)
+		d.Insert(relation.NewFact("R", fmt.Sprintf("x%d", i), y))
+		if rng.Float64() >= cfg.MissingRate {
+			d.Insert(relation.NewFact("S", y, fmt.Sprintf("z%d", i)))
+		}
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	ind := constraint.MustTGD(
+		[]logic.Atom{logic.NewAtom("R", x, y)},
+		[]logic.Atom{logic.NewAtom("S", y, z)},
+	)
+	return d, constraint.NewSet(ind)
+}
+
+// OrdersCatalog builds the engine-level workload for the Section 5
+// rewriting experiment: an orders table with key violations joined against
+// a clean customers table.
+//
+//	orders(oid, cust, amount)   key: oid
+//	customers(cust, region)
+type OrdersCatalog struct {
+	Catalog *engine.Catalog
+	// ViolatingOrders counts order ids with conflicting rows.
+	ViolatingOrders int
+}
+
+// OrdersConfig sizes the engine workload.
+type OrdersConfig struct {
+	Orders    int
+	Customers int
+	// ViolationRate is the fraction of order ids with a second conflicting
+	// row.
+	ViolationRate float64
+	Seed          int64
+}
+
+// Orders generates the catalog.
+func Orders(cfg OrdersConfig) *OrdersCatalog {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	orders := engine.NewRelation("orders", "oid", "cust", "amount")
+	violating := 0
+	for i := 0; i < cfg.Orders; i++ {
+		oid := fmt.Sprintf("o%d", i)
+		cust := fmt.Sprintf("c%d", rng.Intn(cfg.Customers))
+		orders.Add(oid, cust, fmt.Sprintf("%d", 10+rng.Intn(990)))
+		if rng.Float64() < cfg.ViolationRate {
+			violating++
+			cust2 := fmt.Sprintf("c%d", rng.Intn(cfg.Customers))
+			orders.Add(oid, cust2, fmt.Sprintf("%d", 10+rng.Intn(990)))
+		}
+	}
+	customers := engine.NewRelation("customers", "cust", "region")
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < cfg.Customers; i++ {
+		customers.Add(fmt.Sprintf("c%d", i), regions[rng.Intn(len(regions))])
+	}
+	cat := engine.NewCatalog().AddTable(orders).AddTable(customers)
+	if err := cat.DeclareKey("orders", "oid"); err != nil {
+		panic(err)
+	}
+	return &OrdersCatalog{Catalog: cat, ViolatingOrders: violating}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/practical"
+)
+
+func TestPreferencesGenerator(t *testing.T) {
+	d, sigma := Preferences(PreferenceConfig{Products: 10, Prefs: 30, ConflictRate: 0.3, Seed: 1})
+	if d.Size() < 30 {
+		t.Errorf("generated %d facts, want ≥ 30", d.Size())
+	}
+	if sigma.Len() != 1 || sigma.All()[0].Kind() != constraint.DC {
+		t.Error("expected the single asymmetry DC")
+	}
+	vs := constraint.FindViolations(d, sigma)
+	if vs.Empty() {
+		t.Error("expected conflicts at 30% conflict rate")
+	}
+}
+
+func TestPreferencesDeterministic(t *testing.T) {
+	a, _ := Preferences(PreferenceConfig{Products: 8, Prefs: 20, ConflictRate: 0.5, Seed: 42})
+	b, _ := Preferences(PreferenceConfig{Products: 8, Prefs: 20, ConflictRate: 0.5, Seed: 42})
+	if !a.Equal(b) {
+		t.Error("same seed must reproduce the database")
+	}
+	c, _ := Preferences(PreferenceConfig{Products: 8, Prefs: 20, ConflictRate: 0.5, Seed: 43})
+	if a.Equal(c) {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestKeyViolationsShape(t *testing.T) {
+	d, sigma := KeyViolations(KeyConfig{Keys: 20, Violations: 5, Seed: 7})
+	vs := constraint.FindViolations(d, sigma)
+	// Each violating key yields 2 homomorphisms (y/z swapped).
+	if vs.Len() != 10 {
+		t.Errorf("violations = %d, want 10 (5 pairs × 2 orientations)", vs.Len())
+	}
+	if d.Size() < 20 || d.Size() > 25 {
+		t.Errorf("size = %d, want 20..25", d.Size())
+	}
+	inv := vs.InvolvedFacts()
+	if len(inv) != 10 {
+		t.Errorf("involved facts = %d, want 10 (5 pairs)", len(inv))
+	}
+}
+
+func TestKeyViolationsClamped(t *testing.T) {
+	d, sigma := KeyViolations(KeyConfig{Keys: 3, Violations: 99, Seed: 1})
+	vs := constraint.FindViolations(d, sigma)
+	if vs.Len() != 6 {
+		t.Errorf("violations = %d, want 6 (3 clamped pairs × 2)", vs.Len())
+	}
+	_ = d
+}
+
+func TestRandomTrustLevels(t *testing.T) {
+	d, _ := KeyViolations(KeyConfig{Keys: 5, Violations: 2, Seed: 3})
+	tr := RandomTrust(d, 10, 99)
+	one := big.NewRat(1, 1)
+	for _, f := range d.Facts() {
+		level := tr.Level(f)
+		if level.Sign() <= 0 || level.Cmp(one) > 0 {
+			t.Errorf("trust(%s) = %s outside (0,1]", f, level.RatString())
+		}
+	}
+}
+
+func TestInclusionGenerator(t *testing.T) {
+	d, sigma := Inclusion(InclusionConfig{Rows: 20, MissingRate: 0.5, Seed: 5})
+	if sigma.Len() != 1 || sigma.All()[0].Kind() != constraint.TGD {
+		t.Error("expected a single inclusion TGD")
+	}
+	vs := constraint.FindViolations(d, sigma)
+	if vs.Empty() {
+		t.Error("expected dangling R facts at 50% missing rate")
+	}
+	if vs.Len() >= 20 {
+		t.Errorf("violations = %d, want < 20", vs.Len())
+	}
+}
+
+func TestOrdersCatalog(t *testing.T) {
+	oc := Orders(OrdersConfig{Orders: 100, Customers: 20, ViolationRate: 0.2, Seed: 11})
+	orders, err := oc.Catalog.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.Len() != 100+oc.ViolatingOrders {
+		t.Errorf("orders rows = %d, want %d", orders.Len(), 100+oc.ViolatingOrders)
+	}
+	if oc.ViolatingOrders == 0 {
+		t.Error("expected some violations at rate 0.2")
+	}
+	groups := practical.KeyGroups(orders, oc.Catalog.Key("orders"))
+	if len(groups) != oc.ViolatingOrders {
+		t.Errorf("violating groups = %d, want %d", len(groups), oc.ViolatingOrders)
+	}
+	customers, err := oc.Catalog.Table("customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if customers.Len() != 20 {
+		t.Errorf("customers = %d, want 20", customers.Len())
+	}
+}
