@@ -214,6 +214,40 @@ func BenchmarkViolationsDelta(b *testing.B) {
 	}
 }
 
+// BenchmarkSurvey measures a full traversal of the repairing-sequence tree
+// RS(D,Σ): every state clones bookkeeping and database, so this is the
+// stress test for state/database representation.
+func BenchmarkSurvey(b *testing.B) {
+	for _, conflicts := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts * 2, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				repair.Survey(inst)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatorWalks is the Estimator end to end at a fixed n = 200 on
+// the key-violation workload; contrast with BenchmarkEstimateOCA which uses
+// the preference generator.
+func BenchmarkEstimatorWalks(b *testing.B) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 40, Violations: 20, Seed: 1})
+	inst := repair.MustInstance(d, sigma)
+	q := keysQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := &sampling.Estimator{Inst: inst, Gen: generators.Uniform{}, Seed: int64(i)}
+		if _, err := est.EstimateWithN(q, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkJustifiedOps measures operation enumeration at a repairing
 // state.
 func BenchmarkJustifiedOps(b *testing.B) {

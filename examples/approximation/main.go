@@ -85,7 +85,7 @@ func main() {
 	// tuple per violating group, rewrite the query over R − R_del, repeat.
 	rel := engine.NewRelation("R", "k", "v")
 	for _, f := range d.Facts() {
-		rel.Add(f.Args[0], f.Args[1])
+		rel.Add(f.ArgNames()[0], f.ArgNames()[1])
 	}
 	cat := engine.NewCatalog().AddTable(rel)
 	if err := cat.DeclareKey("R", "k"); err != nil {

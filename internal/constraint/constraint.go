@@ -8,7 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -38,11 +41,23 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// cnumCounter hands every constraint a process-unique number; violation
+// identities are namespaced by it, so violations of structurally equal
+// constraints in different sets never collide.
+var cnumCounter atomic.Uint32
+
 // Constraint is a single TGD, EGD, or DC. Universal quantifiers are
 // implicit: every variable of the body is universally quantified; variables
 // appearing only in a TGD head are existentially quantified.
 //
 // Constraints are immutable after construction through the NewXxx helpers.
+// Each constraint owns an intern table for its violations: a violation is
+// identified by the tuple of constants bound to the universal variables (in
+// first-occurrence order), interned to a dense id whose high word is the
+// constraint's process-unique number. Violation identity checks — the req2
+// bookkeeping, incremental maintenance, set membership — are therefore
+// integer comparisons, and a violation's body image is computed once per
+// distinct violation instead of once per state.
 type Constraint struct {
 	id   string
 	kind Kind
@@ -50,6 +65,23 @@ type Constraint struct {
 	head []logic.Atom // TGD only
 	left logic.Term   // EGD only
 	rght logic.Term   // EGD only
+
+	cnum     uint32
+	uvars    []intern.Sym // universal variable symbols, first-occurrence order
+	exvars   []logic.Term // TGD: head variables not in the body
+	vioMu    sync.RWMutex
+	vioIDs   map[string]uint32
+	vioSlice atomic.Pointer[[]*vioEntry]
+}
+
+// vioEntry is the interned identity and cached derived data of a violation.
+type vioEntry struct {
+	id        uint64
+	h         logic.Subst // canonical binding of the universal variables
+	bodyFacts []relation.Fact
+	bodyPack  string // packed sorted body fact ids (process-local cache key)
+	legacyKey string // constraint id + "|" + h.Key(), the stable encoding
+	bodyKey   atomic.Pointer[string]
 }
 
 // NewTGD builds the TGD body → ∃z̄ head, where z̄ are the head variables not
@@ -59,6 +91,7 @@ func NewTGD(body, head []logic.Atom) (*Constraint, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	c.finish()
 	return c, nil
 }
 
@@ -68,6 +101,7 @@ func NewEGD(body []logic.Atom, left, right logic.Term) (*Constraint, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	c.finish()
 	return c, nil
 }
 
@@ -77,6 +111,7 @@ func NewDC(body []logic.Atom) (*Constraint, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	c.finish()
 	return c, nil
 }
 
@@ -108,6 +143,26 @@ func MustDC(body []logic.Atom) *Constraint {
 	return c
 }
 
+// finish populates the caches of a validated constraint.
+func (c *Constraint) finish() {
+	c.cnum = cnumCounter.Add(1)
+	c.uvars = logic.VarSymsOf(c.body)
+	if c.kind == TGD {
+		bodyVars := map[intern.Sym]bool{}
+		for _, v := range c.uvars {
+			bodyVars[v] = true
+		}
+		for _, v := range logic.VarsOf(c.head) {
+			if !bodyVars[v.Sym()] {
+				c.exvars = append(c.exvars, v)
+			}
+		}
+	}
+	c.vioIDs = map[string]uint32{}
+	initial := make([]*vioEntry, 1, 16)
+	c.vioSlice.Store(&initial)
+}
+
 func (c *Constraint) validate() error {
 	if len(c.body) == 0 {
 		return errors.New("constraint body must be a non-empty conjunction of atoms")
@@ -121,11 +176,11 @@ func (c *Constraint) validate() error {
 		if !c.left.IsVar() || !c.rght.IsVar() {
 			return errors.New("EGD equality must relate two variables")
 		}
-		bodyVars := map[string]bool{}
+		bodyVars := map[intern.Sym]bool{}
 		for _, v := range logic.VarsOf(c.body) {
-			bodyVars[v.Name()] = true
+			bodyVars[v.Sym()] = true
 		}
-		if !bodyVars[c.left.Name()] || !bodyVars[c.rght.Name()] {
+		if !bodyVars[c.left.Sym()] || !bodyVars[c.rght.Sym()] {
 			return fmt.Errorf("EGD equality variables %s, %s must occur in the body",
 				c.left.Name(), c.rght.Name())
 		}
@@ -163,26 +218,18 @@ func (c *Constraint) Equality() (left, right logic.Term) { return c.left, c.rght
 // UniversalVars returns the distinct variables of the body in order of
 // first occurrence; these are the universally quantified variables and the
 // domain of every violation homomorphism.
-func (c *Constraint) UniversalVars() []logic.Term { return logic.VarsOf(c.body) }
-
-// ExistentialVars returns, for a TGD, the head variables that do not occur
-// in the body (the existentially quantified z̄); nil for EGDs and DCs.
-func (c *Constraint) ExistentialVars() []logic.Term {
-	if c.kind != TGD {
-		return nil
-	}
-	bodyVars := map[string]bool{}
-	for _, v := range logic.VarsOf(c.body) {
-		bodyVars[v.Name()] = true
-	}
-	var out []logic.Term
-	for _, v := range logic.VarsOf(c.head) {
-		if !bodyVars[v.Name()] {
-			out = append(out, v)
-		}
+func (c *Constraint) UniversalVars() []logic.Term {
+	out := make([]logic.Term, len(c.uvars))
+	for i, s := range c.uvars {
+		out[i] = logic.VarSym(s)
 	}
 	return out
 }
+
+// ExistentialVars returns, for a TGD, the head variables that do not occur
+// in the body (the existentially quantified z̄); nil for EGDs and DCs. The
+// slice is cached and must not be modified.
+func (c *Constraint) ExistentialVars() []logic.Term { return c.exvars }
 
 // Consts returns the distinct constants mentioned by the constraint.
 func (c *Constraint) Consts() []logic.Term {
@@ -245,11 +292,83 @@ func (c *Constraint) violatedBy(d *relation.Database, h logic.Subst) bool {
 	case TGD:
 		return !relation.HasHom(c.head, d, h)
 	case EGD:
-		l, _ := h.Lookup(c.left.Name())
-		r, _ := h.Lookup(c.rght.Name())
+		l, _ := h.Lookup(c.left.Sym())
+		r, _ := h.Lookup(c.rght.Sym())
 		return l != r
 	case DC:
 		return true
 	}
 	return false
+}
+
+// vioEntryFor interns the violation of c witnessed by h (which must bind
+// every universal variable) and returns its cached entry; the body image,
+// identity, and canonical encodings are computed once per distinct
+// violation process-wide.
+func (c *Constraint) vioEntryFor(h logic.Subst) *vioEntry {
+	var stack [64]byte
+	var vals [16]intern.Sym
+	uvals := vals[:0]
+	for _, v := range c.uvars {
+		uvals = append(uvals, h[v])
+	}
+	key := intern.PackSyms(stack[:0], uvals)
+	c.vioMu.RLock()
+	local, ok := c.vioIDs[string(key)]
+	c.vioMu.RUnlock()
+	if ok {
+		return (*c.vioSlice.Load())[local]
+	}
+	c.vioMu.Lock()
+	defer c.vioMu.Unlock()
+	if local, ok := c.vioIDs[string(key)]; ok {
+		return (*c.vioSlice.Load())[local]
+	}
+
+	canon := make(logic.Subst, len(c.uvars))
+	for _, v := range c.uvars {
+		canon[v] = h[v]
+	}
+	e := &vioEntry{h: canon}
+	for _, a := range canon.ApplyAtoms(c.body) {
+		f := relation.MustFactFromAtom(a)
+		dup := false
+		for _, g := range e.bodyFacts {
+			if g == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.bodyFacts = append(e.bodyFacts, f)
+		}
+	}
+	relation.SortFacts(e.bodyFacts)
+	ids := make([]uint32, len(e.bodyFacts))
+	for i, f := range e.bodyFacts {
+		ids[i] = f.ID()
+	}
+	e.bodyPack = string(intern.PackTuple(make([]byte, 0, 4*len(ids)), ids))
+	e.legacyKey = c.id + "|" + canon.Key()
+
+	cur := *c.vioSlice.Load()
+	local = uint32(len(cur))
+	e.id = uint64(c.cnum)<<32 | uint64(local)
+	next := append(cur, e)
+	c.vioIDs[string(key)] = local
+	c.vioSlice.Store(&next)
+	return e
+}
+
+// refreshViolationKeys rebuilds the cached canonical keys of already
+// interned violations; Set.Add calls it when it assigns the constraint its
+// id, so violations interned before the constraint joined a set still
+// render with the final id (a Set must not be mutated once violations are
+// shared between goroutines, which makes this safe).
+func (c *Constraint) refreshViolationKeys() {
+	c.vioMu.Lock()
+	defer c.vioMu.Unlock()
+	for _, e := range (*c.vioSlice.Load())[1:] {
+		e.legacyKey = c.id + "|" + e.h.Key()
+	}
 }

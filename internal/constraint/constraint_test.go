@@ -182,7 +182,7 @@ func TestInvolvedFacts(t *testing.T) {
 		t.Fatalf("involved facts = %v, want 2", inv)
 	}
 	for _, f := range inv {
-		if f.Pred != "R" {
+		if f.PredName() != "R" {
 			t.Errorf("unexpected involved fact %s", f)
 		}
 	}
@@ -275,5 +275,27 @@ func TestTGDMultiAtomHead(t *testing.T) {
 	d.Insert(relation.NewFact("U", "q"))
 	if !tgd.Satisfied(d) {
 		t.Error("both head atoms present; TGD must hold")
+	}
+}
+
+// TestViolationKeyRefreshedOnSetAdd: a violation interned before its
+// constraint joins a Set must still render with the final constraint id —
+// Set.Add refreshes the cached canonical keys.
+func TestViolationKeyRefreshedOnSetAdd(t *testing.T) {
+	x, y := logic.Var("x"), logic.Var("y")
+	dc := MustDC([]logic.Atom{logic.NewAtom("Early", x, y)})
+	h := logic.NewSubst()
+	h[x.Sym()] = logic.Const("a").Sym()
+	h[y.Sym()] = logic.Const("b").Sym()
+	early := NewViolation(dc, h)
+	if got := early.Key(); got[0] != '|' {
+		t.Fatalf("pre-set key = %q, want empty constraint id", got)
+	}
+	NewSet(dc)
+	if got := NewViolation(dc, h).Key(); got != dc.ID()+"|"+early.H.Key() {
+		t.Errorf("post-add key = %q, want %q", got, dc.ID()+"|"+early.H.Key())
+	}
+	if got := early.Key(); got != dc.ID()+"|"+early.H.Key() {
+		t.Errorf("previously interned violation key = %q, want refreshed %q", got, dc.ID()+"|"+early.H.Key())
 	}
 }

@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -28,27 +29,65 @@ import (
 //   - Constraints mentioning none of the changed predicates keep their
 //     violations verbatim.
 
+// changeSet is the interned view of an update's changed facts. Updates
+// touch one operation's worth of facts, so tiny slices with linear scans
+// beat maps here.
+type changeSet struct {
+	preds []intern.Sym
+	facts []relation.Fact
+}
+
+func newChangeSet(changed []relation.Fact) changeSet {
+	var cs changeSet
+	for _, f := range changed {
+		p := f.Pred()
+		if !cs.hasPred(p) {
+			cs.preds = append(cs.preds, p)
+		}
+		cs.facts = append(cs.facts, f)
+	}
+	return cs
+}
+
+func (cs changeSet) hasPred(p intern.Sym) bool {
+	for _, q := range cs.preds {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
 // UpdateViolations computes V(dNew, Σ) from before = V(dOld, Σ), where
 // dNew is dOld with the facts `changed` inserted (insert = true) or
 // deleted (insert = false). The facts in `changed` must actually have
 // changed (as reported by ops.Op.Do). The input set is not modified.
 func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) *Violations {
-	changedPreds := map[string]bool{}
-	changedKeys := map[string]bool{}
-	for _, f := range changed {
-		changedPreds[f.Pred] = true
-		changedKeys[f.Key()] = true
-	}
+	out, _ := UpdateViolationsDiff(dNew, s, before, changed, insert)
+	return out
+}
 
-	out := NewViolations()
+// UpdateViolationsDiff is UpdateViolations extended to also report the
+// eliminated violations (before − after), which the repair state tracks at
+// every step. On the deletion-only fast path the eliminated set falls out
+// of the filtering pass for free; only TGD recomputes pay a set
+// difference.
+func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) (*Violations, []Violation) {
+	cs := newChangeSet(changed)
+
+	out := &Violations{vs: make([]Violation, 0, before.Len()), sorted: true}
+	var eliminated []Violation
+	needDiff := false
 	for _, c := range s.constraints {
 		switch {
-		case !constraintTouches(c, changedPreds):
+		case !constraintTouches(c, cs):
 			// Unaffected: copy this constraint's violations.
 			copyConstraintViolations(out, before, c)
 
 		case c.kind == TGD:
-			// Full recompute for this constraint only.
+			// Full recompute for this constraint only; eliminated
+			// violations are recovered by a set difference afterwards.
+			needDiff = true
 			relation.ForEachHom(c.body, dNew, logic.NewSubst(), func(h logic.Subst) bool {
 				if c.violatedBy(dNew, h) {
 					out.add(NewViolation(c, h))
@@ -58,11 +97,10 @@ func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, chang
 
 		case !insert:
 			// EGD/DC + deletion: drop violations whose body lost a fact.
-			for _, v := range before.byKey {
-				if v.Constraint != c {
-					continue
-				}
-				if !bodyIntersects(v, changedKeys) {
+			for _, v := range before.constraintRange(c) {
+				if bodyIntersects(v, cs) {
+					eliminated = append(eliminated, v)
+				} else {
 					out.add(v)
 				}
 			}
@@ -70,14 +108,18 @@ func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, chang
 		default:
 			// EGD/DC + insertion: keep the old violations, add the delta.
 			copyConstraintViolations(out, before, c)
-			forEachHomTouching(c.body, dNew, changedKeys, changedPreds, func(h logic.Subst) {
+			forEachHomTouching(c.body, dNew, cs, func(h logic.Subst) {
 				if c.violatedBy(dNew, h) {
 					out.add(NewViolation(c, h))
 				}
 			})
 		}
 	}
-	return out
+	out.norm()
+	if needDiff {
+		eliminated = before.Minus(out)
+	}
+	return out, eliminated
 }
 
 // IntroducedViolations returns only the violations of dNew that were not
@@ -88,23 +130,18 @@ func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, chang
 // so only genuinely new violations matter. For EGD/DC deletions the answer
 // is always empty without any search.
 func IntroducedViolations(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) []Violation {
-	changedPreds := map[string]bool{}
-	changedKeys := map[string]bool{}
-	for _, f := range changed {
-		changedPreds[f.Pred] = true
-		changedKeys[f.Key()] = true
-	}
+	cs := newChangeSet(changed)
 	var out []Violation
 	for _, c := range s.constraints {
 		switch {
-		case !constraintTouches(c, changedPreds):
+		case !constraintTouches(c, cs):
 			// Unaffected constraints introduce nothing.
 
 		case c.kind == TGD:
 			relation.ForEachHom(c.body, dNew, logic.NewSubst(), func(h logic.Subst) bool {
 				if c.violatedBy(dNew, h) {
 					v := NewViolation(c, h)
-					if !before.Has(v.Key()) {
+					if !before.Has(v.ID()) {
 						out = append(out, v)
 					}
 				}
@@ -115,7 +152,7 @@ func IntroducedViolations(dNew *relation.Database, s *Set, before *Violations, c
 			// EGD/DC deletions can only remove violations.
 
 		default:
-			forEachHomTouching(c.body, dNew, changedKeys, changedPreds, func(h logic.Subst) {
+			forEachHomTouching(c.body, dNew, cs, func(h logic.Subst) {
 				if c.violatedBy(dNew, h) {
 					out = append(out, NewViolation(c, h))
 				}
@@ -130,28 +167,16 @@ func IntroducedViolations(dNew *relation.Database, s *Set, before *Violations, c
 // insertions need a constraint body mentioning a touched predicate;
 // deletions can only create TGD violations by destroying head witnesses.
 // When this returns false, callers may skip computing the introduced set
-// (and the database update itself) entirely.
-func (s *Set) MayIntroduceViolations(preds []string, insert bool) bool {
-	for _, c := range s.constraints {
+// (and the database update itself) entirely. The per-set predicate caches
+// make this a map probe per predicate.
+func (s *Set) MayIntroduceViolations(preds []intern.Sym, insert bool) bool {
+	for _, p := range preds {
 		if insert {
-			for _, a := range c.body {
-				for _, p := range preds {
-					if a.Pred == p {
-						return true
-					}
-				}
+			if s.bodyPreds[p] {
+				return true
 			}
-			continue
-		}
-		if c.kind != TGD {
-			continue
-		}
-		for _, a := range c.head {
-			for _, p := range preds {
-				if a.Pred == p {
-					return true
-				}
-			}
+		} else if s.tgdHeadPreds[p] {
+			return true
 		}
 	}
 	return false
@@ -159,14 +184,14 @@ func (s *Set) MayIntroduceViolations(preds []string, insert bool) bool {
 
 // constraintTouches reports whether any body or head predicate of c is in
 // the changed set.
-func constraintTouches(c *Constraint, preds map[string]bool) bool {
+func constraintTouches(c *Constraint, cs changeSet) bool {
 	for _, a := range c.body {
-		if preds[a.Pred] {
+		if cs.hasPred(a.Pred) {
 			return true
 		}
 	}
 	for _, a := range c.head {
-		if preds[a.Pred] {
+		if cs.hasPred(a.Pred) {
 			return true
 		}
 	}
@@ -174,17 +199,15 @@ func constraintTouches(c *Constraint, preds map[string]bool) bool {
 }
 
 func copyConstraintViolations(dst *Violations, src *Violations, c *Constraint) {
-	for _, v := range src.byKey {
-		if v.Constraint == c {
-			dst.add(v)
-		}
+	for _, v := range src.constraintRange(c) {
+		dst.add(v)
 	}
 }
 
 // bodyIntersects reports whether h(body) includes any changed fact.
-func bodyIntersects(v Violation, changedKeys map[string]bool) bool {
-	for k := range changedKeys {
-		if v.bodyHasKey(k) {
+func bodyIntersects(v Violation, cs changeSet) bool {
+	for _, f := range cs.facts {
+		if v.bodyHasFact(f) {
 			return true
 		}
 	}
@@ -195,31 +218,42 @@ func bodyIntersects(v Violation, changedKeys map[string]bool) bool {
 // map at least one atom onto a changed fact (the semi-naive delta): for
 // each atom position in turn, the atom is pinned to each changed fact and
 // the remaining atoms are matched against the full database. Duplicate
-// homomorphisms (touching several changed facts) are emitted once.
-func forEachHomTouching(atoms []logic.Atom, d *relation.Database, changedKeys map[string]bool, changedPreds map[string]bool, fn func(logic.Subst)) {
+// homomorphisms (touching several changed facts) are emitted once; the
+// dedup key packs the bound symbols in canonical variable order.
+func forEachHomTouching(atoms []logic.Atom, d *relation.Database, cs changeSet, fn func(logic.Subst)) {
+	vars := logic.VarSymsOf(atoms)
 	seen := map[string]bool{}
+	var packBuf [64]byte
+	var valBuf [16]intern.Sym
 	for i, pivot := range atoms {
-		if !changedPreds[pivot.Pred] {
+		if !cs.hasPred(pivot.Pred) {
 			continue
 		}
 		rest := make([]logic.Atom, 0, len(atoms)-1)
 		rest = append(rest, atoms[:i]...)
 		rest = append(rest, atoms[i+1:]...)
-		for _, f := range d.FactsByPred(pivot.Pred) {
-			if !changedKeys[f.Key()] || len(f.Args) != len(pivot.Args) {
+		// The changed facts are the pivots (they are all in d by
+		// construction), so iterate them directly instead of scanning the
+		// database's per-predicate list.
+		for _, f := range cs.facts {
+			if f.Pred() != pivot.Pred {
+				continue
+			}
+			fargs := f.Args()
+			if len(fargs) != len(pivot.Args) {
 				continue
 			}
 			base := logic.NewSubst()
 			ok := true
 			for j, t := range pivot.Args {
 				if t.IsConst() {
-					if t.Name() != f.Args[j] {
+					if t.Sym() != fargs[j] {
 						ok = false
 						break
 					}
 					continue
 				}
-				if !base.Bind(t.Name(), f.Args[j]) {
+				if !base.Bind(t.Sym(), fargs[j]) {
 					ok = false
 					break
 				}
@@ -228,8 +262,13 @@ func forEachHomTouching(atoms []logic.Atom, d *relation.Database, changedKeys ma
 				continue
 			}
 			relation.ForEachHom(rest, d, base, func(h logic.Subst) bool {
-				if k := h.Key(); !seen[k] {
-					seen[k] = true
+				vals := valBuf[:0]
+				for _, v := range vars {
+					vals = append(vals, h[v])
+				}
+				key := intern.PackSyms(packBuf[:0], vals)
+				if !seen[string(key)] {
+					seen[string(key)] = true
 					fn(h)
 				}
 				return true

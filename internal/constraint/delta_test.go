@@ -83,9 +83,9 @@ func TestUpdateViolationsMatchesFull(t *testing.T) {
 			t.Logf("seed %d: delta has %d violations, full has %d", seed, got.Len(), want.Len())
 			return false
 		}
-		for _, key := range want.Keys() {
-			if !got.Has(key) {
-				t.Logf("seed %d: delta missing violation %s", seed, key)
+		for _, v := range want.All() {
+			if !got.Has(v.ID()) {
+				t.Logf("seed %d: delta missing violation %s", seed, v.Key())
 				return false
 			}
 		}
@@ -124,7 +124,7 @@ func TestUpdateViolationsDeletionFastPath(t *testing.T) {
 	}
 	for _, v := range after.All() {
 		for _, bf := range v.BodyFacts() {
-			if bf.Args[0] != "q" {
+			if bf.ArgNames()[0] != "q" {
 				t.Errorf("unexpected surviving violation %s", v.Key())
 			}
 		}

@@ -2,9 +2,11 @@ package constraint
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -15,13 +17,22 @@ import (
 type Set struct {
 	constraints []*Constraint
 	byID        map[string]*Constraint
+	// bodyPreds and tgdHeadPreds cache which predicates occur in constraint
+	// bodies and in TGD heads, so MayIntroduceViolations is a map probe per
+	// touched predicate instead of a scan over the whole set.
+	bodyPreds    map[intern.Sym]bool
+	tgdHeadPreds map[intern.Sym]bool
 }
 
 // NewSet builds a set from the given constraints, assigning sequential IDs
 // to those that do not have one. Constraints are shared, not copied; a
 // constraint may belong to only one set.
 func NewSet(cs ...*Constraint) *Set {
-	s := &Set{byID: map[string]*Constraint{}}
+	s := &Set{
+		byID:         map[string]*Constraint{},
+		bodyPreds:    map[intern.Sym]bool{},
+		tgdHeadPreds: map[intern.Sym]bool{},
+	}
 	for _, c := range cs {
 		s.Add(c)
 	}
@@ -32,12 +43,21 @@ func NewSet(cs ...*Constraint) *Set {
 func (s *Set) Add(c *Constraint) {
 	if c.id == "" {
 		c.id = fmt.Sprintf("c%d", len(s.constraints))
+		c.refreshViolationKeys()
 	}
 	if _, dup := s.byID[c.id]; dup {
 		panic(fmt.Sprintf("constraint: duplicate id %q in set", c.id))
 	}
 	s.constraints = append(s.constraints, c)
 	s.byID[c.id] = c
+	for _, a := range c.body {
+		s.bodyPreds[a.Pred] = true
+	}
+	if c.kind == TGD {
+		for _, a := range c.head {
+			s.tgdHeadPreds[a.Pred] = true
+		}
+	}
 }
 
 // Len reports the number of constraints.
@@ -68,12 +88,12 @@ func (s *Set) Satisfied(d *relation.Database) bool {
 func (s *Set) Schema(schema *relation.Schema) error {
 	for _, c := range s.constraints {
 		for _, a := range c.body {
-			if err := schema.Add(a.Pred, a.Arity()); err != nil {
+			if err := schema.AddSym(a.Pred, a.Arity()); err != nil {
 				return err
 			}
 		}
 		for _, a := range c.head {
-			if err := schema.Add(a.Pred, a.Arity()); err != nil {
+			if err := schema.AddSym(a.Pred, a.Arity()); err != nil {
 				return err
 			}
 		}
@@ -81,15 +101,19 @@ func (s *Set) Schema(schema *relation.Schema) error {
 	return nil
 }
 
-// Consts returns the distinct constants mentioned anywhere in the set.
-func (s *Set) Consts() []string {
-	seen := map[string]bool{}
-	var out []string
+// Consts returns the distinct constant names mentioned anywhere in the set.
+func (s *Set) Consts() []string { return intern.Names(s.ConstSyms()) }
+
+// ConstSyms returns the distinct constant symbols mentioned anywhere in the
+// set.
+func (s *Set) ConstSyms() []intern.Sym {
+	seen := map[intern.Sym]bool{}
+	var out []intern.Sym
 	for _, c := range s.constraints {
 		for _, t := range c.Consts() {
-			if !seen[t.Name()] {
-				seen[t.Name()] = true
-				out = append(out, t.Name())
+			if !seen[t.Sym()] {
+				seen[t.Sym()] = true
+				out = append(out, t.Sym())
 			}
 		}
 	}
@@ -107,9 +131,9 @@ func (s *Set) Base(d *relation.Database) (*relation.Base, error) {
 	if err := s.Schema(schema); err != nil {
 		return nil, err
 	}
-	consts := d.Dom()
-	consts = append(consts, s.Consts()...)
-	return relation.NewBase(schema, consts), nil
+	consts := append([]intern.Sym(nil), d.DomSyms()...)
+	consts = append(consts, s.ConstSyms()...)
+	return relation.NewBaseSyms(schema, consts), nil
 }
 
 // String renders the set one constraint per line, each terminated by a dot.
@@ -124,76 +148,114 @@ func (s *Set) String() string {
 
 // Violation is a pair (κ, h): constraint κ is violated in a database via
 // the body homomorphism h (Definition 2). h binds exactly the universal
-// variables of κ. Construct violations with NewViolation so the cached
-// identity and body-fact encodings are populated; they sit on the hot path
+// variables of κ. Construct violations with NewViolation so the interned
+// identity and cached body image are populated; they sit on the hot path
 // of incremental violation maintenance.
 type Violation struct {
 	Constraint *Constraint
 	H          logic.Subst
 
-	key       string
-	bodyKey   string
-	bodyFacts []relation.Fact
-	bodyKeys  map[string]bool
+	entry *vioEntry
 }
 
-// NewViolation builds a violation and precomputes its identity and body
-// image. The substitution is cloned.
+// NewViolation builds a violation, interning its identity. The first
+// construction of a given violation computes and caches its body image and
+// canonical encodings; every later construction is a table lookup. The
+// substitution is restricted to the universal variables (which internal
+// callers always bind exactly) and shared with the cache; callers must not
+// modify it.
 func NewViolation(c *Constraint, h logic.Subst) Violation {
-	v := Violation{Constraint: c, H: h.Clone()}
-	v.key = c.id + "|" + v.H.Key()
-	seen := map[string]bool{}
-	for _, a := range v.H.ApplyAtoms(c.body) {
-		f := relation.MustFactFromAtom(a)
-		if k := f.Key(); !seen[k] {
-			seen[k] = true
-			v.bodyFacts = append(v.bodyFacts, f)
-		}
+	e := c.vioEntryFor(h)
+	return Violation{Constraint: c, H: e.h, entry: e}
+}
+
+// ID returns the interned identity of the violation: the constraint's
+// process-unique number in the high word and the dense per-constraint
+// violation id in the low word. All hot-path violation bookkeeping is keyed
+// by this.
+func (v Violation) ID() uint64 {
+	if v.entry != nil {
+		return v.entry.id
 	}
-	relation.SortFacts(v.bodyFacts)
-	v.bodyKeys = seen
+	if v.Constraint == nil {
+		return 0
+	}
+	return NewViolation(v.Constraint, v.H).ID()
+}
+
+// Key returns the canonical string encoding of the violation, stable across
+// processes: the constraint ID together with the encoded assignment.
+func (v Violation) Key() string {
+	if v.entry != nil {
+		return v.entry.legacyKey
+	}
+	if v.Constraint == nil {
+		return "|"
+	}
+	return v.Constraint.id + "|" + v.H.Key()
+}
+
+// BodyKey returns the canonical string encoding of h(ϕ) as a fact set;
+// violations with equal body images (e.g. the two orientations of an EGD
+// match) share it. It is built lazily — hot paths use the interned body
+// image directly.
+func (v Violation) BodyKey() string {
+	e := v.entry
+	if e == nil {
+		if v.Constraint == nil {
+			return ""
+		}
+		e = v.Constraint.vioEntryFor(v.H)
+	}
+	if k := e.bodyKey.Load(); k != nil {
+		return *k
+	}
 	var b strings.Builder
-	for i, f := range v.bodyFacts {
+	for i, f := range e.bodyFacts {
 		if i > 0 {
 			b.WriteByte(';')
 		}
 		b.WriteString(f.Key())
 	}
-	v.bodyKey = b.String()
-	return v
+	k := b.String()
+	e.bodyKey.Store(&k)
+	return k
 }
 
-// BodyKey returns the canonical encoding of h(ϕ) as a fact set; violations
-// with equal body images (e.g. the two orientations of an EGD match) share
-// it, and the justified deletions of a violation are a function of it.
-func (v Violation) BodyKey() string { return v.bodyKey }
-
-// Key returns the canonical identity of the violation, stable across
-// database states: the constraint ID together with the encoded assignment.
-func (v Violation) Key() string {
-	if v.key != "" {
-		return v.key
+// bodyPack returns the process-local packed encoding of the body image,
+// used as the deletion-operation cache key.
+func (v Violation) bodyPack() string {
+	if v.entry != nil {
+		return v.entry.bodyPack
 	}
-	return v.Constraint.id + "|" + v.H.Key()
+	if v.Constraint == nil {
+		return ""
+	}
+	return v.Constraint.vioEntryFor(v.H).bodyPack
 }
+
+// BodyPack exposes bodyPack for intra-module callers (the repair package's
+// deletion cache); the encoding is process-local and must not be persisted.
+func (v Violation) BodyPack() string { return v.bodyPack() }
 
 // BodyFacts returns h(ϕ): the (distinct) facts of the body image under h.
 // For a violation of D, these facts all belong to D. The slice is shared;
 // callers must not modify it.
 func (v Violation) BodyFacts() []relation.Fact {
-	if v.bodyFacts != nil || len(v.Constraint.body) == 0 {
-		return v.bodyFacts
+	if v.entry != nil {
+		return v.entry.bodyFacts
 	}
-	return NewViolation(v.Constraint, v.H).bodyFacts
+	if v.Constraint == nil || len(v.Constraint.body) == 0 {
+		return nil
+	}
+	return v.Constraint.vioEntryFor(v.H).bodyFacts
 }
 
-// bodyHasKey reports whether h(ϕ) contains a fact with the given key.
-func (v Violation) bodyHasKey(k string) bool {
-	if v.bodyKeys != nil {
-		return v.bodyKeys[k]
-	}
-	for _, f := range v.BodyFacts() {
-		if f.Key() == k {
+// bodyHasFact reports whether h(ϕ) contains the fact; body images are a
+// handful of facts, so a linear scan of interned ids beats any hashing.
+func (v Violation) bodyHasFact(f relation.Fact) bool {
+	for _, g := range v.BodyFacts() {
+		if g == f {
 			return true
 		}
 	}
@@ -205,13 +267,20 @@ func (v Violation) String() string {
 	return fmt.Sprintf("(%s: %s, %s)", v.Constraint.id, v.Constraint, v.H)
 }
 
-// Violations is the set V(D,Σ) for some database D, keyed by Violation.Key.
+// Violations is the set V(D,Σ) for some database D. It is stored as a
+// slice sorted by Violation.ID — violation ids are contiguous per
+// constraint, so per-constraint operations work on subranges, membership
+// is a binary search, and set difference is a linear merge. Construction
+// appends (normalizing lazily on first read), which keeps incremental
+// maintenance allocation-light: one slice per update instead of a rebuilt
+// hash map.
 type Violations struct {
-	byKey map[string]Violation
+	vs     []Violation
+	sorted bool
 }
 
 // NewViolations returns an empty violation set.
-func NewViolations() *Violations { return &Violations{byKey: map[string]Violation{}} }
+func NewViolations() *Violations { return &Violations{sorted: true} }
 
 // FindViolations computes V(D,Σ).
 func FindViolations(d *relation.Database, s *Set) *Violations {
@@ -224,59 +293,157 @@ func FindViolations(d *relation.Database, s *Set) *Violations {
 			return true
 		})
 	}
+	vs.norm()
 	return vs
 }
 
-func (vs *Violations) add(v Violation) { vs.byKey[v.Key()] = v }
+func (vs *Violations) add(v Violation) {
+	if n := len(vs.vs); vs.sorted && n > 0 && vs.vs[n-1].ID() >= v.ID() {
+		vs.sorted = false
+	}
+	vs.vs = append(vs.vs, v)
+}
+
+// norm sorts the slice by id and drops duplicate ids (adds are idempotent,
+// matching the map-based predecessor).
+func (vs *Violations) norm() {
+	if vs.sorted {
+		return
+	}
+	slices.SortFunc(vs.vs, func(a, b Violation) int {
+		ai, bi := a.ID(), b.ID()
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	})
+	out := vs.vs[:0]
+	for i, v := range vs.vs {
+		if i == 0 || v.ID() != out[len(out)-1].ID() {
+			out = append(out, v)
+		}
+	}
+	vs.vs = out
+	vs.sorted = true
+}
 
 // Len reports the number of violations.
-func (vs *Violations) Len() int { return len(vs.byKey) }
+func (vs *Violations) Len() int {
+	vs.norm()
+	return len(vs.vs)
+}
 
 // Empty reports whether there are no violations, i.e. D |= Σ.
-func (vs *Violations) Empty() bool { return len(vs.byKey) == 0 }
-
-// Has reports whether the violation with the given key is present.
-func (vs *Violations) Has(key string) bool {
-	_, ok := vs.byKey[key]
-	return ok
+func (vs *Violations) Empty() bool {
+	vs.norm()
+	return len(vs.vs) == 0
 }
 
-// Get returns the violation with the given key.
-func (vs *Violations) Get(key string) (Violation, bool) {
-	v, ok := vs.byKey[key]
-	return v, ok
+// search returns the index of id in the sorted slice, or -1.
+func (vs *Violations) search(id uint64) int {
+	vs.norm()
+	lo, hi := 0, len(vs.vs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vs.vs[mid].ID() < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vs.vs) && vs.vs[lo].ID() == id {
+		return lo
+	}
+	return -1
 }
 
-// All returns the violations in deterministic (key-sorted) order.
+// Has reports whether the violation with the given interned id is present.
+func (vs *Violations) Has(id uint64) bool { return vs.search(id) >= 0 }
+
+// constraintRange returns the subslice of violations belonging to c;
+// violation ids are namespaced by the constraint's process-unique number,
+// so they occupy a contiguous id range.
+func (vs *Violations) constraintRange(c *Constraint) []Violation {
+	vs.norm()
+	lo := uint64(c.cnum) << 32
+	hi := uint64(c.cnum+1) << 32
+	start, end := len(vs.vs), len(vs.vs)
+	l, r := 0, len(vs.vs)
+	for l < r {
+		mid := int(uint(l+r) >> 1)
+		if vs.vs[mid].ID() < lo {
+			l = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	start = l
+	r = len(vs.vs)
+	for l < r {
+		mid := int(uint(l+r) >> 1)
+		if vs.vs[mid].ID() < hi {
+			l = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	end = l
+	return vs.vs[start:end]
+}
+
+// Get returns the violation with the given interned id.
+func (vs *Violations) Get(id uint64) (Violation, bool) {
+	if i := vs.search(id); i >= 0 {
+		return vs.vs[i], true
+	}
+	return Violation{}, false
+}
+
+// ByID returns the violations sorted by interned id; the slice is shared
+// and must not be modified. This is the iteration order hot paths use — it
+// is deterministic for a fixed instance but process-dependent; use All for
+// the stable canonical order.
+func (vs *Violations) ByID() []Violation {
+	vs.norm()
+	return vs.vs
+}
+
+// All returns the violations in deterministic (key-sorted) order, matching
+// the order the string-keyed predecessor produced.
 func (vs *Violations) All() []Violation {
-	keys := make([]string, 0, len(vs.byKey))
-	for k := range vs.byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Violation, len(keys))
-	for i, k := range keys {
-		out[i] = vs.byKey[k]
-	}
+	vs.norm()
+	out := append([]Violation(nil), vs.vs...)
+	slices.SortFunc(out, func(a, b Violation) int { return strings.Compare(a.Key(), b.Key()) })
 	return out
 }
 
-// Keys returns the sorted violation keys.
+// Keys returns the sorted canonical violation keys.
 func (vs *Violations) Keys() []string {
-	keys := make([]string, 0, len(vs.byKey))
-	for k := range vs.byKey {
-		keys = append(keys, k)
+	vs.norm()
+	keys := make([]string, 0, len(vs.vs))
+	for _, v := range vs.vs {
+		keys = append(keys, v.Key())
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// Minus returns the violations of vs whose keys are not in other:
-// V(D,Σ) − V(D',Σ).
+// Minus returns the violations of vs whose ids are not in other:
+// V(D,Σ) − V(D',Σ). Both sets are id-sorted, so this is a linear merge.
 func (vs *Violations) Minus(other *Violations) []Violation {
+	vs.norm()
+	other.norm()
 	var out []Violation
-	for k, v := range vs.byKey {
-		if !other.Has(k) {
+	j := 0
+	for _, v := range vs.vs {
+		id := v.ID()
+		for j < len(other.vs) && other.vs[j].ID() < id {
+			j++
+		}
+		if j >= len(other.vs) || other.vs[j].ID() != id {
 			out = append(out, v)
 		}
 	}
@@ -288,12 +455,13 @@ func (vs *Violations) Minus(other *Violations) []Violation {
 // V_Σ(D) of atoms used by the preference generator of Example 4 and the
 // localization optimization of Section 6.
 func (vs *Violations) InvolvedFacts() []relation.Fact {
-	seen := map[string]bool{}
+	vs.norm()
+	seen := map[relation.Fact]struct{}{}
 	var out []relation.Fact
-	for _, v := range vs.byKey {
+	for _, v := range vs.vs {
 		for _, f := range v.BodyFacts() {
-			if k := f.Key(); !seen[k] {
-				seen[k] = true
+			if _, dup := seen[f]; !dup {
+				seen[f] = struct{}{}
 				out = append(out, f)
 			}
 		}

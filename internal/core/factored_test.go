@@ -69,7 +69,7 @@ func TestFactoredMatchesMonolithic(t *testing.T) {
 	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
 	for _, fact := range inst.Initial().Facts() {
 		got := fac.FactProbability(fact)
-		want := mono.CP(q, []string{fact.Args[0], fact.Args[1]})
+		want := mono.CP(q, fact.ArgNames()[:2])
 		if got.Cmp(want) != 0 {
 			t.Errorf("fact %s: factored %s vs monolithic %s", fact, got.RatString(), want.RatString())
 		}
@@ -113,7 +113,7 @@ func TestFactoredTrustGenerator(t *testing.T) {
 	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
 	for _, fact := range inst.Initial().Facts() {
 		got := fac.FactProbability(fact)
-		want := mono.CP(q, []string{fact.Args[0], fact.Args[1]})
+		want := mono.CP(q, fact.ArgNames()[:2])
 		if got.Cmp(want) != 0 {
 			t.Errorf("fact %s: factored %s vs monolithic %s", fact, got.RatString(), want.RatString())
 		}
@@ -187,7 +187,7 @@ func TestFactoredEstimateCP(t *testing.T) {
 	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
 	target := fac.Components[0].Facts[0]
 	exact := prob.Float(fac.FactProbability(target))
-	got, err := fac.EstimateCP(q, []string{target.Args[0], target.Args[1]}, 0.1, 0.1, 77)
+	got, err := fac.EstimateCP(q, target.ArgNames()[:2], 0.1, 0.1, 77)
 	if err != nil {
 		t.Fatal(err)
 	}

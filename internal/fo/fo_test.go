@@ -3,6 +3,7 @@ package fo
 import (
 	"testing"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -20,8 +21,8 @@ func pathDB() *relation.Database {
 
 func TestEvalAtomAndEq(t *testing.T) {
 	d := pathDB()
-	dom := d.Dom()
-	env := logic.Subst{"x": "a", "y": "b"}
+	dom := d.DomSyms()
+	env := logic.Subst{intern.S("x"): intern.S("a"), intern.S("y"): intern.S("b")}
 	if !(Atom{A: at("E", v("x"), v("y"))}).Eval(d, dom, env) {
 		t.Error("E(a,b) holds")
 	}
@@ -38,7 +39,7 @@ func TestEvalAtomAndEq(t *testing.T) {
 
 func TestEvalConnectives(t *testing.T) {
 	d := pathDB()
-	dom := d.Dom()
+	dom := d.DomSyms()
 	env := logic.NewSubst()
 	tru := Truth{Value: true}
 	fls := Truth{Value: false}
@@ -66,7 +67,7 @@ func TestEvalConnectives(t *testing.T) {
 
 func TestEvalQuantifiers(t *testing.T) {
 	d := pathDB()
-	dom := d.Dom()
+	dom := d.DomSyms()
 	env := logic.NewSubst()
 
 	// ∃x,y E(x,y) — true.
@@ -232,7 +233,7 @@ func TestUnconstrainedOutputVar(t *testing.T) {
 
 func TestConjDisjHelpers(t *testing.T) {
 	d := pathDB()
-	dom := d.Dom()
+	dom := d.DomSyms()
 	env := logic.NewSubst()
 	if !Conj().Eval(d, dom, env) {
 		t.Error("empty conjunction is true")

@@ -7,9 +7,10 @@ package fo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -19,9 +20,10 @@ type Formula interface {
 	fmt.Stringer
 	// Eval reports whether the formula holds in d under the environment
 	// env (which must bind all free variables of the formula); quantifiers
-	// range over the active domain dom, passed in so that it is computed
-	// once per evaluation.
-	Eval(d *relation.Database, dom []string, env logic.Subst) bool
+	// range over the active domain dom — passed in as interned symbols so
+	// that it is computed once per evaluation and every binding is an
+	// integer assignment.
+	Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool
 	// collectFree adds the free variables of the formula (minus bound) to
 	// acc in order of first occurrence.
 	collectFree(bound map[string]bool, acc *freeAcc)
@@ -108,83 +110,99 @@ func Disj(fs ...Formula) Formula {
 	return out
 }
 
-func (f Atom) Eval(d *relation.Database, _ []string, env logic.Subst) bool {
-	ground := env.ApplyAtom(f.A)
-	if !ground.IsGround() {
-		panic(fmt.Sprintf("fo: unbound variable in atom %s under %s", f.A, env))
+func (f Atom) Eval(d *relation.Database, _ []intern.Sym, env logic.Subst) bool {
+	// Inline grounding: look the atom's argument symbols up through env and
+	// probe the fact table without interning, so evaluation allocates
+	// nothing and never grows the table.
+	var stack [16]intern.Sym
+	args := stack[:0]
+	for _, t := range f.A.Args {
+		if t.IsVar() {
+			c, ok := env[t.Sym()]
+			if !ok {
+				panic(fmt.Sprintf("fo: unbound variable in atom %s under %s", f.A, env))
+			}
+			args = append(args, c)
+		} else {
+			args = append(args, t.Sym())
+		}
 	}
-	return d.ContainsAtom(ground)
+	fact, ok := relation.LookupFact(f.A.Pred, args)
+	if !ok {
+		return false
+	}
+	return d.Contains(fact)
 }
 
-func (f Eq) Eval(_ *relation.Database, _ []string, env logic.Subst) bool {
+func (f Eq) Eval(_ *relation.Database, _ []intern.Sym, env logic.Subst) bool {
 	l := env.ApplyTerm(f.L)
 	r := env.ApplyTerm(f.R)
 	if l.IsVar() || r.IsVar() {
 		panic(fmt.Sprintf("fo: unbound variable in equality %s = %s under %s", f.L, f.R, env))
 	}
-	return l.Name() == r.Name()
+	return l.Sym() == r.Sym()
 }
 
-func (f Truth) Eval(*relation.Database, []string, logic.Subst) bool { return f.Value }
+func (f Truth) Eval(*relation.Database, []intern.Sym, logic.Subst) bool { return f.Value }
 
-func (f Not) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f Not) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return !f.F.Eval(d, dom, env)
 }
 
-func (f And) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f And) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return f.L.Eval(d, dom, env) && f.R.Eval(d, dom, env)
 }
 
-func (f Or) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f Or) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return f.L.Eval(d, dom, env) || f.R.Eval(d, dom, env)
 }
 
-func (f Implies) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f Implies) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return !f.L.Eval(d, dom, env) || f.R.Eval(d, dom, env)
 }
 
-func (f Iff) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f Iff) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return f.L.Eval(d, dom, env) == f.R.Eval(d, dom, env)
 }
 
-func (f Exists) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f Exists) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return quantify(f.Vars, d, dom, env, f.F, false)
 }
 
-func (f ForAll) Eval(d *relation.Database, dom []string, env logic.Subst) bool {
+func (f ForAll) Eval(d *relation.Database, dom []intern.Sym, env logic.Subst) bool {
 	return quantify(f.Vars, d, dom, env, f.F, true)
 }
 
 // quantify evaluates ∃/∀ vars. body by iterating assignments over the
 // active domain; universal quantification is early-exited on a falsifying
 // assignment, existential on a satisfying one.
-func quantify(vars []logic.Term, d *relation.Database, dom []string, env logic.Subst, body Formula, universal bool) bool {
+func quantify(vars []logic.Term, d *relation.Database, dom []intern.Sym, env logic.Subst, body Formula, universal bool) bool {
 	if len(vars) == 0 {
 		return body.Eval(d, dom, env)
 	}
-	v := vars[0]
-	saved, had := env[v.Name()]
+	v := vars[0].Sym()
+	saved, had := env[v]
 	for _, c := range dom {
-		env[v.Name()] = c
+		env[v] = c
 		holds := quantify(vars[1:], d, dom, env, body, universal)
 		if universal && !holds {
-			restore(env, v.Name(), saved, had)
+			restore(env, v, saved, had)
 			return false
 		}
 		if !universal && holds {
-			restore(env, v.Name(), saved, had)
+			restore(env, v, saved, had)
 			return true
 		}
 	}
-	restore(env, v.Name(), saved, had)
+	restore(env, v, saved, had)
 	return universal
 }
 
-func restore(env logic.Subst, name, saved string, had bool) {
+func restore(env logic.Subst, v, saved intern.Sym, had bool) {
 	if had {
-		env[name] = saved
+		env[v] = saved
 	} else {
-		delete(env, name)
+		delete(env, v)
 	}
 }
 
@@ -285,13 +303,5 @@ func parens(f Formula) string {
 // SortTuples orders tuples lexicographically; used for deterministic
 // output.
 func SortTuples(ts [][]string) {
-	sort.Slice(ts, func(i, j int) bool {
-		a, b := ts[i], ts[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
+	slices.SortFunc(ts, slices.Compare)
 }

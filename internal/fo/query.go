@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -80,19 +81,17 @@ func (q *Query) Holds(d *relation.Database, tuple []string) bool {
 	if len(tuple) != len(q.Out) {
 		return false
 	}
-	dom := d.Dom()
-	inDom := make(map[string]bool, len(dom))
-	for _, c := range dom {
-		inDom[c] = true
-	}
 	env := logic.NewSubst()
 	for i, v := range q.Out {
-		if !inDom[tuple[i]] {
+		// A constant that was never interned cannot occur in any database,
+		// so the symbol lookup doubles as the dom(D) membership test.
+		c, ok := intern.Lookup(tuple[i])
+		if !ok || !d.HasConst(c) {
 			return false
 		}
-		env[v.Name()] = tuple[i]
+		env[v.Sym()] = c
 	}
-	return q.F.Eval(d, dom, env)
+	return q.F.Eval(d, d.DomSyms(), env)
 }
 
 // Answers computes Q(D) = {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)} as a sorted list
@@ -107,24 +106,24 @@ func (q *Query) Answers(d *relation.Database) [][]string {
 
 // answersEnum is the generic active-domain evaluation.
 func (q *Query) answersEnum(d *relation.Database) [][]string {
-	dom := d.Dom()
+	dom := d.DomSyms()
 	var out [][]string
 	env := logic.NewSubst()
-	tuple := make([]string, len(q.Out))
+	tuple := make([]intern.Sym, len(q.Out))
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(q.Out) {
 			if q.F.Eval(d, dom, env) {
-				out = append(out, append([]string(nil), tuple...))
+				out = append(out, intern.Names(tuple))
 			}
 			return
 		}
 		for _, c := range dom {
-			env[q.Out[i].Name()] = c
+			env[q.Out[i].Sym()] = c
 			tuple[i] = c
 			rec(i + 1)
 		}
-		delete(env, q.Out[i].Name())
+		delete(env, q.Out[i].Sym())
 	}
 	rec(0)
 	SortTuples(out)
@@ -167,31 +166,32 @@ func (q *Query) asConjunctiveBody() ([]logic.Atom, bool) {
 // in the body range over the full active domain, preserving the
 // active-domain semantics of answersEnum.
 func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
-	bodyVars := map[string]bool{}
+	bodyVars := map[intern.Sym]bool{}
 	for _, v := range logic.VarsOf(atoms) {
-		bodyVars[v.Name()] = true
+		bodyVars[v.Sym()] = true
 	}
 	var unconstrained []int
 	for i, v := range q.Out {
-		if !bodyVars[v.Name()] {
+		if !bodyVars[v.Sym()] {
 			unconstrained = append(unconstrained, i)
 		}
 	}
-	dom := d.Dom()
+	dom := d.DomSyms()
 
 	seen := map[string]bool{}
 	var out [][]string
-	emit := func(tuple []string) {
-		k := strings.Join(tuple, "\x00")
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, append([]string(nil), tuple...))
+	var packBuf [64]byte
+	emit := func(tuple []intern.Sym) {
+		k := intern.PackSyms(packBuf[:0], tuple)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			out = append(out, intern.Names(tuple))
 		}
 	}
 	relation.ForEachHom(atoms, d, logic.NewSubst(), func(h logic.Subst) bool {
-		tuple := make([]string, len(q.Out))
+		tuple := make([]intern.Sym, len(q.Out))
 		for i, v := range q.Out {
-			if c, ok := h.Lookup(v.Name()); ok {
+			if c, ok := h.Lookup(v.Sym()); ok {
 				tuple[i] = c
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/intern"
 	"repro/internal/markov"
 	"repro/internal/ops"
 	"repro/internal/prob"
@@ -35,19 +36,20 @@ type Preference struct {
 // Name implements markov.Generator.
 func (p Preference) Name() string { return "preference" }
 
-func (p Preference) pred() string {
+func (p Preference) pred() intern.Sym {
 	if p.Pred == "" {
-		return "Pref"
+		return intern.S("Pref")
 	}
-	return p.Pred
+	return intern.S(p.Pred)
 }
 
 // weight returns w(α, D): the number of facts Pref(a, ·) where a is the
 // first argument of α.
-func (p Preference) weight(db *relation.Database, first string) int64 {
+func (p Preference) weight(db *relation.Database, pred intern.Sym, first intern.Sym) int64 {
 	var n int64
-	for _, f := range db.FactsByPred(p.pred()) {
-		if len(f.Args) == 2 && f.Args[0] == first {
+	for _, f := range db.FactsByPred(pred) {
+		args := f.Args()
+		if len(args) == 2 && args[0] == first {
 			n++
 		}
 	}
@@ -57,15 +59,17 @@ func (p Preference) weight(db *relation.Database, first string) int64 {
 // Transitions implements markov.Generator.
 func (p Preference) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
 	db := s.Result()
+	pred := p.pred()
 	involved := s.Violations().InvolvedFacts()
 
 	// Σ_{β ∈ V_Σ(D)} w(β, D), the normalizing constant of the importance.
 	totalWeight := new(big.Rat)
 	for _, f := range involved {
-		if f.Pred != p.pred() || len(f.Args) != 2 {
-			return nil, fmt.Errorf("generators: preference generator saw violation atom %s outside %s/2", f, p.pred())
+		args := f.Args()
+		if f.Pred() != pred || len(args) != 2 {
+			return nil, fmt.Errorf("generators: preference generator saw violation atom %s outside %s/2", f, pred)
 		}
-		totalWeight.Add(totalWeight, new(big.Rat).SetInt64(p.weight(db, f.Args[0])))
+		totalWeight.Add(totalWeight, new(big.Rat).SetInt64(p.weight(db, pred, args[0])))
 	}
 	if totalWeight.Sign() == 0 {
 		return nil, fmt.Errorf("generators: preference generator has zero total weight at state %q", s)
@@ -77,14 +81,56 @@ func (p Preference) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, err
 			out[i] = prob.Zero()
 			continue
 		}
-		alpha := op.Facts()[0]
+		alpha := op.Facts()[0].Args()
 		// The probability of removing α = Pref(a,b) is the importance of
-		// the symmetric atom ᾱ = Pref(b,a).
-		sym := relation.NewFact(p.pred(), alpha.Args[1], alpha.Args[0])
-		w := new(big.Rat).SetInt64(p.weight(db, sym.Args[0]))
+		// the symmetric atom ᾱ = Pref(b,a), i.e. the weight of b.
+		w := new(big.Rat).SetInt64(p.weight(db, pred, alpha[1]))
 		out[i] = w.Quo(w, totalWeight)
 	}
 	return out, nil
 }
 
-var _ markov.Generator = Preference{}
+// IntWeights implements markov.IntWeighter: the preference probabilities
+// are ratios of support counts, so walks sample them from raw integer
+// weights. The transition probability of deleting α = Pref(a,b) is
+// w(ᾱ)/Σ_{β ∈ V_Σ(D)} w(β), which is exactly the normalized weight this
+// returns; the atom-shape validation of Transitions is preserved.
+func (p Preference) IntWeights(s *repair.State, exts []ops.Op) ([]int64, bool, error) {
+	db := s.Result()
+	pred := p.pred()
+	// The exact path's probabilities are w(ᾱ)/Σ_{β ∈ V_Σ(D)} w(β); they sum
+	// to 1 exactly when the per-extension weights add up to that involved-
+	// fact total (the symmetry-closure property of Example 4). Verify it so
+	// the fast path only engages where the exact path would accept the
+	// chain; otherwise decline and let markov.Step report ill-definedness.
+	var involvedTotal int64
+	for _, f := range s.Violations().InvolvedFacts() {
+		if f.Pred() != pred || f.Arity() != 2 {
+			return nil, false, fmt.Errorf("generators: preference generator saw violation atom %s outside %s/2", f, pred)
+		}
+		involvedTotal += p.weight(db, pred, f.Args()[0])
+	}
+	out := make([]int64, len(exts))
+	var total int64
+	for i, op := range exts {
+		if !op.IsDelete() || op.Size() != 1 {
+			continue
+		}
+		alpha := op.Facts()[0].Args()
+		w := p.weight(db, pred, alpha[1])
+		out[i] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, false, fmt.Errorf("generators: preference generator has zero total weight at state %q", s)
+	}
+	if total != involvedTotal {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+var (
+	_ markov.Generator   = Preference{}
+	_ markov.IntWeighter = Preference{}
+)

@@ -27,7 +27,7 @@ import (
 // −F. With tr(α) = tr(β) = 1/2 this yields the introduction's
 // 0.375 / 0.375 / 0.25 split.
 type Trust struct {
-	levels  map[string]*big.Rat
+	levels  map[relation.Fact]*big.Rat
 	deflt   *big.Rat
 	defined bool
 }
@@ -36,7 +36,7 @@ type Trust struct {
 // facts that have no explicit assignment.
 func NewTrust(defaultLevel *big.Rat) *Trust {
 	return &Trust{
-		levels:  map[string]*big.Rat{},
+		levels:  map[relation.Fact]*big.Rat{},
 		deflt:   new(big.Rat).Set(defaultLevel),
 		defined: true,
 	}
@@ -47,13 +47,13 @@ func (t *Trust) Set(f relation.Fact, level *big.Rat) error {
 	if !prob.InUnit(level) {
 		return fmt.Errorf("generators: trust level %s for %s outside [0,1]", level.RatString(), f)
 	}
-	t.levels[f.Key()] = new(big.Rat).Set(level)
+	t.levels[f] = new(big.Rat).Set(level)
 	return nil
 }
 
 // Level returns the trust of a fact (the default when unassigned).
 func (t *Trust) Level(f relation.Fact) *big.Rat {
-	if l, ok := t.levels[f.Key()]; ok {
+	if l, ok := t.levels[f]; ok {
 		return l
 	}
 	return t.deflt
@@ -75,7 +75,7 @@ func (t *Trust) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) 
 	}
 	// V_Σ(s(D)): the set of violating pairs {α,β}, deduplicated (the two
 	// EGD homomorphisms y/z and z/y yield the same pair).
-	pairKeys := map[string][2]relation.Fact{}
+	pairKeys := map[[2]relation.Fact]struct{}{}
 	for _, v := range s.Violations().All() {
 		body := v.BodyFacts()
 		if len(body) != 2 {
@@ -83,8 +83,7 @@ func (t *Trust) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) 
 				"generators: trust generator requires pairwise conflicts; violation %s involves %d facts",
 				v.Key(), len(body))
 		}
-		key := body[0].Key() + "|" + body[1].Key()
-		pairKeys[key] = [2]relation.Fact{body[0], body[1]}
+		pairKeys[[2]relation.Fact{body[0], body[1]}] = struct{}{}
 	}
 	if len(pairKeys) == 0 {
 		return nil, fmt.Errorf("generators: no violating pairs at non-complete state %q", s)
@@ -98,7 +97,7 @@ func (t *Trust) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) 
 			continue
 		}
 		total := new(big.Rat)
-		for _, pair := range pairKeys {
+		for pair := range pairKeys {
 			w, err := t.pairWeight(pair[0], pair[1], op)
 			if err != nil {
 				return nil, err

@@ -29,14 +29,29 @@ func (Uniform) Name() string { return "uniform" }
 // semantics of core.ComputeFactored.
 func (Uniform) LocalWeights() bool { return true }
 
-// Transitions implements markov.Generator.
+// Transitions implements markov.Generator. Every extension shares one
+// 1/k rational value: callers treat transition probabilities as read-only,
+// and the shared pointer lets the chain machinery recognize the uniform
+// case without arithmetic.
 func (Uniform) Transitions(_ *repair.State, exts []ops.Op) ([]*big.Rat, error) {
-	k := int64(len(exts))
+	if len(exts) == 0 {
+		return nil, nil
+	}
+	p := big.NewRat(1, int64(len(exts)))
 	out := make([]*big.Rat, len(exts))
 	for i := range out {
-		out[i] = big.NewRat(1, k)
+		out[i] = p
 	}
 	return out, nil
+}
+
+// IntWeights implements markov.IntWeighter: every extension has weight 1.
+func (Uniform) IntWeights(_ *repair.State, exts []ops.Op) ([]int64, bool, error) {
+	out := make([]int64, len(exts))
+	for i := range out {
+		out[i] = 1
+	}
+	return out, true, nil
 }
 
 // UniformDeletions is the uniform generator restricted to deletion
@@ -62,12 +77,14 @@ func (UniformDeletions) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat,
 	if dels == 0 {
 		return nil, fmt.Errorf("generators: no deletion extension at state %q; deletion-only chain undefined", s)
 	}
+	p := big.NewRat(1, dels)
+	zero := prob.Zero()
 	out := make([]*big.Rat, len(exts))
 	for i, op := range exts {
 		if op.IsDelete() {
-			out[i] = big.NewRat(1, dels)
+			out[i] = p
 		} else {
-			out[i] = prob.Zero()
+			out[i] = zero
 		}
 	}
 	return out, nil
@@ -105,9 +122,27 @@ func (w WeightFunc) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, err
 	return ps, nil
 }
 
+// IntWeights implements markov.IntWeighter: deletions weigh 1, additions 0.
+func (UniformDeletions) IntWeights(s *repair.State, exts []ops.Op) ([]int64, bool, error) {
+	out := make([]int64, len(exts))
+	var dels int64
+	for i, op := range exts {
+		if op.IsDelete() {
+			out[i] = 1
+			dels++
+		}
+	}
+	if dels == 0 {
+		return nil, false, fmt.Errorf("generators: no deletion extension at state %q; deletion-only chain undefined", s)
+	}
+	return out, true, nil
+}
+
 // Compile-time interface checks.
 var (
-	_ markov.Generator = Uniform{}
-	_ markov.Generator = UniformDeletions{}
-	_ markov.Generator = WeightFunc{}
+	_ markov.Generator   = Uniform{}
+	_ markov.Generator   = UniformDeletions{}
+	_ markov.Generator   = WeightFunc{}
+	_ markov.IntWeighter = Uniform{}
+	_ markov.IntWeighter = UniformDeletions{}
 )

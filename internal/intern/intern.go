@@ -1,0 +1,128 @@
+// Package intern provides process-wide interning of the strings that flow
+// through the repair stack: predicate names, constants, and labeled nulls
+// are mapped to dense uint32 symbols so that every hot-path comparison —
+// fact identity, violation identity, homomorphism bindings, state
+// bookkeeping — is an integer comparison instead of a string build.
+//
+// The symbol table is append-only and safe for concurrent use: lookups of
+// existing symbols take a read lock on the name→symbol map, while the
+// symbol→name direction is lock-free through an atomically published
+// snapshot (parallel chain walkers resolve names without contention).
+// Strings are never evicted; the table grows with the set of distinct
+// constants seen by the process, which is bounded by the workloads loaded.
+package intern
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is a dense identifier for an interned string. The zero Sym is the
+// empty string, so zero values of types embedding a Sym behave like their
+// string-based predecessors.
+type Sym uint32
+
+// NullPrefix marks labeled nulls among constants (see ops.NullPrefix, which
+// re-exports it). Whether a symbol is a null is computed once at intern
+// time so the per-fact null test is a flag lookup.
+const NullPrefix = "null_"
+
+type state struct {
+	names []string
+	flags []uint8
+}
+
+const flagNull uint8 = 1
+
+var (
+	mu   sync.RWMutex
+	ids  = map[string]Sym{"": 0}
+	cur  atomic.Pointer[state]
+	base = state{names: []string{""}, flags: []uint8{0}}
+)
+
+func init() { cur.Store(&base) }
+
+// S interns a string and returns its symbol, creating it if needed.
+func S(s string) Sym {
+	mu.RLock()
+	id, ok := ids[s]
+	mu.RUnlock()
+	if ok {
+		return id
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if id, ok := ids[s]; ok {
+		return id
+	}
+	st := cur.Load()
+	id = Sym(len(st.names))
+	var fl uint8
+	if strings.HasPrefix(s, NullPrefix) {
+		fl |= flagNull
+	}
+	next := &state{names: append(st.names, s), flags: append(st.flags, fl)}
+	ids[s] = id
+	cur.Store(next)
+	return id
+}
+
+// Lookup returns the symbol of a string without interning it; ok is false
+// when the string has never been interned (and therefore cannot equal any
+// interned symbol).
+func Lookup(s string) (Sym, bool) {
+	mu.RLock()
+	id, ok := ids[s]
+	mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the string of a symbol. Symbols are only produced by S, so
+// out-of-range values indicate corruption; they render as "" rather than
+// panicking so diagnostics can still print.
+func Name(s Sym) string {
+	st := cur.Load()
+	if int(s) < len(st.names) {
+		return st.names[s]
+	}
+	return ""
+}
+
+// String makes Sym render as its interned string in fmt verbs.
+func (s Sym) String() string { return Name(s) }
+
+// IsNull reports whether the symbol is a labeled null (its name carries
+// NullPrefix); the flag is computed at intern time.
+func IsNull(s Sym) bool {
+	st := cur.Load()
+	return int(s) < len(st.flags) && st.flags[s]&flagNull != 0
+}
+
+// Count reports the number of interned symbols (including the empty
+// string), for diagnostics and tests.
+func Count() int { return len(cur.Load().names) }
+
+// SortSyms sorts symbols by their interned names (the order string-keyed
+// code produced), not by numeric value.
+func SortSyms(syms []Sym) {
+	st := cur.Load()
+	name := func(s Sym) string {
+		if int(s) < len(st.names) {
+			return st.names[s]
+		}
+		return ""
+	}
+	sort.Slice(syms, func(i, j int) bool { return name(syms[i]) < name(syms[j]) })
+}
+
+// Names maps a symbol slice to its strings.
+func Names(syms []Sym) []string {
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = Name(s)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	if S("") != 0 {
+		t.Error("the empty string must intern to symbol 0")
+	}
+	a1, a2 := S("alpha-test"), S("alpha-test")
+	if a1 != a2 {
+		t.Errorf("re-interning changed the symbol: %d vs %d", a1, a2)
+	}
+	if Name(a1) != "alpha-test" {
+		t.Errorf("Name(%d) = %q", a1, Name(a1))
+	}
+	if b := S("beta-test"); b == a1 {
+		t.Error("distinct strings share a symbol")
+	}
+	if got, ok := Lookup("alpha-test"); !ok || got != a1 {
+		t.Errorf("Lookup = %d, %v", got, ok)
+	}
+	if _, ok := Lookup("never-interned-string-xyzzy"); ok {
+		t.Error("Lookup must not intern")
+	}
+}
+
+func TestInternNullFlag(t *testing.T) {
+	if !IsNull(S(NullPrefix + "01_x")) {
+		t.Error("null-prefixed constant not flagged")
+	}
+	if IsNull(S("nullish")) {
+		t.Error("non-prefixed constant flagged as null")
+	}
+}
+
+func TestSortSymsByName(t *testing.T) {
+	syms := []Sym{S("zz-sort"), S("aa-sort"), S("mm-sort")}
+	SortSyms(syms)
+	want := []string{"aa-sort", "mm-sort", "zz-sort"}
+	for i, s := range syms {
+		if Name(s) != want[i] {
+			t.Fatalf("sorted[%d] = %q, want %q", i, Name(s), want[i])
+		}
+	}
+}
+
+// TestInternConcurrent hammers the table from many goroutines interning an
+// overlapping key space; every goroutine must observe consistent
+// symbol/name pairs. Run under -race this doubles as the publication-safety
+// test for the atomic snapshot.
+func TestInternConcurrent(t *testing.T) {
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("conc-%d", i%97)
+				s := S(name)
+				if got := Name(s); got != name {
+					errs <- fmt.Errorf("worker %d: Name(S(%q)) = %q", w, name, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPackTupleRoundTrip(t *testing.T) {
+	packed := PackTuple(nil, []uint32{1, 0x01020304, 0xFFFFFFFF})
+	if len(packed) != 12 {
+		t.Fatalf("packed length = %d, want 12", len(packed))
+	}
+	if string(packed) == string(PackTuple(nil, []uint32{1, 0x01020304, 0xFFFFFFFE})) {
+		t.Error("distinct tuples must pack differently")
+	}
+	if string(PackTuple(nil, nil)) != "" {
+		t.Error("empty tuple must pack to empty")
+	}
+}

@@ -1,0 +1,20 @@
+package intern
+
+// PackTuple appends the little-endian encoding of the tuple to dst and
+// returns it; with a stack-backed dst the subsequent map lookup or
+// comparison is allocation-free. It is the shared encoding for the
+// content-addressed intern tables (facts, violations, operations).
+func PackTuple(dst []byte, tuple []uint32) []byte {
+	for _, v := range tuple {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// PackSyms is PackTuple over symbol slices (Sym is a defined uint32).
+func PackSyms(dst []byte, syms []Sym) []byte {
+	for _, v := range syms {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}

@@ -2,15 +2,20 @@ package logic
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/intern"
 )
 
-// Subst is a substitution: a finite mapping from variable names to constant
-// names. Substitutions represent the homomorphisms h of the paper, which are
-// the identity on constants; applying a substitution leaves constants and
-// unmapped variables untouched.
-type Subst map[string]string
+// Subst is a substitution: a finite mapping from variable symbols to
+// constant symbols. Substitutions represent the homomorphisms h of the
+// paper, which are the identity on constants; applying a substitution
+// leaves constants and unmapped variables untouched.
+//
+// Keys and values are interned symbols, so binding, lookup, and equality
+// are integer operations; the string-facing methods resolve names through
+// the symbol table.
+type Subst map[intern.Sym]intern.Sym
 
 // NewSubst returns an empty substitution.
 func NewSubst() Subst { return Subst{} }
@@ -27,7 +32,7 @@ func (s Subst) Clone() Subst {
 
 // Bind returns whether the variable can be bound (or is already bound) to
 // the constant; if the variable is free it is bound in place.
-func (s Subst) Bind(variable, constant string) bool {
+func (s Subst) Bind(variable, constant intern.Sym) bool {
 	if existing, ok := s[variable]; ok {
 		return existing == constant
 	}
@@ -35,10 +40,24 @@ func (s Subst) Bind(variable, constant string) bool {
 	return true
 }
 
-// Lookup reports the binding of a variable name, if any.
-func (s Subst) Lookup(variable string) (string, bool) {
+// Lookup reports the binding of a variable symbol, if any.
+func (s Subst) Lookup(variable intern.Sym) (intern.Sym, bool) {
 	v, ok := s[variable]
 	return v, ok
+}
+
+// LookupName reports the binding of a variable by name, if any; it is the
+// string-facing convenience over Lookup.
+func (s Subst) LookupName(variable string) (string, bool) {
+	sym, ok := intern.Lookup(variable)
+	if !ok {
+		return "", false
+	}
+	v, ok := s[sym]
+	if !ok {
+		return "", false
+	}
+	return intern.Name(v), true
 }
 
 // ApplyTerm maps a term through the substitution: constants are fixed,
@@ -47,8 +66,8 @@ func (s Subst) ApplyTerm(t Term) Term {
 	if !t.IsVar() {
 		return t
 	}
-	if c, ok := s[t.name]; ok {
-		return Const(c)
+	if c, ok := s[t.sym]; ok {
+		return ConstSym(c)
 	}
 	return t
 }
@@ -78,7 +97,7 @@ func (s Subst) Grounds(atoms []Atom) bool {
 	for _, a := range atoms {
 		for _, t := range a.Args {
 			if t.IsVar() {
-				if _, ok := s[t.name]; !ok {
+				if _, ok := s[t.sym]; !ok {
 					return false
 				}
 			}
@@ -95,8 +114,8 @@ func (s Subst) Restrict(vars []Term) Subst {
 		if !v.IsVar() {
 			continue
 		}
-		if c, ok := s[v.name]; ok {
-			out[v.name] = c
+		if c, ok := s[v.sym]; ok {
+			out[v.sym] = c
 		}
 	}
 	return out
@@ -113,44 +132,47 @@ func (s Subst) Extends(base Subst) bool {
 	return true
 }
 
+// sortedVars returns the bound variable symbols ordered by variable name
+// (the canonical order of the string-keyed predecessor).
+func (s Subst) sortedVars() []intern.Sym {
+	keys := make([]intern.Sym, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	intern.SortSyms(keys)
+	return keys
+}
+
 // Key returns a canonical string encoding of the substitution, suitable as
 // a map key; bindings are sorted by variable name. Violations (κ, h) are
-// identified by the constraint id together with this key.
+// identified by the constraint id together with this key. Hot paths
+// identify substitutions by interned violation ids instead; Key remains for
+// display, stable external encodings, and tests.
 func (s Subst) Key() string {
 	if len(s) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(s))
-	for k := range s {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
-	for i, k := range keys {
+	for i, k := range s.sortedVars() {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%q=%q", k, s[k])
+		fmt.Fprintf(&b, "%q=%q", intern.Name(k), intern.Name(s[k]))
 	}
 	return b.String()
 }
 
 // String renders the substitution as {x -> a, y -> b} with sorted variables.
 func (s Subst) String() string {
-	keys := make([]string, 0, len(s))
-	for k := range s {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, k := range keys {
+	for i, k := range s.sortedVars() {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(k)
+		b.WriteString(intern.Name(k))
 		b.WriteString(" -> ")
-		b.WriteString(s[k])
+		b.WriteString(intern.Name(s[k]))
 	}
 	b.WriteByte('}')
 	return b.String()

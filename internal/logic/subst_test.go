@@ -3,29 +3,46 @@ package logic
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/intern"
 )
+
+// sym interns a test identifier.
+func sym(s string) intern.Sym { return intern.S(s) }
+
+// sub builds a substitution from alternating variable/constant names.
+func sub(kv ...string) Subst {
+	s := NewSubst()
+	for i := 0; i < len(kv); i += 2 {
+		s[sym(kv[i])] = sym(kv[i+1])
+	}
+	return s
+}
 
 func TestSubstBind(t *testing.T) {
 	s := NewSubst()
-	if !s.Bind("x", "a") {
+	if !s.Bind(sym("x"), sym("a")) {
 		t.Fatal("fresh bind must succeed")
 	}
-	if !s.Bind("x", "a") {
+	if !s.Bind(sym("x"), sym("a")) {
 		t.Error("re-bind to the same constant must succeed")
 	}
-	if s.Bind("x", "b") {
+	if s.Bind(sym("x"), sym("b")) {
 		t.Error("re-bind to a different constant must fail")
 	}
-	if c, ok := s.Lookup("x"); !ok || c != "a" {
+	if c, ok := s.Lookup(sym("x")); !ok || c != sym("a") {
 		t.Errorf("Lookup(x) = %q, %v", c, ok)
 	}
-	if _, ok := s.Lookup("y"); ok {
+	if _, ok := s.Lookup(sym("y")); ok {
 		t.Error("unbound variable must not be found")
+	}
+	if c, ok := s.LookupName("x"); !ok || c != "a" {
+		t.Errorf("LookupName(x) = %q, %v", c, ok)
 	}
 }
 
 func TestSubstApply(t *testing.T) {
-	s := Subst{"x": "a"}
+	s := sub("x", "a")
 	if got := s.ApplyTerm(Var("x")); got != Const("a") {
 		t.Errorf("ApplyTerm(x) = %v", got)
 	}
@@ -43,30 +60,30 @@ func TestSubstApply(t *testing.T) {
 }
 
 func TestSubstCloneIndependence(t *testing.T) {
-	s := Subst{"x": "a"}
+	s := sub("x", "a")
 	c := s.Clone()
-	c["y"] = "b"
-	if _, ok := s.Lookup("y"); ok {
+	c[sym("y")] = sym("b")
+	if _, ok := s.Lookup(sym("y")); ok {
 		t.Error("mutating the clone must not affect the original")
 	}
 }
 
 func TestSubstGrounds(t *testing.T) {
 	atoms := []Atom{NewAtom("R", Var("x"), Var("y"))}
-	s := Subst{"x": "a"}
+	s := sub("x", "a")
 	if s.Grounds(atoms) {
 		t.Error("partially bound substitution must not ground the atoms")
 	}
-	s["y"] = "b"
+	s[sym("y")] = sym("b")
 	if !s.Grounds(atoms) {
 		t.Error("fully bound substitution must ground the atoms")
 	}
 }
 
 func TestSubstRestrictAndExtends(t *testing.T) {
-	s := Subst{"x": "a", "y": "b", "z": "c"}
+	s := sub("x", "a", "y", "b", "z", "c")
 	r := s.Restrict([]Term{Var("x"), Var("z"), Var("missing")})
-	if len(r) != 2 || r["x"] != "a" || r["z"] != "c" {
+	if len(r) != 2 || r[sym("x")] != sym("a") || r[sym("z")] != sym("c") {
 		t.Errorf("Restrict = %v", r)
 	}
 	if !s.Extends(r) {
@@ -78,12 +95,12 @@ func TestSubstRestrictAndExtends(t *testing.T) {
 }
 
 func TestSubstKeyCanonical(t *testing.T) {
-	a := Subst{"x": "1", "y": "2"}
-	b := Subst{"y": "2", "x": "1"}
+	a := sub("x", "1", "y", "2")
+	b := sub("y", "2", "x", "1")
 	if a.Key() != b.Key() {
 		t.Errorf("keys differ for equal substitutions: %q vs %q", a.Key(), b.Key())
 	}
-	c := Subst{"x": "1", "y": "3"}
+	c := sub("x", "1", "y", "3")
 	if a.Key() == c.Key() {
 		t.Error("different substitutions must have different keys")
 	}
@@ -93,18 +110,18 @@ func TestSubstKeyCanonical(t *testing.T) {
 }
 
 func TestSubstString(t *testing.T) {
-	s := Subst{"y": "b", "x": "a"}
+	s := sub("y", "b", "x", "a")
 	if got := s.String(); got != "{x -> a, y -> b}" {
 		t.Errorf("String = %q", got)
 	}
 }
 
 func TestSubstEqual(t *testing.T) {
-	a := Subst{"x": "1"}
-	if !a.Equal(Subst{"x": "1"}) {
+	a := sub("x", "1")
+	if !a.Equal(sub("x", "1")) {
 		t.Error("equal substitutions")
 	}
-	if a.Equal(Subst{"x": "2"}) || a.Equal(Subst{"x": "1", "y": "2"}) {
+	if a.Equal(sub("x", "2")) || a.Equal(sub("x", "1", "y", "2")) {
 		t.Error("unequal substitutions reported equal")
 	}
 }
@@ -112,8 +129,8 @@ func TestSubstEqual(t *testing.T) {
 // Property: Key is injective over small random substitutions.
 func TestSubstKeyInjective(t *testing.T) {
 	f := func(k1, v1, k2, v2 string) bool {
-		a := Subst{k1: v1}
-		b := Subst{k2: v2}
+		a := sub(k1, v1)
+		b := sub(k2, v2)
 		if a.Equal(b) {
 			return a.Key() == b.Key()
 		}
@@ -138,12 +155,12 @@ func TestApplyAtomsShape(t *testing.T) {
 			}
 			args = append(args, Var(v))
 			if i%2 == 0 {
-				s[v] = "c"
+				s[sym(v)] = sym("c")
 			}
 		}
-		atoms := []Atom{{Pred: pred, Args: args}}
+		atoms := []Atom{NewAtom(pred, args...)}
 		out := s.ApplyAtoms(atoms)
-		return len(out) == 1 && out[0].Pred == pred && len(out[0].Args) == len(args)
+		return len(out) == 1 && out[0].PredName() == pred && len(out[0].Args) == len(args)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

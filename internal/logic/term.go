@@ -5,33 +5,49 @@
 // The paper (Calautti, Libkin, Pieris, PODS 2018) phrases constraint
 // satisfaction and violations in terms of homomorphisms from conjunctions of
 // atoms to databases; this package implements exactly that machinery.
+//
+// Identifiers are interned: a term carries a dense symbol id rather than a
+// string, so term and binding comparisons are integer comparisons. The
+// string-facing API (Name, String, the text format) is preserved through
+// the symbol table.
 package logic
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // Term is either a constant or a variable appearing in an atom.
 // Terms are immutable values; equality is structural.
 type Term struct {
-	name  string
+	sym   intern.Sym
 	isVar bool
 }
 
 // Const returns a constant term with the given name. Constant names are
 // drawn from the countably infinite set C of the paper; any non-empty
 // string is a valid constant.
-func Const(name string) Term { return Term{name: name} }
+func Const(name string) Term { return Term{sym: intern.S(name)} }
 
 // Var returns a variable term with the given name. Variables are drawn from
 // the set V, disjoint from C; the disjointness is enforced by the isVar tag,
 // so Const("x") and Var("x") are distinct terms.
-func Var(name string) Term { return Term{name: name, isVar: true} }
+func Var(name string) Term { return Term{sym: intern.S(name), isVar: true} }
+
+// ConstSym returns a constant term over an already-interned symbol; this is
+// the allocation-free constructor used on hot paths.
+func ConstSym(s intern.Sym) Term { return Term{sym: s} }
+
+// VarSym returns a variable term over an already-interned symbol.
+func VarSym(s intern.Sym) Term { return Term{sym: s, isVar: true} }
 
 // Name reports the identifier of the term.
-func (t Term) Name() string { return t.name }
+func (t Term) Name() string { return intern.Name(t.sym) }
+
+// Sym reports the interned symbol of the term's identifier.
+func (t Term) Sym() intern.Sym { return t.sym }
 
 // IsVar reports whether the term is a variable.
 func (t Term) IsVar() bool { return t.isVar }
@@ -41,20 +57,20 @@ func (t Term) IsConst() bool { return !t.isVar }
 
 // Zero reports whether the term is the zero value (no name). A zero term is
 // not a valid constant or variable and only arises from uninitialized data.
-func (t Term) Zero() bool { return t.name == "" }
+func (t Term) Zero() bool { return t.sym == 0 }
 
 // String renders the term. Variables print as-is; constants that could be
 // mistaken for variables (per the parser's case convention) are quoted.
 func (t Term) String() string {
 	if t.isVar {
-		return t.name
+		return t.Name()
 	}
-	return quoteConstIfNeeded(t.name)
+	return QuoteConstIfNeeded(t.Name())
 }
 
-// quoteConstIfNeeded returns the constant name, quoted when a reader (or the
+// QuoteConstIfNeeded returns the constant name, quoted when a reader (or the
 // parser) could confuse it with a variable or when it contains delimiters.
-func quoteConstIfNeeded(s string) string {
+func QuoteConstIfNeeded(s string) string {
 	if s == "" {
 		return `""`
 	}
@@ -82,16 +98,25 @@ func quoteConstIfNeeded(s string) string {
 }
 
 // Atom is a predicate applied to a list of terms. An atom with no variables
-// is a fact. The zero Atom has an empty predicate and is invalid.
+// is a fact. The zero Atom has an empty predicate and is invalid. The
+// predicate is stored interned; use PredName for the string.
 type Atom struct {
-	Pred string
+	Pred intern.Sym
 	Args []Term
 }
 
-// NewAtom constructs an atom.
+// NewAtom constructs an atom, interning the predicate name.
 func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: intern.S(pred), Args: args}
+}
+
+// AtomOf constructs an atom over an already-interned predicate symbol.
+func AtomOf(pred intern.Sym, args ...Term) Atom {
 	return Atom{Pred: pred, Args: args}
 }
+
+// PredName reports the predicate name.
+func (a Atom) PredName() string { return intern.Name(a.Pred) }
 
 // Arity reports the number of arguments.
 func (a Atom) Arity() int { return len(a.Args) }
@@ -110,10 +135,10 @@ func (a Atom) IsGround() bool {
 // occurrence.
 func (a Atom) Vars() []Term {
 	var out []Term
-	seen := map[string]bool{}
+	seen := map[intern.Sym]bool{}
 	for _, t := range a.Args {
-		if t.IsVar() && !seen[t.name] {
-			seen[t.name] = true
+		if t.IsVar() && !seen[t.sym] {
+			seen[t.sym] = true
 			out = append(out, t)
 		}
 	}
@@ -123,7 +148,7 @@ func (a Atom) Vars() []Term {
 // String renders the atom in the text format, e.g. R(a, X).
 func (a Atom) String() string {
 	var b strings.Builder
-	b.WriteString(a.Pred)
+	b.WriteString(a.PredName())
 	b.WriteByte('(')
 	for i, t := range a.Args {
 		if i > 0 {
@@ -152,11 +177,11 @@ func (a Atom) Equal(b Atom) bool {
 // occurrence; this is dom(A) ∩ V in the paper's notation.
 func VarsOf(atoms []Atom) []Term {
 	var out []Term
-	seen := map[string]bool{}
+	seen := map[intern.Sym]bool{}
 	for _, a := range atoms {
 		for _, t := range a.Args {
-			if t.IsVar() && !seen[t.name] {
-				seen[t.name] = true
+			if t.IsVar() && !seen[t.sym] {
+				seen[t.sym] = true
 				out = append(out, t)
 			}
 		}
@@ -164,24 +189,39 @@ func VarsOf(atoms []Atom) []Term {
 	return out
 }
 
-// ConstsOf returns the distinct constants of a list of atoms, sorted.
-func ConstsOf(atoms []Atom) []Term {
-	seen := map[string]bool{}
+// VarSymsOf returns the distinct variable symbols of a list of atoms in
+// order of first occurrence.
+func VarSymsOf(atoms []Atom) []intern.Sym {
+	var out []intern.Sym
+	seen := map[intern.Sym]bool{}
 	for _, a := range atoms {
 		for _, t := range a.Args {
-			if t.IsConst() {
-				seen[t.name] = true
+			if t.IsVar() && !seen[t.sym] {
+				seen[t.sym] = true
+				out = append(out, t.sym)
 			}
 		}
 	}
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
+	return out
+}
+
+// ConstsOf returns the distinct constants of a list of atoms, sorted by
+// name.
+func ConstsOf(atoms []Atom) []Term {
+	seen := map[intern.Sym]bool{}
+	var syms []intern.Sym
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsConst() && !seen[t.sym] {
+				seen[t.sym] = true
+				syms = append(syms, t.sym)
+			}
+		}
 	}
-	sort.Strings(names)
-	out := make([]Term, len(names))
-	for i, n := range names {
-		out[i] = Const(n)
+	intern.SortSyms(syms)
+	out := make([]Term, len(syms))
+	for i, s := range syms {
+		out[i] = ConstSym(s)
 	}
 	return out
 }

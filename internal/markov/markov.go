@@ -41,6 +41,20 @@ type Generator interface {
 // form a valid repairing Markov chain at some state.
 var ErrNotWellDefined = errors.New("markov: generator does not define a repairing Markov chain")
 
+// IntWeighter is an optional fast path for generators whose transition
+// probabilities are ratios of small integer weights (uniform choice,
+// count-based importance, ...). IntWeights returns one non-negative weight
+// per extension; the transition probability of extension i is
+// weights[i] / Σ weights, which sums to 1 by construction. Implementations
+// return ok = false to fall back to the exact Transitions path (e.g. when
+// weights are inherently rational). Random walks use this to step without
+// any big.Rat arithmetic — the sampled edge is identical to the one the
+// exact path picks from the same RNG draw — while the exact engines
+// (Explore, HittingDistribution) always use Transitions.
+type IntWeighter interface {
+	IntWeights(s *repair.State, exts []ops.Op) (weights []int64, ok bool, err error)
+}
+
 // Step validates and returns the outgoing edges of a state under a
 // generator: the valid extensions with positive probability. A complete
 // state has no outgoing edges (it is absorbing).
@@ -58,6 +72,20 @@ func Step(g Generator, s *repair.State) ([]Edge, error) {
 			ErrNotWellDefined, g.Name(), len(ps), len(exts))
 	}
 	var edges []Edge
+	// Equal-weight fast path (the uniform generator shares one Rat across
+	// all edges): the sum is p·k, checked with a single multiplication
+	// instead of k GCD-normalizing additions.
+	if prob.AllEqual(ps) && ps[0].Sign() > 0 {
+		if !prob.IsOne(prob.MulInt64(ps[0], int64(len(ps)))) {
+			return nil, fmt.Errorf("%w: probabilities at state %q sum to %s, want 1",
+				ErrNotWellDefined, s, prob.MulInt64(ps[0], int64(len(ps))).RatString())
+		}
+		edges = make([]Edge, len(exts))
+		for i := range exts {
+			edges[i] = Edge{Op: exts[i], P: ps[i]}
+		}
+		return edges, nil
+	}
 	total := new(big.Rat)
 	for i, p := range ps {
 		if p.Sign() < 0 {

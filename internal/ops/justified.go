@@ -2,8 +2,11 @@ package ops
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/constraint"
+	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
 )
@@ -31,8 +34,9 @@ func IsFixing(op Op, d *relation.Database, sigma *constraint.Set) bool {
 // reference implementation used to validate the efficient enumeration in
 // JustifiedOps and to check global justification of additions.
 func IsJustified(op Op, d *relation.Database, sigma *constraint.Set) bool {
-	if len(op.facts) > maxSubsetFacts {
-		panic(fmt.Sprintf("ops: |F| = %d exceeds the supported subset-enumeration bound", len(op.facts)))
+	facts := op.Facts()
+	if len(facts) > maxSubsetFacts {
+		panic(fmt.Sprintf("ops: |F| = %d exceeds the supported subset-enumeration bound", len(facts)))
 	}
 	before := constraint.FindViolations(d, sigma)
 	after := constraint.FindViolations(op.Apply(d), sigma)
@@ -41,13 +45,13 @@ func IsJustified(op Op, d *relation.Database, sigma *constraint.Set) bool {
 		return false
 	}
 	// Precompute V(op_G(D)) for every non-empty proper subset G ⊊ F.
-	n := len(op.facts)
+	n := len(facts)
 	subsetViolations := make(map[int]*constraint.Violations)
 	for mask := 1; mask < (1<<n)-1; mask++ {
 		var g []relation.Fact
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
-				g = append(g, op.facts[i])
+				g = append(g, facts[i])
 			}
 		}
 		var sub Op
@@ -59,21 +63,21 @@ func IsJustified(op Op, d *relation.Database, sigma *constraint.Set) bool {
 		subsetViolations[mask] = constraint.FindViolations(sub.Apply(d), sigma)
 	}
 	for _, v := range eliminated {
-		key := v.Key()
+		id := v.ID()
 		ok := true
 		for mask := 1; mask < (1<<n)-1; mask++ {
 			vg := subsetViolations[mask]
 			if op.insert {
 				// Condition 1: (κ,h) must still be violated after adding
 				// any proper subset.
-				if !vg.Has(key) {
+				if !vg.Has(id) {
 					ok = false
 					break
 				}
 			} else {
 				// Condition 2: (κ,h) must already be eliminated after
 				// deleting any proper subset.
-				if vg.Has(key) {
+				if vg.Has(id) {
 					ok = false
 					break
 				}
@@ -98,20 +102,23 @@ func IsJustified(op Op, d *relation.Database, sigma *constraint.Set) bool {
 //
 // The result is deduplicated and canonically ordered.
 func JustifiedOps(d *relation.Database, sigma *constraint.Set, vs *constraint.Violations, base *relation.Base) []Op {
-	byKey := map[string]Op{}
+	seen := map[*opEntry]bool{}
+	var out []Op
 	for _, v := range vs.All() {
 		for _, op := range JustifiedDeletions(v) {
-			byKey[op.Key()] = op
+			if !seen[op.entry] {
+				seen[op.entry] = true
+				out = append(out, op)
+			}
 		}
 		if v.Constraint.Kind() == constraint.TGD {
 			for _, op := range JustifiedAdditions(v, d, base) {
-				byKey[op.Key()] = op
+				if !seen[op.entry] {
+					seen[op.entry] = true
+					out = append(out, op)
+				}
 			}
 		}
-	}
-	out := make([]Op, 0, len(byKey))
-	for _, op := range byKey {
-		out = append(out, op)
 	}
 	SortOps(out)
 	return out
@@ -146,91 +153,121 @@ func JustifiedDeletions(v constraint.Violation) []Op {
 func JustifiedAdditions(v constraint.Violation, d *relation.Database, base *relation.Base) []Op {
 	c := v.Constraint
 	exVars := c.ExistentialVars()
-	dom := base.Dom()
+	dom := base.DomSyms()
 
-	// Enumerate every extension of h over the existential variables.
-	var candidates [][]relation.Fact
+	// Candidate facts are held as ground (pred, args...) tuples encoded as
+	// packed byte strings until the minimality filter has chosen the
+	// winners: the enumeration visits |dom|^|z̄| extensions, and interning
+	// every rejected candidate into the process-wide fact table would grow
+	// it without bound. Presence in d is checked through LookupFact, which
+	// never interns (a fact that was never materialized is in no database).
+	type candidate struct {
+		facts []string // packed tuple per fact, sorted — candidate identity
+	}
+	var candidates []candidate
 	keys := map[string]bool{}
+	ground := make([]intern.Sym, 0, 8)
 	var extend func(i int, h logic.Subst)
 	extend = func(i int, h logic.Subst) {
 		if i == len(exVars) {
-			var f []relation.Fact
-			seen := map[string]bool{}
-			for _, a := range h.ApplyAtoms(c.Head()) {
-				fact, err := relation.FactFromAtom(a)
-				if err != nil {
-					panic(fmt.Sprintf("ops: TGD head atom %s not grounded by extension %s", a, h))
+			var facts []string
+			for _, a := range c.Head() {
+				ground = ground[:0]
+				ground = append(ground, a.Pred)
+				for _, t := range a.Args {
+					s := t.Sym()
+					if t.IsVar() {
+						bound, ok := h[s]
+						if !ok {
+							panic(fmt.Sprintf("ops: TGD head atom %s not grounded by extension %s", a, h))
+						}
+						s = bound
+					}
+					ground = append(ground, s)
 				}
-				if d.Contains(fact) {
+				if f, ok := relation.LookupFact(ground[0], ground[1:]); ok && d.Contains(f) {
 					continue
 				}
-				if k := fact.Key(); !seen[k] {
-					seen[k] = true
-					f = append(f, fact)
+				pack := string(intern.PackSyms(make([]byte, 0, 4*len(ground)), ground))
+				dup := false
+				for _, p := range facts {
+					if p == pack {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					facts = append(facts, pack)
 				}
 			}
-			if len(f) == 0 {
+			if len(facts) == 0 {
 				// The head is already satisfied; (κ,h) was not a violation.
 				return
 			}
-			relation.SortFacts(f)
-			k := factSetKey(f)
-			if !keys[k] {
-				keys[k] = true
-				candidates = append(candidates, f)
+			sort.Strings(facts)
+			key := strings.Join(facts, ";")
+			if !keys[key] {
+				keys[key] = true
+				candidates = append(candidates, candidate{facts: facts})
 			}
 			return
 		}
 		for _, cst := range dom {
-			h[exVars[i].Name()] = cst
+			h[exVars[i].Sym()] = cst
 			extend(i+1, h)
-			delete(h, exVars[i].Name())
+			delete(h, exVars[i].Sym())
 		}
 	}
 	extend(0, v.H.Clone())
 
 	// Keep only candidates minimal under strict inclusion: +F is justified
-	// iff no other candidate F' ⊊ F (Definition 3, condition 1).
+	// iff no other candidate F' ⊊ F (Definition 3, condition 1). Only the
+	// winners are interned as facts and operations.
 	var out []Op
 	for i, f := range candidates {
 		minimal := true
 		for j, g := range candidates {
-			if i != j && strictSubset(g, f) {
+			if i != j && strictSubset(g.facts, f.facts) {
 				minimal = false
 				break
 			}
 		}
 		if minimal {
-			out = append(out, Insert(f...))
+			facts := make([]relation.Fact, len(f.facts))
+			for k, pack := range f.facts {
+				tuple := unpackSyms(pack)
+				facts[k] = relation.FactOf(tuple[0], tuple[1:])
+			}
+			out = append(out, Insert(facts...))
 		}
 	}
 	return out
 }
 
-func factSetKey(fs []relation.Fact) string {
-	out := ""
-	for i, f := range fs {
-		if i > 0 {
-			out += ";"
-		}
-		out += f.Key()
+// unpackSyms decodes a packed little-endian tuple.
+func unpackSyms(pack string) []intern.Sym {
+	out := make([]intern.Sym, len(pack)/4)
+	for i := range out {
+		out[i] = intern.Sym(uint32(pack[4*i]) | uint32(pack[4*i+1])<<8 |
+			uint32(pack[4*i+2])<<16 | uint32(pack[4*i+3])<<24)
 	}
 	return out
 }
 
-// strictSubset reports whether a ⊊ b for canonically sorted fact slices.
-func strictSubset(a, b []relation.Fact) bool {
+// strictSubset reports whether a ⊊ b for sorted packed-fact slices.
+func strictSubset(a, b []string) bool {
 	if len(a) >= len(b) {
 		return false
 	}
-	bKeys := make(map[string]bool, len(b))
-	for _, f := range b {
-		bKeys[f.Key()] = true
-	}
-	for _, f := range a {
-		if !bKeys[f.Key()] {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
 			return false
 		}
+		j++
 	}
 	return true
 }

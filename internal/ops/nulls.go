@@ -3,9 +3,9 @@ package ops
 import (
 	"fmt"
 	"hash/crc32"
-	"strings"
 
 	"repro/internal/constraint"
+	"repro/internal/intern"
 	"repro/internal/relation"
 )
 
@@ -22,18 +22,19 @@ import (
 // only to itself), which is sound for satisfaction checking. Null names
 // are derived deterministically from the violation identity, so chains
 // remain reproducible and re-deriving the operation for the same violation
-// yields the same fact.
+// yields the same fact. Whether a symbol is a null is recorded at intern
+// time, so the per-fact null test never re-examines the string.
 
 // NullPrefix marks labeled nulls among constants.
-const NullPrefix = "null_"
+const NullPrefix = intern.NullPrefix
 
-// IsNullConst reports whether the constant is a labeled null.
-func IsNullConst(c string) bool { return strings.HasPrefix(c, NullPrefix) }
+// IsNullConst reports whether the constant symbol is a labeled null.
+func IsNullConst(c intern.Sym) bool { return intern.IsNull(c) }
 
 // HasNulls reports whether the fact mentions a labeled null.
 func HasNulls(f relation.Fact) bool {
-	for _, a := range f.Args {
-		if IsNullConst(a) {
+	for _, a := range f.Args() {
+		if intern.IsNull(a) {
 			return true
 		}
 	}
@@ -41,7 +42,8 @@ func HasNulls(f relation.Fact) bool {
 }
 
 // nullFor derives the canonical null constant for an existential variable
-// of a violation.
+// of a violation; the derivation hashes the violation's stable string key,
+// so null names are reproducible across processes.
 func nullFor(v constraint.Violation, varName string) string {
 	sum := crc32.ChecksumIEEE([]byte(v.Key()))
 	return fmt.Sprintf("%s%08x_%s", NullPrefix, sum, varName)
@@ -59,10 +61,10 @@ func NullAddition(v constraint.Violation, d *relation.Database) (Op, bool) {
 	}
 	h := v.H.Clone()
 	for _, z := range c.ExistentialVars() {
-		h[z.Name()] = nullFor(v, z.Name())
+		h[z.Sym()] = intern.S(nullFor(v, z.Name()))
 	}
 	var facts []relation.Fact
-	seen := map[string]bool{}
+	seen := map[relation.Fact]struct{}{}
 	for _, a := range h.ApplyAtoms(c.Head()) {
 		f, err := relation.FactFromAtom(a)
 		if err != nil {
@@ -71,8 +73,8 @@ func NullAddition(v constraint.Violation, d *relation.Database) (Op, bool) {
 		if d.Contains(f) {
 			continue
 		}
-		if k := f.Key(); !seen[k] {
-			seen[k] = true
+		if _, dup := seen[f]; !dup {
+			seen[f] = struct{}{}
 			facts = append(facts, f)
 		}
 	}

@@ -7,8 +7,9 @@ package ops
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -16,11 +17,25 @@ import (
 // Op is a single operation +F or −F over a set of facts F ⊆ B(D,Σ).
 // The fact set is non-empty, deduplicated, and canonically sorted.
 // The zero Op is invalid; construct with Insert or Delete.
+//
+// Operations are interned by content (polarity plus the sorted fact ids),
+// so identity checks and deduplication during extension enumeration are
+// pointer comparisons, and the canonical string key of each distinct
+// operation is built exactly once per process.
 type Op struct {
 	insert bool
-	facts  []relation.Fact
-	key    string // canonical encoding, cached at construction
+	entry  *opEntry
 }
+
+type opEntry struct {
+	facts []relation.Fact // canonical order, shared
+	key   string          // canonical encoding including polarity
+}
+
+var (
+	opMu  sync.RWMutex
+	opIDs = map[string]*opEntry{}
+)
 
 // Insert returns the operation +F.
 func Insert(fs ...relation.Fact) Op { return newOp(true, fs) }
@@ -32,16 +47,38 @@ func newOp(insert bool, fs []relation.Fact) Op {
 	if len(fs) == 0 {
 		panic("ops: operation over an empty fact set")
 	}
-	seen := map[string]bool{}
+	seen := make(map[relation.Fact]struct{}, len(fs))
 	facts := make([]relation.Fact, 0, len(fs))
 	for _, f := range fs {
-		if k := f.Key(); !seen[k] {
-			seen[k] = true
+		if _, dup := seen[f]; !dup {
+			seen[f] = struct{}{}
 			facts = append(facts, f)
 		}
 	}
 	relation.SortFacts(facts)
-	op := Op{insert: insert, facts: facts}
+
+	var stack [64]byte
+	packed := stack[:0]
+	if insert {
+		packed = append(packed, '+')
+	} else {
+		packed = append(packed, '-')
+	}
+	for _, f := range facts {
+		id := f.ID()
+		packed = append(packed, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	opMu.RLock()
+	e, ok := opIDs[string(packed)]
+	opMu.RUnlock()
+	if ok {
+		return Op{insert: insert, entry: e}
+	}
+	opMu.Lock()
+	defer opMu.Unlock()
+	if e, ok := opIDs[string(packed)]; ok {
+		return Op{insert: insert, entry: e}
+	}
 	var b strings.Builder
 	if insert {
 		b.WriteByte('+')
@@ -54,8 +91,9 @@ func newOp(insert bool, fs []relation.Fact) Op {
 		}
 		b.WriteString(f.Key())
 	}
-	op.key = b.String()
-	return op
+	e = &opEntry{facts: facts, key: b.String()}
+	opIDs[string(packed)] = e
+	return Op{insert: insert, entry: e}
 }
 
 // IsInsert reports whether the operation is +F.
@@ -65,14 +103,24 @@ func (o Op) IsInsert() bool { return o.insert }
 func (o Op) IsDelete() bool { return !o.insert }
 
 // Facts returns F in canonical order; the slice must not be modified.
-func (o Op) Facts() []relation.Fact { return o.facts }
+func (o Op) Facts() []relation.Fact {
+	if o.entry == nil {
+		return nil
+	}
+	return o.entry.facts
+}
 
 // Size reports |F|.
-func (o Op) Size() int { return len(o.facts) }
+func (o Op) Size() int { return len(o.Facts()) }
 
 // Key returns the canonical encoding of the operation, usable as a map
-// key; it is precomputed at construction.
-func (o Op) Key() string { return o.key }
+// key; it is computed once per distinct operation.
+func (o Op) Key() string {
+	if o.entry == nil {
+		return ""
+	}
+	return o.entry.key
+}
 
 // String renders the operation like the paper: +R(a, b) for singletons,
 // +{R(a, b), S(c)} for larger sets.
@@ -81,28 +129,20 @@ func (o Op) String() string {
 	if !o.insert {
 		sign = "-"
 	}
-	if len(o.facts) == 1 {
-		return sign + o.facts[0].String()
+	facts := o.Facts()
+	if len(facts) == 1 {
+		return sign + facts[0].String()
 	}
-	parts := make([]string, len(o.facts))
-	for i, f := range o.facts {
+	parts := make([]string, len(facts))
+	for i, f := range facts {
 		parts[i] = f.String()
 	}
 	return fmt.Sprintf("%s{%s}", sign, strings.Join(parts, ", "))
 }
 
-// Equal reports whether two operations are identical.
-func (o Op) Equal(p Op) bool {
-	if o.insert != p.insert || len(o.facts) != len(p.facts) {
-		return false
-	}
-	for i := range o.facts {
-		if !o.facts[i].Equal(p.facts[i]) {
-			return false
-		}
-	}
-	return true
-}
+// Equal reports whether two operations are identical; interning makes this
+// a pointer comparison.
+func (o Op) Equal(p Op) bool { return o.insert == p.insert && o.entry == p.entry }
 
 // Apply returns op(D) as a fresh database, leaving d untouched.
 func (o Op) Apply(d *relation.Database) *relation.Database {
@@ -116,7 +156,7 @@ func (o Op) Apply(d *relation.Database) *relation.Database {
 // restores d exactly.
 func (o Op) Do(d *relation.Database) []relation.Fact {
 	var changed []relation.Fact
-	for _, f := range o.facts {
+	for _, f := range o.Facts() {
 		if o.insert {
 			if d.Insert(f) {
 				changed = append(changed, f)
@@ -143,9 +183,10 @@ func (o Op) Undo(d *relation.Database, changed []relation.Fact) {
 
 // InBase reports whether every fact of the operation lies in the base, as
 // Definition 1 requires.
-func (o Op) InBase(b *relation.Base) bool { return b.ContainsAll(o.facts) }
+func (o Op) InBase(b *relation.Base) bool { return b.ContainsAll(o.Facts()) }
 
-// SortOps orders operations canonically (by key) for deterministic output.
+// SortOps orders operations canonically (by key) for deterministic output;
+// keys are interned, so no strings are built.
 func SortOps(os []Op) {
-	sort.Slice(os, func(i, j int) bool { return os[i].Key() < os[j].Key() })
+	slices.SortFunc(os, func(a, b Op) int { return strings.Compare(a.Key(), b.Key()) })
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"math/bits"
 	"math/rand"
 )
 
@@ -106,14 +107,30 @@ func HoeffdingSamples(eps, delta float64) (int, error) {
 // on an empty or all-zero weight list (the chain machinery validates
 // weights before sampling).
 func Pick(rng *rand.Rand, ws []*big.Rat) int {
+	const resolution = 1 << 53
+	if len(ws) == 0 {
+		panic("prob: Pick requires non-empty weights with positive sum")
+	}
+	// Equal-weight fast path (e.g. the uniform generator): the index is
+	// floor(u·k / 2^53), which is exactly what the general cumulative walk
+	// below computes for equal weights from the same single RNG draw — the
+	// random stream and the outcome are bit-identical, only the big.Rat
+	// arithmetic is skipped.
+	if AllEqual(ws) {
+		if ws[0].Sign() <= 0 {
+			panic("prob: Pick requires non-empty weights with positive sum")
+		}
+		u := rng.Int63n(resolution)
+		hi, lo := bits.Mul64(uint64(u), uint64(len(ws)))
+		return int(hi<<(64-53) | lo>>53)
+	}
 	total := Sum(ws)
-	if len(ws) == 0 || total.Sign() <= 0 {
+	if total.Sign() <= 0 {
 		panic("prob: Pick requires non-empty weights with positive sum")
 	}
 	// Draw u uniform in [0, total) as an exact rational with a 53-bit
 	// numerator, then walk the cumulative sum. Precision is bounded by the
 	// RNG, not by floating-point accumulation.
-	const resolution = 1 << 53
 	u := new(big.Rat).SetFrac64(rng.Int63n(resolution), resolution)
 	u.Mul(u, total)
 	acc := new(big.Rat)
@@ -129,6 +146,63 @@ func Pick(rng *rand.Rand, ws []*big.Rat) int {
 	// Numerically unreachable; return the last positive-weight index.
 	for i := len(ws) - 1; i >= 0; i-- {
 		if ws[i].Sign() > 0 {
+			return i
+		}
+	}
+	panic("prob: unreachable")
+}
+
+// AllEqual reports whether every rational in the list is equal; shared
+// pointers short-circuit without arithmetic, so generators that return one
+// Rat for every edge are recognized in O(n) pointer compares.
+func AllEqual(ws []*big.Rat) bool {
+	for i := 1; i < len(ws); i++ {
+		if ws[i] != ws[0] && ws[i].Cmp(ws[0]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MulInt64 returns r·k as a fresh rational.
+func MulInt64(r *big.Rat, k int64) *big.Rat {
+	return new(big.Rat).Mul(r, new(big.Rat).SetInt64(k))
+}
+
+// PickInt draws an index with probability proportional to the given
+// non-negative integer weights. It consumes exactly one RNG draw — the
+// same draw Pick makes — and returns exactly the index Pick would return
+// for the rational weights w_i/Σw, so integer-weight generators sample
+// bit-identical walks without big.Rat arithmetic. It panics on an empty or
+// non-positive weight list.
+func PickInt(rng *rand.Rand, ws []int64) int {
+	const resolution = 1 << 53
+	var total uint64
+	for _, w := range ws {
+		if w < 0 {
+			panic("prob: PickInt requires non-negative weights")
+		}
+		total += uint64(w)
+	}
+	if len(ws) == 0 || total == 0 {
+		panic("prob: PickInt requires non-empty weights with positive sum")
+	}
+	u := uint64(rng.Int63n(resolution))
+	// Index = smallest i with u·total < cum_i·2^53 over 128-bit products.
+	lhsHi, lhsLo := bits.Mul64(u, total)
+	var cum uint64
+	for i, w := range ws {
+		if w == 0 {
+			continue
+		}
+		cum += uint64(w)
+		rhsHi, rhsLo := cum>>(64-53), cum<<53
+		if lhsHi < rhsHi || (lhsHi == rhsHi && lhsLo < rhsLo) {
+			return i
+		}
+	}
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i] > 0 {
 			return i
 		}
 	}

@@ -2,20 +2,24 @@ package relation
 
 import (
 	"fmt"
-	"sort"
+
+	"repro/internal/intern"
 )
 
 // Schema is a finite set of relation symbols with associated arities.
 type Schema struct {
-	arity map[string]int
+	arity map[intern.Sym]int
 }
 
 // NewSchema returns an empty schema.
-func NewSchema() *Schema { return &Schema{arity: map[string]int{}} }
+func NewSchema() *Schema { return &Schema{arity: map[intern.Sym]int{}} }
 
 // Add records a predicate with its arity. Re-adding with the same arity is
 // a no-op; a conflicting arity is an error.
-func (s *Schema) Add(pred string, arity int) error {
+func (s *Schema) Add(pred string, arity int) error { return s.AddSym(intern.S(pred), arity) }
+
+// AddSym is Add over an interned predicate symbol.
+func (s *Schema) AddSym(pred intern.Sym, arity int) error {
 	if existing, ok := s.arity[pred]; ok {
 		if existing != arity {
 			return fmt.Errorf("predicate %s declared with arity %d and %d", pred, existing, arity)
@@ -26,20 +30,40 @@ func (s *Schema) Add(pred string, arity int) error {
 	return nil
 }
 
-// Arity reports the arity of a predicate and whether it is declared.
+// Arity reports the arity of a predicate name and whether it is declared.
 func (s *Schema) Arity(pred string) (int, bool) {
+	sym, ok := intern.Lookup(pred)
+	if !ok {
+		return 0, false
+	}
+	return s.ArityOf(sym)
+}
+
+// ArityOf reports the arity of a predicate symbol and whether it is
+// declared; it is the hot-path variant of Arity.
+func (s *Schema) ArityOf(pred intern.Sym) (int, bool) {
 	a, ok := s.arity[pred]
 	return a, ok
 }
 
 // Predicates returns the sorted predicate names.
 func (s *Schema) Predicates() []string {
-	out := make([]string, 0, len(s.arity))
+	syms := make([]intern.Sym, 0, len(s.arity))
 	for p := range s.arity {
-		out = append(out, p)
+		syms = append(syms, p)
 	}
-	sort.Strings(out)
-	return out
+	intern.SortSyms(syms)
+	return intern.Names(syms)
+}
+
+// PredicateSyms returns the predicate symbols sorted by name.
+func (s *Schema) PredicateSyms() []intern.Sym {
+	syms := make([]intern.Sym, 0, len(s.arity))
+	for p := range s.arity {
+		syms = append(syms, p)
+	}
+	intern.SortSyms(syms)
+	return syms
 }
 
 // Clone returns an independent copy.
@@ -55,7 +79,7 @@ func (s *Schema) Clone() *Schema {
 // from the facts.
 func (s *Schema) AddDatabase(d *Database) error {
 	for _, f := range d.Facts() {
-		if err := s.Add(f.Pred, len(f.Args)); err != nil {
+		if err := s.AddSym(f.Pred(), f.Arity()); err != nil {
 			return err
 		}
 	}
@@ -66,44 +90,70 @@ func (s *Schema) AddDatabase(d *Database) error {
 // schema predicate and each ci is a constant occurring in dom(D) or in Σ.
 // The set is typically astronomically large, so it is never materialized;
 // Base answers membership queries and exposes its constant domain.
+//
+// A Base is immutable after construction, so the sorted domain is computed
+// once and shared — operation enumeration (which consults it per TGD
+// violation per state) never re-sorts it.
 type Base struct {
-	schema *Schema
-	consts map[string]bool
+	schema   *Schema
+	consts   map[intern.Sym]bool
+	domSyms  []intern.Sym // sorted by name, cached at construction
+	domNames []string
 }
 
-// NewBase builds a base from a schema and a set of constants.
+// NewBase builds a base from a schema and a set of constant names.
 func NewBase(schema *Schema, consts []string) *Base {
-	m := make(map[string]bool, len(consts))
+	syms := make([]intern.Sym, len(consts))
+	for i, c := range consts {
+		syms[i] = intern.S(c)
+	}
+	return NewBaseSyms(schema, syms)
+}
+
+// NewBaseSyms builds a base from a schema and a set of constant symbols.
+func NewBaseSyms(schema *Schema, consts []intern.Sym) *Base {
+	m := make(map[intern.Sym]bool, len(consts))
 	for _, c := range consts {
 		m[c] = true
 	}
-	return &Base{schema: schema, consts: m}
+	sorted := make([]intern.Sym, 0, len(m))
+	for c := range m {
+		sorted = append(sorted, c)
+	}
+	intern.SortSyms(sorted)
+	return &Base{schema: schema, consts: m, domSyms: sorted, domNames: intern.Names(sorted)}
 }
 
 // Schema returns the underlying schema.
 func (b *Base) Schema() *Schema { return b.schema }
 
-// Dom returns the sorted constant domain dom(B(D,Σ)).
-func (b *Base) Dom() []string {
-	out := make([]string, 0, len(b.consts))
-	for c := range b.consts {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
+// Dom returns the sorted constant domain dom(B(D,Σ)) as names; the slice
+// is cached and must not be modified.
+func (b *Base) Dom() []string { return b.domNames }
+
+// DomSyms returns the sorted constant domain as symbols; the slice is
+// cached and must not be modified.
+func (b *Base) DomSyms() []intern.Sym { return b.domSyms }
+
+// HasConst reports whether the constant name belongs to the base domain.
+func (b *Base) HasConst(c string) bool {
+	sym, ok := intern.Lookup(c)
+	return ok && b.consts[sym]
 }
 
-// HasConst reports whether the constant belongs to the base domain.
-func (b *Base) HasConst(c string) bool { return b.consts[c] }
+// HasConstSym reports whether the constant symbol belongs to the base
+// domain.
+func (b *Base) HasConstSym(c intern.Sym) bool { return b.consts[c] }
 
 // Contains reports whether the fact belongs to B(D,Σ): its predicate is in
 // the schema with matching arity and all its constants are in the domain.
 func (b *Base) Contains(f Fact) bool {
-	arity, ok := b.schema.Arity(f.Pred)
-	if !ok || arity != len(f.Args) {
+	args := f.Args()
+	arity, ok := b.schema.ArityOf(f.Pred())
+	if !ok || arity != len(args) {
 		return false
 	}
-	for _, c := range f.Args {
+	for _, c := range args {
 		if !b.consts[c] {
 			return false
 		}
@@ -126,8 +176,7 @@ func (b *Base) ContainsAll(fs []Fact) bool {
 func (b *Base) Size() int {
 	n := len(b.consts)
 	total := 0
-	for _, p := range b.schema.Predicates() {
-		a, _ := b.schema.Arity(p)
+	for _, a := range b.schema.arity {
 		count := 1
 		for i := 0; i < a; i++ {
 			if n != 0 && count > (int(^uint(0)>>1))/n {

@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/intern"
+)
+
+// TestCOWDatabaseShadowModel drives a copy-on-write database through long
+// random interleavings of inserts, deletes, clones, and seals, checking
+// every observable (membership, size, per-predicate indexes, domain, key)
+// against a plain map-based shadow model. Clones fork the shadow too, so
+// delta independence between parent and child is exercised throughout.
+func TestCOWDatabaseShadowModel(t *testing.T) {
+	preds := []string{"R", "S", "T"}
+	consts := []string{"a", "b", "c", "d", "e"}
+	randomFact := func(rng *rand.Rand) Fact {
+		p := preds[rng.Intn(len(preds))]
+		if p == "S" {
+			return NewFact(p, consts[rng.Intn(len(consts))])
+		}
+		return NewFact(p, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+	}
+
+	type pair struct {
+		db     *Database
+		shadow map[Fact]bool
+	}
+	checkPair := func(seed int64, step int, pr pair) error {
+		if pr.db.Size() != len(pr.shadow) {
+			return fmt.Errorf("size = %d, want %d", pr.db.Size(), len(pr.shadow))
+		}
+		byPred := map[string][]Fact{}
+		domSet := map[intern.Sym]bool{}
+		for f := range pr.shadow {
+			if !pr.db.Contains(f) {
+				return fmt.Errorf("missing fact %s", f)
+			}
+			byPred[f.PredName()] = append(byPred[f.PredName()], f)
+			for _, c := range f.Args() {
+				domSet[c] = true
+			}
+		}
+		for _, p := range preds {
+			got := pr.db.FactsByPred(intern.S(p))
+			if len(got) != len(byPred[p]) {
+				return fmt.Errorf("FactsByPred(%s) has %d facts, want %d", p, len(got), len(byPred[p]))
+			}
+			for _, f := range got {
+				if !pr.shadow[f] {
+					return fmt.Errorf("FactsByPred(%s) returned phantom fact %s", p, f)
+				}
+			}
+		}
+		if got := pr.db.DomSyms(); len(got) != len(domSet) {
+			return fmt.Errorf("dom has %d constants, want %d", len(got), len(domSet))
+		}
+		for _, c := range pr.db.DomSyms() {
+			if !domSet[c] {
+				return fmt.Errorf("phantom domain constant %s", c)
+			}
+			if !pr.db.HasConst(c) {
+				return fmt.Errorf("HasConst(%s) = false for domain constant", c)
+			}
+		}
+		// Key equals the key of a freshly built database with the same
+		// contents (canonical encoding is content-only).
+		var fs []Fact
+		for f := range pr.shadow {
+			fs = append(fs, f)
+		}
+		if want := FromFacts(fs...).Key(); pr.db.Key() != want {
+			return fmt.Errorf("key mismatch after %d steps", step)
+		}
+		return nil
+	}
+
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := []pair{{db: NewDatabase(), shadow: map[Fact]bool{}}}
+		for step := 0; step < 400; step++ {
+			pr := pairs[rng.Intn(len(pairs))]
+			switch op := rng.Intn(10); {
+			case op < 5: // insert
+				f := randomFact(rng)
+				changed := pr.db.Insert(f)
+				if changed == pr.shadow[f] {
+					t.Fatalf("seed %d step %d: Insert(%s) reported %v with shadow %v",
+						seed, step, f, changed, pr.shadow[f])
+				}
+				pr.shadow[f] = true
+			case op < 8: // delete
+				f := randomFact(rng)
+				changed := pr.db.Delete(f)
+				if changed != pr.shadow[f] {
+					t.Fatalf("seed %d step %d: Delete(%s) reported %v with shadow %v",
+						seed, step, f, changed, pr.shadow[f])
+				}
+				delete(pr.shadow, f)
+			case op < 9: // clone (bounded population)
+				if len(pairs) < 6 {
+					shadow := make(map[Fact]bool, len(pr.shadow))
+					for f := range pr.shadow {
+						shadow[f] = true
+					}
+					pairs = append(pairs, pair{db: pr.db.Clone(), shadow: shadow})
+				}
+			default: // seal
+				pr.db.Seal()
+			}
+			if err := checkPair(seed, step, pr); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+		for _, pr := range pairs {
+			if err := checkPair(seed, -1, pr); err != nil {
+				t.Fatalf("seed %d final: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestAutoSealKeepsBulkLoadingFlat: bulk construction folds deltas into
+// snapshots, so a database built by pure insertion ends up with a small
+// delta and correct content.
+func TestAutoSealKeepsBulkLoadingFlat(t *testing.T) {
+	d := NewDatabase()
+	n := 4 * autoSealFloor
+	for i := 0; i < n; i++ {
+		d.Insert(NewFact("R", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)))
+	}
+	if d.Size() != n {
+		t.Fatalf("size = %d, want %d", d.Size(), n)
+	}
+	if d.DeltaSize() >= n {
+		t.Fatalf("delta never sealed: %d facts still in delta", d.DeltaSize())
+	}
+	if got := len(d.FactsByPred(intern.S("R"))); got != n {
+		t.Fatalf("index has %d facts, want %d", got, n)
+	}
+}
+
+// TestSealedCloneIsCheapAndIndependent: clones of a sealed database share
+// the snapshot but never observe each other's writes.
+func TestSealedCloneIsCheapAndIndependent(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
+	d.Seal()
+	if d.DeltaSize() != 0 {
+		t.Fatalf("sealed database has delta %d", d.DeltaSize())
+	}
+	c1, c2 := d.Clone(), d.Clone()
+	c1.Delete(NewFact("R", "a"))
+	c2.Insert(NewFact("R", "c"))
+	if !d.Contains(NewFact("R", "a")) || d.Contains(NewFact("R", "c")) {
+		t.Error("writes to clones leaked into the sealed parent")
+	}
+	if c1.Contains(NewFact("R", "c")) || !c2.Contains(NewFact("R", "a")) {
+		t.Error("writes leaked between sibling clones")
+	}
+	if got := strings.Join(c1.Dom(), ","); got != "b" {
+		t.Errorf("c1 dom = %q, want b", got)
+	}
+}

@@ -4,28 +4,172 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 )
 
+// snapshot is an immutable, fully indexed set of facts shared between
+// copy-on-write databases. Once published by Seal it is never mutated, so
+// any number of databases (and goroutines) may read it concurrently.
+type snapshot struct {
+	facts   map[Fact]struct{}
+	byPred  map[intern.Sym][]Fact
+	domSyms []intern.Sym // sorted by symbol id
+	domCnt  []int32      // parallel occurrence counts
+	size    int
+}
+
+var emptySnapshot = &snapshot{}
+
+func (s *snapshot) domRef(c intern.Sym) int32 {
+	lo, hi := 0, len(s.domSyms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.domSyms[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.domSyms) && s.domSyms[lo] == c {
+		return s.domCnt[lo]
+	}
+	return 0
+}
+
+// FactSet is a fact set kept sorted by interned id: membership is a binary
+// search, mutation a memmove, and cloning a single copy. It is the delta
+// representation of the copy-on-write Database and the bookkeeping set of
+// repair states — such sets stay small (one operation per walk step), so
+// this beats hash maps on both allocation count and locality.
+type FactSet []Fact
+
+func (s FactSet) search(f Fact) (int, bool) {
+	id := f.ID()
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].ID() < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo] == f
+}
+
+// Has reports membership.
+func (s FactSet) Has(f Fact) bool {
+	_, ok := s.search(f)
+	return ok
+}
+
+// Insert adds f, keeping the slice sorted; it reports whether the set
+// changed. As with append, the caller must use the returned slice.
+func (s FactSet) Insert(f Fact) (FactSet, bool) {
+	i, ok := s.search(f)
+	if ok {
+		return s, false
+	}
+	s = append(s, Fact{})
+	copy(s[i+1:], s[i:])
+	s[i] = f
+	return s, true
+}
+
+// Remove deletes f, reporting whether the set changed.
+func (s FactSet) Remove(f Fact) (FactSet, bool) {
+	i, ok := s.search(f)
+	if !ok {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
+}
+
+// Clone returns an independent copy with room for extra insertions.
+func (s FactSet) Clone(extra int) FactSet {
+	if len(s) == 0 && extra == 0 {
+		return nil
+	}
+	out := make(FactSet, len(s), len(s)+extra)
+	copy(out, s)
+	return out
+}
+
+func (s FactSet) countPred(p intern.Sym) int {
+	n := 0
+	for _, f := range s {
+		if f.Pred() == p {
+			n++
+		}
+	}
+	return n
+}
+
+// domCounts tracks per-constant occurrence deltas as parallel sorted
+// slices.
+type domCounts struct {
+	syms []intern.Sym
+	cnt  []int32
+}
+
+func (d *domCounts) adjust(c intern.Sym, by int32) {
+	lo, hi := 0, len(d.syms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.syms[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.syms) && d.syms[lo] == c {
+		d.cnt[lo] += by
+		return
+	}
+	d.syms = append(d.syms, 0)
+	copy(d.syms[lo+1:], d.syms[lo:])
+	d.syms[lo] = c
+	d.cnt = append(d.cnt, 0)
+	copy(d.cnt[lo+1:], d.cnt[lo:])
+	d.cnt[lo] = by
+}
+
+// mergedView caches the merged per-predicate fact list of a dirty
+// predicate; walks touch one or two predicates, so a tiny slice suffices.
+type mergedView struct {
+	pred  intern.Sym
+	facts []Fact
+}
+
 // Database is a finite set of facts with per-predicate indexes. It
-// implements logic's fact-source interface so that homomorphism search can
-// run directly against it.
+// implements the fact-source contract of the homomorphism search so that
+// joins run directly against it.
 //
-// A Database is mutable; Clone produces an independent copy. All read
-// methods are safe for concurrent use provided no writer is active.
+// A Database is an immutable shared snapshot plus a private delta (facts
+// added and removed since the snapshot, kept in small sorted slices).
+// Clone copies only the delta, so the child states of a repairing walk
+// cost O(|delta|) words instead of O(|D|) map entries. Seal collapses the
+// delta into a fresh snapshot; repairing instances seal once so every walk
+// starts from an O(1)-cloneable database, and bulk loading auto-seals
+// geometrically so construction stays near-linear.
+//
+// A sealed Database (empty delta) is safe for concurrent readers until the
+// next write. A Database with a pending delta is single-owner: even read
+// methods may populate internal caches (merged per-predicate views), so it
+// must not be shared across goroutines — walkers clone their own.
 type Database struct {
-	facts  map[string]Fact   // canonical key -> fact
-	byPred map[string][]Fact // predicate -> facts (unordered)
-	dirty  map[string]bool   // predicates whose byPred slice has tombstones
+	snap    *snapshot
+	added   FactSet
+	removed FactSet
+	merged  []mergedView
+	size    int
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{
-		facts:  map[string]Fact{},
-		byPred: map[string][]Fact{},
-		dirty:  map[string]bool{},
-	}
+	return &Database{snap: emptySnapshot}
 }
 
 // FromFacts builds a database containing the given facts (duplicates are
@@ -39,81 +183,172 @@ func FromFacts(fs ...Fact) *Database {
 }
 
 // Size reports the number of facts.
-func (d *Database) Size() int { return len(d.facts) }
+func (d *Database) Size() int { return d.size }
 
 // Contains reports whether the fact is present.
 func (d *Database) Contains(f Fact) bool {
-	_, ok := d.facts[f.Key()]
+	if len(d.removed) > 0 && d.removed.Has(f) {
+		return false
+	}
+	if len(d.added) > 0 && d.added.Has(f) {
+		return true
+	}
+	_, ok := d.snap.facts[f]
 	return ok
 }
 
-// ContainsAtom reports whether the ground atom is present as a fact.
+// ContainsAtom reports whether the ground atom is present as a fact. Atoms
+// naming facts that were never interned are absent by construction, so the
+// lookup never grows the fact table.
 func (d *Database) ContainsAtom(a logic.Atom) bool {
-	f, err := FactFromAtom(a)
-	if err != nil {
+	f, ok := LookupFactFromAtom(a)
+	if !ok {
 		return false
 	}
 	return d.Contains(f)
 }
 
+func (d *Database) invalidate(f Fact) {
+	p := f.Pred()
+	for i := range d.merged {
+		if d.merged[i].pred == p {
+			d.merged[i] = d.merged[len(d.merged)-1]
+			d.merged = d.merged[:len(d.merged)-1]
+			break
+		}
+	}
+}
+
+// domDelta derives the per-constant occurrence delta from the fact delta;
+// deltas are one walk's worth of facts, so this is cheaper to recompute on
+// the rare domain query than to maintain on every clone and write.
+func (d *Database) domDelta() domCounts {
+	var dc domCounts
+	for _, f := range d.added {
+		for _, c := range f.Args() {
+			dc.adjust(c, 1)
+		}
+	}
+	for _, f := range d.removed {
+		for _, c := range f.Args() {
+			dc.adjust(c, -1)
+		}
+	}
+	return dc
+}
+
+// autoSealThreshold keeps bulk loading near-linear: once the delta reaches
+// both the floor and half the database size, the delta is folded into a
+// fresh snapshot. Walk-sized deltas never reach the floor.
+const autoSealFloor = 256
+
+func (d *Database) maybeAutoSeal() {
+	if n := len(d.added) + len(d.removed); n >= autoSealFloor && 2*n >= d.size {
+		d.Seal()
+	}
+}
+
 // Insert adds a fact; inserting an existing fact is a no-op. It reports
 // whether the database changed.
 func (d *Database) Insert(f Fact) bool {
-	k := f.Key()
-	if _, ok := d.facts[k]; ok {
+	if len(d.removed) > 0 {
+		if next, ok := d.removed.Remove(f); ok {
+			// Reinsert of a snapshot fact: cancel the removal.
+			d.removed = next
+			d.invalidate(f)
+			d.size++
+			return true
+		}
+	}
+	if _, ok := d.snap.facts[f]; ok {
 		return false
 	}
-	// Compact first: a tombstoned copy of f may still sit in the index
-	// (delete-then-reinsert), and appending blindly would duplicate it.
-	d.compact(f.Pred)
-	d.facts[k] = f
-	d.byPred[f.Pred] = append(d.byPred[f.Pred], f)
+	next, ok := d.added.Insert(f)
+	if !ok {
+		return false
+	}
+	d.added = next
+	d.invalidate(f)
+	d.size++
+	d.maybeAutoSeal()
 	return true
 }
 
 // Delete removes a fact; deleting an absent fact is a no-op. It reports
-// whether the database changed. Deletion marks the predicate index dirty;
-// the index is compacted lazily on the next read.
+// whether the database changed.
 func (d *Database) Delete(f Fact) bool {
-	k := f.Key()
-	if _, ok := d.facts[k]; !ok {
+	if len(d.added) > 0 {
+		if next, ok := d.added.Remove(f); ok {
+			d.added = next
+			d.invalidate(f)
+			d.size--
+			return true
+		}
+	}
+	if _, ok := d.snap.facts[f]; !ok {
 		return false
 	}
-	delete(d.facts, k)
-	d.dirty[f.Pred] = true
+	next, ok := d.removed.Insert(f)
+	if !ok {
+		return false
+	}
+	d.removed = next
+	d.invalidate(f)
+	d.size--
+	d.maybeAutoSeal()
 	return true
 }
 
-// compact drops deleted facts from the predicate index.
-func (d *Database) compact(pred string) {
-	if !d.dirty[pred] {
-		return
+// FactsByPred returns the facts with the given predicate. The returned
+// slice must not be modified. When the predicate's delta is empty this is
+// the snapshot's shared slice (zero copies); otherwise a merged view is
+// built once and cached until the predicate changes again.
+func (d *Database) FactsByPred(pred intern.Sym) []Fact {
+	if len(d.added) == 0 && len(d.removed) == 0 {
+		return d.snap.byPred[pred]
 	}
-	live := d.byPred[pred][:0]
-	for _, f := range d.byPred[pred] {
-		if _, ok := d.facts[f.Key()]; ok {
-			live = append(live, f)
+	nAdd, nRem := d.added.countPred(pred), d.removed.countPred(pred)
+	if nAdd == 0 && nRem == 0 {
+		return d.snap.byPred[pred]
+	}
+	for i := range d.merged {
+		if d.merged[i].pred == pred {
+			return d.merged[i].facts
 		}
 	}
-	if len(live) == 0 {
-		delete(d.byPred, pred)
+	base := d.snap.byPred[pred]
+	out := make([]Fact, 0, len(base)+nAdd-nRem)
+	if nRem == 0 {
+		out = append(out, base...)
 	} else {
-		d.byPred[pred] = live
+		for _, f := range base {
+			if !d.removed.Has(f) {
+				out = append(out, f)
+			}
+		}
 	}
-	delete(d.dirty, pred)
+	if nAdd > 0 {
+		for _, f := range d.added {
+			if f.Pred() == pred {
+				out = append(out, f)
+			}
+		}
+	}
+	d.merged = append(d.merged, mergedView{pred: pred, facts: out})
+	return out
 }
 
-// FactsByPred returns the facts with the given predicate. The returned
-// slice must not be modified. This method makes *Database a
-// logic.FactSource.
-func (d *Database) FactsByPred(pred string) []Fact {
-	d.compact(pred)
-	return d.byPred[pred]
+// FactsByPredName is FactsByPred addressed by predicate name.
+func (d *Database) FactsByPredName(pred string) []Fact {
+	sym, ok := intern.Lookup(pred)
+	if !ok {
+		return nil
+	}
+	return d.FactsByPred(sym)
 }
 
-// AtomsByPred returns the facts with the given predicate as ground atoms,
-// satisfying logic.FactSource.
-func (d *Database) AtomsByPred(pred string) []logic.Atom {
+// AtomsByPred returns the facts with the given predicate as ground atoms.
+func (d *Database) AtomsByPred(pred intern.Sym) []logic.Atom {
 	fs := d.FactsByPred(pred)
 	out := make([]logic.Atom, len(fs))
 	for i, f := range fs {
@@ -122,100 +357,191 @@ func (d *Database) AtomsByPred(pred string) []logic.Atom {
 	return out
 }
 
+// forEach calls fn for every fact of the database, in no particular order.
+func (d *Database) forEach(fn func(Fact)) {
+	if len(d.removed) == 0 {
+		for f := range d.snap.facts {
+			fn(f)
+		}
+	} else {
+		for f := range d.snap.facts {
+			if !d.removed.Has(f) {
+				fn(f)
+			}
+		}
+	}
+	for _, f := range d.added {
+		fn(f)
+	}
+}
+
 // Facts returns all facts in canonical order.
 func (d *Database) Facts() []Fact {
-	out := make([]Fact, 0, len(d.facts))
-	for _, f := range d.facts {
-		out = append(out, f)
-	}
+	out := make([]Fact, 0, d.size)
+	d.forEach(func(f Fact) { out = append(out, f) })
 	SortFacts(out)
 	return out
 }
 
-// Predicates returns the sorted list of predicates with at least one fact.
+// Predicates returns the sorted list of predicate names with at least one
+// fact.
 func (d *Database) Predicates() []string {
-	var out []string
-	for p := range d.byPred {
-		d.compact(p)
-		if len(d.byPred[p]) > 0 {
-			out = append(out, p)
+	seen := map[intern.Sym]bool{}
+	var syms []intern.Sym
+	d.forEach(func(f Fact) {
+		p := f.Pred()
+		if !seen[p] {
+			seen[p] = true
+			syms = append(syms, p)
+		}
+	})
+	intern.SortSyms(syms)
+	return intern.Names(syms)
+}
+
+// DomSyms returns the active domain dom(D) as symbols, sorted by symbol id
+// (deterministic within a process). The domain is maintained incrementally
+// — inserts and deletes adjust per-constant reference counts — so this
+// never rescans the fact set.
+func (d *Database) DomSyms() []intern.Sym {
+	if len(d.added) == 0 && len(d.removed) == 0 {
+		// No deltas: the snapshot's (all-positive) domain is the answer.
+		return d.snap.domSyms
+	}
+	dc := d.domDelta()
+	out := make([]intern.Sym, 0, len(d.snap.domSyms)+len(dc.syms))
+	i, j := 0, 0
+	for i < len(d.snap.domSyms) || j < len(dc.syms) {
+		switch {
+		case j >= len(dc.syms) || (i < len(d.snap.domSyms) && d.snap.domSyms[i] < dc.syms[j]):
+			if d.snap.domCnt[i] > 0 {
+				out = append(out, d.snap.domSyms[i])
+			}
+			i++
+		case i >= len(d.snap.domSyms) || dc.syms[j] < d.snap.domSyms[i]:
+			if dc.cnt[j] > 0 {
+				out = append(out, dc.syms[j])
+			}
+			j++
+		default:
+			if d.snap.domCnt[i]+dc.cnt[j] > 0 {
+				out = append(out, d.snap.domSyms[i])
+			}
+			i++
+			j++
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
-// Dom returns the active domain dom(D): the sorted set of constants
+// Dom returns the active domain dom(D): the sorted set of constant names
 // appearing in the database.
 func (d *Database) Dom() []string {
-	seen := map[string]bool{}
-	for _, f := range d.facts {
-		for _, c := range f.Args {
-			seen[c] = true
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
+	names := intern.Names(d.DomSyms())
+	sort.Strings(names)
+	return names
 }
 
-// Clone returns an independent copy of the database. The copy shares the
-// (immutable) Fact values but none of the index structures; canonical keys
-// are not recomputed.
-func (d *Database) Clone() *Database {
-	out := &Database{
-		facts:  make(map[string]Fact, len(d.facts)),
-		byPred: make(map[string][]Fact, len(d.byPred)),
-		dirty:  make(map[string]bool, len(d.dirty)),
+// HasConst reports whether the constant occurs in the database: a binary
+// search of the snapshot domain plus a scan of the (tiny) fact delta.
+func (d *Database) HasConst(c intern.Sym) bool {
+	n := d.snap.domRef(c)
+	for _, f := range d.added {
+		for _, a := range f.Args() {
+			if a == c {
+				n++
+			}
+		}
 	}
-	for k, f := range d.facts {
-		out.facts[k] = f
+	for _, f := range d.removed {
+		for _, a := range f.Args() {
+			if a == c {
+				n--
+			}
+		}
 	}
-	for p, fs := range d.byPred {
-		out.byPred[p] = append([]Fact(nil), fs...)
-	}
-	for p := range d.dirty {
-		out.dirty[p] = true
-	}
-	return out
+	return n > 0
 }
+
+// Clone returns an independent copy of the database. The snapshot is
+// shared; only the delta is copied, so cloning mid-walk states is
+// O(|delta|) and cloning a sealed database is O(1).
+func (d *Database) Clone() *Database {
+	return &Database{
+		snap:    d.snap,
+		added:   d.added.Clone(2),
+		removed: d.removed.Clone(2),
+		size:    d.size,
+	}
+}
+
+// Seal collapses the delta into a fresh immutable snapshot, after which
+// Clone is O(1) and reads never consult delta slices. Sealing an unchanged
+// database is a no-op. The caller must be the only writer.
+func (d *Database) Seal() {
+	if len(d.added) == 0 && len(d.removed) == 0 {
+		return
+	}
+	snap := &snapshot{
+		facts:  make(map[Fact]struct{}, d.size),
+		byPred: make(map[intern.Sym][]Fact, len(d.snap.byPred)+2),
+		size:   d.size,
+	}
+	var dom domCounts
+	d.forEach(func(f Fact) {
+		snap.facts[f] = struct{}{}
+		p := f.Pred()
+		snap.byPred[p] = append(snap.byPred[p], f)
+		for _, c := range f.Args() {
+			dom.adjust(c, 1)
+		}
+	})
+	snap.domSyms, snap.domCnt = dom.syms, dom.cnt
+	d.snap = snap
+	d.added = nil
+	d.removed = nil
+	d.merged = nil
+}
+
+// DeltaSize reports the number of facts in the copy-on-write delta; for
+// diagnostics and tests.
+func (d *Database) DeltaSize() int { return len(d.added) + len(d.removed) }
 
 // Equal reports whether two databases contain exactly the same facts.
 func (d *Database) Equal(o *Database) bool {
-	if len(d.facts) != len(o.facts) {
+	if d.size != o.size {
 		return false
 	}
-	for k := range d.facts {
-		if _, ok := o.facts[k]; !ok {
-			return false
+	eq := true
+	d.forEach(func(f Fact) {
+		if eq && !o.Contains(f) {
+			eq = false
 		}
-	}
-	return true
+	})
+	return eq
 }
 
 // SubsetOf reports whether every fact of d is in o.
 func (d *Database) SubsetOf(o *Database) bool {
-	if len(d.facts) > len(o.facts) {
+	if d.size > o.size {
 		return false
 	}
-	for k := range d.facts {
-		if _, ok := o.facts[k]; !ok {
-			return false
+	ok := true
+	d.forEach(func(f Fact) {
+		if ok && !o.Contains(f) {
+			ok = false
 		}
-	}
-	return true
+	})
+	return ok
 }
 
 // Key returns a canonical encoding of the database contents, suitable for
-// grouping repairs that arise from different repairing sequences.
+// grouping repairs that arise from different repairing sequences. The
+// encoding matches the string-keyed predecessor byte for byte (sorted fact
+// keys joined by ';'), so persisted groupings remain valid.
 func (d *Database) Key() string {
-	keys := make([]string, 0, len(d.facts))
-	for k := range d.facts {
-		keys = append(keys, k)
-	}
+	keys := make([]string, 0, d.size)
+	d.forEach(func(f Fact) { keys = append(keys, f.Key()) })
 	sort.Strings(keys)
 	return strings.Join(keys, ";")
 }
@@ -249,16 +575,16 @@ func (d *Database) DeleteAll(fs []Fact) int {
 // SymmetricDiff returns ∆(d, o) = (d − o) ∪ (o − d) as two slices: the
 // facts only in d, and the facts only in o.
 func (d *Database) SymmetricDiff(o *Database) (onlyD, onlyO []Fact) {
-	for k, f := range d.facts {
-		if _, ok := o.facts[k]; !ok {
+	d.forEach(func(f Fact) {
+		if !o.Contains(f) {
 			onlyD = append(onlyD, f)
 		}
-	}
-	for k, f := range o.facts {
-		if _, ok := d.facts[k]; !ok {
+	})
+	o.forEach(func(f Fact) {
+		if !d.Contains(f) {
 			onlyO = append(onlyO, f)
 		}
-	}
+	})
 	SortFacts(onlyD)
 	SortFacts(onlyO)
 	return onlyD, onlyO

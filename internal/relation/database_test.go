@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 )
 
@@ -67,8 +68,8 @@ func TestDatabaseFactsByPredAfterDelete(t *testing.T) {
 		NewFact("S", "c"),
 	)
 	d.Delete(NewFact("R", "a"))
-	rs := d.FactsByPred("R")
-	if len(rs) != 1 || rs[0].Args[0] != "b" {
+	rs := d.FactsByPred(intern.S("R"))
+	if len(rs) != 1 || rs[0].Args()[0] != intern.S("b") {
 		t.Errorf("FactsByPred(R) = %v", rs)
 	}
 	if preds := d.Predicates(); len(preds) != 2 || preds[0] != "R" || preds[1] != "S" {
@@ -128,10 +129,10 @@ func TestSymmetricDiff(t *testing.T) {
 	a := FromFacts(NewFact("R", "a"), NewFact("R", "b"))
 	b := FromFacts(NewFact("R", "b"), NewFact("R", "c"))
 	onlyA, onlyB := a.SymmetricDiff(b)
-	if len(onlyA) != 1 || onlyA[0].Args[0] != "a" {
+	if len(onlyA) != 1 || onlyA[0].ArgNames()[0] != "a" {
 		t.Errorf("onlyA = %v", onlyA)
 	}
-	if len(onlyB) != 1 || onlyB[0].Args[0] != "c" {
+	if len(onlyB) != 1 || onlyB[0].ArgNames()[0] != "c" {
 		t.Errorf("onlyB = %v", onlyB)
 	}
 }
@@ -191,7 +192,7 @@ func TestDeleteReinsertNoDuplicateIndex(t *testing.T) {
 	f := NewFact("R", "a")
 	d.Delete(f)
 	d.Insert(f)
-	if got := len(d.FactsByPred("R")); got != 2 {
+	if got := len(d.FactsByPred(intern.S("R"))); got != 2 {
 		t.Fatalf("index has %d entries after delete+reinsert, want 2", got)
 	}
 	// Repeating the cycle must stay stable.
@@ -199,7 +200,7 @@ func TestDeleteReinsertNoDuplicateIndex(t *testing.T) {
 		d.Delete(f)
 		d.Insert(f)
 	}
-	if got := len(d.FactsByPred("R")); got != 2 {
+	if got := len(d.FactsByPred(intern.S("R"))); got != 2 {
 		t.Fatalf("index has %d entries after repeated cycles, want 2", got)
 	}
 	if d.Size() != 2 {

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"repro/internal/intern"
 	"repro/internal/logic"
 )
 
@@ -9,6 +10,10 @@ import (
 // to constants (it is the identity on constants) so that every atom lands on
 // a fact of the database. Constraint satisfaction, violation detection, and
 // conjunctive-query evaluation are all phrased in terms of this search.
+//
+// With interned symbols the inner unification loop is pure integer
+// comparison: an atom argument either pins a constant symbol or binds a
+// variable symbol to the candidate fact's argument symbol.
 
 // ForEachHom enumerates the homomorphisms from atoms into d that extend
 // base. The callback receives a substitution owned by the callee (clone it
@@ -60,7 +65,7 @@ func HasHom(atoms []logic.Atom, d *Database, base logic.Subst) bool {
 func planOrder(atoms []logic.Atom, d *Database, base logic.Subst) []logic.Atom {
 	remaining := make([]logic.Atom, len(atoms))
 	copy(remaining, atoms)
-	bound := map[string]bool{}
+	bound := map[intern.Sym]bool{}
 	for v := range base {
 		bound[v] = true
 	}
@@ -72,7 +77,7 @@ func planOrder(atoms []logic.Atom, d *Database, base logic.Subst) []logic.Atom {
 			// Every argument that is a constant or an already-bound
 			// variable filters candidates; reward such atoms by halving.
 			for _, t := range a.Args {
-				if t.IsConst() || (t.IsVar() && bound[t.Name()]) {
+				if t.IsConst() || (t.IsVar() && bound[t.Sym()]) {
 					score /= 2
 				}
 			}
@@ -84,7 +89,7 @@ func planOrder(atoms []logic.Atom, d *Database, base logic.Subst) []logic.Atom {
 		order = append(order, chosen)
 		for _, t := range chosen.Args {
 			if t.IsVar() {
-				bound[t.Name()] = true
+				bound[t.Sym()] = true
 			}
 		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
@@ -99,24 +104,27 @@ func matchFrom(order []logic.Atom, i int, d *Database, cur logic.Subst, fn func(
 		return fn(cur)
 	}
 	atom := order[i]
+	nargs := len(atom.Args)
 	for _, f := range d.FactsByPred(atom.Pred) {
-		if len(f.Args) != len(atom.Args) {
+		fargs := f.Args()
+		if len(fargs) != nargs {
 			continue
 		}
 		// Attempt to unify atom with fact under cur, tracking fresh
 		// bindings so they can be undone on backtrack.
-		var added []string
+		var stackBuf [8]intern.Sym
+		added := stackBuf[:0]
 		ok := true
 		for j, t := range atom.Args {
-			c := f.Args[j]
+			c := fargs[j]
 			if t.IsConst() {
-				if t.Name() != c {
+				if t.Sym() != c {
 					ok = false
 					break
 				}
 				continue
 			}
-			v := t.Name()
+			v := t.Sym()
 			if existing, bound := cur[v]; bound {
 				if existing != c {
 					ok = false

@@ -3,8 +3,15 @@ package relation
 import (
 	"testing"
 
+	"repro/internal/intern"
 	"repro/internal/logic"
 )
+
+// bound reports whether h maps variable name x to constant name c.
+func bound(h logic.Subst, x, c string) bool {
+	got, ok := h.LookupName(x)
+	return ok && got == c
+}
 
 func atom(pred string, terms ...logic.Term) logic.Atom { return logic.NewAtom(pred, terms...) }
 
@@ -18,8 +25,8 @@ func TestFindHomsSingleAtom(t *testing.T) {
 		t.Fatalf("found %d homomorphisms, want 2", len(homs))
 	}
 	for _, h := range homs {
-		if h["x"] != "a" {
-			t.Errorf("x bound to %q, want a", h["x"])
+		if !bound(h, "x", "a") {
+			t.Errorf("x bound wrongly in %v, want a", h)
 		}
 	}
 }
@@ -43,7 +50,7 @@ func TestFindHomsJoin(t *testing.T) {
 func TestFindHomsConstants(t *testing.T) {
 	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "c", "b"))
 	homs := FindHoms([]logic.Atom{atom("R", c("a"), v("y"))}, d, nil)
-	if len(homs) != 1 || homs[0]["y"] != "b" {
+	if len(homs) != 1 || !bound(homs[0], "y", "b") {
 		t.Fatalf("homs = %v", homs)
 	}
 	if HasHom([]logic.Atom{atom("R", c("z"), v("y"))}, d, nil) {
@@ -54,7 +61,7 @@ func TestFindHomsConstants(t *testing.T) {
 func TestFindHomsRepeatedVariable(t *testing.T) {
 	d := FromFacts(NewFact("R", "a", "a"), NewFact("R", "a", "b"))
 	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("x"))}, d, nil)
-	if len(homs) != 1 || homs[0]["x"] != "a" {
+	if len(homs) != 1 || !bound(homs[0], "x", "a") {
 		t.Fatalf("homs = %v, want single x->a", homs)
 	}
 }
@@ -69,16 +76,16 @@ func TestFindHomsSelfJoinSameFact(t *testing.T) {
 	if len(homs) != 1 {
 		t.Fatalf("found %d homomorphisms, want 1", len(homs))
 	}
-	if homs[0]["y"] != "b" || homs[0]["z"] != "b" {
+	if !bound(homs[0], "y", "b") || !bound(homs[0], "z", "b") {
 		t.Errorf("hom = %v", homs[0])
 	}
 }
 
 func TestFindHomsWithBase(t *testing.T) {
 	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "c", "d"))
-	base := logic.Subst{"x": "c"}
+	base := logic.Subst{intern.S("x"): intern.S("c")}
 	homs := FindHoms([]logic.Atom{atom("R", v("x"), v("y"))}, d, base)
-	if len(homs) != 1 || homs[0]["y"] != "d" {
+	if len(homs) != 1 || !bound(homs[0], "y", "d") {
 		t.Fatalf("homs = %v", homs)
 	}
 	// The base must not be mutated.
@@ -89,8 +96,8 @@ func TestFindHomsWithBase(t *testing.T) {
 
 func TestFindHomsEmptyAtoms(t *testing.T) {
 	d := FromFacts(NewFact("R", "a"))
-	homs := FindHoms(nil, d, logic.Subst{"x": "q"})
-	if len(homs) != 1 || homs[0]["x"] != "q" {
+	homs := FindHoms(nil, d, logic.Subst{intern.S("x"): intern.S("q")})
+	if len(homs) != 1 || !bound(homs[0], "x", "q") {
 		t.Fatalf("empty conjunction must yield exactly the base, got %v", homs)
 	}
 }

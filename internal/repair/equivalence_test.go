@@ -1,0 +1,175 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// This file holds the representation-equivalence properties for the
+// interned / copy-on-write substrate: every state reached through the
+// incremental machinery (COW database clones, delta-maintained violation
+// sets, id-keyed bookkeeping) must be indistinguishable from a state
+// recomputed from scratch with the reference implementations
+// (FindViolations, InsertAll/DeleteAll on a fresh database).
+
+// rebuildResult replays the sequence of ops on a fresh copy of the initial
+// database without any copy-on-write sharing: every fact set is rebuilt
+// from the ground up.
+func rebuildResult(inst *Instance, s *State) *relation.Database {
+	out := relation.FromFacts(inst.Initial().Facts()...)
+	for _, op := range s.Ops() {
+		if op.IsInsert() {
+			out.InsertAll(op.Facts())
+		} else {
+			out.DeleteAll(op.Facts())
+		}
+	}
+	return out
+}
+
+// TestQuickIncrementalStateMatchesRecompute walks the full tree of random
+// mixed instances and, at every state, checks that the COW database and the
+// delta-maintained violation set agree exactly with from-scratch
+// recomputation — both as interned sets and through the canonical string
+// encodings (which are independent of interning order).
+func TestQuickIncrementalStateMatchesRecompute(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomMixedInstance(seed)
+		ok := true
+		count := 0
+		Walk(inst, func(s *State) bool {
+			count++
+			if count > 20000 {
+				return false
+			}
+			fresh := rebuildResult(inst, s)
+			if !s.Result().Equal(fresh) {
+				t.Logf("seed %d: state %q database diverged from replay", seed, s)
+				ok = false
+				return false
+			}
+			if s.Result().Key() != fresh.Key() {
+				t.Logf("seed %d: state %q database key diverged", seed, s)
+				ok = false
+				return false
+			}
+			wantVio := constraint.FindViolations(fresh, inst.Sigma())
+			gotKeys := strings.Join(s.Violations().Keys(), ";")
+			wantKeys := strings.Join(wantVio.Keys(), ";")
+			if gotKeys != wantKeys {
+				t.Logf("seed %d: state %q violations %q, want %q", seed, s, gotKeys, wantKeys)
+				ok = false
+				return false
+			}
+			// The id-keyed bookkeeping must match the set difference with
+			// the initial database.
+			added, removed := s.Result().SymmetricDiff(inst.Initial())
+			if len(added) != len(s.added) || len(removed) != len(s.removed) {
+				t.Logf("seed %d: state %q bookkeeping added=%d/%d removed=%d/%d",
+					seed, s, len(s.added), len(added), len(s.removed), len(removed))
+				ok = false
+				return false
+			}
+			for _, f := range added {
+				if !s.added.Has(f) {
+					ok = false
+					return false
+				}
+			}
+			for _, f := range removed {
+				if !s.removed.Has(f) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDomMatchesRecompute: the incrementally maintained active domain
+// of every reachable state equals a from-scratch scan.
+func TestQuickDomMatchesRecompute(t *testing.T) {
+	check := func(seed int64) bool {
+		inst := randomMixedInstance(seed)
+		ok := true
+		count := 0
+		Walk(inst, func(s *State) bool {
+			count++
+			if count > 5000 {
+				return false
+			}
+			got := strings.Join(s.Result().Dom(), ",")
+			want := strings.Join(rebuildResult(inst, s).Dom(), ",")
+			if got != want {
+				t.Logf("seed %d: state %q dom %q, want %q", seed, s, got, want)
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSurveyInvariantUnderMaterialization: Survey statistics do not depend
+// on how the input database was materialized — freshly inserted, cloned,
+// explicitly sealed, or round-tripped through a delete/re-insert delta.
+func TestSurveyInvariantUnderMaterialization(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fresh := relation.NewDatabase()
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			fresh.Insert(f("R", string(rune('a'+rng.Intn(3))), string(rune('a'+rng.Intn(3)))))
+		}
+		sigma := func() *constraint.Set {
+			x, y, z := v("x"), v("y"), v("z")
+			return constraint.NewSet(constraint.MustEGD(
+				[]logic.Atom{at("R", x, y), at("R", x, z)}, y, z))
+		}
+
+		variants := map[string]*relation.Database{}
+		variants["fresh"] = fresh
+
+		cloned := fresh.Clone()
+		variants["cloned"] = cloned
+
+		sealed := fresh.Clone()
+		sealed.Seal()
+		variants["sealed"] = sealed
+
+		churned := fresh.Clone()
+		churned.Seal()
+		for _, fact := range fresh.Facts() {
+			churned.Delete(fact)
+			churned.Insert(fact)
+		}
+		variants["churned"] = churned
+
+		var want Stats
+		first := true
+		for name, db := range variants {
+			got := Survey(MustInstance(db, sigma()))
+			if first {
+				want, first = got, false
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d: Survey over %s db = %+v, want %+v", seed, name, got, want)
+			}
+		}
+	}
+}

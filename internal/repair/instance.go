@@ -39,11 +39,16 @@ type Instance struct {
 	opts    Options
 
 	// delOps caches the justified deletions of a violation, keyed by its
-	// body image: they are a pure function of the body facts and recur at
-	// every state where the violation survives. Safe for concurrent
-	// walkers.
-	delOpsMu sync.Mutex
+	// interned body image: they are a pure function of the body facts and
+	// recur at every state where the violation survives. Safe for
+	// concurrent walkers.
+	delOpsMu sync.RWMutex
 	delOps   map[string][]ops.Op
+
+	// rootViolations caches V(D,Σ) of the initial database; root states
+	// share it (violation sets are immutable once built).
+	rootVioOnce    sync.Once
+	rootViolations *constraint.Violations
 }
 
 // NewInstance builds the context for repairing d under sigma. The database
@@ -58,8 +63,12 @@ func NewInstanceOpts(d *relation.Database, sigma *constraint.Set, opts Options) 
 	if err != nil {
 		return nil, fmt.Errorf("building base B(D,Σ): %w", err)
 	}
+	initial := d.Clone()
+	// Seal the private copy: every walk and tree exploration clones it as
+	// its root, and a sealed database clones in O(1) (copy-on-write).
+	initial.Seal()
 	return &Instance{
-		initial: d.Clone(),
+		initial: initial,
 		sigma:   sigma,
 		base:    base,
 		opts:    opts,
@@ -93,28 +102,40 @@ func (in *Instance) Opts() Options { return in.opts }
 func (in *Instance) Consistent() bool { return in.sigma.Satisfied(in.initial) }
 
 // justifiedDeletions returns the cached justified deletions of a
-// violation, computing and caching them on first use.
+// violation, computing and caching them on first use. The cache key is the
+// interned body image, so the two orientations of an EGD match share one
+// entry and the lookup builds no strings.
 func (in *Instance) justifiedDeletions(v constraint.Violation) []ops.Op {
-	key := v.BodyKey()
-	in.delOpsMu.Lock()
+	key := v.BodyPack()
+	in.delOpsMu.RLock()
 	cached, ok := in.delOps[key]
-	if !ok {
-		cached = ops.JustifiedDeletions(v)
-		in.delOps[key] = cached
+	in.delOpsMu.RUnlock()
+	if ok {
+		return cached
+	}
+	computed := ops.JustifiedDeletions(v)
+	in.delOpsMu.Lock()
+	if cached, ok := in.delOps[key]; ok {
+		computed = cached
+	} else {
+		in.delOps[key] = computed
 	}
 	in.delOpsMu.Unlock()
-	return cached
+	return computed
 }
 
-// Root returns the state of the empty repairing sequence ε.
+// Root returns the state of the empty repairing sequence ε. The root's
+// violation set is computed once per instance and shared by every root
+// state (walks start from identical roots), so repeated walks skip the
+// from-scratch homomorphism search.
 func (in *Instance) Root() *State {
 	db := in.initial.Clone()
+	in.rootVioOnce.Do(func() {
+		in.rootViolations = constraint.FindViolations(db, in.sigma)
+	})
 	return &State{
 		inst:       in,
 		db:         db,
-		violations: constraint.FindViolations(db, in.sigma),
-		eliminated: map[string]bool{},
-		added:      map[string]bool{},
-		removed:    map[string]bool{},
+		violations: in.rootViolations,
 	}
 }

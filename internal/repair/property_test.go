@@ -86,33 +86,33 @@ func TestQuickEliminatedNeverReturns(t *testing.T) {
 	check := func(seed int64) bool {
 		inst := randomMixedInstance(seed)
 		ok := true
-		var dfs func(s *State, eliminated map[string]bool)
+		var dfs func(s *State, eliminated map[uint64]bool)
 		count := 0
-		dfs = func(s *State, eliminated map[string]bool) {
+		dfs = func(s *State, eliminated map[uint64]bool) {
 			count++
 			if !ok || count > 30000 {
 				return
 			}
-			for k := range eliminated {
-				if s.Violations().Has(k) {
-					t.Logf("seed %d: violation %s resurrected at %q", seed, k, s)
+			for id := range eliminated {
+				if s.Violations().Has(id) {
+					t.Logf("seed %d: violation %d resurrected at %q", seed, id, s)
 					ok = false
 					return
 				}
 			}
 			for _, op := range s.Extensions() {
 				child := s.Child(op)
-				nextElim := map[string]bool{}
-				for k := range eliminated {
-					nextElim[k] = true
+				nextElim := map[uint64]bool{}
+				for id := range eliminated {
+					nextElim[id] = true
 				}
 				for _, v := range s.Violations().Minus(child.Violations()) {
-					nextElim[v.Key()] = true
+					nextElim[v.ID()] = true
 				}
 				dfs(child, nextElim)
 			}
 		}
-		dfs(inst.Root(), map[string]bool{})
+		dfs(inst.Root(), map[uint64]bool{})
 		return ok
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {

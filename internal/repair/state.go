@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/constraint"
+	"repro/internal/intern"
 	"repro/internal/ops"
 	"repro/internal/relation"
 )
@@ -13,7 +14,11 @@ import (
 // Definition 4 incrementally. States form a tree: the root is the empty
 // sequence ε and each child extends its parent by one operation.
 //
-// States are immutable after creation; Child produces new states.
+// States are immutable after creation; Child produces new states. The
+// database is copy-on-write (children share the instance's sealed snapshot
+// and carry only their op deltas) and the bookkeeping sets are keyed by
+// interned fact and violation ids, so spawning a child costs O(depth)
+// small-integer map entries instead of O(|D|) string operations.
 type State struct {
 	inst       *Instance
 	parent     *State
@@ -21,11 +26,54 @@ type State struct {
 	depth      int
 	db         *relation.Database     // D^s_i, owned by this state
 	violations *constraint.Violations // V(D^s_i, Σ)
-	eliminated map[string]bool        // keys of violations eliminated at steps ≤ i
-	added      map[string]bool        // fact keys inserted so far
-	removed    map[string]bool        // fact keys deleted so far
+	eliminated idSet                  // violations eliminated at steps ≤ i
+	added      relation.FactSet       // facts inserted so far
+	removed    relation.FactSet       // facts deleted so far
 	extensions []ops.Op               // cached valid extensions (nil until computed)
 	extsReady  bool
+}
+
+// idSet is a sorted set of violation ids; cloning is a single copy and
+// membership a binary search, so per-child bookkeeping is O(depth) words.
+type idSet []uint64
+
+func (s idSet) has(id uint64) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == id
+}
+
+// insert adds id in place, keeping the slice sorted.
+func (s idSet) insert(id uint64) idSet {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == id {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = id
+	return s
+}
+
+func (s idSet) clone(extra int) idSet {
+	out := make(idSet, len(s), len(s)+extra)
+	copy(out, s)
+	return out
 }
 
 // Instance returns the repairing context.
@@ -87,31 +135,33 @@ func (s *State) Extensions() []ops.Op {
 	if s.extsReady {
 		return s.extensions
 	}
-	byKey := map[string]ops.Op{}
-	for _, v := range s.violations.All() {
-		for _, op := range s.inst.justifiedDeletions(v) {
-			byKey[op.Key()] = op
-		}
+	// Gather candidates (possibly with duplicates when violation bodies
+	// overlap), sort canonically, and dedup adjacent identical operations —
+	// interned operations compare by pointer, so no per-state hash map is
+	// needed.
+	vios := s.violations.ByID()
+	candidates := make([]ops.Op, 0, 4*len(vios))
+	for _, v := range vios {
+		candidates = append(candidates, s.inst.justifiedDeletions(v)...)
 		if v.Constraint.Kind() == constraint.TGD {
 			if s.inst.opts.NullInsertions {
 				if op, ok := ops.NullAddition(v, s.db); ok {
-					byKey[op.Key()] = op
+					candidates = append(candidates, op)
 				}
 			} else {
-				for _, op := range ops.JustifiedAdditions(v, s.db, s.inst.base) {
-					byKey[op.Key()] = op
-				}
+				candidates = append(candidates, ops.JustifiedAdditions(v, s.db, s.inst.base)...)
 			}
 		}
-	}
-	candidates := make([]ops.Op, 0, len(byKey))
-	for _, op := range byKey {
-		candidates = append(candidates, op)
 	}
 	ops.SortOps(candidates)
 
 	var valid []ops.Op
-	for _, op := range candidates {
+	var prev ops.Op
+	for i, op := range candidates {
+		if i > 0 && op.Equal(prev) {
+			continue
+		}
+		prev = op
 		if s.admissible(op) {
 			valid = append(valid, op)
 		}
@@ -127,11 +177,11 @@ func (s *State) admissible(op ops.Op) bool {
 	// No cancellation: an inserted fact must never have been removed and
 	// vice versa (condition 2).
 	for _, f := range op.Facts() {
-		k := f.Key()
-		if op.IsInsert() && s.removed[k] {
-			return false
-		}
-		if op.IsDelete() && s.added[k] {
+		if op.IsInsert() {
+			if s.removed.Has(f) {
+				return false
+			}
+		} else if s.added.Has(f) {
 			return false
 		}
 	}
@@ -142,12 +192,19 @@ func (s *State) admissible(op ops.Op) bool {
 	// most operations (e.g. any deletion under EGDs/DCs only) provably
 	// introduce none, which the predicate check below detects without
 	// touching the database.
-	preds := make([]string, 0, 2)
-	seenPred := map[string]bool{}
+	var predBuf [4]intern.Sym
+	preds := predBuf[:0]
 	for _, f := range op.Facts() {
-		if !seenPred[f.Pred] {
-			seenPred[f.Pred] = true
-			preds = append(preds, f.Pred)
+		p := f.Pred()
+		dup := false
+		for _, q := range preds {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			preds = append(preds, p)
 		}
 	}
 	if s.inst.sigma.MayIntroduceViolations(preds, op.IsInsert()) {
@@ -155,7 +212,7 @@ func (s *State) admissible(op ops.Op) bool {
 		introduced := constraint.IntroducedViolations(s.db, s.inst.sigma, s.violations, changed, op.IsInsert())
 		op.Undo(s.db, changed)
 		for _, v := range introduced {
-			if s.eliminated[v.Key()] {
+			if s.eliminated.has(v.ID()) {
 				return false
 			}
 		}
@@ -205,27 +262,24 @@ func (s *State) additionsStillJustified(del ops.Op) bool {
 func (s *State) Child(op ops.Op) *State {
 	db := s.db.Clone()
 	changed := op.Do(db)
-	after := constraint.UpdateViolations(db, s.inst.sigma, s.violations, changed, op.IsInsert())
+	after, gone := constraint.UpdateViolationsDiff(db, s.inst.sigma, s.violations, changed, op.IsInsert())
 
-	eliminated := make(map[string]bool, len(s.eliminated)+4)
-	for k := range s.eliminated {
-		eliminated[k] = true
-	}
-	for _, v := range s.violations.Minus(after) {
-		eliminated[v.Key()] = true
+	eliminated := s.eliminated.clone(len(gone))
+	for _, v := range gone {
+		eliminated = eliminated.insert(v.ID())
 	}
 
 	added := s.added
 	removed := s.removed
 	if op.IsInsert() {
-		added = cloneSet(s.added)
+		added = s.added.Clone(op.Size())
 		for _, f := range op.Facts() {
-			added[f.Key()] = true
+			added, _ = added.Insert(f)
 		}
 	} else {
-		removed = cloneSet(s.removed)
+		removed = s.removed.Clone(op.Size())
 		for _, f := range op.Facts() {
-			removed[f.Key()] = true
+			removed, _ = removed.Insert(f)
 		}
 	}
 
@@ -250,18 +304,18 @@ func (s *State) Child(op ops.Op) *State {
 func (s *State) ChildInPlace(op ops.Op) *State {
 	db := s.db
 	changed := op.Do(db)
-	after := constraint.UpdateViolations(db, s.inst.sigma, s.violations, changed, op.IsInsert())
+	after, gone := constraint.UpdateViolationsDiff(db, s.inst.sigma, s.violations, changed, op.IsInsert())
 
 	eliminated := s.eliminated
-	for _, v := range s.violations.Minus(after) {
-		eliminated[v.Key()] = true
+	for _, v := range gone {
+		eliminated = eliminated.insert(v.ID())
 	}
 	added, removed := s.added, s.removed
 	for _, f := range op.Facts() {
 		if op.IsInsert() {
-			added[f.Key()] = true
+			added, _ = added.Insert(f)
 		} else {
-			removed[f.Key()] = true
+			removed, _ = removed.Insert(f)
 		}
 	}
 	s.db = nil
@@ -276,14 +330,6 @@ func (s *State) ChildInPlace(op ops.Op) *State {
 		added:      added,
 		removed:    removed,
 	}
-}
-
-func cloneSet(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m)+2)
-	for k := range m {
-		out[k] = true
-	}
-	return out
 }
 
 // IsComplete reports whether the sequence cannot be extended.

@@ -98,7 +98,7 @@ func Validate(inst *Instance, seq []ops.Op) error {
 	for i := 1; i <= len(seq); i++ {
 		for _, v := range viol[i-1].Minus(viol[i]) {
 			for j := i + 1; j <= len(seq); j++ {
-				if viol[j].Has(v.Key()) {
+				if viol[j].Has(v.ID()) {
 					return fmt.Errorf("req2: violation %s eliminated at step %d reappears at step %d", v.Key(), i, j)
 				}
 			}
@@ -164,7 +164,7 @@ func opInBase(inst *Instance, op ops.Op) bool {
 		if !inst.base.Contains(f) && !ops.HasNulls(f) {
 			return false
 		}
-		if arity, ok := inst.base.Schema().Arity(f.Pred); !ok || arity != len(f.Args) {
+		if arity, ok := inst.base.Schema().ArityOf(f.Pred()); !ok || arity != f.Arity() {
 			return false
 		}
 	}

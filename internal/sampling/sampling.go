@@ -34,10 +34,34 @@ var ErrWalkBudget = errors.New("sampling: walk exceeded the step budget")
 // Walk performs one random walk down the repairing Markov chain from ε to
 // an absorbing state and returns the final state. maxSteps ≤ 0 means
 // unbounded (termination is guaranteed by Proposition 2).
+//
+// Generators that expose integer weights (markov.IntWeighter) step without
+// any big.Rat arithmetic; the sampled edges are identical to the exact
+// path's for the same seed. Other generators go through markov.Step.
 func Walk(inst *repair.Instance, g markov.Generator, rng *rand.Rand, maxSteps int) (*repair.State, error) {
+	iw, fast := g.(markov.IntWeighter)
 	s := inst.Root()
 	steps := 0
 	for {
+		if fast {
+			exts := s.Extensions()
+			if len(exts) == 0 {
+				return s, nil
+			}
+			ws, ok, err := iw.IntWeights(s, exts)
+			if err != nil {
+				return nil, fmt.Errorf("generator %s at state %q: %w", g.Name(), s, err)
+			}
+			if ok {
+				if maxSteps > 0 && steps >= maxSteps {
+					return nil, ErrWalkBudget
+				}
+				s = s.ChildInPlace(exts[prob.PickInt(rng, ws)])
+				steps++
+				continue
+			}
+			fast = false // generator declined; use the exact path from here on
+		}
 		edges, err := markov.Step(g, s)
 		if err != nil {
 			return nil, err

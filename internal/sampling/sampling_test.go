@@ -274,3 +274,57 @@ func TestEstimateBadParams(t *testing.T) {
 		t.Error("n = 0 must fail")
 	}
 }
+
+// ratOnly hides a generator's IntWeighter implementation, forcing Walk onto
+// the exact big.Rat path through markov.Step.
+type ratOnly struct{ markov.Generator }
+
+// TestWalkIntWeightFastPathBitIdentical: for integer-weight generators the
+// fast sampling path must follow exactly the same edges as the exact
+// rational path from the same seed — the RNG consumption and the picked
+// indexes coincide, so the final states are identical, not just equal in
+// distribution.
+func TestWalkIntWeightFastPathBitIdentical(t *testing.T) {
+	inst, _ := preferenceInstance(t)
+	gens := []markov.Generator{generators.Uniform{}, generators.Preference{}}
+	for _, g := range gens {
+		if _, ok := g.(markov.IntWeighter); !ok {
+			t.Fatalf("generator %s does not implement IntWeighter", g.Name())
+		}
+		for seed := int64(0); seed < 200; seed++ {
+			fast, err := Walk(inst, g, rand.New(rand.NewSource(seed)), 0)
+			if err != nil {
+				t.Fatalf("%s fast walk: %v", g.Name(), err)
+			}
+			exact, err := Walk(inst, ratOnly{g}, rand.New(rand.NewSource(seed)), 0)
+			if err != nil {
+				t.Fatalf("%s exact walk: %v", g.Name(), err)
+			}
+			if fast.Key() != exact.Key() {
+				t.Fatalf("%s seed %d: fast walk %q, exact walk %q", g.Name(), seed, fast, exact)
+			}
+		}
+	}
+}
+
+// TestEstimatorDeterministicAcrossWorkerCounts: for a fixed seed the merged
+// counts are identical no matter how many workers split the walks, because
+// worker RNGs are derived deterministically and shares are fixed.
+func TestEstimatorDeterministicAcrossWorkerCounts(t *testing.T) {
+	inst, q := preferenceInstance(t)
+	var want *Run
+	for _, workers := range []int{1, 2, 4} {
+		est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 99, Workers: workers}
+		run, err := est.EstimateWithN(q, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = run
+			continue
+		}
+		if run.SuccessfulWalks+run.FailingWalks != want.SuccessfulWalks+want.FailingWalks {
+			t.Fatalf("workers=%d: walk partition differs", workers)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's root benchmark suite and emit machine-readable
+# JSON so the performance trajectory is tracked PR-over-PR.
+#
+# Usage:
+#   scripts/bench.sh                         # run, write bench_out.json
+#   scripts/bench.sh -o BENCH_PR1.json       # choose output path
+#   scripts/bench.sh -baseline seed.txt      # fold a saved `go test -bench`
+#                                            # text output in as "baseline"
+#                                            # and compute speedups
+#   scripts/bench.sh -pattern 'Survey|Walks' # restrict the benchmark set
+#   scripts/bench.sh -benchtime 2s           # forward to go test
+#
+# The JSON shape is:
+#   {"meta": {...}, "current": {name: {ns_per_op, bytes_per_op, allocs_per_op}},
+#    "baseline": {...}?, "speedup": {name: ratio}?}
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="bench_out.json"
+baseline=""
+pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps'
+benchtime="2s"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o) out="$2"; shift 2 ;;
+    -baseline) baseline="$2"; shift 2 ;;
+    -pattern) pattern="$2"; shift 2 ;;
+    -benchtime) benchtime="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Each benchmark family runs in its own process so allocator/GC state from
+# one family cannot skew another's numbers.
+echo "running benchmarks ($pattern, benchtime=$benchtime, one process per family)..." >&2
+IFS='|' read -ra families <<<"$pattern"
+for fam in "${families[@]}"; do
+  go test -run '^$' -bench "$fam" -benchmem -benchtime "$benchtime" -timeout 30m . | tee -a "$raw" >&2
+done
+
+python3 - "$raw" "$out" "$baseline" <<'PY'
+import json, re, subprocess, sys
+
+raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+LINE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?"
+)
+
+def parse(path):
+    bench = {}
+    with open(path) as fh:
+        for line in fh:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name = m.group(1)
+            bench[name] = {
+                "ns_per_op": float(m.group(2)),
+                "bytes_per_op": float(m.group(3)) if m.group(3) else None,
+                "allocs_per_op": float(m.group(4)) if m.group(4) else None,
+            }
+    return bench
+
+current = parse(raw_path)
+doc = {
+    "meta": {
+        "go": subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip(),
+        "commit": subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                                 capture_output=True, text=True).stdout.strip(),
+    },
+    "current": current,
+}
+if baseline_path:
+    base = parse(baseline_path)
+    doc["baseline"] = base
+    doc["speedup"] = {
+        name: round(base[name]["ns_per_op"] / cur["ns_per_op"], 2)
+        for name, cur in current.items()
+        if name in base and cur["ns_per_op"] > 0
+    }
+
+with open(out_path, "w") as fh:
+    json.dump(doc, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+print(f"wrote {out_path}", file=sys.stderr)
+PY
