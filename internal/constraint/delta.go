@@ -38,13 +38,14 @@ type changeSet struct {
 }
 
 func newChangeSet(changed []relation.Fact) changeSet {
-	var cs changeSet
+	// The fact slice is aliased, not copied: callers pass the change set of
+	// an applied operation and do not mutate it while violations update.
+	cs := changeSet{facts: changed}
 	for _, f := range changed {
 		p := f.Pred()
 		if !cs.hasPred(p) {
 			cs.preds = append(cs.preds, p)
 		}
-		cs.facts = append(cs.facts, f)
 	}
 	return cs
 }
@@ -217,12 +218,31 @@ func bodyIntersects(v Violation, cs changeSet) bool {
 // forEachHomTouching enumerates the homomorphisms from atoms into d that
 // map at least one atom onto a changed fact (the semi-naive delta): for
 // each atom position in turn, the atom is pinned to each changed fact and
-// the remaining atoms are matched against the full database. Duplicate
-// homomorphisms (touching several changed facts) are emitted once; the
-// dedup key packs the bound symbols in canonical variable order.
+// the remaining atoms are matched against the full database — with the
+// pivot's variables pre-bound, so the indexed search touches only matching
+// buckets. Duplicate homomorphisms (touching several changed facts) are
+// emitted once; the dedup key packs the bound symbols in canonical
+// variable order. A single (pivot atom, changed fact) pair cannot produce
+// duplicates, so the dedup machinery is skipped entirely in that common
+// walk-step case.
 func forEachHomTouching(atoms []logic.Atom, d *relation.Database, cs changeSet, fn func(logic.Subst)) {
-	vars := logic.VarSymsOf(atoms)
-	seen := map[string]bool{}
+	pairs := 0
+	for _, a := range atoms {
+		for _, f := range cs.facts {
+			if f.Pred() == a.Pred {
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return
+	}
+	var vars []intern.Sym
+	var seen map[string]bool
+	if pairs > 1 {
+		vars = logic.VarSymsOf(atoms)
+		seen = map[string]bool{}
+	}
 	var packBuf [64]byte
 	var valBuf [16]intern.Sym
 	for i, pivot := range atoms {
@@ -262,6 +282,10 @@ func forEachHomTouching(atoms []logic.Atom, d *relation.Database, cs changeSet, 
 				continue
 			}
 			relation.ForEachHom(rest, d, base, func(h logic.Subst) bool {
+				if seen == nil {
+					fn(h)
+					return true
+				}
 				vals := valBuf[:0]
 				for _, v := range vars {
 					vals = append(vals, h[v])

@@ -22,6 +22,7 @@ type Set struct {
 	// touched predicate instead of a scan over the whole set.
 	bodyPreds    map[intern.Sym]bool
 	tgdHeadPreds map[intern.Sym]bool
+	hasTGD       bool
 }
 
 // NewSet builds a set from the given constraints, assigning sequential IDs
@@ -54,11 +55,18 @@ func (s *Set) Add(c *Constraint) {
 		s.bodyPreds[a.Pred] = true
 	}
 	if c.kind == TGD {
+		s.hasTGD = true
 		for _, a := range c.head {
 			s.tgdHeadPreds[a.Pred] = true
 		}
 	}
 }
+
+// HasTGDs reports whether the set contains a tuple-generating dependency.
+// Without TGDs the repairing operation space is deletion-only: every
+// justified operation removes a subset of some violation body, which lets
+// the repair layer derive a state's extensions from its parent's.
+func (s *Set) HasTGDs() bool { return s.hasTGD }
 
 // Len reports the number of constraints.
 func (s *Set) Len() int { return len(s.constraints) }

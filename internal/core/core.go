@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"slices"
 	"sort"
 
 	"repro/internal/fo"
@@ -176,8 +177,10 @@ func (s *Semantics) OCA(q *fo.Query) *AnswerSet {
 			out.Answers = append(out.Answers, *a)
 		}
 	}
+	// Sort by the tuples themselves: TupleKey is a process-local interned
+	// encoding with no stable order.
 	sort.Slice(out.Answers, func(i, j int) bool {
-		return fo.TupleKey(out.Answers[i].Tuple) < fo.TupleKey(out.Answers[j].Tuple)
+		return slices.Compare(out.Answers[i].Tuple, out.Answers[j].Tuple) < 0
 	})
 	return out
 }

@@ -176,7 +176,12 @@ func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
 			unconstrained = append(unconstrained, i)
 		}
 	}
-	dom := d.DomSyms()
+	// The active domain is only enumerated for output variables missing
+	// from the body; skip materializing it otherwise.
+	var dom []intern.Sym
+	if len(unconstrained) > 0 {
+		dom = d.DomSyms()
+	}
 
 	seen := map[string]bool{}
 	var out [][]string
@@ -188,8 +193,11 @@ func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
 			out = append(out, intern.Names(tuple))
 		}
 	}
+	// One output buffer for the whole enumeration: emit reads it before
+	// returning and copies what it keeps, so each homomorphism (and each
+	// domain expansion below) may overwrite it in place.
+	tuple := make([]intern.Sym, len(q.Out))
 	relation.ForEachHom(atoms, d, logic.NewSubst(), func(h logic.Subst) bool {
-		tuple := make([]intern.Sym, len(q.Out))
 		for i, v := range q.Out {
 			if c, ok := h.Lookup(v.Sym()); ok {
 				tuple[i] = c
@@ -214,13 +222,36 @@ func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
 	return out
 }
 
-// TupleKey encodes an answer tuple canonically for map keys.
+// TupleKey encodes an answer tuple canonically for map keys: the packed
+// interned symbols of its elements. Equal tuples (and only equal tuples)
+// share a key. The encoding is process-local — interning order varies
+// between runs — so keys must never be persisted or ordered; sort by the
+// tuples themselves (SortTuples) for deterministic output.
+//
+// Symbols are looked up, never created: answer tuples are drawn from the
+// active domain, whose constants are interned already, and a tuple with a
+// never-interned element cannot equal any such tuple. The two cases carry
+// distinct tags so their namespaces cannot collide.
 func TupleKey(tuple []string) string {
-	parts := make([]string, len(tuple))
-	for i, c := range tuple {
-		parts[i] = fmt.Sprintf("%q", c)
+	var symBuf [16]intern.Sym
+	syms := symBuf[:0]
+	for _, c := range tuple {
+		s, ok := intern.Lookup(c)
+		if !ok {
+			// Foreign tuple (e.g. a caller probing for an answer that was
+			// never in any database): quote it without touching the
+			// process-wide symbol table.
+			parts := make([]string, len(tuple))
+			for i, e := range tuple {
+				parts[i] = fmt.Sprintf("%q", e)
+			}
+			return "s(" + strings.Join(parts, ",") + ")"
+		}
+		syms = append(syms, s)
 	}
-	return "(" + strings.Join(parts, ",") + ")"
+	var packBuf [64]byte
+	packBuf[0] = 'p'
+	return string(intern.PackSyms(packBuf[:1], syms))
 }
 
 // TupleString renders a tuple for display, e.g. (a, b).

@@ -40,6 +40,18 @@ func (s Subst) Bind(variable, constant intern.Sym) bool {
 	return true
 }
 
+// Val resolves a term to the constant symbol it denotes under the
+// substitution: a constant denotes itself, a bound variable its binding.
+// ok is false exactly for unbound variables. The join planner and matcher
+// use this to decide whether an atom argument pins an index probe.
+func (s Subst) Val(t Term) (intern.Sym, bool) {
+	if !t.isVar {
+		return t.sym, true
+	}
+	c, ok := s[t.sym]
+	return c, ok
+}
+
 // Lookup reports the binding of a variable symbol, if any.
 func (s Subst) Lookup(variable intern.Sym) (intern.Sym, bool) {
 	v, ok := s[variable]

@@ -3,10 +3,12 @@ package relation
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/intern"
+	"repro/internal/logic"
 )
 
 // TestCOWDatabaseShadowModel drives a copy-on-write database through long
@@ -52,6 +54,25 @@ func TestCOWDatabaseShadowModel(t *testing.T) {
 			for _, f := range got {
 				if !pr.shadow[f] {
 					return fmt.Errorf("FactsByPred(%s) returned phantom fact %s", p, f)
+				}
+			}
+			if got, want := pr.db.PredCount(intern.S(p)), len(byPred[p]); got != want {
+				return fmt.Errorf("PredCount(%s) = %d, want %d", p, got, want)
+			}
+			// The argument indexes (snapshot buckets ∪ delta) must agree
+			// with a filtered scan of the shadow at every position.
+			for pos := 0; pos < 2; pos++ {
+				for _, c := range consts {
+					sym := intern.S(c)
+					want := 0
+					for f := range pr.shadow {
+						if f.PredName() == p && pos < f.Arity() && f.Arg(pos) == sym {
+							want++
+						}
+					}
+					if got := pr.db.CountAt(intern.S(p), pos, sym); got != want {
+						return fmt.Errorf("CountAt(%s, %d, %s) = %d, want %d", p, pos, c, got, want)
+					}
 				}
 			}
 		}
@@ -118,6 +139,138 @@ func TestCOWDatabaseShadowModel(t *testing.T) {
 		for _, pr := range pairs {
 			if err := checkPair(seed, -1, pr); err != nil {
 				t.Fatalf("seed %d final: %v", seed, err)
+			}
+		}
+	}
+}
+
+// naiveHoms is the from-scratch reference for the indexed homomorphism
+// search: plain backtracking in the given atom order over a full scan of
+// the fact list — no indexes, no join planning, no delta/snapshot logic.
+func naiveHoms(atoms []logic.Atom, facts []Fact, base logic.Subst) []logic.Subst {
+	var out []logic.Subst
+	var rec func(i int, cur logic.Subst)
+	rec = func(i int, cur logic.Subst) {
+		if i == len(atoms) {
+			out = append(out, cur.Clone())
+			return
+		}
+		a := atoms[i]
+		for _, f := range facts {
+			if f.Pred() != a.Pred || f.Arity() != len(a.Args) {
+				continue
+			}
+			next := cur.Clone()
+			ok := true
+			for j, t := range a.Args {
+				c := f.Arg(j)
+				if t.IsConst() {
+					if t.Sym() != c {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !next.Bind(t.Sym(), c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i+1, next)
+			}
+		}
+	}
+	rec(0, base.Clone())
+	return out
+}
+
+// homKeys canonicalizes a homomorphism list for comparison.
+func homKeys(hs []logic.Subst) string {
+	keys := make([]string, len(hs))
+	for i, h := range hs {
+		keys[i] = h.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// TestIndexedHomSearchMatchesNaiveScan drives copy-on-write databases
+// through random interleavings of inserts, deletes, clones, and seals and
+// checks, at every step, that the indexed ForEachHom enumerates exactly the
+// homomorphisms a from-scratch unindexed scan of the shadow fact set finds —
+// for joins, constants, repeated variables, and pre-bound base
+// substitutions alike.
+func TestIndexedHomSearchMatchesNaiveScan(t *testing.T) {
+	x, y, z := logic.Var("X"), logic.Var("Y"), logic.Var("Z")
+	queries := [][]logic.Atom{
+		{logic.NewAtom("R", x, y)},
+		{logic.NewAtom("R", x, y), logic.NewAtom("R", y, z)},
+		{logic.NewAtom("R", x, x)},
+		{logic.NewAtom("R", logic.Const("a"), y)},
+		{logic.NewAtom("R", x, y), logic.NewAtom("S", y)},
+		{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		{logic.NewAtom("S", x), logic.NewAtom("T", x, y), logic.NewAtom("R", y, logic.Const("b"))},
+	}
+	bases := []logic.Subst{
+		nil,
+		{intern.S("X"): intern.S("a")},
+		{intern.S("Y"): intern.S("c")},
+	}
+
+	preds := []string{"R", "S", "T"}
+	consts := []string{"a", "b", "c", "d"}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		randomFact := func() Fact {
+			p := preds[rng.Intn(len(preds))]
+			if p == "S" {
+				return NewFact(p, consts[rng.Intn(len(consts))])
+			}
+			return NewFact(p, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))])
+		}
+		type pair struct {
+			db     *Database
+			shadow map[Fact]bool
+		}
+		pairs := []pair{{db: NewDatabase(), shadow: map[Fact]bool{}}}
+		for step := 0; step < 250; step++ {
+			pr := pairs[rng.Intn(len(pairs))]
+			switch op := rng.Intn(10); {
+			case op < 5:
+				f := randomFact()
+				pr.db.Insert(f)
+				pr.shadow[f] = true
+			case op < 8:
+				f := randomFact()
+				pr.db.Delete(f)
+				delete(pr.shadow, f)
+			case op < 9:
+				if len(pairs) < 5 {
+					shadow := make(map[Fact]bool, len(pr.shadow))
+					for f := range pr.shadow {
+						shadow[f] = true
+					}
+					pairs = append(pairs, pair{db: pr.db.Clone(), shadow: shadow})
+				}
+			default:
+				pr.db.Seal()
+			}
+
+			facts := make([]Fact, 0, len(pr.shadow))
+			for f := range pr.shadow {
+				facts = append(facts, f)
+			}
+			qi := rng.Intn(len(queries))
+			base := bases[rng.Intn(len(bases))]
+			if base == nil {
+				base = logic.NewSubst()
+			}
+			got := homKeys(FindHoms(queries[qi], pr.db, base))
+			want := homKeys(naiveHoms(queries[qi], facts, base))
+			if got != want {
+				t.Fatalf("seed %d step %d query %d: indexed homs %q, want %q",
+					seed, step, qi, got, want)
 			}
 		}
 	}

@@ -14,8 +14,9 @@ import (
 type snapshot struct {
 	facts   map[Fact]struct{}
 	byPred  map[intern.Sym][]Fact
-	domSyms []intern.Sym // sorted by symbol id
-	domCnt  []int32      // parallel occurrence counts
+	idx     map[intern.Sym]*predIndex // secondary argument indexes (index.go)
+	domSyms []intern.Sym              // sorted by symbol id
+	domCnt  []int32                   // parallel occurrence counts
 	size    int
 }
 
@@ -475,9 +476,10 @@ func (d *Database) Clone() *Database {
 	}
 }
 
-// Seal collapses the delta into a fresh immutable snapshot, after which
-// Clone is O(1) and reads never consult delta slices. Sealing an unchanged
-// database is a no-op. The caller must be the only writer.
+// Seal collapses the delta into a fresh immutable snapshot — including the
+// per-predicate argument indexes the homomorphism search probes — after
+// which Clone is O(1) and reads never consult delta slices. Sealing an
+// unchanged database is a no-op. The caller must be the only writer.
 func (d *Database) Seal() {
 	if len(d.added) == 0 && len(d.removed) == 0 {
 		return
@@ -497,6 +499,7 @@ func (d *Database) Seal() {
 		}
 	})
 	snap.domSyms, snap.domCnt = dom.syms, dom.cnt
+	snap.idx = buildIndex(snap.byPred)
 	d.snap = snap
 	d.added = nil
 	d.removed = nil

@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"repro/internal/intern"
+)
+
+// This file implements the secondary argument indexes of sealed snapshots:
+// for every predicate, every argument position, and every constant symbol,
+// the packed list of facts carrying that constant at that position. The
+// homomorphism search consults them to replace linear per-predicate scans
+// with O(bucket) candidate enumeration whenever an atom argument is pinned
+// by a constant or an already-bound variable, and the join planner reads
+// real bucket cardinalities instead of guessing.
+//
+// Indexes live exclusively in the immutable snapshot, so they are built
+// once per Seal and shared by every clone for free — exactly like the fact
+// set itself. Reads on a database with a pending delta combine the
+// snapshot buckets with a scan of the (small, walk-sized) added/removed
+// slices; ForEachHom folds oversized deltas into a fresh snapshot before
+// searching, so the delta scan stays bounded by autoSealFloor.
+
+// predIndex is the secondary index of one predicate: pos[j] maps the
+// constant at argument position j to the facts carrying it there. Bucket
+// slices are subslices of one packed backing array per position, grouped
+// in byPred order (so indexed enumeration visits survivors in the same
+// relative order as a filtered scan of FactsByPred).
+type predIndex struct {
+	pos []map[intern.Sym][]Fact
+}
+
+// buildPredIndex indexes the facts of one predicate. Facts of heterogeneous
+// arity are indexed at every position they actually have; the arity check
+// during unification filters the rest.
+func buildPredIndex(fs []Fact) *predIndex {
+	maxAr := 0
+	for _, f := range fs {
+		if a := f.Arity(); a > maxAr {
+			maxAr = a
+		}
+	}
+	pi := &predIndex{pos: make([]map[intern.Sym][]Fact, maxAr)}
+	for j := 0; j < maxAr; j++ {
+		counts := make(map[intern.Sym]int)
+		total := 0
+		for _, f := range fs {
+			if args := f.Args(); j < len(args) {
+				counts[args[j]]++
+				total++
+			}
+		}
+		backing := make([]Fact, total)
+		// Assign each symbol a contiguous span in first-occurrence order,
+		// then fill spans in byPred order so buckets preserve it.
+		offsets := make(map[intern.Sym]int, len(counts))
+		next := make(map[intern.Sym]int, len(counts))
+		cum := 0
+		for _, f := range fs {
+			args := f.Args()
+			if j >= len(args) {
+				continue
+			}
+			s := args[j]
+			if _, seen := offsets[s]; !seen {
+				offsets[s] = cum
+				next[s] = cum
+				cum += counts[s]
+			}
+			backing[next[s]] = f
+			next[s]++
+		}
+		buckets := make(map[intern.Sym][]Fact, len(counts))
+		for s, off := range offsets {
+			buckets[s] = backing[off : off+counts[s] : off+counts[s]]
+		}
+		pi.pos[j] = buckets
+	}
+	return pi
+}
+
+// buildIndex builds the per-predicate argument indexes of a snapshot.
+func buildIndex(byPred map[intern.Sym][]Fact) map[intern.Sym]*predIndex {
+	idx := make(map[intern.Sym]*predIndex, len(byPred))
+	for p, fs := range byPred {
+		idx[p] = buildPredIndex(fs)
+	}
+	return idx
+}
+
+// bucket returns the snapshot facts with sym at argument position pos of
+// the predicate; nil when the snapshot holds no such fact. Delta facts are
+// not included — callers on a dirty database must consult added/removed.
+func (s *snapshot) bucket(pred intern.Sym, pos int, sym intern.Sym) []Fact {
+	pi := s.idx[pred]
+	if pi == nil || pos >= len(pi.pos) {
+		return nil
+	}
+	return pi.pos[pos][sym]
+}
+
+// PredCount reports the number of facts with the given predicate without
+// materializing a merged per-predicate view.
+func (d *Database) PredCount(pred intern.Sym) int {
+	n := len(d.snap.byPred[pred])
+	if len(d.added) > 0 {
+		n += d.added.countPred(pred)
+	}
+	if len(d.removed) > 0 {
+		n -= d.removed.countPred(pred)
+	}
+	return n
+}
+
+// CountAt reports the number of facts with the given predicate whose
+// argument at position pos is sym: the snapshot bucket size adjusted by a
+// scan of the delta. It is exact; the join planner uses it as the
+// cardinality of an index probe.
+func (d *Database) CountAt(pred intern.Sym, pos int, sym intern.Sym) int {
+	n := len(d.snap.bucket(pred, pos, sym))
+	for _, f := range d.added {
+		if f.Pred() == pred && pos < f.Arity() && f.Arg(pos) == sym {
+			n++
+		}
+	}
+	for _, f := range d.removed {
+		if f.Pred() == pred && pos < f.Arity() && f.Arg(pos) == sym {
+			n--
+		}
+	}
+	return n
+}
+
+// avgBucket estimates the bucket size of an index probe at (pred, pos)
+// whose probe symbol is not yet known (a variable bound only at evaluation
+// time): the mean snapshot bucket size, capped by the predicate count.
+func (d *Database) avgBucket(pred intern.Sym, pos int) int {
+	total := d.PredCount(pred)
+	if pi := d.snap.idx[pred]; pi != nil && pos < len(pi.pos) {
+		if k := len(pi.pos[pos]); k > 0 {
+			if est := (len(d.snap.byPred[pred]) + k - 1) / k; est < total {
+				return est
+			}
+		}
+	}
+	return total
+}
+
+// forEachMatch enumerates the facts with the given predicate carrying sym
+// at argument position pos: the snapshot bucket (skipping removed facts)
+// followed by the matching added facts, i.e. the same relative order as a
+// filtered scan of FactsByPred. It reports whether enumeration completed
+// (fn returning false stops it early).
+func (d *Database) forEachMatch(pred intern.Sym, pos int, sym intern.Sym, fn func(Fact) bool) bool {
+	for _, f := range d.snap.bucket(pred, pos, sym) {
+		if len(d.removed) > 0 && d.removed.Has(f) {
+			continue
+		}
+		if !fn(f) {
+			return false
+		}
+	}
+	for _, f := range d.added {
+		if f.Pred() != pred {
+			continue
+		}
+		if args := f.Args(); pos >= len(args) || args[pos] != sym {
+			continue
+		}
+		if !fn(f) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/intern"
+	"repro/internal/logic"
+)
+
+// scanCountAt is the from-scratch reference for CountAt: a filtered scan of
+// the full fact list.
+func scanCountAt(fs []Fact, pred intern.Sym, pos int, sym intern.Sym) int {
+	n := 0
+	for _, f := range fs {
+		if f.Pred() == pred && pos < f.Arity() && f.Arg(pos) == sym {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSealedIndexMatchesScan: after Seal, every (pred, pos, sym) bucket
+// agrees with a filtered scan, both in cardinality and in membership.
+func TestSealedIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDatabase()
+	consts := make([]string, 9)
+	for i := range consts {
+		consts[i] = fmt.Sprintf("c%d", i)
+	}
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.Insert(NewFact("R", consts[rng.Intn(9)], consts[rng.Intn(9)]))
+		case 1:
+			d.Insert(NewFact("S", consts[rng.Intn(9)]))
+		default:
+			d.Insert(NewFact("T", consts[rng.Intn(9)], consts[rng.Intn(9)], consts[rng.Intn(9)]))
+		}
+	}
+	d.Seal()
+	facts := d.Facts()
+	for _, pred := range []string{"R", "S", "T", "Absent"} {
+		p := intern.S(pred)
+		for pos := 0; pos < 3; pos++ {
+			for _, c := range append(consts, "absent") {
+				sym := intern.S(c)
+				want := scanCountAt(facts, p, pos, sym)
+				if got := d.CountAt(p, pos, sym); got != want {
+					t.Fatalf("CountAt(%s, %d, %s) = %d, want %d", pred, pos, c, got, want)
+				}
+				seen := 0
+				d.forEachMatch(p, pos, sym, func(f Fact) bool {
+					if f.Pred() != p || pos >= f.Arity() || f.Arg(pos) != sym {
+						t.Fatalf("forEachMatch(%s, %d, %s) yielded non-matching fact %s", pred, pos, c, f)
+					}
+					if !d.Contains(f) {
+						t.Fatalf("forEachMatch yielded phantom fact %s", f)
+					}
+					seen++
+					return true
+				})
+				if seen != want {
+					t.Fatalf("forEachMatch(%s, %d, %s) yielded %d facts, want %d", pred, pos, c, seen, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCountAtAcrossDelta: CountAt stays exact while inserts and deletes
+// accumulate in the copy-on-write delta on top of a sealed snapshot.
+func TestCountAtAcrossDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDatabase()
+	consts := []string{"a", "b", "c", "d"}
+	randomFact := func() Fact {
+		return NewFact("R", consts[rng.Intn(4)], consts[rng.Intn(4)])
+	}
+	for i := 0; i < 40; i++ {
+		d.Insert(randomFact())
+	}
+	d.Seal()
+	for step := 0; step < 120; step++ {
+		if rng.Intn(2) == 0 {
+			d.Insert(randomFact())
+		} else {
+			d.Delete(randomFact())
+		}
+		facts := d.Facts()
+		p := intern.S("R")
+		for pos := 0; pos < 2; pos++ {
+			for _, c := range consts {
+				sym := intern.S(c)
+				if got, want := d.CountAt(p, pos, sym), scanCountAt(facts, p, pos, sym); got != want {
+					t.Fatalf("step %d: CountAt(R, %d, %s) = %d, want %d", step, pos, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachHomSealsBulkDeltas: a join search over a database with a
+// bulk-load-sized pending delta folds the delta into an indexed snapshot
+// first and still finds exactly the right homomorphisms.
+func TestForEachHomSealsBulkDeltas(t *testing.T) {
+	d := NewDatabase()
+	n := 0
+	for ; n < 600; n++ {
+		d.Insert(NewFact("E", fmt.Sprintf("n%d", n), fmt.Sprintf("n%d", n+1)))
+	}
+	d.Seal()
+	// A delta above the floor but below half the size dodges the geometric
+	// auto-seal, leaving the search itself to fold it in.
+	for ; n < 900; n++ {
+		d.Insert(NewFact("E", fmt.Sprintf("n%d", n), fmt.Sprintf("n%d", n+1)))
+	}
+	if d.DeltaSize() < autoSealFloor {
+		t.Fatalf("setup: delta %d below the auto-seal floor", d.DeltaSize())
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	path := []logic.Atom{logic.NewAtom("E", x, y), logic.NewAtom("E", y, z)}
+	got := CountHoms(path, d, nil)
+	if want := n - 1; got != want {
+		t.Fatalf("CountHoms on chain of %d edges = %d, want %d", n, got, want)
+	}
+	if d.DeltaSize() != 0 {
+		t.Fatalf("ForEachHom left a %d-fact delta unsealed", d.DeltaSize())
+	}
+	if d.Size() != n {
+		t.Fatalf("sealing during search changed the database: size %d, want %d", d.Size(), n)
+	}
+}
+
+// TestIndexIgnoresArityMismatch: facts of the same predicate with different
+// arities are indexed at the positions they have, and unification still
+// filters by arity.
+func TestIndexIgnoresArityMismatch(t *testing.T) {
+	d := FromFacts(NewFact("R", "a"), NewFact("R", "a", "b"), NewFact("R", "a", "b", "c"))
+	d.Seal()
+	if got := d.CountAt(intern.S("R"), 0, intern.S("a")); got != 3 {
+		t.Fatalf("CountAt(R, 0, a) = %d, want 3", got)
+	}
+	if got := d.CountAt(intern.S("R"), 2, intern.S("c")); got != 1 {
+		t.Fatalf("CountAt(R, 2, c) = %d, want 1", got)
+	}
+	homs := FindHoms([]logic.Atom{logic.NewAtom("R", logic.Const("a"), logic.Var("y"))}, d, nil)
+	if len(homs) != 1 {
+		t.Fatalf("constant-pinned search found %d homs, want 1 (arity filter)", len(homs))
+	}
+}

@@ -49,6 +49,13 @@ type Instance struct {
 	// share it (violation sets are immutable once built).
 	rootVioOnce    sync.Once
 	rootViolations *constraint.Violations
+
+	// rootExts caches the valid extensions of the empty sequence. Every
+	// walk and exploration starts at ε over the same sealed database and
+	// the shared root violation set, so the enumeration is a pure function
+	// of the instance and is computed once (see State.Extensions).
+	rootExtOnce sync.Once
+	rootExts    []ops.Op
 }
 
 // NewInstance builds the context for repairing d under sigma. The database

@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"slices"
 	"strings"
 
 	"repro/internal/constraint"
@@ -135,6 +136,40 @@ func (s *State) Extensions() []ops.Op {
 	if s.extsReady {
 		return s.extensions
 	}
+	if s.parent == nil && s.inst != nil {
+		// Root states are interchangeable — same sealed database, shared
+		// violation set — so the enumeration is computed once per instance
+		// and shared by every walk. Callers must not modify the slice
+		// (which the cached contract already implies).
+		s.inst.rootExtOnce.Do(func() {
+			s.inst.rootExts = s.computeExtensions()
+		})
+		s.extensions, s.extsReady = s.inst.rootExts, true
+		return s.extensions
+	}
+	s.extensions, s.extsReady = s.computeExtensions(), true
+	return s.extensions
+}
+
+// computeExtensions enumerates the valid extensions from scratch.
+func (s *State) computeExtensions() []ops.Op {
+	// Without TGDs the operation space is deletion-only: every candidate
+	// removes a non-empty subset of some current violation body, nothing is
+	// ever inserted, and admissibility is automatic (no addition can be
+	// cancelled, no deletion can reintroduce an EGD/DC violation). The
+	// candidate set therefore depends only on the violation set — and since
+	// EGD/DC violations can only disappear along a walk, a child's
+	// extensions are exactly the parent's restricted to the surviving
+	// violations. Filtering the parent's canonically sorted list preserves
+	// order and dedup without re-sorting; this is the localization idea of
+	// Section 6 applied to operation enumeration.
+	deletionOnly := !s.inst.sigma.HasTGDs()
+	if deletionOnly {
+		if p := s.parent; p != nil && p.extsReady {
+			return s.filterParentExtensions(p.extensions)
+		}
+	}
+
 	// Gather candidates (possibly with duplicates when violation bodies
 	// overlap), sort canonically, and dedup adjacent identical operations —
 	// interned operations compare by pointer, so no per-state hash map is
@@ -162,13 +197,94 @@ func (s *State) Extensions() []ops.Op {
 			continue
 		}
 		prev = op
-		if s.admissible(op) {
+		if deletionOnly || s.admissible(op) {
 			valid = append(valid, op)
 		}
 	}
-	s.extensions = valid
-	s.extsReady = true
 	return valid
+}
+
+// filterParentExtensions derives a deletion-only state's extensions from
+// its parent's: the parent operations whose fact sets still lie inside
+// some surviving violation body (every justified deletion is a non-empty
+// body subset, and EGD/DC violations only ever disappear along a walk), in
+// the parent's canonical order. Singleton deletions — the bulk of the
+// candidates — are decided by one binary search of the sorted union of
+// surviving body fact ids; larger deletions scan the (few, tiny) bodies.
+func (s *State) filterParentExtensions(parent []ops.Op) []ops.Op {
+	vios := s.violations.ByID()
+	bodies := make([][]relation.Fact, len(vios))
+	var idBuf [64]uint32
+	union := idBuf[:0]
+	for i, v := range vios {
+		bodies[i] = v.BodyFacts()
+		for _, f := range bodies[i] {
+			union = append(union, f.ID())
+		}
+	}
+	slices.Sort(union)
+
+	out := make([]ops.Op, 0, len(parent))
+scan:
+	for _, op := range parent {
+		facts := op.Facts()
+		// Facts outside every surviving body (in particular, deleted facts)
+		// disqualify the operation outright; for singletons the union test
+		// is the whole answer.
+		for _, f := range facts {
+			if !idInSorted(union, f.ID()) {
+				continue scan
+			}
+		}
+		if len(facts) == 1 {
+			out = append(out, op)
+			continue
+		}
+		for _, body := range bodies {
+			if factsSubset(facts, body) {
+				out = append(out, op)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// idInSorted reports whether id occurs in the sorted slice. Hand-rolled
+// rather than slices.BinarySearch: the generic call is not inlined and was
+// visible in walk profiles at this call frequency.
+func idInSorted(ids []uint32, id uint32) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// factsSubset reports whether every fact of fs occurs in body; both are a
+// handful of facts, so linear scans of interned ids beat any set machinery.
+func factsSubset(fs, body []relation.Fact) bool {
+	if len(fs) > len(body) {
+		return false
+	}
+	for _, f := range fs {
+		found := false
+		for _, g := range body {
+			if g == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // admissible checks the non-local conditions of Definition 4 for appending

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/fo"
@@ -260,21 +260,21 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 		}
 	}
 
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for k, c := range counts {
 		est := TupleEstimate{
 			Tuple: tuples[k],
-			P:     float64(counts[k]) / float64(n),
-			Count: counts[k],
+			P:     float64(c) / float64(n),
+			Count: c,
 		}
 		if run.SuccessfulWalks > 0 {
-			est.Conditional = float64(counts[k]) / float64(run.SuccessfulWalks)
+			est.Conditional = float64(c) / float64(run.SuccessfulWalks)
 		}
 		run.Estimates = append(run.Estimates, est)
 	}
+	// Sort by the tuples themselves: TupleKey is a process-local interned
+	// encoding with no stable order.
+	slices.SortFunc(run.Estimates, func(a, b TupleEstimate) int {
+		return slices.Compare(a.Tuple, b.Tuple)
+	})
 	return run, nil
 }

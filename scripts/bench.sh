@@ -4,10 +4,13 @@
 #
 # Usage:
 #   scripts/bench.sh                         # run, write bench_out.json
-#   scripts/bench.sh -o BENCH_PR1.json       # choose output path
+#   scripts/bench.sh -o BENCH_PR2.json       # choose output path
 #   scripts/bench.sh -baseline seed.txt      # fold a saved `go test -bench`
 #                                            # text output in as "baseline"
 #                                            # and compute speedups
+#   scripts/bench.sh -baseline BENCH_PR1.json# a previous bench.sh emission
+#                                            # works too (its "current"
+#                                            # section becomes the baseline)
 #   scripts/bench.sh -pattern 'Survey|Walks' # restrict the benchmark set
 #   scripts/bench.sh -benchtime 2s           # forward to go test
 #
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 out="bench_out.json"
 baseline=""
-pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps'
+pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval'
 benchtime="2s"
 
 while [ $# -gt 0 ]; do
@@ -54,18 +57,24 @@ LINE = re.compile(
 )
 
 def parse(path):
-    bench = {}
+    # A baseline may be a saved `go test -bench` text dump or a previous
+    # bench.sh JSON emission (whose "current" section is the measurement).
     with open(path) as fh:
-        for line in fh:
-            m = LINE.match(line.strip())
-            if not m:
-                continue
-            name = m.group(1)
-            bench[name] = {
-                "ns_per_op": float(m.group(2)),
-                "bytes_per_op": float(m.group(3)) if m.group(3) else None,
-                "allocs_per_op": float(m.group(4)) if m.group(4) else None,
-            }
+        text = fh.read()
+    if text.lstrip().startswith("{"):
+        doc = json.loads(text)
+        return doc.get("current", doc)
+    bench = {}
+    for line in text.splitlines():
+        m = LINE.match(line.strip())
+        if not m:
+            continue
+        name = m.group(1)
+        bench[name] = {
+            "ns_per_op": float(m.group(2)),
+            "bytes_per_op": float(m.group(3)) if m.group(3) else None,
+            "allocs_per_op": float(m.group(4)) if m.group(4) else None,
+        }
     return bench
 
 current = parse(raw_path)
