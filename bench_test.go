@@ -63,6 +63,52 @@ func BenchmarkExactOCQA(b *testing.B) {
 	}
 }
 
+// BenchmarkExactTree and BenchmarkExactDAG are the head-to-head for the
+// DAG-collapsed exact engine: the same instances, queries, and semantics,
+// computed by sequence-tree enumeration (factorial in the conflicts:
+// 3^k·k! absorbing sequences) vs. DAG collapse (4^k distinct databases
+// with parallel frontier expansion). The equivalence suite in
+// internal/core proves the outputs identical.
+func BenchmarkExactTree(b *testing.B) {
+	for _, conflicts := range []int{4, 5, 6} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			q := keysQuery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem, err := core.ComputeTree(inst, generators.Uniform{}, markov.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sem.OCA(q)
+			}
+		})
+	}
+}
+
+func BenchmarkExactDAG(b *testing.B) {
+	for _, conflicts := range []int{4, 5, 6} {
+		b.Run(fmt.Sprintf("conflicts=%d", conflicts), func(b *testing.B) {
+			d, sigma := workload.KeyViolations(workload.KeyConfig{
+				Keys: conflicts, Violations: conflicts, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			q := keysQuery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem, err := core.ComputeDAG(inst, generators.Uniform{}, markov.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sem.OCA(q)
+			}
+		})
+	}
+}
+
 // BenchmarkSamplingWalks measures one random walk against database size;
 // the per-walk cost stays polynomial as conflicts grow.
 func BenchmarkSamplingWalks(b *testing.B) {

@@ -1,6 +1,7 @@
 // Command experiments regenerates every reproduction experiment of
-// EXPERIMENTS.md (E1–E12): the paper's worked examples with their exact
-// probabilities, the complexity-shape measurements for exact OCQA, the
+// EXPERIMENTS.md (E1–E12) plus the extension experiments (E13–E16): the
+// paper's worked examples with their exact probabilities, the
+// complexity-shape measurements for exact OCQA (tree and DAG engines), the
 // Hoeffding sample-size table and measured additive-error coverage, and the
 // Section 5 query-rewriting overhead experiment.
 //

@@ -4,13 +4,18 @@
 // the OCQA problem of Section 4), and the TPC decision problem of Section 5.
 //
 // Exact computation explores the full repairing Markov chain and is
-// exponential in general — Theorem 5 shows OCQA is FP^{#P}-complete — so the
-// exact engine is intended for small instances, ground truth in tests, and
-// the scaling experiments; large instances use internal/sampling.
+// exponential in general — Theorem 5 shows OCQA is FP^{#P}-complete. Two
+// engines exist: the sequence-tree walk (ComputeTree, correct for every
+// generator) and the DAG-collapsed engine (ComputeDAG, for memoryless
+// generators over TGD-free constraints, exponentially smaller because it
+// merges states by database); Compute picks automatically. Truly large
+// instances use internal/sampling or, for local generators, the
+// conflict-factorized ComputeFactored.
 package core
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"slices"
 	"sort"
@@ -55,7 +60,24 @@ type Semantics struct {
 
 // Compute explores the chain M_Σ(D) exactly and assembles [[D]]_{MΣ}.
 // opt.MaxStates bounds the exploration (0 = unlimited).
+//
+// When the chain is collapsible — the generator declares markov.Markovian
+// memorylessness and Σ has no TGDs — the exploration runs on the DAG of
+// distinct sub-databases (markov.ExploreDAG), which is exponentially
+// smaller than the sequence tree yet yields the identical semantics: same
+// repairs, same exact probabilities, same sequence counts. Everything else
+// falls back to the sequence-tree walk.
 func Compute(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
+	if markov.Collapsible(inst, g) {
+		return ComputeDAG(inst, g, opt)
+	}
+	return ComputeTree(inst, g, opt)
+}
+
+// ComputeTree assembles the semantics from the sequence-tree walk of
+// Definition 5 — the reference engine, correct for every generator. Tests
+// and benchmarks call it directly to compare against ComputeDAG.
+func ComputeTree(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
 	leaves, err := markov.Explore(inst, g, opt)
 	if err != nil {
 		return nil, err
@@ -95,6 +117,70 @@ func Compute(inst *repair.Instance, g markov.Generator, opt markov.ExploreOption
 		sem.Repairs = append(sem.Repairs, Repair{DB: a.db, P: a.p, Sequences: a.seqs})
 	}
 	return sem, nil
+}
+
+// ComputeDAG assembles the semantics from the DAG-collapsed exploration.
+// It returns markov.ErrNotCollapsible for chains the DAG cannot represent
+// (history-dependent generators, TGDs); Compute handles the fallback.
+//
+// The DAG merges absorbing sequences by result database, so each leaf is
+// already one repair; the sequence statistics (Repair.Sequences,
+// AbsorbingStates, FailingStates) are recovered from the propagated path
+// counts and saturate at the int limit when the collapsed tree is larger
+// than 2^63 sequences — sizes the tree engine could never enumerate.
+func ComputeDAG(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
+	dag, err := markov.ExploreDAG(inst, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	sem := &Semantics{SuccessP: prob.Zero(), FailP: prob.Zero()}
+	absorbing, failing := new(big.Int), new(big.Int)
+	var repairKeys []string
+	for _, leaf := range dag.Leaves {
+		absorbing.Add(absorbing, leaf.Sequences)
+		if !leaf.State.IsSuccessful() {
+			failing.Add(failing, leaf.Sequences)
+			sem.FailP.Add(sem.FailP, leaf.Pi)
+			continue
+		}
+		sem.SuccessP.Add(sem.SuccessP, leaf.Pi)
+		sem.Repairs = append(sem.Repairs, Repair{
+			DB:        leaf.State.Result().Clone(),
+			P:         new(big.Rat).Set(leaf.Pi),
+			Sequences: satInt(leaf.Sequences),
+		})
+		repairKeys = append(repairKeys, leaf.Key)
+	}
+	sem.AbsorbingStates = satInt(absorbing)
+	sem.FailingStates = satInt(failing)
+	// Leaves arrive in level order; repairs are reported in database-key
+	// order like the tree engine.
+	sort.Sort(&repairsByKey{keys: repairKeys, repairs: sem.Repairs})
+	return sem, nil
+}
+
+// repairsByKey sorts repairs by precomputed database key (Database.Key
+// rebuilds its encoding on every call, so the comparator must not).
+type repairsByKey struct {
+	keys    []string
+	repairs []Repair
+}
+
+func (r *repairsByKey) Len() int           { return len(r.keys) }
+func (r *repairsByKey) Less(i, j int) bool { return r.keys[i] < r.keys[j] }
+func (r *repairsByKey) Swap(i, j int) {
+	r.keys[i], r.keys[j] = r.keys[j], r.keys[i]
+	r.repairs[i], r.repairs[j] = r.repairs[j], r.repairs[i]
+}
+
+// satInt converts a path count to int, saturating at the int limit.
+func satInt(x *big.Int) int {
+	if x.IsInt64() {
+		if n := x.Int64(); n <= math.MaxInt {
+			return int(n)
+		}
+	}
+	return math.MaxInt
 }
 
 // UniformOverRepairs reweights the semantics so that every distinct repair

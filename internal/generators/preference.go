@@ -36,6 +36,14 @@ type Preference struct {
 // Name implements markov.Generator.
 func (p Preference) Name() string { return "preference" }
 
+// Memoryless implements markov.Markovian: the importance weights count
+// facts of the state's current database (and of its violation set, itself a
+// function of the database), never the path that produced it. Note the
+// generator is memoryless but NOT local (the weight of an atom counts
+// support across the whole database), so the DAG engine applies exactly
+// where core.ComputeFactored is unsound.
+func (p Preference) Memoryless() bool { return true }
+
 func (p Preference) pred() intern.Sym {
 	if p.Pred == "" {
 		return intern.S("Pref")
@@ -44,15 +52,17 @@ func (p Preference) pred() intern.Sym {
 }
 
 // weight returns w(α, D): the number of facts Pref(a, ·) where a is the
-// first argument of α.
+// first argument of α. It probes the per-position index bucket of (Pref,
+// 0, a) — plus any pending delta — instead of scanning the whole relation;
+// a per-atom rescan of FactsByPred was the walk profile's hottest block.
 func (p Preference) weight(db *relation.Database, pred intern.Sym, first intern.Sym) int64 {
 	var n int64
-	for _, f := range db.FactsByPred(pred) {
-		args := f.Args()
-		if len(args) == 2 && args[0] == first {
+	db.ForEachAt(pred, 0, first, func(f relation.Fact) bool {
+		if f.Arity() == 2 {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -63,17 +73,18 @@ func (p Preference) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, err
 	involved := s.Violations().InvolvedFacts()
 
 	// Σ_{β ∈ V_Σ(D)} w(β, D), the normalizing constant of the importance.
-	totalWeight := new(big.Rat)
+	var total int64
 	for _, f := range involved {
 		args := f.Args()
 		if f.Pred() != pred || len(args) != 2 {
 			return nil, fmt.Errorf("generators: preference generator saw violation atom %s outside %s/2", f, pred)
 		}
-		totalWeight.Add(totalWeight, new(big.Rat).SetInt64(p.weight(db, pred, args[0])))
+		total += p.weight(db, pred, args[0])
 	}
-	if totalWeight.Sign() == 0 {
+	if total == 0 {
 		return nil, fmt.Errorf("generators: preference generator has zero total weight at state %q", s)
 	}
+	totalWeight := new(big.Rat).SetInt64(total)
 
 	out := make([]*big.Rat, len(exts))
 	for i, op := range exts {
@@ -133,4 +144,5 @@ func (p Preference) IntWeights(s *repair.State, exts []ops.Op) ([]int64, bool, e
 var (
 	_ markov.Generator   = Preference{}
 	_ markov.IntWeighter = Preference{}
+	_ markov.Markovian   = Preference{}
 )

@@ -68,6 +68,12 @@ func (t *Trust) Name() string { return "trust" }
 // operations of a step equally and cancels in the repair distribution.)
 func (t *Trust) LocalWeights() bool { return true }
 
+// Memoryless implements markov.Markovian: the weights are computed from the
+// violating pairs of the state's current database and the (fixed) trust
+// levels, so equal databases transition identically and the chain collapses
+// to a DAG.
+func (t *Trust) Memoryless() bool { return true }
+
 // Transitions implements markov.Generator.
 func (t *Trust) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
 	if !t.defined {
@@ -143,4 +149,7 @@ func (t *Trust) pairWeight(alpha, beta relation.Fact, op ops.Op) (*big.Rat, erro
 	}
 }
 
-var _ markov.Generator = (*Trust)(nil)
+var (
+	_ markov.Generator = (*Trust)(nil)
+	_ markov.Markovian = (*Trust)(nil)
+)

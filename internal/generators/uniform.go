@@ -29,6 +29,11 @@ func (Uniform) Name() string { return "uniform" }
 // semantics of core.ComputeFactored.
 func (Uniform) LocalWeights() bool { return true }
 
+// Memoryless implements markov.Markovian: 1/k depends only on the number of
+// extensions, a function of the state's database, so the chain collapses to
+// the DAG of distinct sub-databases.
+func (Uniform) Memoryless() bool { return true }
+
 // Transitions implements markov.Generator. Every extension shares one
 // 1/k rational value: callers treat transition probabilities as read-only,
 // and the shared pointer lets the chain machinery recognize the uniform
@@ -65,6 +70,10 @@ func (UniformDeletions) Name() string { return "uniform-deletions" }
 
 // LocalWeights asserts locality (see Uniform.LocalWeights).
 func (UniformDeletions) LocalWeights() bool { return true }
+
+// Memoryless implements markov.Markovian (see Uniform.Memoryless; the
+// deletion mask is a property of the extensions themselves).
+func (UniformDeletions) Memoryless() bool { return true }
 
 // Transitions implements markov.Generator.
 func (UniformDeletions) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
@@ -138,11 +147,15 @@ func (UniformDeletions) IntWeights(s *repair.State, exts []ops.Op) ([]int64, boo
 	return out, true, nil
 }
 
-// Compile-time interface checks.
+// Compile-time interface checks. WeightFunc is deliberately NOT Markovian:
+// the user-supplied weight function receives the full state and may depend
+// on its history, so it always takes the sequence-tree engine.
 var (
 	_ markov.Generator   = Uniform{}
 	_ markov.Generator   = UniformDeletions{}
 	_ markov.Generator   = WeightFunc{}
 	_ markov.IntWeighter = Uniform{}
 	_ markov.IntWeighter = UniformDeletions{}
+	_ markov.Markovian   = Uniform{}
+	_ markov.Markovian   = UniformDeletions{}
 )

@@ -1,0 +1,227 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// This file implements the DAG-collapsed exact engine. The sequence tree of
+// Definition 5 distinguishes states by their whole history, so it is
+// factorial in the number of operations; but for a Collapsible chain
+// (memoryless generator, TGD-free constraints) states with equal
+// Database.Key() are interchangeable, and the tree quotients into a DAG
+// whose nodes are the distinct reachable sub-databases. The engine
+// accumulates each node's incoming path mass π (and the number of
+// sequences reaching it) and pushes mass along edges computed once per
+// node, instead of once per sequence prefix.
+//
+// Topological order comes for free: every operation of a TGD-free chain is
+// a deletion, so each edge strictly shrinks the database and the nodes
+// partition into levels by database size. A node's mass is complete once
+// every strictly larger level has been processed, so the engine sweeps
+// sizes downward, expanding each level's frontier with a worker pool
+// (states are copy-on-write clones, so expansion is embarrassingly
+// parallel; the merge that follows is sequential and deterministic).
+
+// ErrNotCollapsible is returned when ExploreDAG is asked to collapse a
+// chain whose states are not interchangeable by database: a generator that
+// does not declare Markovian memorylessness, or a constraint set with TGDs
+// (whose histories prune extensions). Callers should fall back to Explore.
+var ErrNotCollapsible = errors.New("markov: chain does not collapse to a DAG; use the sequence-tree engine")
+
+// DAGLeaf is one absorbing database of the collapsed chain: a witness
+// absorbing state (one representative sequence producing the database), the
+// database's canonical key (the engine's merge key, saved so consumers
+// need not re-encode the database), the total hitting mass, and the number
+// of absorbing sequences the sequence tree would enumerate for it.
+type DAGLeaf struct {
+	State     *repair.State
+	Key       string // State.Result().Key()
+	Pi        *big.Rat
+	Sequences *big.Int
+}
+
+// DAG summarizes a collapsed exploration.
+type DAG struct {
+	// Leaves lists the absorbing databases in deterministic order, one
+	// entry per distinct result (leaves are merged by Database.Key, so no
+	// two entries share a database).
+	Leaves []DAGLeaf
+	// States counts the distinct databases visited, including the root;
+	// this is the quantity that replaces the tree's sequence count.
+	States int
+	// Edges counts the positive-probability transitions of the DAG.
+	Edges int
+	// Sequences is the total number of absorbing sequences of the
+	// underlying tree (Σ leaf sequence counts) — the size of the
+	// exploration the collapse avoided.
+	Sequences *big.Int
+}
+
+// dagNode accumulates a distinct state's incoming mass until its level is
+// processed.
+type dagNode struct {
+	state *repair.State
+	pi    *big.Rat
+	seqs  *big.Int
+}
+
+// expansion is the parallel phase's per-node result: the node's outgoing
+// edges with their child states and database keys, resolved by one worker.
+type expansion struct {
+	edges    []Edge
+	children []*repair.State
+	keys     []string
+	err      error
+}
+
+// ExploreDAG explores the support of a Collapsible chain M_Σ(D) merged by
+// database and returns its absorbing databases with exact hitting
+// probabilities. The leaf masses sum to exactly 1 (Proposition 3 survives
+// the quotient: merging states preserves total mass). opt.MaxStates bounds
+// the number of distinct databases; opt.Workers sizes the per-level worker
+// pool. The result is bit-identical for every worker count.
+func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, error) {
+	if !Collapsible(inst, g) {
+		return nil, fmt.Errorf("%w (generator %s)", ErrNotCollapsible, g.Name())
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	root := inst.Root()
+	rootSize := root.Result().Size()
+	// levels[n] holds the pending nodes whose database has n facts.
+	levels := map[int]map[string]*dagNode{
+		rootSize: {root.Result().Key(): {state: root, pi: prob.One(), seqs: big.NewInt(1)}},
+	}
+	dag := &DAG{States: 1, Sequences: new(big.Int)}
+
+	for size := rootSize; size >= 0; size-- {
+		level := levels[size]
+		delete(levels, size)
+		if len(level) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(level))
+		for k := range level {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		exps := expandLevel(g, level, keys, workers)
+
+		// Sequential merge in sorted-key order: deterministic leaf order
+		// and mass accumulation independent of scheduling.
+		for i, k := range keys {
+			n, exp := level[k], &exps[i]
+			if exp.err != nil {
+				return nil, exp.err
+			}
+			if len(exp.edges) == 0 {
+				dag.Leaves = append(dag.Leaves, DAGLeaf{State: n.state, Key: k, Pi: n.pi, Sequences: n.seqs})
+				dag.Sequences.Add(dag.Sequences, n.seqs)
+				continue
+			}
+			for j, e := range exp.edges {
+				child, ck := exp.children[j], exp.keys[j]
+				csize := child.Result().Size()
+				if csize >= size {
+					// Cannot happen for a TGD-free chain (every op deletes);
+					// guard the topological order rather than corrupt masses.
+					return nil, fmt.Errorf("%w: operation %s grew the database", ErrNotCollapsible, e.Op)
+				}
+				dag.Edges++
+				lvl := levels[csize]
+				if lvl == nil {
+					lvl = map[string]*dagNode{}
+					levels[csize] = lvl
+				}
+				cn, ok := lvl[ck]
+				if !ok {
+					cn = &dagNode{state: child, pi: prob.Zero(), seqs: new(big.Int)}
+					lvl[ck] = cn
+					dag.States++
+					if opt.MaxStates > 0 && dag.States > opt.MaxStates {
+						return nil, ErrStateBudget
+					}
+				}
+				cn.pi.Add(cn.pi, new(big.Rat).Mul(n.pi, e.P))
+				cn.seqs.Add(cn.seqs, n.seqs)
+			}
+		}
+	}
+
+	total := new(big.Rat)
+	for _, l := range dag.Leaves {
+		total.Add(total, l.Pi)
+	}
+	if !prob.IsOne(total) {
+		return nil, fmt.Errorf("%w: hitting distribution sums to %s", ErrNotWellDefined, total.RatString())
+	}
+	return dag, nil
+}
+
+// expandLevel resolves every node of one frontier level: edges via Step and
+// one child state (plus database key) per edge. Nodes are independent —
+// each worker owns its states and their fresh copy-on-write clones — so the
+// level splits across min(workers, len(keys)) goroutines.
+func expandLevel(g Generator, level map[string]*dagNode, keys []string, workers int) []expansion {
+	exps := make([]expansion, len(keys))
+	expand := func(i int) {
+		n, exp := level[keys[i]], &exps[i]
+		edges, err := Step(g, n.state)
+		if err != nil {
+			exp.err = err
+			return
+		}
+		exp.edges = edges
+		if len(edges) == 0 {
+			return
+		}
+		exp.children = make([]*repair.State, len(edges))
+		exp.keys = make([]string, len(edges))
+		for j, e := range edges {
+			child := n.state.Child(e.Op)
+			exp.children[j] = child
+			exp.keys[j] = child.Result().Key()
+		}
+	}
+	// Narrow frontiers (the first and last few levels of every chain, and
+	// all of a small chain) are cheaper to expand inline than to fan out.
+	const minParallelLevel = 16
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 || len(keys) < minParallelLevel {
+		for i := range keys {
+			expand(i)
+		}
+		return exps
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				expand(i)
+			}
+		}()
+	}
+	for i := range keys {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return exps
+}

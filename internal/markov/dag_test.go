@@ -1,0 +1,250 @@
+package markov_test
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+)
+
+// memorylessUniform is uniformGen plus the Markovian declaration, the
+// minimal collapsible generator for this package's tests.
+type memorylessUniform struct{ uniformGen }
+
+func (memorylessUniform) Memoryless() bool { return true }
+
+func tgdInstance(t *testing.T) *repair.Instance {
+	t.Helper()
+	d := relation.FromFacts(f("R", "a"))
+	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
+	return repair.MustInstance(d, constraint.NewSet(tgd))
+}
+
+func TestCollapsible(t *testing.T) {
+	egd := twoConflictInstance(t)
+	if markov.Collapsible(egd, uniformGen{}) {
+		t.Error("generator without Markovian must not collapse")
+	}
+	if !markov.Collapsible(egd, memorylessUniform{}) {
+		t.Error("memoryless generator over EGDs must collapse")
+	}
+	if markov.Collapsible(tgdInstance(t), memorylessUniform{}) {
+		t.Error("TGDs make state histories significant; must not collapse")
+	}
+}
+
+func TestExploreDAGRejectsNonCollapsible(t *testing.T) {
+	if _, err := markov.ExploreDAG(twoConflictInstance(t), uniformGen{}, markov.ExploreOptions{}); !errors.Is(err, markov.ErrNotCollapsible) {
+		t.Errorf("err = %v, want ErrNotCollapsible", err)
+	}
+	if _, err := markov.ExploreDAG(tgdInstance(t), memorylessUniform{}, markov.ExploreOptions{}); !errors.Is(err, markov.ErrNotCollapsible) {
+		t.Errorf("err = %v, want ErrNotCollapsible", err)
+	}
+}
+
+// TestExploreDAGCollapse pins the exact DAG shape of the two-conflict
+// instance: the tree has 18 absorbing sequences over 25 sequence states,
+// the DAG has 9 absorbing databases over 16 distinct databases (each of the
+// two conflicts is untouched or in one of 3 resolutions: 4² states, 3²
+// leaves), with 3j outgoing edges per state with j unresolved conflicts
+// (1·6 + 6·3 = 24 edges).
+func TestExploreDAGCollapse(t *testing.T) {
+	dag, err := markov.ExploreDAG(twoConflictInstance(t), memorylessUniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.States != 16 {
+		t.Errorf("States = %d, want 16", dag.States)
+	}
+	if len(dag.Leaves) != 9 {
+		t.Errorf("leaves = %d, want 9", len(dag.Leaves))
+	}
+	if dag.Edges != 24 {
+		t.Errorf("Edges = %d, want 24", dag.Edges)
+	}
+	if dag.Sequences.Cmp(big.NewInt(18)) != 0 {
+		t.Errorf("Sequences = %s, want 18 (the tree's leaf count)", dag.Sequences)
+	}
+	total := prob.Zero()
+	seqs := new(big.Int)
+	for _, l := range dag.Leaves {
+		total.Add(total, l.Pi)
+		seqs.Add(seqs, l.Sequences)
+		if !l.State.IsComplete() {
+			t.Errorf("leaf %s is not complete", l.State)
+		}
+		if l.Key != l.State.Result().Key() {
+			t.Errorf("leaf key %q does not match its database's key", l.Key)
+		}
+	}
+	if !prob.IsOne(total) {
+		t.Errorf("hitting mass = %s, want 1 (Proposition 3)", total.RatString())
+	}
+	if seqs.Cmp(dag.Sequences) != 0 {
+		t.Errorf("leaf sequence counts sum to %s, want %s", seqs, dag.Sequences)
+	}
+}
+
+// TestExploreDAGMatchesTreeAggregation: aggregating the sequence tree's
+// leaves by result database reproduces exactly the DAG's leaf masses and
+// sequence counts.
+func TestExploreDAGMatchesTreeAggregation(t *testing.T) {
+	inst := twoConflictInstance(t)
+	dag, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves, err := markov.Explore(inst, uniformGen{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type agg struct {
+		pi   *big.Rat
+		seqs int64
+	}
+	byDB := map[string]*agg{}
+	for _, l := range leaves {
+		k := l.State.Result().Key()
+		a, ok := byDB[k]
+		if !ok {
+			a = &agg{pi: prob.Zero()}
+			byDB[k] = a
+		}
+		a.pi.Add(a.pi, l.Pi)
+		a.seqs++
+	}
+	if len(byDB) != len(dag.Leaves) {
+		t.Fatalf("tree aggregates to %d databases, DAG has %d leaves", len(byDB), len(dag.Leaves))
+	}
+	for _, l := range dag.Leaves {
+		a := byDB[l.State.Result().Key()]
+		if a == nil {
+			t.Fatalf("DAG leaf %s missing from tree aggregation", l.State.Result())
+		}
+		if a.pi.Cmp(l.Pi) != 0 {
+			t.Errorf("leaf %s: DAG mass %s, tree mass %s", l.State.Result(), l.Pi.RatString(), a.pi.RatString())
+		}
+		if l.Sequences.Cmp(big.NewInt(a.seqs)) != 0 {
+			t.Errorf("leaf %s: DAG sequences %s, tree %d", l.State.Result(), l.Sequences, a.seqs)
+		}
+	}
+}
+
+// TestExploreDAGWorkerCountInvariant: the result is bit-identical (same
+// leaf order, same exact rationals) for every worker pool size.
+func TestExploreDAGWorkerCountInvariant(t *testing.T) {
+	inst := twoConflictInstance(t)
+	want, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.States != want.States || got.Edges != want.Edges || len(got.Leaves) != len(want.Leaves) {
+			t.Fatalf("workers=%d: shape differs", workers)
+		}
+		for i, l := range got.Leaves {
+			w := want.Leaves[i]
+			if l.State.Result().Key() != w.State.Result().Key() ||
+				l.Pi.Cmp(w.Pi) != 0 || l.Sequences.Cmp(w.Sequences) != 0 {
+				t.Fatalf("workers=%d: leaf %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestExploreDAGParallelStress uses an instance wide enough that frontier
+// levels exceed the inline-expansion threshold, so the worker pool really
+// runs (narrow levels are expanded inline); under -race this is the
+// concurrency proof for parallel Step/Child/Extensions plus the shared
+// caches they touch (instance deletion cache, violation involved-fact
+// cache, interning tables).
+func TestExploreDAGParallelStress(t *testing.T) {
+	d := relation.NewDatabase()
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		d.Insert(f("R", k, "1"))
+		d.Insert(f("R", k, "2"))
+	}
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := repair.MustInstance(d, constraint.NewSet(eta))
+	want, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.States != 1024 || len(want.Leaves) != 243 {
+		t.Fatalf("states = %d leaves = %d, want 4^5 and 3^5", want.States, len(want.Leaves))
+	}
+	got, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range got.Leaves {
+		w := want.Leaves[i]
+		if l.State.Result().Key() != w.State.Result().Key() ||
+			l.Pi.Cmp(w.Pi) != 0 || l.Sequences.Cmp(w.Sequences) != 0 {
+			t.Fatalf("leaf %d differs between 1 and 8 workers", i)
+		}
+	}
+}
+
+func TestExploreDAGBudget(t *testing.T) {
+	if _, err := markov.ExploreDAG(twoConflictInstance(t), memorylessUniform{}, markov.ExploreOptions{MaxStates: 3}); !errors.Is(err, markov.ErrStateBudget) {
+		t.Errorf("err = %v, want ErrStateBudget", err)
+	}
+}
+
+func TestExploreDAGConsistentRoot(t *testing.T) {
+	d := relation.FromFacts(f("R", "a", "1"))
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := repair.MustInstance(d, constraint.NewSet(eta))
+	dag, err := markov.ExploreDAG(inst, memorylessUniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.States != 1 || len(dag.Leaves) != 1 {
+		t.Fatalf("consistent root: states = %d leaves = %d, want 1 and 1", dag.States, len(dag.Leaves))
+	}
+	if !prob.IsOne(dag.Leaves[0].Pi) {
+		t.Errorf("root mass = %s, want 1", dag.Leaves[0].Pi.RatString())
+	}
+}
+
+// TestHittingDistributionCollapses: the routed HittingDistribution merges
+// sequences producing the same database and still sums to 1.
+func TestHittingDistributionCollapses(t *testing.T) {
+	inst := twoConflictInstance(t)
+	dist, err := markov.HittingDistribution(inst, memorylessUniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 9 {
+		t.Fatalf("collapsed distribution over %d states, want 9", len(dist))
+	}
+	total := prob.Zero()
+	for k, leaf := range dist {
+		if leaf.State.Key() != k {
+			t.Errorf("distribution key mismatch: %q vs %q", k, leaf.State.Key())
+		}
+		total.Add(total, leaf.Pi)
+	}
+	if !prob.IsOne(total) {
+		t.Errorf("hitting mass = %s, want 1", total.RatString())
+	}
+}

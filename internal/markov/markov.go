@@ -41,6 +41,48 @@ type Generator interface {
 // form a valid repairing Markov chain at some state.
 var ErrNotWellDefined = errors.New("markov: generator does not define a repairing Markov chain")
 
+// Markovian is an optional capability interface for generators whose
+// transition probabilities depend only on the state's current database (and
+// its extensions, themselves a function of the database in the
+// deletion-only regime) — not on how the state was reached. For such
+// generators two states with equal Database.Key() are interchangeable: they
+// have the same extensions, the same transition probabilities, and the same
+// futures, so the sequence tree of Definition 5 collapses into a DAG whose
+// size is the number of distinct reachable sub-databases instead of the
+// number of repairing sequences. ExploreDAG exploits this; Collapsible
+// reports when it applies.
+//
+// All shipped generators (uniform, uniform-deletions, preference, trust)
+// are memoryless: their weights are computed from s.Result() alone.
+// History-dependent generators simply do not implement the interface and
+// keep the exact tree walk.
+//
+// Implementing Markovian also opts the generator into parallel frontier
+// expansion: ExploreDAG calls Transitions (and walkers call IntWeights)
+// from concurrent goroutines, so implementations must be safe for
+// concurrent calls — stateless, or synchronized around any internal
+// scratch state.
+type Markovian interface {
+	Generator
+	// Memoryless documents (and asserts) that Transitions is a pure
+	// function of (s.Result(), exts); implementations return true.
+	Memoryless() bool
+}
+
+// Collapsible reports whether the chain M_Σ(D) may be explored as a DAG of
+// distinct databases: the generator must be memoryless AND the constraint
+// set must be TGD-free. The second condition makes the *state space* itself
+// memoryless: without TGDs every operation is a deletion, so a state's
+// valid extensions are determined by its violation set (a function of the
+// database) and the history bookkeeping of Definition 4 (cancellation,
+// req2, global justification of additions) never prunes anything. With
+// TGDs, states reaching the same database along different histories can
+// have different futures, and only the sequence tree is sound.
+func Collapsible(inst *repair.Instance, g Generator) bool {
+	m, ok := g.(Markovian)
+	return ok && m.Memoryless() && !inst.Sigma().HasTGDs()
+}
+
 // IntWeighter is an optional fast path for generators whose transition
 // probabilities are ratios of small integer weights (uniform choice,
 // count-based importance, ...). IntWeights returns one non-negative weight
@@ -50,7 +92,7 @@ var ErrNotWellDefined = errors.New("markov: generator does not define a repairin
 // weights are inherently rational). Random walks use this to step without
 // any big.Rat arithmetic — the sampled edge is identical to the one the
 // exact path picks from the same RNG draw — while the exact engines
-// (Explore, HittingDistribution) always use Transitions.
+// (Explore, ExploreDAG, HittingDistribution) always use Transitions.
 type IntWeighter interface {
 	IntWeights(s *repair.State, exts []ops.Op) (weights []int64, ok bool, err error)
 }
@@ -122,8 +164,14 @@ type ExploreOptions struct {
 	// MaxStates aborts the exploration once more than this many states have
 	// been visited (0 means unlimited). Exact exploration is exponential in
 	// general — Theorem 5 — so callers on untrusted input should set a
-	// bound.
+	// bound. The tree walk counts visited sequences; the DAG engine counts
+	// distinct databases (its states).
 	MaxStates int
+	// Workers is the number of goroutines the DAG engine uses to expand
+	// each frontier level (≤ 0 means GOMAXPROCS). States are copy-on-write
+	// clones, so expansion is embarrassingly parallel; results are
+	// bit-identical for every worker count. The tree walk ignores it.
+	Workers int
 }
 
 // ErrStateBudget is returned when exploration exceeds MaxStates.
@@ -166,7 +214,24 @@ func Explore(inst *repair.Instance, g Generator, opt ExploreOptions) ([]Leaf, er
 
 // HittingDistribution returns the leaves keyed by sequence encoding; it is
 // Explore plus the Proposition 3 sanity check that probabilities sum to 1.
+//
+// When the chain is Collapsible the distribution is computed on the DAG:
+// absorbing sequences producing the same database are merged into one leaf
+// carrying their total mass, keyed by a witness sequence (the distribution
+// over result databases — the quantity every downstream consumer uses — is
+// unchanged; only the sequence-level granularity is collapsed).
 func HittingDistribution(inst *repair.Instance, g Generator, opt ExploreOptions) (map[string]Leaf, error) {
+	if Collapsible(inst, g) {
+		dag, err := ExploreDAG(inst, g, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]Leaf, len(dag.Leaves))
+		for _, l := range dag.Leaves {
+			out[l.State.Key()] = Leaf{State: l.State, Pi: l.Pi}
+		}
+		return out, nil
+	}
 	leaves, err := Explore(inst, g, opt)
 	if err != nil {
 		return nil, err

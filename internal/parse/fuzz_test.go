@@ -1,0 +1,116 @@
+package parse
+
+// Native Go fuzz targets for the text formats. Two properties:
+//
+//  1. No input may panic the lexer or parser (errors are fine).
+//  2. Round-trip: for every input that parses, rendering and reparsing
+//     must succeed, yield an equal value, and re-render to the *same*
+//     text — parse ∘ render is the identity and render ∘ parse is a
+//     fixed point.
+//
+// Run continuously with: go test -fuzz=FuzzDatabase ./internal/parse
+// (one target per -fuzz run); CI runs a short smoke pass per target.
+// Seed corpora live in testdata/fuzz/<Target>/.
+
+import "testing"
+
+func FuzzDatabase(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"Pref(a, b). Pref(b, a).",
+		`R("quoted constant", 42). R(x, "with \"escapes\" \\ and \n breaks").`,
+		"Node(n1). Edge(n1, n2).  # comment\nEdge(n2, n1).",
+		`R("Uppercase"). R("exists"). R("true"). R(1.5).`,
+		"R(a", // error inputs are seeds too: the parser must fail cleanly
+		"R(a))..",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Database(src) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := RenderDatabase(d)
+		d2, err := Database(s1)
+		if err != nil {
+			t.Fatalf("rendered database does not reparse: %v\ninput: %q\nrendered: %q", err, src, s1)
+		}
+		if !d2.Equal(d) {
+			t.Fatalf("round-trip changed the database\ninput: %q\nfirst:  %s\nsecond: %s", src, d, d2)
+		}
+		if s2 := RenderDatabase(d2); s2 != s1 {
+			t.Fatalf("render is not a fixed point\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}
+
+func FuzzConstraints(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"R(X, Y), R(X, Z) -> Y = Z.",
+		"Pref(X, Y), Pref(Y, X) -> false.",
+		"!(Pref(X, Y), Pref(Y, X)).",
+		"R(X, Y) -> exists Z: S(Z, X).",
+		"T(X, Y) -> R(X, Y).",
+		`R(X, "const with space") -> false.`,
+		"R(X Y -> Z.",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := Constraints(src) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := RenderConstraints(set)
+		set2, err := Constraints(s1)
+		if err != nil {
+			t.Fatalf("rendered constraints do not reparse: %v\ninput: %q\nrendered: %q", err, src, s1)
+		}
+		if set2.Len() != set.Len() {
+			t.Fatalf("round-trip changed the constraint count: %d vs %d\ninput: %q", set.Len(), set2.Len(), src)
+		}
+		// Structural equality per constraint: Kind plus the canonical
+		// String form (body/head atoms, equality sides, existential
+		// prefix) — a renderer that consistently loses or rewrites a
+		// constraint would survive count and fixed-point checks alone.
+		for i, c := range set.All() {
+			c2 := set2.All()[i]
+			if c.Kind() != c2.Kind() || c.String() != c2.String() {
+				t.Fatalf("round-trip changed constraint %d: %s [%v] vs %s [%v]\ninput: %q",
+					i, c, c.Kind(), c2, c2.Kind(), src)
+			}
+		}
+		if s2 := RenderConstraints(set2); s2 != s1 {
+			t.Fatalf("render is not a fixed point\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}
+
+func FuzzQuery(f *testing.F) {
+	for _, seed := range []string{
+		"Q(X) := forall Y: (Pref(X, Y) | X = Y).",
+		"Boolean() := exists X: R(X, X).",
+		"Q(X) := !(exists Y: S(X, Y)) & T(X).",
+		`Q(X) := X = "a b" | X != c.`,
+		"Q(X, Y) := R(X, Y) <-> (S(Y, X) -> true).",
+		"Q(X) := R(X))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Query(src) // must not panic
+		if err != nil {
+			return
+		}
+		s1 := RenderQuery(q)
+		q2, err := Query(s1)
+		if err != nil {
+			t.Fatalf("rendered query does not reparse: %v\ninput: %q\nrendered: %q", err, src, s1)
+		}
+		if s2 := RenderQuery(q2); s2 != s1 {
+			t.Fatalf("render is not a fixed point\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+	})
+}

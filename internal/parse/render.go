@@ -1,0 +1,223 @@
+package parse
+
+import (
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/fo"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// This file renders parsed objects back into the text format, inverting
+// Database/Constraints/Query. The renderers quote every constant the lexer
+// would not re-read verbatim as a constant (uppercase-leading or keyword
+// identifiers, strings with spaces or punctuation, ...), so
+// parse → render → reparse is the identity on values and a fixed point on
+// text — the property the fuzz targets enforce. Predicate, variable, and
+// query names are emitted bare: the grammar only ever produces plain
+// identifiers for them.
+
+// RenderDatabase renders a database as one fact statement per line, in the
+// canonical (sorted) fact order.
+func RenderDatabase(d *relation.Database) string {
+	var b strings.Builder
+	for _, f := range d.Facts() {
+		renderAtom(&b, f.Atom())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// RenderConstraints renders a constraint set one statement per line. Denial
+// constraints use the canonical "body -> false" form (the "!(body)" input
+// syntax normalizes to it).
+func RenderConstraints(set *constraint.Set) string {
+	var b strings.Builder
+	for _, c := range set.All() {
+		renderAtomList(&b, c.Body())
+		b.WriteString(" -> ")
+		switch c.Kind() {
+		case constraint.TGD:
+			if ex := c.ExistentialVars(); len(ex) > 0 {
+				b.WriteString("exists ")
+				for i, v := range ex {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(v.Name())
+				}
+				b.WriteString(": ")
+			}
+			renderAtomList(&b, c.Head())
+		case constraint.EGD:
+			l, r := c.Equality()
+			b.WriteString(l.Name())
+			b.WriteString(" = ")
+			b.WriteString(r.Name())
+		case constraint.DC:
+			b.WriteString("false")
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// RenderQuery renders a named query, e.g. "Q(X) := forall Y: (...)."
+func RenderQuery(q *fo.Query) string {
+	var b strings.Builder
+	b.WriteString(q.Name)
+	b.WriteByte('(')
+	for i, v := range q.Out {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Name())
+	}
+	b.WriteString(") := ")
+	renderFormula(&b, q.F)
+	b.WriteByte('.')
+	return b.String()
+}
+
+// renderFormula parenthesizes every compound subformula, so the reparse
+// rebuilds exactly the same tree regardless of operator precedence.
+func renderFormula(b *strings.Builder, f fo.Formula) {
+	switch f := f.(type) {
+	case fo.Atom:
+		renderAtom(b, f.A)
+	case fo.Eq:
+		renderTerm(b, f.L)
+		b.WriteString(" = ")
+		renderTerm(b, f.R)
+	case fo.Truth:
+		if f.Value {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case fo.Not:
+		b.WriteString("!(")
+		renderFormula(b, f.F)
+		b.WriteByte(')')
+	case fo.And:
+		renderBinary(b, f.L, "&", f.R)
+	case fo.Or:
+		renderBinary(b, f.L, "|", f.R)
+	case fo.Implies:
+		renderBinary(b, f.L, "->", f.R)
+	case fo.Iff:
+		renderBinary(b, f.L, "<->", f.R)
+	case fo.Exists:
+		renderQuant(b, "exists", f.Vars, f.F)
+	case fo.ForAll:
+		renderQuant(b, "forall", f.Vars, f.F)
+	default:
+		// Unreachable for parser-produced formulas; render something the
+		// parser rejects rather than silently emitting a wrong formula.
+		b.WriteString("<unrenderable>")
+	}
+}
+
+func renderBinary(b *strings.Builder, l fo.Formula, op string, r fo.Formula) {
+	b.WriteByte('(')
+	renderFormula(b, l)
+	b.WriteString(") ")
+	b.WriteString(op)
+	b.WriteString(" (")
+	renderFormula(b, r)
+	b.WriteByte(')')
+}
+
+func renderQuant(b *strings.Builder, q string, vars []logic.Term, f fo.Formula) {
+	b.WriteString(q)
+	b.WriteByte(' ')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.Name())
+	}
+	b.WriteString(": (")
+	renderFormula(b, f)
+	b.WriteByte(')')
+}
+
+func renderAtomList(b *strings.Builder, atoms []logic.Atom) {
+	for i, a := range atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderAtom(b, a)
+	}
+}
+
+func renderAtom(b *strings.Builder, a logic.Atom) {
+	b.WriteString(a.PredName())
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderTerm(b, t)
+	}
+	b.WriteByte(')')
+}
+
+func renderTerm(b *strings.Builder, t logic.Term) {
+	if t.IsVar() {
+		b.WriteString(t.Name())
+		return
+	}
+	b.WriteString(quoteConst(t.Name()))
+}
+
+// quoteConst returns the constant as the lexer will read it back: bare when
+// a single identifier/number token reproduces it verbatim and the case
+// convention keeps it a constant, quoted otherwise.
+func quoteConst(name string) string {
+	if bareConstant(name) {
+		return name
+	}
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range name {
+		switch r {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// keywords the formula grammar claims for itself; as bare identifiers they
+// would not re-read as constants in every position, so they are quoted.
+var keywordConsts = map[string]bool{"exists": true, "forall": true, "true": true, "false": true}
+
+// bareConstant reports whether the lexer re-reads name as one constant
+// token with exactly this text. Asking the lexer itself keeps the renderer
+// correct under any future token-rule change.
+func bareConstant(name string) bool {
+	if name == "" || keywordConsts[name] {
+		return false
+	}
+	toks, err := lexAll(name)
+	if err != nil || len(toks) != 2 || toks[0].text != name {
+		return false
+	}
+	switch toks[0].kind {
+	case tokNumber:
+		return true
+	case tokIdent:
+		return !isVariableName(name)
+	}
+	return false
+}

@@ -144,6 +144,17 @@ func (d *Database) avgBucket(pred intern.Sym, pos int) int {
 	return total
 }
 
+// ForEachAt enumerates the facts of pred carrying sym at argument position
+// pos, in the relative order of a filtered FactsByPred scan; fn returning
+// false stops early. On a sealed database this reads one index bucket;
+// with a pending delta it folds added/removed facts, exactly like the
+// indexed join probes. Exported for consumers whose per-atom statistics
+// (e.g. the preference generator's support weights) would otherwise rescan
+// the whole predicate.
+func (d *Database) ForEachAt(pred intern.Sym, pos int, sym intern.Sym, fn func(Fact) bool) {
+	d.forEachMatch(pred, pos, sym, fn)
+}
+
 // forEachMatch enumerates the facts with the given predicate carrying sym
 // at argument position pos: the snapshot bucket (skipping removed facts)
 // followed by the matching added facts, i.e. the same relative order as a

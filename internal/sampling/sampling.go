@@ -106,12 +106,13 @@ func Sample(inst *repair.Instance, g markov.Generator, q *fo.Query, tuple []stri
 type Estimator struct {
 	Inst *repair.Instance
 	Gen  markov.Generator
-	// Seed makes runs reproducible; workers derive their generators from
-	// it deterministically.
+	// Seed makes runs reproducible: every walk's RNG is derived from
+	// (Seed, walk index), so a run is bit-identical for a fixed seed no
+	// matter how the walks are scheduled.
 	Seed int64
 	// Workers is the number of concurrent walkers (≤ 1 means sequential).
-	// Counts are merged, so results are reproducible for a fixed seed and
-	// worker count.
+	// Walk RNGs are per-walk and counts are merged, so the result is
+	// bit-identical for every worker count.
 	Workers int
 	// MaxSteps bounds each walk (0 = unbounded).
 	MaxSteps int
@@ -189,11 +190,46 @@ func (e *Estimator) EstimateWithN(q *fo.Query, n int) (*Run, error) {
 	return e.run(q, n)
 }
 
+// splitmixSource is a rand.Source64 with O(1) seeding. The stdlib
+// rand.NewSource pays a ~607-step warmup of its feedback register on every
+// Seed — more than a short walk costs — so per-walk RNGs use splitmix64,
+// whose whole state is one word derived from (estimator seed, walk index).
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// reseedForWalk points the source at walk i's stream, a pure function of
+// (seed, i): the same walk index draws the same trajectory no matter which
+// worker runs it. The multiply-xor decorrelates nearby (seed, index) pairs
+// before they become the splitmix starting state. Reseeding is two
+// arithmetic ops, so each worker owns one rand.Rand for its whole share
+// and re-aims it per walk with no allocation. (Sound because walks draw
+// via Int63n/Intn only — rand.Rand buffers nothing for those paths.)
+func (s *splitmixSource) reseedForWalk(seed int64, walk int) {
+	z := uint64(seed) + uint64(walk+1)*0xBF58476D1CE4E5B9
+	s.state = (z ^ (z >> 30)) * 0x94D049BB133111EB
+}
+
+// tallyCell accumulates one tuple's observations; keeping count and tuple
+// together costs one map probe per answer instead of two.
+type tallyCell struct {
+	count int
+	tuple []string
+}
+
 type walkTally struct {
 	success int
 	failing int
-	counts  map[string]int
-	tuples  map[string][]string
+	cells   map[string]*tallyCell
 	err     error
 }
 
@@ -211,19 +247,26 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 
 	tallies := make([]walkTally, workers)
 	var wg sync.WaitGroup
+	start := 0
 	for w := 0; w < workers; w++ {
 		share := n / workers
 		if w < n%workers {
 			share++
 		}
 		wg.Add(1)
-		go func(w, share int) {
+		go func(w, start, share int) {
 			defer wg.Done()
 			t := &tallies[w]
-			t.counts = map[string]int{}
-			t.tuples = map[string][]string{}
-			rng := rand.New(rand.NewSource(e.Seed + int64(w)*0x9E3779B97F4A7C))
-			for i := 0; i < share; i++ {
+			t.cells = map[string]*tallyCell{}
+			src := &splitmixSource{}
+			rng := rand.New(src)
+			for i := start; i < start+share; i++ {
+				// Each walk's randomness is a pure function of (Seed, walk
+				// index), never of the worker that happens to run the walk:
+				// partitioning the same n walks across any number of workers
+				// draws the same n trajectories, and the merged tallies are
+				// sums, so runs are bit-identical for every Workers value.
+				src.reseedForWalk(e.Seed, i)
 				s, err := Walk(e.Inst, e.Gen, rng, e.MaxSteps)
 				if err != nil {
 					t.err = err
@@ -236,17 +279,21 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 				t.success++
 				for _, tuple := range q.Answers(s.Result()) {
 					k := fo.TupleKey(tuple)
-					t.counts[k]++
-					t.tuples[k] = tuple
+					c := t.cells[k]
+					if c == nil {
+						c = &tallyCell{tuple: tuple}
+						t.cells[k] = c
+					}
+					c.count++
 				}
 			}
-		}(w, share)
+		}(w, start, share)
+		start += share
 	}
 	wg.Wait()
 
 	run := &Run{N: n}
-	counts := map[string]int{}
-	tuples := map[string][]string{}
+	cells := map[string]*tallyCell{}
 	for i := range tallies {
 		t := &tallies[i]
 		if t.err != nil {
@@ -254,20 +301,24 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 		}
 		run.SuccessfulWalks += t.success
 		run.FailingWalks += t.failing
-		for k, c := range t.counts {
-			counts[k] += c
-			tuples[k] = t.tuples[k]
+		for k, c := range t.cells {
+			m := cells[k]
+			if m == nil {
+				m = &tallyCell{tuple: c.tuple}
+				cells[k] = m
+			}
+			m.count += c.count
 		}
 	}
 
-	for k, c := range counts {
+	for _, c := range cells {
 		est := TupleEstimate{
-			Tuple: tuples[k],
-			P:     float64(c) / float64(n),
-			Count: c,
+			Tuple: c.tuple,
+			P:     float64(c.count) / float64(n),
+			Count: c.count,
 		}
 		if run.SuccessfulWalks > 0 {
-			est.Conditional = float64(c) / float64(run.SuccessfulWalks)
+			est.Conditional = float64(c.count) / float64(run.SuccessfulWalks)
 		}
 		run.Estimates = append(run.Estimates, est)
 	}

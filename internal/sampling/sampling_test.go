@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/constraint"
@@ -307,15 +308,17 @@ func TestWalkIntWeightFastPathBitIdentical(t *testing.T) {
 	}
 }
 
-// TestEstimatorDeterministicAcrossWorkerCounts: for a fixed seed the merged
-// counts are identical no matter how many workers split the walks, because
-// worker RNGs are derived deterministically and shares are fixed.
+// TestEstimatorDeterministicAcrossWorkerCounts: for a fixed seed the run is
+// BIT-IDENTICAL no matter how many workers split the walks, because each
+// walk's RNG is derived from (Seed, walk index) — the worker that happens
+// to execute a walk never influences its trajectory. (A previous version
+// derived RNGs per worker, so the estimate silently depended on Workers.)
 func TestEstimatorDeterministicAcrossWorkerCounts(t *testing.T) {
 	inst, q := preferenceInstance(t)
 	var want *Run
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
 		est := &Estimator{Inst: inst, Gen: generators.Preference{}, Seed: 99, Workers: workers}
-		run, err := est.EstimateWithN(q, 400)
+		run, err := est.EstimateWithN(q, 401) // odd n: shares are deliberately uneven
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -323,8 +326,41 @@ func TestEstimatorDeterministicAcrossWorkerCounts(t *testing.T) {
 			want = run
 			continue
 		}
-		if run.SuccessfulWalks+run.FailingWalks != want.SuccessfulWalks+want.FailingWalks {
-			t.Fatalf("workers=%d: walk partition differs", workers)
+		if !reflect.DeepEqual(run, want) {
+			t.Fatalf("workers=%d: run differs from workers=1:\n got %+v\nwant %+v", workers, run, want)
+		}
+	}
+}
+
+// TestEstimatorWorkerInvariantUniformIntPath covers the IntWeighter walk
+// fast path (uniform generator) with the same bit-identity requirement.
+func TestEstimatorWorkerInvariantUniformIntPath(t *testing.T) {
+	d := relation.FromFacts(
+		f("R", "a", "1"), f("R", "a", "2"),
+		f("R", "b", "1"), f("R", "b", "2"),
+		f("R", "c", "1"), f("R", "c", "2"),
+	)
+	eta := constraint.MustEGD(
+		[]logic.Atom{at("R", v("x"), v("y")), at("R", v("x"), v("z"))},
+		v("y"), v("z"),
+	)
+	inst := repair.MustInstance(d, constraint.NewSet(eta))
+	x, y := v("x"), v("y")
+	q := fo.MustQuery("Keys", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: at("R", x, y)}})
+	var want *Run
+	for _, workers := range []int{1, 5} {
+		est := &Estimator{Inst: inst, Gen: generators.Uniform{}, Seed: 7, Workers: workers}
+		run, err := est.EstimateWithN(q, 203)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = run
+			continue
+		}
+		if !reflect.DeepEqual(run, want) {
+			t.Fatalf("workers=%d: run differs from workers=1", workers)
 		}
 	}
 }

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 out="bench_out.json"
 baseline=""
-pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval'
+pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval|BenchmarkExactDAG|BenchmarkExactTree'
 benchtime="2s"
 
 while [ $# -gt 0 ]; do
