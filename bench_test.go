@@ -7,6 +7,7 @@
 //	BenchmarkRewriteOriginal/*  — E8: original query plans (Section 5)
 //	BenchmarkRewriteModified/*  — E8: R − R_del rewritten plans
 //	BenchmarkPracticalScheme    — E8: full n-round practical scheme
+//	BenchmarkPractical/*        — practical pipeline over workload scenarios
 //	BenchmarkViolationsFull/*   — ablation: from-scratch V(D,Σ)
 //	BenchmarkViolationsDelta/*  — ablation: incremental maintenance
 //	BenchmarkJustifiedOps       — ablation: operation enumeration
@@ -22,12 +23,12 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/fo"
 	"repro/internal/generators"
 	"repro/internal/logic"
 	"repro/internal/markov"
 	"repro/internal/ops"
+	"repro/internal/plan"
 	"repro/internal/practical"
 	"repro/internal/relation"
 	"repro/internal/repair"
@@ -151,18 +152,18 @@ func BenchmarkEstimateOCA(b *testing.B) {
 }
 
 // rewritePlans are the three §5 experiment queries.
-func rewritePlans() map[string]engine.Plan {
-	return map[string]engine.Plan{
-		"filter": engine.Select{
-			Input: engine.Scan{Table: "orders"},
-			Cond:  engine.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
+func rewritePlans() map[string]plan.Plan {
+	return map[string]plan.Plan{
+		"filter": plan.Select{
+			Input: plan.Scan{Table: "orders"},
+			Cond:  plan.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
 		},
-		"join": engine.Project{
-			Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+		"join": plan.Project{
+			Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 			Cols:  []string{"oid", "region"},
 		},
-		"aggregate": engine.GroupCount{
-			Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+		"aggregate": plan.GroupCount{
+			Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 			By:    []string{"region"},
 		},
 	}
@@ -171,10 +172,10 @@ func rewritePlans() map[string]engine.Plan {
 // BenchmarkRewriteOriginal times the original plans (E8 baseline).
 func BenchmarkRewriteOriginal(b *testing.B) {
 	oc := workload.Orders(workload.OrdersConfig{Orders: 10000, Customers: 1000, ViolationRate: 0.1, Seed: 7})
-	for name, plan := range rewritePlans() {
+	for name, p := range rewritePlans() {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.Exec(oc.Catalog); err != nil {
+				if _, err := p.Exec(oc.Catalog); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -192,10 +193,11 @@ func BenchmarkRewriteModified(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rdel := practical.SampleRdel(rng, orders, oc.Catalog.Key("orders"), practical.Policy{})
-	repl := map[string]*engine.Relation{"orders": rdel}
-	for name, plan := range rewritePlans() {
-		rewritten := engine.RewriteScans(plan, repl)
+	groups := practical.KeyGroups(oc.Catalog.DB(), orders.Pred, len(orders.Cols), oc.Catalog.Key("orders"))
+	rdel := practical.SampleRdel(rng, groups, practical.Policy{})
+	repl := map[string]*plan.Relation{"orders": plan.FromFacts("orders_del", orders.Cols, rdel)}
+	for name, p := range rewritePlans() {
+		rewritten := plan.RewriteScans(p, repl)
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := rewritten.Exec(oc.Catalog); err != nil {
@@ -209,16 +211,70 @@ func BenchmarkRewriteModified(b *testing.B) {
 // BenchmarkPracticalScheme runs the full n = 150 round scheme end to end.
 func BenchmarkPracticalScheme(b *testing.B) {
 	oc := workload.Orders(workload.OrdersConfig{Orders: 2000, Customers: 200, ViolationRate: 0.1, Seed: 7})
-	plan := engine.Distinct{Input: engine.Project{
-		Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+	p := plan.Distinct{Input: plan.Project{
+		Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 		Cols:  []string{"region"},
 	}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := &practical.Runner{Catalog: oc.Catalog, Seed: int64(i)}
-		if _, err := r.RunWithGuarantee(plan, 0.1, 0.1); err != nil {
+		if _, err := r.RunWithGuarantee(p, 0.1, 0.1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPractical measures the practical pipeline's round throughput —
+// a fixed 150 rounds per iteration — across the workload scenarios: the
+// orders join (compiled-CQ path), the orders filter (algebra path with an
+// order comparison), and the key-violation relation the chain benchmarks
+// use (shared substrate, no conversion). Sub-benchmarks with a workers
+// suffix exercise the parallel round pool; their results are bit-identical
+// to the sequential ones by construction.
+func BenchmarkPractical(b *testing.B) {
+	ordersOC := workload.Orders(workload.OrdersConfig{Orders: 2000, Customers: 200, ViolationRate: 0.1, Seed: 7})
+	joinPlan := plan.Distinct{Input: plan.Project{
+		Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	filterPlan := plan.Distinct{Input: plan.Project{
+		Input: plan.Select{
+			Input: plan.Scan{Table: "orders"},
+			Cond:  plan.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
+		},
+		Cols: []string{"oid"},
+	}}
+
+	kvDB, _ := workload.KeyViolations(workload.KeyConfig{Keys: 500, Violations: 100, Seed: 1})
+	kvCat := plan.NewCatalogOn(kvDB)
+	kvCat.MustAddTable("R", "k", "v")
+	if err := kvCat.DeclareKey("R", "k"); err != nil {
+		b.Fatal(err)
+	}
+	kvCat.Seal()
+	existsPlan := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "R"}, Cols: []string{"k"}}}
+
+	scenarios := []struct {
+		name    string
+		cat     *plan.Catalog
+		p       plan.Plan
+		workers int
+	}{
+		{"orders-join", ordersOC.Catalog, joinPlan, 1},
+		{"orders-filter", ordersOC.Catalog, filterPlan, 1},
+		{"keyviol-exists", kvCat, existsPlan, 1},
+		{"orders-join-workers=4", ordersOC.Catalog, joinPlan, 4},
+		{"keyviol-exists-workers=4", kvCat, existsPlan, 4},
+	}
+	for _, sc := range scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &practical.Runner{Catalog: sc.cat, Seed: 7, Workers: sc.workers}
+				if _, err := r.Run(sc.p, 150); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 	"math/rand"
 
 	"repro/internal/constraint"
-	"repro/internal/engine"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/practical"
 	"repro/internal/relation"
 	"repro/internal/workload"
@@ -32,15 +32,17 @@ func newSet(cs ...*constraint.Constraint) *constraint.Set {
 
 // newPracticalSampler draws one R_del per keyed table of the catalog, for
 // timing the rewritten plan shape.
-func newPracticalSampler(oc *workload.OrdersCatalog) map[string]*engine.Relation {
+func newPracticalSampler(oc *workload.OrdersCatalog) map[string]*plan.Relation {
 	rng := rand.New(rand.NewSource(99))
-	repl := map[string]*engine.Relation{}
+	repl := map[string]*plan.Relation{}
 	for _, table := range oc.Catalog.KeyedTables() {
-		rel, err := oc.Catalog.Table(table)
+		t, err := oc.Catalog.Table(table)
 		if err != nil {
 			panic(err)
 		}
-		repl[table] = practical.SampleRdel(rng, rel, oc.Catalog.Key(table), practical.Policy{})
+		groups := practical.KeyGroups(oc.Catalog.DB(), t.Pred, len(t.Cols), oc.Catalog.Key(table))
+		del := practical.SampleRdel(rng, groups, practical.Policy{})
+		repl[table] = plan.FromFacts(table+"_del", t.Cols, del)
 	}
 	return repl
 }

@@ -9,11 +9,11 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/fo"
 	"repro/internal/generators"
 	"repro/internal/logic"
 	"repro/internal/markov"
+	"repro/internal/plan"
 	"repro/internal/prob"
 	"repro/internal/repair"
 	"repro/internal/sampling"
@@ -114,18 +114,18 @@ func init() {
 			})
 			for _, tc := range []struct {
 				name string
-				plan engine.Plan
+				plan plan.Plan
 			}{
-				{"filter", engine.Select{
-					Input: engine.Scan{Table: "orders"},
-					Cond:  engine.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
+				{"filter", plan.Select{
+					Input: plan.Scan{Table: "orders"},
+					Cond:  plan.ColEqVal{Col: "amount", Op: ">=", Val: "500"},
 				}},
-				{"join", engine.Project{
-					Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+				{"join", plan.Project{
+					Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 					Cols:  []string{"oid", "region"},
 				}},
-				{"aggregate", engine.GroupCount{
-					Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+				{"aggregate", plan.GroupCount{
+					Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 					By:    []string{"region"},
 				}},
 			} {
@@ -193,7 +193,7 @@ func failingPaperInstance() *repair.Instance {
 	return repair.MustInstance(d, newSet(tgd, dc))
 }
 
-func timePlan(p engine.Plan, oc *workload.OrdersCatalog) (time.Duration, error) {
+func timePlan(p plan.Plan, oc *workload.OrdersCatalog) (time.Duration, error) {
 	start := time.Now()
 	for i := 0; i < 5; i++ {
 		if _, err := p.Exec(oc.Catalog); err != nil {
@@ -203,10 +203,10 @@ func timePlan(p engine.Plan, oc *workload.OrdersCatalog) (time.Duration, error) 
 	return time.Since(start) / 5, nil
 }
 
-func timeRewrittenPlan(p engine.Plan, oc *workload.OrdersCatalog) (time.Duration, error) {
+func timeRewrittenPlan(p plan.Plan, oc *workload.OrdersCatalog) (time.Duration, error) {
 	// One fixed R_del draw; the timing compares plan shapes, not draws.
 	runner := newPracticalSampler(oc)
-	rewritten := engine.RewriteScans(p, runner)
+	rewritten := plan.RewriteScans(p, runner)
 	start := time.Now()
 	for i := 0; i < 5; i++ {
 		if _, err := rewritten.Exec(oc.Catalog); err != nil {

@@ -1,16 +1,21 @@
 // Command ocqa answers a first-order query over an inconsistent database
 // under the operational CQA semantics of Calautti, Libkin and Pieris
-// (PODS 2018). It computes either the exact operational consistent answers
-// (exponential; Theorem 5) or the additive-error approximation of
-// Theorem 9.
+// (PODS 2018). It computes the exact operational consistent answers
+// (exponential; Theorem 5), the additive-error approximation of Theorem 9,
+// or the Section 5 practical scheme (keep at most one tuple per violated
+// key, evaluate the query over the copy-on-write repair R − R_del, repeat
+// n = ⌈ln(2/δ)/(2ε²)⌉ times).
 //
 // Usage:
 //
 //	ocqa -db data.facts -constraints schema.rules -query query.fo \
 //	     [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	     [-mode exact|approx] [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4]
+//	     [-mode exact|approx|practical] [-eps 0.1] [-delta 0.1] \
+//	     [-seed 1] [-workers 4] [-drop-all 0]
 //
-// File arguments also accept "inline:<text>".
+// File arguments also accept "inline:<text>". Practical mode derives the
+// keys it repairs from the key-shaped EGDs of the constraint file and runs
+// rounds on a worker pool; results are bit-identical for any -workers.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/plan"
+	"repro/internal/practical"
 	"repro/internal/prob"
 	"repro/internal/repair"
 	"repro/internal/sampling"
@@ -32,13 +39,14 @@ func main() {
 		sigmaPath = flag.String("constraints", "", "constraint file (TGDs/EGDs/DCs), or inline:<text>")
 		queryPath = flag.String("query", "", "query file (Q(X) := formula), or inline:<text>")
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
-		mode      = flag.String("mode", "exact", "exact (full chain exploration) or approx (Theorem 9 sampling)")
-		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx mode)")
-		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx mode)")
-		seed      = flag.Int64("seed", 1, "random seed (approx mode)")
-		workers   = flag.Int("workers", 1, "parallel walkers (approx mode)")
+		mode      = flag.String("mode", "exact", "exact (full chain exploration), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
+		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx/practical mode)")
+		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx/practical mode)")
+		seed      = flag.Int64("seed", 1, "random seed (approx/practical mode)")
+		workers   = flag.Int("workers", 1, "parallel walkers/rounds (approx/practical mode)")
 		maxStates = flag.Int("max-states", 1_000_000, "exact-mode state budget (0 = unlimited)")
 		nulls     = flag.Bool("nulls", false, "repair TGDs with labeled-null insertions (Section 6 extension)")
+		dropAll   = flag.Float64("drop-all", 0, "practical mode: probability a violating key group keeps no tuple")
 	)
 	flag.Parse()
 	if *dbPath == "" || *sigmaPath == "" || *queryPath == "" {
@@ -46,13 +54,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *eps, *delta, *seed, *workers, *maxStates, *nulls); err != nil {
+	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *eps, *delta, *seed, *workers, *maxStates, *nulls, *dropAll); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64, seed int64, workers, maxStates int, nulls bool) error {
+func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64, seed int64, workers, maxStates int, nulls bool, dropAll float64) error {
 	d, err := cliutil.LoadDatabase(dbPath)
 	if err != nil {
 		return err
@@ -115,8 +123,51 @@ func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64,
 		}
 		return nil
 
+	case "practical":
+		if dropAll < 0 || dropAll > 1 {
+			return fmt.Errorf("-drop-all must be a probability in [0, 1], got %g", dropAll)
+		}
+		cat := plan.NewCatalogOn(d)
+		keyed, unrecognized := cat.DeriveKeys(sigma)
+		if len(keyed) == 0 {
+			return fmt.Errorf("practical mode needs at least one key-shaped EGD (R(x̄), R(ȳ) → xi = yi) in the constraints")
+		}
+		if unrecognized > 0 {
+			fmt.Printf("note: %d of %d constraints are not key EGDs; the practical scheme repairs key violations only\n",
+				unrecognized, sigma.Len())
+		}
+		r := &practical.Runner{
+			Catalog: cat,
+			Policy:  practical.Policy{DropAll: dropAll},
+			Seed:    seed,
+			Workers: workers,
+		}
+		res, err := r.RunQueryWithGuarantee(q, eps, delta)
+		if err != nil {
+			return err
+		}
+		groups := 0
+		for _, table := range keyed {
+			t, err := cat.Table(table)
+			if err != nil {
+				return err
+			}
+			groups += len(practical.KeyGroups(cat.DB(), t.Pred, len(t.Cols), cat.Key(table)))
+		}
+		fmt.Printf("practical scheme: n = %d rounds (ε = %g, δ = %g), %d keyed tables, %d violating groups, drop-all %g\n\n",
+			res.N, eps, delta, len(keyed), groups, dropAll)
+		if len(res.Tuples) == 0 {
+			fmt.Println("no tuple was observed in any round")
+			return nil
+		}
+		fmt.Printf("approximate answer frequencies for %s:\n", q)
+		for _, tf := range res.Tuples {
+			fmt.Printf("  (%s) : %.4f  (count %d/%d)\n", joinTuple(tf.Row), tf.P, tf.Count, res.N)
+		}
+		return nil
+
 	default:
-		return fmt.Errorf("unknown mode %q (want exact or approx)", mode)
+		return fmt.Errorf("unknown mode %q (want exact, approx, or practical)", mode)
 	}
 }
 

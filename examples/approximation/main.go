@@ -3,7 +3,8 @@
 // repairing sequences, yet the additive-error sampler answers in
 // milliseconds with an explicit (ε, δ) guarantee. The same computation is
 // then repeated through the Section 5 practical scheme (R − R_del query
-// rewriting) on the relational engine.
+// rewriting), running over the very same interned database — the chain
+// walks and the relational rounds now share one substrate.
 //
 // Run with: go run ./examples/approximation
 package main
@@ -13,10 +14,10 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/fo"
 	"repro/internal/generators"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/practical"
 	"repro/internal/prob"
 	"repro/internal/repair"
@@ -82,27 +83,26 @@ func main() {
 	fmt.Printf("  uncertain keys:       %d (min estimate %.3f)\n\n", partial, minP)
 
 	// The same question through the Section 5 practical scheme: keep one
-	// tuple per violating group, rewrite the query over R − R_del, repeat.
-	rel := engine.NewRelation("R", "k", "v")
-	for _, f := range d.Facts() {
-		rel.Add(f.ArgNames()[0], f.ArgNames()[1])
-	}
-	cat := engine.NewCatalog().AddTable(rel)
+	// tuple per violating group, evaluate the query over the copy-on-write
+	// repair R − R_del, repeat. The catalog is a schema view over the SAME
+	// interned database the chain walks used — no copy, one data plane.
+	cat := plan.NewCatalogOn(d)
+	cat.MustAddTable("R", "k", "v")
 	if err := cat.DeclareKey("R", "k"); err != nil {
 		log.Fatal(err)
 	}
-	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "R"}, Cols: []string{"k"}}}
+	qplan := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "R"}, Cols: []string{"k"}}}
 
 	start = time.Now()
-	runner := &practical.Runner{Catalog: cat, Seed: 7}
-	res, err := runner.RunWithGuarantee(plan, eps, delta)
+	runner := &practical.Runner{Catalog: cat, Seed: 7, Workers: 4}
+	res, err := runner.RunWithGuarantee(qplan, eps, delta)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("practical scheme (%d rewritten-query rounds in %s):\n", res.N, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("practical scheme (%d rewritten-query rounds in %s, 4 workers):\n", res.N, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  every key appears with frequency 1 under keep-one repairs: %v\n",
 		allOnes(res))
-	fmt.Println("\nnote: the engine-level scheme keeps exactly one tuple per group")
+	fmt.Println("\nnote: the practical scheme keeps exactly one tuple per group")
 	fmt.Println("(classical key repairs), so keys always survive; the chain-level")
 	fmt.Println("walk also explores the 'delete both' branch of Definition 3, which")
 	fmt.Println("is why its conflicted keys have P < 1.")

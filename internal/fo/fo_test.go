@@ -154,14 +154,21 @@ func TestAnswersCQMatchesEnum(t *testing.T) {
 	if !ok {
 		t.Fatal("query must be recognized as a CQ")
 	}
-	cq := q.answersCQ(d, atoms)
-	enum := q.answersEnum(d)
-	if len(cq) != len(enum) {
-		t.Fatalf("CQ path: %v, enum path: %v", cq, enum)
+	collect := func(enum func(fn func([]intern.Sym))) [][]string {
+		var out [][]string
+		enum(func(tuple []intern.Sym) { out = append(out, intern.Names(tuple)) })
+		SortTuples(out)
+		return out
+	}
+	cq := collect(func(fn func([]intern.Sym)) { q.forEachAnswerCQ(d, atoms, fn) })
+	enum := collect(func(fn func([]intern.Sym)) { q.forEachAnswerEnum(d, fn) })
+	direct := q.answersCQ(d, atoms) // the specialized body behind Answers
+	if len(cq) != len(enum) || len(direct) != len(enum) {
+		t.Fatalf("CQ path: %v, enum path: %v, direct path: %v", cq, enum, direct)
 	}
 	for i := range cq {
-		if TupleKey(cq[i]) != TupleKey(enum[i]) {
-			t.Errorf("paths disagree at %d: %v vs %v", i, cq[i], enum[i])
+		if TupleKey(cq[i]) != TupleKey(enum[i]) || TupleKey(direct[i]) != TupleKey(enum[i]) {
+			t.Errorf("paths disagree at %d: %v vs %v vs %v", i, cq[i], enum[i], direct[i])
 		}
 	}
 }
@@ -225,9 +232,10 @@ func TestUnconstrainedOutputVar(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("Answers = %v", got)
 	}
-	enum := q.answersEnum(d)
-	if len(enum) != 2 {
-		t.Fatalf("enum = %v", enum)
+	enumCount := 0
+	q.forEachAnswerEnum(d, func([]intern.Sym) { enumCount++ })
+	if enumCount != 2 {
+		t.Fatalf("enum count = %d, want 2", enumCount)
 	}
 }
 

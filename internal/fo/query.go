@@ -97,6 +97,11 @@ func (q *Query) Holds(d *relation.Database, tuple []string) bool {
 // Answers computes Q(D) = {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)} as a sorted list
 // of tuples. Conjunctions of positive atoms take the homomorphism-search
 // fast path; general formulas enumerate dom(D)^{|x̄|}.
+//
+// Answers deliberately does not route through ForEachAnswerSyms: collecting
+// through a per-answer callback costs an indirect call the compiler cannot
+// inline, measurable on answer-dense queries (BenchmarkFOEval), so the
+// collecting form appends directly inside the enumeration.
 func (q *Query) Answers(d *relation.Database) [][]string {
 	if atoms, ok := q.asConjunctiveBody(); ok {
 		return q.answersCQ(d, atoms)
@@ -104,7 +109,22 @@ func (q *Query) Answers(d *relation.Database) [][]string {
 	return q.answersEnum(d)
 }
 
-// answersEnum is the generic active-domain evaluation.
+// ForEachAnswerSyms enumerates the distinct answers of Q(D) as interned
+// symbol tuples, in unspecified order, without materializing names or
+// sorting — the tallying form used by the sampling estimator and the
+// practical pipeline, whose per-walk/per-round counters key answers by
+// packed symbols and only ever render the distinct tuples once. The tuple
+// slice is reused between calls; clone it to retain.
+func (q *Query) ForEachAnswerSyms(d *relation.Database, fn func(tuple []intern.Sym)) {
+	if atoms, ok := q.asConjunctiveBody(); ok {
+		q.forEachAnswerCQ(d, atoms, fn)
+		return
+	}
+	q.forEachAnswerEnum(d, fn)
+}
+
+// answersEnum is the generic active-domain evaluation, collecting names
+// directly (see the Answers note); tuples are distinct by enumeration.
 func (q *Query) answersEnum(d *relation.Database) [][]string {
 	dom := d.DomSyms()
 	var out [][]string
@@ -128,6 +148,29 @@ func (q *Query) answersEnum(d *relation.Database) [][]string {
 	rec(0)
 	SortTuples(out)
 	return out
+}
+
+// forEachAnswerEnum is answersEnum in callback form for ForEachAnswerSyms.
+func (q *Query) forEachAnswerEnum(d *relation.Database, fn func([]intern.Sym)) {
+	dom := d.DomSyms()
+	env := logic.NewSubst()
+	tuple := make([]intern.Sym, len(q.Out))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Out) {
+			if q.F.Eval(d, dom, env) {
+				fn(tuple)
+			}
+			return
+		}
+		for _, c := range dom {
+			env[q.Out[i].Sym()] = c
+			tuple[i] = c
+			rec(i + 1)
+		}
+		delete(env, q.Out[i].Sym())
+	}
+	rec(0)
 }
 
 // asConjunctiveBody reports whether the formula is a pure conjunction of
@@ -161,28 +204,14 @@ func (q *Query) asConjunctiveBody() ([]logic.Atom, bool) {
 	return atoms, true
 }
 
-// answersCQ evaluates a conjunctive query via homomorphism search and
-// projects onto the output variables. Output variables that do not occur
-// in the body range over the full active domain, preserving the
-// active-domain semantics of answersEnum.
+// answersCQ is the direct-collect CQ evaluation behind Answers. It mirrors
+// forEachAnswerCQ with the collection inlined: answer-dense queries pay a
+// measurable per-answer cost for an extra uninlinable callback
+// (BenchmarkFOEval/cq-fast-path), so the two forms keep separate bodies;
+// TestAnswersCQMatchesEnum and the estimator/practical equivalence suites
+// pin them together.
 func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
-	bodyVars := map[intern.Sym]bool{}
-	for _, v := range logic.VarsOf(atoms) {
-		bodyVars[v.Sym()] = true
-	}
-	var unconstrained []int
-	for i, v := range q.Out {
-		if !bodyVars[v.Sym()] {
-			unconstrained = append(unconstrained, i)
-		}
-	}
-	// The active domain is only enumerated for output variables missing
-	// from the body; skip materializing it otherwise.
-	var dom []intern.Sym
-	if len(unconstrained) > 0 {
-		dom = d.DomSyms()
-	}
-
+	unconstrained, dom := q.cqProjection(d, atoms)
 	seen := map[string]bool{}
 	var out [][]string
 	var packBuf [64]byte
@@ -220,6 +249,69 @@ func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
 	})
 	SortTuples(out)
 	return out
+}
+
+// cqProjection computes the output positions whose variables do not occur
+// in the body (they range over the active domain) and materializes the
+// domain only when such positions exist.
+func (q *Query) cqProjection(d *relation.Database, atoms []logic.Atom) ([]int, []intern.Sym) {
+	bodyVars := map[intern.Sym]bool{}
+	for _, v := range logic.VarsOf(atoms) {
+		bodyVars[v.Sym()] = true
+	}
+	var unconstrained []int
+	for i, v := range q.Out {
+		if !bodyVars[v.Sym()] {
+			unconstrained = append(unconstrained, i)
+		}
+	}
+	var dom []intern.Sym
+	if len(unconstrained) > 0 {
+		dom = d.DomSyms()
+	}
+	return unconstrained, dom
+}
+
+// forEachAnswerCQ evaluates a conjunctive query via homomorphism search
+// and projects onto the output variables. Output variables that do not
+// occur in the body range over the full active domain, preserving the
+// active-domain semantics of forEachAnswerEnum.
+func (q *Query) forEachAnswerCQ(d *relation.Database, atoms []logic.Atom, fn func([]intern.Sym)) {
+	unconstrained, dom := q.cqProjection(d, atoms)
+	seen := map[string]bool{}
+	var packBuf [64]byte
+	emit := func(tuple []intern.Sym) {
+		k := intern.PackSyms(packBuf[:0], tuple)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			fn(tuple)
+		}
+	}
+	// One output buffer for the whole enumeration: emit reads it before
+	// returning and the callback copies what it keeps, so each homomorphism
+	// (and each domain expansion below) may overwrite it in place.
+	tuple := make([]intern.Sym, len(q.Out))
+	relation.ForEachHom(atoms, d, logic.NewSubst(), func(h logic.Subst) bool {
+		for i, v := range q.Out {
+			if c, ok := h.Lookup(v.Sym()); ok {
+				tuple[i] = c
+			}
+		}
+		// Expand unconstrained output variables over the domain.
+		var expand func(j int)
+		expand = func(j int) {
+			if j == len(unconstrained) {
+				emit(tuple)
+				return
+			}
+			for _, c := range dom {
+				tuple[unconstrained[j]] = c
+				expand(j + 1)
+			}
+		}
+		expand(0)
+		return true
+	})
 }
 
 // TupleKey encodes an answer tuple canonically for map keys: the packed

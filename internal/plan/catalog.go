@@ -1,0 +1,342 @@
+// Package plan is the relational-algebra layer of the unified substrate:
+// named tables are views over the predicates of an interned
+// relation.Database, plans are algebra expressions
+// (Scan/Select/Project/Join/Diff/Union/Distinct/GroupCount) evaluated over
+// interned symbol rows with symbol-id hash joins, and conjunctive plans
+// compile to fo queries so they run on the indexed homomorphism search.
+// It replaces the string-row engine that the Section 5 practical scheme
+// used to run on: one data plane now serves the chain machinery and the
+// approximation pipeline alike.
+package plan
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/intern"
+	"repro/internal/relation"
+)
+
+// Table is the schema of one named table: a predicate of the backing
+// database together with column names. Facts of the predicate whose arity
+// differs from the declared column count are ignored by Scan.
+type Table struct {
+	Name string
+	Pred intern.Sym
+	Cols []string
+}
+
+// ColIndex returns the index of a column.
+func (t *Table) ColIndex(col string) (int, error) {
+	for i, c := range t.Cols {
+		if c == col {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: table %s has no column %q", t.Name, col)
+}
+
+// Catalog maps table names to schemas over a backing relation.Database and
+// records declared keys (column-index lists) for the practical repair
+// scheme. The schema part is immutable once built; With swaps the backing
+// database in O(1), which is how per-round repairs R − R_del are evaluated
+// without rebuilding any relation.
+type Catalog struct {
+	tables map[string]*Table
+	keys   map[string][]int
+	db     *relation.Database
+}
+
+// NewCatalog returns an empty catalog over a fresh database.
+func NewCatalog() *Catalog { return NewCatalogOn(relation.NewDatabase()) }
+
+// NewCatalogOn returns a catalog over an existing database, so table views
+// can be declared directly over the facts the chain machinery already
+// holds — no copy, same substrate.
+func NewCatalogOn(db *relation.Database) *Catalog {
+	return &Catalog{tables: map[string]*Table{}, keys: map[string][]int{}, db: db}
+}
+
+// DB returns the backing database.
+func (c *Catalog) DB() *relation.Database { return c.db }
+
+// With returns a shallow view of the catalog over a different backing
+// database: schemas and keys are shared, only the fact source changes.
+func (c *Catalog) With(db *relation.Database) *Catalog {
+	return &Catalog{tables: c.tables, keys: c.keys, db: db}
+}
+
+// Seal folds the backing database's delta into an indexed snapshot (see
+// relation.Database.Seal); the caller must be the only writer.
+func (c *Catalog) Seal() { c.db.Seal() }
+
+// AddTable declares a table schema.
+func (c *Catalog) AddTable(name string, cols ...string) error {
+	if name == "" {
+		return fmt.Errorf("plan: table name must be non-empty")
+	}
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("plan: table %q already declared", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if seen[col] {
+			return fmt.Errorf("plan: table %q declares column %q twice", name, col)
+		}
+		seen[col] = true
+	}
+	c.tables[name] = &Table{Name: name, Pred: intern.S(name), Cols: cols}
+	return nil
+}
+
+// MustAddTable is AddTable that panics on error; chainable.
+func (c *Catalog) MustAddTable(name string, cols ...string) *Catalog {
+	if err := c.AddTable(name, cols...); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Table looks a schema up.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns the declared table names, sorted.
+func (c *Catalog) Tables() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a row to a table as an interned fact of the backing database;
+// it reports whether the fact was new (databases are sets, so re-inserting
+// an identical row is a no-op).
+func (c *Catalog) Insert(table string, vals ...string) (bool, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return false, err
+	}
+	if len(vals) != len(t.Cols) {
+		return false, fmt.Errorf("plan: row width %d does not match %d columns of %s", len(vals), len(t.Cols), table)
+	}
+	return c.db.Insert(relation.NewFact(table, vals...)), nil
+}
+
+// MustInsert is Insert that panics on error; chainable.
+func (c *Catalog) MustInsert(table string, vals ...string) *Catalog {
+	if _, err := c.Insert(table, vals...); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Count reports the number of rows of a table (0 for unknown tables).
+func (c *Catalog) Count(table string) int {
+	t, ok := c.tables[table]
+	if !ok {
+		return 0
+	}
+	n := 0
+	c.db.ForEachPredFact(t.Pred, func(f relation.Fact) bool {
+		if f.Arity() == len(t.Cols) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Facts returns the facts backing a table (nil for unknown tables). The
+// returned slice must not be modified.
+func (c *Catalog) Facts(table string) []relation.Fact {
+	t, ok := c.tables[table]
+	if !ok {
+		return nil
+	}
+	return c.db.FactsByPred(t.Pred)
+}
+
+// DeclareKey records that the given columns form a key of the table.
+func (c *Catalog) DeclareKey(table string, cols ...string) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("plan: key of %s must name at least one column", table)
+	}
+	idx := make([]int, len(cols))
+	for i, col := range cols {
+		j, err := t.ColIndex(col)
+		if err != nil {
+			return err
+		}
+		idx[i] = j
+	}
+	c.keys[table] = idx
+	return nil
+}
+
+// Key returns the key column indexes of a table (nil when none declared).
+func (c *Catalog) Key(table string) []int { return c.keys[table] }
+
+// KeyedTables returns the names of tables with a declared key, sorted.
+func (c *Catalog) KeyedTables() []string {
+	var out []string
+	for t := range c.keys {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeriveKeys scans a constraint set for key-shaped EGDs — two atoms of the
+// same predicate sharing variables at some positions, cross-equating a
+// pair of variables at a non-shared position — and declares the shared
+// positions as that table's key, but only when the predicate's EGDs
+// together equate EVERY non-shared position: a lone EGD R(x,y,u), R(x,z,w)
+// → y = z is the functional dependency x → y, not a key, and treating it
+// as one would make the practical scheme repair a distribution unrelated
+// to the constraints (wide tables need one EGD per non-key position).
+// Tables not yet in the catalog are added with generated column names
+// a1..aN. It returns the sorted names of the tables whose keys were
+// derived plus the number of constraints that did not contribute to a
+// derived key, so a caller can report what the practical scheme will and
+// will not repair.
+func (c *Catalog) DeriveKeys(sigma *constraint.Set) ([]string, int) {
+	type predKey struct {
+		shared  []int
+		equated map[int]bool
+		arity   int
+		egds    int
+	}
+	byPred := map[string]*predKey{}
+	unrecognized := 0
+	for _, con := range sigma.All() {
+		name, pos, eq, arity, ok := keyShape(con)
+		if !ok {
+			unrecognized++
+			continue
+		}
+		pk := byPred[name]
+		if pk == nil {
+			pk = &predKey{shared: pos, equated: map[int]bool{}, arity: arity}
+			byPred[name] = pk
+		} else {
+			pk.shared = intersect(pk.shared, pos)
+		}
+		for _, p := range eq {
+			pk.equated[p] = true
+		}
+		pk.egds++
+	}
+	var out []string
+	for name, pk := range byPred {
+		covered := len(pk.shared) > 0
+		for p := 0; p < pk.arity && covered; p++ {
+			if !slices.Contains(pk.shared, p) && !pk.equated[p] {
+				covered = false
+			}
+		}
+		if !covered {
+			unrecognized += pk.egds
+			continue
+		}
+		t, ok := c.tables[name]
+		if !ok {
+			cols := make([]string, pk.arity)
+			for i := range cols {
+				cols[i] = fmt.Sprintf("a%d", i+1)
+			}
+			if err := c.AddTable(name, cols...); err != nil {
+				unrecognized += pk.egds
+				continue
+			}
+			t = c.tables[name]
+		}
+		valid := true
+		for _, p := range pk.shared {
+			if p >= len(t.Cols) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			unrecognized += pk.egds
+			continue
+		}
+		c.keys[name] = pk.shared
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, unrecognized
+}
+
+// keyShape recognizes one key-component EGD R(x̄), R(ȳ) → xi = yi: the two
+// atoms share variables at the candidate key positions, and the equated
+// pair is the cross-atom variable pair at one or more of the remaining
+// positions. It returns the predicate name, the shared (key) positions,
+// the positions the equality covers, and the atom arity. EGDs equating
+// anything else (e.g. R(X,Y), R(X,Z) → X = Y, a legal EGD but not a key
+// component) are rejected; DeriveKeys additionally requires the
+// predicate's EGDs to cover every non-shared position.
+func keyShape(con *constraint.Constraint) (string, []int, []int, int, bool) {
+	if con.Kind() != constraint.EGD {
+		return "", nil, nil, 0, false
+	}
+	body := con.Body()
+	if len(body) != 2 {
+		return "", nil, nil, 0, false
+	}
+	a, b := body[0], body[1]
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return "", nil, nil, 0, false
+	}
+	l, r := con.Equality()
+	if !l.IsVar() || !r.IsVar() {
+		return "", nil, nil, 0, false
+	}
+	var pos, eq []int
+	for i := range a.Args {
+		ta, tb := a.Args[i], b.Args[i]
+		if !ta.IsVar() || !tb.IsVar() {
+			return "", nil, nil, 0, false
+		}
+		if ta.Sym() == tb.Sym() {
+			pos = append(pos, i)
+			continue
+		}
+		if (ta.Sym() == l.Sym() && tb.Sym() == r.Sym()) ||
+			(ta.Sym() == r.Sym() && tb.Sym() == l.Sym()) {
+			eq = append(eq, i)
+		}
+	}
+	if len(pos) == 0 || len(pos) == len(a.Args) || len(eq) == 0 {
+		return "", nil, nil, 0, false
+	}
+	return intern.Name(a.Pred), pos, eq, len(a.Args), true
+}
+
+func intersect(a, b []int) []int {
+	in := map[int]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	var out []int
+	for _, x := range b {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

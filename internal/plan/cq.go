@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/fo"
+	"repro/internal/intern"
+	"repro/internal/logic"
+)
+
+// AsQuery compiles a plan into an equivalent first-order conjunctive query
+// when the plan is one: a Distinct over any composition of Scan, natural
+// Join, equality Select (col = col, col = value), and Project. The
+// compiled query evaluates through the indexed homomorphism search of the
+// relation package — the same join machinery the chain engine uses — which
+// beats materializing intermediate relations whenever join arguments are
+// selective. Plans using Diff, Union, GroupCount, Literal leaves, order
+// comparisons, negation/disjunction, or projecting a constant-bound or
+// duplicated column do not compile; ok is false and the caller falls back
+// to algebraic evaluation.
+//
+// Every Scan allocates fresh variables for its columns and every operator
+// threads a column → variable scope: Join unifies the variables of shared
+// column names, Project narrows the scope. Columns projected away are
+// therefore invisible to later joins — exactly the algebra's semantics —
+// and self-joins of projections of one table stay independent.
+func AsQuery(p Plan, c *Catalog) (*fo.Query, bool) {
+	d, ok := p.(Distinct)
+	if !ok {
+		return nil, false
+	}
+	b := &cqBuilder{cat: c, parent: map[string]string{}, consts: map[string]string{}}
+	sc, ok := b.build(d.Input)
+	if !ok {
+		return nil, false
+	}
+	// Resolve every variable through the union-find and substitute into
+	// the collected atoms.
+	subst := func(varName string) (logic.Term, bool) {
+		root := b.find(varName)
+		if v, bound := b.consts[root]; bound {
+			return logic.Const(v), true
+		}
+		return logic.Var(root), false
+	}
+	atoms := make([]logic.Atom, len(b.atoms))
+	for i, a := range b.atoms {
+		args := make([]logic.Term, len(a.Args))
+		for j, t := range a.Args {
+			args[j], _ = subst(t.Name())
+		}
+		atoms[i] = logic.Atom{Pred: a.Pred, Args: args}
+	}
+	// Output variables: one distinct variable per projected column.
+	out := make([]logic.Term, len(sc.cols))
+	seen := map[string]bool{}
+	outSyms := map[intern.Sym]bool{}
+	for i, col := range sc.cols {
+		t, isConst := subst(sc.vars[col])
+		if isConst || seen[t.Name()] {
+			// A constant-bound output column would have to range over the
+			// active domain under fo semantics, and duplicate output
+			// variables are invalid: both fall back to the algebra.
+			return nil, false
+		}
+		seen[t.Name()] = true
+		outSyms[t.Sym()] = true
+		out[i] = t
+	}
+	// Existentially close the body variables that are not projected, in
+	// first-occurrence order.
+	var exVars []logic.Term
+	exSeen := map[intern.Sym]bool{}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && !outSyms[t.Sym()] && !exSeen[t.Sym()] {
+				exSeen[t.Sym()] = true
+				exVars = append(exVars, t)
+			}
+		}
+	}
+	fs := make([]fo.Formula, len(atoms))
+	for i, a := range atoms {
+		fs[i] = fo.Atom{A: a}
+	}
+	var body fo.Formula = fo.Conj(fs...)
+	if len(exVars) > 0 {
+		body = fo.Exists{Vars: exVars, F: body}
+	}
+	q, err := fo.NewQuery("Plan", out, body)
+	if err != nil {
+		return nil, false
+	}
+	return q, true
+}
+
+// scope is the output shape of a subplan during compilation: its column
+// list in header order and, per column, the name of the query variable
+// currently carrying it.
+type scope struct {
+	cols []string
+	vars map[string]string
+}
+
+// cqBuilder accumulates atoms and variable equalities while walking a
+// plan. Variables are allocated fresh per Scan column; the union-find
+// merges variables equated by Join and Select, and consts pins roots bound
+// to literal values.
+type cqBuilder struct {
+	cat    *Catalog
+	atoms  []logic.Atom
+	nextID int
+	parent map[string]string
+	consts map[string]string
+}
+
+func (b *cqBuilder) freshVar(col string) string {
+	b.nextID++
+	return fmt.Sprintf("%s#%d", col, b.nextID)
+}
+
+func (b *cqBuilder) find(v string) string {
+	r, ok := b.parent[v]
+	if !ok || r == v {
+		return v
+	}
+	root := b.find(r)
+	b.parent[v] = root
+	return root
+}
+
+func (b *cqBuilder) union(a, c string) bool {
+	ra, rc := b.find(a), b.find(c)
+	if ra == rc {
+		return true
+	}
+	va, aBound := b.consts[ra]
+	vc, cBound := b.consts[rc]
+	if aBound && cBound && va != vc {
+		return false // unsatisfiable; let the algebra return the empty result
+	}
+	b.parent[ra] = rc
+	if aBound {
+		b.consts[rc] = va
+	}
+	return true
+}
+
+func (b *cqBuilder) bindConst(v, val string) bool {
+	r := b.find(v)
+	if prev, bound := b.consts[r]; bound {
+		return prev == val
+	}
+	b.consts[r] = val
+	return true
+}
+
+// build walks the plan, returning the subplan's scope; ok is false when
+// any node falls outside the conjunctive fragment.
+func (b *cqBuilder) build(p Plan) (scope, bool) {
+	switch n := p.(type) {
+	case Scan:
+		t, err := b.cat.Table(n.Table)
+		if err != nil {
+			return scope{}, false
+		}
+		sc := scope{cols: t.Cols, vars: make(map[string]string, len(t.Cols))}
+		args := make([]logic.Term, len(t.Cols))
+		for i, col := range t.Cols {
+			v := b.freshVar(col)
+			sc.vars[col] = v
+			args[i] = logic.Var(v)
+		}
+		b.atoms = append(b.atoms, logic.Atom{Pred: t.Pred, Args: args})
+		return sc, true
+	case Join:
+		l, ok := b.build(n.L)
+		if !ok {
+			return scope{}, false
+		}
+		r, ok := b.build(n.R)
+		if !ok {
+			return scope{}, false
+		}
+		out := scope{cols: append([]string(nil), l.cols...), vars: l.vars}
+		for _, col := range r.cols {
+			if _, shared := l.vars[col]; shared {
+				if !b.union(l.vars[col], r.vars[col]) {
+					return scope{}, false
+				}
+			} else {
+				out.cols = append(out.cols, col)
+				out.vars[col] = r.vars[col]
+			}
+		}
+		return out, true
+	case Select:
+		sc, ok := b.build(n.Input)
+		if !ok {
+			return scope{}, false
+		}
+		if !b.cond(n.Cond, sc) {
+			return scope{}, false
+		}
+		return sc, true
+	case Project:
+		sc, ok := b.build(n.Input)
+		if !ok {
+			return scope{}, false
+		}
+		out := scope{cols: n.Cols, vars: make(map[string]string, len(n.Cols))}
+		for _, col := range n.Cols {
+			v, ok := sc.vars[col]
+			if !ok {
+				return scope{}, false
+			}
+			out.vars[col] = v
+		}
+		return out, true
+	case Distinct:
+		return b.build(n.Input)
+	default:
+		return scope{}, false
+	}
+}
+
+// cond folds an equality condition into the builder; non-equality
+// operators, disjunction, and negation are outside the fragment.
+func (b *cqBuilder) cond(c Cond, sc scope) bool {
+	switch n := c.(type) {
+	case ColEqVal:
+		return n.Op == "=" && sc.vars[n.Col] != "" && b.bindConst(sc.vars[n.Col], n.Val)
+	case ColEqCol:
+		return n.Op == "=" && sc.vars[n.Col1] != "" && sc.vars[n.Col2] != "" && b.union(sc.vars[n.Col1], sc.vars[n.Col2])
+	case AndCond:
+		for _, sub := range n.Conds {
+			if !b.cond(sub, sc) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

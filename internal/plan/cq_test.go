@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// answersViaAlgebra evaluates a plan and returns its distinct rows as
+// sorted name tuples — the reference semantics AsQuery must reproduce.
+func answersViaAlgebra(t *testing.T, p Plan, cat *Catalog) [][]string {
+	t.Helper()
+	out, err := p.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Sorted()
+	var dedup [][]string
+	for _, r := range rows {
+		if len(dedup) == 0 || slices.Compare(dedup[len(dedup)-1], r) != 0 {
+			dedup = append(dedup, r)
+		}
+	}
+	if dedup == nil {
+		dedup = [][]string{}
+	}
+	return dedup
+}
+
+func TestAsQueryJoinPlan(t *testing.T) {
+	cat := sampleCatalog()
+	p := Distinct{Input: Project{
+		Input: Join{L: Scan{Table: "orders"}, R: Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("join plan should compile")
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if !slices.EqualFunc(got, want, slices.Equal) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}
+
+func TestAsQuerySelectConstant(t *testing.T) {
+	cat := sampleCatalog()
+	p := Distinct{Input: Project{
+		Input: Select{
+			Input: Join{L: Scan{Table: "orders"}, R: Scan{Table: "customers"}},
+			Cond:  ColEqVal{Col: "region", Op: "=", Val: "north"},
+		},
+		Cols: []string{"oid"},
+	}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("constant-select plan should compile")
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if !slices.EqualFunc(got, want, slices.Equal) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}
+
+func TestAsQueryRejectsNonCQ(t *testing.T) {
+	cat := sampleCatalog()
+	cases := []Plan{
+		// No Distinct: bag semantics.
+		Project{Input: Scan{Table: "orders"}, Cols: []string{"cust"}},
+		// Order comparison.
+		Distinct{Input: Select{Input: Scan{Table: "orders"}, Cond: ColEqVal{Col: "amount", Op: ">=", Val: "150"}}},
+		// Disjunction.
+		Distinct{Input: Select{Input: Scan{Table: "orders"}, Cond: OrCond{Conds: []Cond{
+			ColEqVal{Col: "oid", Op: "=", Val: "o1"},
+			ColEqVal{Col: "oid", Op: "=", Val: "o2"},
+		}}}},
+		// Difference, union, aggregation, literals.
+		Distinct{Input: Diff{L: Scan{Table: "orders"}, R: Scan{Table: "orders"}}},
+		Distinct{Input: Union{L: Scan{Table: "orders"}, R: Scan{Table: "orders"}}},
+		Distinct{Input: GroupCount{Input: Scan{Table: "orders"}, By: []string{"cust"}}},
+		Distinct{Input: Literal{Rel: NewRelation("lit", "x")}},
+		// Projecting a constant-bound column.
+		Distinct{Input: Project{
+			Input: Select{Input: Scan{Table: "orders"}, Cond: ColEqVal{Col: "cust", Op: "=", Val: "c1"}},
+			Cols:  []string{"cust"},
+		}},
+		// Projecting two unified columns.
+		Distinct{Input: Project{
+			Input: Select{Input: Scan{Table: "orders"}, Cond: ColEqCol{Col1: "oid", Op: "=", Col2: "cust"}},
+			Cols:  []string{"oid", "cust"},
+		}},
+		// Unknown table.
+		Distinct{Input: Scan{Table: "missing"}},
+	}
+	for i, p := range cases {
+		if _, ok := AsQuery(p, cat); ok {
+			t.Errorf("case %d (%s) must not compile", i, p)
+		}
+	}
+}
+
+func TestAsQueryColEqCol(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustAddTable("E", "src", "dst").
+		MustInsert("E", "a", "a").
+		MustInsert("E", "a", "b").
+		MustInsert("E", "b", "b")
+	cat.Seal()
+	p := Distinct{Input: Project{
+		Input: Select{Input: Scan{Table: "E"}, Cond: ColEqCol{Col1: "src", Op: "=", Col2: "dst"}},
+		Cols:  []string{"src"},
+	}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("self-loop plan should compile")
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if !slices.EqualFunc(got, want, slices.Equal) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}
+
+func TestAsQueryBooleanPlan(t *testing.T) {
+	cat := sampleCatalog()
+	p := Distinct{Input: Project{Input: Scan{Table: "orders"}, Cols: nil}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("boolean plan should compile")
+	}
+	if !q.IsBoolean() {
+		t.Errorf("compiled query %s should be boolean", q)
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if len(got) != len(want) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}
+
+// TestAsQueryEquivalenceRandomized cross-checks the compiled CQ against the
+// algebra on randomized catalogs and randomized conjunctive plans: for
+// every compiling plan, the fo evaluation over the indexed substrate must
+// return exactly the algebra's distinct rows.
+func TestAsQueryEquivalenceRandomized(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		cat := NewCatalog()
+		// Two tables sharing the "b" column, so joins are meaningful.
+		cat.MustAddTable(fmt.Sprintf("R%d", trial), "a", "b")
+		cat.MustAddTable(fmt.Sprintf("S%d", trial), "b", "c")
+		rName, sName := fmt.Sprintf("R%d", trial), fmt.Sprintf("S%d", trial)
+		dom := []string{"u", "v", "w", "x"}
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			cat.MustInsert(rName, dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+		}
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			cat.MustInsert(sName, dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+		}
+		cat.Seal()
+
+		var inner Plan
+		cols := []string{"a", "b"}
+		switch rng.Intn(3) {
+		case 0:
+			inner = Scan{Table: rName}
+		case 1:
+			inner = Join{L: Scan{Table: rName}, R: Scan{Table: sName}}
+			cols = []string{"a", "b", "c"}
+		default:
+			inner = Join{L: Scan{Table: sName}, R: Scan{Table: rName}}
+			cols = []string{"b", "c", "a"}
+		}
+		if rng.Intn(2) == 0 {
+			col := cols[rng.Intn(len(cols))]
+			if rng.Intn(2) == 0 {
+				inner = Select{Input: inner, Cond: ColEqVal{Col: col, Op: "=", Val: dom[rng.Intn(len(dom))]}}
+				cols = remove(cols, col) // keep constant-bound columns unprojected
+			} else if len(cols) >= 2 {
+				other := cols[rng.Intn(len(cols))]
+				if other != col {
+					inner = Select{Input: inner, Cond: ColEqCol{Col1: col, Op: "=", Col2: other}}
+					cols = remove(cols, other) // keep unified pairs single-projected
+				}
+			}
+		}
+		// Project a random non-empty subset in random order.
+		rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+		if len(cols) > 1 && rng.Intn(2) == 0 {
+			cols = cols[:1+rng.Intn(len(cols)-1)]
+		}
+		p := Distinct{Input: Project{Input: inner, Cols: cols}}
+
+		q, ok := AsQuery(p, cat)
+		if !ok {
+			t.Fatalf("trial %d: plan %s should compile", trial, p)
+		}
+		got := q.Answers(cat.DB())
+		want := answersViaAlgebra(t, p, cat)
+		if !slices.EqualFunc(got, want, slices.Equal) {
+			t.Errorf("trial %d: plan %s\nCQ answers      %v\nalgebra answers %v", trial, p, got, want)
+		}
+	}
+}
+
+func remove(cols []string, col string) []string {
+	var out []string
+	for _, c := range cols {
+		if c != col {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestAsQueryProjectedAwayColumnsDoNotJoin is the regression test for a
+// miscompilation: a column projected away before a join must not unify
+// with a later scan's same-named column. Scan variables are scoped per
+// scan instance, so the compiled CQ reproduces the algebra's cross
+// product here instead of inventing a join on the dropped column.
+func TestAsQueryProjectedAwayColumnsDoNotJoin(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustAddTable("ord", "oid", "cust", "amount").
+		MustInsert("ord", "o1", "c1", "100").
+		MustInsert("ord", "o2", "c2", "200")
+	cat.MustAddTable("refunds", "rid", "amount").
+		MustInsert("refunds", "r1", "999")
+	cat.Seal()
+	p := Distinct{Input: Project{
+		Input: Join{
+			L: Project{Input: Scan{Table: "ord"}, Cols: []string{"cust"}},
+			R: Scan{Table: "refunds"},
+		},
+		Cols: []string{"cust", "rid"},
+	}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("plan should compile")
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if len(want) != 2 {
+		t.Fatalf("algebra reference = %v, want the 2-row cross product", want)
+	}
+	if !slices.EqualFunc(got, want, slices.Equal) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}
+
+// TestAsQuerySelfJoinOfProjections: two projections of the same table must
+// compile to independent atoms, not be forced onto the same fact.
+func TestAsQuerySelfJoinOfProjections(t *testing.T) {
+	cat := NewCatalog()
+	cat.MustAddTable("P", "a", "b").
+		MustInsert("P", "x", "1").
+		MustInsert("P", "y", "2")
+	cat.Seal()
+	// π[a](P) ⋈ π[b](P): no shared columns → cross product of the two
+	// projections (4 rows), not the diagonal.
+	p := Distinct{Input: Join{
+		L: Project{Input: Scan{Table: "P"}, Cols: []string{"a"}},
+		R: Project{Input: Scan{Table: "P"}, Cols: []string{"b"}},
+	}}
+	q, ok := AsQuery(p, cat)
+	if !ok {
+		t.Fatal("plan should compile")
+	}
+	got := q.Answers(cat.DB())
+	want := answersViaAlgebra(t, p, cat)
+	if len(want) != 4 {
+		t.Fatalf("algebra reference = %v, want 4 rows", want)
+	}
+	if !slices.EqualFunc(got, want, slices.Equal) {
+		t.Errorf("CQ answers %v != algebra answers %v", got, want)
+	}
+}

@@ -1,0 +1,648 @@
+package plan
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/intern"
+	"repro/internal/relation"
+)
+
+// Relation is an evaluated result: a column header and rows of interned
+// symbols. Rows are bags (duplicates allowed) unless passed through
+// Distinct; base tables, being fact sets, are duplicate-free by
+// construction. Row slices handed out by Scan alias the interned fact
+// storage and must not be modified.
+type Relation struct {
+	Name string
+	Cols []string
+	Rows [][]intern.Sym
+}
+
+// NewRelation creates an empty relation with the given columns.
+func NewRelation(name string, cols ...string) *Relation {
+	return &Relation{Name: name, Cols: cols}
+}
+
+// Add appends a row of constants (interning them); the row length must
+// match the column count.
+func (r *Relation) Add(row ...string) *Relation {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("plan: row width %d does not match %d columns of %s", len(row), len(r.Cols), r.Name))
+	}
+	syms := make([]intern.Sym, len(row))
+	for i, v := range row {
+		syms[i] = intern.S(v)
+	}
+	r.Rows = append(r.Rows, syms)
+	return r
+}
+
+// FromFacts wraps a fact list as a relation (for Literal leaves, e.g. the
+// R_del sets of the practical scheme). Facts whose arity differs from the
+// column count are skipped; the rows alias the facts' interned argument
+// storage.
+func FromFacts(name string, cols []string, fs []relation.Fact) *Relation {
+	out := &Relation{Name: name, Cols: cols}
+	for _, f := range fs {
+		if args := f.Args(); len(args) == len(cols) {
+			out.Rows = append(out.Rows, args)
+		}
+	}
+	return out
+}
+
+// Len reports the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// RowStrings returns row i as constant names.
+func (r *Relation) RowStrings(i int) []string { return intern.Names(r.Rows[i]) }
+
+// Sorted returns the rows as constant names, sorted lexicographically (for
+// deterministic comparisons in tests and rendering).
+func (r *Relation) Sorted() [][]string {
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = intern.Names(row)
+	}
+	sort.Slice(out, func(i, j int) bool { return slices.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two relations hold the same bag of rows over the
+// same columns (row order is ignored).
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.Cols) != len(o.Cols) || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Cols {
+		if r.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	counts := map[string]int{}
+	var buf [64]byte
+	for _, row := range r.Rows {
+		counts[string(intern.PackSyms(buf[:0], row))]++
+	}
+	for _, row := range o.Rows {
+		counts[string(intern.PackSyms(buf[:0], row))]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a simple table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s): %d rows\n", r.Name, strings.Join(r.Cols, ", "), len(r.Rows))
+	for _, row := range r.Sorted() {
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(row, ", "))
+	}
+	return b.String()
+}
+
+// Plan is a relational algebra expression evaluated against a catalog (the
+// catalog supplies both schemas and the backing database; use Catalog.With
+// to evaluate the same plan over a different database, e.g. a per-round
+// repair).
+type Plan interface {
+	fmt.Stringer
+	// Exec evaluates the plan.
+	Exec(c *Catalog) (*Relation, error)
+}
+
+// Scan reads a base table: the facts of the table's predicate.
+type Scan struct{ Table string }
+
+// Literal wraps an in-memory relation as a leaf (used by the rewriter to
+// splice R_del relations into plans).
+type Literal struct{ Rel *Relation }
+
+// Select filters rows by a condition.
+type Select struct {
+	Input Plan
+	Cond  Cond
+}
+
+// Project keeps the named columns (in the given order; duplicates allowed).
+type Project struct {
+	Input Plan
+	Cols  []string
+}
+
+// Join is a natural join: rows agreeing on all shared columns are combined;
+// with no shared columns it degenerates to a cross product. The join is a
+// symbol-id hash join — keys are packed symbol tuples, never strings.
+type Join struct{ L, R Plan }
+
+// Diff is set difference L − R over identical headers (bag semantics:
+// every row of L whose value appears anywhere in R is dropped, matching
+// SQL's EXCEPT over the deduplicated R, which is what the R − R_del
+// rewriting needs).
+type Diff struct{ L, R Plan }
+
+// Union concatenates two inputs with identical headers (bag semantics).
+type Union struct{ L, R Plan }
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Plan }
+
+// GroupCount groups by the given columns and appends a count column.
+type GroupCount struct {
+	Input   Plan
+	By      []string
+	CountAs string
+}
+
+// Cond is a row predicate for Select. Conditions compile once per Exec to
+// a closure over column indexes and pre-resolved constants, so the per-row
+// work for equality tests is pure symbol comparison.
+type Cond interface {
+	fmt.Stringer
+	compile(t condTable) (func(row []intern.Sym) bool, error)
+}
+
+// condTable resolves column names for condition compilation.
+type condTable map[string]int
+
+// ColEqVal compares a column to a literal value with the given operator
+// (=, !=, <, <=, >, >=; order comparisons are numeric when both sides
+// parse as numbers, lexicographic otherwise).
+type ColEqVal struct {
+	Col string
+	Op  string
+	Val string
+}
+
+// ColEqCol compares two columns with the given operator.
+type ColEqCol struct {
+	Col1 string
+	Op   string
+	Col2 string
+}
+
+// AndCond conjoins conditions.
+type AndCond struct{ Conds []Cond }
+
+// OrCond disjoins conditions.
+type OrCond struct{ Conds []Cond }
+
+// NotCond negates a condition.
+type NotCond struct{ C Cond }
+
+// orderCompare is the <, <=, >, >= comparison over constant names: numeric
+// when both parse as numbers, lexicographic otherwise.
+func orderCompare(a, op, b string) (bool, error) {
+	var less, eq bool
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		less, eq = fa < fb, fa == fb
+	} else {
+		less, eq = a < b, a == b
+	}
+	switch op {
+	case "<":
+		return less, nil
+	case "<=":
+		return less || eq, nil
+	case ">":
+		return !less && !eq, nil
+	case ">=":
+		return !less, nil
+	}
+	return false, fmt.Errorf("plan: unknown comparison operator %q", op)
+}
+
+func (c ColEqVal) compile(t condTable) (func([]intern.Sym) bool, error) {
+	i, ok := t[c.Col]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown column %q in condition", c.Col)
+	}
+	switch c.Op {
+	case "=", "!=":
+		// A constant that was never interned cannot equal any row symbol.
+		sym, interned := intern.Lookup(c.Val)
+		eq := c.Op == "="
+		return func(row []intern.Sym) bool {
+			return (interned && row[i] == sym) == eq
+		}, nil
+	}
+	if _, err := orderCompare("", c.Op, ""); err != nil {
+		return nil, err
+	}
+	val := c.Val
+	op := c.Op
+	fv, valNumeric := 0.0, false
+	if f, err := strconv.ParseFloat(val, 64); err == nil {
+		fv, valNumeric = f, true
+	}
+	return func(row []intern.Sym) bool {
+		name := intern.Name(row[i])
+		if valNumeric {
+			// The constant parses once at compile time; rows that also parse
+			// compare numerically, matching orderCompare.
+			if fr, err := strconv.ParseFloat(name, 64); err == nil {
+				switch op {
+				case "<":
+					return fr < fv
+				case "<=":
+					return fr <= fv
+				case ">":
+					return fr > fv
+				default:
+					return fr >= fv
+				}
+			}
+		}
+		ok, _ := orderCompare(name, op, val)
+		return ok
+	}, nil
+}
+
+func (c ColEqCol) compile(t condTable) (func([]intern.Sym) bool, error) {
+	i, ok := t[c.Col1]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown column %q in condition", c.Col1)
+	}
+	j, ok := t[c.Col2]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown column %q in condition", c.Col2)
+	}
+	switch c.Op {
+	case "=":
+		return func(row []intern.Sym) bool { return row[i] == row[j] }, nil
+	case "!=":
+		return func(row []intern.Sym) bool { return row[i] != row[j] }, nil
+	}
+	if _, err := orderCompare("", c.Op, ""); err != nil {
+		return nil, err
+	}
+	op := c.Op
+	return func(row []intern.Sym) bool {
+		ok, _ := orderCompare(intern.Name(row[i]), op, intern.Name(row[j]))
+		return ok
+	}, nil
+}
+
+func (c AndCond) compile(t condTable) (func([]intern.Sym) bool, error) {
+	subs := make([]func([]intern.Sym) bool, len(c.Conds))
+	for i, sub := range c.Conds {
+		f, err := sub.compile(t)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = f
+	}
+	return func(row []intern.Sym) bool {
+		for _, f := range subs {
+			if !f(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (c OrCond) compile(t condTable) (func([]intern.Sym) bool, error) {
+	subs := make([]func([]intern.Sym) bool, len(c.Conds))
+	for i, sub := range c.Conds {
+		f, err := sub.compile(t)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = f
+	}
+	return func(row []intern.Sym) bool {
+		for _, f := range subs {
+			if f(row) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (c NotCond) compile(t condTable) (func([]intern.Sym) bool, error) {
+	f, err := c.C.compile(t)
+	if err != nil {
+		return nil, err
+	}
+	return func(row []intern.Sym) bool { return !f(row) }, nil
+}
+
+func (c ColEqVal) String() string { return fmt.Sprintf("%s %s %q", c.Col, c.Op, c.Val) }
+func (c ColEqCol) String() string { return fmt.Sprintf("%s %s %s", c.Col1, c.Op, c.Col2) }
+func (c AndCond) String() string  { return joinConds(c.Conds, " AND ") }
+func (c OrCond) String() string   { return "(" + joinConds(c.Conds, " OR ") + ")" }
+func (c NotCond) String() string  { return "NOT (" + c.C.String() + ")" }
+
+func joinConds(cs []Cond, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func colIndexMap(cols []string) condTable {
+	m := make(condTable, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	return m
+}
+
+func (p Scan) Exec(c *Catalog) (*Relation, error) {
+	t, err := c.Table(p.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Name: t.Name, Cols: t.Cols}
+	width := len(t.Cols)
+	c.db.ForEachPredFact(t.Pred, func(f relation.Fact) bool {
+		if args := f.Args(); len(args) == width {
+			out.Rows = append(out.Rows, args)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (p Literal) Exec(*Catalog) (*Relation, error) { return p.Rel, nil }
+
+func (p Select) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.Cond.compile(colIndexMap(in.Cols))
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Name: "σ", Cols: in.Cols}
+	for _, row := range in.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p Project) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := projectIdx(in, p.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Name: "π", Cols: append([]string(nil), p.Cols...)}
+	for _, row := range in.Rows {
+		proj := make([]intern.Sym, len(idx))
+		for i, j := range idx {
+			proj[i] = row[j]
+		}
+		out.Rows = append(out.Rows, proj)
+	}
+	return out, nil
+}
+
+func projectIdx(in *Relation, cols []string) ([]int, error) {
+	idx := make([]int, len(cols))
+	for i, col := range cols {
+		j := -1
+		for k, c := range in.Cols {
+			if c == col {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("plan: relation %s has no column %q (columns: %s)", in.Name, col, strings.Join(in.Cols, ", "))
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func (p Join) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	// Shared columns join; right-only columns are appended.
+	var sharedL, sharedR []int
+	rCols := colIndexMap(r.Cols)
+	for i, col := range l.Cols {
+		if j, ok := rCols[col]; ok {
+			sharedL = append(sharedL, i)
+			sharedR = append(sharedR, j)
+		}
+	}
+	var rightOnly []int
+	outCols := append([]string(nil), l.Cols...)
+	lCols := colIndexMap(l.Cols)
+	for j, col := range r.Cols {
+		if _, ok := lCols[col]; !ok {
+			rightOnly = append(rightOnly, j)
+			outCols = append(outCols, col)
+		}
+	}
+	out := &Relation{Name: "⋈", Cols: outCols}
+
+	// Hash join on the shared columns, keyed by packed symbol tuples.
+	buckets := map[string][][]intern.Sym{}
+	var keyBuf [64]byte
+	key := make([]intern.Sym, len(sharedR))
+	for _, rrow := range r.Rows {
+		for i, j := range sharedR {
+			key[i] = rrow[j]
+		}
+		k := string(intern.PackSyms(keyBuf[:0], key))
+		buckets[k] = append(buckets[k], rrow)
+	}
+	for _, lrow := range l.Rows {
+		for i, j := range sharedL {
+			key[i] = lrow[j]
+		}
+		for _, rrow := range buckets[string(intern.PackSyms(keyBuf[:0], key))] {
+			combined := make([]intern.Sym, 0, len(lrow)+len(rightOnly))
+			combined = append(combined, lrow...)
+			for _, j := range rightOnly {
+				combined = append(combined, rrow[j])
+			}
+			out.Rows = append(out.Rows, combined)
+		}
+	}
+	return out, nil
+}
+
+func (p Diff) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("plan: difference over mismatched headers (%d vs %d columns)", len(l.Cols), len(r.Cols))
+	}
+	drop := make(map[string]bool, len(r.Rows))
+	var buf [64]byte
+	for _, row := range r.Rows {
+		drop[string(intern.PackSyms(buf[:0], row))] = true
+	}
+	out := &Relation{Name: "−", Cols: l.Cols}
+	for _, row := range l.Rows {
+		if !drop[string(intern.PackSyms(buf[:0], row))] {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p Union) Exec(c *Catalog) (*Relation, error) {
+	l, err := p.L.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, fmt.Errorf("plan: union over mismatched headers (%d vs %d columns)", len(l.Cols), len(r.Cols))
+	}
+	out := &Relation{Name: "∪", Cols: l.Cols}
+	out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+	return out, nil
+}
+
+func (p Distinct) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Name: "δ", Cols: in.Cols}
+	seen := make(map[string]bool, len(in.Rows))
+	var buf [64]byte
+	for _, row := range in.Rows {
+		k := string(intern.PackSyms(buf[:0], row))
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (p GroupCount) Exec(c *Catalog) (*Relation, error) {
+	in, err := p.Input.Exec(c)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := projectIdx(in, p.By)
+	if err != nil {
+		return nil, err
+	}
+	countCol := p.CountAs
+	if countCol == "" {
+		countCol = "count"
+	}
+	type group struct {
+		rep   []intern.Sym
+		count int
+	}
+	groups := map[string]*group{}
+	var buf [64]byte
+	key := make([]intern.Sym, len(idx))
+	for _, row := range in.Rows {
+		for i, j := range idx {
+			key[i] = row[j]
+		}
+		k := string(intern.PackSyms(buf[:0], key))
+		g := groups[k]
+		if g == nil {
+			g = &group{rep: append([]intern.Sym(nil), key...)}
+			groups[k] = g
+		}
+		g.count++
+	}
+	out := &Relation{Name: "γ", Cols: append(append([]string(nil), p.By...), countCol)}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	// Deterministic output order: sort groups by their value names.
+	sort.Slice(ordered, func(i, j int) bool {
+		return slices.Compare(intern.Names(ordered[i].rep), intern.Names(ordered[j].rep)) < 0
+	})
+	for _, g := range ordered {
+		row := append(append([]intern.Sym(nil), g.rep...), intern.S(strconv.Itoa(g.count)))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (p Scan) String() string    { return p.Table }
+func (p Literal) String() string { return fmt.Sprintf("literal(%s)", p.Rel.Name) }
+func (p Select) String() string  { return fmt.Sprintf("σ[%s](%s)", p.Cond, p.Input) }
+func (p Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.Input)
+}
+func (p Join) String() string  { return fmt.Sprintf("(%s ⋈ %s)", p.L, p.R) }
+func (p Diff) String() string  { return fmt.Sprintf("(%s − %s)", p.L, p.R) }
+func (p Union) String() string { return fmt.Sprintf("(%s ∪ %s)", p.L, p.R) }
+func (p Distinct) String() string {
+	return fmt.Sprintf("δ(%s)", p.Input)
+}
+func (p GroupCount) String() string {
+	return fmt.Sprintf("γ[%s;count](%s)", strings.Join(p.By, ","), p.Input)
+}
+
+// RewriteScans returns a copy of the plan in which every Scan of a table
+// with an entry in repl is replaced by (Scan − literal): the R → R − R_del
+// rewriting of Section 5. Tables without an entry are left untouched.
+func RewriteScans(p Plan, repl map[string]*Relation) Plan {
+	switch n := p.(type) {
+	case Scan:
+		if del, ok := repl[n.Table]; ok {
+			return Diff{L: n, R: Literal{Rel: del}}
+		}
+		return n
+	case Literal:
+		return n
+	case Select:
+		return Select{Input: RewriteScans(n.Input, repl), Cond: n.Cond}
+	case Project:
+		return Project{Input: RewriteScans(n.Input, repl), Cols: n.Cols}
+	case Join:
+		return Join{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Diff:
+		return Diff{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Union:
+		return Union{L: RewriteScans(n.L, repl), R: RewriteScans(n.R, repl)}
+	case Distinct:
+		return Distinct{Input: RewriteScans(n.Input, repl)}
+	case GroupCount:
+		return GroupCount{Input: RewriteScans(n.Input, repl), By: n.By, CountAs: n.CountAs}
+	default:
+		panic(fmt.Sprintf("plan: unknown plan node %T", p))
+	}
+}

@@ -1,24 +1,28 @@
-package engine
+package plan
 
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
 )
 
 func sampleCatalog() *Catalog {
-	orders := NewRelation("orders", "oid", "cust", "amount").
-		Add("o1", "c1", "100").
-		Add("o1", "c2", "150"). // key violation on oid
-		Add("o2", "c1", "200").
-		Add("o3", "c3", "50")
-	customers := NewRelation("customers", "cust", "region").
-		Add("c1", "north").
-		Add("c2", "south").
-		Add("c3", "north")
-	cat := NewCatalog().AddTable(orders).AddTable(customers)
+	cat := NewCatalog()
+	cat.MustAddTable("orders", "oid", "cust", "amount").
+		MustInsert("orders", "o1", "c1", "100").
+		MustInsert("orders", "o1", "c2", "150"). // key violation on oid
+		MustInsert("orders", "o2", "c1", "200").
+		MustInsert("orders", "o3", "c3", "50")
+	cat.MustAddTable("customers", "cust", "region").
+		MustInsert("customers", "c1", "north").
+		MustInsert("customers", "c2", "south").
+		MustInsert("customers", "c3", "north")
 	if err := cat.DeclareKey("orders", "oid"); err != nil {
 		panic(err)
 	}
+	cat.Seal()
 	return cat
 }
 
@@ -58,6 +62,28 @@ func TestSelect(t *testing.T) {
 	if out.Len() != 2 {
 		t.Errorf("numeric >= filter rows = %d, want 2", out.Len())
 	}
+	// A value that was never interned anywhere can't match…
+	out, err = Select{
+		Input: Scan{Table: "orders"},
+		Cond:  ColEqVal{Col: "cust", Op: "=", Val: "never-seen-constant"},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("uninterned = filter rows = %d, want 0", out.Len())
+	}
+	// …and its negation matches everything.
+	out, err = Select{
+		Input: Scan{Table: "orders"},
+		Cond:  ColEqVal{Col: "cust", Op: "!=", Val: "never-seen-constant-2"},
+	}.Exec(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Errorf("uninterned != filter rows = %d, want 4", out.Len())
+	}
 }
 
 func TestSelectCompound(t *testing.T) {
@@ -72,8 +98,8 @@ func TestSelectCompound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 1 || out.Rows[0][0] != "o2" {
-		t.Errorf("rows = %v", out.Rows)
+	if out.Len() != 1 || out.RowStrings(0)[0] != "o2" {
+		t.Errorf("rows = %v", out.Sorted())
 	}
 	out, err = Select{
 		Input: Scan{Table: "orders"},
@@ -144,9 +170,9 @@ func TestJoin(t *testing.T) {
 }
 
 func TestJoinCrossProduct(t *testing.T) {
-	a := NewRelation("a", "x").Add("1").Add("2")
-	b := NewRelation("b", "y").Add("p").Add("q").Add("r")
-	cat := NewCatalog().AddTable(a).AddTable(b)
+	cat := NewCatalog()
+	cat.MustAddTable("a", "x").MustInsert("a", "1").MustInsert("a", "2")
+	cat.MustAddTable("b", "y").MustInsert("b", "p").MustInsert("b", "q").MustInsert("b", "r")
 	out, err := Join{L: Scan{Table: "a"}, R: Scan{Table: "b"}}.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +215,8 @@ func TestUnionAndGroupCount(t *testing.T) {
 	if g.Len() != 3 {
 		t.Fatalf("groups = %d, want 3", g.Len())
 	}
-	for _, row := range g.Rows {
+	for i := range g.Rows {
+		row := g.RowStrings(i)
 		if row[0] == "c1" && row[1] != "2" {
 			t.Errorf("count(c1) = %s, want 2", row[1])
 		}
@@ -197,19 +224,19 @@ func TestUnionAndGroupCount(t *testing.T) {
 }
 
 // TestRewriteIdentity: rewriting with empty R_del relations leaves query
-// results unchanged (invariant 9 of DESIGN.md).
+// results unchanged.
 func TestRewriteIdentity(t *testing.T) {
 	cat := sampleCatalog()
-	plan := Project{
+	p := Project{
 		Input: Join{L: Scan{Table: "orders"}, R: Scan{Table: "customers"}},
 		Cols:  []string{"oid", "region"},
 	}
-	orig, err := plan.Exec(cat)
+	orig, err := p.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	emptyDel := &Relation{Name: "orders_del", Cols: []string{"oid", "cust", "amount"}}
-	rewritten := RewriteScans(plan, map[string]*Relation{"orders": emptyDel})
+	emptyDel := NewRelation("orders_del", "oid", "cust", "amount")
+	rewritten := RewriteScans(p, map[string]*Relation{"orders": emptyDel})
 	out, err := rewritten.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
@@ -221,15 +248,15 @@ func TestRewriteIdentity(t *testing.T) {
 
 func TestRewriteRemovesRows(t *testing.T) {
 	cat := sampleCatalog()
-	plan := Select{Input: Scan{Table: "orders"}, Cond: ColEqVal{Col: "oid", Op: "=", Val: "o1"}}
+	p := Select{Input: Scan{Table: "orders"}, Cond: ColEqVal{Col: "oid", Op: "=", Val: "o1"}}
 	del := NewRelation("orders_del", "oid", "cust", "amount").Add("o1", "c2", "150")
-	rewritten := RewriteScans(plan, map[string]*Relation{"orders": del})
+	rewritten := RewriteScans(p, map[string]*Relation{"orders": del})
 	out, err := rewritten.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 1 || out.Rows[0][1] != "c1" {
-		t.Errorf("rows = %v", out.Rows)
+	if out.Len() != 1 || out.RowStrings(0)[1] != "c1" {
+		t.Errorf("rows = %v", out.Sorted())
 	}
 }
 
@@ -261,25 +288,79 @@ func TestCatalogKeys(t *testing.T) {
 	}
 }
 
+func TestCatalogViews(t *testing.T) {
+	cat := sampleCatalog()
+	if got := cat.Count("orders"); got != 4 {
+		t.Errorf("Count(orders) = %d, want 4", got)
+	}
+	if got := len(cat.Facts("customers")); got != 3 {
+		t.Errorf("Facts(customers) = %d, want 3", got)
+	}
+	if got := cat.Tables(); len(got) != 2 || got[0] != "customers" || got[1] != "orders" {
+		t.Errorf("Tables = %v", got)
+	}
+	// With swaps the backing database without copying schemas.
+	clone := cat.DB().Clone()
+	f := cat.Facts("orders")[0]
+	clone.Delete(f)
+	view := cat.With(clone)
+	if got := view.Count("orders"); got != 3 {
+		t.Errorf("view Count(orders) = %d, want 3", got)
+	}
+	if got := cat.Count("orders"); got != 4 {
+		t.Errorf("base catalog mutated: Count(orders) = %d, want 4", got)
+	}
+	// Duplicate inserts are set no-ops.
+	added, err := cat.Insert("customers", "c1", "north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Error("re-inserting an existing row must report no change")
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.AddTable(""); err == nil {
+		t.Error("empty table name must fail")
+	}
+	if err := cat.AddTable("t", "x", "x"); err == nil {
+		t.Error("duplicate columns must fail")
+	}
+	if err := cat.AddTable("t", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable("t", "y"); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := cat.Insert("t", "1", "2"); err == nil {
+		t.Error("row width mismatch must fail")
+	}
+	if err := cat.DeclareKey("t"); err == nil {
+		t.Error("empty key must fail")
+	}
+}
+
 func TestColEqColCondition(t *testing.T) {
-	rel := NewRelation("pairs", "x", "y").
-		Add("1", "1").
-		Add("1", "2").
-		Add("3", "2")
-	cat := NewCatalog().AddTable(rel)
+	cat := NewCatalog()
+	cat.MustAddTable("pairs", "x", "y").
+		MustInsert("pairs", "1", "1").
+		MustInsert("pairs", "1", "2").
+		MustInsert("pairs", "3", "2")
 	out, err := Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "x", Op: "=", Col2: "y"}}.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 1 || out.Rows[0][0] != "1" {
-		t.Errorf("rows = %v", out.Rows)
+	if out.Len() != 1 || out.RowStrings(0)[0] != "1" {
+		t.Errorf("rows = %v", out.Sorted())
 	}
 	out, err = Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "x", Op: ">", Col2: "y"}}.Exec(cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 1 || out.Rows[0][0] != "3" {
-		t.Errorf("rows = %v", out.Rows)
+	if out.Len() != 1 || out.RowStrings(0)[0] != "3" {
+		t.Errorf("rows = %v", out.Sorted())
 	}
 	if _, err := (Select{Input: Scan{Table: "pairs"}, Cond: ColEqCol{Col1: "zz", Op: "=", Col2: "y"}}).Exec(cat); err == nil {
 		t.Error("unknown column must fail")
@@ -290,7 +371,7 @@ func TestColEqColCondition(t *testing.T) {
 }
 
 func TestPlanAndCondStrings(t *testing.T) {
-	plan := Project{
+	p := Project{
 		Input: Select{
 			Input: Join{L: Scan{Table: "a"}, R: Scan{Table: "b"}},
 			Cond: AndCond{Conds: []Cond{
@@ -302,7 +383,7 @@ func TestPlanAndCondStrings(t *testing.T) {
 		},
 		Cols: []string{"x"},
 	}
-	s := plan.String()
+	s := p.String()
 	for _, want := range []string{"π[x]", "σ[", "a ⋈ b", `x = "1"`, "NOT", "x < y"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("plan string %q missing %q", s, want)
@@ -322,16 +403,10 @@ func TestPlanAndCondStrings(t *testing.T) {
 	}
 }
 
-func TestRelationStringAndClone(t *testing.T) {
+func TestRelationString(t *testing.T) {
 	rel := NewRelation("t", "x", "y").Add("1", "2")
 	if !strings.Contains(rel.String(), "t(x, y): 1 rows") {
 		t.Errorf("String = %q", rel.String())
-	}
-	c := rel.Clone()
-	c.Add("3", "4")
-	c.Rows[0][0] = "mutated"
-	if rel.Len() != 1 || rel.Rows[0][0] != "1" {
-		t.Error("clone shares storage with the original")
 	}
 }
 
@@ -342,4 +417,64 @@ func TestAddPanicsOnWidthMismatch(t *testing.T) {
 		}
 	}()
 	NewRelation("t", "x").Add("1", "2")
+}
+
+func TestDeriveKeysRecognizesOnlyKeyShapes(t *testing.T) {
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)}, y, z)
+	// A legal EGD, but not a key: it equates x with y, not the cross-atom
+	// pair at the non-shared position.
+	notKey := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("S", x, y), logic.NewAtom("S", x, z)}, x, y)
+	dc := constraint.MustDC([]logic.Atom{logic.NewAtom("T", x, x)})
+
+	cat := NewCatalog()
+	keyed, unrecognized := cat.DeriveKeys(constraint.NewSet(key, notKey, dc))
+	if len(keyed) != 1 || keyed[0] != "R" {
+		t.Errorf("keyed = %v, want [R]", keyed)
+	}
+	if unrecognized != 2 {
+		t.Errorf("unrecognized = %d, want 2 (the non-key EGD and the DC)", unrecognized)
+	}
+	if got := cat.Key("R"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Key(R) = %v, want [0]", got)
+	}
+	if cat.Key("S") != nil {
+		t.Errorf("S must not get a key from a non-key EGD")
+	}
+	rt, err := cat.Table("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Cols) != 2 {
+		t.Errorf("derived table R cols = %v, want 2 generated columns", rt.Cols)
+	}
+}
+
+// TestDeriveKeysRequiresFullCoverage: a single EGD over a wide table is a
+// functional dependency, not a key — the key is only declared when the
+// predicate's EGDs cross-equate every non-shared position.
+func TestDeriveKeysRequiresFullCoverage(t *testing.T) {
+	x, y, z, u, w := logic.Var("x"), logic.Var("y"), logic.Var("z"), logic.Var("u"), logic.Var("w")
+	// FD only: F(x, y, u), F(x, z, w) → y = z leaves position 2 free.
+	fd := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("F", x, y, u), logic.NewAtom("F", x, z, w)}, y, z)
+	cat := NewCatalog()
+	keyed, unrecognized := cat.DeriveKeys(constraint.NewSet(fd))
+	if len(keyed) != 0 || unrecognized != 1 {
+		t.Errorf("keyed = %v, unrecognized = %d; an FD alone must not derive a key", keyed, unrecognized)
+	}
+
+	// Adding the second component EGD covers every non-key position → key.
+	fd2 := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("F", x, y, u), logic.NewAtom("F", x, z, w)}, u, w)
+	cat = NewCatalog()
+	keyed, unrecognized = cat.DeriveKeys(constraint.NewSet(fd, fd2))
+	if len(keyed) != 1 || keyed[0] != "F" || unrecognized != 0 {
+		t.Errorf("keyed = %v, unrecognized = %d; the full EGD set must derive the key", keyed, unrecognized)
+	}
+	if got := cat.Key("F"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Key(F) = %v, want [0]", got)
+	}
 }

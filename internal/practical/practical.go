@@ -13,15 +13,28 @@
 // implements the paper's "at most one" reading, mirroring the trust
 // example of the introduction where neither conflicting source is
 // believed.
+//
+// The pipeline runs on the interned substrate end to end: key-violating
+// groups are enumerated once through the per-predicate argument indexes of
+// the sealed database, each round's repair R − R_del is an O(|R_del|)
+// copy-on-write clone, queries evaluate either through the compiled
+// conjunctive-query path (indexed homomorphism search) or the symbol-id
+// plan algebra, and rounds run on a worker pool whose per-round RNGs
+// derive from (Seed, round) — so results are bit-identical for any worker
+// count, mirroring sampling.Estimator.
 package practical
 
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
-	"repro/internal/engine"
+	"repro/internal/fo"
+	"repro/internal/intern"
+	"repro/internal/plan"
 	"repro/internal/prob"
+	"repro/internal/relation"
 )
 
 // Policy controls how a violating key group is repaired in one round.
@@ -32,48 +45,100 @@ type Policy struct {
 	DropAll float64
 }
 
-// KeyGroups returns the row-index groups of rel that agree on the key
-// columns and have more than one member — the violating groups.
-func KeyGroups(rel *engine.Relation, keyIdx []int) [][]int {
-	byKey := map[string][]int{}
-	var order []string
-	for i, row := range rel.Rows {
-		parts := make([]string, len(keyIdx))
-		for j, k := range keyIdx {
-			parts[j] = fmt.Sprintf("%q", row[k])
-		}
-		key := fmt.Sprint(parts)
-		if _, ok := byKey[key]; !ok {
-			order = append(order, key)
-		}
-		byKey[key] = append(byKey[key], i)
+// KeyGroups returns the groups of facts of pred with the given arity that
+// agree on the key argument positions and have more than one member — the
+// violating groups. The arity filter matters: the interned database keys
+// facts by predicate alone, so a stray fact of a different arity (which
+// Scan and the compiled CQ path ignore) must not manufacture a violation
+// against the table's rows. Groups come from the sealed database's
+// per-predicate argument index (one bucket enumeration, no string keys);
+// for multi-column keys the first position's buckets are subdivided by the
+// remaining positions. Members and groups are in canonical fact order, so
+// the enumeration is deterministic across processes.
+func KeyGroups(db *relation.Database, pred intern.Sym, arity int, keyPos []int) [][]relation.Fact {
+	if len(keyPos) == 0 {
+		return nil
 	}
-	var out [][]int
-	for _, k := range order {
-		if g := byKey[k]; len(g) > 1 {
-			out = append(out, g)
+	var groups [][]relation.Fact
+	db.ForEachGroupAt(pred, keyPos[0], func(_ intern.Sym, fs []relation.Fact) bool {
+		if len(fs) < 2 {
+			return true
 		}
+		if len(keyPos) == 1 {
+			g := make([]relation.Fact, 0, len(fs))
+			for _, f := range fs {
+				if f.Arity() == arity {
+					g = append(g, f)
+				}
+			}
+			if len(g) > 1 {
+				groups = append(groups, g)
+			}
+			return true
+		}
+		// Subdivide the bucket by the remaining key positions.
+		sub := map[string][]relation.Fact{}
+		var order []string
+		var buf [64]byte
+		rest := make([]intern.Sym, len(keyPos)-1)
+		for _, f := range fs {
+			if f.Arity() != arity {
+				continue
+			}
+			args := f.Args()
+			ok := true
+			for i, kp := range keyPos[1:] {
+				if kp >= len(args) {
+					ok = false
+					break
+				}
+				rest[i] = args[kp]
+			}
+			if !ok {
+				continue
+			}
+			k := string(intern.PackSyms(buf[:0], rest))
+			if _, seen := sub[k]; !seen {
+				order = append(order, k)
+			}
+			sub[k] = append(sub[k], f)
+		}
+		for _, k := range order {
+			if g := sub[k]; len(g) > 1 {
+				groups = append(groups, g)
+			}
+		}
+		return true
+	})
+	for _, g := range groups {
+		relation.SortFacts(g)
 	}
-	return out
+	slices.SortFunc(groups, func(a, b []relation.Fact) int {
+		return relation.CompareFacts(a[0], b[0])
+	})
+	return groups
 }
 
-// SampleRdel draws one R_del for the relation: for every violating key
+// SampleRdel draws one R_del from precomputed violating groups: for every
 // group, with probability pol.DropAll all members are deleted; otherwise
 // one member is kept uniformly at random and the rest are deleted.
-func SampleRdel(rng *rand.Rand, rel *engine.Relation, keyIdx []int, pol Policy) *engine.Relation {
-	del := &engine.Relation{Name: rel.Name + "_del", Cols: rel.Cols}
-	for _, group := range KeyGroups(rel, keyIdx) {
+func SampleRdel(rng *rand.Rand, groups [][]relation.Fact, pol Policy) []relation.Fact {
+	return sampleRdelInto(rng, groups, pol, nil)
+}
+
+func sampleRdelInto(rng *rand.Rand, groups [][]relation.Fact, pol Policy, dst []relation.Fact) []relation.Fact {
+	for _, g := range groups {
 		keep := -1
 		if pol.DropAll <= 0 || rng.Float64() >= pol.DropAll {
-			keep = group[rng.Intn(len(group))]
+			keep = rng.Intn(len(g))
 		}
-		for _, i := range group {
+		for i, f := range g {
 			if i != keep {
-				del.Rows = append(del.Rows, rel.Rows[i])
+				dst = append(dst, f)
 			}
 		}
 	}
-	return del
+	return dst
 }
 
 // TupleFreq is an output tuple with its frequency over the n rounds.
@@ -92,9 +157,8 @@ type Result struct {
 
 // Lookup returns the frequency entry for a row (zero entry when absent).
 func (r *Result) Lookup(row []string) TupleFreq {
-	k := fmt.Sprint(row)
 	for _, t := range r.Tuples {
-		if fmt.Sprint(t.Row) == k {
+		if slices.Equal(t.Row, row) {
 			return t
 		}
 	}
@@ -103,76 +167,229 @@ func (r *Result) Lookup(row []string) TupleFreq {
 
 // Runner executes the scheme against a catalog.
 type Runner struct {
-	Catalog *engine.Catalog
+	Catalog *plan.Catalog
 	Policy  Policy
-	Seed    int64
+	// Seed makes runs reproducible: every round's RNG is derived from
+	// (Seed, round index), so a run is bit-identical for a fixed seed no
+	// matter how the rounds are scheduled.
+	Seed int64
+	// Workers is the number of concurrent round evaluators (≤ 1 means
+	// sequential). Round RNGs are per-round and counts are merged, so the
+	// result is bit-identical for every worker count.
+	Workers int
 }
 
 // Run executes n rounds of the scheme for the query plan and returns the
 // per-tuple frequencies. Output rows are deduplicated within each round
-// (the scheme counts whether a tuple is in the round's answer, not how many
-// times).
-func (r *Runner) Run(plan engine.Plan, n int) (*Result, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("practical: need at least one round, got %d", n)
+// (the scheme counts whether a tuple is in the round's answer, not how
+// many times). Conjunctive plans are compiled to indexed CQ evaluation;
+// everything else evaluates through the plan algebra.
+func (r *Runner) Run(p plan.Plan, n int) (*Result, error) {
+	if q, ok := plan.AsQuery(p, r.Catalog); ok {
+		return r.runRounds(r.queryEval(q), n)
 	}
-	rng := rand.New(rand.NewSource(r.Seed))
-	counts := map[string]int{}
-	rows := map[string][]string{}
-	for round := 0; round < n; round++ {
-		repl := map[string]*engine.Relation{}
-		for _, table := range r.Catalog.KeyedTables() {
-			rel, err := r.Catalog.Table(table)
-			if err != nil {
-				return nil, err
-			}
-			repl[table] = SampleRdel(rng, rel, r.Catalog.Key(table), r.Policy)
-		}
-		rewritten := engine.RewriteScans(plan, repl)
-		out, err := rewritten.Exec(r.Catalog)
-		if err != nil {
-			return nil, err
-		}
-		seen := map[string]bool{}
-		for _, row := range out.Rows {
-			k := fmt.Sprint(row)
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			counts[k]++
-			if _, ok := rows[k]; !ok {
-				rows[k] = append([]string(nil), row...)
-			}
-		}
-	}
-	res := &Result{N: n}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		res.Tuples = append(res.Tuples, TupleFreq{
-			Row:   rows[k],
-			Count: counts[k],
-			P:     float64(counts[k]) / float64(n),
-		})
-	}
-	return res, nil
+	return r.runRounds(r.planEval(p), n)
+}
+
+// RunQuery executes the scheme for a first-order query on the catalog's
+// database — the unified-substrate path with no plan at all: each round
+// evaluates q over the repaired database (indexed CQ search when q is
+// conjunctive).
+func (r *Runner) RunQuery(q *fo.Query, n int) (*Result, error) {
+	return r.runRounds(r.queryEval(q), n)
 }
 
 // RunWithGuarantee computes n from (ε, δ) via the Hoeffding bound and runs
 // the scheme; for ε = δ = 0.1 this is the paper's n = 150.
-func (r *Runner) RunWithGuarantee(plan engine.Plan, eps, delta float64) (*Result, error) {
+func (r *Runner) RunWithGuarantee(p plan.Plan, eps, delta float64) (*Result, error) {
 	n, err := prob.HoeffdingSamples(eps, delta)
 	if err != nil {
 		return nil, err
 	}
-	res, rerr := r.Run(plan, n)
+	res, rerr := r.Run(p, n)
 	if rerr != nil {
 		return nil, rerr
 	}
 	res.Eps, res.Delta = eps, delta
+	return res, nil
+}
+
+// RunQueryWithGuarantee is RunWithGuarantee for a first-order query.
+func (r *Runner) RunQueryWithGuarantee(q *fo.Query, eps, delta float64) (*Result, error) {
+	n, err := prob.HoeffdingSamples(eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	res, rerr := r.RunQuery(q, n)
+	if rerr != nil {
+		return nil, rerr
+	}
+	res.Eps, res.Delta = eps, delta
+	return res, nil
+}
+
+// roundEval evaluates one round's repaired database, calling emit once per
+// distinct answer tuple; the tuple slice may be reused between calls.
+type roundEval func(db *relation.Database, emit func(tuple []intern.Sym)) error
+
+func (r *Runner) queryEval(q *fo.Query) roundEval {
+	return func(db *relation.Database, emit func(tuple []intern.Sym)) error {
+		q.ForEachAnswerSyms(db, emit)
+		return nil
+	}
+}
+
+func (r *Runner) planEval(p plan.Plan) roundEval {
+	return func(db *relation.Database, emit func(tuple []intern.Sym)) error {
+		out, err := p.Exec(r.Catalog.With(db))
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]bool, len(out.Rows))
+		var buf [64]byte
+		for _, row := range out.Rows {
+			k := string(intern.PackSyms(buf[:0], row))
+			if !seen[k] {
+				seen[k] = true
+				emit(row)
+			}
+		}
+		return nil
+	}
+}
+
+// tallyCell accumulates one tuple's observations across rounds.
+type tallyCell struct {
+	count int
+	row   []string
+}
+
+type roundTally struct {
+	cells map[string]*tallyCell
+	err   error
+}
+
+func (r *Runner) runRounds(eval roundEval, n int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("practical: need at least one round, got %d", n)
+	}
+	base := r.Catalog.DB()
+	// Seal so every round clones an indexed snapshot in O(1) and the group
+	// enumeration below reads index buckets. The runner is the only writer
+	// during a run by contract.
+	base.Seal()
+	// Violating groups per keyed table (in KeyedTables order); groups are
+	// immutable across rounds, so they are enumerated exactly once per run
+	// instead of once per round.
+	var tables [][][]relation.Fact
+	for _, table := range r.Catalog.KeyedTables() {
+		t, err := r.Catalog.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, KeyGroups(base, t.Pred, len(t.Cols), r.Catalog.Key(table)))
+	}
+
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	tallies := make([]roundTally, workers)
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, start, share int) {
+			defer wg.Done()
+			t := &tallies[w]
+			t.cells = map[string]*tallyCell{}
+			src := &prob.SplitMix{}
+			rng := rand.New(src)
+			var dels []relation.Fact
+			var packBuf [64]byte
+			emit := func(tuple []intern.Sym) {
+				// Key by packed symbols; names materialize once per
+				// distinct tuple, never per round.
+				k := string(intern.PackSyms(packBuf[:0], tuple))
+				c := t.cells[k]
+				if c == nil {
+					c = &tallyCell{row: intern.Names(tuple)}
+					t.cells[k] = c
+				}
+				c.count++
+			}
+			for round := start; round < start+share; round++ {
+				// Each round's randomness is a pure function of (Seed,
+				// round index), never of the worker that runs the round:
+				// partitioning the same n rounds across any number of
+				// workers draws the same n repairs, and merged tallies are
+				// sums, so runs are bit-identical for every Workers value.
+				src.ReseedAt(r.Seed, round)
+				dels = dels[:0]
+				for _, groups := range tables {
+					dels = sampleRdelInto(rng, groups, r.Policy, dels)
+				}
+				db := base
+				if len(dels) > 0 {
+					// Sorting by interned id makes every DeleteAll insertion
+					// an append into the clone's removed set: the round's
+					// repair costs O(|R_del| log |R_del|), not O(|D|).
+					slices.SortFunc(dels, func(a, b relation.Fact) int {
+						if a.ID() < b.ID() {
+							return -1
+						}
+						if a.ID() > b.ID() {
+							return 1
+						}
+						return 0
+					})
+					db = base.Clone()
+					db.DeleteAll(dels)
+				}
+				if err := eval(db, emit); err != nil {
+					t.err = err
+					return
+				}
+			}
+		}(w, start, share)
+		start += share
+	}
+	wg.Wait()
+
+	merged := map[string]*tallyCell{}
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return nil, t.err
+		}
+		for k, c := range t.cells {
+			m := merged[k]
+			if m == nil {
+				m = &tallyCell{row: c.row}
+				merged[k] = m
+			}
+			m.count += c.count
+		}
+	}
+	res := &Result{N: n}
+	for _, c := range merged {
+		res.Tuples = append(res.Tuples, TupleFreq{
+			Row:   c.row,
+			Count: c.count,
+			P:     float64(c.count) / float64(n),
+		})
+	}
+	// Sort by the tuples themselves: TupleKey is a process-local interned
+	// encoding with no stable order.
+	slices.SortFunc(res.Tuples, func(a, b TupleFreq) int {
+		return slices.Compare(a.Row, b.Row)
+	})
 	return res, nil
 }

@@ -1,85 +1,181 @@
 package practical
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
-	"repro/internal/engine"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/intern"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/workload"
 )
 
-func catalogWithConflicts() *engine.Catalog {
-	orders := engine.NewRelation("orders", "oid", "cust", "amount").
-		Add("o1", "c1", "100").
-		Add("o1", "c2", "150").
-		Add("o2", "c1", "200").
-		Add("o3", "c3", "50").
-		Add("o3", "c4", "60").
-		Add("o3", "c5", "70")
-	customers := engine.NewRelation("customers", "cust", "region").
-		Add("c1", "north").Add("c2", "south").Add("c3", "north").
-		Add("c4", "west").Add("c5", "east")
-	cat := engine.NewCatalog().AddTable(orders).AddTable(customers)
+func catalogWithConflicts() *plan.Catalog {
+	cat := plan.NewCatalog()
+	cat.MustAddTable("orders", "oid", "cust", "amount").
+		MustInsert("orders", "o1", "c1", "100").
+		MustInsert("orders", "o1", "c2", "150").
+		MustInsert("orders", "o2", "c1", "200").
+		MustInsert("orders", "o3", "c3", "50").
+		MustInsert("orders", "o3", "c4", "60").
+		MustInsert("orders", "o3", "c5", "70")
+	cat.MustAddTable("customers", "cust", "region").
+		MustInsert("customers", "c1", "north").
+		MustInsert("customers", "c2", "south").
+		MustInsert("customers", "c3", "north").
+		MustInsert("customers", "c4", "west").
+		MustInsert("customers", "c5", "east")
 	if err := cat.DeclareKey("orders", "oid"); err != nil {
 		panic(err)
 	}
+	cat.Seal()
 	return cat
+}
+
+func ordersGroups(cat *plan.Catalog) [][]relation.Fact {
+	t, err := cat.Table("orders")
+	if err != nil {
+		panic(err)
+	}
+	return KeyGroups(cat.DB(), t.Pred, len(t.Cols), cat.Key("orders"))
 }
 
 func TestKeyGroups(t *testing.T) {
 	cat := catalogWithConflicts()
-	rel, err := cat.Table("orders")
-	if err != nil {
-		t.Fatal(err)
-	}
-	groups := KeyGroups(rel, cat.Key("orders"))
+	groups := ordersGroups(cat)
 	if len(groups) != 2 {
 		t.Fatalf("groups = %v, want 2 (o1 and o3)", groups)
 	}
-	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
-	if !sizes[2] || !sizes[3] {
-		t.Errorf("group sizes = %v, want {2,3}", sizes)
+	// Canonical fact order sorts the o1 group (2 members) before o3 (3).
+	if len(groups[0]) != 2 || len(groups[1]) != 3 {
+		t.Errorf("group sizes = %d,%d, want 2,3", len(groups[0]), len(groups[1]))
+	}
+	for _, g := range groups {
+		key := g[0].Arg(0)
+		for _, f := range g {
+			if f.Arg(0) != key {
+				t.Errorf("group %v mixes keys", g)
+			}
+		}
+	}
+}
+
+func TestKeyGroupsMultiColumn(t *testing.T) {
+	cat := plan.NewCatalog()
+	cat.MustAddTable("T", "a", "b", "v").
+		MustInsert("T", "x", "y", "1").
+		MustInsert("T", "x", "y", "2").
+		MustInsert("T", "x", "z", "3"). // same first key column, different second
+		MustInsert("T", "w", "y", "4")
+	if err := cat.DeclareKey("T", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	cat.Seal()
+	tbl, _ := cat.Table("T")
+	groups := KeyGroups(cat.DB(), tbl.Pred, len(tbl.Cols), cat.Key("T"))
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("groups = %v, want one group of the two (x,y) facts", groups)
 	}
 }
 
 func TestSampleRdelKeepsExactlyOne(t *testing.T) {
 	cat := catalogWithConflicts()
-	rel, _ := cat.Table("orders")
+	groups := ordersGroups(cat)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 50; i++ {
-		del := SampleRdel(rng, rel, cat.Key("orders"), Policy{})
-		// o1 group: 2 rows → 1 deleted; o3 group: 3 rows → 2 deleted.
-		if del.Len() != 3 {
-			t.Fatalf("R_del size = %d, want 3", del.Len())
+		del := SampleRdel(rng, groups, Policy{})
+		// o1 group: 2 facts → 1 deleted; o3 group: 3 facts → 2 deleted.
+		if len(del) != 3 {
+			t.Fatalf("R_del size = %d, want 3", len(del))
 		}
-		// The survivor set must keep exactly one per violating key.
-		kept := map[string]int{"o1": 0, "o3": 0}
-		drop := map[string]bool{}
-		for _, row := range del.Rows {
-			drop[row[0]+"|"+row[1]] = true
+		deleted := map[relation.Fact]bool{}
+		for _, f := range del {
+			deleted[f] = true
 		}
-		for _, row := range rel.Rows {
-			if row[0] == "o2" {
-				continue
+		for _, g := range groups {
+			kept := 0
+			for _, f := range g {
+				if !deleted[f] {
+					kept++
+				}
 			}
-			if !drop[row[0]+"|"+row[1]] {
-				kept[row[0]]++
+			if kept != 1 {
+				t.Fatalf("kept %d of group %v, want 1", kept, g)
 			}
-		}
-		if kept["o1"] != 1 || kept["o3"] != 1 {
-			t.Fatalf("kept = %v, want one per group", kept)
 		}
 	}
 }
 
 func TestSampleRdelDropAll(t *testing.T) {
 	cat := catalogWithConflicts()
-	rel, _ := cat.Table("orders")
+	groups := ordersGroups(cat)
 	rng := rand.New(rand.NewSource(2))
-	del := SampleRdel(rng, rel, cat.Key("orders"), Policy{DropAll: 1.0})
-	// Everything in violating groups goes: 2 + 3 rows.
-	if del.Len() != 5 {
-		t.Errorf("R_del size = %d, want 5", del.Len())
+	del := SampleRdel(rng, groups, Policy{DropAll: 1.0})
+	// Everything in violating groups goes: 2 + 3 facts.
+	if len(del) != 5 {
+		t.Errorf("R_del size = %d, want 5", len(del))
+	}
+}
+
+// TestSampleRdelKeptTupleLaw checks the per-group repair distribution the
+// scheme induces — the law the retired string-row engine implemented: a
+// group of size m keeps member i with probability (1−p)/m and keeps nobody
+// with probability p, independently across groups.
+func TestSampleRdelKeptTupleLaw(t *testing.T) {
+	cat := catalogWithConflicts()
+	groups := ordersGroups(cat)
+	for _, p := range []float64{0, 0.3} {
+		rng := rand.New(rand.NewSource(7))
+		const draws = 40000
+		keptCount := make([]map[relation.Fact]int, len(groups))
+		droppedAll := make([]int, len(groups))
+		for i := range groups {
+			keptCount[i] = map[relation.Fact]int{}
+		}
+		for d := 0; d < draws; d++ {
+			del := SampleRdel(rng, groups, Policy{DropAll: p})
+			deleted := map[relation.Fact]bool{}
+			for _, f := range del {
+				deleted[f] = true
+			}
+			for gi, g := range groups {
+				kept := 0
+				for _, f := range g {
+					if !deleted[f] {
+						keptCount[gi][f]++
+						kept++
+					}
+				}
+				if kept == 0 {
+					droppedAll[gi]++
+				} else if kept != 1 {
+					t.Fatalf("kept %d members, want ≤ 1", kept)
+				}
+			}
+		}
+		for gi, g := range groups {
+			m := float64(len(g))
+			for _, f := range g {
+				got := float64(keptCount[gi][f]) / draws
+				want := (1 - p) / m
+				if math.Abs(got-want) > 0.02 {
+					t.Errorf("p=%v: P(keep %s) = %.4f, want ≈ %.4f", p, f, got, want)
+				}
+			}
+			if got := float64(droppedAll[gi]) / draws; math.Abs(got-p) > 0.02 {
+				t.Errorf("p=%v: P(drop all) = %.4f in group %d, want ≈ %v", p, got, gi, p)
+			}
+		}
 	}
 }
 
@@ -87,8 +183,8 @@ func TestRunnerFrequencies(t *testing.T) {
 	cat := catalogWithConflicts()
 	r := &Runner{Catalog: cat, Seed: 7}
 	// Which customers own an order? Project cust from orders.
-	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
-	res, err := r.Run(plan, 4000)
+	p := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	res, err := r.Run(p, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,13 +206,13 @@ func TestRunnerFrequencies(t *testing.T) {
 
 func TestRunnerJoinQuery(t *testing.T) {
 	cat := catalogWithConflicts()
-	r := &Runner{Catalog: cat, Seed: 11}
+	r := &Runner{Catalog: cat, Seed: 11, Workers: 4}
 	// Regions with at least one order.
-	plan := engine.Distinct{Input: engine.Project{
-		Input: engine.Join{L: engine.Scan{Table: "orders"}, R: engine.Scan{Table: "customers"}},
+	p := plan.Distinct{Input: plan.Project{
+		Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
 		Cols:  []string{"region"},
 	}}
-	res, err := r.Run(plan, 2000)
+	res, err := r.Run(p, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +226,106 @@ func TestRunnerJoinQuery(t *testing.T) {
 	}
 }
 
+// TestPlanAndCQPathsAgree runs the same plan through the compiled-CQ
+// evaluator and the algebra evaluator on identical per-round repairs (same
+// seed → same R_del draws) and requires bit-identical results.
+func TestPlanAndCQPathsAgree(t *testing.T) {
+	cat := catalogWithConflicts()
+	p := plan.Distinct{Input: plan.Project{
+		Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	q, ok := plan.AsQuery(p, cat)
+	if !ok {
+		t.Fatal("join plan should compile to a CQ")
+	}
+	r := &Runner{Catalog: cat, Seed: 5}
+	viaCQ, err := r.runRounds(r.queryEval(q), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAlgebra, err := r.runRounds(r.planEval(p), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaCQ, viaAlgebra) {
+		t.Errorf("CQ path and algebra path disagree:\n%+v\n%+v", viaCQ, viaAlgebra)
+	}
+}
+
+// TestRunnerDeterministicAcrossWorkerCounts is the practical-pipeline
+// analogue of sampling's TestEstimatorDeterministicAcrossWorkerCounts:
+// per-round RNGs derive from (Seed, round), so any worker count draws the
+// same n repairs and the merged result is bit-identical.
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	cat := catalogWithConflicts()
+	p := plan.Distinct{Input: plan.Project{
+		Input: plan.Join{L: plan.Scan{Table: "orders"}, R: plan.Scan{Table: "customers"}},
+		Cols:  []string{"region"},
+	}}
+	var ref *Result
+	for workers := 1; workers <= 8; workers++ {
+		r := &Runner{Catalog: cat, Policy: Policy{DropAll: 0.2}, Seed: 9, Workers: workers}
+		res, err := r.Run(p, 301)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref, res) {
+			t.Errorf("Workers=%d result differs from Workers=1", workers)
+		}
+	}
+}
+
+// TestRunnerMatchesExactCP: on key-violation instances whose groups all
+// have size 2, the uniform repairing chain factorizes per conflict into
+// {keep α, keep β, drop both} with probability 1/3 each — exactly the
+// practical scheme's law at DropAll = 1/3. The estimate must therefore
+// land within the Hoeffding ε of the exact CP computed by core.Compute.
+func TestRunnerMatchesExactCP(t *testing.T) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 6, Violations: 3, Seed: 21})
+	inst := repair.MustInstance(d, sigma)
+	sem, err := core.Compute(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := logic.Var("x"), logic.Var("y")
+	q := fo.MustQuery("HasValue", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: logic.NewAtom("R", x, y)}})
+
+	cat := plan.NewCatalogOn(d)
+	cat.MustAddTable("R", "k", "v")
+	if err := cat.DeclareKey("R", "k"); err != nil {
+		t.Fatal(err)
+	}
+	const eps, delta = 0.1, 0.05
+	n, err := prob.HoeffdingSamples(eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Catalog: cat, Policy: Policy{DropAll: 1.0 / 3.0}, Seed: 3, Workers: 2}
+	res, err := r.RunQuery(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		exact := prob.Float(sem.CP(q, []string{key}))
+		got := res.Lookup([]string{key}).P
+		if math.Abs(got-exact) > eps {
+			t.Errorf("CP(%s): practical %.4f vs exact %.4f exceeds ε = %v", key, got, exact, eps)
+		}
+	}
+}
+
 func TestRunWithGuaranteeUsesHoeffdingN(t *testing.T) {
 	cat := catalogWithConflicts()
 	r := &Runner{Catalog: cat, Seed: 3}
-	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
-	res, err := r.RunWithGuarantee(plan, 0.1, 0.1)
+	p := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	res, err := r.RunWithGuarantee(p, 0.1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,24 +339,63 @@ func TestRunWithGuaranteeUsesHoeffdingN(t *testing.T) {
 
 func TestRunnerDeterministicPerSeed(t *testing.T) {
 	cat := catalogWithConflicts()
-	plan := engine.Distinct{Input: engine.Project{Input: engine.Scan{Table: "orders"}, Cols: []string{"cust"}}}
-	a, err := (&Runner{Catalog: cat, Seed: 5}).Run(plan, 200)
+	p := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "orders"}, Cols: []string{"cust"}}}
+	a, err := (&Runner{Catalog: cat, Seed: 5}).Run(p, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := (&Runner{Catalog: cat, Seed: 5}).Run(plan, 200)
+	b, err := (&Runner{Catalog: cat, Seed: 5}).Run(p, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Lookup([]string{"c2"}).Count != b.Lookup([]string{"c2"}).Count {
-		t.Error("same seed must reproduce counts")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must reproduce the full result")
 	}
 }
 
 func TestRunnerBadN(t *testing.T) {
 	cat := catalogWithConflicts()
 	r := &Runner{Catalog: cat, Seed: 1}
-	if _, err := r.Run(engine.Scan{Table: "orders"}, 0); err == nil {
+	if _, err := r.Run(plan.Scan{Table: "orders"}, 0); err == nil {
 		t.Error("n = 0 must fail")
+	}
+}
+
+func TestRunnerPlanError(t *testing.T) {
+	cat := catalogWithConflicts()
+	r := &Runner{Catalog: cat, Seed: 1}
+	if _, err := r.Run(plan.Scan{Table: "missing"}, 10); err == nil {
+		t.Error("unknown table must surface the evaluation error")
+	}
+}
+
+// TestKeyGroupsIgnoresArityMismatch: the interned database keys facts by
+// predicate alone, so a stray fact of a different arity — invisible to the
+// table's Scan and CQ paths — must not manufacture a key violation against
+// the table's rows.
+func TestKeyGroupsIgnoresArityMismatch(t *testing.T) {
+	db := relation.FromFacts(
+		relation.NewFact("R", "a", "1"),
+		relation.NewFact("R", "a"), // stray arity-1 fact sharing the key symbol
+		relation.NewFact("R", "b", "2"),
+	)
+	db.Seal()
+	groups := KeyGroups(db, intern.S("R"), 2, []int{0})
+	if len(groups) != 0 {
+		t.Fatalf("groups = %v, want none (the arity-1 fact is not a table row)", groups)
+	}
+	// And the runner keeps the consistent row at frequency 1.
+	cat := plan.NewCatalogOn(db)
+	cat.MustAddTable("R", "k", "v")
+	if err := cat.DeclareKey("R", "k"); err != nil {
+		t.Fatal(err)
+	}
+	p := plan.Distinct{Input: plan.Project{Input: plan.Scan{Table: "R"}, Cols: []string{"k"}}}
+	res, err := (&Runner{Catalog: cat, Seed: 1}).Run(p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Lookup([]string{"a"}).P; got != 1 {
+		t.Errorf("P(a) = %v, want 1 (no phantom violation)", got)
 	}
 }

@@ -1,0 +1,42 @@
+package prob
+
+// SplitMix is a rand.Source64 with O(1) seeding (splitmix64). The stdlib
+// rand.NewSource pays a ~607-step warmup of its feedback register on every
+// Seed — more than a short sampling round costs — so per-walk and per-round
+// RNGs derive their whole one-word state from (seed, index) instead.
+//
+// Both randomized pipelines share this source: sampling.Estimator aims it at
+// (Seed, walk index) and practical.Runner at (Seed, round index), which is
+// what makes their results bit-identical for any worker count — the i-th
+// unit of work draws the same stream no matter which worker runs it.
+//
+// Reseeding an owned rand.Rand mid-stream via ReseedAt is sound because
+// those pipelines draw through Int63n/Intn/Float64 only — rand.Rand buffers
+// nothing for those paths.
+type SplitMix struct{ state uint64 }
+
+// Uint64 advances the splitmix64 stream.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *SplitMix) Seed(seed int64) { s.state = uint64(seed) }
+
+// ReseedAt points the source at unit i's stream, a pure function of
+// (seed, i): the same index draws the same trajectory no matter which
+// worker runs it. The multiply-xor decorrelates nearby (seed, index) pairs
+// before they become the splitmix starting state; reseeding is two
+// arithmetic ops, so each worker owns one rand.Rand for its whole share and
+// re-aims it per unit with no allocation.
+func (s *SplitMix) ReseedAt(seed int64, i int) {
+	z := uint64(seed) + uint64(i+1)*0xBF58476D1CE4E5B9
+	s.state = (z ^ (z >> 30)) * 0x94D049BB133111EB
+}

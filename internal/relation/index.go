@@ -155,6 +155,75 @@ func (d *Database) ForEachAt(pred intern.Sym, pos int, sym intern.Sym, fn func(F
 	d.forEachMatch(pred, pos, sym, fn)
 }
 
+// ForEachGroupAt enumerates, for every constant occurring at argument
+// position pos of pred, the facts carrying it there: the group-by that the
+// practical repair scheme uses to find key-violating groups. On a sealed
+// database the groups are the snapshot's index buckets, handed out without
+// copying (the callback must not modify them); with a pending delta the
+// merged per-predicate view is grouped instead. Enumeration order is
+// unspecified — callers needing determinism sort the groups themselves.
+// fn returning false stops the enumeration.
+func (d *Database) ForEachGroupAt(pred intern.Sym, pos int, fn func(sym intern.Sym, facts []Fact) bool) {
+	if len(d.added) == 0 && len(d.removed) == 0 {
+		if pi := d.snap.idx[pred]; pi != nil {
+			if pos < len(pi.pos) {
+				for s, bucket := range pi.pos[pos] {
+					if !fn(s, bucket) {
+						return
+					}
+				}
+			}
+			return
+		}
+	}
+	groups := map[intern.Sym][]Fact{}
+	var syms []intern.Sym
+	for _, f := range d.FactsByPred(pred) {
+		args := f.Args()
+		if pos >= len(args) {
+			continue
+		}
+		s := args[pos]
+		if _, ok := groups[s]; !ok {
+			syms = append(syms, s)
+		}
+		groups[s] = append(groups[s], f)
+	}
+	for _, s := range syms {
+		if !fn(s, groups[s]) {
+			return
+		}
+	}
+}
+
+// ForEachPredFact enumerates the facts with the given predicate — the
+// snapshot's list minus removed facts, then the added delta, i.e. the same
+// relative order as FactsByPred — without materializing a merged view, so
+// scanning a predicate of a freshly cloned round database allocates
+// nothing. fn returning false stops early; the return value reports whether
+// enumeration ran to completion.
+func (d *Database) ForEachPredFact(pred intern.Sym, fn func(Fact) bool) bool {
+	for _, f := range d.snap.byPred[pred] {
+		if len(d.removed) > 0 && d.removed.Has(f) {
+			continue
+		}
+		if !fn(f) {
+			return false
+		}
+	}
+	if len(d.added) > 0 {
+		for _, f := range d.added {
+			if f.Pred() != pred {
+				continue
+			}
+			if !fn(f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // forEachMatch enumerates the facts with the given predicate carrying sym
 // at argument position pos: the snapshot bucket (skipping removed facts)
 // followed by the matching added facts, i.e. the same relative order as a

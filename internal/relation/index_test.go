@@ -3,6 +3,8 @@ package relation
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/intern"
@@ -149,5 +151,112 @@ func TestIndexIgnoresArityMismatch(t *testing.T) {
 	homs := FindHoms([]logic.Atom{logic.NewAtom("R", logic.Const("a"), logic.Var("y"))}, d, nil)
 	if len(homs) != 1 {
 		t.Fatalf("constant-pinned search found %d homs, want 1 (arity filter)", len(homs))
+	}
+}
+
+// groupsOf collects ForEachGroupAt output into a comparable map of sorted
+// fact keys.
+func groupsOf(d *Database, pred intern.Sym, pos int) map[intern.Sym][]string {
+	out := map[intern.Sym][]string{}
+	d.ForEachGroupAt(pred, pos, func(s intern.Sym, fs []Fact) bool {
+		keys := make([]string, len(fs))
+		for i, f := range fs {
+			keys[i] = f.Key()
+		}
+		sort.Strings(keys)
+		out[s] = keys
+		return true
+	})
+	return out
+}
+
+// TestForEachGroupAtSealedVsDirty: the sealed (index-bucket) enumeration
+// and the dirty (merged-view) enumeration must group identically, across
+// inserts and deletes straddling the snapshot boundary.
+func TestForEachGroupAtSealedVsDirty(t *testing.T) {
+	pred := intern.S("G")
+	d := NewDatabase()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 120; i++ {
+		d.Insert(NewFact("G", fmt.Sprintf("k%d", rng.Intn(20)), fmt.Sprintf("v%d", i)))
+	}
+	d.Seal()
+	sealed := groupsOf(d, pred, 0)
+
+	// Mutate without sealing: delete a few snapshot facts, add fresh ones.
+	facts := d.FactsByPred(pred)
+	for i := 0; i < 10; i++ {
+		d.Delete(facts[i*3])
+	}
+	for i := 0; i < 15; i++ {
+		d.Insert(NewFact("G", fmt.Sprintf("k%d", rng.Intn(20)), fmt.Sprintf("w%d", i)))
+	}
+	dirty := groupsOf(d, pred, 0)
+
+	// Reference: group the current fact list directly.
+	want := map[intern.Sym][]string{}
+	for _, f := range d.FactsByPred(pred) {
+		want[f.Arg(0)] = append(want[f.Arg(0)], f.Key())
+	}
+	for _, keys := range want {
+		sort.Strings(keys)
+	}
+	if !reflect.DeepEqual(dirty, want) {
+		t.Errorf("dirty grouping diverges from the fact list")
+	}
+	d.Seal()
+	resealed := groupsOf(d, pred, 0)
+	if !reflect.DeepEqual(resealed, want) {
+		t.Errorf("sealed grouping diverges from the fact list")
+	}
+	_ = sealed
+}
+
+// TestForEachGroupAtEarlyStop: a false return stops the enumeration.
+func TestForEachGroupAtEarlyStop(t *testing.T) {
+	d := FromFacts(NewFact("G", "a", "1"), NewFact("G", "b", "2"), NewFact("G", "c", "3"))
+	d.Seal()
+	calls := 0
+	d.ForEachGroupAt(intern.S("G"), 0, func(intern.Sym, []Fact) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("enumeration continued after false: %d calls", calls)
+	}
+}
+
+// TestForEachPredFactMatchesFactsByPred: the non-materializing iterator
+// visits exactly the facts of FactsByPred, in the same order, whether the
+// database is sealed or carries a delta.
+func TestForEachPredFactMatchesFactsByPred(t *testing.T) {
+	pred := intern.S("P")
+	d := NewDatabase()
+	for i := 0; i < 40; i++ {
+		d.Insert(NewFact("P", fmt.Sprintf("x%d", i)))
+	}
+	d.Seal()
+	check := func() {
+		var got []Fact
+		d.ForEachPredFact(pred, func(f Fact) bool {
+			got = append(got, f)
+			return true
+		})
+		want := d.FactsByPred(pred)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iterator facts diverge: %d vs %d", len(got), len(want))
+		}
+	}
+	check()
+	facts := d.FactsByPred(pred)
+	d.Delete(facts[3])
+	d.Delete(facts[7])
+	d.Insert(NewFact("P", "fresh1"))
+	d.Insert(NewFact("P", "fresh2"))
+	check()
+
+	stopped := d.ForEachPredFact(pred, func(Fact) bool { return false })
+	if stopped {
+		t.Error("early stop must report false")
 	}
 }

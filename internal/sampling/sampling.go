@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/fo"
+	"repro/internal/intern"
 	"repro/internal/markov"
 	"repro/internal/prob"
 	"repro/internal/repair"
@@ -190,35 +191,6 @@ func (e *Estimator) EstimateWithN(q *fo.Query, n int) (*Run, error) {
 	return e.run(q, n)
 }
 
-// splitmixSource is a rand.Source64 with O(1) seeding. The stdlib
-// rand.NewSource pays a ~607-step warmup of its feedback register on every
-// Seed — more than a short walk costs — so per-walk RNGs use splitmix64,
-// whose whole state is one word derived from (estimator seed, walk index).
-type splitmixSource struct{ state uint64 }
-
-func (s *splitmixSource) Uint64() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-func (s *splitmixSource) Int63() int64    { return int64(s.Uint64() >> 1) }
-func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
-
-// reseedForWalk points the source at walk i's stream, a pure function of
-// (seed, i): the same walk index draws the same trajectory no matter which
-// worker runs it. The multiply-xor decorrelates nearby (seed, index) pairs
-// before they become the splitmix starting state. Reseeding is two
-// arithmetic ops, so each worker owns one rand.Rand for its whole share
-// and re-aims it per walk with no allocation. (Sound because walks draw
-// via Int63n/Intn only — rand.Rand buffers nothing for those paths.)
-func (s *splitmixSource) reseedForWalk(seed int64, walk int) {
-	z := uint64(seed) + uint64(walk+1)*0xBF58476D1CE4E5B9
-	s.state = (z ^ (z >> 30)) * 0x94D049BB133111EB
-}
-
 // tallyCell accumulates one tuple's observations; keeping count and tuple
 // together costs one map probe per answer instead of two.
 type tallyCell struct {
@@ -258,15 +230,27 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 			defer wg.Done()
 			t := &tallies[w]
 			t.cells = map[string]*tallyCell{}
-			src := &splitmixSource{}
+			src := &prob.SplitMix{}
 			rng := rand.New(src)
+			var packBuf [64]byte
+			tally := func(tuple []intern.Sym) {
+				// Key by packed symbols — no name lookups, no string
+				// round trip; names materialize once per distinct tuple.
+				k := string(intern.PackSyms(packBuf[:0], tuple))
+				c := t.cells[k]
+				if c == nil {
+					c = &tallyCell{tuple: intern.Names(tuple)}
+					t.cells[k] = c
+				}
+				c.count++
+			}
 			for i := start; i < start+share; i++ {
 				// Each walk's randomness is a pure function of (Seed, walk
 				// index), never of the worker that happens to run the walk:
 				// partitioning the same n walks across any number of workers
 				// draws the same n trajectories, and the merged tallies are
 				// sums, so runs are bit-identical for every Workers value.
-				src.reseedForWalk(e.Seed, i)
+				src.ReseedAt(e.Seed, i)
 				s, err := Walk(e.Inst, e.Gen, rng, e.MaxSteps)
 				if err != nil {
 					t.err = err
@@ -277,15 +261,7 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 					continue
 				}
 				t.success++
-				for _, tuple := range q.Answers(s.Result()) {
-					k := fo.TupleKey(tuple)
-					c := t.cells[k]
-					if c == nil {
-						c = &tallyCell{tuple: tuple}
-						t.cells[k] = c
-					}
-					c.count++
-				}
+				q.ForEachAnswerSyms(s.Result(), tally)
 			}
 		}(w, start, share)
 		start += share

@@ -12,9 +12,9 @@ import (
 	"math/rand"
 
 	"repro/internal/constraint"
-	"repro/internal/engine"
 	"repro/internal/generators"
 	"repro/internal/logic"
+	"repro/internal/plan"
 	"repro/internal/relation"
 )
 
@@ -139,14 +139,15 @@ func Inclusion(cfg InclusionConfig) (*relation.Database, *constraint.Set) {
 	return d, constraint.NewSet(ind)
 }
 
-// OrdersCatalog builds the engine-level workload for the Section 5
+// OrdersCatalog builds the relational workload for the Section 5
 // rewriting experiment: an orders table with key violations joined against
-// a clean customers table.
+// a clean customers table, as plan-catalog views over an interned
+// database (the same substrate the chain machinery runs on).
 //
 //	orders(oid, cust, amount)   key: oid
 //	customers(cust, region)
 type OrdersCatalog struct {
-	Catalog *engine.Catalog
+	Catalog *plan.Catalog
 	// ViolatingOrders counts order ids with conflicting rows.
 	ViolatingOrders int
 }
@@ -164,26 +165,38 @@ type OrdersConfig struct {
 // Orders generates the catalog.
 func Orders(cfg OrdersConfig) *OrdersCatalog {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	orders := engine.NewRelation("orders", "oid", "cust", "amount")
+	cat := plan.NewCatalog()
+	cat.MustAddTable("orders", "oid", "cust", "amount")
+	cat.MustAddTable("customers", "cust", "region")
 	violating := 0
 	for i := 0; i < cfg.Orders; i++ {
 		oid := fmt.Sprintf("o%d", i)
 		cust := fmt.Sprintf("c%d", rng.Intn(cfg.Customers))
-		orders.Add(oid, cust, fmt.Sprintf("%d", 10+rng.Intn(990)))
+		cat.MustInsert("orders", oid, cust, fmt.Sprintf("%d", 10+rng.Intn(990)))
 		if rng.Float64() < cfg.ViolationRate {
 			violating++
-			cust2 := fmt.Sprintf("c%d", rng.Intn(cfg.Customers))
-			orders.Add(oid, cust2, fmt.Sprintf("%d", 10+rng.Intn(990)))
+			// Tables are fact sets, so the conflicting row must differ from
+			// the first in cust or amount; redraw the (vanishingly rare)
+			// exact duplicates.
+			for {
+				cust2 := fmt.Sprintf("c%d", rng.Intn(cfg.Customers))
+				added, err := cat.Insert("orders", oid, cust2, fmt.Sprintf("%d", 10+rng.Intn(990)))
+				if err != nil {
+					panic(err)
+				}
+				if added {
+					break
+				}
+			}
 		}
 	}
-	customers := engine.NewRelation("customers", "cust", "region")
 	regions := []string{"north", "south", "east", "west"}
 	for i := 0; i < cfg.Customers; i++ {
-		customers.Add(fmt.Sprintf("c%d", i), regions[rng.Intn(len(regions))])
+		cat.MustInsert("customers", fmt.Sprintf("c%d", i), regions[rng.Intn(len(regions))])
 	}
-	cat := engine.NewCatalog().AddTable(orders).AddTable(customers)
 	if err := cat.DeclareKey("orders", "oid"); err != nil {
 		panic(err)
 	}
+	cat.Seal()
 	return &OrdersCatalog{Catalog: cat, ViolatingOrders: violating}
 }

@@ -87,25 +87,21 @@ func TestInclusionGenerator(t *testing.T) {
 
 func TestOrdersCatalog(t *testing.T) {
 	oc := Orders(OrdersConfig{Orders: 100, Customers: 20, ViolationRate: 0.2, Seed: 11})
-	orders, err := oc.Catalog.Table("orders")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if orders.Len() != 100+oc.ViolatingOrders {
-		t.Errorf("orders rows = %d, want %d", orders.Len(), 100+oc.ViolatingOrders)
+	if got := oc.Catalog.Count("orders"); got != 100+oc.ViolatingOrders {
+		t.Errorf("orders rows = %d, want %d", got, 100+oc.ViolatingOrders)
 	}
 	if oc.ViolatingOrders == 0 {
 		t.Error("expected some violations at rate 0.2")
 	}
-	groups := practical.KeyGroups(orders, oc.Catalog.Key("orders"))
-	if len(groups) != oc.ViolatingOrders {
-		t.Errorf("violating groups = %d, want %d", len(groups), oc.ViolatingOrders)
-	}
-	customers, err := oc.Catalog.Table("customers")
+	orders, err := oc.Catalog.Table("orders")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if customers.Len() != 20 {
-		t.Errorf("customers = %d, want 20", customers.Len())
+	groups := practical.KeyGroups(oc.Catalog.DB(), orders.Pred, len(orders.Cols), oc.Catalog.Key("orders"))
+	if len(groups) != oc.ViolatingOrders {
+		t.Errorf("violating groups = %d, want %d", len(groups), oc.ViolatingOrders)
+	}
+	if got := oc.Catalog.Count("customers"); got != 20 {
+		t.Errorf("customers = %d, want 20", got)
 	}
 }
