@@ -110,6 +110,49 @@ func BenchmarkExactDAG(b *testing.B) {
 	}
 }
 
+// BenchmarkUniformExactDAG measures the exact sequence-uniform semantics
+// on the conflict-chain workload: the same DAG exploration as the
+// walk-induced mode, plus the count-ratio reweighting — the mode should be
+// essentially free relative to ComputeDAG.
+func BenchmarkUniformExactDAG(b *testing.B) {
+	for _, facts := range []int{6, 9, 12} {
+		b.Run(fmt.Sprintf("facts=%d", facts), func(b *testing.B) {
+			d, sigma := workload.Chain(workload.ChainConfig{Facts: facts})
+			inst := repair.MustInstance(d, sigma)
+			x, y := logic.Var("x"), logic.Var("y")
+			q := fo.MustQuery("Q", []logic.Term{x, y}, fo.Atom{A: logic.NewAtom("E", x, y)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem, err := core.ComputeDAGMode(inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sem.OCA(q)
+			}
+		})
+	}
+}
+
+// BenchmarkUniformWalks is the count-guided uniform estimator end to end
+// (sequence-DAG build + 200 exactly-uniform draws) on the conflict chain;
+// contrast with BenchmarkEstimatorWalks, the walk-induced equivalent.
+func BenchmarkUniformWalks(b *testing.B) {
+	d, sigma := workload.Chain(workload.ChainConfig{Facts: 12})
+	inst := repair.MustInstance(d, sigma)
+	x, y := logic.Var("x"), logic.Var("y")
+	q := fo.MustQuery("Q", []logic.Term{x, y}, fo.Atom{A: logic.NewAtom("E", x, y)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := &sampling.Estimator{
+			Inst: inst, Gen: generators.Uniform{}, Seed: int64(i),
+			Mode: core.SequenceUniform,
+		}
+		if _, err := est.EstimateWithN(q, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSamplingWalks measures one random walk against database size;
 // the per-walk cost stays polynomial as conflicts grow.
 func BenchmarkSamplingWalks(b *testing.B) {

@@ -10,12 +10,18 @@
 //
 //	ocqa -db data.facts -constraints schema.rules -query query.fo \
 //	     [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	     [-mode exact|approx|practical] [-eps 0.1] [-delta 0.1] \
-//	     [-seed 1] [-workers 4] [-drop-all 0]
+//	     [-mode exact|approx|practical] [-semantics walk|uniform] \
+//	     [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4] [-drop-all 0]
 //
-// File arguments also accept "inline:<text>". Practical mode derives the
-// keys it repairs from the key-shaped EGDs of the constraint file and runs
-// rounds on a worker pool; results are bit-identical for any -workers.
+// File arguments also accept "inline:<text>". -semantics selects the
+// distribution over complete repairing sequences: "walk" (default) is the
+// PODS 2018 walk-induced semantics, "uniform" the PODS 2022 uniform
+// operational semantics (every complete sequence equally likely) — exact
+// in -mode exact via the sequence-count-weighted DAG, approximate in
+// -mode approx via count-guided uniform draws (or importance sampling
+// when the chain does not collapse). Practical mode derives the keys it
+// repairs from the key-shaped EGDs of the constraint file and runs rounds
+// on a worker pool; results are bit-identical for any -workers.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		queryPath = flag.String("query", "", "query file (Q(X) := formula), or inline:<text>")
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
 		mode      = flag.String("mode", "exact", "exact (full chain exploration), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
+		semantics = flag.String("semantics", "walk", "distribution over complete sequences: walk (PODS '18 walk-induced) or uniform (PODS '22 sequence-uniform)")
 		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx/practical mode)")
 		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx/practical mode)")
 		seed      = flag.Int64("seed", 1, "random seed (approx/practical mode)")
@@ -54,13 +61,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *eps, *delta, *seed, *workers, *maxStates, *nulls, *dropAll); err != nil {
+	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *semantics, *eps, *delta, *seed, *workers, *maxStates, *nulls, *dropAll); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64, seed int64, workers, maxStates int, nulls bool, dropAll float64) error {
+func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, delta float64, seed int64, workers, maxStates int, nulls bool, dropAll float64) error {
+	semMode, err := core.ParseSemanticsMode(semantics)
+	if err != nil {
+		return err
+	}
 	d, err := cliutil.LoadDatabase(dbPath)
 	if err != nil {
 		return err
@@ -84,28 +95,36 @@ func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64,
 
 	fmt.Printf("database: %d facts, %d constraints; consistent: %v\n",
 		d.Size(), sigma.Len(), inst.Consistent())
-	fmt.Printf("query: %s\ngenerator: %s\n\n", q, gen.Name())
+	fmt.Printf("query: %s\ngenerator: %s\nsemantics: %s\n\n", q, gen.Name(), semMode)
 
 	switch mode {
 	case "exact":
-		sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: maxStates})
+		sem, err := core.ComputeMode(inst, gen, markov.ExploreOptions{MaxStates: maxStates}, semMode)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("chain: %d absorbing states (%d failing); success mass %s\n",
-			sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
+		fmt.Printf("chain: %s complete sequences over %d absorbing states (%d failing); success mass %s\n",
+			sem.TotalSequences, sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
 		fmt.Printf("operational repairs: %d\n\n", len(sem.Repairs))
 		fmt.Print(sem.OCA(q))
 		return nil
 
 	case "approx":
-		est := &sampling.Estimator{Inst: inst, Gen: gen, Seed: seed, Workers: workers}
+		est := &sampling.Estimator{Inst: inst, Gen: gen, Seed: seed, Workers: workers, Mode: semMode}
 		run, err := est.EstimateAnswers(q, eps, delta)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("samples: n = %d (ε = %g, δ = %g); %d successful, %d failing walks\n\n",
+		fmt.Printf("samples: n = %d (ε = %g, δ = %g); %d successful, %d failing walks\n",
 			run.N, eps, delta, run.SuccessfulWalks, run.FailingWalks)
+		switch {
+		case run.TotalSequences != nil:
+			fmt.Printf("uniform sampler: count-guided exact draws over %s complete sequences\n\n", run.TotalSequences)
+		case run.Weighted:
+			fmt.Printf("uniform sampler: importance-sampling fallback (no (ε,δ) guarantee); effective sample size %.1f\n\n", run.ESS)
+		default:
+			fmt.Println()
+		}
 		if len(run.Estimates) == 0 {
 			fmt.Println("no tuple was observed in any successful repair")
 			return nil
@@ -124,6 +143,9 @@ func run(dbPath, sigmaPath, queryPath, genName, mode string, eps, delta float64,
 		return nil
 
 	case "practical":
+		if semMode != core.WalkInduced {
+			return fmt.Errorf("-mode practical estimates the walk-induced semantics only; use -mode exact or -mode approx with -semantics uniform")
+		}
 		if dropAll < 0 || dropAll > 1 {
 			return fmt.Errorf("-drop-all must be a probability in [0, 1], got %g", dropAll)
 		}

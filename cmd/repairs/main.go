@@ -6,7 +6,7 @@
 //
 //	repairs -db data.facts -constraints schema.rules \
 //	        [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	        [-tree] [-abc] [-max-states N]
+//	        [-semantics walk|uniform] [-tree] [-abc] [-max-states N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 		dbPath    = flag.String("db", "", "database file, or inline:<text>")
 		sigmaPath = flag.String("constraints", "", "constraint file, or inline:<text>")
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
+		semantics = flag.String("semantics", "walk", "distribution over complete sequences: walk (PODS '18) or uniform (PODS '22)")
 		showTree  = flag.Bool("tree", false, "render the repairing Markov chain tree")
 		showABC   = flag.Bool("abc", false, "also enumerate the classical ABC repairs")
 		maxStates = flag.Int("max-states", 1_000_000, "state budget (0 = unlimited)")
@@ -37,13 +38,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *sigmaPath, *genName, *showTree, *showABC, *maxStates); err != nil {
+	if err := run(*dbPath, *sigmaPath, *genName, *semantics, *showTree, *showABC, *maxStates); err != nil {
 		fmt.Fprintln(os.Stderr, "repairs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, sigmaPath, genName string, showTree, showABC bool, maxStates int) error {
+func run(dbPath, sigmaPath, genName, semantics string, showTree, showABC bool, maxStates int) error {
+	semMode, err := core.ParseSemanticsMode(semantics)
+	if err != nil {
+		return err
+	}
 	d, err := cliutil.LoadDatabase(dbPath)
 	if err != nil {
 		return err
@@ -62,7 +67,7 @@ func run(dbPath, sigmaPath, genName string, showTree, showABC bool, maxStates in
 	}
 	fmt.Printf("database (%d facts): %s\n", d.Size(), d)
 	fmt.Printf("constraints:\n%s", sigma)
-	fmt.Printf("generator: %s\n\n", gen.Name())
+	fmt.Printf("generator: %s\nsemantics: %s\n\n", gen.Name(), semMode)
 
 	if inst.Consistent() {
 		fmt.Println("database is already consistent; it is its own unique repair")
@@ -79,12 +84,12 @@ func run(dbPath, sigmaPath, genName string, showTree, showABC bool, maxStates in
 		fmt.Println()
 	}
 
-	sem, err := core.Compute(inst, gen, markov.ExploreOptions{MaxStates: maxStates})
+	sem, err := core.ComputeMode(inst, gen, markov.ExploreOptions{MaxStates: maxStates}, semMode)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("chain: %d absorbing states (%d failing), success mass %s\n",
-		sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
+	fmt.Printf("chain: %s complete sequences over %d absorbing states (%d failing), success mass %s\n",
+		sem.TotalSequences, sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
 	fmt.Printf("operational repairs (%d):\n", len(sem.Repairs))
 	for _, r := range sem.Repairs {
 		fmt.Printf("  P = %-18s via %d sequence(s): %s\n", prob.Format(r.P), r.Sequences, r.DB)

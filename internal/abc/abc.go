@@ -1,15 +1,3 @@
-// Package abc implements the classical Arenas–Bertossi–Chomicki repair
-// semantics [[D]]^{ABC}_Σ used by the paper as the baseline: repairs are
-// consistent databases over dom(D) and the constants of Σ whose symmetric
-// difference with D is minimal under set inclusion, and consistent query
-// answers are the certain answers over all repairs.
-//
-// For constraint sets without TGDs (EGDs and DCs only) satisfaction is
-// antimonotone, so the ABC repairs are exactly the maximal consistent
-// subsets of D; these are enumerated efficiently by branching on violation
-// bodies. For sets with TGDs the package falls back to exhaustive search
-// over subsets of the base, which is only feasible for the small instances
-// used in tests and experiments.
 package abc
 
 import (

@@ -1,6 +1,3 @@
-// Package cliutil holds the small amount of logic shared by the command
-// line tools: loading databases/constraints/queries from files or inline
-// strings and resolving generator names.
 package cliutil
 
 import (

@@ -1,0 +1,24 @@
+// Package cliutil holds the small amount of logic shared by the command
+// line tools: loading databases, constraint sets, and queries from files
+// or inline strings, and resolving generator names.
+//
+// # Key pieces
+//
+//   - LoadText / LoadDatabase / LoadConstraints / LoadQuery: every file
+//     argument also accepts "inline:<text>", so examples and tests can be
+//     single shell lines.
+//   - ResolveGenerator / GeneratorNames: the CLI name → markov.Generator
+//     mapping (uniform, uniform-deletions, preference, trust[:seed]).
+//
+// # Invariants
+//
+//   - This package contains no semantics of its own — it only parses and
+//     dispatches, so the binaries in cmd/* stay thin and everything
+//     testable lives in the internal packages below.
+//
+// # Neighbors
+//
+// Below: internal/parse, internal/generators, internal/workload
+// (RandomTrust for trust:<seed>). Above: cmd/ocqa, cmd/repairs,
+// cmd/experiments.
+package cliutil

@@ -1,7 +1,3 @@
-// Package constraint implements the three constraint classes of the paper —
-// tuple-generating dependencies (TGDs), equality-generating dependencies
-// (EGDs), and denial constraints (DCs) — together with satisfaction checking
-// and the violation sets V(D,Σ) of Definition 2.
 package constraint
 
 import (

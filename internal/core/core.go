@@ -1,16 +1,3 @@
-// Package core implements the paper's central contribution: operational
-// repairs (Definition 6), the repair semantics [[D]]_{MΣ} of an inconsistent
-// database, exact operational consistent query answering (Definition 7 and
-// the OCQA problem of Section 4), and the TPC decision problem of Section 5.
-//
-// Exact computation explores the full repairing Markov chain and is
-// exponential in general — Theorem 5 shows OCQA is FP^{#P}-complete. Two
-// engines exist: the sequence-tree walk (ComputeTree, correct for every
-// generator) and the DAG-collapsed engine (ComputeDAG, for memoryless
-// generators over TGD-free constraints, exponentially smaller because it
-// merges states by database); Compute picks automatically. Truly large
-// instances use internal/sampling or, for local generators, the
-// conflict-factorized ComputeFactored.
 package core
 
 import (
@@ -29,20 +16,29 @@ import (
 
 // Repair is an operational repair: a consistent database s(D) for some
 // reachable absorbing state s, together with its probability
-// P_{D,MΣ}(D') = Σ π(s) over the absorbing states producing it.
+// P_{D,MΣ}(D') — under the walk-induced mode, Σ π(s) over the absorbing
+// states producing it; under the sequence-uniform mode, the fraction of
+// complete sequences producing it.
 type Repair struct {
 	// DB is the repaired database.
 	DB *relation.Database
-	// P is the repair's probability under the hitting distribution.
+	// P is the repair's probability under the selected semantics mode.
 	P *big.Rat
-	// Sequences counts the absorbing sequences s with s(D) = DB.
+	// Sequences counts the absorbing sequences s with s(D) = DB, saturating
+	// at the int limit (display only; SeqCount is exact).
 	Sequences int
+	// SeqCount is the exact count of absorbing sequences producing DB. The
+	// sequence-uniform mode weighs repairs by SeqCount / total sequences.
+	SeqCount *big.Int
 }
 
 // Semantics is [[D]]_{MΣ} together with bookkeeping about the chain: the
 // set of repair/probability pairs, the total success mass (the denominator
 // of the conditional probability CP), and leaf statistics.
 type Semantics struct {
+	// Mode records which distribution over complete sequences the
+	// probabilities were computed under.
+	Mode SemanticsMode
 	// Repairs lists the operational repairs with positive probability, in
 	// deterministic (database-key) order.
 	Repairs []Repair
@@ -52,14 +48,21 @@ type Semantics struct {
 	SuccessP *big.Rat
 	// FailP is the probability mass on failing sequences.
 	FailP *big.Rat
-	// AbsorbingStates counts the reachable absorbing states (chain leaves).
+	// AbsorbingStates counts the reachable absorbing states (chain leaves),
+	// saturating at the int limit; TotalSequences is exact.
 	AbsorbingStates int
-	// FailingStates counts the failing leaves.
+	// FailingStates counts the failing leaves (saturating).
 	FailingStates int
+	// TotalSequences is the exact number of complete sequences of the
+	// chain's support (successful and failing).
+	TotalSequences *big.Int
+	// FailingSequences is the exact number of failing complete sequences.
+	FailingSequences *big.Int
 }
 
-// Compute explores the chain M_Σ(D) exactly and assembles [[D]]_{MΣ}.
-// opt.MaxStates bounds the exploration (0 = unlimited).
+// Compute explores the chain M_Σ(D) exactly and assembles [[D]]_{MΣ}
+// under the walk-induced semantics. opt.MaxStates bounds the exploration
+// (0 = unlimited). It is shorthand for ComputeMode with WalkInduced.
 //
 // When the chain is collapsible — the generator declares markov.Markovian
 // memorylessness and Σ has no TGDs — the exploration runs on the DAG of
@@ -68,16 +71,37 @@ type Semantics struct {
 // repairs, same exact probabilities, same sequence counts. Everything else
 // falls back to the sequence-tree walk.
 func Compute(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
-	if markov.Collapsible(inst, g) {
-		return ComputeDAG(inst, g, opt)
-	}
-	return ComputeTree(inst, g, opt)
+	return ComputeMode(inst, g, opt, WalkInduced)
 }
 
-// ComputeTree assembles the semantics from the sequence-tree walk of
-// Definition 5 — the reference engine, correct for every generator. Tests
-// and benchmarks call it directly to compare against ComputeDAG.
+// ComputeMode is Compute under an explicit semantics mode. Under
+// SequenceUniform the chain's support is explored exactly like the
+// walk-induced case (the support does not depend on the mode), but every
+// repair is weighted by its share of complete sequences instead of its
+// walk mass π — the DAG engine reads the weights off the propagated
+// big.Int sequence counts, and the tree engine counts leaves directly
+// (each tree leaf is one sequence), which doubles as the brute-force
+// reference the equivalence suite checks the DAG against.
+func ComputeMode(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions, mode SemanticsMode) (*Semantics, error) {
+	if markov.Collapsible(inst, g) {
+		return ComputeDAGMode(inst, g, opt, mode)
+	}
+	return ComputeTreeMode(inst, g, opt, mode)
+}
+
+// ComputeTree assembles the walk-induced semantics from the sequence-tree
+// walk of Definition 5 — the reference engine, correct for every
+// generator. Tests and benchmarks call it directly to compare against
+// ComputeDAG.
 func ComputeTree(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
+	return ComputeTreeMode(inst, g, opt, WalkInduced)
+}
+
+// ComputeTreeMode is ComputeTree under an explicit semantics mode. With
+// SequenceUniform it *is* brute-force sequence enumeration: every leaf of
+// the tree is one complete sequence, so uniform probabilities are exact
+// leaf-count ratios.
+func ComputeTreeMode(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions, mode SemanticsMode) (*Semantics, error) {
 	leaves, err := markov.Explore(inst, g, opt)
 	if err != nil {
 		return nil, err
@@ -114,21 +138,36 @@ func ComputeTree(inst *repair.Instance, g markov.Generator, opt markov.ExploreOp
 	sort.Strings(keys)
 	for _, k := range keys {
 		a := byDB[k]
-		sem.Repairs = append(sem.Repairs, Repair{DB: a.db, P: a.p, Sequences: a.seqs})
+		sem.Repairs = append(sem.Repairs, Repair{
+			DB: a.db, P: a.p, Sequences: a.seqs, SeqCount: big.NewInt(int64(a.seqs)),
+		})
 	}
-	return sem, nil
+	sem.TotalSequences = big.NewInt(int64(len(leaves)))
+	sem.FailingSequences = big.NewInt(int64(sem.FailingStates))
+	return applyMode(sem, mode), nil
 }
 
-// ComputeDAG assembles the semantics from the DAG-collapsed exploration.
-// It returns markov.ErrNotCollapsible for chains the DAG cannot represent
-// (history-dependent generators, TGDs); Compute handles the fallback.
+// ComputeDAG assembles the walk-induced semantics from the DAG-collapsed
+// exploration. It returns markov.ErrNotCollapsible for chains the DAG
+// cannot represent (history-dependent generators, TGDs); Compute handles
+// the fallback.
 //
 // The DAG merges absorbing sequences by result database, so each leaf is
 // already one repair; the sequence statistics (Repair.Sequences,
 // AbsorbingStates, FailingStates) are recovered from the propagated path
 // counts and saturate at the int limit when the collapsed tree is larger
-// than 2^63 sequences — sizes the tree engine could never enumerate.
+// than 2^63 sequences — sizes the tree engine could never enumerate. The
+// exact counts survive in Repair.SeqCount / Semantics.TotalSequences.
 func ComputeDAG(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions) (*Semantics, error) {
+	return ComputeDAGMode(inst, g, opt, WalkInduced)
+}
+
+// ComputeDAGMode is ComputeDAG under an explicit semantics mode. The
+// sequence-uniform weights reuse the big.Int path counts the exploration
+// propagates anyway, so the uniform semantics costs the same as the
+// walk-induced one — and stays exact at sizes where the counts exceed
+// 2^63 and brute-force enumeration is unthinkable.
+func ComputeDAGMode(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions, mode SemanticsMode) (*Semantics, error) {
 	dag, err := markov.ExploreDAG(inst, g, opt)
 	if err != nil {
 		return nil, err
@@ -148,15 +187,42 @@ func ComputeDAG(inst *repair.Instance, g markov.Generator, opt markov.ExploreOpt
 			DB:        leaf.State.Result().Clone(),
 			P:         new(big.Rat).Set(leaf.Pi),
 			Sequences: satInt(leaf.Sequences),
+			SeqCount:  new(big.Int).Set(leaf.Sequences),
 		})
 		repairKeys = append(repairKeys, leaf.Key)
 	}
 	sem.AbsorbingStates = satInt(absorbing)
 	sem.FailingStates = satInt(failing)
+	sem.TotalSequences = absorbing
+	sem.FailingSequences = failing
 	// Leaves arrive in level order; repairs are reported in database-key
 	// order like the tree engine.
 	sort.Sort(&repairsByKey{keys: repairKeys, repairs: sem.Repairs})
-	return sem, nil
+	return applyMode(sem, mode), nil
+}
+
+// applyMode finalizes the semantics for the requested mode. The engines
+// always assemble the walk-induced masses (they fall out of the
+// exploration for free); the sequence-uniform mode replaces every
+// probability with the corresponding exact sequence-count ratio.
+func applyMode(sem *Semantics, mode SemanticsMode) *Semantics {
+	sem.Mode = mode
+	if mode != SequenceUniform {
+		return sem
+	}
+	total := sem.TotalSequences
+	if total.Sign() == 0 {
+		// Cannot happen: every chain has at least the shortest complete
+		// sequence (the empty one, when D is consistent).
+		return sem
+	}
+	for i := range sem.Repairs {
+		sem.Repairs[i].P = new(big.Rat).SetFrac(sem.Repairs[i].SeqCount, total)
+	}
+	success := new(big.Int).Sub(total, sem.FailingSequences)
+	sem.SuccessP = new(big.Rat).SetFrac(success, total)
+	sem.FailP = new(big.Rat).SetFrac(sem.FailingSequences, total)
+	return sem
 }
 
 // repairsByKey sorts repairs by precomputed database key (Database.Key

@@ -1,0 +1,27 @@
+package core
+
+import "repro/internal/markov"
+
+// SemanticsMode selects which distribution over complete repairing
+// sequences the semantics is computed under. It is an alias of
+// markov.SemanticsMode (the chain layer owns the notion so that
+// internal/sampling can share it without importing core); core re-exports
+// it because the mode is most often chosen at this layer.
+//
+//   - WalkInduced: the PODS 2018 semantics — a sequence's probability is
+//     the product of the generator's transition probabilities along it.
+//   - SequenceUniform: the PODS 2022 uniform operational semantics — every
+//     complete sequence of the chain's support is equally likely, so a
+//     repair weighs (sequences producing it) / (total sequences).
+type SemanticsMode = markov.SemanticsMode
+
+const (
+	WalkInduced     = markov.WalkInduced
+	SequenceUniform = markov.SequenceUniform
+)
+
+// ParseSemanticsMode maps the CLI spellings "walk" / "uniform" (and long
+// forms) to a mode.
+func ParseSemanticsMode(s string) (SemanticsMode, error) {
+	return markov.ParseSemanticsMode(s)
+}

@@ -1,0 +1,302 @@
+package core_test
+
+// The sequence-uniform semantics (SemanticsMode) must satisfy three laws:
+//
+//  1. Engine equivalence: ComputeDAGMode(SequenceUniform) is bit-identical
+//     (exact big.Rat) to ComputeTreeMode(SequenceUniform) — and the tree
+//     under the uniform mode IS brute-force sequence enumeration, since
+//     every tree leaf is one complete sequence.
+//  2. Independence: for the uniform generator (whose support is ALL
+//     repairing sequences), the uniform repair probabilities must equal
+//     counts obtained by a raw repair.Walk traversal that never touches
+//     the markov layer at all.
+//  3. Divergence/coincidence: the two modes provably differ on asymmetric
+//     conflict graphs (the 3-fact chain of the acceptance example) and
+//     provably agree where symmetry forces them together.
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/relation"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+// checkUniformEngines mirrors checkEngines under the uniform mode.
+func checkUniformEngines(t *testing.T, label string, inst *repair.Instance, g markov.Generator, q *fo.Query) {
+	t.Helper()
+	opt := markov.ExploreOptions{MaxStates: 2_000_000}
+	tree, err := core.ComputeTreeMode(inst, g, opt, core.SequenceUniform)
+	if err != nil {
+		t.Fatalf("%s: tree: %v", label, err)
+	}
+	dag, err := core.ComputeDAGMode(inst, g, opt, core.SequenceUniform)
+	if err != nil {
+		t.Fatalf("%s: dag: %v", label, err)
+	}
+	routed, err := core.ComputeMode(inst, g, opt, core.SequenceUniform)
+	if err != nil {
+		t.Fatalf("%s: routed: %v", label, err)
+	}
+	if d := semanticsDiff(tree, dag); d != "" {
+		t.Fatalf("%s: uniform tree vs DAG: %s", label, d)
+	}
+	if d := semanticsDiff(dag, routed); d != "" {
+		t.Fatalf("%s: uniform DAG vs routed: %s", label, d)
+	}
+	if d := derivedDiff(tree, dag, q); d != "" {
+		t.Fatalf("%s: uniform derived observables: %s", label, d)
+	}
+	if tree.TotalSequences.Cmp(dag.TotalSequences) != 0 {
+		t.Fatalf("%s: TotalSequences %s vs %s", label, tree.TotalSequences, dag.TotalSequences)
+	}
+	// Uniform masses must be exactly SeqCount/Total and sum to SuccessP.
+	sum := prob.Zero()
+	for _, r := range dag.Repairs {
+		want := new(big.Rat).SetFrac(r.SeqCount, dag.TotalSequences)
+		if r.P.Cmp(want) != 0 {
+			t.Fatalf("%s: repair %s: P = %s, want SeqCount/Total = %s", label, r.DB, r.P.RatString(), want.RatString())
+		}
+		sum.Add(sum, r.P)
+	}
+	if sum.Cmp(dag.SuccessP) != 0 {
+		t.Fatalf("%s: Σ repair P = %s, want SuccessP = %s", label, sum.RatString(), dag.SuccessP.RatString())
+	}
+}
+
+// TestUniformDAGEqualsBruteForceRandom is the acceptance-criterion suite:
+// exact uniform semantics on the DAG, bit-identical to brute-force
+// sequence enumeration, on randomized small instances across the three
+// shipped memoryless generators and both workload shapes (key cliques and
+// conflict chains).
+func TestUniformDAGEqualsBruteForceRandom(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		cfg := workload.KeyConfig{
+			Keys:       1 + rng.Intn(4),
+			Violations: 1 + rng.Intn(3),
+			Seed:       int64(trial),
+		}
+		d, sigma := workload.KeyViolations(cfg)
+		inst := repair.MustInstance(d, sigma)
+		label := fmt.Sprintf("uniform-gen/trial=%d cfg=%+v", trial, cfg)
+		checkUniformEngines(t, label, inst, generators.Uniform{}, keysEquivQuery())
+
+		gen := generators.NewTrust(big.NewRat(1, 2))
+		for _, fact := range d.Facts() {
+			if err := gen.Set(fact, big.NewRat(int64(1+rng.Intn(4)), 5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkUniformEngines(t, "trust-gen/"+label, inst, gen, keysEquivQuery())
+	}
+	for _, facts := range []int{2, 3, 4, 5, 6} {
+		d, sigma := workload.Chain(workload.ChainConfig{Facts: facts})
+		inst := repair.MustInstance(d, sigma)
+		checkUniformEngines(t, fmt.Sprintf("chain/facts=%d", facts), inst, generators.Uniform{}, chainQuery())
+	}
+	for trial := 0; trial < 4; trial++ {
+		cfg := workload.PreferenceConfig{
+			Products: 3 + trial, Prefs: 5 + trial, ConflictRate: 0.5, Seed: int64(trial),
+		}
+		d, sigma := workload.Preferences(cfg)
+		inst := repair.MustInstance(d, sigma)
+		checkUniformEngines(t, fmt.Sprintf("preference/trial=%d", trial), inst, generators.Preference{}, topPrefQuery())
+	}
+}
+
+func chainQuery() *fo.Query {
+	x, y := logic.Var("x"), logic.Var("y")
+	return fo.MustQuery("Q", []logic.Term{x, y}, fo.Atom{A: logic.NewAtom("E", x, y)})
+}
+
+// TestUniformMatchesRawTreeCounts is the independence law: for the uniform
+// generator the chain's support is every repairing sequence, so uniform
+// repair probabilities must equal complete-sequence counts from a raw
+// repair.Walk that never consults the markov layer.
+func TestUniformMatchesRawTreeCounts(t *testing.T) {
+	instances := []struct {
+		label string
+		inst  *repair.Instance
+	}{}
+	for _, facts := range []int{3, 4, 5} {
+		d, sigma := workload.Chain(workload.ChainConfig{Facts: facts})
+		instances = append(instances, struct {
+			label string
+			inst  *repair.Instance
+		}{fmt.Sprintf("chain/facts=%d", facts), repair.MustInstance(d, sigma)})
+	}
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 3, Violations: 2, Seed: 5})
+	instances = append(instances, struct {
+		label string
+		inst  *repair.Instance
+	}{"keys", repair.MustInstance(d, sigma)})
+
+	for _, tc := range instances {
+		counts := map[string]int64{}
+		var total, failing int64
+		repair.Walk(tc.inst, func(s *repair.State) bool {
+			if s.IsComplete() {
+				total++
+				if s.IsSuccessful() {
+					counts[s.Result().Key()]++
+				} else {
+					failing++
+				}
+			}
+			return true
+		})
+		sem, err := core.ComputeMode(tc.inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if sem.TotalSequences.Int64() != total {
+			t.Fatalf("%s: TotalSequences = %s, raw walk found %d", tc.label, sem.TotalSequences, total)
+		}
+		if sem.FailingSequences.Int64() != failing {
+			t.Fatalf("%s: FailingSequences = %s, raw walk found %d", tc.label, sem.FailingSequences, failing)
+		}
+		if len(counts) != len(sem.Repairs) {
+			t.Fatalf("%s: %d distinct results in raw walk, %d repairs", tc.label, len(counts), len(sem.Repairs))
+		}
+		for _, r := range sem.Repairs {
+			want := new(big.Rat).SetFrac64(counts[r.DB.Key()], total)
+			if r.P.Cmp(want) != 0 {
+				t.Fatalf("%s: repair %s: P = %s, raw count ratio %s", tc.label, r.DB, r.P.RatString(), want.RatString())
+			}
+		}
+	}
+}
+
+// TestUniformDivergesFromWalkOnChain pins the acceptance example exactly:
+// on the 3-fact conflict chain the repair keeping both end facts has walk
+// probability 1/5 but uniform probability 1/9, while on the perfectly
+// symmetric single key conflict the two modes coincide.
+func TestUniformDivergesFromWalkOnChain(t *testing.T) {
+	d, sigma := workload.Chain(workload.ChainConfig{Facts: 3})
+	inst := repair.MustInstance(d, sigma)
+	walk, err := core.ComputeMode(inst, generators.Uniform{}, markov.ExploreOptions{}, core.WalkInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := core.ComputeMode(inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := uni.TotalSequences.Int64(), int64(9); got != want {
+		t.Fatalf("chain-3 has %d complete sequences, want %d", got, want)
+	}
+	// The both-ends repair is the 2-fact database; find it by size.
+	found := false
+	for i, r := range uni.Repairs {
+		if r.DB.Size() != 2 {
+			continue
+		}
+		found = true
+		if want := big.NewRat(1, 9); r.P.Cmp(want) != 0 {
+			t.Fatalf("uniform P(both ends) = %s, want %s", r.P.RatString(), want.RatString())
+		}
+		if want := big.NewRat(1, 5); walk.Repairs[i].P.Cmp(want) != 0 {
+			t.Fatalf("walk P(both ends) = %s, want %s", walk.Repairs[i].P.RatString(), want.RatString())
+		}
+	}
+	if !found {
+		t.Fatal("both-ends repair not found")
+	}
+
+	// Symmetric coincidence: one key conflict, both modes give 1/3 each.
+	d2, sigma2 := workload.KeyViolations(workload.KeyConfig{Keys: 1, Violations: 1, Seed: 1})
+	inst2 := repair.MustInstance(d2, sigma2)
+	w2, err := core.ComputeMode(inst2, generators.Uniform{}, markov.ExploreOptions{}, core.WalkInduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := core.ComputeMode(inst2, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := semanticsDiff(w2, u2); d != "" {
+		t.Fatalf("single symmetric conflict: modes should coincide, got %s", d)
+	}
+}
+
+// TestUniformWithFailingSequences: uniform semantics on a failing chain
+// (the paper's insertion example {R(a)} with R→T and ¬T) must spread mass
+// over ALL complete sequences — failing ones included — and normalize CP
+// by the successful share. The chain has TGDs, so this exercises the
+// tree-engine uniform path and the exact success/failing sequence split.
+func TestUniformWithFailingSequences(t *testing.T) {
+	d, sigma := paperFailingInstance(t)
+	inst := repair.MustInstance(d, sigma)
+	sem, err := core.ComputeMode(inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sem.FailingSequences.Sign() == 0 {
+		t.Fatal("expected failing sequences on the insertion instance")
+	}
+	total := new(big.Rat).Add(sem.SuccessP, sem.FailP)
+	if !prob.IsOne(total) {
+		t.Fatalf("SuccessP + FailP = %s, want 1", total.RatString())
+	}
+	wantSuccess := new(big.Rat).SetFrac(
+		new(big.Int).Sub(sem.TotalSequences, sem.FailingSequences), sem.TotalSequences)
+	if sem.SuccessP.Cmp(wantSuccess) != 0 {
+		t.Fatalf("SuccessP = %s, want (total−failing)/total = %s", sem.SuccessP.RatString(), wantSuccess.RatString())
+	}
+	// The brute-force tree is the only engine for TGD chains; Compute must
+	// have routed there and produced the same thing.
+	tree, err := core.ComputeTreeMode(inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := semanticsDiff(sem, tree); diff != "" {
+		t.Fatalf("routed vs tree on TGD chain: %s", diff)
+	}
+}
+
+func paperFailingInstance(t *testing.T) (*relation.Database, *constraint.Set) {
+	t.Helper()
+	d := relation.FromFacts(relation.NewFact("R", "a"))
+	x := logic.Var("x")
+	tgd := constraint.MustTGD([]logic.Atom{logic.NewAtom("R", x)}, []logic.Atom{logic.NewAtom("T", x)})
+	dc := constraint.MustDC([]logic.Atom{logic.NewAtom("T", x)})
+	return d, constraint.NewSet(tgd, dc)
+}
+
+// TestParseSemanticsMode covers the CLI surface of the mode enum.
+func TestParseSemanticsMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want core.SemanticsMode
+		ok   bool
+	}{
+		{"walk", core.WalkInduced, true},
+		{"walk-induced", core.WalkInduced, true},
+		{"", core.WalkInduced, true},
+		{"uniform", core.SequenceUniform, true},
+		{"sequence-uniform", core.SequenceUniform, true},
+		{"bogus", 0, false},
+	} {
+		got, err := core.ParseSemanticsMode(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Fatalf("ParseSemanticsMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Fatalf("ParseSemanticsMode(%q) succeeded, want error", tc.in)
+		}
+	}
+	if core.WalkInduced.String() != "walk" || core.SequenceUniform.String() != "uniform" {
+		t.Fatalf("mode String() mismatch: %q, %q", core.WalkInduced, core.SequenceUniform)
+	}
+}

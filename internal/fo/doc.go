@@ -1,0 +1,36 @@
+// Package fo implements first-order queries Q(x̄) = {x̄ | ϕ} over
+// relational databases, with active-domain semantics as in the paper: the
+// output of Q on D is {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)}, and quantifiers
+// range over dom(D).
+//
+// # Key types
+//
+//   - Query: a named query with output variables and a Formula body.
+//     Holds(db, tuple) decides membership; Answers(db) enumerates the
+//     output sorted lexicographically; ForEachAnswerSyms streams unsorted
+//     symbol tuples for tally-style consumers (the samplers) without
+//     string round trips.
+//   - Formula: the usual connectives (Atom, And, Or, Not, Implies, Iff,
+//     Eq/Neq, Exists, ForAll, Truth) over internal/logic terms.
+//   - TupleKey: a packed-symbol map key for answer tuples —
+//     process-local, no stable order; user-visible output must sort by
+//     the tuples themselves.
+//
+// # Invariants
+//
+//   - Conjunctive queries (existentially quantified conjunctions of atoms
+//     with free output variables) take a fast path through the indexed
+//     homomorphism search of internal/relation; arbitrary formulas are
+//     evaluated recursively over the active domain. Both paths agree
+//     (property-tested), so consumers never need to know which ran.
+//   - Evaluation never mutates the database and is safe to run
+//     concurrently against a sealed snapshot — the parallel samplers
+//     evaluate one query against many repairs at once.
+//
+// # Neighbors
+//
+// Below: internal/logic, internal/relation, internal/intern. Above:
+// internal/core (CP/OCA over repairs), internal/sampling and
+// internal/practical (per-walk / per-round evaluation), internal/plan
+// (AsQuery compiles conjunctive plans into this package).
+package fo

@@ -1,8 +1,3 @@
-// Package fo implements first-order queries Q(x̄) = {x̄ | ϕ} over relational
-// databases, with active-domain semantics as in the paper: the output of Q
-// on D is {c̄ ∈ dom(D)^{|x̄|} | D ⊨ ϕ(c̄)}, and quantifiers range over
-// dom(D). Conjunctive queries take a fast path through homomorphism search;
-// arbitrary FO formulas are evaluated recursively.
 package fo
 
 import (

@@ -1,8 +1,3 @@
-// Package generators provides repairing Markov chain generators M_Σ: the
-// uniform generator M^u_Σ of Proposition 4, the support-based preference
-// generator of Example 4, the trust-based data-integration generator of
-// Example 5, deletion-only generators (Proposition 8), and a generic
-// weight-function generator for user-defined policies.
 package generators
 
 import (

@@ -1,0 +1,34 @@
+// Package intern provides process-wide interning of the strings that flow
+// through the repair stack: predicate names, constants, and labeled nulls
+// are mapped to dense uint32 symbols (Sym) so that every hot-path
+// comparison — fact identity, violation identity, homomorphism bindings,
+// state bookkeeping — is an integer comparison instead of a string build.
+//
+// # Key types
+//
+//   - Sym: a dense uint32 symbol id. Symbol 0 is never issued, so Sym(0)
+//     doubles as "no symbol" in the packages above.
+//   - PackSyms / tuple.go: a length-prefixed varint encoding of symbol
+//     tuples used as map keys (answer tallies, join hashing) without
+//     materializing strings.
+//
+// # Invariants
+//
+//   - The symbol table is append-only and never evicts: a Sym, once
+//     issued, resolves to the same name for the process lifetime, so ids
+//     may be stored freely in long-lived structures.
+//   - Interning is deterministic per process but NOT across processes:
+//     Sym values and packed-tuple encodings are process-local and carry no
+//     stable order. Anything user-visible must be sorted by name (the
+//     convention everywhere above: sort by the strings, never by Sym).
+//   - Concurrency: lookups of existing symbols take a read lock on the
+//     name→symbol map; the symbol→name direction is lock-free through an
+//     atomically published snapshot, so parallel chain walkers resolve
+//     names without contention.
+//
+// # Neighbors
+//
+// Everything sits above this package: internal/logic builds terms and
+// atoms over Sym, internal/relation interns facts keyed by packed symbol
+// tuples, and internal/fo / internal/plan key query answers by PackSyms.
+package intern

@@ -1,15 +1,3 @@
-// Package intern provides process-wide interning of the strings that flow
-// through the repair stack: predicate names, constants, and labeled nulls
-// are mapped to dense uint32 symbols so that every hot-path comparison —
-// fact identity, violation identity, homomorphism bindings, state
-// bookkeeping — is an integer comparison instead of a string build.
-//
-// The symbol table is append-only and safe for concurrent use: lookups of
-// existing symbols take a read lock on the name→symbol map, while the
-// symbol→name direction is lock-free through an atomically published
-// snapshot (parallel chain walkers resolve names without contention).
-// Strings are never evicted; the table grows with the set of distinct
-// constants seen by the process, which is bounded by the workloads loaded.
 package intern
 
 import (

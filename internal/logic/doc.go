@@ -1,0 +1,33 @@
+// Package logic provides the term-level substrate shared by the whole
+// library: constants, variables, atoms, and substitutions. The paper
+// (Calautti, Libkin, Pieris, PODS 2018) phrases constraint satisfaction
+// and violations in terms of homomorphisms from conjunctions of atoms to
+// databases; this package supplies the vocabulary those homomorphisms are
+// defined over (the search itself lives in internal/relation, next to the
+// indexes that drive it).
+//
+// # Key types
+//
+//   - Term: a constant or variable carrying an interned symbol id
+//     (intern.Sym), so term comparisons are integer comparisons.
+//   - Atom: a predicate applied to terms, the building block of constraint
+//     bodies and conjunctive queries.
+//   - Subst: a variable → symbol binding set (a partial homomorphism);
+//     Subst.Val resolves a term under the binding, which the join planner
+//     and matcher in internal/relation use to pin argument positions.
+//
+// # Invariants
+//
+//   - Terms are immutable values; identity is (kind, symbol). The
+//     string-facing API (Name, String, the text format of internal/parse)
+//     is preserved through the symbol table.
+//   - Variables follow the Prolog case convention only at the parse layer;
+//     here a Term is explicitly a Var or Const regardless of spelling.
+//
+// # Neighbors
+//
+// Below: internal/intern (symbols). Above: internal/relation (facts,
+// homomorphism search), internal/constraint (TGD/EGD/DC bodies),
+// internal/fo (query formulas), internal/plan (conjunctive-plan
+// compilation to fo).
+package logic

@@ -1,15 +1,3 @@
-// Package logic provides the term-level substrate shared by the whole
-// library: constants, variables, atoms, substitutions, and homomorphism
-// search from sets of atoms into databases of facts.
-//
-// The paper (Calautti, Libkin, Pieris, PODS 2018) phrases constraint
-// satisfaction and violations in terms of homomorphisms from conjunctions of
-// atoms to databases; this package implements exactly that machinery.
-//
-// Identifiers are interned: a term carries a dense symbol id rather than a
-// string, so term and binding comparisons are integer comparisons. The
-// string-facing API (Name, String, the text format) is preserved through
-// the symbol table.
 package logic
 
 import (

@@ -29,6 +29,12 @@ import (
 // sizes downward, expanding each level's frontier with a worker pool
 // (states are copy-on-write clones, so expansion is embarrassingly
 // parallel; the merge that follows is sequential and deterministic).
+//
+// The propagated per-leaf sequence counts are load-bearing beyond
+// statistics: the sequence-uniform semantics (core.ComputeDAGMode with
+// SequenceUniform) weighs each repair by Sequences/ΣSequences, and
+// seqdag.go runs the mirror-image upward sweep over the same structure to
+// sample complete sequences uniformly.
 
 // ErrNotCollapsible is returned when ExploreDAG is asked to collapse a
 // chain whose states are not interchangeable by database: a generator that

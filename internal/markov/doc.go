@@ -1,0 +1,51 @@
+// Package markov implements repairing Markov chains (Definition 5 of the
+// paper): tree-shaped Markov chains whose states are repairing sequences,
+// whose absorbing states are exactly the complete sequences, and whose
+// transition probabilities are supplied by a Generator (the paper's
+// repairing Markov chain generator M_Σ).
+//
+// # Key types
+//
+//   - Generator: assigns transition probabilities to the valid extensions
+//     of a state. Implementations live in internal/generators.
+//   - Markovian: the capability interface for memoryless generators —
+//     Transitions is a pure function of (s.Result(), exts). Combined with
+//     a TGD-free Σ (Collapsible), it licenses collapsing the sequence
+//     tree into the DAG of distinct sub-databases.
+//   - IntWeighter: the integer-weight fast path; random walks step with a
+//     single RNG draw and zero big.Rat work, bit-identical to the exact
+//     path.
+//   - Explore / ExploreDAG: exact exploration. Explore walks the sequence
+//     tree; ExploreDAG (dag.go) merges states by Database.Key(), sweeps
+//     size levels in decreasing order (every deletion-only edge shrinks
+//     the database, so size classes are a topological order), accumulates
+//     exact path mass π and big.Int sequence counts per node, and expands
+//     each frontier with a worker pool.
+//   - SemanticsMode (mode.go): walk-induced vs sequence-uniform — which
+//     distribution over complete sequences the layers above compute.
+//   - SequenceDAG (seqdag.go): the counting-to-sampling reduction. A
+//     second, upward sweep turns the collapsed DAG into per-node
+//     completion counts; count-guided walks then draw complete sequences
+//     exactly uniformly, which internal/sampling uses for the uniform
+//     semantics.
+//
+// # Invariants (the determinism contract)
+//
+//   - Exact arithmetic is big.Rat end to end; hitting distributions sum to
+//     exactly 1 or the exploration errors (ErrNotWellDefined).
+//   - ExploreDAG and BuildSequenceDAG produce bit-identical results for
+//     every Workers value: levels merge sequentially in sorted-key order,
+//     and workers only compute per-node expansions.
+//   - Markovian implementations must be safe for concurrent Transitions /
+//     IntWeights calls (the worker pool calls them from goroutines).
+//   - Collapsing is gated, never assumed: history-dependent generators and
+//     TGD constraint sets take the sequence tree (ErrNotCollapsible), and
+//     the equivalence suite in internal/core proves the gate is
+//     load-bearing.
+//
+// # Neighbors
+//
+// Below: internal/repair (states), internal/ops, internal/prob. Above:
+// internal/generators (implementations), internal/sampling (walks),
+// internal/core (assembles Semantics from explorations).
+package markov

@@ -1,10 +1,3 @@
-// Package markov implements repairing Markov chains (Definition 5 of the
-// paper): tree-shaped Markov chains whose states are repairing sequences,
-// whose absorbing states are exactly the complete sequences, and whose
-// transition probabilities are supplied by a Generator (the paper's
-// repairing Markov chain generator M_Σ). It computes hitting distributions
-// exactly over big.Rat (Proposition 3 guarantees existence) and exposes the
-// chain tree for inspection and rendering.
 package markov
 
 import (

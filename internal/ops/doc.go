@@ -1,0 +1,36 @@
+// Package ops implements the (D,Σ)-operations of the paper: updates +F
+// that insert a set of facts from the base B(D,Σ) and updates −F that
+// remove a set of facts (Definition 1), the fixing test, the
+// justified-operation test of Definition 3, and the enumeration of all
+// justified operations at a database state following the shape result of
+// Proposition 1.
+//
+// # Key types
+//
+//   - Op: an interned operation value (sign + fact set). Interned ops
+//     compare by pointer, carry a precomputed identity, and build their
+//     canonical Key() at most once — the repair layer dedups candidate
+//     lists by pointer equality.
+//   - JustifiedDeletions / JustifiedAdditions: enumeration of the
+//     justified operations fixing one violation (deletions are the
+//     non-empty subsets of a violation body; additions ground TGD heads
+//     over the base).
+//   - NullAddition (nulls.go): the Section 6 extension — one canonical
+//     insertion per TGD violation with fresh labeled nulls in the
+//     existential positions, replacing the |dom|^|z̄| grounded candidates.
+//
+// # Invariants
+//
+//   - Ops are immutable and canonically ordered by SortOps; every consumer
+//     (extension enumeration, chain edges, rendering) relies on that order
+//     for determinism.
+//   - Do/Undo are exact inverses over a Database's delta; the repair
+//     layer's admissibility probe applies an op, inspects violations, and
+//     undoes it without cloning.
+//
+// # Neighbors
+//
+// Below: internal/relation (facts, databases, Base), internal/constraint
+// (violations justify operations). Above: internal/repair (sequences of
+// ops), internal/markov (chain edges are ops).
+package ops

@@ -1,8 +1,3 @@
-// Package ops implements the (D,Σ)-operations of the paper: updates +F that
-// insert a set of facts from the base B(D,Σ) and updates −F that remove a
-// set of facts (Definition 1), the fixing test, the justified-operation test
-// of Definition 3, and the enumeration of all justified operations at a
-// database state following the shape result of Proposition 1.
 package ops
 
 import (

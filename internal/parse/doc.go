@@ -1,0 +1,47 @@
+// Package parse implements the text formats of the library: databases
+// (lists of facts), constraint sets (TGDs, EGDs, DCs), and first-order
+// queries. The formats follow the Prolog case convention — identifiers
+// beginning with an uppercase letter are variables, everything else is a
+// constant — because the paper's mathematical convention (x, y vs. a, b)
+// cannot be distinguished lexically.
+//
+// Grammar sketch (all statements end with '.'):
+//
+//	fact        := pred '(' const {',' const} ')'
+//	constraint  := atoms '->' (atoms | var '=' var | 'false')
+//	             | '!' '(' atoms ')'
+//	query       := name '(' vars ')' ':=' formula
+//	formula     := iff
+//	iff         := implies {'<->' implies}
+//	implies     := or ['->' implies]
+//	or          := and {'|' and}
+//	and         := unary {'&' unary}
+//	unary       := '!' unary | 'exists' vars ':' unary
+//	             | 'forall' vars ':' unary | primary
+//	primary     := '(' formula ')' | atom | term '=' term
+//	             | term '!=' term | 'true' | 'false'
+//
+// # Key pieces
+//
+//   - Database / Constraints / Query: the three entry points (used by
+//     internal/cliutil and every example).
+//   - render.go: the inverse of the parser — Render* functions quote
+//     anything the lexer would not re-read verbatim, and
+//     parse → render → reparse is a fixed point.
+//   - fuzz_test.go: native fuzz targets (FuzzDatabase, FuzzConstraints,
+//     FuzzQuery) with checked-in corpora enforcing no-panic and the
+//     round-trip fixed point; CI runs a short pass per target.
+//
+// # Invariants
+//
+//   - Parsing is deterministic and side-effect-free apart from symbol
+//     interning; errors carry line/column positions.
+//   - Everything the parser accepts, the renderer can print back such
+//     that reparsing yields the same value — tools may round-trip freely.
+//
+// # Neighbors
+//
+// Below: internal/logic, internal/relation, internal/constraint,
+// internal/fo (the parsed value types). Above: internal/cliutil, cmd/*,
+// examples/*.
+package parse

@@ -1,25 +1,3 @@
-// Package parse implements the text formats of the library: databases
-// (lists of facts), constraint sets (TGDs, EGDs, DCs), and first-order
-// queries. The formats follow the Prolog case convention — identifiers
-// beginning with an uppercase letter are variables, everything else is a
-// constant — because the paper's mathematical convention (x, y vs. a, b)
-// cannot be distinguished lexically.
-//
-// Grammar sketch (all statements end with '.'):
-//
-//	fact        := pred '(' const {',' const} ')'
-//	constraint  := atoms '->' (atoms | var '=' var | 'false')
-//	             | '!' '(' atoms ')'
-//	query       := name '(' vars ')' ':=' formula
-//	formula     := iff
-//	iff         := implies {'<->' implies}
-//	implies     := or ['->' implies]
-//	or          := and {'|' and}
-//	and         := unary {'&' unary}
-//	unary       := '!' unary | 'exists' vars ':' unary
-//	             | 'forall' vars ':' unary | primary
-//	primary     := '(' formula ')' | atom | term '=' term
-//	             | term '!=' term | 'true' | 'false'
 package parse
 
 import (

@@ -1,12 +1,3 @@
-// Package plan is the relational-algebra layer of the unified substrate:
-// named tables are views over the predicates of an interned
-// relation.Database, plans are algebra expressions
-// (Scan/Select/Project/Join/Diff/Union/Distinct/GroupCount) evaluated over
-// interned symbol rows with symbol-id hash joins, and conjunctive plans
-// compile to fo queries so they run on the indexed homomorphism search.
-// It replaces the string-row engine that the Section 5 practical scheme
-// used to run on: one data plane now serves the chain machinery and the
-// approximation pipeline alike.
 package plan
 
 import (

@@ -1,0 +1,44 @@
+// Package plan is the relational-algebra layer of the unified substrate:
+// named tables are views over the predicates of an interned
+// relation.Database, plans are algebra expressions evaluated over interned
+// symbol rows, and conjunctive plans compile to fo queries so they run on
+// the indexed homomorphism search. It replaced the string-row engine the
+// Section 5 practical scheme originally ran on: one data plane now serves
+// the chain machinery and the approximation pipeline alike.
+//
+// # Key types
+//
+//   - Catalog: a *schema view* over a relation.Database. AddTable names
+//     the columns of a predicate, DeclareKey marks key columns,
+//     NewCatalogOn(db) lays views over a database the chain machinery
+//     already holds (no conversion, no copy), and With(db) rebinds the
+//     same schemas to another database in O(1) — how a plan is evaluated
+//     against a per-round repair. DeriveKeys recognizes key-shaped EGDs
+//     (R(x̄), R(ȳ) → xi = yi), which is how cmd/ocqa -mode practical maps
+//     parsed constraints onto keyed tables.
+//   - Plan: Scan / Select / Project / Join / Diff / Union / Distinct /
+//     GroupCount. Exec(cat) evaluates; intermediate rows are []intern.Sym,
+//     joins and distinct hash packed symbol tuples, and equality
+//     conditions compile to single integer comparisons.
+//   - AsQuery: compiles a conjunctive plan (Distinct over
+//     Scan/natural-Join/equality-Select/Project; one variable per column
+//     name) into an fo.Query, so natural-join semantics carry over to the
+//     indexed search.
+//   - RewriteScans: splices explicit R − R_del differences into a plan,
+//     the shape experiment of Section 5 (E8).
+//
+// # Invariants
+//
+//   - A Catalog never owns facts; it interprets whatever Database it is
+//     currently bound to, so rebinding is always O(1) and set semantics
+//     come from the underlying fact set.
+//   - AsQuery and direct algebra evaluation agree bit-identically on
+//     shared repairs (property-tested) — consumers choose by performance,
+//     not by semantics.
+//
+// # Neighbors
+//
+// Below: internal/relation, internal/intern, internal/fo, internal/logic.
+// Above: internal/practical (per-round evaluation), internal/workload
+// (Orders emits a Catalog), cmd/experiments (E8).
+package plan

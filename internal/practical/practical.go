@@ -1,27 +1,3 @@
-// Package practical implements the implementation sketch at the end of
-// Section 5 of the paper for the common case of key violations and deletion
-// updates:
-//
-//	The user sets ε and δ and computes n = ⌈ln(2/δ)/(2ε²)⌉. Then, n times:
-//	from each group of tuples violating a key, randomly pick at most one
-//	tuple to be left, collecting the others in R_del; run the original
-//	query with each relation R replaced by R − R_del; append the outcome
-//	to a table T. Finally return n_t̄ / n for every tuple t̄ of T.
-//
-// The random draw "keep exactly one, uniformly" corresponds to the
-// classical one-tuple-per-key repairs; the optional drop-all probability
-// implements the paper's "at most one" reading, mirroring the trust
-// example of the introduction where neither conflicting source is
-// believed.
-//
-// The pipeline runs on the interned substrate end to end: key-violating
-// groups are enumerated once through the per-predicate argument indexes of
-// the sealed database, each round's repair R − R_del is an O(|R_del|)
-// copy-on-write clone, queries evaluate either through the compiled
-// conjunctive-query path (indexed homomorphism search) or the symbol-id
-// plan algebra, and rounds run on a worker pool whose per-round RNGs
-// derive from (Seed, round) — so results are bit-identical for any worker
-// count, mirroring sampling.Estimator.
 package practical
 
 import (

@@ -1,0 +1,36 @@
+// Package prob provides the probability utilities shared across the
+// stack: exact rational arithmetic helpers, weighted random choice, the
+// Hoeffding sample-size bound, and the deterministic RNG-seeding scheme
+// the parallel pipelines are built on.
+//
+// # Key pieces
+//
+//   - big.Rat helpers (Zero/One/Sum/Normalize/IsOne/Format/...): all chain
+//     probability arithmetic stays exact; floats are for reporting only.
+//   - HoeffdingSamples: n = ⌈ln(2/δ)/(2ε²)⌉, the sample size behind the
+//     Theorem 9 approximation scheme (ε = δ = 0.1 gives the paper's 150).
+//   - Pick / PickInt / PickBigInt: weighted index choice consuming exactly
+//     one RNG draw each. The three are draw-for-draw consistent — for the
+//     same RNG state and proportional weights they return the same index —
+//     so integer- and big.Int-weight fast paths sample walks bit-identical
+//     to the exact rational path.
+//   - SplitMix (splitmix.go): a rand.Source64 with O(1) seeding.
+//     ReseedAt(seed, i) aims an owned rand.Rand at unit i's stream as a
+//     pure function of (seed, i) — the mechanism behind "bit-identical for
+//     every worker count" in sampling.Estimator, practical.Runner, and the
+//     uniform-sequence sampler.
+//
+// # Invariants
+//
+//   - Pick-family draws use a 53-bit uniform and compare against exact
+//     cumulative products (big-integer or 128-bit), so the choice is never
+//     subject to floating-point rounding.
+//   - SplitMix reseeding mid-stream is sound only because the pipelines
+//     draw through Int63n/Intn/Float64, which rand.Rand does not buffer.
+//
+// # Neighbors
+//
+// Everything probabilistic sits above: internal/markov (exact hitting
+// distributions), internal/sampling, internal/practical,
+// internal/generators.
+package prob

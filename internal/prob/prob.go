@@ -1,8 +1,3 @@
-// Package prob provides small utilities over exact rational probabilities
-// (math/big.Rat) used throughout the library: normalization, summation,
-// formatting, weighted random choice, and the Hoeffding sample-size bound
-// n = ⌈ln(2/δ) / (2ε²)⌉ that drives the additive-error approximation scheme
-// of Theorem 9.
 package prob
 
 import (
@@ -203,6 +198,49 @@ func PickInt(rng *rand.Rand, ws []int64) int {
 	}
 	for i := len(ws) - 1; i >= 0; i-- {
 		if ws[i] > 0 {
+			return i
+		}
+	}
+	panic("prob: unreachable")
+}
+
+// PickBigInt is PickInt over arbitrary-precision weights: it draws an index
+// with probability proportional to the given non-negative big.Int weights,
+// consuming exactly one RNG draw, and returns exactly the index PickInt
+// (and hence Pick) would return whenever the weights fit in int64. The
+// sequence-uniform sampler uses it to step through DAG nodes whose
+// completion counts exceed 2^63. It panics on an empty or non-positive
+// weight list.
+func PickBigInt(rng *rand.Rand, ws []*big.Int) int {
+	const resolution = 53 // u is drawn from [0, 2^53)
+	total := new(big.Int)
+	for _, w := range ws {
+		if w.Sign() < 0 {
+			panic("prob: PickBigInt requires non-negative weights")
+		}
+		total.Add(total, w)
+	}
+	if len(ws) == 0 || total.Sign() == 0 {
+		panic("prob: PickBigInt requires non-empty weights with positive sum")
+	}
+	u := rng.Int63n(1 << resolution)
+	// Index = smallest i with u·total < cum_i·2^53 — the same comparison
+	// PickInt makes over 128-bit products, here over big.Ints.
+	lhs := new(big.Int).Mul(big.NewInt(u), total)
+	cum := new(big.Int)
+	rhs := new(big.Int)
+	for i, w := range ws {
+		if w.Sign() == 0 {
+			continue
+		}
+		cum.Add(cum, w)
+		rhs.Lsh(cum, resolution)
+		if lhs.Cmp(rhs) < 0 {
+			return i
+		}
+	}
+	for i := len(ws) - 1; i >= 0; i-- {
+		if ws[i].Sign() > 0 {
 			return i
 		}
 	}

@@ -186,3 +186,80 @@ func TestAbsDiff(t *testing.T) {
 		t.Errorf("AbsDiff = %v", d)
 	}
 }
+
+// TestPickBigIntMatchesPickInt: for weights that fit in int64, PickBigInt
+// must return exactly the index PickInt returns from the same RNG draw (and
+// hence the index Pick returns for the rational weights) — randomized over
+// weight vectors including zeros and weights large enough to exercise the
+// 128-bit comparison.
+func TestPickBigIntMatchesPickInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		k := 1 + rng.Intn(6)
+		ws := make([]int64, k)
+		bigWs := make([]*big.Int, k)
+		positive := false
+		for i := range ws {
+			switch rng.Intn(3) {
+			case 0:
+				ws[i] = 0
+			case 1:
+				ws[i] = 1 + rng.Int63n(10)
+			default:
+				ws[i] = 1 + rng.Int63n(1<<40)
+			}
+			if ws[i] > 0 {
+				positive = true
+			}
+			bigWs[i] = big.NewInt(ws[i])
+		}
+		if !positive {
+			ws[0], bigWs[0] = 1, big.NewInt(1)
+		}
+		seed := rng.Int63()
+		a := PickInt(rand.New(rand.NewSource(seed)), ws)
+		b := PickBigInt(rand.New(rand.NewSource(seed)), bigWs)
+		if a != b {
+			t.Fatalf("trial %d: PickInt = %d, PickBigInt = %d for %v", trial, a, b, ws)
+		}
+	}
+}
+
+// TestPickBigIntHugeWeights: weights beyond int64 must still partition the
+// draw space proportionally — a weight-2^80 entry next to a weight-2^78
+// entry should be drawn about 4 times as often.
+func TestPickBigIntHugeWeights(t *testing.T) {
+	big0 := new(big.Int).Lsh(big.NewInt(1), 80)
+	big1 := new(big.Int).Lsh(big.NewInt(1), 78)
+	ws := []*big.Int{big0, big1}
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if PickBigInt(rng, ws) == 0 {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.8) > 0.02 {
+		t.Fatalf("P(index 0) = %f, want 0.8", got)
+	}
+}
+
+// TestPickBigIntPanicsOnBadInput mirrors the Pick/PickInt contracts.
+func TestPickBigIntPanicsOnBadInput(t *testing.T) {
+	for _, ws := range [][]*big.Int{
+		nil,
+		{big.NewInt(0)},
+		{big.NewInt(-1), big.NewInt(2)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PickBigInt(%v) did not panic", ws)
+				}
+			}()
+			PickBigInt(rand.New(rand.NewSource(1)), ws)
+		}()
+	}
+}

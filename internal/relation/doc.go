@@ -1,0 +1,46 @@
+// Package relation implements the relational storage substrate: ground
+// facts, database instances, active domains, the base B(D,Σ) over which
+// repairing operations are defined, and the index-driven homomorphism
+// search every layer above joins through.
+//
+// # Key types
+//
+//   - Fact: an interned ground atom — a dense 32-bit id into a
+//     process-wide fact table keyed by (predicate symbol, argument
+//     symbols). Fact identity is one integer comparison; the canonical
+//     string Key() is cached and built at most once per distinct fact.
+//   - Database: a copy-on-write instance. A database is an immutable
+//     *sealed snapshot* plus a small sorted-slice delta of insertions and
+//     deletions; Clone is O(|delta|), Seal folds the delta into a fresh
+//     snapshot, and bulk loading auto-seals geometrically. The active
+//     domain is maintained incrementally and its sorted form is cached.
+//   - Index (index.go): per-predicate, per-argument-position secondary
+//     indexes ((pred, pos, sym) → packed fact refs, CSR-style buckets)
+//     built by Seal and stored only in the snapshot — clones share them
+//     for free, and Insert/Delete never maintain them.
+//   - ForEachHom / CountHoms (homomorphism.go): backtracking join search
+//     over atom lists. planOrder scores atoms with real bucket
+//     cardinalities; matchFrom probes the smallest bucket among pinned
+//     argument positions.
+//   - Base: B(D,Σ), the fact space operations may draw from.
+//
+// # Invariants (the index-layer contract)
+//
+//  1. On a sealed database an index probe sees exactly the fact set.
+//  2. With a pending delta, reads are snapshot-bucket ∪ added-delta minus
+//     removed; ForEachHom folds any delta past the auto-seal floor into a
+//     fresh snapshot before searching, so deltas stay small.
+//  3. Indexed enumeration preserves the relative order of a filtered
+//     FactsByPred scan, keeping all downstream output deterministic.
+//  4. Database.Key() is a canonical byte encoding of the fact set —
+//     equal databases, equal keys — used by the DAG engine as its merge
+//     key. It is rebuilt per call; callers that compare repeatedly must
+//     cache it.
+//
+// # Neighbors
+//
+// Below: internal/intern, internal/logic. Above: internal/constraint
+// (violation detection via the homomorphism search), internal/ops
+// (operations mutate databases), internal/repair (states own clones),
+// internal/plan (catalogs are schema views over a Database).
+package relation

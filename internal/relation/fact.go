@@ -1,12 +1,3 @@
-// Package relation implements the relational storage substrate: ground
-// facts, database instances with per-predicate indexes, active domains, and
-// the base B(D,Σ) over which repairing operations are defined.
-//
-// Facts are interned: a Fact is a dense 32-bit id into a process-wide fact
-// table keyed by (predicate symbol, argument symbols), so fact identity is
-// a single integer comparison and fact sets are maps over 4-byte keys. The
-// string-facing API (String, Key, the parser's text format) is preserved
-// through the symbol table.
 package relation
 
 import (

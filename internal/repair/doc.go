@@ -1,0 +1,42 @@
+// Package repair implements repairing sequences of operations
+// (Definition 4 of the paper): sequences of justified operations subject
+// to req1 (every step eliminates a violation), req2 (eliminated violations
+// never reappear), no-cancellation (a fact added is never removed and vice
+// versa), and global justification of additions.
+//
+// # Key types
+//
+//   - Instance: the fixed context of a repairing process — the initial
+//     database D (cloned and sealed once, so every walk's root clone is
+//     O(1)), the constraint set Σ, the base B(D,Σ), and per-instance
+//     caches: justified deletions per violation body, the root violation
+//     set, and the root extension list, all computed once and shared by
+//     every concurrent walker.
+//   - State: one repairing sequence with the database it produces and the
+//     incremental bookkeeping to check Definition 4 per step. States form
+//     a tree; Child clones (O(depth) small-integer entries — databases are
+//     copy-on-write, bookkeeping is id-sorted slices), ChildInPlace
+//     transfers ownership for walk-style exploration that discards the
+//     parent.
+//   - Walk / Survey / Validate (walk.go): a full-tree traversal, summary
+//     statistics, and an independent from-scratch transcription of
+//     Definition 4 that the property tests check the incremental State
+//     machinery against.
+//
+// # Invariants
+//
+//   - States are immutable after creation; Extensions() is cached,
+//     deterministic, and canonically ordered (ops.SortOps order).
+//   - For TGD-free Σ the operation space is deletion-only and a child's
+//     extensions are exactly the parent's filtered to the surviving
+//     violation bodies — the structural fact behind both the extension
+//     filter fast path here and the DAG collapse in internal/markov.
+//   - A state passed to ChildInPlace must not be used afterwards (its
+//     database is nilled to surface misuse).
+//
+// # Neighbors
+//
+// Below: internal/relation, internal/constraint, internal/ops. Above:
+// internal/markov (chains are distributions over this tree),
+// internal/sampling (random walks), internal/core (semantics).
+package repair

@@ -1,10 +1,3 @@
-// Package repair implements repairing sequences of operations
-// (Definition 4 of the paper): sequences of justified operations subject to
-// req1 (every step eliminates a violation), req2 (eliminated violations
-// never reappear), no-cancellation (a fact added is never removed and vice
-// versa) and global justification of additions. It provides incremental
-// state tracking for tree exploration, a full-tree walker, and an
-// independent sequence validator used by the test suite.
 package repair
 
 import (

@@ -1,0 +1,42 @@
+// Package sampling implements the randomized approximation machinery of
+// Section 5 of the paper — and its extension to the sequence-uniform
+// semantics of PODS 2022.
+//
+// # Key types
+//
+//   - Walk: one random walk down the repairing Markov chain, stepping with
+//     the generator's own probabilities. Generators exposing integer
+//     weights (markov.IntWeighter) step without big.Rat arithmetic,
+//     bit-identical to the exact path.
+//   - Estimator: n-walk estimation. For the walk-induced mode (the zero
+//     value of Mode) it is the additive-error scheme of Theorem 9:
+//     n = ⌈ln(2/δ)/(2ε²)⌉ samples put every tuple estimate within ε of
+//     CP(t̄) with probability ≥ 1−δ (Hoeffding), for non-failing
+//     generators.
+//   - Estimator.Mode = markov.SequenceUniform (uniform.go): estimates the
+//     uniform-over-sequences semantics. Collapsible chains get exact
+//     uniform draws via count-guided walks over a markov.SequenceDAG (the
+//     Hoeffding guarantee carries over); everything else falls back to
+//     self-normalized importance sampling from the uniform-support walk
+//     (no finite-sample guarantee; Run.Weighted and Run.ESS report it).
+//   - Run / TupleEstimate: results, sorted lexicographically by tuple.
+//
+// # Invariants (the determinism contract)
+//
+//   - Every walk's RNG is a pure function of (Seed, walk index) via the
+//     O(1)-seeding prob.SplitMix, never of the worker that runs it; tallies
+//     merge by summation (walk mode) or in walk-index order (uniform
+//     mode, where weighted sums are floating-point). A Run is therefore
+//     bit-identical for every Workers value.
+//   - For failing chains the package reports the conditional ratio
+//     estimate alongside the raw counts but attaches no guarantee to it —
+//     approximating the ratio is the paper's stated open problem.
+//
+// # Neighbors
+//
+// Below: internal/markov (Step, IntWeighter, SequenceDAG),
+// internal/repair, internal/prob (SplitMix, Hoeffding bound),
+// internal/fo. Sibling: internal/core computes the same two semantics
+// exactly; the equivalence tests bound this package's estimates by those
+// exact values.
+package sampling

@@ -1,15 +1,3 @@
-// Package sampling implements the randomized approximation machinery of
-// Section 5 of the paper: the Sample algorithm (a single random walk down
-// the repairing Markov chain) and the polynomial-time additive-error
-// approximation scheme of Theorem 9, which averages n = ⌈ln(2/δ)/(2ε²)⌉
-// independent samples so that the estimate of CP(t̄) is within ε of the
-// true value with probability at least 1−δ (Hoeffding's inequality).
-//
-// The scheme's guarantee holds for non-failing generators (Definition 8;
-// e.g. any deletion-only generator, Proposition 8). For failing chains the
-// package still reports the conditional estimate successes/successful-walks
-// together with the raw counts — approximating the ratio is the paper's
-// stated open problem, so no (ε,δ)-guarantee is attached to it.
 package sampling
 
 import (
@@ -117,6 +105,16 @@ type Estimator struct {
 	Workers int
 	// MaxSteps bounds each walk (0 = unbounded).
 	MaxSteps int
+	// Mode selects the target semantics. The zero value (WalkInduced)
+	// estimates the paper's walk-induced distribution by stepping with the
+	// generator's own probabilities. SequenceUniform targets the uniform
+	// distribution over complete sequences instead: when the chain is
+	// collapsible the estimator builds a markov.SequenceDAG once and draws
+	// exactly uniform sequences (count-guided walks; the Hoeffding
+	// guarantee carries over), otherwise it falls back to self-normalized
+	// importance sampling from the uniform-support walk (no (ε,δ)
+	// guarantee; Run.Weighted reports which path ran). See uniform.go.
+	Mode markov.SemanticsMode
 }
 
 // TupleEstimate is one tuple's estimated probability.
@@ -144,6 +142,19 @@ type Run struct {
 	// Estimates lists the tuples observed in at least one successful walk,
 	// sorted lexicographically.
 	Estimates []TupleEstimate
+	// Mode records the target semantics of the run.
+	Mode markov.SemanticsMode
+	// Weighted reports that the estimates are self-normalized
+	// importance-sampling ratios (the non-collapsible uniform fallback).
+	// Weighted estimates carry no (ε,δ) guarantee; ESS quantifies how much
+	// of the sample budget survived the reweighting.
+	Weighted bool
+	// TotalSequences is the exact support size |complete sequences| when
+	// the count-guided uniform sampler ran (nil otherwise).
+	TotalSequences *big.Int
+	// ESS is the Kish effective sample size (Σw)² / Σw² of the run; it
+	// equals N when all weights are 1 (walk mode, count-guided mode).
+	ESS float64
 }
 
 // Lookup returns the estimate of a tuple (zero estimate when never seen).
@@ -209,6 +220,9 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sampling: need at least one walk, got %d", n)
 	}
+	if e.Mode == markov.SequenceUniform {
+		return e.runUniform(q, n)
+	}
 	workers := e.Workers
 	if workers < 1 {
 		workers = 1
@@ -268,7 +282,7 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 	}
 	wg.Wait()
 
-	run := &Run{N: n}
+	run := &Run{N: n, ESS: float64(n)}
 	cells := map[string]*tallyCell{}
 	for i := range tallies {
 		t := &tallies[i]
@@ -298,10 +312,14 @@ func (e *Estimator) run(q *fo.Query, n int) (*Run, error) {
 		}
 		run.Estimates = append(run.Estimates, est)
 	}
-	// Sort by the tuples themselves: TupleKey is a process-local interned
-	// encoding with no stable order.
-	slices.SortFunc(run.Estimates, func(a, b TupleEstimate) int {
+	sortEstimates(run.Estimates)
+	return run, nil
+}
+
+// sortEstimates orders estimates by the tuples themselves: TupleKey is a
+// process-local interned encoding with no stable order.
+func sortEstimates(ests []TupleEstimate) {
+	slices.SortFunc(ests, func(a, b TupleEstimate) int {
 		return slices.Compare(a.Tuple, b.Tuple)
 	})
-	return run, nil
 }

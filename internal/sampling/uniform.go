@@ -1,0 +1,234 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fo"
+	"repro/internal/intern"
+	"repro/internal/markov"
+	"repro/internal/prob"
+	"repro/internal/repair"
+)
+
+// This file is the approximate path of the sequence-uniform semantics
+// (markov.SequenceUniform): estimating, for each tuple, the fraction of
+// complete repairing sequences whose (successful) result answers it. Two
+// regimes:
+//
+//   - Collapsible chains: a markov.SequenceDAG is built once and every
+//     walk steps into children with probability proportional to their
+//     downstream completion counts, which draws complete sequences exactly
+//     uniformly. The draws are i.i.d. Bernoulli per tuple, so the
+//     Hoeffding (ε,δ) guarantee of Theorem 9 applies unchanged.
+//
+//   - Everything else (TGDs, history-dependent generators): self-
+//     normalized importance sampling. The proposal walks the chain's
+//     support choosing uniformly among the support edges at every state —
+//     the uniform-deletions walk, generalized to whatever the support is —
+//     so a complete sequence s is proposed with probability Π 1/kᵢ, and
+//     the importance weight w(s) = Π kᵢ (the branching factors along s)
+//     is proportional to uniform(s)/proposal(s). Estimates are ratios of
+//     weighted sums; they converge but carry no finite-sample (ε,δ)
+//     guarantee (Run.Weighted = true, Run.ESS reports the Kish effective
+//     sample size).
+//
+// Determinism: walk i's RNG derives from (Seed, i) exactly as in the
+// walk-induced estimator, per-walk results are recorded in an indexed
+// slice, and the weighted merge runs over that slice in index order — so
+// the full Run is bit-identical for every Workers value, floating-point
+// summation order included.
+
+// seqDraw is the record of one uniform-mode walk, merged sequentially
+// after all workers finish.
+type seqDraw struct {
+	logW    float64
+	success bool
+	keys    []string   // packed answer-tuple keys (successful walks only)
+	tuples  [][]string // materialized names, aligned with keys
+	err     error
+}
+
+// runUniform performs n uniform-mode walks and assembles the weighted run.
+func (e *Estimator) runUniform(q *fo.Query, n int) (*Run, error) {
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var sdag *markov.SequenceDAG
+	if markov.Collapsible(e.Inst, e.Gen) {
+		var err error
+		sdag, err = markov.BuildSequenceDAG(e.Inst, e.Gen, markov.ExploreOptions{Workers: e.Workers})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	draws := make([]seqDraw, n)
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(start, share int) {
+			defer wg.Done()
+			src := &prob.SplitMix{}
+			rng := rand.New(src)
+			var packBuf [64]byte
+			for i := start; i < start+share; i++ {
+				src.ReseedAt(e.Seed, i)
+				d := &draws[i]
+				var s *repair.State
+				if sdag != nil {
+					s, d.err = sdag.Sample(rng)
+				} else {
+					s, d.logW, d.err = walkUniformSupport(e.Inst, e.Gen, rng, e.MaxSteps)
+				}
+				if d.err != nil {
+					return
+				}
+				if !s.IsSuccessful() {
+					continue
+				}
+				d.success = true
+				q.ForEachAnswerSyms(s.Result(), func(tuple []intern.Sym) {
+					d.keys = append(d.keys, string(intern.PackSyms(packBuf[:0], tuple)))
+					d.tuples = append(d.tuples, intern.Names(tuple))
+				})
+			}
+		}(start, share)
+		start += share
+	}
+	wg.Wait()
+
+	// Sequential merge in walk-index order. Weights are exponentiated
+	// relative to the maximum log-weight so that deep SNIS walks (whose raw
+	// weights are products of branching factors) cannot overflow float64.
+	maxLog := math.Inf(-1)
+	for i := range draws {
+		if draws[i].err != nil {
+			return nil, draws[i].err
+		}
+		if draws[i].logW > maxLog {
+			maxLog = draws[i].logW
+		}
+	}
+	type weightCell struct {
+		tuple []string
+		w     float64
+		count int
+	}
+	run := &Run{N: n, Mode: markov.SequenceUniform, Weighted: sdag == nil}
+	if sdag != nil {
+		run.TotalSequences = sdag.Total()
+	}
+	cells := map[string]*weightCell{}
+	var order []string // first-seen order; re-sorted lexicographically below
+	sumAll, sumSuccess, sumSq := 0.0, 0.0, 0.0
+	for i := range draws {
+		d := &draws[i]
+		w := math.Exp(d.logW - maxLog)
+		sumAll += w
+		sumSq += w * w
+		if !d.success {
+			run.FailingWalks++
+			continue
+		}
+		run.SuccessfulWalks++
+		sumSuccess += w
+		for j, k := range d.keys {
+			c := cells[k]
+			if c == nil {
+				c = &weightCell{tuple: d.tuples[j]}
+				cells[k] = c
+				order = append(order, k)
+			}
+			c.w += w
+			c.count++
+		}
+	}
+	run.ESS = sumAll * sumAll / sumSq
+
+	for _, k := range order {
+		c := cells[k]
+		est := TupleEstimate{Tuple: c.tuple, Count: c.count}
+		if sumAll > 0 {
+			est.P = c.w / sumAll
+		}
+		if sumSuccess > 0 {
+			est.Conditional = c.w / sumSuccess
+		}
+		run.Estimates = append(run.Estimates, est)
+	}
+	sortEstimates(run.Estimates)
+	return run, nil
+}
+
+// walkUniformSupport performs one walk that, at every state, steps into a
+// uniformly chosen *support* edge of the generator (an extension with
+// positive probability) and accumulates the log importance weight
+// Σ log kᵢ, where kᵢ is the support size at step i. Under this proposal a
+// complete sequence s has probability exp(−logW), so exp(logW) ∝
+// uniform(s)/proposal(s) — exactly the SNIS weight runUniform needs.
+// Generators exposing integer weights resolve the support without big.Rat
+// arithmetic; others go through markov.Step.
+func walkUniformSupport(inst *repair.Instance, g markov.Generator, rng *rand.Rand, maxSteps int) (*repair.State, float64, error) {
+	iw, fast := g.(markov.IntWeighter)
+	s := inst.Root()
+	logW := 0.0
+	steps := 0
+	var support []int
+	for {
+		if fast {
+			exts := s.Extensions()
+			if len(exts) == 0 {
+				return s, logW, nil
+			}
+			ws, ok, err := iw.IntWeights(s, exts)
+			if err != nil {
+				return nil, 0, fmt.Errorf("generator %s at state %q: %w", g.Name(), s, err)
+			}
+			if ok {
+				if maxSteps > 0 && steps >= maxSteps {
+					return nil, 0, ErrWalkBudget
+				}
+				support = support[:0]
+				for i, w := range ws {
+					if w > 0 {
+						support = append(support, i)
+					}
+				}
+				if len(support) == 0 {
+					return nil, 0, fmt.Errorf("generator %s at state %q: empty support", g.Name(), s)
+				}
+				logW += math.Log(float64(len(support)))
+				s = s.ChildInPlace(exts[support[rng.Intn(len(support))]])
+				steps++
+				continue
+			}
+			fast = false
+		}
+		edges, err := markov.Step(g, s)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(edges) == 0 {
+			return s, logW, nil
+		}
+		if maxSteps > 0 && steps >= maxSteps {
+			return nil, 0, ErrWalkBudget
+		}
+		logW += math.Log(float64(len(edges)))
+		s = s.ChildInPlace(edges[rng.Intn(len(edges))].Op)
+		steps++
+	}
+}

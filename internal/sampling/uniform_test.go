@@ -1,0 +1,185 @@
+package sampling_test
+
+import (
+	"fmt"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/logic"
+	"repro/internal/markov"
+	"repro/internal/ops"
+	"repro/internal/prob"
+	"repro/internal/repair"
+	"repro/internal/sampling"
+	"repro/internal/workload"
+)
+
+func edgeQuery() *fo.Query {
+	x, y := logic.Var("x"), logic.Var("y")
+	return fo.MustQuery("Q", []logic.Term{x, y}, fo.Atom{A: logic.NewAtom("E", x, y)})
+}
+
+func keysUniformQuery() *fo.Query {
+	x, y := logic.Var("x"), logic.Var("y")
+	return fo.MustQuery("Keys", []logic.Term{x},
+		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: logic.NewAtom("R", x, y)}})
+}
+
+// TestUniformEstimatorWithinHoeffding: the count-guided uniform estimator
+// draws exactly uniform sequences, so the Theorem 9 additive (ε,δ) bound
+// applies to the uniform semantics. Check against the exact uniform CP on
+// factorizing key instances and on the chain family, with the seed fixed
+// and the tolerance at the guarantee's ε.
+func TestUniformEstimatorWithinHoeffding(t *testing.T) {
+	const eps, delta = 0.1, 0.05
+	cases := []struct {
+		label string
+		inst  *repair.Instance
+		q     *fo.Query
+	}{}
+	for _, keys := range []int{2, 4, 6} {
+		d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: keys, Violations: keys, Seed: 3})
+		cases = append(cases, struct {
+			label string
+			inst  *repair.Instance
+			q     *fo.Query
+		}{fmt.Sprintf("keys=%d", keys), repair.MustInstance(d, sigma), keysUniformQuery()})
+	}
+	for _, facts := range []int{3, 6} {
+		d, sigma := workload.Chain(workload.ChainConfig{Facts: facts})
+		cases = append(cases, struct {
+			label string
+			inst  *repair.Instance
+			q     *fo.Query
+		}{fmt.Sprintf("chain=%d", facts), repair.MustInstance(d, sigma), edgeQuery()})
+	}
+	for _, tc := range cases {
+		exact, err := core.ComputeMode(tc.inst, generators.Uniform{}, markov.ExploreOptions{}, core.SequenceUniform)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		est := &sampling.Estimator{Inst: tc.inst, Gen: generators.Uniform{}, Seed: 11, Mode: core.SequenceUniform}
+		run, err := est.EstimateAnswers(tc.q, eps, delta)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if run.Weighted {
+			t.Fatalf("%s: collapsible chain took the SNIS fallback", tc.label)
+		}
+		if run.TotalSequences == nil || run.TotalSequences.Cmp(exact.TotalSequences) != 0 {
+			t.Fatalf("%s: sampler support %v, exact %s", tc.label, run.TotalSequences, exact.TotalSequences)
+		}
+		for _, a := range exact.OCA(tc.q).Answers {
+			got := run.Lookup(a.Tuple).Conditional
+			if diff := prob.AbsDiff(got, a.P); diff > eps {
+				t.Fatalf("%s: tuple %v: estimate %f, exact %s (diff %f > ε)", tc.label, a.Tuple, got, a.P.RatString(), diff)
+			}
+		}
+	}
+}
+
+// uniformNoClaim behaves exactly like generators.Uniform but does not
+// declare Markovian memorylessness, forcing the estimator onto the SNIS
+// fallback while keeping the target distribution identical — so the
+// fallback can be checked against the same exact uniform semantics.
+type uniformNoClaim struct{}
+
+func (uniformNoClaim) Name() string { return "uniform-undeclared" }
+
+func (uniformNoClaim) Transitions(s *repair.State, exts []ops.Op) ([]*big.Rat, error) {
+	return generators.Uniform{}.Transitions(s, exts)
+}
+
+// TestUniformEstimatorSNISFallback: a non-collapsible chain (the generator
+// hides its memorylessness) must route through self-normalized importance
+// sampling and still converge to the exact uniform semantics. SNIS has no
+// finite-sample guarantee, so the check uses a large n and a loose
+// tolerance, plus the Run metadata contract.
+func TestUniformEstimatorSNISFallback(t *testing.T) {
+	d, sigma := workload.Chain(workload.ChainConfig{Facts: 4})
+	inst := repair.MustInstance(d, sigma)
+	q := edgeQuery()
+	exact, err := core.ComputeMode(inst, uniformNoClaim{}, markov.ExploreOptions{}, core.SequenceUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &sampling.Estimator{Inst: inst, Gen: uniformNoClaim{}, Seed: 5, Mode: core.SequenceUniform}
+	run, err := est.EstimateWithN(q, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Weighted {
+		t.Fatal("non-collapsible chain must take the weighted SNIS path")
+	}
+	if run.TotalSequences != nil {
+		t.Fatal("SNIS runs must not claim an exact support size")
+	}
+	if run.ESS <= 0 || run.ESS > float64(run.N) {
+		t.Fatalf("ESS = %f out of (0, N]", run.ESS)
+	}
+	for _, a := range exact.OCA(q).Answers {
+		got := run.Lookup(a.Tuple).Conditional
+		if diff := prob.AbsDiff(got, a.P); diff > 0.05 {
+			t.Fatalf("tuple %v: SNIS estimate %f, exact %s (diff %f)", a.Tuple, got, a.P.RatString(), diff)
+		}
+	}
+}
+
+// TestUniformEstimatorDeterministicAcrossWorkerCounts: both uniform paths
+// must produce bit-identical Runs for every worker count — the count-guided
+// path via per-walk RNGs, the SNIS path additionally via the index-ordered
+// floating-point merge.
+func TestUniformEstimatorDeterministicAcrossWorkerCounts(t *testing.T) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 5, Violations: 4, Seed: 9})
+	inst := repair.MustInstance(d, sigma)
+	q := keysUniformQuery()
+	for _, gen := range []markov.Generator{generators.Uniform{}, uniformNoClaim{}} {
+		var base *sampling.Run
+		for workers := 1; workers <= 8; workers++ {
+			est := &sampling.Estimator{
+				Inst: inst, Gen: gen, Seed: 23, Workers: workers,
+				Mode: core.SequenceUniform,
+			}
+			run, err := est.EstimateWithN(q, 301)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", gen.Name(), workers, err)
+			}
+			if base == nil {
+				base = run
+				continue
+			}
+			if !reflect.DeepEqual(base, run) {
+				t.Fatalf("%s: workers=%d differs from workers=1", gen.Name(), workers)
+			}
+		}
+	}
+}
+
+// TestUniformEstimatorMatchesWalkModeOnSymmetric: on a perfectly symmetric
+// instance the walk-induced and uniform semantics coincide, so the two
+// estimator modes must agree within sampling noise — a cheap cross-check
+// that the uniform path estimates the right thing.
+func TestUniformEstimatorMatchesWalkModeOnSymmetric(t *testing.T) {
+	d, sigma := workload.KeyViolations(workload.KeyConfig{Keys: 1, Violations: 1, Seed: 1})
+	inst := repair.MustInstance(d, sigma)
+	q := keysUniformQuery()
+	walk := &sampling.Estimator{Inst: inst, Gen: generators.Uniform{}, Seed: 3}
+	uni := &sampling.Estimator{Inst: inst, Gen: generators.Uniform{}, Seed: 3, Mode: core.SequenceUniform}
+	rw, err := walk.EstimateWithN(q, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := uni.EstimateWithN(q, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rw.Estimates {
+		if diff := e.P - ru.Lookup(e.Tuple).P; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("tuple %v: walk %f vs uniform %f", e.Tuple, e.P, ru.Lookup(e.Tuple).P)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package workload generates the synthetic inputs used by the examples,
+// benchmarks, and experiments. Each generator is deterministic given its
+// seed, so experiment tables and property tests are reproducible.
+//
+// # Key pieces
+//
+//   - Preferences: preference tournaments with controlled symmetric
+//     conflicts (the paper's running example at scale) plus the asymmetry
+//     denial constraint.
+//   - KeyViolations: R(k,v) with a configurable number of two-tuple key
+//     conflicts — the clique-shaped conflict workload every scaling
+//     experiment uses (k independent conflicts → 3^k·k! sequences, 4^k
+//     distinct databases).
+//   - Chain: the path-shaped conflict workload E(n0,n1), E(n1,n2), ...
+//     under ¬∃x,y,z (E(x,y) ∧ E(y,z)). Middle facts sit in two violations,
+//     end facts in one — the asymmetry on which the walk-induced and
+//     sequence-uniform semantics provably differ (see E17 and
+//     examples/semantics).
+//   - Inclusion: an inclusion-dependency instance with dangling R facts,
+//     exercising TGD repairs, insertions, and failing sequences.
+//   - RandomTrust: pseudo-random trust levels for the Example 5 generator.
+//   - Orders: the relational workload of the Section 5 rewriting
+//     experiment, emitted as a plan.Catalog over the interned substrate.
+//
+// # Invariants
+//
+//   - Generators never consult global randomness; everything derives from
+//     the explicit Seed (Chain takes none — it is fully determined by its
+//     size).
+//
+// # Neighbors
+//
+// Below: internal/relation, internal/constraint, internal/logic,
+// internal/plan, internal/generators. Above: bench_test.go,
+// cmd/experiments, examples/*, and the equivalence test suites.
+package workload

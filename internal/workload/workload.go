@@ -1,9 +1,3 @@
-// Package workload generates the synthetic inputs used by the examples,
-// benchmarks, and experiments: preference tournaments with symmetric
-// conflicts (the paper's running example at scale), key-violating relations
-// with trust levels (the data-integration scenario of Example 5), and
-// inclusion-dependency chains exercising TGD repairs with insertions.
-// All generators are deterministic given the seed.
 package workload
 
 import (
@@ -91,6 +85,36 @@ func KeyViolations(cfg KeyConfig) (*relation.Database, *constraint.Set) {
 		y, z,
 	)
 	return d, constraint.NewSet(key)
+}
+
+// ChainConfig sizes a conflict chain.
+type ChainConfig struct {
+	// Facts is the number of E facts; the conflict graph is a path with
+	// Facts−1 overlapping violations.
+	Facts int
+}
+
+// Chain generates the conflict-chain instance E(n0,n1), E(n1,n2), ... with
+// the denial constraint ¬∃x,y,z (E(x,y) ∧ E(y,z)): consecutive facts
+// conflict, so the conflict graph is a path rather than the cliques key
+// violations produce. Chains are the canonical family on which the
+// walk-induced and sequence-uniform semantics *provably differ*: the path
+// is asymmetric (middle facts sit in two violations, end facts in one), so
+// repairs reached by few long sequences carry less uniform mass than walk
+// mass. At Facts = 3 the repair keeping both end facts has walk
+// probability 1/5 but uniform probability 1/9 (9 complete sequences, one
+// of which — deleting the middle fact — produces it).
+func Chain(cfg ChainConfig) (*relation.Database, *constraint.Set) {
+	d := relation.NewDatabase()
+	for i := 0; i < cfg.Facts; i++ {
+		d.Insert(relation.NewFact("E", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1)))
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	dc := constraint.MustDC([]logic.Atom{
+		logic.NewAtom("E", x, y),
+		logic.NewAtom("E", y, z),
+	})
+	return d, constraint.NewSet(dc)
 }
 
 // RandomTrust assigns pseudo-random trust levels (k/denominator with

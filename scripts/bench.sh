@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 out="bench_out.json"
 baseline=""
-pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval|BenchmarkExactDAG|BenchmarkExactTree|BenchmarkPractical/'
+pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval|BenchmarkExactDAG|BenchmarkExactTree|BenchmarkUniform|BenchmarkPractical/'
 benchtime="2s"
 
 while [ $# -gt 0 ]; do
@@ -47,10 +47,11 @@ for fam in "${families[@]}"; do
   go test -run '^$' -bench "$fam" -benchmem -benchtime "$benchtime" -timeout 30m . | tee -a "$raw" >&2
 done
 
-python3 - "$raw" "$out" "$baseline" <<'PY'
-import json, re, subprocess, sys
+python3 - "$raw" "$out" "$baseline" "$benchtime" <<'PY'
+import json, os, platform, re, subprocess, sys
+from datetime import datetime, timezone
 
-raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, baseline_path, benchtime = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
 
 LINE = re.compile(
     r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?"
@@ -77,12 +78,39 @@ def parse(path):
         }
     return bench
 
+def run(*cmd):
+    return subprocess.run(cmd, capture_output=True, text=True).stdout.strip()
+
+def cpu_model():
+    # Linux: parse /proc/cpuinfo; elsewhere fall back to platform.processor.
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith(("model name", "hardware", "cpu model")):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
 current = parse(raw_path)
 doc = {
+    # Cross-PR speedup comparisons are only meaningful with the noise
+    # context pinned: same machine, same CPU, same Go toolchain, and the
+    # alternating min-of-3 protocol on an otherwise idle box. The meta
+    # block records all of it so a future reader can tell a real
+    # regression from a VM migration.
     "meta": {
-        "go": subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip(),
-        "commit": subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                                 capture_output=True, text=True).stdout.strip(),
+        "go": run("go", "version"),
+        "commit": run("git", "rev-parse", "--short", "HEAD"),
+        "goos": run("go", "env", "GOOS"),
+        "goarch": run("go", "env", "GOARCH"),
+        "machine": platform.platform(),
+        "cpu_model": cpu_model(),
+        "cpus": os.cpu_count(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benchtime": benchtime,
+        "protocol": "alternating min-of-3 runs per benchmark family on an idle machine; "
+                    "treat cross-PR ratios within ~5% as noise",
     },
     "current": current,
 }

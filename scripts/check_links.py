@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Markdown link check for the repo's documentation surface.
+
+Scans README.md, docs/*.md, and cmd/*/README.md for markdown links and
+verifies that every *relative* target resolves to an existing file or
+directory (anchors are stripped; absolute http(s) URLs are skipped so the
+check never needs the network and cannot flake in CI).
+
+Exit status: 0 when all links resolve, 1 otherwise (one line per broken
+link).
+"""
+
+import glob
+import os
+import re
+import sys
+
+# [text](target) — target until the first unescaped ')'; tolerate titles
+# like (file.md "title").
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def doc_files(root):
+    files = []
+    for pattern in ("README.md", "docs/*.md", "cmd/*/README.md"):
+        files.extend(sorted(glob.glob(os.path.join(root, pattern))))
+    return files
+
+
+def check(root):
+    broken = []
+    for path in doc_files(root):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure-anchor link into the same file
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{os.path.relpath(path, root)}:{line}: broken link {target!r}")
+    return broken
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = check(root)
+    for b in broken:
+        print(b, file=sys.stderr)
+    if broken:
+        sys.exit(1)
+    print(f"checked {len(doc_files(root))} markdown files: all relative links resolve")
+
+
+if __name__ == "__main__":
+    main()
