@@ -514,3 +514,70 @@ func BenchmarkFactoredSampleRepair(b *testing.B) {
 		fac.SampleRepair(rng)
 	}
 }
+
+// BenchmarkFactored measures the parallel, structurally-memoized factored
+// engine on a many-isomorphic-islands archipelago (90% of the islands share
+// one structural cache key). "seq" is the PR5-equivalent sequential,
+// uncached engine; "workers8" adds the worker pool; "cache" adds the
+// isomorphism cache alone; "cache-workers8" is the full PR6 configuration.
+func BenchmarkFactored(b *testing.B) {
+	d, sigma := workload.Islands(workload.IslandsConfig{
+		Islands:        300,
+		FactsPerIsland: 6,
+		IsoRatio:       0.9,
+		Seed:           42,
+	})
+	inst := repair.MustInstance(d, sigma)
+	inst.Root().Violations() // warm the violation cache shared by every config
+
+	cases := []struct {
+		name    string
+		workers int
+		nocache bool
+	}{
+		{"seq", 1, true},
+		{"workers8", 8, true},
+		{"cache", 1, false},
+		{"cache-workers8", 8, false},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fac, err := core.ComputeFactoredOpts(inst, generators.Uniform{},
+					markov.ExploreOptions{Workers: tc.workers},
+					core.FactoredOptions{NoCache: tc.nocache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fac.Components) != 300 {
+					b.Fatalf("components = %d", len(fac.Components))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFactoredQuery measures the exact atomic-query path (marginal via
+// the fact-key→component index) on a precomputed factored semantics.
+func BenchmarkFactoredQuery(b *testing.B) {
+	d, sigma := workload.Islands(workload.IslandsConfig{
+		Islands:        300,
+		FactsPerIsland: 6,
+		IsoRatio:       0.9,
+		Seed:           42,
+	})
+	inst := repair.MustInstance(d, sigma)
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y := logic.Var("X"), logic.Var("Y")
+	q := fo.MustQuery("Q", []logic.Term{x, y}, fo.Atom{A: logic.NewAtom("E", x, y)})
+	tuple := []string{"i00000123_n002", "i00000123_n003"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fac.CP(q, tuple); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

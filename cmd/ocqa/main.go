@@ -10,7 +10,7 @@
 //
 //	ocqa -db data.facts -constraints schema.rules -query query.fo \
 //	     [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	     [-mode exact|approx|practical] [-semantics walk|uniform] \
+//	     [-mode exact|factored|approx|practical] [-semantics walk|uniform] \
 //	     [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4] [-drop-all 0]
 //
 // File arguments also accept "inline:<text>". -semantics selects the
@@ -19,12 +19,17 @@
 // operational semantics (every complete sequence equally likely) — exact
 // in -mode exact via the sequence-count-weighted DAG, approximate in
 // -mode approx via count-guided uniform draws (or importance sampling
-// when the chain does not collapse). Practical mode derives the keys it
-// repairs from the key-shaped EGDs of the constraint file and runs rounds
-// on a worker pool; results are bit-identical for any -workers.
+// when the chain does not collapse). Factored mode (walk semantics,
+// TGD-free constraints, local generators) repairs each conflict component
+// independently on a -workers pool with a structural semantics cache
+// across isomorphic components, and answers atomic queries exactly at any
+// scale. Practical mode derives the keys it repairs from the key-shaped
+// EGDs of the constraint file and runs rounds on a worker pool; factored
+// and practical results are bit-identical for any -workers.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +50,7 @@ func main() {
 		sigmaPath = flag.String("constraints", "", "constraint file (TGDs/EGDs/DCs), or inline:<text>")
 		queryPath = flag.String("query", "", "query file (Q(X) := formula), or inline:<text>")
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
-		mode      = flag.String("mode", "exact", "exact (full chain exploration), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
+		mode      = flag.String("mode", "exact", "exact (full chain exploration), factored (per-component exact, Section 6 localization), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
 		semantics = flag.String("semantics", "walk", "distribution over complete sequences: walk (PODS '18 walk-induced) or uniform (PODS '22 sequence-uniform)")
 		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx/practical mode)")
 		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx/practical mode)")
@@ -107,6 +112,35 @@ func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, del
 			sem.TotalSequences, sem.AbsorbingStates, sem.FailingStates, prob.Format(sem.SuccessP))
 		fmt.Printf("operational repairs: %d\n\n", len(sem.Repairs))
 		fmt.Print(sem.OCA(q))
+		return nil
+
+	case "factored":
+		if semMode != core.WalkInduced {
+			return fmt.Errorf("-mode factored computes the walk-induced semantics; use -mode exact with -semantics uniform")
+		}
+		local, ok := gen.(core.LocalGenerator)
+		if !ok {
+			return fmt.Errorf("generator %s is not local; factored mode needs per-component weights (uniform, uniform-deletions, trust)", gen.Name())
+		}
+		fac, err := core.ComputeFactored(inst, local, markov.ExploreOptions{MaxStates: maxStates, Workers: workers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("factored chain: %d conflict components, %d untouched facts; %s distinct repairs\n",
+			len(fac.Components), fac.Untouched.Size(), fac.NumRepairs())
+		if fac.CacheHits+fac.CacheMisses > 0 {
+			fmt.Printf("structural cache: %d explorations, %d components served by renaming\n",
+				fac.CacheMisses, fac.CacheHits)
+		}
+		fmt.Println()
+		as, err := fac.OCA(q)
+		if err != nil {
+			if errors.Is(err, core.ErrEnumerationBudget) {
+				return fmt.Errorf("%w\n(non-atomic query over a huge repair space: use -mode approx, or an atomic query)", err)
+			}
+			return err
+		}
+		fmt.Print(as)
 		return nil
 
 	case "approx":
@@ -189,7 +223,7 @@ func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, del
 		return nil
 
 	default:
-		return fmt.Errorf("unknown mode %q (want exact, approx, or practical)", mode)
+		return fmt.Errorf("unknown mode %q (want exact, factored, approx, or practical)", mode)
 	}
 }
 

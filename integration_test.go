@@ -18,6 +18,7 @@ import (
 	"repro/internal/prob"
 	"repro/internal/repair"
 	"repro/internal/sampling"
+	"repro/internal/workload"
 )
 
 // TestEndToEndEmployee: parse everything from text, compute exact and
@@ -241,5 +242,72 @@ func TestEndToEndFactoredAgainstWalks(t *testing.T) {
 	}
 	if diff := prob.AbsDiff(facEst, exact); diff > 0.05 {
 		t.Errorf("factored estimate off by %.3f", diff)
+	}
+}
+
+// TestEndToEndIslandsAtScale: a reduced-scale E18 — tens of thousands of
+// facts across thousands of conflict islands, answered exactly by the
+// parallel memoized factored engine, with the structural cache doing almost
+// all of the work.
+func TestEndToEndIslandsAtScale(t *testing.T) {
+	cfg := workload.IslandsConfig{Islands: 1000, FactsPerIsland: 10, IsoRatio: 0.9, Seed: 18}
+	d, sigma := workload.Islands(cfg)
+	inst, err := repair.NewInstance(d, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fac.Components) != cfg.Islands {
+		t.Fatalf("components = %d, want %d", len(fac.Components), cfg.Islands)
+	}
+	// 90% of the islands are canonical and share a single cache key; the
+	// 10% shuffled islands each cost at most one exploration.
+	if fac.CacheHits+fac.CacheMisses != cfg.Islands {
+		t.Fatalf("cache hits+misses = %d, want %d", fac.CacheHits+fac.CacheMisses, cfg.Islands)
+	}
+	if fac.CacheMisses > cfg.Islands/10+1 {
+		t.Errorf("cache misses = %d; want ≤ %d (only shuffled islands may miss)",
+			fac.CacheMisses, cfg.Islands/10+1)
+	}
+	if fac.CacheHits < cfg.Islands*9/10-1 {
+		t.Errorf("cache hits = %d; want ≥ %d", fac.CacheHits, cfg.Islands*9/10-1)
+	}
+
+	q, err := parse.Query(`Q(X, Y) := E(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := []string{"i00000000_n000", "i00000000_n001"}
+	mid := []string{"i00000000_n004", "i00000000_n005"}
+	cpEnd, err := fac.CP(q, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpMid, err := fac.CP(q, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prob.InUnit(cpEnd) || cpEnd.Sign() == 0 || !prob.InUnit(cpMid) || cpMid.Sign() == 0 {
+		t.Fatalf("CPs outside (0,1]: end %s, mid %s", cpEnd.RatString(), cpMid.RatString())
+	}
+	// The end fact of a chain sits in one violation, the middle fact in two:
+	// the end fact survives strictly more repairs.
+	if cpEnd.Cmp(cpMid) <= 0 {
+		t.Errorf("CP(end) = %s not above CP(mid) = %s", cpEnd.RatString(), cpMid.RatString())
+	}
+	// Sequential recomputation is bit-identical.
+	seq, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEnd, err := seq.CP(q, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqEnd.Cmp(cpEnd) != 0 {
+		t.Errorf("workers=8 CP %s != workers=1 CP %s", cpEnd.RatString(), seqEnd.RatString())
 	}
 }

@@ -1,8 +1,9 @@
-package abc
+package abc_test
 
 import (
 	"testing"
 
+	"repro/internal/abc"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/fo"
@@ -27,7 +28,7 @@ func keySet() *constraint.Set {
 
 func TestSubsetRepairsKey(t *testing.T) {
 	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "q", "r"))
-	repairs, err := Repairs(d, keySet())
+	repairs, err := abc.Repairs(d, keySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSubsetRepairsKey(t *testing.T) {
 func TestSubsetRepairsOverlappingConflicts(t *testing.T) {
 	// Three facts with one key: repairs keep exactly one.
 	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d"))
-	repairs, err := Repairs(d, keySet())
+	repairs, err := abc.Repairs(d, keySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSubsetRepairsOverlappingConflicts(t *testing.T) {
 
 func TestSubsetRepairsConsistentInput(t *testing.T) {
 	d := relation.FromFacts(f("R", "a", "b"), f("R", "q", "r"))
-	repairs, err := Repairs(d, keySet())
+	repairs, err := abc.Repairs(d, keySet())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSubsetRepairsDenial(t *testing.T) {
 	dc := constraint.MustDC([]logic.Atom{at("Pref", v("x"), v("y")), at("Pref", v("y"), v("x"))})
 	set := constraint.NewSet(dc)
 	d := relation.FromFacts(f("Pref", "a", "b"), f("Pref", "b", "a"), f("Pref", "a", "c"))
-	repairs, err := Repairs(d, set)
+	repairs, err := abc.Repairs(d, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestBruteForceRepairsTGD(t *testing.T) {
 	d := relation.FromFacts(f("R", "a"))
 	tgd := constraint.MustTGD([]logic.Atom{at("R", v("x"))}, []logic.Atom{at("T", v("x"))})
 	set := constraint.NewSet(tgd)
-	repairs, err := Repairs(d, set)
+	repairs, err := abc.Repairs(d, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestBruteForceBaseBound(t *testing.T) {
 		[]logic.Atom{at("R", v("x"), v("y"))},
 		[]logic.Atom{at("S", v("y"), v("z"))},
 	)
-	if _, err := Repairs(d, constraint.NewSet(tgd)); err == nil {
+	if _, err := abc.Repairs(d, constraint.NewSet(tgd)); err == nil {
 		t.Error("oversized base must be rejected")
 	}
 }
@@ -147,7 +148,7 @@ func TestProp4ABCInclusion(t *testing.T) {
 		relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d")),
 	}
 	for _, d := range instances {
-		abcRepairs, err := Repairs(d, keySet())
+		abcRepairs, err := abc.Repairs(d, keySet())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestProp4WithTGDs(t *testing.T) {
 	dc := constraint.MustDC([]logic.Atom{at("T", v("x"))})
 	set := constraint.NewSet(tgd, dc)
 
-	abcRepairs, err := Repairs(d, set)
+	abcRepairs, err := abc.Repairs(d, set)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestCertainAnswers(t *testing.T) {
 	x, y := v("x"), v("y")
 	q := fo.MustQuery("Q", []logic.Term{x},
 		fo.Exists{Vars: []logic.Term{y}, F: fo.Atom{A: at("R", x, y)}})
-	certain, err := CertainAnswers(d, keySet(), q)
+	certain, err := abc.CertainAnswers(d, keySet(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestCertainAnswersEmptyWhenValueQueried(t *testing.T) {
 	x, y := v("x"), v("y")
 	q := fo.MustQuery("Vals", []logic.Term{y},
 		fo.Exists{Vars: []logic.Term{x}, F: fo.Atom{A: at("R", x, y)}})
-	certain, err := CertainAnswers(d, keySet(), q)
+	certain, err := abc.CertainAnswers(d, keySet(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestConflictGraph(t *testing.T) {
 		f("R", "q", "r"), f("R", "q", "s"), // conflict 2
 		f("R", "z", "z"), // clean
 	)
-	g := BuildConflictGraph(d, keySet())
+	g := abc.BuildConflictGraph(d, keySet())
 	if len(g.Edges()) != 2 {
 		t.Fatalf("edges = %d, want 2 (EGD pairs, symmetric homs deduped)", len(g.Edges()))
 	}
@@ -268,7 +269,7 @@ func TestConflictGraph(t *testing.T) {
 func TestConflictGraphConnected(t *testing.T) {
 	// Overlapping conflicts merge into one component.
 	d := relation.FromFacts(f("R", "a", "b"), f("R", "a", "c"), f("R", "a", "d"))
-	g := BuildConflictGraph(d, keySet())
+	g := abc.BuildConflictGraph(d, keySet())
 	comps := g.Components()
 	if len(comps) != 1 || len(comps[0]) != 3 {
 		t.Errorf("components = %v, want one of size 3", comps)

@@ -19,18 +19,22 @@ type ConflictGraph struct {
 
 // BuildConflictGraph computes the hypergraph from V(D,Σ).
 func BuildConflictGraph(d *relation.Database, sigma *constraint.Set) *ConflictGraph {
-	vs := constraint.FindViolations(d, sigma)
+	return NewConflictGraph(constraint.FindViolations(d, sigma))
+}
+
+// NewConflictGraph builds the hypergraph from an already-computed violation
+// set, so callers holding a cached V(D,Σ) (repair.Instance.Root keeps one)
+// skip the second homomorphism search. Hyperedges are deduplicated by the
+// interned body image, which the two orientations of an EGD match share, so
+// symmetric homomorphisms collapse into one edge without building strings.
+func NewConflictGraph(vs *constraint.Violations) *ConflictGraph {
 	seen := map[string]bool{}
 	g := &ConflictGraph{}
-	for _, v := range vs.All() {
-		body := v.BodyFacts()
-		key := ""
-		for _, f := range body {
-			key += f.Key() + "|"
-		}
+	for _, v := range vs.ByID() {
+		key := v.BodyPack()
 		if !seen[key] {
 			seen[key] = true
-			g.edges = append(g.edges, body)
+			g.edges = append(g.edges, v.BodyFacts())
 		}
 	}
 	return g
@@ -41,12 +45,12 @@ func (g *ConflictGraph) Edges() [][]relation.Fact { return g.edges }
 
 // Facts returns the sorted set of facts involved in at least one conflict.
 func (g *ConflictGraph) Facts() []relation.Fact {
-	seen := map[string]bool{}
+	seen := map[relation.Fact]bool{}
 	var out []relation.Fact
 	for _, e := range g.edges {
 		for _, f := range e {
-			if k := f.Key(); !seen[k] {
-				seen[k] = true
+			if !seen[f] {
+				seen[f] = true
 				out = append(out, f)
 			}
 		}
@@ -56,51 +60,62 @@ func (g *ConflictGraph) Facts() []relation.Fact {
 }
 
 // Components returns the connected components of the hypergraph as fact
-// sets, sorted for determinism. Two facts are connected when some chain of
-// overlapping hyperedges links them.
+// sets, each sorted, with the components ordered by their smallest fact.
+// Two facts are connected when some chain of overlapping hyperedges links
+// them. The union-find runs over dense integer indexes keyed by interned
+// fact handles, so component formation allocates no per-fact strings.
 func (g *ConflictGraph) Components() [][]relation.Fact {
-	parent := map[string]string{}
-	var find func(string) string
-	find = func(x string) string {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
+	idx := map[relation.Fact]int32{}
+	var facts []relation.Fact
+	var parent []int32
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
 		}
-		return parent[x]
+		return x
 	}
-	union := func(a, b string) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
+	indexOf := func(f relation.Fact) int32 {
+		if i, ok := idx[f]; ok {
+			return i
 		}
+		i := int32(len(facts))
+		idx[f] = i
+		facts = append(facts, f)
+		parent = append(parent, i)
+		return i
 	}
-	factByKey := map[string]relation.Fact{}
 	for _, e := range g.edges {
-		for _, f := range e {
-			k := f.Key()
-			factByKey[k] = f
-			if _, ok := parent[k]; !ok {
-				parent[k] = k
+		if len(e) == 0 {
+			continue
+		}
+		ra := find(indexOf(e[0]))
+		for _, f := range e[1:] {
+			rb := find(indexOf(f))
+			if ra != rb {
+				parent[rb] = ra
 			}
 		}
-		for i := 1; i < len(e); i++ {
-			union(e[0].Key(), e[i].Key())
+	}
+	byRoot := map[int32][]relation.Fact{}
+	var roots []int32
+	for i, f := range facts {
+		r := find(int32(i))
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
 		}
+		byRoot[r] = append(byRoot[r], f)
 	}
-	groups := map[string][]relation.Fact{}
-	for k, f := range factByKey {
-		root := find(k)
-		groups[root] = append(groups[root], f)
-	}
-	var roots []string
-	for r := range groups {
-		roots = append(roots, r)
-	}
-	sort.Strings(roots)
-	out := make([][]relation.Fact, 0, len(groups))
+	out := make([][]relation.Fact, 0, len(roots))
 	for _, r := range roots {
-		fs := groups[r]
+		fs := byRoot[r]
 		relation.SortFacts(fs)
 		out = append(out, fs)
 	}
+	// Deterministic component order, independent of map iteration and of
+	// the process-local fact interning order: sort by the smallest fact.
+	sort.Slice(out, func(i, j int) bool {
+		return relation.CompareFacts(out[i][0], out[j][0]) < 0
+	})
 	return out
 }

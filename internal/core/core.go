@@ -58,6 +58,16 @@ type Semantics struct {
 	TotalSequences *big.Int
 	// FailingSequences is the exact number of failing complete sequences.
 	FailingSequences *big.Int
+	// SequencesByLength[l] is the exact number of complete sequences of
+	// length l (successful and failing); Σ_l SequencesByLength[l] =
+	// TotalSequences. Populated only when the exploration ran with
+	// markov.ExploreOptions.TrackLengths (nil otherwise). The per-length
+	// stratification is what lets sequence-uniform counts factorize across
+	// conflict components: complete sequences of a factored instance are
+	// exactly the interleavings of per-component complete sequences, and
+	// interleavings are counted by binomial convolution over lengths
+	// (Factored.TotalSequences).
+	SequencesByLength []*big.Int
 }
 
 // Compute explores the chain M_Σ(D) exactly and assembles [[D]]_{MΣ}
@@ -114,6 +124,14 @@ func ComputeTreeMode(inst *repair.Instance, g markov.Generator, opt markov.Explo
 	byDB := map[string]*agg{}
 	sem := &Semantics{SuccessP: prob.Zero(), FailP: prob.Zero()}
 	for _, leaf := range leaves {
+		if opt.TrackLengths {
+			l := leaf.State.Len()
+			for len(sem.SequencesByLength) < l+1 {
+				sem.SequencesByLength = append(sem.SequencesByLength, new(big.Int))
+			}
+			// Each tree leaf is exactly one complete sequence.
+			sem.SequencesByLength[l].Add(sem.SequencesByLength[l], big.NewInt(1))
+		}
 		sem.AbsorbingStates++
 		if !leaf.State.IsSuccessful() {
 			sem.FailingStates++
@@ -177,6 +195,14 @@ func ComputeDAGMode(inst *repair.Instance, g markov.Generator, opt markov.Explor
 	var repairKeys []string
 	for _, leaf := range dag.Leaves {
 		absorbing.Add(absorbing, leaf.Sequences)
+		if opt.TrackLengths {
+			for len(sem.SequencesByLength) < len(leaf.SeqsByLength) {
+				sem.SequencesByLength = append(sem.SequencesByLength, new(big.Int))
+			}
+			for l, cnt := range leaf.SeqsByLength {
+				sem.SequencesByLength[l].Add(sem.SequencesByLength[l], cnt)
+			}
+		}
 		if !leaf.State.IsSuccessful() {
 			failing.Add(failing, leaf.Sequences)
 			sem.FailP.Add(sem.FailP, leaf.Pi)

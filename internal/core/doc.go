@@ -29,7 +29,13 @@
 //   - ComputeFactored (factored.go): the Section 6 conflict-component
 //     factorization for *local* generators — walk-induced only (uniform
 //     mass does not factor across components, because interleavings weigh
-//     components by sequence length).
+//     components by sequence length; exact sequence *counts* still factor,
+//     via Factored.TotalSequences under ExploreOptions.TrackLengths).
+//     Components explore on a worker pool (ExploreOptions.Workers) and,
+//     for StructuralGenerator weights (uniform, uniform-deletions),
+//     isomorphic components share one exploration through a cache keyed
+//     by the component's canonical form up to constant renaming — exact
+//     conditional probabilities at million-fact scale (experiment E18).
 //   - Aggregate queries (aggregate.go) and UniformOverRepairs (the
 //     "equally likely repairs" measure of Section 6) round out the
 //     semantics variants.

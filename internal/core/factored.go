@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
+	"repro/internal/abc"
 	"repro/internal/constraint"
 	"repro/internal/fo"
+	"repro/internal/intern"
 	"repro/internal/markov"
 	"repro/internal/prob"
 	"repro/internal/relation"
@@ -31,6 +35,24 @@ import (
 // count facts across the whole database), and using it here would silently
 // change the semantics, so ComputeFactored requires the caller to assert
 // locality via the Local marker interface.
+//
+// On top of locality the engine layers two compounding optimizations:
+//
+//   - Parallelism: components repair independently, so their exact
+//     explorations run on a worker pool (opt.Workers goroutines, inner DAG
+//     workers capped to one while several components are in flight).
+//     Components are formed and merged in deterministic order, so the
+//     result is bit-identical for every worker count.
+//
+//   - Structural memoization: when the generator's weights are invariant
+//     under renaming of constants (StructuralGenerator) and Σ mentions no
+//     constants, two components that are isomorphic up to constant
+//     renaming have isomorphic local semantics. Each component is
+//     canonicalized by a first-occurrence renaming over its sorted fact
+//     list; the packed canonical fact ids key a semantics cache, so N
+//     isomorphic islands cost one DAG exploration plus N cheap renamings
+//     (materialized lazily — atomic-query marginals read the shared
+//     canonical semantics directly and never materialize at all).
 
 // LocalGenerator marks generators whose per-component transition weights
 // are independent of the rest of the database, licensing factorization.
@@ -41,18 +63,105 @@ type LocalGenerator interface {
 	LocalWeights() bool
 }
 
+// StructuralGenerator marks local generators whose weights are invariant
+// under injective renaming of constants: renaming the constants of a
+// component permutes its repairs without changing any probability. Uniform
+// and UniformDeletions qualify (their weights count extensions, never
+// inspect constants); Trust and Preference do not (their weights depend on
+// the identity of the facts involved) and must not implement the marker.
+// Structural generators opt a ComputeFactored call into the
+// isomorphism-keyed semantics cache, provided Σ mentions no constants
+// (a constraint constant would survive renaming and break invariance).
+type StructuralGenerator interface {
+	LocalGenerator
+	// StructuralWeights documents (and asserts) renaming-invariance;
+	// implementations simply return true.
+	StructuralWeights() bool
+}
+
 // ErrNotFactorable is returned when the instance or generator does not
 // support component-wise factorization.
 var ErrNotFactorable = errors.New("core: instance/generator does not factorize across conflict components")
 
+// ErrEnumerationBudget is returned by CP and OCA when the product of
+// per-component repair counts exceeds maxEnumeratedRepairs. Atomic queries
+// never hit it (they route through FactProbability); for the rest,
+// EstimateCP and CPOrEstimate trade exactness for sampling.
+var ErrEnumerationBudget = errors.New("core: factored repair enumeration exceeds the budget")
+
 // Component is one conflict component together with its exact local
-// semantics.
+// semantics. Components obtained from the structural cache hold a shared
+// canonical semantics and materialize their renamed copy lazily on first
+// Semantics call; fact marginals read the canonical side directly.
 type Component struct {
-	// Facts are the component's facts (each belongs to exactly one
-	// component).
+	// Facts are the component's facts, sorted (each fact belongs to
+	// exactly one component).
 	Facts []relation.Fact
-	// Sem is the exact semantics of the component repaired in isolation.
-	Sem *Semantics
+
+	// canon is the semantics of the canonicalized component, shared by
+	// every component with the same cache key; nil when the component was
+	// computed directly (cache disabled, non-structural generator).
+	canon *Semantics
+
+	semOnce sync.Once
+	sem     *Semantics
+}
+
+// Semantics returns the component's exact local semantics, materializing
+// the constant-renamed copy of the shared canonical semantics on first use
+// for cache-served components. The result is a pure function of
+// Component.Facts — independent of worker scheduling and of which
+// isomorphic component populated the cache.
+func (c *Component) Semantics() *Semantics {
+	c.semOnce.Do(func() {
+		if c.sem == nil {
+			_, _, inv := canonicalize(c.Facts)
+			ren := make(map[intern.Sym]intern.Sym, len(inv))
+			for i, orig := range inv {
+				ren[canonSym(i)] = orig
+			}
+			c.sem = renameSemantics(c.canon, ren)
+		}
+	})
+	return c.sem
+}
+
+// NumRepairs returns the number of distinct local repairs without
+// materializing cached semantics.
+func (c *Component) NumRepairs() int {
+	if c.canon != nil {
+		return len(c.canon.Repairs)
+	}
+	return len(c.sem.Repairs)
+}
+
+// marginal returns the probability that the fact (which must belong to the
+// component) survives in a local repair, conditioned on success. For
+// cache-served components the fact is mapped through the canonical
+// renaming and the marginal is read off the shared canonical semantics —
+// renaming is an isomorphism of the local chain, so the values coincide.
+func (c *Component) marginal(fact relation.Fact) *big.Rat {
+	sem := c.sem
+	if c.canon != nil {
+		canonFacts, _, _ := canonicalize(c.Facts)
+		for i, cf := range c.Facts {
+			if cf == fact {
+				fact = canonFacts[i]
+				break
+			}
+		}
+		sem = c.canon
+	}
+	p := prob.Zero()
+	for _, r := range sem.Repairs {
+		if r.DB.Contains(fact) {
+			p.Add(p, r.P)
+		}
+	}
+	if sem.SuccessP.Sign() != 0 {
+		p.Quo(p, sem.SuccessP)
+	}
+	return p
 }
 
 // Factored is the factorized exact semantics: the untouched core plus one
@@ -64,14 +173,42 @@ type Factored struct {
 	// Untouched holds the facts in no violation; they survive every
 	// deletion-only repair.
 	Untouched *relation.Database
-	// Components lists the conflict components in deterministic order.
-	Components []Component
+	// Components lists the conflict components in deterministic order
+	// (sorted by smallest fact).
+	Components []*Component
+	// CacheHits and CacheMisses count the structural-cache outcomes of the
+	// ComputeFactored call: misses are the distinct canonical component
+	// shapes explored, hits the components served by renaming an already
+	// explored shape. Both are zero when the cache did not apply
+	// (non-structural generator, constants in Σ, or FactoredOptions.NoCache).
+	CacheHits, CacheMisses int
+
+	// compOf maps a fact (by interned id) to the index of its component,
+	// making FactProbability and atomic CP O(1) in the number of
+	// components.
+	compOf map[uint32]int
+}
+
+// FactoredOptions tunes ComputeFactoredOpts beyond the exploration options.
+type FactoredOptions struct {
+	// NoCache disables the structural semantics cache even for structural
+	// generators; every component is explored directly. Benchmarks use it
+	// to isolate the cache's contribution.
+	NoCache bool
 }
 
 // ComputeFactored builds the factorized semantics. It requires a
 // constraint set without TGDs (so chains are deletion-only and components
-// never interact) and a LocalGenerator.
+// never interact) and a LocalGenerator. Per-component explorations run on
+// opt.Workers goroutines (≤ 0 means GOMAXPROCS), and structural generators
+// share one exploration across isomorphic components; the result is
+// bit-identical for every worker count and cache state.
 func ComputeFactored(inst *repair.Instance, g LocalGenerator, opt markov.ExploreOptions) (*Factored, error) {
+	return ComputeFactoredOpts(inst, g, opt, FactoredOptions{})
+}
+
+// ComputeFactoredOpts is ComputeFactored with explicit factored options.
+func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.ExploreOptions, fopt FactoredOptions) (*Factored, error) {
 	for _, c := range inst.Sigma().All() {
 		if c.Kind() == constraint.TGD {
 			return nil, fmt.Errorf("%w: TGD %s allows insertions that may couple components", ErrNotFactorable, c)
@@ -81,62 +218,247 @@ func ComputeFactored(inst *repair.Instance, g LocalGenerator, opt markov.Explore
 		return nil, fmt.Errorf("%w: generator %s is not local", ErrNotFactorable, g.Name())
 	}
 
-	vs := constraint.FindViolations(inst.Initial(), inst.Sigma())
-	// Union-find over violation bodies to form components.
-	parent := map[string]string{}
-	var find func(string) string
-	find = func(x string) string {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
-		}
-		return parent[x]
-	}
-	factByKey := map[string]relation.Fact{}
-	for _, v := range vs.All() {
-		body := v.BodyFacts()
-		for _, f := range body {
-			k := f.Key()
-			factByKey[k] = f
-			if _, ok := parent[k]; !ok {
-				parent[k] = k
-			}
-		}
-		for i := 1; i < len(body); i++ {
-			ra, rb := find(body[0].Key()), find(body[i].Key())
-			if ra != rb {
-				parent[ra] = rb
-			}
-		}
-	}
-	groups := map[string][]relation.Fact{}
-	for k, f := range factByKey {
-		groups[find(k)] = append(groups[find(k)], f)
-	}
-	var roots []string
-	for r := range groups {
-		roots = append(roots, r)
-	}
-	sort.Strings(roots)
+	// The root state caches V(D,Σ); reuse it instead of re-running the
+	// homomorphism search, and form components with the id-keyed
+	// union-find of the abc package.
+	comps := abc.NewConflictGraph(inst.Root().Violations()).Components()
 
-	untouched := inst.Initial().Clone()
-	out := &Factored{inst: inst, gen: g, Untouched: untouched}
-	for _, r := range roots {
-		facts := groups[r]
-		relation.SortFacts(facts)
-		untouched.DeleteAll(facts)
+	compOf := map[uint32]int{}
+	for i, facts := range comps {
+		for _, f := range facts {
+			compOf[f.ID()] = i
+		}
+	}
 
-		sub := relation.FromFacts(facts...)
-		subInst, err := repair.NewInstance(sub, inst.Sigma())
+	// The untouched core is assembled into a fresh database (near-linear
+	// with copy-on-write auto-sealing) rather than cloning the initial
+	// database and deleting every conflicted fact, which is quadratic at
+	// scale.
+	untouched := relation.NewDatabase()
+	for _, f := range inst.Initial().Facts() {
+		if _, ok := compOf[f.ID()]; !ok {
+			untouched.Insert(f)
+		}
+	}
+	untouched.Seal()
+
+	structural := false
+	if !fopt.NoCache {
+		if sg, ok := g.(StructuralGenerator); ok && sg.StructuralWeights() && len(inst.Sigma().ConstSyms()) == 0 {
+			structural = true
+		}
+	}
+
+	// Cap the inner DAG workers while several components are in flight:
+	// the component pool already saturates the CPUs, and the DAG result is
+	// bit-identical for every inner worker count.
+	inner := opt
+	if len(comps) > 1 {
+		inner.Workers = 1
+	}
+
+	type cacheEntry struct {
+		once sync.Once
+		sem  *Semantics
+		err  error
+	}
+	var cacheMu sync.Mutex
+	cache := map[string]*cacheEntry{}
+
+	components := make([]*Component, len(comps))
+	errs := make([]error, len(comps))
+	work := func(i int) {
+		facts := comps[i]
+		c := &Component{Facts: facts}
+		if structural {
+			canonFacts, key, _ := canonicalize(facts)
+			cacheMu.Lock()
+			e, ok := cache[key]
+			if !ok {
+				e = &cacheEntry{}
+				cache[key] = e
+			}
+			cacheMu.Unlock()
+			// The exploration runs on the canonical instance — a pure
+			// function of the cache key — so every isomorphic component
+			// observes the identical shared semantics regardless of which
+			// one arrived first.
+			e.once.Do(func() {
+				e.sem, e.err = computeComponent(inst, g, inner, canonFacts)
+			})
+			if e.err != nil {
+				errs[i] = fmt.Errorf("component %s: %w", relation.FactsString(facts), e.err)
+				return
+			}
+			c.canon = e.sem
+		} else {
+			sem, err := computeComponent(inst, g, inner, facts)
+			if err != nil {
+				errs[i] = fmt.Errorf("component %s: %w", relation.FactsString(facts), err)
+				return
+			}
+			c.sem = sem
+		}
+		components[i] = c
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for i := range comps {
+			work(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					work(i)
+				}
+			}()
+		}
+		for i := range comps {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Errors are reported in deterministic component order, independent of
+	// which worker failed first.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		sem, err := Compute(subInst, g, opt)
-		if err != nil {
-			return nil, fmt.Errorf("component %s: %w", relation.FactsString(facts), err)
-		}
-		out.Components = append(out.Components, Component{Facts: facts, Sem: sem})
+	}
+
+	out := &Factored{inst: inst, gen: g, Untouched: untouched, Components: components, compOf: compOf}
+	if structural {
+		out.CacheMisses = len(cache)
+		out.CacheHits = len(comps) - len(cache)
 	}
 	return out, nil
+}
+
+// computeComponent explores one component in isolation.
+func computeComponent(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions, facts []relation.Fact) (*Semantics, error) {
+	sub := relation.FromFacts(facts...)
+	subInst, err := repair.NewInstance(sub, inst.Sigma())
+	if err != nil {
+		return nil, err
+	}
+	return Compute(subInst, g, opt)
+}
+
+// canonSyms is the process-wide table of canonical constants ⟨0⟩, ⟨1⟩, …
+// substituted for a component's constants in first-occurrence order.
+var (
+	canonMu   sync.Mutex
+	canonSyms []intern.Sym
+)
+
+func canonSym(i int) intern.Sym {
+	canonMu.Lock()
+	for len(canonSyms) <= i {
+		canonSyms = append(canonSyms, intern.S(fmt.Sprintf("⟨%d⟩", len(canonSyms))))
+	}
+	s := canonSyms[i]
+	canonMu.Unlock()
+	return s
+}
+
+// canonicalize renames the constants of a sorted fact list to canonical
+// constants in first-occurrence order. It returns the canonical facts
+// (aligned by index with the input), the packed cache key (the canonical
+// fact ids — equal keys imply the fact lists are isomorphic up to constant
+// renaming, since both first-occurrence renamings are injective and
+// compose into an isomorphism), and the inverse renaming (canonical index
+// → original constant).
+func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv []intern.Sym) {
+	ren := map[intern.Sym]intern.Sym{}
+	canon = make([]relation.Fact, len(facts))
+	buf := make([]byte, 0, 4*len(facts))
+	for i, f := range facts {
+		orig := f.Args()
+		args := make([]intern.Sym, len(orig))
+		for j, a := range orig {
+			c, ok := ren[a]
+			if !ok {
+				c = canonSym(len(inv))
+				ren[a] = c
+				inv = append(inv, a)
+			}
+			args[j] = c
+		}
+		cf := relation.FactOf(f.Pred(), args)
+		canon[i] = cf
+		id := cf.ID()
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return canon, string(buf), inv
+}
+
+// renameSemantics deep-copies a semantics with every repair fact's
+// constants mapped through ren. Probabilities, sequence counts, and
+// per-length counts are invariant under the renaming; repairs are re-sorted
+// by the renamed database keys so the copy is in canonical repair order.
+func renameSemantics(sem *Semantics, ren map[intern.Sym]intern.Sym) *Semantics {
+	out := &Semantics{
+		Mode:             sem.Mode,
+		SuccessP:         new(big.Rat).Set(sem.SuccessP),
+		FailP:            new(big.Rat).Set(sem.FailP),
+		AbsorbingStates:  sem.AbsorbingStates,
+		FailingStates:    sem.FailingStates,
+		TotalSequences:   new(big.Int).Set(sem.TotalSequences),
+		FailingSequences: new(big.Int).Set(sem.FailingSequences),
+	}
+	if sem.SequencesByLength != nil {
+		out.SequencesByLength = make([]*big.Int, len(sem.SequencesByLength))
+		for i, cnt := range sem.SequencesByLength {
+			out.SequencesByLength[i] = new(big.Int).Set(cnt)
+		}
+	}
+	out.Repairs = make([]Repair, len(sem.Repairs))
+	keys := make([]string, len(sem.Repairs))
+	for i, r := range sem.Repairs {
+		facts := r.DB.Facts()
+		renamed := make([]relation.Fact, len(facts))
+		for j, f := range facts {
+			renamed[j] = renameFact(f, ren)
+		}
+		db := relation.FromFacts(renamed...)
+		out.Repairs[i] = Repair{
+			DB:        db,
+			P:         new(big.Rat).Set(r.P),
+			Sequences: r.Sequences,
+			SeqCount:  new(big.Int).Set(r.SeqCount),
+		}
+		keys[i] = db.Key()
+	}
+	sort.Sort(&repairsByKey{keys: keys, repairs: out.Repairs})
+	return out
+}
+
+// renameFact maps a fact's arguments through ren (identity for arguments
+// outside the map).
+func renameFact(f relation.Fact, ren map[intern.Sym]intern.Sym) relation.Fact {
+	orig := f.Args()
+	args := make([]intern.Sym, len(orig))
+	for i, a := range orig {
+		if r, ok := ren[a]; ok {
+			args[i] = r
+		} else {
+			args[i] = a
+		}
+	}
+	return relation.FactOf(f.Pred(), args)
 }
 
 // NumRepairs returns the number of distinct operational repairs of the full
@@ -144,58 +466,99 @@ func ComputeFactored(inst *repair.Instance, g LocalGenerator, opt markov.Explore
 func (f *Factored) NumRepairs() *big.Int {
 	n := big.NewInt(1)
 	for _, c := range f.Components {
-		n.Mul(n, big.NewInt(int64(len(c.Sem.Repairs))))
+		n.Mul(n, big.NewInt(int64(c.NumRepairs())))
 	}
 	return n
 }
 
 // FactProbability returns the exact probability that the fact appears in an
 // operational repair: 1 for untouched facts, the component-local marginal
-// for conflicted facts, and 0 for facts absent from the database. This
-// answers atomic queries exactly in time polynomial in the component sizes
-// even when the full repair count is astronomical.
+// for conflicted facts, and 0 for facts absent from the database. The
+// component is found through the fact-id index built by ComputeFactored,
+// so the lookup is O(|component repairs|) regardless of the number of
+// components. This answers atomic queries exactly in time polynomial in
+// the component sizes even when the full repair count is astronomical.
 func (f *Factored) FactProbability(fact relation.Fact) *big.Rat {
+	if ci, ok := f.compOf[fact.ID()]; ok {
+		return f.Components[ci].marginal(fact)
+	}
 	if f.Untouched.Contains(fact) {
 		return prob.One()
-	}
-	for _, c := range f.Components {
-		inComponent := false
-		for _, cf := range c.Facts {
-			if cf.Equal(fact) {
-				inComponent = true
-				break
-			}
-		}
-		if !inComponent {
-			continue
-		}
-		p := prob.Zero()
-		for _, r := range c.Sem.Repairs {
-			if r.DB.Contains(fact) {
-				p.Add(p, r.P)
-			}
-		}
-		if c.Sem.SuccessP.Sign() != 0 {
-			p.Quo(p, c.Sem.SuccessP)
-		}
-		return p
 	}
 	return prob.Zero()
 }
 
-// maxEnumeratedRepairs bounds full repair enumeration in CP.
+// maxEnumeratedRepairs bounds full repair enumeration in CP and OCA.
 const maxEnumeratedRepairs = 1 << 20
 
-// CP computes the exact conditional probability of a tuple for an
-// arbitrary query by enumerating the product distribution. When the
-// product exceeds maxEnumeratedRepairs it returns an error instead of
-// running forever; use FactProbability (atomic queries) or EstimateCP
-// (sampling) at that scale.
+// atomicQueryFact resolves queries of the form Q(x̄) := R(t̄) — a single
+// positive atom whose arguments are constants or output variables, with
+// every output variable occurring in the atom — to the single ground fact
+// the tuple selects. For such queries Q holds in a repair iff the fact is
+// present, so CP(t̄) is exactly the fact's marginal. ok reports whether the
+// query has that shape; zero reports that the tuple selects a fact that
+// occurs in no database (never interned, or absent), so CP is exactly 0.
+func (f *Factored) atomicQueryFact(q *fo.Query, tuple []string) (fact relation.Fact, zero, ok bool) {
+	atom, isAtom := q.F.(fo.Atom)
+	if !isAtom {
+		return relation.Fact{}, false, false
+	}
+	if len(tuple) != len(q.Out) {
+		return relation.Fact{}, true, true // Holds rejects the tuple everywhere
+	}
+	outIdx := map[intern.Sym]int{}
+	for i, t := range q.Out {
+		outIdx[t.Sym()] = i
+	}
+	used := make([]bool, len(q.Out))
+	args := make([]intern.Sym, len(atom.A.Args))
+	for i, t := range atom.A.Args {
+		if !t.IsVar() {
+			args[i] = t.Sym()
+			continue
+		}
+		j, isOut := outIdx[t.Sym()]
+		if !isOut {
+			return relation.Fact{}, false, false
+		}
+		used[j] = true
+		sym, interned := intern.Lookup(tuple[j])
+		if !interned {
+			return relation.Fact{}, true, true // constant occurs in no database
+		}
+		args[i] = sym
+	}
+	for _, u := range used {
+		if !u {
+			// An output variable outside the atom makes Holds depend on
+			// active-domain membership, not on a single fact.
+			return relation.Fact{}, false, false
+		}
+	}
+	fct, exists := relation.LookupFact(atom.A.Pred, args)
+	if !exists {
+		return relation.Fact{}, true, true
+	}
+	return fct, false, true
+}
+
+// CP computes the exact conditional probability of a tuple. Atomic queries
+// (a single positive atom over constants and output variables) are routed
+// through FactProbability and never enumerate, whatever the scale. Other
+// queries enumerate the product distribution; when the product exceeds
+// maxEnumeratedRepairs CP returns ErrEnumerationBudget instead of running
+// forever — CPOrEstimate falls back to sampling automatically.
 func (f *Factored) CP(q *fo.Query, tuple []string) (*big.Rat, error) {
+	if fact, zero, ok := f.atomicQueryFact(q, tuple); ok {
+		if zero {
+			return prob.Zero(), nil
+		}
+		return f.FactProbability(fact), nil
+	}
 	total := f.NumRepairs()
 	if !total.IsInt64() || total.Int64() > maxEnumeratedRepairs {
-		return nil, fmt.Errorf("core: %s repairs exceed the enumeration budget %d; use FactProbability or EstimateCP",
-			total.String(), maxEnumeratedRepairs)
+		return nil, fmt.Errorf("%w: %s repairs > %d; FactProbability answers atomic queries exactly, EstimateCP samples the rest",
+			ErrEnumerationBudget, total.String(), maxEnumeratedRepairs)
 	}
 	num := prob.Zero()
 	den := prob.Zero()
@@ -209,7 +572,7 @@ func (f *Factored) CP(q *fo.Query, tuple []string) (*big.Rat, error) {
 			}
 			return
 		}
-		for _, r := range f.Components[i].Sem.Repairs {
+		for _, r := range f.Components[i].Semantics().Repairs {
 			for _, fact := range r.DB.Facts() {
 				db.Insert(fact)
 			}
@@ -226,17 +589,230 @@ func (f *Factored) CP(q *fo.Query, tuple []string) (*big.Rat, error) {
 	return num.Quo(num, den), nil
 }
 
+// CPOrEstimate computes CP exactly when feasible — always for atomic
+// queries, and for arbitrary queries while the product distribution fits
+// the enumeration budget — and otherwise falls back to the (ε, δ) sampling
+// estimate. exact reports which route produced the value.
+func (f *Factored) CPOrEstimate(q *fo.Query, tuple []string, eps, delta float64, seed int64) (p *big.Rat, exact bool, err error) {
+	p, err = f.CP(q, tuple)
+	if err == nil {
+		return p, true, nil
+	}
+	if !errors.Is(err, ErrEnumerationBudget) {
+		return nil, false, err
+	}
+	est, err := f.EstimateCP(q, tuple, eps, delta, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	return new(big.Rat).SetFloat64(est), false, nil
+}
+
+// OCA returns the operational consistent answers over the factored
+// semantics. Atomic queries scan the initial database once and read each
+// matching fact's exact marginal off its component — polynomial at any
+// scale. Other queries enumerate the product distribution under the same
+// budget as CP.
+func (f *Factored) OCA(q *fo.Query) (*AnswerSet, error) {
+	if as, ok := f.atomicOCA(q); ok {
+		return as, nil
+	}
+	total := f.NumRepairs()
+	if !total.IsInt64() || total.Int64() > maxEnumeratedRepairs {
+		return nil, fmt.Errorf("%w: %s repairs > %d; only atomic queries have factored OCA at this scale",
+			ErrEnumerationBudget, total.String(), maxEnumeratedRepairs)
+	}
+	num := map[string]*Answer{}
+	den := prob.Zero()
+	db := f.Untouched.Clone()
+	var rec func(i int, p *big.Rat)
+	rec = func(i int, p *big.Rat) {
+		if i == len(f.Components) {
+			den.Add(den, p)
+			for _, tuple := range q.Answers(db) {
+				k := fo.TupleKey(tuple)
+				a, ok := num[k]
+				if !ok {
+					a = &Answer{Tuple: tuple, P: prob.Zero()}
+					num[k] = a
+				}
+				a.P.Add(a.P, p)
+			}
+			return
+		}
+		for _, r := range f.Components[i].Semantics().Repairs {
+			for _, fact := range r.DB.Facts() {
+				db.Insert(fact)
+			}
+			rec(i+1, new(big.Rat).Mul(p, r.P))
+			for _, fact := range r.DB.Facts() {
+				db.Delete(fact)
+			}
+		}
+	}
+	rec(0, prob.One())
+	out := &AnswerSet{Query: q}
+	for _, a := range num {
+		if den.Sign() != 0 {
+			a.P.Quo(a.P, den)
+		} else {
+			a.P = prob.Zero()
+		}
+		if a.P.Sign() > 0 {
+			out.Answers = append(out.Answers, *a)
+		}
+	}
+	sortAnswers(out)
+	return out, nil
+}
+
+// atomicOCA answers an atomic query by a single scan over the initial
+// database: each fact matching the atom's pattern yields one candidate
+// tuple whose probability is the fact's marginal (the tuple determines the
+// fact, so no aggregation is needed).
+func (f *Factored) atomicOCA(q *fo.Query) (*AnswerSet, bool) {
+	atom, isAtom := q.F.(fo.Atom)
+	if !isAtom {
+		return nil, false
+	}
+	outIdx := map[intern.Sym]int{}
+	for i, t := range q.Out {
+		outIdx[t.Sym()] = i
+	}
+	used := make([]bool, len(q.Out))
+	for _, t := range atom.A.Args {
+		if !t.IsVar() {
+			continue
+		}
+		j, isOut := outIdx[t.Sym()]
+		if !isOut {
+			return nil, false
+		}
+		used[j] = true
+	}
+	for _, u := range used {
+		if !u {
+			return nil, false
+		}
+	}
+	out := &AnswerSet{Query: q}
+	for _, fact := range f.inst.Initial().FactsByPred(atom.A.Pred) {
+		fargs := fact.Args()
+		if len(fargs) != len(atom.A.Args) {
+			continue
+		}
+		binding := make([]intern.Sym, len(q.Out))
+		bound := make([]bool, len(q.Out))
+		match := true
+		for i, t := range atom.A.Args {
+			if !t.IsVar() {
+				if t.Sym() != fargs[i] {
+					match = false
+					break
+				}
+				continue
+			}
+			j := outIdx[t.Sym()]
+			if bound[j] && binding[j] != fargs[i] {
+				match = false // repeated variable bound inconsistently
+				break
+			}
+			binding[j], bound[j] = fargs[i], true
+		}
+		if !match {
+			continue
+		}
+		p := f.FactProbability(fact)
+		if p.Sign() <= 0 {
+			continue
+		}
+		tuple := make([]string, len(q.Out))
+		for j, sym := range binding {
+			tuple[j] = intern.Name(sym)
+		}
+		out.Answers = append(out.Answers, Answer{Tuple: tuple, P: p})
+	}
+	sortAnswers(out)
+	return out, true
+}
+
+// sortAnswers orders an answer set lexicographically by tuple, matching
+// Semantics.OCA.
+func sortAnswers(as *AnswerSet) {
+	sort.Slice(as.Answers, func(i, j int) bool {
+		a, b := as.Answers[i].Tuple, as.Answers[j].Tuple
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// TotalSequences returns the exact number of complete sequences of the
+// full chain M_Σ(D). Probabilities under the sequence-uniform mode do not
+// factorize across components (interleavings weigh components by length),
+// but the *count* does: every complete sequence is an interleaving of
+// per-component complete sequences, so the total is the binomial
+// convolution of the per-component length-stratified counts. It requires
+// the components to have been explored with
+// markov.ExploreOptions.TrackLengths.
+func (f *Factored) TotalSequences() (*big.Int, error) {
+	// T[m] counts the interleavings of complete sequences of the first i
+	// components with total length m.
+	T := []*big.Int{big.NewInt(1)}
+	for _, c := range f.Components {
+		sem := c.canon
+		if sem == nil {
+			sem = c.sem
+		}
+		cl := sem.SequencesByLength
+		if cl == nil {
+			return nil, fmt.Errorf("core: per-length sequence counts unavailable; recompute with markov.ExploreOptions.TrackLengths")
+		}
+		nt := make([]*big.Int, len(T)+len(cl)-1)
+		for i := range nt {
+			nt[i] = new(big.Int)
+		}
+		var binom big.Int
+		for m, tm := range T {
+			if tm.Sign() == 0 {
+				continue
+			}
+			for l, cnt := range cl {
+				if cnt.Sign() == 0 {
+					continue
+				}
+				// The l operations of the new component choose their slots
+				// among the m+l positions.
+				binom.Binomial(int64(m+l), int64(l))
+				term := new(big.Int).Mul(tm, cnt)
+				term.Mul(term, &binom)
+				nt[m+l].Add(nt[m+l], term)
+			}
+		}
+		T = nt
+	}
+	total := new(big.Int)
+	for _, t := range T {
+		total.Add(total, t)
+	}
+	return total, nil
+}
+
 // SampleRepair draws one full repair exactly from the factorized
 // distribution: one local repair per component, independently. Unlike a
 // chain walk this costs O(|D| + Σ |component repairs|) per draw.
 func (f *Factored) SampleRepair(rng *rand.Rand) *relation.Database {
 	db := f.Untouched.Clone()
 	for _, c := range f.Components {
-		weights := make([]*big.Rat, len(c.Sem.Repairs))
-		for i, r := range c.Sem.Repairs {
+		repairs := c.Semantics().Repairs
+		weights := make([]*big.Rat, len(repairs))
+		for i, r := range repairs {
 			weights[i] = r.P
 		}
-		pick := c.Sem.Repairs[prob.Pick(rng, weights)]
+		pick := repairs[prob.Pick(rng, weights)]
 		for _, fact := range pick.DB.Facts() {
 			db.Insert(fact)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -196,7 +197,10 @@ func TestFactoredEstimateCP(t *testing.T) {
 	}
 }
 
-// TestFactoredCPBudget: over-budget enumeration errors out cleanly.
+// TestFactoredCPBudget: atomic queries route around the over-budget product
+// enumeration (they reduce to fact marginals), while genuinely non-atomic
+// queries fail with ErrEnumerationBudget — and CPOrEstimate then falls back
+// to sampling.
 func TestFactoredCPBudget(t *testing.T) {
 	d := relation.NewDatabase()
 	for i := 0; i < 26; i++ {
@@ -209,13 +213,52 @@ func TestFactoredCPBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3^26 > 2^20: enumeration must refuse.
+	// 3^26 > 2^20 repairs, but the query is atomic: CP must succeed exactly
+	// and agree with the per-component marginal.
 	x, y := v("x"), v("y")
 	q := fo.MustQuery("All", []logic.Term{x, y}, fo.Atom{A: at("R", x, y)})
-	if _, err := fac.CP(q, []string{"a", "1"}); err == nil {
-		t.Error("expected the enumeration budget to trigger")
+	cp, err := fac.CP(q, []string{"a", "1"})
+	if err != nil {
+		t.Fatalf("atomic CP over a huge repair space must not enumerate: %v", err)
 	}
-	// But fact marginals remain exact and cheap.
+	if want := fac.FactProbability(f("R", "a", "1")); cp.Cmp(want) != 0 {
+		t.Errorf("atomic CP = %s, FactProbability = %s", cp.RatString(), want.RatString())
+	}
+	if !prob.InUnit(cp) || cp.Sign() == 0 {
+		t.Errorf("CP = %s outside (0,1]", cp.RatString())
+	}
+	// An atomic query over a constant that was never interned is exactly 0.
+	if p, err := fac.CP(q, []string{"no-such-constant", "1"}); err != nil || p.Sign() != 0 {
+		t.Errorf("CP over unknown constant = %v, %v; want exact 0", p, err)
+	}
+
+	// A non-atomic query (conjunction) has no marginal shortcut: the product
+	// enumeration must refuse with the sentinel error.
+	x2, y2 := v("x2"), v("y2")
+	conj := fo.MustQuery("Pair", []logic.Term{x, y, x2, y2}, fo.And{
+		L: fo.Atom{A: at("R", x, y)},
+		R: fo.Atom{A: at("R", x2, y2)},
+	})
+	if _, err := fac.CP(conj, []string{"a", "1", "b", "1"}); !errors.Is(err, core.ErrEnumerationBudget) {
+		t.Errorf("non-atomic over-budget CP: err = %v, want ErrEnumerationBudget", err)
+	}
+
+	// CPOrEstimate degrades to the (ε,δ) sampler on the same query.
+	p, exact, err := fac.CPOrEstimate(conj, []string{"a", "1", "b", "1"}, 0.1, 0.1, 42)
+	if err != nil {
+		t.Fatalf("CPOrEstimate: %v", err)
+	}
+	if exact {
+		t.Error("CPOrEstimate must report the sampled route for an over-budget non-atomic query")
+	}
+	// True value: both R(a,·) and R(b,·) components keep the named fact with
+	// probability FactProbability; independence gives the product.
+	want := prob.Float(fac.FactProbability(f("R", "a", "1"))) * prob.Float(fac.FactProbability(f("R", "b", "1")))
+	if got := prob.Float(p); got-want > 0.1 || want-got > 0.1 {
+		t.Errorf("sampled CP %.3f vs true %.3f beyond ε", got, want)
+	}
+
+	// Fact marginals remain exact and cheap throughout.
 	if p := fac.FactProbability(f("R", "a", "1")); !prob.InUnit(p) || p.Sign() == 0 {
 		t.Errorf("FactProbability = %s", p.RatString())
 	}

@@ -66,6 +66,12 @@ func (t *Trust) Name() string { return "trust" }
 // only on the pair's own trust levels, enabling the factorized exact
 // semantics of core.ComputeFactored. (The |V| normalizer scales all
 // operations of a step equally and cancels in the repair distribution.)
+//
+// Trust deliberately does NOT implement core.StructuralGenerator: its
+// weights depend on the identity of the facts (their assigned trust
+// levels), so renaming constants changes the distribution and two
+// isomorphic components need not share semantics. ComputeFactored
+// therefore bypasses the structural cache for trust chains.
 func (t *Trust) LocalWeights() bool { return true }
 
 // Memoryless implements markov.Markovian: the weights are computed from the

@@ -24,6 +24,12 @@ func (Uniform) Name() string { return "uniform" }
 // semantics of core.ComputeFactored.
 func (Uniform) LocalWeights() bool { return true }
 
+// StructuralWeights asserts that the uniform weights are invariant under
+// renaming of constants — 1/k never inspects a constant — so isomorphic
+// conflict components share one exploration through the structural
+// semantics cache of core.ComputeFactored (core.StructuralGenerator).
+func (Uniform) StructuralWeights() bool { return true }
+
 // Memoryless implements markov.Markovian: 1/k depends only on the number of
 // extensions, a function of the state's database, so the chain collapses to
 // the DAG of distinct sub-databases.
@@ -65,6 +71,10 @@ func (UniformDeletions) Name() string { return "uniform-deletions" }
 
 // LocalWeights asserts locality (see Uniform.LocalWeights).
 func (UniformDeletions) LocalWeights() bool { return true }
+
+// StructuralWeights asserts renaming-invariance (see
+// Uniform.StructuralWeights; the deletion mask never inspects constants).
+func (UniformDeletions) StructuralWeights() bool { return true }
 
 // Memoryless implements markov.Markovian (see Uniform.Memoryless; the
 // deletion mask is a property of the extensions themselves).

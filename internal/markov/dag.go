@@ -52,6 +52,10 @@ type DAGLeaf struct {
 	Key       string // State.Result().Key()
 	Pi        *big.Rat
 	Sequences *big.Int
+	// SeqsByLength[l] counts the absorbing sequences of length l producing
+	// this database; Σ_l SeqsByLength[l] = Sequences. It is populated only
+	// when ExploreOptions.TrackLengths is set (nil otherwise).
+	SeqsByLength []*big.Int
 }
 
 // DAG summarizes a collapsed exploration.
@@ -77,6 +81,9 @@ type dagNode struct {
 	state *repair.State
 	pi    *big.Rat
 	seqs  *big.Int
+	// seqsByLen[l] counts the sequences of length l reaching the node; only
+	// maintained under ExploreOptions.TrackLengths.
+	seqsByLen []*big.Int
 }
 
 // expansion is the parallel phase's per-node result: the node's outgoing
@@ -105,9 +112,13 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 
 	root := inst.Root()
 	rootSize := root.Result().Size()
+	rootNode := &dagNode{state: root, pi: prob.One(), seqs: big.NewInt(1)}
+	if opt.TrackLengths {
+		rootNode.seqsByLen = []*big.Int{big.NewInt(1)} // the empty sequence
+	}
 	// levels[n] holds the pending nodes whose database has n facts.
 	levels := map[int]map[string]*dagNode{
-		rootSize: {root.Result().Key(): {state: root, pi: prob.One(), seqs: big.NewInt(1)}},
+		rootSize: {root.Result().Key(): rootNode},
 	}
 	dag := &DAG{States: 1, Sequences: new(big.Int)}
 
@@ -133,7 +144,9 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 				return nil, exp.err
 			}
 			if len(exp.edges) == 0 {
-				dag.Leaves = append(dag.Leaves, DAGLeaf{State: n.state, Key: k, Pi: n.pi, Sequences: n.seqs})
+				dag.Leaves = append(dag.Leaves, DAGLeaf{
+					State: n.state, Key: k, Pi: n.pi, Sequences: n.seqs, SeqsByLength: n.seqsByLen,
+				})
 				dag.Sequences.Add(dag.Sequences, n.seqs)
 				continue
 			}
@@ -162,6 +175,16 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 				}
 				cn.pi.Add(cn.pi, new(big.Rat).Mul(n.pi, e.P))
 				cn.seqs.Add(cn.seqs, n.seqs)
+				if opt.TrackLengths {
+					// Every edge is one operation: sequences of length l at
+					// the parent extend to length l+1 at the child.
+					for len(cn.seqsByLen) < len(n.seqsByLen)+1 {
+						cn.seqsByLen = append(cn.seqsByLen, new(big.Int))
+					}
+					for l, cnt := range n.seqsByLen {
+						cn.seqsByLen[l+1].Add(cn.seqsByLen[l+1], cnt)
+					}
+				}
 			}
 		}
 	}

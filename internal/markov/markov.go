@@ -165,6 +165,13 @@ type ExploreOptions struct {
 	// clones, so expansion is embarrassingly parallel; results are
 	// bit-identical for every worker count. The tree walk ignores it.
 	Workers int
+	// TrackLengths additionally propagates, for every absorbing database,
+	// the exact number of absorbing sequences of each length
+	// (DAGLeaf.SeqsByLength). The per-length counts cost one extra big.Int
+	// vector per frontier node, so they are opt-in; they feed the
+	// interleaving arithmetic that factorizes sequence-uniform counts
+	// across conflict components (core.Factored.TotalSequences).
+	TrackLengths bool
 }
 
 // ErrStateBudget is returned when exploration exceeds MaxStates.

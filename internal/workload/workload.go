@@ -163,6 +163,58 @@ func Inclusion(cfg InclusionConfig) (*relation.Database, *constraint.Set) {
 	return d, constraint.NewSet(ind)
 }
 
+// IslandsConfig sizes a many-component conflict archipelago.
+type IslandsConfig struct {
+	// Islands is the number of disjoint conflict components.
+	Islands int
+	// FactsPerIsland is the number of E facts per island; each island is a
+	// conflict chain with FactsPerIsland−1 overlapping violations.
+	FactsPerIsland int
+	// IsoRatio is the fraction of islands whose constants follow the
+	// canonical (sorted) order: those islands share one structural cache
+	// key in core.ComputeFactored, so IsoRatio tunes the cache hit rate.
+	// The remaining islands use randomly permuted node sequences — still
+	// chains, still isomorphic in truth, but their first-occurrence
+	// canonical forms differ, so they (almost surely) miss the cache.
+	IsoRatio float64
+	Seed     int64
+}
+
+// Islands generates Islands disjoint copies of the conflict chain of
+// Chain, each over private constants, with the single denial constraint
+// ¬∃x,y,z (E(x,y) ∧ E(y,z)). The conflict graph has exactly Islands
+// components of FactsPerIsland facts each, which makes the family the
+// canonical stress test for the factored engine: a million facts split
+// into a hundred thousand ten-fact islands repair exactly, component by
+// component, while the monolithic chain is unthinkably large.
+func Islands(cfg IslandsConfig) (*relation.Database, *constraint.Set) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relation.NewDatabase()
+	iso := int(float64(cfg.Islands) * cfg.IsoRatio)
+	nodes := make([]int, cfg.FactsPerIsland+1)
+	for i := 0; i < cfg.Islands; i++ {
+		for j := range nodes {
+			nodes[j] = j
+		}
+		if i >= iso {
+			rng.Shuffle(len(nodes), func(a, b int) { nodes[a], nodes[b] = nodes[b], nodes[a] })
+		}
+		// Zero-padded private constants: within a canonical island the
+		// lexicographic fact order follows the chain, so all canonical
+		// islands canonicalize to the same key.
+		name := func(n int) string { return fmt.Sprintf("i%08d_n%03d", i, n) }
+		for j := 0; j < cfg.FactsPerIsland; j++ {
+			d.Insert(relation.NewFact("E", name(nodes[j]), name(nodes[j+1])))
+		}
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	dc := constraint.MustDC([]logic.Atom{
+		logic.NewAtom("E", x, y),
+		logic.NewAtom("E", y, z),
+	})
+	return d, constraint.NewSet(dc)
+}
+
 // OrdersCatalog builds the relational workload for the Section 5
 // rewriting experiment: an orders table with key violations joined against
 // a clean customers table, as plan-catalog views over an interned
