@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/abc"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/fo"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/sampling"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -579,5 +581,93 @@ func BenchmarkFactoredQuery(b *testing.B) {
 		if _, err := fac.CP(q, tuple); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServe measures the resident serving pipeline of internal/serve
+// on the islands workload (400 four-fact islands, so one toggle touches
+// 0.25% of the components). The sub-benchmarks bracket the design space
+// per operation of a mixed stream:
+//
+//	scratch/10pct — the non-resident baseline: every ingest answers by
+//	                recomputing violations, partition, and factored
+//	                semantics from scratch on the post-delta database.
+//	warm/0pct     — read-only serving from the published snapshot.
+//	warm/10pct    — the resident engine: delta-scoped recomputation with
+//	                the structural cache warm across deltas.
+//	cold/10pct    — ablation: delta-scoped recomputation, cache disabled.
+func BenchmarkServe(b *testing.B) {
+	const nOps = 4096
+	mix := func(ingestRatio float64) (*relation.Database, *constraint.Set, []workload.ServeOp) {
+		return workload.ServeMix(workload.ServeMixConfig{
+			Islands:        400,
+			FactsPerIsland: 4,
+			IsoRatio:       0.9,
+			Ops:            nOps,
+			IngestRatio:    ingestRatio,
+			Seed:           42,
+		})
+	}
+
+	b.Run("scratch/10pct", func(b *testing.B) {
+		d, sigma, ops := mix(0.1)
+		db := d.Clone()
+		vs := constraint.FindViolations(db, sigma)
+		part := abc.NewPartition(vs)
+		fac, err := core.ComputeFactoredDelta(db, sigma, generators.Uniform{},
+			markov.ExploreOptions{}, core.FactoredOptions{NoCache: true}, core.FactoredDelta{Part: part})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := ops[i%len(ops)]
+			if !op.Ingest {
+				fac.FactProbability(op.Fact)
+				continue
+			}
+			if op.Insert {
+				db.Insert(op.Fact)
+			} else {
+				db.Delete(op.Fact)
+			}
+			vs = constraint.FindViolations(db, sigma)
+			part = abc.NewPartition(vs)
+			fac, err = core.ComputeFactoredDelta(db, sigma, generators.Uniform{},
+				markov.ExploreOptions{}, core.FactoredOptions{NoCache: true}, core.FactoredDelta{Part: part})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, tc := range []struct {
+		name    string
+		ratio   float64
+		nocache bool
+	}{
+		{"warm/0pct", 0, false},
+		{"warm/10pct", 0.1, false},
+		{"cold/10pct", 0.1, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			d, sigma, ops := mix(tc.ratio)
+			s, err := serve.New(d, sigma, generators.Uniform{}, serve.Options{NoCache: tc.nocache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := ops[i%len(ops)]
+				if op.Ingest {
+					if _, err := s.Ingest([]serve.Op{{Fact: op.Fact, Insert: op.Insert}}); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					s.FactProbability(op.Fact)
+				}
+			}
+		})
 	}
 }

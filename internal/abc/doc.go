@@ -12,6 +12,12 @@
 //     cardinality-minimal, and superset repairs.
 //   - conflict.go: the conflict-graph machinery the enumeration branches
 //     on.
+//   - partition.go: the resident form of the conflict components — a
+//     persistent Partition with a layered fact→island index whose Update
+//     re-partitions only the region touched by a violation delta, sharing
+//     every unaffected Island (payload and all) with its predecessor.
+//     This is engine machinery, not baseline: internal/core's factored
+//     semantics and internal/serve's resident server are built on it.
 //
 // # Invariants
 //
@@ -27,5 +33,7 @@
 //
 // Below: internal/relation, internal/constraint. Used by internal/core's
 // comparison tests and cmd/experiments to reproduce the paper's
-// operational-vs-ABC contrasts (Propositions 4 and 5).
+// operational-vs-ABC contrasts (Propositions 4 and 5), and — via
+// Partition — by internal/core's factored engine and internal/serve's
+// resident server.
 package abc

@@ -1,0 +1,209 @@
+package abc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func partitionSet(t *testing.T) *constraint.Set {
+	t.Helper()
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	dc := constraint.MustDC([]logic.Atom{
+		logic.NewAtom("E", x, y),
+		logic.NewAtom("E", y, z),
+	})
+	return constraint.NewSet(key, dc)
+}
+
+func randomPartitionDB(rng *rand.Rand) *relation.Database {
+	dom := []string{"a", "b", "c", "d", "e"}
+	d := relation.NewDatabase()
+	n := 2 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			d.Insert(relation.NewFact("R", dom[rng.Intn(5)], dom[rng.Intn(5)]))
+		} else {
+			d.Insert(relation.NewFact("E", dom[rng.Intn(5)], dom[rng.Intn(5)]))
+		}
+	}
+	return d
+}
+
+// TestNewPartitionMatchesConflictGraph: the partition's islands are exactly
+// ConflictGraph.Components over the same violations, in the same order, and
+// IslandOf inverts the fact→island relation.
+func TestNewPartitionMatchesConflictGraph(t *testing.T) {
+	set := partitionSet(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomPartitionDB(rng)
+		vs := constraint.FindViolations(d, set)
+		p := NewPartition(vs)
+		want := NewConflictGraph(vs).Components()
+		if !reflect.DeepEqual(p.Components(), want) {
+			t.Logf("seed %d: partition %v, conflict graph %v", seed, p.Components(), want)
+			return false
+		}
+		for _, isl := range p.Islands() {
+			for _, f := range isl.Facts {
+				if p.IslandOf(f) != isl {
+					t.Logf("seed %d: IslandOf(%s) does not return its island", seed, f)
+					return false
+				}
+			}
+		}
+		nvios := 0
+		for _, isl := range p.Islands() {
+			nvios += len(isl.Violations())
+		}
+		if nvios != vs.Len() {
+			t.Logf("seed %d: islands hold %d violations, want %d", seed, nvios, vs.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionUpdateMatchesRebuild: a chain of random single-fact updates,
+// each maintained incrementally via UpdateViolationsDelta + Update, always
+// matches the from-scratch partition of the current database — islands,
+// order, violations, and the fact index (exercised far past the index-fold
+// depth). Along the way every returned fresh island must carry a nil
+// Payload and every island outside the churn must be shared by pointer.
+func TestPartitionUpdateMatchesRebuild(t *testing.T) {
+	set := partitionSet(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomPartitionDB(rng)
+		vs := constraint.FindViolations(d, set)
+		p := NewPartition(vs)
+		for _, isl := range p.Islands() {
+			isl.Payload = isl // mark: pre-existing island
+		}
+		dom := []string{"a", "b", "c", "d", "e"}
+		steps := 30 + rng.Intn(20) // depth 30+ crosses maxIndexDepth folds
+		for s := 0; s < steps; s++ {
+			var f relation.Fact
+			if rng.Intn(2) == 0 {
+				f = relation.NewFact("R", dom[rng.Intn(5)], dom[rng.Intn(5)])
+			} else {
+				f = relation.NewFact("E", dom[rng.Intn(5)], dom[rng.Intn(5)])
+			}
+			insert := rng.Intn(2) == 0
+			var ok bool
+			if insert {
+				ok = d.Insert(f)
+			} else {
+				ok = d.Delete(f)
+			}
+			if !ok {
+				continue
+			}
+			after, elim, intro := constraint.UpdateViolationsDelta(d, set, vs, []relation.Fact{f}, insert)
+			next, fresh, removed := p.Update(elim, intro, []relation.Fact{f})
+			vs = after
+
+			for _, isl := range fresh {
+				if isl.Payload != nil {
+					t.Logf("seed %d step %d: fresh island has a payload", seed, s)
+					return false
+				}
+				isl.Payload = isl
+			}
+			rem := map[*Island]bool{}
+			for _, isl := range removed {
+				rem[isl] = true
+			}
+			for _, isl := range next.Islands() {
+				if rem[isl] {
+					t.Logf("seed %d step %d: removed island still listed", seed, s)
+					return false
+				}
+				if isl.Payload == nil {
+					t.Logf("seed %d step %d: island lost its payload", seed, s)
+					return false
+				}
+			}
+			p = next
+
+			want := NewPartition(constraint.FindViolations(d, set))
+			if !reflect.DeepEqual(p.Components(), want.Components()) {
+				t.Logf("seed %d step %d: incremental %v, rebuild %v", seed, s, p.Components(), want.Components())
+				return false
+			}
+			for _, isl := range p.Islands() {
+				for _, g := range isl.Facts {
+					if p.IslandOf(g) != isl {
+						t.Logf("seed %d step %d: index maps %s to the wrong island", seed, s, g)
+						return false
+					}
+				}
+			}
+			for _, g := range d.Facts() {
+				if p.IslandOf(g) != nil && !factInIslands(p, g) {
+					t.Logf("seed %d step %d: stale index entry for %s", seed, s, g)
+					return false
+				}
+			}
+			nvios := 0
+			for _, isl := range p.Islands() {
+				nvios += len(isl.Violations())
+			}
+			if nvios != vs.Len() {
+				t.Logf("seed %d step %d: islands hold %d violations, want %d", seed, s, nvios, vs.Len())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func factInIslands(p *Partition, f relation.Fact) bool {
+	isl := p.IslandOf(f)
+	for _, g := range isl.Facts {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPartitionUpdateNoChurnSharing: an update outside the conflict region
+// returns the same partition with no churn.
+func TestPartitionUpdateNoChurnSharing(t *testing.T) {
+	set := partitionSet(t)
+	d := relation.FromFacts(
+		relation.NewFact("R", "a", "b"),
+		relation.NewFact("R", "a", "c"),
+	)
+	vs := constraint.FindViolations(d, set)
+	p := NewPartition(vs)
+	if p.Len() != 1 {
+		t.Fatalf("want 1 island, got %d", p.Len())
+	}
+	f := relation.NewFact("R", "z", "w")
+	if !d.Insert(f) {
+		t.Fatal("insert was a no-op")
+	}
+	_, elim, intro := constraint.UpdateViolationsDelta(d, set, vs, []relation.Fact{f}, true)
+	next, fresh, removed := p.Update(elim, intro, []relation.Fact{f})
+	if next != p || fresh != nil || removed != nil {
+		t.Fatalf("clean insert churned the partition: fresh=%v removed=%v", fresh, removed)
+	}
+}

@@ -37,10 +37,12 @@ type changeSet struct {
 	facts []relation.Fact
 }
 
-func newChangeSet(changed []relation.Fact) changeSet {
+func newChangeSet(changed []relation.Fact, buf []intern.Sym) changeSet {
 	// The fact slice is aliased, not copied: callers pass the change set of
 	// an applied operation and do not mutate it while violations update.
-	cs := changeSet{facts: changed}
+	// buf (usually a caller-stack array) backs the predicate list so the
+	// per-step construction allocates nothing.
+	cs := changeSet{facts: changed, preds: buf}
 	for _, f := range changed {
 		p := f.Pred()
 		if !cs.hasPred(p) {
@@ -74,10 +76,22 @@ func UpdateViolations(dNew *relation.Database, s *Set, before *Violations, chang
 // of the filtering pass for free; only TGD recomputes pay a set
 // difference.
 func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) (*Violations, []Violation) {
-	cs := newChangeSet(changed)
+	out, eliminated, _ := UpdateViolationsDelta(dNew, s, before, changed, insert)
+	return out, eliminated
+}
+
+// UpdateViolationsDelta is UpdateViolationsDiff extended to also report the
+// introduced violations (after − before), giving the full violation-set
+// transition in one pass. The incremental partition maintenance of the abc
+// package consumes both sides of the delta. Introduced violations are
+// collected for free on the EGD/DC insertion path (a semi-naive hit whose
+// body includes an inserted fact cannot have been a violation before); only
+// TGD recomputes pay the set differences.
+func UpdateViolationsDelta(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) (after *Violations, eliminated, introduced []Violation) {
+	var predsBuf [4]intern.Sym
+	cs := newChangeSet(changed, predsBuf[:0])
 
 	out := &Violations{vs: make([]Violation, 0, before.Len()), sorted: true}
-	var eliminated []Violation
 	needDiff := false
 	for _, c := range s.constraints {
 		switch {
@@ -86,8 +100,9 @@ func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, c
 			copyConstraintViolations(out, before, c)
 
 		case c.kind == TGD:
-			// Full recompute for this constraint only; eliminated
-			// violations are recovered by a set difference afterwards.
+			// Full recompute for this constraint only; the eliminated and
+			// introduced violations are recovered by set differences
+			// afterwards.
 			needDiff = true
 			relation.ForEachHom(c.body, dNew, logic.NewSubst(), func(h logic.Subst) bool {
 				if c.violatedBy(dNew, h) {
@@ -98,20 +113,28 @@ func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, c
 
 		case !insert:
 			// EGD/DC + deletion: drop violations whose body lost a fact.
-			for _, v := range before.constraintRange(c) {
+			// Survivors are copied as the bulk runs between eliminations —
+			// the range is already ID-sorted, so the per-element sortedness
+			// check of add is paid only once per eliminated violation.
+			run := before.constraintRange(c)
+			start := 0
+			for i, v := range run {
 				if bodyIntersects(v, cs) {
+					out.appendRun(run[start:i])
 					eliminated = append(eliminated, v)
-				} else {
-					out.add(v)
+					start = i + 1
 				}
 			}
+			out.appendRun(run[start:])
 
 		default:
 			// EGD/DC + insertion: keep the old violations, add the delta.
 			copyConstraintViolations(out, before, c)
 			forEachHomTouching(c.body, dNew, cs, func(h logic.Subst) {
 				if c.violatedBy(dNew, h) {
-					out.add(NewViolation(c, h))
+					v := NewViolation(c, h)
+					introduced = append(introduced, v)
+					out.add(v)
 				}
 			})
 		}
@@ -119,8 +142,41 @@ func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, c
 	out.norm()
 	if needDiff {
 		eliminated = before.Minus(out)
+		introduced = out.Minus(before)
 	}
-	return out, eliminated
+	return out, eliminated, introduced
+}
+
+// TouchedFacts returns the distinct facts implicated in a violation-set
+// transition: the changed facts themselves plus every body fact of an
+// eliminated or introduced violation, sorted. This is the exact set of
+// facts whose conflict-component membership an update can alter — a
+// component containing none of them keeps its fact set and violations
+// verbatim — so it scopes the incremental re-partitioning of abc.Partition.
+func TouchedFacts(changed []relation.Fact, eliminated, introduced []Violation) []relation.Fact {
+	seen := map[relation.Fact]bool{}
+	var out []relation.Fact
+	add := func(f relation.Fact) {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	for _, f := range changed {
+		add(f)
+	}
+	for _, v := range eliminated {
+		for _, f := range v.BodyFacts() {
+			add(f)
+		}
+	}
+	for _, v := range introduced {
+		for _, f := range v.BodyFacts() {
+			add(f)
+		}
+	}
+	relation.SortFacts(out)
+	return out
 }
 
 // IntroducedViolations returns only the violations of dNew that were not
@@ -131,7 +187,8 @@ func UpdateViolationsDiff(dNew *relation.Database, s *Set, before *Violations, c
 // so only genuinely new violations matter. For EGD/DC deletions the answer
 // is always empty without any search.
 func IntroducedViolations(dNew *relation.Database, s *Set, before *Violations, changed []relation.Fact, insert bool) []Violation {
-	cs := newChangeSet(changed)
+	var predsBuf [4]intern.Sym
+	cs := newChangeSet(changed, predsBuf[:0])
 	var out []Violation
 	for _, c := range s.constraints {
 		switch {
@@ -200,9 +257,7 @@ func constraintTouches(c *Constraint, cs changeSet) bool {
 }
 
 func copyConstraintViolations(dst *Violations, src *Violations, c *Constraint) {
-	for _, v := range src.constraintRange(c) {
-		dst.add(v)
-	}
+	dst.appendRun(src.constraintRange(c))
 }
 
 // bodyIntersects reports whether h(body) includes any changed fact.

@@ -154,6 +154,103 @@ func TestUpdateViolationsInsertionDelta(t *testing.T) {
 	}
 }
 
+// TestUpdateViolationsDeltaTransition: on random transitions the reported
+// eliminated and introduced sets are exactly the set differences against
+// the from-scratch recompute, and TouchedFacts covers every fact whose
+// component membership the transition can alter.
+func TestUpdateViolationsDeltaTransition(t *testing.T) {
+	set := mixedSet()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDB(rng)
+		before := FindViolations(d, set)
+
+		insert := rng.Intn(2) == 0
+		dom := []string{"a", "b", "c"}
+		var f relation.Fact
+		if rng.Intn(2) == 0 {
+			f = relation.NewFact("R", dom[rng.Intn(3)], dom[rng.Intn(3)])
+		} else {
+			f = relation.NewFact("S", dom[rng.Intn(3)], dom[rng.Intn(3)])
+		}
+		dNew := d.Clone()
+		var ok bool
+		if insert {
+			ok = dNew.Insert(f)
+		} else {
+			ok = dNew.Delete(f)
+		}
+		if !ok {
+			return true // no-op update, nothing to check
+		}
+		changed := []relation.Fact{f}
+
+		after, elim, intro := UpdateViolationsDelta(dNew, set, before, changed, insert)
+		want := FindViolations(dNew, set)
+		wantElim := before.Minus(want)
+		wantIntro := want.Minus(before)
+		if !sameViolations(elim, wantElim) {
+			t.Logf("seed %d: eliminated = %v, want %v", seed, ids(elim), ids(wantElim))
+			return false
+		}
+		if !sameViolations(intro, wantIntro) {
+			t.Logf("seed %d: introduced = %v, want %v", seed, ids(intro), ids(wantIntro))
+			return false
+		}
+		touched := TouchedFacts(changed, elim, intro)
+		has := func(x relation.Fact) bool {
+			for _, g := range touched {
+				if g == x {
+					return true
+				}
+			}
+			return false
+		}
+		if !has(f) {
+			t.Logf("seed %d: touched set misses the changed fact", seed)
+			return false
+		}
+		for _, v := range append(append([]Violation{}, elim...), intro...) {
+			for _, bf := range v.BodyFacts() {
+				if !has(bf) {
+					t.Logf("seed %d: touched set misses body fact %s", seed, bf)
+					return false
+				}
+			}
+		}
+		_ = after
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ids(vs []Violation) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID()
+	}
+	return out
+}
+
+func sameViolations(got, want []Violation) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	seen := map[uint64]int{}
+	for _, v := range got {
+		seen[v.ID()]++
+	}
+	for _, v := range want {
+		if seen[v.ID()] == 0 {
+			return false
+		}
+		seen[v.ID()]--
+	}
+	return true
+}
+
 // TestUpdateViolationsUnrelatedPredicate: updates to predicates outside
 // every constraint leave the violation set untouched.
 func TestUpdateViolationsUnrelatedPredicate(t *testing.T) {

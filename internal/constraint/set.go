@@ -305,11 +305,35 @@ func FindViolations(d *relation.Database, s *Set) *Violations {
 	return vs
 }
 
+// ViolationsOf builds a violation set from an explicit slice (copied, then
+// normalized). Callers that already know V(D,Σ) — e.g. a conflict island
+// carrying exactly its component's violations — use it to seed downstream
+// consumers without re-running the homomorphism search.
+func ViolationsOf(vs []Violation) *Violations {
+	out := &Violations{vs: append([]Violation(nil), vs...)}
+	out.norm()
+	return out
+}
+
 func (vs *Violations) add(v Violation) {
 	if n := len(vs.vs); vs.sorted && n > 0 && vs.vs[n-1].ID() >= v.ID() {
 		vs.sorted = false
 	}
 	vs.vs = append(vs.vs, v)
+}
+
+// appendRun bulk-appends a run that is itself ID-sorted and deduplicated
+// (a subslice of a normalized set), checking sortedness once at the seam
+// instead of once per element. The incremental-maintenance paths copy whole
+// per-constraint ranges this way.
+func (vs *Violations) appendRun(run []Violation) {
+	if len(run) == 0 {
+		return
+	}
+	if n := len(vs.vs); vs.sorted && n > 0 && vs.vs[n-1].ID() >= run[0].ID() {
+		vs.sorted = false
+	}
+	vs.vs = append(vs.vs, run...)
 }
 
 // norm sorts the slice by id and drops duplicate ids (adds are idempotent,

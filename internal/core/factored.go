@@ -13,6 +13,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/fo"
 	"repro/internal/intern"
+	"repro/internal/logic"
 	"repro/internal/markov"
 	"repro/internal/prob"
 	"repro/internal/relation"
@@ -102,9 +103,21 @@ type Component struct {
 	// every component with the same cache key; nil when the component was
 	// computed directly (cache disabled, non-structural generator).
 	canon *Semantics
+	// canonFacts and inv carry the canonicalization computed when the
+	// component was built (canonFacts[i] is the image of Facts[i], inv the
+	// canonical→original constant table), so per-query marginals and the
+	// lazy Semantics materialization never re-run canonicalize. Set only
+	// alongside canon.
+	canonFacts []relation.Fact
+	inv        []intern.Sym
 
 	semOnce sync.Once
 	sem     *Semantics
+
+	// weights caches the local repair probabilities in repair order for
+	// SampleRepair, which draws from them on every call.
+	wOnce   sync.Once
+	weights []*big.Rat
 }
 
 // Semantics returns the component's exact local semantics, materializing
@@ -115,15 +128,27 @@ type Component struct {
 func (c *Component) Semantics() *Semantics {
 	c.semOnce.Do(func() {
 		if c.sem == nil {
-			_, _, inv := canonicalize(c.Facts)
-			ren := make(map[intern.Sym]intern.Sym, len(inv))
-			for i, orig := range inv {
+			ren := make(map[intern.Sym]intern.Sym, len(c.inv))
+			for i, orig := range c.inv {
 				ren[canonSym(i)] = orig
 			}
 			c.sem = renameSemantics(c.canon, ren)
 		}
 	})
 	return c.sem
+}
+
+// repairWeights returns the cached probability weights of the local
+// repairs, aligned with Semantics().Repairs.
+func (c *Component) repairWeights() []*big.Rat {
+	c.wOnce.Do(func() {
+		repairs := c.Semantics().Repairs
+		c.weights = make([]*big.Rat, len(repairs))
+		for i, r := range repairs {
+			c.weights[i] = r.P
+		}
+	})
+	return c.weights
 }
 
 // NumRepairs returns the number of distinct local repairs without
@@ -143,10 +168,9 @@ func (c *Component) NumRepairs() int {
 func (c *Component) marginal(fact relation.Fact) *big.Rat {
 	sem := c.sem
 	if c.canon != nil {
-		canonFacts, _, _ := canonicalize(c.Facts)
 		for i, cf := range c.Facts {
 			if cf == fact {
-				fact = canonFacts[i]
+				fact = c.canonFacts[i]
 				break
 			}
 		}
@@ -168,25 +192,87 @@ func (c *Component) marginal(fact relation.Fact) *big.Rat {
 // independent Semantics per conflict component. The full repair
 // distribution is the product distribution.
 type Factored struct {
-	inst *repair.Instance
-	gen  markov.Generator
+	initial *relation.Database
+	sigma   *constraint.Set
+	inst    *repair.Instance // set by ComputeFactored; rebuilt on demand otherwise
+	gen     markov.Generator
+	part    *abc.Partition
 	// Untouched holds the facts in no violation; they survive every
 	// deletion-only repair.
 	Untouched *relation.Database
 	// Components lists the conflict components in deterministic order
-	// (sorted by smallest fact).
+	// (sorted by smallest fact), aligned with Partition().Islands().
 	Components []*Component
-	// CacheHits and CacheMisses count the structural-cache outcomes of the
-	// ComputeFactored call: misses are the distinct canonical component
-	// shapes explored, hits the components served by renaming an already
-	// explored shape. Both are zero when the cache did not apply
-	// (non-structural generator, constants in Σ, or FactoredOptions.NoCache).
+	// CacheHits and CacheMisses count the structural-cache outcomes among
+	// the components this call explored: misses are the distinct canonical
+	// component shapes explored for the first time (in this call, for a
+	// persistent FactoredOptions.Cache), hits the components served by
+	// renaming an already explored shape. Both are zero when the cache did
+	// not apply (non-structural generator, constants in Σ, or
+	// FactoredOptions.NoCache).
 	CacheHits, CacheMisses int
+	// Reused counts the components carried over verbatim from the previous
+	// Factored by ComputeFactoredDelta — their conflict component was not
+	// touched by the delta, so the resident semantics is reused without any
+	// cache traffic. Zero for from-scratch builds; when the structural cache
+	// applies, Reused + CacheHits + CacheMisses == len(Components).
+	Reused int
+}
 
-	// compOf maps a fact (by interned id) to the index of its component,
-	// making FactProbability and atomic CP O(1) in the number of
-	// components.
-	compOf map[uint32]int
+// Partition returns the resident conflict partition the semantics is
+// aligned with; Components[i] covers Partition().Islands()[i].
+func (f *Factored) Partition() *abc.Partition { return f.part }
+
+// SemanticsCache is a persistent structural semantics cache: canonical
+// component shapes mapped to their explored local semantics. A zero of it
+// is created per call when FactoredOptions.Cache is nil; a long-lived
+// server passes one explicitly so isomorphic components pay a single DAG
+// exploration across deltas, not per build. A cache is valid only for a
+// fixed (Σ, generator, exploration options) configuration — entries are
+// keyed by component shape alone — and is safe for concurrent use.
+type SemanticsCache struct {
+	mu      sync.Mutex
+	calls   uint64
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	call uint64 // the cache call that created the entry, for hit accounting
+	sem  *Semantics
+	err  error
+}
+
+// NewSemanticsCache returns an empty cache.
+func NewSemanticsCache() *SemanticsCache {
+	return &SemanticsCache{entries: map[string]*cacheEntry{}}
+}
+
+// Len reports the number of distinct component shapes cached.
+func (c *SemanticsCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// begin opens an accounting scope: entries created under the returned call
+// number are this build's misses, everything older a hit.
+func (c *SemanticsCache) begin() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	return c.calls
+}
+
+func (c *SemanticsCache) entry(key string, call uint64) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{call: call}
+		c.entries[key] = e
+	}
+	return e
 }
 
 // FactoredOptions tunes ComputeFactoredOpts beyond the exploration options.
@@ -195,6 +281,40 @@ type FactoredOptions struct {
 	// generators; every component is explored directly. Benchmarks use it
 	// to isolate the cache's contribution.
 	NoCache bool
+	// Cache, when set, is the persistent structural cache to consult and
+	// populate instead of a per-call one, keeping isomorphic shapes warm
+	// across builds. Ignored under NoCache or a non-structural generator.
+	Cache *SemanticsCache
+}
+
+// FactDelta is one applied database change: a fact inserted or deleted.
+type FactDelta struct {
+	Fact   relation.Fact
+	Insert bool
+}
+
+// FactoredDelta describes how a database evolved from a previously computed
+// Factored, letting ComputeFactoredDelta rebuild the semantics with work
+// proportional to the touched conflict region.
+type FactoredDelta struct {
+	// Prev is the factored semantics of the pre-delta database. Nil means
+	// build from scratch (only Part is consulted).
+	Prev *Factored
+	// Part is the post-delta conflict partition, derived from Prev's by
+	// abc.Partition.Update along the applied operations. Islands carried
+	// from Prev's partition hold their Component as Payload and are reused
+	// verbatim; islands with a nil Payload are explored. The partition must
+	// come from the same lineage as Prev — and from builds with the same
+	// generator and exploration options — or the reused semantics would be
+	// silently wrong.
+	Part *abc.Partition
+	// Removed accumulates the islands dissolved by the Updates between
+	// Prev's partition and Part; their facts return to the untouched core
+	// when they are still present and conflict-free.
+	Removed []*abc.Island
+	// Ops are the applied changes, in order (as reported changed by
+	// Database.Insert/Delete).
+	Ops []FactDelta
 }
 
 // ComputeFactored builds the factorized semantics. It requires a
@@ -209,7 +329,36 @@ func ComputeFactored(inst *repair.Instance, g LocalGenerator, opt markov.Explore
 
 // ComputeFactoredOpts is ComputeFactored with explicit factored options.
 func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.ExploreOptions, fopt FactoredOptions) (*Factored, error) {
-	for _, c := range inst.Sigma().All() {
+	// The root state caches V(D,Σ); reuse it instead of re-running the
+	// homomorphism search, and form components with the id-keyed
+	// union-find of the abc package.
+	part := abc.NewPartition(inst.Root().Violations())
+	return buildFactored(inst.Initial(), inst.Sigma(), inst, g, opt, fopt, part, nil)
+}
+
+// ComputeFactoredDelta rebuilds the factorized semantics of db after a
+// delta: components untouched by the delta (d.Part islands carried from
+// d.Prev) are reused verbatim, and only the fresh islands are explored —
+// against the persistent structural cache when one is passed. db is the
+// post-delta database; with d.Prev nil this is a from-scratch build over
+// d.Part. The result is a pure function of (db, Σ, generator, options),
+// bit-identical to a from-scratch ComputeFactored on db for every worker
+// count, reuse pattern, and cache state.
+func ComputeFactoredDelta(db *relation.Database, sigma *constraint.Set, g LocalGenerator, opt markov.ExploreOptions, fopt FactoredOptions, d FactoredDelta) (*Factored, error) {
+	var delta *FactoredDelta
+	if d.Prev != nil {
+		delta = &d
+	}
+	return buildFactored(db, sigma, nil, g, opt, fopt, d.Part, delta)
+}
+
+// untouchedCompactLimit bounds the copy-on-write delta an incrementally
+// maintained untouched core may accumulate before it is folded into a fresh
+// snapshot; see relation.Database.Compact.
+const untouchedCompactLimit = 4096
+
+func buildFactored(db *relation.Database, sigma *constraint.Set, inst *repair.Instance, g LocalGenerator, opt markov.ExploreOptions, fopt FactoredOptions, part *abc.Partition, delta *FactoredDelta) (*Factored, error) {
+	for _, c := range sigma.All() {
 		if c.Kind() == constraint.TGD {
 			return nil, fmt.Errorf("%w: TGD %s allows insertions that may couple components", ErrNotFactorable, c)
 		}
@@ -218,33 +367,62 @@ func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.Exp
 		return nil, fmt.Errorf("%w: generator %s is not local", ErrNotFactorable, g.Name())
 	}
 
-	// The root state caches V(D,Σ); reuse it instead of re-running the
-	// homomorphism search, and form components with the id-keyed
-	// union-find of the abc package.
-	comps := abc.NewConflictGraph(inst.Root().Violations()).Components()
-
-	compOf := map[uint32]int{}
-	for i, facts := range comps {
-		for _, f := range facts {
-			compOf[f.ID()] = i
+	islands := part.Islands()
+	components := make([]*Component, len(islands))
+	var fresh []int
+	reused := 0
+	for i, isl := range islands {
+		if comp, ok := isl.Payload.(*Component); ok && delta != nil {
+			components[i] = comp
+			reused++
+		} else {
+			fresh = append(fresh, i)
 		}
 	}
 
-	// The untouched core is assembled into a fresh database (near-linear
-	// with copy-on-write auto-sealing) rather than cloning the initial
-	// database and deleting every conflicted fact, which is quadratic at
-	// scale.
-	untouched := relation.NewDatabase()
-	for _, f := range inst.Initial().Facts() {
-		if _, ok := compOf[f.ID()]; !ok {
-			untouched.Insert(f)
+	var untouched *relation.Database
+	if delta == nil {
+		// The untouched core is assembled into a fresh database (near-linear
+		// with copy-on-write auto-sealing) rather than cloning the initial
+		// database and deleting every conflicted fact, which is quadratic at
+		// scale.
+		untouched = relation.NewDatabase()
+		for _, f := range db.Facts() {
+			if part.IslandOf(f) == nil {
+				untouched.Insert(f)
+			}
 		}
+		untouched.Seal()
+	} else {
+		// Incremental maintenance, O(delta + touched region): apply the fact
+		// delta, return the facts of dissolved islands that ended up
+		// conflict-free, and evict the facts the fresh islands claimed.
+		untouched = delta.Prev.Untouched.Clone()
+		for _, op := range delta.Ops {
+			if op.Insert {
+				untouched.Insert(op.Fact)
+			} else {
+				untouched.Delete(op.Fact)
+			}
+		}
+		for _, isl := range delta.Removed {
+			for _, f := range isl.Facts {
+				if db.Contains(f) && part.IslandOf(f) == nil {
+					untouched.Insert(f)
+				}
+			}
+		}
+		for _, i := range fresh {
+			for _, f := range islands[i].Facts {
+				untouched.Delete(f)
+			}
+		}
+		untouched.Compact(untouchedCompactLimit)
 	}
-	untouched.Seal()
 
 	structural := false
 	if !fopt.NoCache {
-		if sg, ok := g.(StructuralGenerator); ok && sg.StructuralWeights() && len(inst.Sigma().ConstSyms()) == 0 {
+		if sg, ok := g.(StructuralGenerator); ok && sg.StructuralWeights() && len(sigma.ConstSyms()) == 0 {
 			structural = true
 		}
 	}
@@ -253,65 +431,80 @@ func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.Exp
 	// the component pool already saturates the CPUs, and the DAG result is
 	// bit-identical for every inner worker count.
 	inner := opt
-	if len(comps) > 1 {
+	if len(fresh) > 1 {
 		inner.Workers = 1
 	}
 
-	type cacheEntry struct {
-		once sync.Once
-		sem  *Semantics
-		err  error
+	var cache *SemanticsCache
+	var call uint64
+	if structural {
+		cache = fopt.Cache
+		if cache == nil {
+			cache = NewSemanticsCache()
+		}
+		call = cache.begin()
 	}
-	var cacheMu sync.Mutex
-	cache := map[string]*cacheEntry{}
 
-	components := make([]*Component, len(comps))
-	errs := make([]error, len(comps))
-	work := func(i int) {
-		facts := comps[i]
+	// The per-component key/entry record only feeds the deterministic
+	// hit/miss split for persistent caches; a per-call cache starts empty,
+	// so there its misses are exactly the distinct shapes it ends up
+	// holding and the bookkeeping is skipped.
+	persistent := structural && fopt.Cache != nil
+	var keys []string
+	var entries []*cacheEntry
+	if persistent {
+		keys = make([]string, len(fresh))
+		entries = make([]*cacheEntry, len(fresh))
+	}
+	errs := make([]error, len(fresh))
+	work := func(fi int) {
+		i := fresh[fi]
+		facts := islands[i].Facts
 		c := &Component{Facts: facts}
 		if structural {
-			canonFacts, key, _ := canonicalize(facts)
-			cacheMu.Lock()
-			e, ok := cache[key]
-			if !ok {
-				e = &cacheEntry{}
-				cache[key] = e
+			canonFacts, key, inv, ren := canonicalize(facts)
+			e := cache.entry(key, call)
+			if persistent {
+				keys[fi], entries[fi] = key, e
 			}
-			cacheMu.Unlock()
 			// The exploration runs on the canonical instance — a pure
 			// function of the cache key — so every isomorphic component
 			// observes the identical shared semantics regardless of which
 			// one arrived first.
 			e.once.Do(func() {
-				e.sem, e.err = computeComponent(inst, g, inner, canonFacts)
+				e.sem, e.err = computeComponent(sigma, g, inner, canonFacts, renameViolations(islands[i].Violations(), ren))
 			})
 			if e.err != nil {
-				errs[i] = fmt.Errorf("component %s: %w", relation.FactsString(facts), e.err)
+				errs[fi] = fmt.Errorf("component %s: %w", relation.FactsString(facts), e.err)
 				return
 			}
 			c.canon = e.sem
+			c.canonFacts, c.inv = canonFacts, inv
 		} else {
-			sem, err := computeComponent(inst, g, inner, facts)
+			sem, err := computeComponent(sigma, g, inner, facts, constraint.ViolationsOf(islands[i].Violations()))
 			if err != nil {
-				errs[i] = fmt.Errorf("component %s: %w", relation.FactsString(facts), err)
+				errs[fi] = fmt.Errorf("component %s: %w", relation.FactsString(facts), err)
 				return
 			}
 			c.sem = sem
 		}
 		components[i] = c
+		// Resident partitions carry the component to later delta builds;
+		// islands are private to this build until the caller publishes, so
+		// the write is unsynchronized but unshared.
+		islands[i].Payload = c
 	}
 
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(comps) {
-		workers = len(comps)
+	if workers > len(fresh) {
+		workers = len(fresh)
 	}
 	if workers <= 1 {
-		for i := range comps {
-			work(i)
+		for fi := range fresh {
+			work(fi)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -320,13 +513,13 @@ func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.Exp
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					work(i)
+				for fi := range next {
+					work(fi)
 				}
 			}()
 		}
-		for i := range comps {
-			next <- i
+		for fi := range fresh {
+			next <- fi
 		}
 		close(next)
 		wg.Wait()
@@ -339,22 +532,68 @@ func ComputeFactoredOpts(inst *repair.Instance, g LocalGenerator, opt markov.Exp
 		}
 	}
 
-	out := &Factored{inst: inst, gen: g, Untouched: untouched, Components: components, compOf: compOf}
-	if structural {
-		out.CacheMisses = len(cache)
-		out.CacheHits = len(comps) - len(cache)
+	out := &Factored{initial: db, sigma: sigma, inst: inst, gen: g, part: part, Untouched: untouched, Components: components, Reused: reused}
+	switch {
+	case persistent:
+		// Deterministic accounting regardless of worker scheduling: the
+		// first fresh component of a shape explored this call is the miss,
+		// every other one a hit.
+		distinct := map[string]bool{}
+		for fi := range fresh {
+			if distinct[keys[fi]] {
+				out.CacheHits++
+				continue
+			}
+			distinct[keys[fi]] = true
+			if entries[fi].call == call {
+				out.CacheMisses++
+			} else {
+				out.CacheHits++
+			}
+		}
+	case structural:
+		out.CacheMisses = cache.Len()
+		out.CacheHits = len(fresh) - out.CacheMisses
 	}
 	return out, nil
 }
 
-// computeComponent explores one component in isolation.
-func computeComponent(inst *repair.Instance, g markov.Generator, opt markov.ExploreOptions, facts []relation.Fact) (*Semantics, error) {
+// computeComponent explores one component in isolation. vios, when
+// non-nil, is the component's violation set V(facts,Σ), seeded into the
+// instance so the exploration skips the from-scratch homomorphism search —
+// the island that induced the component already carries exactly those
+// violations.
+func computeComponent(sigma *constraint.Set, g markov.Generator, opt markov.ExploreOptions, facts []relation.Fact, vios *constraint.Violations) (*Semantics, error) {
 	sub := relation.FromFacts(facts...)
-	subInst, err := repair.NewInstance(sub, inst.Sigma())
+	subInst, err := repair.NewInstance(sub, sigma)
 	if err != nil {
 		return nil, err
 	}
+	if vios != nil {
+		subInst.SeedRootViolations(vios)
+	}
 	return Compute(subInst, g, opt)
+}
+
+// renameViolations maps an island's violations into the canonical constant
+// space of its cache key. On the structural path Σ mentions no constants
+// and the first-occurrence renaming is injective, so each image is a
+// violation of the canonical instance and together they are exactly
+// V(canon,Σ): every isomorphic island renames to the identical set, making
+// the seed independent of which component populates the cache entry.
+func renameViolations(vios []constraint.Violation, ren map[intern.Sym]intern.Sym) *constraint.Violations {
+	out := make([]constraint.Violation, len(vios))
+	for i, v := range vios {
+		h := make(logic.Subst, len(v.H))
+		for x, a := range v.H {
+			if c, ok := ren[a]; ok {
+				a = c
+			}
+			h[x] = a
+		}
+		out[i] = constraint.NewViolation(v.Constraint, h)
+	}
+	return constraint.ViolationsOf(out)
 }
 
 // canonSyms is the process-wide table of canonical constants ⟨0⟩, ⟨1⟩, …
@@ -379,10 +618,11 @@ func canonSym(i int) intern.Sym {
 // (aligned by index with the input), the packed cache key (the canonical
 // fact ids — equal keys imply the fact lists are isomorphic up to constant
 // renaming, since both first-occurrence renamings are injective and
-// compose into an isomorphism), and the inverse renaming (canonical index
-// → original constant).
-func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv []intern.Sym) {
-	ren := map[intern.Sym]intern.Sym{}
+// compose into an isomorphism), the inverse renaming (canonical index →
+// original constant), and the forward renaming map (original constant →
+// canonical constant).
+func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv []intern.Sym, ren map[intern.Sym]intern.Sym) {
+	ren = map[intern.Sym]intern.Sym{}
 	canon = make([]relation.Fact, len(facts))
 	buf := make([]byte, 0, 4*len(facts))
 	for i, f := range facts {
@@ -402,7 +642,7 @@ func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv
 		id := cf.ID()
 		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 	}
-	return canon, string(buf), inv
+	return canon, string(buf), inv, ren
 }
 
 // renameSemantics deep-copies a semantics with every repair fact's
@@ -474,13 +714,13 @@ func (f *Factored) NumRepairs() *big.Int {
 // FactProbability returns the exact probability that the fact appears in an
 // operational repair: 1 for untouched facts, the component-local marginal
 // for conflicted facts, and 0 for facts absent from the database. The
-// component is found through the fact-id index built by ComputeFactored,
+// component is found through the partition's resident fact→island index,
 // so the lookup is O(|component repairs|) regardless of the number of
 // components. This answers atomic queries exactly in time polynomial in
 // the component sizes even when the full repair count is astronomical.
 func (f *Factored) FactProbability(fact relation.Fact) *big.Rat {
-	if ci, ok := f.compOf[fact.ID()]; ok {
-		return f.Components[ci].marginal(fact)
+	if isl := f.part.IslandOf(fact); isl != nil {
+		return isl.Payload.(*Component).marginal(fact)
 	}
 	if f.Untouched.Contains(fact) {
 		return prob.One()
@@ -696,7 +936,15 @@ func (f *Factored) atomicOCA(q *fo.Query) (*AnswerSet, bool) {
 		}
 	}
 	out := &AnswerSet{Query: q}
-	for _, fact := range f.inst.Initial().FactsByPred(atom.A.Pred) {
+	db := f.initial
+	if !db.Sealed() {
+		// A database with a pending delta is single-owner (even reads
+		// populate merged per-predicate views), and served snapshots keep
+		// theirs unsealed so publication stays O(delta); concurrent readers
+		// scan a private O(delta) clone instead.
+		db = db.Clone()
+	}
+	for _, fact := range db.FactsByPred(atom.A.Pred) {
 		fargs := fact.Args()
 		if len(fargs) != len(atom.A.Args) {
 			continue
@@ -808,11 +1056,7 @@ func (f *Factored) SampleRepair(rng *rand.Rand) *relation.Database {
 	db := f.Untouched.Clone()
 	for _, c := range f.Components {
 		repairs := c.Semantics().Repairs
-		weights := make([]*big.Rat, len(repairs))
-		for i, r := range repairs {
-			weights[i] = r.P
-		}
-		pick := repairs[prob.Pick(rng, weights)]
+		pick := repairs[prob.Pick(rng, c.repairWeights())]
 		for _, fact := range pick.DB.Facts() {
 			db.Insert(fact)
 		}
@@ -841,5 +1085,13 @@ func (f *Factored) EstimateCP(q *fo.Query, tuple []string, eps, delta float64, s
 // Monolithic recomputes the unfactored semantics (for tests and the
 // ablation benchmarks).
 func (f *Factored) Monolithic(opt markov.ExploreOptions) (*Semantics, error) {
-	return Compute(f.inst, f.gen, opt)
+	inst := f.inst
+	if inst == nil {
+		var err error
+		inst, err = repair.NewInstance(f.initial, f.sigma)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Compute(inst, f.gen, opt)
 }

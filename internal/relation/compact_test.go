@@ -1,0 +1,37 @@
+package relation
+
+import "testing"
+
+// TestSealedCompact: Sealed tracks the copy-on-write delta, and Compact
+// folds it only past the limit — the publication policy long-lived writers
+// (internal/serve) rely on to keep reader clones O(delta).
+func TestSealedCompact(t *testing.T) {
+	d := FromFacts(NewFact("R", "a", "b"), NewFact("R", "c", "d"))
+	d.Seal()
+	if !d.Sealed() {
+		t.Fatal("sealed database does not report sealed")
+	}
+	c := d.Clone()
+	c.Insert(NewFact("R", "e", "f"))
+	if c.Sealed() {
+		t.Fatal("clone with a pending insert reports sealed")
+	}
+	if c.Compact(8) {
+		t.Fatal("Compact folded below the limit")
+	}
+	if c.Sealed() {
+		t.Fatal("Compact below the limit must not seal")
+	}
+	if !c.Compact(0) {
+		t.Fatal("Compact above the limit did not fold")
+	}
+	if !c.Sealed() || c.DeltaSize() != 0 {
+		t.Fatalf("after Compact: sealed=%v delta=%d", c.Sealed(), c.DeltaSize())
+	}
+	if c.Size() != 3 || !c.Contains(NewFact("R", "e", "f")) {
+		t.Fatal("Compact lost facts")
+	}
+	if d.Size() != 2 {
+		t.Fatal("Compact of the clone disturbed the parent")
+	}
+}

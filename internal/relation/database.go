@@ -3,6 +3,7 @@ package relation
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/intern"
 	"repro/internal/logic"
@@ -18,6 +19,26 @@ type snapshot struct {
 	domSyms []intern.Sym              // sorted by symbol id
 	domCnt  []int32                   // parallel occurrence counts
 	size    int
+
+	// sorted caches the canonical fact order, computed once per snapshot
+	// and shared by every sealed database over it; Facts on a sealed
+	// database copies it instead of re-sorting.
+	sortedOnce sync.Once
+	sorted     []Fact
+}
+
+// sortedFacts returns the snapshot's facts in canonical order; the shared
+// slice must not be modified.
+func (s *snapshot) sortedFacts() []Fact {
+	s.sortedOnce.Do(func() {
+		out := make([]Fact, 0, s.size)
+		for _, fs := range s.byPred {
+			out = append(out, fs...)
+		}
+		SortFacts(out)
+		s.sorted = out
+	})
+	return s.sorted
 }
 
 var emptySnapshot = &snapshot{}
@@ -376,8 +397,15 @@ func (d *Database) forEach(fn func(Fact)) {
 	}
 }
 
-// Facts returns all facts in canonical order.
+// Facts returns all facts in canonical order. On a sealed database the
+// order is served from the snapshot's cached sort.
 func (d *Database) Facts() []Fact {
+	if d.Sealed() {
+		cached := d.snap.sortedFacts()
+		out := make([]Fact, len(cached))
+		copy(out, cached)
+		return out
+	}
 	out := make([]Fact, 0, d.size)
 	d.forEach(func(f Fact) { out = append(out, f) })
 	SortFacts(out)
@@ -509,6 +537,25 @@ func (d *Database) Seal() {
 // DeltaSize reports the number of facts in the copy-on-write delta; for
 // diagnostics and tests.
 func (d *Database) DeltaSize() int { return len(d.added) + len(d.removed) }
+
+// Sealed reports whether the database is an unmodified snapshot (empty
+// delta). A sealed database is safe for concurrent readers; an unsealed one
+// is single-owner, because even read methods may populate internal caches.
+func (d *Database) Sealed() bool { return len(d.added) == 0 && len(d.removed) == 0 }
+
+// Compact folds the delta into a fresh snapshot once it exceeds limit
+// facts, reporting whether it sealed. Long-lived writers that publish
+// snapshots per update call this instead of Seal: small deltas stay O(delta)
+// to clone and publish, and the occasional O(|D|) fold keeps the delta —
+// and hence every later Clone — bounded. The caller must be the only
+// writer.
+func (d *Database) Compact(limit int) bool {
+	if d.DeltaSize() <= limit {
+		return false
+	}
+	d.Seal()
+	return true
+}
 
 // Equal reports whether two databases contain exactly the same facts.
 func (d *Database) Equal(o *Database) bool {

@@ -124,6 +124,16 @@ func (in *Instance) justifiedDeletions(v constraint.Violation) []ops.Op {
 	return computed
 }
 
+// SeedRootViolations installs a precomputed V(D,Σ) for the root state,
+// skipping the from-scratch homomorphism search of the first Root call.
+// The set must be exactly the violations of the initial database — callers
+// that factor a database into conflict components already hold each
+// component's violations and seed them here. A no-op if the root
+// violations were already computed.
+func (in *Instance) SeedRootViolations(vs *constraint.Violations) {
+	in.rootVioOnce.Do(func() { in.rootViolations = vs })
+}
+
 // Root returns the state of the empty repairing sequence ε. The root's
 // violation set is computed once per instance and shared by every root
 // state (walks start from identical roots), so repeated walks skip the

@@ -1,0 +1,51 @@
+// Package serve is the resident OCQA engine behind cmd/ocqad: it keeps a
+// database, its violations, the conflict partition, and the factored
+// repair semantics live in memory, answers queries from snapshots that
+// never block, and absorbs fact insertions and retractions with work
+// proportional to the delta — not the database.
+//
+// # Key pieces
+//
+//   - Server: the engine. A single writer goroutine applies ingested
+//     batches; queries read the current Snapshot through an atomic
+//     pointer.
+//   - Snapshot: one immutable serving state (database, violations,
+//     partition, factored semantics). Readers may hold one across
+//     ingests; superseded snapshots stay fully queryable.
+//   - Op / Ingest: the write path. Each operation runs the fused pipeline
+//     relation.Database.Clone (O(delta) copy-on-write) →
+//     constraint.UpdateViolationsDelta (semi-naive violation maintenance)
+//     → abc.Partition.Update (re-partitions only the touched region) →
+//     core.ComputeFactoredDelta (re-explores only dissolved components,
+//     carrying every untouched component's semantics verbatim).
+//   - Handler: the HTTP/JSON surface (/healthz, /v1/stats, /v1/ingest,
+//     /v1/query, /v1/fact); every response carries the snapshot version
+//     it was answered from.
+//
+// # Invariants
+//
+//   - Served answers are bit-identical to computing core.ComputeFactored
+//     from scratch on the post-delta database, for every Workers setting:
+//     component reuse is exact (a component whose facts and violations
+//     are untouched has the same local semantics), and the exact
+//     rational arithmetic is order-independent.
+//   - Batches are atomic: a reader sees either none or all of a batch,
+//     and the Snapshot's database, violations, partition, and semantics
+//     are always mutually consistent.
+//   - The structural semantics cache (core.SemanticsCache) is shared
+//     across all deltas of a Server, so recomputed components isomorphic
+//     to anything previously explored cost a renaming, not a DAG
+//     exploration. Σ must therefore stay fixed for the Server's lifetime
+//     (it does: Server has no way to change it).
+//   - Non-atomic queries that overflow the exact enumeration budget
+//     degrade to the (ε, δ) sampling estimator instead of failing; the
+//     response's exact flag reports which route answered.
+//
+// # Neighbors
+//
+// Below: internal/core (factored semantics and delta recomputation),
+// internal/abc (resident partition), internal/constraint (violation
+// maintenance), internal/relation (copy-on-write databases),
+// internal/parse (the HTTP text syntax). Above: cmd/ocqad, the CLI
+// binary that wires a corpus into a listening server.
+package serve

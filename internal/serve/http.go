@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/parse"
+	"repro/internal/relation"
+)
+
+// This file is the HTTP/JSON surface over Server. Every query answers from
+// the snapshot current at arrival and reports its version, so clients can
+// correlate answers with the ingests they observed. Probabilities are
+// reported both exactly (the rational "num/den") and as a float
+// convenience.
+
+// IngestRequest is the body of POST /v1/ingest. Facts are written in the
+// text syntax of the corpus files, e.g. "E(a,b)", one per entry.
+// Deletions are applied before insertions; within each list, order is
+// preserved. The whole batch becomes visible atomically.
+type IngestRequest struct {
+	Insert []string `json:"insert,omitempty"`
+	Delete []string `json:"delete,omitempty"`
+}
+
+// IngestResponse reports the snapshot that includes the batch.
+type IngestResponse struct {
+	Version uint64 `json:"version"`
+	Stats   Stats  `json:"stats"`
+}
+
+// QueryRequest is the body of POST /v1/query: a first-order query in the
+// corpus syntax ("Q(x) :- E(x,y)."). With Tuple set, the response is that
+// tuple's conditional probability; without, the full answer set.
+type QueryRequest struct {
+	Query string   `json:"query"`
+	Tuple []string `json:"tuple,omitempty"`
+}
+
+// Probability is an exact rational with a float rendering.
+type Probability struct {
+	Rat   string  `json:"rat"`
+	Float float64 `json:"float"`
+}
+
+func newProbability(p *big.Rat) Probability {
+	f, _ := p.Float64()
+	return Probability{Rat: p.RatString(), Float: f}
+}
+
+// QueryResponse answers POST /v1/query. Exact is false when the query
+// overflowed the enumeration budget and degraded to the (ε, δ) estimator.
+type QueryResponse struct {
+	Version uint64        `json:"version"`
+	Exact   bool          `json:"exact"`
+	P       *Probability  `json:"p,omitempty"`
+	Answers []QueryAnswer `json:"answers,omitempty"`
+}
+
+// QueryAnswer is one tuple of an answer set.
+type QueryAnswer struct {
+	Tuple []string    `json:"tuple"`
+	P     Probability `json:"p"`
+}
+
+// FactRequest is the body of POST /v1/fact: one fact in text syntax.
+type FactRequest struct {
+	Fact string `json:"fact"`
+}
+
+// FactResponse reports the fact's exact survival probability.
+type FactResponse struct {
+	Version uint64      `json:"version"`
+	P       Probability `json:"p"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseFact parses one fact in the corpus text syntax ("E(a,b)").
+func parseFact(s string) (relation.Fact, error) {
+	db, err := parse.Database(s + ".")
+	if err != nil {
+		return relation.Fact{}, fmt.Errorf("bad fact %q: %w", s, err)
+	}
+	facts := db.Facts()
+	if len(facts) != 1 {
+		return relation.Fact{}, fmt.Errorf("bad fact %q: expected exactly one fact, got %d", s, len(facts))
+	}
+	return facts[0], nil
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz   — liveness; returns "ok".
+//	GET  /v1/stats  — current snapshot statistics.
+//	POST /v1/ingest — apply a batch of insertions and deletions atomically.
+//	POST /v1/query  — conditional probability of a tuple, or the answer set.
+//	POST /v1/fact   — exact survival probability of one fact.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req IngestRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		ops := make([]Op, 0, len(req.Delete)+len(req.Insert))
+		for _, s := range req.Delete {
+			f, err := parseFact(s)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			ops = append(ops, Op{Fact: f})
+		}
+		for _, s := range req.Insert {
+			f, err := parseFact(s)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			ops = append(ops, Op{Fact: f, Insert: true})
+		}
+		snap, err := s.Ingest(ops)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, IngestResponse{Version: snap.Version(), Stats: snap.Stats()})
+	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		q, err := parse.Query(req.Query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad query: %w", err))
+			return
+		}
+		if req.Tuple != nil {
+			p, exact, version, err := s.CP(q, req.Tuple)
+			if err != nil {
+				writeQueryError(w, err)
+				return
+			}
+			pr := newProbability(p)
+			writeJSON(w, http.StatusOK, QueryResponse{Version: version, Exact: exact, P: &pr})
+			return
+		}
+		as, version, err := s.OCA(q)
+		if err != nil {
+			writeQueryError(w, err)
+			return
+		}
+		resp := QueryResponse{Version: version, Exact: true, Answers: []QueryAnswer{}}
+		for _, a := range as.Answers {
+			resp.Answers = append(resp.Answers, QueryAnswer{Tuple: a.Tuple, P: newProbability(a.P)})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/fact", func(w http.ResponseWriter, r *http.Request) {
+		var req FactRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		f, err := parseFact(req.Fact)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		p, version := s.FactProbability(f)
+		writeJSON(w, http.StatusOK, FactResponse{Version: version, P: newProbability(p)})
+	})
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, core.ErrEnumerationBudget) {
+		// Non-atomic OCA past the exact budget has no estimator; report the
+		// budget overflow distinctly so clients can narrow the query.
+		status = http.StatusUnprocessableEntity
+	}
+	writeError(w, status, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,137 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/generators"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func httpFixture(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	db, sigma := workload.Islands(workload.IslandsConfig{Islands: 3, FactsPerIsland: 3, IsoRatio: 1, Seed: 2})
+	s, err := serve.New(db, sigma, generators.Uniform{}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.Handler(s))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, req any, status int, resp any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != status {
+		t.Fatalf("%s: HTTP %d, want %d", url, r.StatusCode, status)
+	}
+	if resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHTTPRoundTrip drives the full API surface: health, stats, a fact
+// probe, an ingest that flips the probe's answer, a tuple query, and an
+// answer-set query — checking versions advance and answers change with the
+// data.
+func TestHTTPRoundTrip(t *testing.T) {
+	_, ts := httpFixture(t)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", r.StatusCode, err)
+	}
+	r.Body.Close()
+
+	var st serve.Stats
+	res, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if st.Version != 0 || st.Components != 3 {
+		t.Fatalf("initial stats: %+v", st)
+	}
+
+	// The first island is the chain n000→n001→n002; its head survives the
+	// walk-induced repairs with some probability strictly inside (0, 1).
+	probe := "E(i00000000_n000, i00000000_n001)"
+	var fr serve.FactResponse
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: probe}, http.StatusOK, &fr)
+	if fr.Version != 0 || fr.P.Float <= 0 || fr.P.Float >= 1 {
+		t.Fatalf("conflicted fact probe: %+v", fr)
+	}
+
+	// Deleting the island's other edge frees the probed fact: no violation
+	// touches it anymore, so its probability becomes exactly 1.
+	var ir serve.IngestResponse
+	postJSON(t, ts.URL+"/v1/ingest", serve.IngestRequest{
+		Delete: []string{"E(i00000000_n001, i00000000_n002)"},
+	}, http.StatusOK, &ir)
+	if ir.Version != 1 {
+		t.Fatalf("ingest version = %d, want 1", ir.Version)
+	}
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: probe}, http.StatusOK, &fr)
+	if fr.Version != 1 || fr.P.Rat != "1" {
+		t.Fatalf("freed fact probe: %+v", fr)
+	}
+
+	var qr serve.QueryResponse
+	postJSON(t, ts.URL+"/v1/query", serve.QueryRequest{
+		Query: "Q(X,Y) := E(X,Y).",
+		Tuple: []string{"i00000000_n000", "i00000000_n001"},
+	}, http.StatusOK, &qr)
+	if !qr.Exact || qr.P == nil || qr.P.Rat != "1" {
+		t.Fatalf("tuple query: %+v", qr)
+	}
+
+	postJSON(t, ts.URL+"/v1/query", serve.QueryRequest{Query: "Q(X,Y) := E(X,Y)."}, http.StatusOK, &qr)
+	if !qr.Exact || len(qr.Answers) == 0 {
+		t.Fatalf("answer-set query: %+v", qr)
+	}
+	found := false
+	for _, a := range qr.Answers {
+		if len(a.Tuple) == 2 && a.Tuple[0] == "i00000000_n000" && a.P.Rat == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("answer set misses the certain tuple: %+v", qr.Answers)
+	}
+}
+
+// TestHTTPErrors pins the failure surface: malformed facts and queries are
+// 400s with a JSON error, unknown fields are rejected, and absent facts
+// answer probability 0 rather than erroring.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := httpFixture(t)
+
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "not a fact("}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/query", serve.QueryRequest{Query: "nope("}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/ingest", serve.IngestRequest{Insert: []string{"E(a"}}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/v1/ingest", map[string]any{"bogus": 1}, http.StatusBadRequest, nil)
+
+	var fr serve.FactResponse
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "E(ghost, town)"}, http.StatusOK, &fr)
+	if fr.P.Rat != "0" {
+		t.Fatalf("absent fact: %+v", fr)
+	}
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/abc"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/markov"
+	"repro/internal/relation"
+)
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options tunes a Server.
+type Options struct {
+	// Workers sizes the component worker pool of each recompute (≤ 0 means
+	// GOMAXPROCS). Served answers are bit-identical for every value.
+	Workers int
+	// MaxStates bounds each component's DAG exploration (0 = unbounded).
+	MaxStates int
+	// Eps and Delta are the sampling guarantee used when a non-atomic query
+	// overflows the exact enumeration budget and degrades to the (ε, δ)
+	// estimator; they default to 0.05 each.
+	Eps, Delta float64
+	// Seed seeds the degradation estimator, so a query repeated against the
+	// same snapshot returns the same estimate.
+	Seed int64
+	// CompactLimit bounds the copy-on-write delta a served database may
+	// accumulate before publication folds it into a fresh snapshot
+	// (default 4096). Smaller keeps reader clones cheaper; larger amortizes
+	// the O(|D|) fold over more ingests.
+	CompactLimit int
+	// QueueDepth sizes the ingest queue feeding the writer goroutine
+	// (default 64).
+	QueueDepth int
+	// NoCache disables the structural semantics cache (cold-cache
+	// benchmarks and the trust-style generators that bypass it anyway).
+	NoCache bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 0.05
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.05
+	}
+	if o.CompactLimit <= 0 {
+		o.CompactLimit = 4096
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Op is one ingested change: a fact inserted or retracted.
+type Op struct {
+	Fact   relation.Fact
+	Insert bool
+}
+
+// Stats describes a published snapshot.
+type Stats struct {
+	// Version counts the published snapshots (0 = the initial build).
+	Version uint64 `json:"version"`
+	// Facts, Violations, and Components size the snapshot.
+	Facts      int `json:"facts"`
+	Violations int `json:"violations"`
+	Components int `json:"components"`
+	// Untouched counts the facts outside every conflict component.
+	Untouched int `json:"untouched"`
+	// Reused, Recomputed, CacheHits, and CacheMisses describe the build
+	// that published this snapshot: components carried verbatim from the
+	// previous snapshot, components explored, and the structural-cache
+	// traffic among the explored ones.
+	Reused      int `json:"reused"`
+	Recomputed  int `json:"recomputed"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// CumOps and CumRecomputed accumulate applied operations and component
+	// recomputes across the server's lifetime.
+	CumOps        uint64 `json:"cum_ops"`
+	CumRecomputed uint64 `json:"cum_recomputed"`
+	// CacheShapes is the number of distinct component shapes resident in
+	// the structural cache.
+	CacheShapes int `json:"cache_shapes"`
+}
+
+// Snapshot is one published, immutable serving state: the database, its
+// violations, the conflict partition, and the factored semantics, all
+// consistent with each other. Readers obtain one via Server.Snapshot and
+// may query it for as long as they like — later ingests publish new
+// snapshots without invalidating old ones.
+type Snapshot struct {
+	DB         *relation.Database
+	Violations *constraint.Violations
+	Part       *abc.Partition
+	Fac        *core.Factored
+	stats      Stats
+}
+
+// Version returns the snapshot's publication version.
+func (sn *Snapshot) Version() uint64 { return sn.stats.Version }
+
+// Stats returns the snapshot's statistics.
+func (sn *Snapshot) Stats() Stats { return sn.stats }
+
+// Server is a resident OCQA engine: it holds the current Snapshot behind an
+// atomic pointer (readers never block, never see a half-applied ingest) and
+// funnels all ingests through a single writer goroutine that re-maintains
+// violations, the conflict partition, and the factored semantics with work
+// proportional to the delta's touched region. The structural semantics
+// cache stays warm across deltas, so a recomputed component that is
+// isomorphic to anything ever explored costs one renaming, not a DAG
+// exploration.
+type Server struct {
+	sigma *constraint.Set
+	gen   core.LocalGenerator
+	opts  Options
+	cache *core.SemanticsCache
+
+	cur atomic.Pointer[Snapshot]
+
+	mu            sync.Mutex // serializes apply; the writer loop is the usual sole caller
+	cumOps        uint64
+	cumRecomputed uint64
+
+	reqs      chan ingestReq
+	done      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+}
+
+type applyResult struct {
+	snap *Snapshot
+	err  error
+}
+
+type ingestReq struct {
+	ops   []Op
+	reply chan applyResult
+}
+
+// New builds the initial snapshot from the database (which is copied, not
+// retained) and starts the writer goroutine. The generator must be local
+// (the factored engine's requirement) and Σ must be TGD-free.
+func New(db *relation.Database, sigma *constraint.Set, gen core.LocalGenerator, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		sigma:    sigma,
+		gen:      gen,
+		opts:     opts,
+		cache:    core.NewSemanticsCache(),
+		reqs:     make(chan ingestReq, opts.QueueDepth),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	initial := db.Clone()
+	initial.Seal()
+	vs := constraint.FindViolations(initial, sigma)
+	part := abc.NewPartition(vs)
+	fac, err := core.ComputeFactoredDelta(initial, sigma, gen, s.explore(), s.fopt(), core.FactoredDelta{Part: part})
+	if err != nil {
+		return nil, err
+	}
+	s.cumRecomputed = uint64(len(fac.Components))
+	snap := &Snapshot{DB: initial, Violations: vs, Part: part, Fac: fac}
+	snap.stats = s.statsFor(snap, 0)
+	s.cur.Store(snap)
+	go s.loop()
+	return s, nil
+}
+
+func (s *Server) explore() markov.ExploreOptions {
+	return markov.ExploreOptions{MaxStates: s.opts.MaxStates, Workers: s.opts.Workers}
+}
+
+func (s *Server) fopt() core.FactoredOptions {
+	return core.FactoredOptions{NoCache: s.opts.NoCache, Cache: s.cache}
+}
+
+func (s *Server) statsFor(snap *Snapshot, version uint64) Stats {
+	return Stats{
+		Version:       version,
+		Facts:         snap.DB.Size(),
+		Violations:    snap.Violations.Len(),
+		Components:    len(snap.Fac.Components),
+		Untouched:     snap.Fac.Untouched.Size(),
+		Reused:        snap.Fac.Reused,
+		Recomputed:    len(snap.Fac.Components) - snap.Fac.Reused,
+		CacheHits:     snap.Fac.CacheHits,
+		CacheMisses:   snap.Fac.CacheMisses,
+		CumOps:        s.cumOps,
+		CumRecomputed: s.cumRecomputed,
+		CacheShapes:   s.cache.Len(),
+	}
+}
+
+// Snapshot returns the current published state; never nil, never blocks.
+func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
+
+// Stats returns the current snapshot's statistics.
+func (s *Server) Stats() Stats { return s.cur.Load().stats }
+
+// Ingest hands the batch to the writer goroutine and waits for the snapshot
+// that includes it. Batches from concurrent callers are applied in queue
+// order, each atomically: readers see either none or all of a batch.
+func (s *Server) Ingest(ops []Op) (*Snapshot, error) {
+	req := ingestReq{ops: ops, reply: make(chan applyResult, 1)}
+	select {
+	case s.reqs <- req:
+	case <-s.done:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-req.reply:
+		return r.snap, r.err
+	case <-s.loopDone:
+		// The loop drained the queue on shutdown; it may have answered this
+		// request on its way out.
+		select {
+		case r := <-req.reply:
+			return r.snap, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close stops the writer goroutine; pending ingests fail with ErrClosed.
+// Queries keep answering from the last published snapshot.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	<-s.loopDone
+}
+
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case req := <-s.reqs:
+			snap, err := s.apply(req.ops)
+			req.reply <- applyResult{snap, err}
+		case <-s.done:
+			for {
+				select {
+				case req := <-s.reqs:
+					req.reply <- applyResult{nil, ErrClosed}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply advances the served state by one batch: an O(delta) clone of the
+// current database, fused violation maintenance and partition updates per
+// operation, then a delta-scoped factored rebuild that reuses every
+// untouched component. The new snapshot is published atomically; the
+// previous one stays valid for readers still holding it.
+func (s *Server) apply(ops []Op) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	db := cur.DB.Clone()
+	vs := cur.Violations
+	part := cur.Part
+	var removed []*abc.Island
+	var applied []core.FactDelta
+	for _, op := range ops {
+		var changed bool
+		if op.Insert {
+			changed = db.Insert(op.Fact)
+		} else {
+			changed = db.Delete(op.Fact)
+		}
+		if !changed {
+			continue
+		}
+		cf := []relation.Fact{op.Fact}
+		after, elim, intro := constraint.UpdateViolationsDelta(db, s.sigma, vs, cf, op.Insert)
+		vs = after
+		var rem []*abc.Island
+		part, _, rem = part.Update(elim, intro, cf)
+		removed = append(removed, rem...)
+		applied = append(applied, core.FactDelta{Fact: op.Fact, Insert: op.Insert})
+	}
+	if len(applied) == 0 {
+		return cur, nil
+	}
+	db.Compact(s.opts.CompactLimit)
+	fac, err := core.ComputeFactoredDelta(db, s.sigma, s.gen, s.explore(), s.fopt(), core.FactoredDelta{
+		Prev:    cur.Fac,
+		Part:    part,
+		Removed: removed,
+		Ops:     applied,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cumOps += uint64(len(applied))
+	s.cumRecomputed += uint64(len(fac.Components) - fac.Reused)
+	next := &Snapshot{DB: db, Violations: vs, Part: part, Fac: fac}
+	next.stats = s.statsFor(next, cur.stats.Version+1)
+	s.cur.Store(next)
+	return next, nil
+}
+
+// FactProbability answers the atomic query "does the fact survive
+// repairing" from the resident fact→component index of the current
+// snapshot: an O(1) index probe plus a read of the component's exact
+// marginal.
+func (s *Server) FactProbability(f relation.Fact) (*big.Rat, uint64) {
+	sn := s.cur.Load()
+	return sn.Fac.FactProbability(f), sn.stats.Version
+}
+
+// CP answers the conditional-probability query on the current snapshot.
+// Atomic queries read exact marginals; other queries enumerate the product
+// distribution exactly while it fits the budget and degrade to the (ε, δ)
+// sampling estimate past it — exact reports which route answered.
+func (s *Server) CP(q *fo.Query, tuple []string) (p *big.Rat, exact bool, version uint64, err error) {
+	sn := s.cur.Load()
+	p, exact, err = sn.Fac.CPOrEstimate(q, tuple, s.opts.Eps, s.opts.Delta, s.opts.Seed)
+	return p, exact, sn.stats.Version, err
+}
+
+// OCA answers the operational consistent answers on the current snapshot.
+// Atomic queries scan once and read marginals; others enumerate under the
+// exact budget.
+func (s *Server) OCA(q *fo.Query) (*core.AnswerSet, uint64, error) {
+	sn := s.cur.Load()
+	as, err := sn.Fac.OCA(q)
+	return as, sn.stats.Version, err
+}

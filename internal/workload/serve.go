@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/relation"
+)
+
+// This file generates the mixed read/write workload driven against the
+// resident server (internal/serve, cmd/ocqad): an Islands database plus a
+// deterministic operation stream interleaving fact toggles with query
+// probes. Each toggle touches exactly one island — deleting an interior
+// chain edge splits an island, reinserting it merges the halves back — so
+// at Islands ≥ 100 every delta dissolves well under 1% of the components,
+// the regime the delta-scoped recomputation is built for.
+
+// ServeOp is one step of the mixed workload: an ingest (insert or delete
+// of Fact) or, when Ingest is false, a query probe for Fact's survival
+// probability.
+type ServeOp struct {
+	Ingest bool
+	Insert bool
+	Fact   relation.Fact
+}
+
+// ServeMixConfig sizes the mixed workload.
+type ServeMixConfig struct {
+	// Islands and FactsPerIsland and IsoRatio size the underlying Islands
+	// database (same construction, same constraint).
+	Islands        int
+	FactsPerIsland int
+	IsoRatio       float64
+	// Ops is the number of operations in the stream.
+	Ops int
+	// IngestRatio is the fraction of operations that are fact toggles
+	// (the rest are query probes). 0 yields a read-only stream.
+	IngestRatio float64
+	Seed        int64
+}
+
+// ServeMix generates the Islands database, its constraint set, and a
+// deterministic operation stream. Toggles pick a random island and flip
+// its middle chain edge: the first toggle deletes it (splitting the
+// island), the next reinserts it (merging the halves), tracked so every
+// ingest actually changes the database. Probes ask for a random fact of a
+// random island. The stream is a pure function of the config.
+func ServeMix(cfg ServeMixConfig) (*relation.Database, *constraint.Set, []ServeOp) {
+	d, sigma := Islands(IslandsConfig{
+		Islands:        cfg.Islands,
+		FactsPerIsland: cfg.FactsPerIsland,
+		IsoRatio:       cfg.IsoRatio,
+		Seed:           cfg.Seed,
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Reconstruct each island's canonical middle edge. The Islands
+	// generator may have permuted node orders, but the fact set per island
+	// is all E(n_j, n_{j+1}) edges over that island's private constants;
+	// toggling the canonical middle edge (which exists in canonical
+	// islands and may or may not exist in shuffled ones) is made
+	// change-effective by tracking presence.
+	mid := cfg.FactsPerIsland / 2
+	name := func(i, n int) string { return fmt.Sprintf("i%08d_n%03d", i, n) }
+	present := make([]bool, cfg.Islands)
+	edge := make([]relation.Fact, cfg.Islands)
+	for i := 0; i < cfg.Islands; i++ {
+		edge[i] = relation.NewFact("E", name(i, mid), name(i, mid+1))
+		present[i] = d.Contains(edge[i])
+	}
+	ops := make([]ServeOp, 0, cfg.Ops)
+	for k := 0; k < cfg.Ops; k++ {
+		i := rng.Intn(cfg.Islands)
+		if rng.Float64() < cfg.IngestRatio {
+			ops = append(ops, ServeOp{Ingest: true, Insert: !present[i], Fact: edge[i]})
+			present[i] = !present[i]
+		} else {
+			n := rng.Intn(cfg.FactsPerIsland)
+			ops = append(ops, ServeOp{Fact: relation.NewFact("E", name(i, n), name(i, n+1))})
+		}
+	}
+	return d, sigma, ops
+}
