@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+set -euo pipefail
+PAT='BenchmarkServe/|BenchmarkFactored/|BenchmarkPractical/|BenchmarkUniform|BenchmarkExactTree|BenchmarkEstimateOCA|BenchmarkSamplingWalks|BenchmarkSurvey|BenchmarkViolationsFull|BenchmarkHomomorphism'
+for round in 4 5; do
+  (cd /root/repo/.bench-pr7 && scripts/bench.sh -pattern "$PAT" -o "bench_b$round.json")
+  (scripts/bench.sh -pattern "$PAT" -o "bench_a$((round+1)).json")
+done
+echo RERUN-DONE

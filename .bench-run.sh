@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+set -euo pipefail
+cd /root/repo
+# Pre-build both sides so compile time doesn't land in round 1.
+(cd .bench-pr7 && go test -run '^$' -bench xxx . >/dev/null 2>&1) || true
+go test -run '^$' -bench xxx . >/dev/null 2>&1 || true
+for round in 1 2 3; do
+  (cd .bench-pr7 && scripts/bench.sh -o bench_b$round.json) 2>&1 | tail -1
+  scripts/bench.sh -o bench_a$round.json 2>&1 | tail -1
+done
+echo DONE

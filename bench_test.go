@@ -19,7 +19,10 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/abc"
 	"repro/internal/constraint"
@@ -670,4 +673,176 @@ func BenchmarkServe(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeThroughput measures the serving edge under concurrency,
+// which BenchmarkServe's single stream cannot see:
+//
+//	queries/live-ingest — 4 reader goroutines issue atomic fact probes
+//	                      while a writer goroutine streams toggles into
+//	                      the server; reports queries/sec and the p50/p99
+//	                      read latency under live publication churn.
+//	ingest/single       — one caller, one effective toggle per publication:
+//	                      the uncoalesced write throughput baseline.
+//	ingest/coalesced    — 16 callers toggling disjoint islands
+//	                      concurrently: queued requests fold into shared
+//	                      publications (ops/publish reports the realized
+//	                      batch size), so throughput must beat the
+//	                      single-caller baseline.
+//
+// All three run on the 400-island mixed workload of BenchmarkServe.
+func BenchmarkServeThroughput(b *testing.B) {
+	islandsDB := func() (*relation.Database, *constraint.Set) {
+		return workload.Islands(workload.IslandsConfig{
+			Islands:        400,
+			FactsPerIsland: 4,
+			IsoRatio:       0.9,
+			Seed:           42,
+		})
+	}
+	// toggler returns a stream of always-effective single-op toggles over
+	// the islands owned by one caller (island ≡ caller mod callers).
+	toggler := func(d *relation.Database, caller, callers int) func() serve.Op {
+		var mine []relation.Fact
+		present := map[relation.Fact]bool{}
+		for i := caller; i < 400; i += callers {
+			f := relation.NewFact("E", fmt.Sprintf("i%08d_n002", i), fmt.Sprintf("i%08d_n003", i))
+			mine = append(mine, f)
+			present[f] = d.Contains(f)
+		}
+		k := 0
+		return func() serve.Op {
+			f := mine[k%len(mine)]
+			k++
+			op := serve.Op{Fact: f, Insert: !present[f]}
+			present[f] = op.Insert
+			return op
+		}
+	}
+
+	b.Run("queries/live-ingest", func(b *testing.B) {
+		d, sigma := islandsDB()
+		s, err := serve.New(d, sigma, generators.Uniform{}, serve.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		stop := make(chan struct{})
+		var writer sync.WaitGroup
+		writer.Add(1)
+		go func() {
+			defer writer.Done()
+			next := toggler(d, 0, 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Ingest([]serve.Op{next()}); err != nil {
+					return
+				}
+			}
+		}()
+		const readers = 4
+		facts := d.Facts()
+		lat := make([][]time.Duration, readers)
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		start := time.Now()
+		for r := 0; r < readers; r++ {
+			n := b.N / readers
+			if r < b.N%readers {
+				n++
+			}
+			wg.Add(1)
+			go func(r, n int) {
+				defer wg.Done()
+				mine := make([]time.Duration, 0, n)
+				idx := r
+				for k := 0; k < n; k++ {
+					f := facts[idx%len(facts)]
+					idx += 13
+					t0 := time.Now()
+					s.FactProbability(f)
+					mine = append(mine, time.Since(t0))
+				}
+				lat[r] = mine
+			}(r, n)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		writer.Wait()
+		var all []time.Duration
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		quant := func(q float64) float64 {
+			return float64(all[int(q*float64(len(all)-1))].Nanoseconds())
+		}
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/sec")
+		b.ReportMetric(quant(0.50), "p50-ns")
+		b.ReportMetric(quant(0.99), "p99-ns")
+	})
+
+	b.Run("ingest/single", func(b *testing.B) {
+		d, sigma := islandsDB()
+		s, err := serve.New(d, sigma, generators.Uniform{}, serve.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		next := toggler(d, 0, 1)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Ingest([]serve.Op{next()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		st := s.Stats()
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ingests/sec")
+		b.ReportMetric(float64(st.CumOps)/float64(st.Version), "ops/publish")
+	})
+
+	b.Run("ingest/coalesced", func(b *testing.B) {
+		d, sigma := islandsDB()
+		s, err := serve.New(d, sigma, generators.Uniform{}, serve.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		const callers = 16
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		start := time.Now()
+		for c := 0; c < callers; c++ {
+			n := b.N / callers
+			if c < b.N%callers {
+				n++
+			}
+			wg.Add(1)
+			go func(c, n int) {
+				defer wg.Done()
+				next := toggler(d, c, callers)
+				for k := 0; k < n; k++ {
+					if _, err := s.Ingest([]serve.Op{next()}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c, n)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		st := s.Stats()
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ingests/sec")
+		b.ReportMetric(float64(st.CumOps)/float64(st.Version), "ops/publish")
+	})
 }

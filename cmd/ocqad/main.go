@@ -9,18 +9,28 @@
 //
 //	ocqad -db data.facts -constraints schema.rules \
 //	      [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	      [-addr :8080] [-workers 4] [-max-states 1000000] \
-//	      [-eps 0.05] [-delta 0.05] [-seed 1] [-compact 4096]
+//	      [-addr :8080] [-workers 4] [-shards 4] [-max-states 1000000] \
+//	      [-eps 0.05] [-delta 0.05] [-seed 1] [-compact 4096] \
+//	      [-log ocqad.oplog]
 //
 // File arguments also accept "inline:<text>". The generator must be local
 // (per-component weights) and the constraints TGD-free — the factored
 // engine's requirements. See cmd/ocqad/README.md for the HTTP API.
 //
+// -shards sizes the resident writer shard pool that explores conflict
+// islands in parallel; served answers are bit-identical for every value.
+// -log names an append-only ingest log: every published batch is recorded
+// and replayed on the next startup against the same -db corpus, so a
+// restart resumes from the exact pre-shutdown snapshot — same version,
+// same stats — instead of the stale base database.
+//
 // The -smoke N flag runs a self-test instead of serving: it generates an
 // islands workload, starts the server on a loopback port, drives N mixed
 // ingest/query operations over real HTTP, cross-checks served
-// probabilities against a from-scratch recompute, and exits 0 on success.
-// CI runs it under the race detector.
+// probabilities against a from-scratch recompute and — when -log is set —
+// restarts the server from the log and verifies the replayed snapshot
+// matches exactly, then exits 0 on success. CI runs it under the race
+// detector, with shards > 1 and a kill-and-replay cycle.
 package main
 
 import (
@@ -47,21 +57,25 @@ func main() {
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "component workers per recompute (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "writer shards exploring conflict islands (0 = min(GOMAXPROCS, 8))")
 		maxStates = flag.Int("max-states", 1_000_000, "per-component state budget (0 = unlimited)")
 		eps       = flag.Float64("eps", 0.05, "additive error ε of the degradation estimator")
 		delta     = flag.Float64("delta", 0.05, "failure probability δ of the degradation estimator")
 		seed      = flag.Int64("seed", 1, "degradation estimator seed")
 		compact   = flag.Int("compact", 4096, "copy-on-write delta size that triggers a snapshot fold")
+		logPath   = flag.String("log", "", "append-only ingest log, replayed on startup (empty = no persistence)")
 		smoke     = flag.Int("smoke", 0, "run a self-test with N mixed operations instead of serving")
 	)
 	flag.Parse()
 	opts := serve.Options{
 		Workers:      *workers,
+		Shards:       *shards,
 		MaxStates:    *maxStates,
 		Eps:          *eps,
 		Delta:        *delta,
 		Seed:         *seed,
 		CompactLimit: *compact,
+		LogPath:      *logPath,
 	}
 	if *smoke > 0 {
 		if err := runSmoke(*smoke, opts); err != nil {
@@ -108,7 +122,15 @@ func run(dbPath, sigmaPath, genName, addr string, opts serve.Options) error {
 	fmt.Printf("ocqad: %d facts, %d violations, %d conflict components (%d untouched facts); generator %s\n",
 		st.Facts, st.Violations, st.Components, st.Untouched, gen.Name())
 
-	srv := &http.Server{Addr: addr, Handler: serve.Handler(s)}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: serve.Handler(s),
+		// A slow or hostile client must not pin the listener: bound the
+		// header, the whole request, and idle keep-alives.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"reflect"
 	"time"
 
 	"repro/internal/abc"
@@ -36,6 +38,13 @@ func runSmoke(n int, opts serve.Options) error {
 		Seed:           7,
 	})
 	gen := generators.Uniform{}
+	if opts.LogPath != "" {
+		// A log left over from a previous run would replay foreign history
+		// into this run's fresh base.
+		if err := os.Remove(opts.LogPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
 	s, err := serve.New(db, sigma, gen, opts)
 	if err != nil {
 		return err
@@ -167,6 +176,31 @@ func runSmoke(n int, opts serve.Options) error {
 	}
 	if err := <-errc; err != http.ErrServerClosed {
 		return err
+	}
+
+	// Kill-and-replay: shut the server down, restart it from the op log
+	// against the same base corpus, and require the replayed snapshot to
+	// reproduce the pre-shutdown one exactly — stats field for field,
+	// marginals bit for bit.
+	if opts.LogPath != "" {
+		s.Close()
+		replayed, err := serve.New(db, sigma, gen, opts)
+		if err != nil {
+			return fmt.Errorf("replay restart: %w", err)
+		}
+		defer replayed.Close()
+		if got := replayed.Stats(); !reflect.DeepEqual(got, st) {
+			return fmt.Errorf("replayed stats diverge:\n  replayed %+v\n  live     %+v", got, st)
+		}
+		for _, f := range shadow.Facts() {
+			want := fresh.FactProbability(f)
+			got, _ := replayed.FactProbability(f)
+			if got.Cmp(want) != 0 {
+				return fmt.Errorf("replayed fact %s: %s, from-scratch %s", f, got.RatString(), want.RatString())
+			}
+		}
+		fmt.Printf("smoke: replayed %d publications from %s; stats and marginals match exactly\n", st.Version, opts.LogPath)
+		os.Remove(opts.LogPath)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package constraint
 
 import (
+	"slices"
+
 	"repro/internal/intern"
 	"repro/internal/logic"
 	"repro/internal/relation"
@@ -128,15 +130,51 @@ func UpdateViolationsDelta(dNew *relation.Database, s *Set, before *Violations, 
 			out.appendRun(run[start:])
 
 		default:
-			// EGD/DC + insertion: keep the old violations, add the delta.
-			copyConstraintViolations(out, before, c)
+			// EGD/DC + insertion: keep the old violations, merge in the
+			// delta. The introductions are collected and stitched into the
+			// copied run in ID order so the output stays sorted — appending
+			// them after the run would force norm into a full re-sort of the
+			// whole set on every insertion, the hot ingest path.
+			var added []Violation
 			forEachHomTouching(c.body, dNew, cs, func(h logic.Subst) {
 				if c.violatedBy(dNew, h) {
 					v := NewViolation(c, h)
 					introduced = append(introduced, v)
-					out.add(v)
+					added = append(added, v)
 				}
 			})
+			if len(added) == 0 {
+				copyConstraintViolations(out, before, c)
+				break
+			}
+			slices.SortFunc(added, func(a, b Violation) int {
+				ai, bi := a.ID(), b.ID()
+				switch {
+				case ai < bi:
+					return -1
+				case ai > bi:
+					return 1
+				}
+				return 0
+			})
+			run := before.constraintRange(c)
+			start := 0
+			for _, v := range added {
+				id := v.ID()
+				i := start
+				for i < len(run) && run[i].ID() < id {
+					i++
+				}
+				out.appendRun(run[start:i])
+				start = i
+				if i < len(run) && run[i].ID() == id {
+					// Already present: keep the new copy alone, exactly as
+					// norm's dedup would have.
+					start = i + 1
+				}
+				out.add(v)
+			}
+			out.appendRun(run[start:])
 		}
 	}
 	out.norm()

@@ -394,37 +394,12 @@ func buildFactored(db *relation.Database, sigma *constraint.Set, inst *repair.In
 		}
 		untouched.Seal()
 	} else {
-		// Incremental maintenance, O(delta + touched region): apply the fact
-		// delta, return the facts of dissolved islands that ended up
-		// conflict-free, and evict the facts the fresh islands claimed.
-		untouched = delta.Prev.Untouched.Clone()
-		for _, op := range delta.Ops {
-			if op.Insert {
-				untouched.Insert(op.Fact)
-			} else {
-				untouched.Delete(op.Fact)
-			}
+		// Incremental maintenance, O(delta + touched region).
+		freshIslands := make([]*abc.Island, len(fresh))
+		for fi, i := range fresh {
+			freshIslands[fi] = islands[i]
 		}
-		for _, isl := range delta.Removed {
-			for _, f := range isl.Facts {
-				if db.Contains(f) && part.IslandOf(f) == nil {
-					untouched.Insert(f)
-				}
-			}
-		}
-		for _, i := range fresh {
-			for _, f := range islands[i].Facts {
-				untouched.Delete(f)
-			}
-		}
-		untouched.Compact(untouchedCompactLimit)
-	}
-
-	structural := false
-	if !fopt.NoCache {
-		if sg, ok := g.(StructuralGenerator); ok && sg.StructuralWeights() && len(sigma.ConstSyms()) == 0 {
-			structural = true
-		}
+		untouched = UpdateUntouched(delta.Prev.Untouched, db, part, delta.Ops, delta.Removed, freshIslands)
 	}
 
 	// Cap the inner DAG workers while several components are in flight:
@@ -435,64 +410,22 @@ func buildFactored(db *relation.Database, sigma *constraint.Set, inst *repair.In
 		inner.Workers = 1
 	}
 
-	var cache *SemanticsCache
-	var call uint64
-	if structural {
-		cache = fopt.Cache
-		if cache == nil {
-			cache = NewSemanticsCache()
-		}
-		call = cache.begin()
-	}
-
-	// The per-component key/entry record only feeds the deterministic
-	// hit/miss split for persistent caches; a per-call cache starts empty,
-	// so there its misses are exactly the distinct shapes it ends up
-	// holding and the bookkeeping is skipped.
-	persistent := structural && fopt.Cache != nil
-	var keys []string
-	var entries []*cacheEntry
-	if persistent {
-		keys = make([]string, len(fresh))
-		entries = make([]*cacheEntry, len(fresh))
-	}
+	scope := NewBuildScope(sigma, g, inner, fopt)
+	explored := make([]Explored, len(fresh))
 	errs := make([]error, len(fresh))
 	work := func(fi int) {
 		i := fresh[fi]
-		facts := islands[i].Facts
-		c := &Component{Facts: facts}
-		if structural {
-			canonFacts, key, inv, ren := canonicalize(facts)
-			e := cache.entry(key, call)
-			if persistent {
-				keys[fi], entries[fi] = key, e
-			}
-			// The exploration runs on the canonical instance — a pure
-			// function of the cache key — so every isomorphic component
-			// observes the identical shared semantics regardless of which
-			// one arrived first.
-			e.once.Do(func() {
-				e.sem, e.err = computeComponent(sigma, g, inner, canonFacts, renameViolations(islands[i].Violations(), ren))
-			})
-			if e.err != nil {
-				errs[fi] = fmt.Errorf("component %s: %w", relation.FactsString(facts), e.err)
-				return
-			}
-			c.canon = e.sem
-			c.canonFacts, c.inv = canonFacts, inv
-		} else {
-			sem, err := computeComponent(sigma, g, inner, facts, constraint.ViolationsOf(islands[i].Violations()))
-			if err != nil {
-				errs[fi] = fmt.Errorf("component %s: %w", relation.FactsString(facts), err)
-				return
-			}
-			c.sem = sem
+		e, err := scope.Explore(islands[i])
+		if err != nil {
+			errs[fi] = err
+			return
 		}
-		components[i] = c
+		explored[fi] = e
+		components[i] = e.Comp
 		// Resident partitions carry the component to later delta builds;
 		// islands are private to this build until the caller publishes, so
 		// the write is unsynchronized but unshared.
-		islands[i].Payload = c
+		islands[i].Payload = e.Comp
 	}
 
 	workers := opt.Workers
@@ -533,28 +466,10 @@ func buildFactored(db *relation.Database, sigma *constraint.Set, inst *repair.In
 	}
 
 	out := &Factored{initial: db, sigma: sigma, inst: inst, gen: g, part: part, Untouched: untouched, Components: components, Reused: reused}
-	switch {
-	case persistent:
-		// Deterministic accounting regardless of worker scheduling: the
-		// first fresh component of a shape explored this call is the miss,
-		// every other one a hit.
-		distinct := map[string]bool{}
-		for fi := range fresh {
-			if distinct[keys[fi]] {
-				out.CacheHits++
-				continue
-			}
-			distinct[keys[fi]] = true
-			if entries[fi].call == call {
-				out.CacheMisses++
-			} else {
-				out.CacheHits++
-			}
-		}
-	case structural:
-		out.CacheMisses = cache.Len()
-		out.CacheHits = len(fresh) - out.CacheMisses
-	}
+	// Deterministic accounting regardless of worker scheduling: explored is
+	// in island order, so the first fresh component of each shape is the
+	// miss candidate and every other one a hit.
+	out.CacheHits, out.CacheMisses = scope.Accounting(explored)
 	return out, nil
 }
 

@@ -6,18 +6,28 @@
 //
 // # Key pieces
 //
-//   - Server: the engine. A single writer goroutine applies ingested
-//     batches; queries read the current Snapshot through an atomic
-//     pointer.
+//   - Server: the engine. A coordinator goroutine applies ingested
+//     batches, coalescing everything queued behind the batch in hand into
+//     one publication; queries read the current Snapshot through an
+//     atomic pointer.
 //   - Snapshot: one immutable serving state (database, violations,
 //     partition, factored semantics). Readers may hold one across
 //     ingests; superseded snapshots stay fully queryable.
-//   - Op / Ingest: the write path. Each operation runs the fused pipeline
+//   - Op / Ingest: the write path. Each batch runs the fused pipeline
 //     relation.Database.Clone (O(delta) copy-on-write) →
-//     constraint.UpdateViolationsDelta (semi-naive violation maintenance)
-//     → abc.Partition.Update (re-partitions only the touched region) →
-//     core.ComputeFactoredDelta (re-explores only dissolved components,
-//     carrying every untouched component's semantics verbatim).
+//     constraint.UpdateViolationsDelta (semi-naive violation maintenance,
+//     one call per run of same-kind operations) → one batched
+//     abc.Partition.Update (violation deltas net by ID, the touched
+//     region re-partitions once per publication);
+//     the batch's fresh islands then hash by content across
+//     Options.Shards resident writer shards (core.BuildScope
+//     explorations, one goroutine per shard), and a publication barrier
+//     reassembles the factored semantics, carrying every untouched
+//     component's semantics verbatim.
+//   - The op log (Options.LogPath): an append-only record of each
+//     publication's applied operations, replayed on startup so a
+//     restarted server rebuilds the exact pre-shutdown snapshot — same
+//     version, same stats — instead of serving the stale base corpus.
 //   - Handler: the HTTP/JSON surface (/healthz, /v1/stats, /v1/ingest,
 //     /v1/query, /v1/fact); every response carries the snapshot version
 //     it was answered from.
@@ -25,10 +35,12 @@
 // # Invariants
 //
 //   - Served answers are bit-identical to computing core.ComputeFactored
-//     from scratch on the post-delta database, for every Workers setting:
-//     component reuse is exact (a component whose facts and violations
-//     are untouched has the same local semantics), and the exact
-//     rational arithmetic is order-independent.
+//     from scratch on the post-delta database, for every Workers and
+//     Shards setting and every coalescing pattern: component reuse is
+//     exact (a component whose facts and violations are untouched has
+//     the same local semantics), explorations are pure functions of the
+//     island's facts, and the exact rational arithmetic is
+//     order-independent.
 //   - Batches are atomic: a reader sees either none or all of a batch,
 //     and the Snapshot's database, violations, partition, and semantics
 //     are always mutually consistent.

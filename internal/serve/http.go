@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/big"
 	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/parse"
@@ -82,9 +84,11 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// parseFact parses one fact in the corpus text syntax ("E(a,b)").
+// parseFact parses one fact in the corpus text syntax, accepting both the
+// bare form "E(a,b)" and the terminated corpus form "E(a,b).".
 func parseFact(s string) (relation.Fact, error) {
-	db, err := parse.Database(s + ".")
+	trimmed := strings.TrimRight(strings.TrimSpace(s), ".")
+	db, err := parse.Database(trimmed + ".")
 	if err != nil {
 		return relation.Fact{}, fmt.Errorf("bad fact %q: %w", s, err)
 	}
@@ -190,10 +194,19 @@ func Handler(s *Server) http.Handler {
 	return mux
 }
 
+// maxRequestBody bounds a request body; past it readJSON answers 413
+// instead of letting a hostile client stream without limit.
+const maxRequestBody = 1 << 20
+
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -214,8 +227,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// logf is the package's error logger, a variable so tests can capture it.
+var logf = log.Printf
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is gone, so the client cannot be told; surface the
+		// truncated response server-side instead of dropping it silently.
+		logf("serve: encoding %T response: %v", v, err)
+	}
 }

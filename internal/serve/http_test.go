@@ -45,6 +45,22 @@ func postJSON(t *testing.T, url string, req any, status int, resp any) {
 	}
 }
 
+// postStatus posts req as JSON and returns only the response status,
+// draining the body; races against shutdown use it where any of several
+// statuses is acceptable.
+func postStatus(url string, req any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	return r.StatusCode, nil
+}
+
 // TestHTTPRoundTrip drives the full API surface: health, stats, a fact
 // probe, an ingest that flips the probe's answer, a tuple query, and an
 // answer-set query — checking versions advance and answers change with the
@@ -134,4 +150,31 @@ func TestHTTPErrors(t *testing.T) {
 	if fr.P.Rat != "0" {
 		t.Fatalf("absent fact: %+v", fr)
 	}
+}
+
+// TestHTTPTerminatedFactForm: facts arriving in the corpus file syntax —
+// already terminated with "." — must parse on every endpoint, identically
+// to the bare form.
+func TestHTTPTerminatedFactForm(t *testing.T) {
+	_, ts := httpFixture(t)
+	var bare, terminated serve.FactResponse
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "E(i00000000_n000, i00000000_n001)"}, http.StatusOK, &bare)
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "E(i00000000_n000, i00000000_n001)."}, http.StatusOK, &terminated)
+	if bare.P.Rat != terminated.P.Rat {
+		t.Fatalf("terminated form answered %s, bare form %s", terminated.P.Rat, bare.P.Rat)
+	}
+	var ir serve.IngestResponse
+	postJSON(t, ts.URL+"/v1/ingest", serve.IngestRequest{Insert: []string{"E(dot_a, dot_b)."}}, http.StatusOK, &ir)
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "E(dot_a, dot_b)"}, http.StatusOK, &bare)
+	if bare.P.Rat != "1" {
+		t.Fatalf("fact ingested in terminated form not served: %+v", bare)
+	}
+}
+
+// TestHTTPBodyLimit: a request body past the MaxBytesReader bound is a
+// clean 413, not an unbounded read.
+func TestHTTPBodyLimit(t *testing.T) {
+	_, ts := httpFixture(t)
+	huge := serve.IngestRequest{Insert: []string{"E(" + string(bytes.Repeat([]byte{'a'}, 2<<20)) + ", b)"}}
+	postJSON(t, ts.URL+"/v1/ingest", huge, http.StatusRequestEntityTooLarge, nil)
 }

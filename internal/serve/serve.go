@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"math/big"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,9 +20,15 @@ var ErrClosed = errors.New("serve: server closed")
 
 // Options tunes a Server.
 type Options struct {
-	// Workers sizes the component worker pool of each recompute (≤ 0 means
-	// GOMAXPROCS). Served answers are bit-identical for every value.
+	// Workers sizes the component worker pool of the initial build and the
+	// inner DAG exploration of single-island deltas (≤ 0 means GOMAXPROCS).
+	// Served answers are bit-identical for every value.
 	Workers int
+	// Shards sizes the resident writer shard pool: conflict islands hash to
+	// shards by content, and each shard explores its islands on its own
+	// goroutine (default min(GOMAXPROCS, 8)). Served answers are
+	// bit-identical for every value.
+	Shards int
 	// MaxStates bounds each component's DAG exploration (0 = unbounded).
 	MaxStates int
 	// Eps and Delta are the sampling guarantee used when a non-atomic query
@@ -36,15 +43,30 @@ type Options struct {
 	// (default 4096). Smaller keeps reader clones cheaper; larger amortizes
 	// the O(|D|) fold over more ingests.
 	CompactLimit int
-	// QueueDepth sizes the ingest queue feeding the writer goroutine
+	// QueueDepth sizes the ingest queue feeding the writer goroutine and
+	// bounds how many queued requests one publication may coalesce
 	// (default 64).
 	QueueDepth int
 	// NoCache disables the structural semantics cache (cold-cache
 	// benchmarks and the trust-style generators that bypass it anyway).
 	NoCache bool
+	// LogPath, when non-empty, persists every publication's applied
+	// operations to an append-only op log at that path and replays the log
+	// on startup, so a restarted server rebuilds the exact pre-shutdown
+	// snapshot — same version, same stats — instead of serving the stale
+	// base database. Replay parity requires restarting with the same base
+	// database and Options. Records are not fsynced: an OS crash can lose
+	// the tail, and a torn final record is truncated away on restart.
+	LogPath string
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 8 {
+			o.Shards = 8
+		}
+	}
 	if o.Eps <= 0 {
 		o.Eps = 0.05
 	}
@@ -66,6 +88,17 @@ type Op struct {
 	Insert bool
 }
 
+// ShardStats describes one writer shard.
+type ShardStats struct {
+	// Islands and Violations size the shard's slice of the current
+	// snapshot's conflict partition.
+	Islands    int `json:"islands"`
+	Violations int `json:"violations"`
+	// Recomputed counts the component explorations this shard has run over
+	// the server's lifetime, including its share of the initial build.
+	Recomputed uint64 `json:"recomputed"`
+}
+
 // Stats describes a published snapshot.
 type Stats struct {
 	// Version counts the published snapshots (0 = the initial build).
@@ -84,6 +117,11 @@ type Stats struct {
 	Recomputed  int `json:"recomputed"`
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// LastBatchOps and MaxBatchOps describe ingest coalescing: the applied
+	// operations folded into the latest publication and the largest such
+	// batch over the server's lifetime.
+	LastBatchOps int `json:"last_batch_ops"`
+	MaxBatchOps  int `json:"max_batch_ops"`
 	// CumOps and CumRecomputed accumulate applied operations and component
 	// recomputes across the server's lifetime.
 	CumOps        uint64 `json:"cum_ops"`
@@ -91,6 +129,9 @@ type Stats struct {
 	// CacheShapes is the number of distinct component shapes resident in
 	// the structural cache.
 	CacheShapes int `json:"cache_shapes"`
+	// Shards describes the writer shards' partition slices and cumulative
+	// recompute counts.
+	Shards []ShardStats `json:"shards"`
 }
 
 // Snapshot is one published, immutable serving state: the database, its
@@ -114,12 +155,18 @@ func (sn *Snapshot) Stats() Stats { return sn.stats }
 
 // Server is a resident OCQA engine: it holds the current Snapshot behind an
 // atomic pointer (readers never block, never see a half-applied ingest) and
-// funnels all ingests through a single writer goroutine that re-maintains
+// funnels all ingests through a coordinator goroutine that re-maintains
 // violations, the conflict partition, and the factored semantics with work
-// proportional to the delta's touched region. The structural semantics
-// cache stays warm across deltas, so a recomputed component that is
-// isomorphic to anything ever explored costs one renaming, not a DAG
-// exploration.
+// proportional to the delta's touched region. The coordinator drains every
+// request queued behind the one it is serving into the same publication, so
+// N concurrent callers pay one recompute and one snapshot publish between
+// them; the touched islands are hashed by content across Options.Shards
+// resident shard goroutines, each exploring its slice of the partition, and
+// a publication barrier reassembles the snapshot — served answers are
+// bit-identical to the single-shard path for every shard count. The
+// structural semantics cache stays warm across deltas, so a recomputed
+// component that is isomorphic to anything ever explored costs one
+// renaming, not a DAG exploration.
 type Server struct {
 	sigma *constraint.Set
 	gen   core.LocalGenerator
@@ -128,9 +175,17 @@ type Server struct {
 
 	cur atomic.Pointer[Snapshot]
 
-	mu            sync.Mutex // serializes apply; the writer loop is the usual sole caller
-	cumOps        uint64
-	cumRecomputed uint64
+	shards  []*shard
+	shardWG sync.WaitGroup
+
+	oplog *opLog
+
+	mu              sync.Mutex // serializes apply; the coordinator loop is the usual sole caller
+	cumOps          uint64
+	cumRecomputed   uint64
+	lastBatchOps    int
+	maxBatchOps     int
+	shardRecomputed []uint64
 
 	reqs      chan ingestReq
 	done      chan struct{}
@@ -148,19 +203,57 @@ type ingestReq struct {
 	reply chan applyResult
 }
 
+// shard is one resident writer shard: a goroutine draining exploration
+// tasks for the islands that hash to it.
+type shard struct {
+	tasks chan shardTask
+}
+
+// shardTask is one island exploration: the shard explores isl under scope,
+// parks the result (or the error) in the coordinator's slot, attaches the
+// component as the island's payload, and signals the publication barrier.
+type shardTask struct {
+	scope *core.BuildScope
+	isl   *abc.Island
+	out   *core.Explored
+	errp  *error
+	wg    *sync.WaitGroup
+}
+
+func (sh *shard) run() {
+	for t := range sh.tasks {
+		e, err := t.scope.Explore(t.isl)
+		if err != nil {
+			*t.errp = err
+		} else {
+			*t.out = e
+			t.isl.Payload = e.Comp
+		}
+		t.wg.Done()
+	}
+}
+
+// testHookApply, when set before New, observes every apply's coalesced
+// operation batch before it runs; tests use it to hold a publication open
+// while further ingests queue behind it.
+var testHookApply func(ops []Op)
+
 // New builds the initial snapshot from the database (which is copied, not
-// retained) and starts the writer goroutine. The generator must be local
-// (the factored engine's requirement) and Σ must be TGD-free.
+// retained), replays the op log when Options.LogPath names one, and starts
+// the writer goroutines. The generator must be local (the factored
+// engine's requirement) and Σ must be TGD-free.
 func New(db *relation.Database, sigma *constraint.Set, gen core.LocalGenerator, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
-		sigma:    sigma,
-		gen:      gen,
-		opts:     opts,
-		cache:    core.NewSemanticsCache(),
-		reqs:     make(chan ingestReq, opts.QueueDepth),
-		done:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		sigma:           sigma,
+		gen:             gen,
+		opts:            opts,
+		cache:           core.NewSemanticsCache(),
+		shards:          make([]*shard, opts.Shards),
+		shardRecomputed: make([]uint64, opts.Shards),
+		reqs:            make(chan ingestReq, opts.QueueDepth),
+		done:            make(chan struct{}),
+		loopDone:        make(chan struct{}),
 	}
 	initial := db.Clone()
 	initial.Seal()
@@ -171,9 +264,35 @@ func New(db *relation.Database, sigma *constraint.Set, gen core.LocalGenerator, 
 		return nil, err
 	}
 	s.cumRecomputed = uint64(len(fac.Components))
+	for _, isl := range part.Islands() {
+		s.shardRecomputed[s.shardOf(isl)]++
+	}
 	snap := &Snapshot{DB: initial, Violations: vs, Part: part, Fac: fac}
 	snap.stats = s.statsFor(snap, 0)
 	s.cur.Store(snap)
+	s.startShards()
+	if opts.LogPath != "" {
+		// Replay before accepting traffic: each logged record was one live
+		// publication's applied operations, so re-applying them batch by
+		// batch — against the same base database, options, and (initially
+		// empty) structural cache — walks the identical publication
+		// sequence and lands on the identical snapshot and stats. The log
+		// handle is attached only afterwards so replayed batches are not
+		// re-appended.
+		lg, batches, err := openOpLog(opts.LogPath)
+		if err != nil {
+			s.stopShards()
+			return nil, err
+		}
+		for _, ops := range batches {
+			if _, err := s.apply(ops); err != nil {
+				lg.Close()
+				s.stopShards()
+				return nil, err
+			}
+		}
+		s.oplog = lg
+	}
 	go s.loop()
 	return s, nil
 }
@@ -186,7 +305,46 @@ func (s *Server) fopt() core.FactoredOptions {
 	return core.FactoredOptions{NoCache: s.opts.NoCache, Cache: s.cache}
 }
 
+// shardOf routes an island to its writer shard by content hash, so the
+// assignment is a pure function of the island's data — identical across
+// restarts and replays.
+func (s *Server) shardOf(isl *abc.Island) int {
+	return int(isl.Hash() % uint64(len(s.shards)))
+}
+
+// shardTaskBuffer bounds a shard's pending exploration queue; a full queue
+// only stalls the coordinator's dispatch, never loses a task.
+const shardTaskBuffer = 256
+
+func (s *Server) startShards() {
+	for i := range s.shards {
+		sh := &shard{tasks: make(chan shardTask, shardTaskBuffer)}
+		s.shards[i] = sh
+		s.shardWG.Add(1)
+		go func() {
+			defer s.shardWG.Done()
+			sh.run()
+		}()
+	}
+}
+
+func (s *Server) stopShards() {
+	for _, sh := range s.shards {
+		close(sh.tasks)
+	}
+	s.shardWG.Wait()
+}
+
 func (s *Server) statsFor(snap *Snapshot, version uint64) Stats {
+	shards := make([]ShardStats, len(s.shards))
+	for _, isl := range snap.Part.Islands() {
+		i := s.shardOf(isl)
+		shards[i].Islands++
+		shards[i].Violations += len(isl.Violations())
+	}
+	for i := range shards {
+		shards[i].Recomputed = s.shardRecomputed[i]
+	}
 	return Stats{
 		Version:       version,
 		Facts:         snap.DB.Size(),
@@ -197,9 +355,12 @@ func (s *Server) statsFor(snap *Snapshot, version uint64) Stats {
 		Recomputed:    len(snap.Fac.Components) - snap.Fac.Reused,
 		CacheHits:     snap.Fac.CacheHits,
 		CacheMisses:   snap.Fac.CacheMisses,
+		LastBatchOps:  s.lastBatchOps,
+		MaxBatchOps:   s.maxBatchOps,
 		CumOps:        s.cumOps,
 		CumRecomputed: s.cumRecomputed,
 		CacheShapes:   s.cache.Len(),
+		Shards:        shards,
 	}
 }
 
@@ -209,9 +370,13 @@ func (s *Server) Snapshot() *Snapshot { return s.cur.Load() }
 // Stats returns the current snapshot's statistics.
 func (s *Server) Stats() Stats { return s.cur.Load().stats }
 
-// Ingest hands the batch to the writer goroutine and waits for the snapshot
-// that includes it. Batches from concurrent callers are applied in queue
-// order, each atomically: readers see either none or all of a batch.
+// Ingest hands the batch to the coordinator and waits for a snapshot that
+// includes it. Batches from concurrent callers are applied in queue order,
+// each atomically: readers see either none or all of a batch. Requests
+// queued while a publication is in flight are coalesced into the next one
+// — the returned snapshot then also carries the other coalesced batches
+// (all applied atomically together), and a failed build fails every caller
+// it coalesced.
 func (s *Server) Ingest(ops []Op) (*Snapshot, error) {
 	req := ingestReq{ops: ops, reply: make(chan applyResult, 1)}
 	select {
@@ -234,8 +399,9 @@ func (s *Server) Ingest(ops []Op) (*Snapshot, error) {
 	}
 }
 
-// Close stops the writer goroutine; pending ingests fail with ErrClosed.
-// Queries keep answering from the last published snapshot.
+// Close stops the writer goroutines and closes the op log; pending ingests
+// fail with ErrClosed. Queries keep answering from the last published
+// snapshot.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.done) })
 	<-s.loopDone
@@ -243,11 +409,43 @@ func (s *Server) Close() {
 
 func (s *Server) loop() {
 	defer close(s.loopDone)
+	defer func() {
+		s.stopShards()
+		if s.oplog != nil {
+			s.oplog.Close()
+		}
+	}()
 	for {
 		select {
 		case req := <-s.reqs:
-			snap, err := s.apply(req.ops)
-			req.reply <- applyResult{snap, err}
+			// Coalesce: everything already queued behind req joins its
+			// publication, so the whole backlog pays one recompute and one
+			// publish. The yield is the group-commit window — senders made
+			// runnable alongside this goroutine (on a small GOMAXPROCS the
+			// scheduler otherwise runs the woken coordinator before the
+			// remaining senders, serializing them into one-op publications)
+			// get one quantum to reach the queue. The drain is bounded by
+			// QueueDepth (the channel's capacity plus the request in hand)
+			// so a hot ingest stream cannot defer publication indefinitely.
+			runtime.Gosched()
+			batch := append([]ingestReq(nil), req)
+		drain:
+			for len(batch) <= s.opts.QueueDepth {
+				select {
+				case r := <-s.reqs:
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			var ops []Op
+			for _, r := range batch {
+				ops = append(ops, r.ops...)
+			}
+			snap, err := s.apply(ops)
+			for _, r := range batch {
+				r.reply <- applyResult{snap, err}
+			}
 		case <-s.done:
 			for {
 				select {
@@ -261,53 +459,164 @@ func (s *Server) loop() {
 	}
 }
 
-// apply advances the served state by one batch: an O(delta) clone of the
-// current database, fused violation maintenance and partition updates per
-// operation, then a delta-scoped factored rebuild that reuses every
-// untouched component. The new snapshot is published atomically; the
-// previous one stays valid for readers still holding it.
+// apply advances the served state by one coalesced batch: an O(delta)
+// clone of the current database, violation maintenance per operation, one
+// batched partition update, then a delta-scoped rebuild — the fresh islands
+// are hashed across the writer shards, explored in parallel, and the
+// publication barrier reassembles the factored semantics from the
+// partition's payloads. The new snapshot is logged (when an op log is
+// attached) and published atomically; the previous one stays valid for
+// readers still holding it, and a failed build leaves the served state,
+// counters, and log untouched.
 func (s *Server) apply(ops []Op) (*Snapshot, error) {
+	if h := testHookApply; h != nil {
+		h(ops)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.cur.Load()
 	db := cur.DB.Clone()
 	vs := cur.Violations
-	part := cur.Part
-	var removed []*abc.Island
 	var applied []core.FactDelta
-	for _, op := range ops {
-		var changed bool
-		if op.Insert {
-			changed = db.Insert(op.Fact)
-		} else {
-			changed = db.Delete(op.Fact)
+	var changed []relation.Fact
+	// Violation deltas accumulate across the batch netted by ID: presence
+	// strictly alternates per violation, so an elimination cancels the
+	// batch's earlier introduction of the same violation (and vice versa),
+	// and what survives is exactly the before/after difference. Dead
+	// entries stay in the slices to keep the surviving order deterministic.
+	type netVio struct {
+		v    constraint.Violation
+		live bool
+	}
+	var elims, intros []netVio
+	elimIdx := map[uint64]int{}
+	introIdx := map[uint64]int{}
+	cancel := func(idx map[uint64]int, vios []netVio, id uint64) bool {
+		j, ok := idx[id]
+		if ok {
+			vios[j].live = false
+			delete(idx, id)
 		}
-		if !changed {
+		return ok
+	}
+	// Consecutive effective operations of the same kind form one multi-fact
+	// violation delta: the facts in a group are distinct (a repeat would
+	// have been ineffective) and the delta algorithm is exact for set
+	// deltas, so one call replaces len(group) copy-on-write passes over the
+	// violation set. The group flushes when the kind flips, keeping the
+	// per-fact application order.
+	var group []relation.Fact
+	var groupInsert bool
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		after, elim, intro := constraint.UpdateViolationsDelta(db, s.sigma, vs, group, groupInsert)
+		vs = after
+		group = nil
+		for _, v := range elim {
+			if id := v.ID(); !cancel(introIdx, intros, id) {
+				elimIdx[id] = len(elims)
+				elims = append(elims, netVio{v, true})
+			}
+		}
+		for _, v := range intro {
+			if id := v.ID(); !cancel(elimIdx, elims, id) {
+				introIdx[id] = len(intros)
+				intros = append(intros, netVio{v, true})
+			}
+		}
+	}
+	for _, op := range ops {
+		// Flush before touching db, so the pending group's delta search runs
+		// against exactly the database its own facts produced.
+		if len(group) > 0 && groupInsert != op.Insert {
+			flush()
+		}
+		var eff bool
+		if op.Insert {
+			eff = db.Insert(op.Fact)
+		} else {
+			eff = db.Delete(op.Fact)
+		}
+		if !eff {
 			continue
 		}
-		cf := []relation.Fact{op.Fact}
-		after, elim, intro := constraint.UpdateViolationsDelta(db, s.sigma, vs, cf, op.Insert)
-		vs = after
-		var rem []*abc.Island
-		part, _, rem = part.Update(elim, intro, cf)
-		removed = append(removed, rem...)
+		groupInsert = op.Insert
+		group = append(group, op.Fact)
+		changed = append(changed, op.Fact)
 		applied = append(applied, core.FactDelta{Fact: op.Fact, Insert: op.Insert})
 	}
+	flush()
 	if len(applied) == 0 {
 		return cur, nil
 	}
 	db.Compact(s.opts.CompactLimit)
-	fac, err := core.ComputeFactoredDelta(db, s.sigma, s.gen, s.explore(), s.fopt(), core.FactoredDelta{
-		Prev:    cur.Fac,
-		Part:    part,
-		Removed: removed,
-		Ops:     applied,
-	})
+
+	// One partition update covers the whole batch — the O(islands) merge is
+	// paid per publication, not per operation, which is most of what
+	// coalescing amortizes. The net deltas describe the before/after
+	// violation difference, so the touched region re-partitions directly
+	// against the final violation set; the returned fresh islands are
+	// exactly those without a component payload (carried islands brought
+	// theirs along), and removed is the dissolved originals.
+	surviving := func(vios []netVio) []constraint.Violation {
+		out := make([]constraint.Violation, 0, len(vios))
+		for _, e := range vios {
+			if e.live {
+				out = append(out, e.v)
+			}
+		}
+		return out
+	}
+	part, fresh, removed := cur.Part.Update(surviving(elims), surviving(intros), changed)
+	islands := part.Islands()
+
+	// Shard the fresh region: each island explores on the shard its
+	// content hash names, the WaitGroup is the publication barrier, and
+	// errors settle in deterministic island order. Explorations are pure
+	// functions of the island's facts, so the shard count never shows in
+	// the result.
+	inner := s.explore()
+	if len(fresh) > 1 {
+		inner.Workers = 1
+	}
+	scope := core.NewBuildScope(s.sigma, s.gen, inner, s.fopt())
+	explored := make([]core.Explored, len(fresh))
+	errs := make([]error, len(fresh))
+	var wg sync.WaitGroup
+	wg.Add(len(fresh))
+	for fi, isl := range fresh {
+		s.shards[s.shardOf(isl)].tasks <- shardTask{scope: scope, isl: isl, out: &explored[fi], errp: &errs[fi], wg: &wg}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	hits, misses := scope.Accounting(explored)
+	untouched := core.UpdateUntouched(cur.Fac.Untouched, db, part, applied, removed, fresh)
+	fac, err := core.AssembleFactored(db, s.sigma, s.gen, part, untouched, len(islands)-len(fresh), hits, misses)
 	if err != nil {
 		return nil, err
 	}
+	if s.oplog != nil {
+		if err := s.oplog.append(applied); err != nil {
+			return nil, err
+		}
+	}
+	// The build succeeded and (when logging) persisted; only now touch the
+	// resident counters, so a failed publication cannot skew them.
 	s.cumOps += uint64(len(applied))
-	s.cumRecomputed += uint64(len(fac.Components) - fac.Reused)
+	s.cumRecomputed += uint64(len(fresh))
+	for _, isl := range fresh {
+		s.shardRecomputed[s.shardOf(isl)]++
+	}
+	s.lastBatchOps = len(applied)
+	if s.lastBatchOps > s.maxBatchOps {
+		s.maxBatchOps = s.lastBatchOps
+	}
 	next := &Snapshot{DB: db, Violations: vs, Part: part, Fac: fac}
 	next.stats = s.statsFor(next, cur.stats.Version+1)
 	s.cur.Store(next)

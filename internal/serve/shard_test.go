@@ -1,0 +1,370 @@
+package serve_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/generators"
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// stripShards zeroes the per-shard breakdown of a Stats, whose layout —
+// unlike every other field — legitimately depends on the shard count.
+func stripShards(st serve.Stats) serve.Stats {
+	st.Shards = nil
+	return st
+}
+
+// TestServeShardedEquivalence: the same ingest stream served with Shards =
+// 1, 2, 3, 5, 8 publishes final snapshots whose projections — component
+// structure, exact distributions, every fact marginal — and whose stats
+// (up to the per-shard breakdown) are bit-identical, and identical to a
+// from-scratch recompute. The shard attributions themselves must cover the
+// partition and the cumulative recompute count exactly.
+func TestServeShardedEquivalence(t *testing.T) {
+	db, sigma, ops := workload.ServeMix(mixConfig(80, 0.4, 31))
+	var want snapProj
+	var wantStats serve.Stats
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		s, err := serve.New(db, sigma, generators.Uniform{}, serve.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		last := runMix(t, s, ops)
+		got := projectSnap(last)
+		st := last.Stats()
+		if len(st.Shards) != shards {
+			t.Fatalf("shards=%d: stats report %d shards", shards, len(st.Shards))
+		}
+		islands, vios, recomputed := 0, 0, uint64(0)
+		for _, sh := range st.Shards {
+			islands += sh.Islands
+			vios += sh.Violations
+			recomputed += sh.Recomputed
+		}
+		if islands != st.Components || vios != st.Violations || recomputed != st.CumRecomputed {
+			t.Fatalf("shards=%d: shard attribution does not cover the snapshot: %d/%d islands, %d/%d violations, %d/%d recomputes",
+				shards, islands, st.Components, vios, st.Violations, recomputed, st.CumRecomputed)
+		}
+		s.Close()
+		if shards == 1 {
+			want = got
+			wantStats = stripShards(st)
+			wantComps, wantMarg := freshProj(t, last.DB, sigma, 0)
+			if !reflect.DeepEqual(got.Components, wantComps) {
+				t.Fatal("shards=1: served components differ from from-scratch recompute")
+			}
+			if !reflect.DeepEqual(got.Marginals, wantMarg) {
+				t.Fatal("shards=1: served marginals differ from from-scratch recompute")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: projection differs from shards=1", shards)
+		}
+		if !reflect.DeepEqual(stripShards(st), wantStats) {
+			t.Fatalf("shards=%d: stats differ from shards=1:\n  got  %+v\n  want %+v", shards, stripShards(st), wantStats)
+		}
+	}
+}
+
+// TestServeConcurrentShardedStreams: several goroutines drive disjoint
+// randomized ingest/query streams into one server concurrently — so
+// publications coalesce arbitrarily and islands explore on racing shards —
+// and the final snapshot must still match a from-scratch recompute of the
+// deterministic final database, for every shard count.
+func TestServeConcurrentShardedStreams(t *testing.T) {
+	const streams = 4
+	cfg := mixConfig(40, 0.5, 47)
+	for _, shards := range []int{1, 3, 8} {
+		db, sigma, streamOps := workload.ServeStreams(cfg, streams)
+		s, err := serve.New(db, sigma, generators.Uniform{}, serve.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, streams)
+		for _, ops := range streamOps {
+			wg.Add(1)
+			go func(ops []workload.ServeOp) {
+				defer wg.Done()
+				for _, op := range ops {
+					if !op.Ingest {
+						s.FactProbability(op.Fact)
+						continue
+					}
+					if _, err := s.Ingest([]serve.Op{{Fact: op.Fact, Insert: op.Insert}}); err != nil {
+						errc <- fmt.Errorf("ingest %v: %w", op, err)
+						return
+					}
+				}
+			}(ops)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatalf("shards=%d: %v", shards, err)
+		default:
+		}
+
+		// The streams' islands are disjoint, so the final database is the
+		// same whatever the interleaving: replay them sequentially.
+		shadow := db.Clone()
+		for _, ops := range streamOps {
+			for _, op := range ops {
+				if !op.Ingest {
+					continue
+				}
+				if op.Insert {
+					shadow.Insert(op.Fact)
+				} else {
+					shadow.Delete(op.Fact)
+				}
+			}
+		}
+		final := s.Snapshot()
+		if !final.DB.Equal(shadow) {
+			t.Fatalf("shards=%d: final database diverged from the deterministic interleaving", shards)
+		}
+		wantComps, wantMarg := freshProj(t, shadow, sigma, 0)
+		if !reflect.DeepEqual(projectComponents(final.Fac), wantComps) {
+			t.Fatalf("shards=%d: concurrent serving diverged from from-scratch components", shards)
+		}
+		var gotMarg []string
+		facts := shadow.Facts()
+		relation.SortFacts(facts)
+		for _, f := range facts {
+			gotMarg = append(gotMarg, final.Fac.FactProbability(f).RatString())
+		}
+		if !reflect.DeepEqual(gotMarg, wantMarg) {
+			t.Fatalf("shards=%d: concurrent serving diverged from from-scratch marginals", shards)
+		}
+		s.Close()
+	}
+}
+
+// TestServeReplayRebuildsSnapshot: a server with an op log, shut down and
+// restarted from the same base corpus, must republish the exact
+// pre-shutdown snapshot — stats deep-equal, projection deep-equal — keep
+// serving ingests afterwards, and survive a second restart the same way.
+func TestServeReplayRebuildsSnapshot(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "ingest.oplog")
+	opts := serve.Options{Shards: 3, LogPath: logPath}
+	db, sigma, ops := workload.ServeMix(mixConfig(60, 0.5, 53))
+
+	s, err := serve.New(db, sigma, generators.Uniform{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := runMix(t, s, ops)
+	wantStats := s.Stats()
+	wantProj := projectSnap(last)
+	if wantStats.Version == 0 {
+		t.Fatal("stream published nothing; the replay check is vacuous")
+	}
+	s.Close()
+
+	s2, err := serve.New(db, sigma, generators.Uniform{}, opts)
+	if err != nil {
+		t.Fatalf("restart with replay: %v", err)
+	}
+	if got := s2.Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Fatalf("replayed stats diverge:\n  got  %+v\n  want %+v", got, wantStats)
+	}
+	if got := projectSnap(s2.Snapshot()); !reflect.DeepEqual(got, wantProj) {
+		t.Fatal("replayed snapshot projection diverges from the pre-shutdown snapshot")
+	}
+
+	// The replayed server keeps serving and logging: one more effective
+	// ingest, then a second restart must land one version further.
+	var toggle serve.Op
+	toggle.Fact = relation.NewFact("E", "i00000000_n001", "i00000000_n002")
+	toggle.Insert = !s2.Snapshot().DB.Contains(toggle.Fact)
+	sn, err := s2.Ingest([]serve.Op{toggle})
+	if err != nil {
+		t.Fatalf("post-replay ingest: %v", err)
+	}
+	if sn.Version() != wantStats.Version+1 {
+		t.Fatalf("post-replay ingest published version %d, want %d", sn.Version(), wantStats.Version+1)
+	}
+	wantStats2 := s2.Stats()
+	s2.Close()
+
+	s3, err := serve.New(db, sigma, generators.Uniform{}, opts)
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	defer s3.Close()
+	if got := s3.Stats(); !reflect.DeepEqual(got, wantStats2) {
+		t.Fatalf("second replay diverges:\n  got  %+v\n  want %+v", got, wantStats2)
+	}
+}
+
+// TestServeReplayLogRobustness: a torn trailing record (a crash mid-write)
+// is dropped and truncated away on restart, while a complete but
+// undecodable record is corruption and must fail the restart loudly.
+func TestServeReplayLogRobustness(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "ingest.oplog")
+	opts := serve.Options{Shards: 2, LogPath: logPath}
+	db, sigma, ops := workload.ServeMix(mixConfig(30, 0.6, 61))
+
+	s, err := serve.New(db, sigma, generators.Uniform{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMix(t, s, ops)
+	wantStats := s.Stats()
+	s.Close()
+
+	// Torn tail: half a record, no terminating newline.
+	appendRaw(t, logPath, `{"ops":[{"p":"E","a":["x`)
+	s2, err := serve.New(db, sigma, generators.Uniform{}, opts)
+	if err != nil {
+		t.Fatalf("restart over a torn tail: %v", err)
+	}
+	if got := s2.Stats(); !reflect.DeepEqual(got, wantStats) {
+		t.Fatalf("torn tail changed the replayed stats:\n  got  %+v\n  want %+v", got, wantStats)
+	}
+	s2.Close()
+	if data, err := os.ReadFile(logPath); err != nil || strings.Contains(string(data), `["x`) {
+		t.Fatalf("torn tail not truncated away (err %v)", err)
+	}
+
+	// A complete garbage line is corruption, not a tail: refuse to serve.
+	appendRaw(t, logPath, "not json\n")
+	if _, err := serve.New(db, sigma, generators.Uniform{}, opts); err == nil {
+		t.Fatal("restart over a corrupt record must fail")
+	} else if !strings.Contains(err.Error(), "op log") {
+		t.Fatalf("corrupt-record error does not name the log: %v", err)
+	}
+}
+
+func appendRaw(t *testing.T, path, chunk string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeIngestCloseRace races many Ingest callers against Close: every
+// caller must get either a published snapshot or ErrClosed — never a hang,
+// never a lost reply — and the watchdog turns a deadlock into a failure
+// instead of a test timeout.
+func TestServeIngestCloseRace(t *testing.T) {
+	db, sigma := workload.Islands(workload.IslandsConfig{Islands: 8, FactsPerIsland: 3, IsoRatio: 1, Seed: 71})
+	s, err := serve.New(db, sigma, generators.Uniform{}, serve.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	start := make(chan struct{})
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			f := relation.NewFact("E", fmt.Sprintf("i%08d_n001", w), fmt.Sprintf("i%08d_n002", w))
+			insert := false
+			for i := 0; ; i++ {
+				sn, err := s.Ingest([]serve.Op{{Fact: f, Insert: insert}})
+				insert = !insert
+				if err != nil {
+					if err != serve.ErrClosed {
+						errc <- fmt.Errorf("caller %d: %v", w, err)
+					}
+					return
+				}
+				if sn == nil {
+					errc <- fmt.Errorf("caller %d: nil snapshot without error", w)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("an Ingest caller hung across Close")
+	}
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if s.Snapshot() == nil {
+		t.Fatal("queries must survive Close")
+	}
+}
+
+// TestHTTPIngestVsShutdown races in-flight HTTP ingests against Server.Close:
+// every request must complete with 200 (published before the close won) or
+// 503 (ErrClosed surfaced), never hang or fail transport-level.
+func TestHTTPIngestVsShutdown(t *testing.T) {
+	s, ts := httpFixture(t)
+	const callers = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	start := make(chan struct{})
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			fact := fmt.Sprintf("E(race_%d_a, race_%d_b)", w, w)
+			for i := 0; i < 50; i++ {
+				req := serve.IngestRequest{Insert: []string{fact}}
+				if i%2 == 1 {
+					req = serve.IngestRequest{Delete: []string{fact}}
+				}
+				status, err := postStatus(ts.URL+"/v1/ingest", req)
+				if err != nil {
+					errc <- fmt.Errorf("caller %d: %v", w, err)
+					return
+				}
+				if status != 200 && status != 503 {
+					errc <- fmt.Errorf("caller %d: HTTP %d, want 200 or 503", w, status)
+					return
+				}
+				if status == 503 {
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// After Close every ingest is a clean 503 and queries still answer.
+	status, err := postStatus(ts.URL+"/v1/ingest", serve.IngestRequest{Insert: []string{"E(post, close)"}})
+	if err != nil || status != 503 {
+		t.Fatalf("ingest after Close: HTTP %d, %v; want 503", status, err)
+	}
+	var fr serve.FactResponse
+	postJSON(t, ts.URL+"/v1/fact", serve.FactRequest{Fact: "E(ghost, town)"}, 200, &fr)
+}

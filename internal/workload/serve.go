@@ -81,3 +81,54 @@ func ServeMix(cfg ServeMixConfig) (*relation.Database, *constraint.Set, []ServeO
 	}
 	return d, sigma, ops
 }
+
+// ServeStreams generates the Islands database, its constraint set, and
+// `streams` operation streams of cfg.Ops operations each, built like
+// ServeMix but over disjoint island sets: island i belongs to stream
+// i mod streams, and only that stream toggles or probes it. Because each
+// island's middle edge is flipped by exactly one stream, the database
+// reached by running the streams concurrently is independent of how the
+// server interleaves or coalesces them — island i's edge ends up wherever
+// stream (i mod streams)'s toggle count left it — so a deterministic
+// oracle recompute of the final state exists even under racing writers.
+// Each stream is a pure function of (cfg, streams, its index).
+func ServeStreams(cfg ServeMixConfig, streams int) (*relation.Database, *constraint.Set, [][]ServeOp) {
+	d, sigma := Islands(IslandsConfig{
+		Islands:        cfg.Islands,
+		FactsPerIsland: cfg.FactsPerIsland,
+		IsoRatio:       cfg.IsoRatio,
+		Seed:           cfg.Seed,
+	})
+	mid := cfg.FactsPerIsland / 2
+	name := func(i, n int) string { return fmt.Sprintf("i%08d_n%03d", i, n) }
+	out := make([][]ServeOp, streams)
+	for s := 0; s < streams; s++ {
+		var mine []int
+		for i := s; i < cfg.Islands; i += streams {
+			mine = append(mine, i)
+		}
+		if len(mine) == 0 {
+			out[s] = []ServeOp{}
+			continue
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 2 + int64(s)))
+		present := make(map[int]bool, len(mine))
+		for _, i := range mine {
+			present[i] = d.Contains(relation.NewFact("E", name(i, mid), name(i, mid+1)))
+		}
+		ops := make([]ServeOp, 0, cfg.Ops)
+		for k := 0; k < cfg.Ops; k++ {
+			i := mine[rng.Intn(len(mine))]
+			if rng.Float64() < cfg.IngestRatio {
+				edge := relation.NewFact("E", name(i, mid), name(i, mid+1))
+				ops = append(ops, ServeOp{Ingest: true, Insert: !present[i], Fact: edge})
+				present[i] = !present[i]
+			} else {
+				n := rng.Intn(cfg.FactsPerIsland)
+				ops = append(ops, ServeOp{Fact: relation.NewFact("E", name(i, n), name(i, n+1))})
+			}
+		}
+		out[s] = ops
+	}
+	return d, sigma, out
+}

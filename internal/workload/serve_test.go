@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func streamsConfig(ops int) ServeMixConfig {
+	return ServeMixConfig{
+		Islands:        10,
+		FactsPerIsland: 4,
+		IsoRatio:       0.5,
+		Ops:            ops,
+		IngestRatio:    0.5,
+		Seed:           9,
+	}
+}
+
+// islandOf recovers the island index from a workload fact name
+// ("i%08d_n%03d").
+func islandOf(t *testing.T, f relation.Fact) int {
+	t.Helper()
+	var i, n int
+	if _, err := fmt.Sscanf(f.ArgNames()[0], "i%08d_n%03d", &i, &n); err != nil {
+		t.Fatalf("fact %s is not a workload edge: %v", f, err)
+	}
+	return i
+}
+
+// TestServeStreamsDisjointAndDeterministic: streams are pure functions of
+// the config, each of the requested length, and stream s only ever touches
+// islands ≡ s (mod streams) — the property that makes the final database
+// independent of how concurrent streams interleave.
+func TestServeStreamsDisjointAndDeterministic(t *testing.T) {
+	const streams = 3
+	cfg := streamsConfig(50)
+	d1, _, a := ServeStreams(cfg, streams)
+	_, _, b := ServeStreams(cfg, streams)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config must reproduce the streams")
+	}
+	if len(a) != streams {
+		t.Fatalf("got %d streams, want %d", len(a), streams)
+	}
+	toggles := 0
+	for s, ops := range a {
+		if len(ops) != cfg.Ops {
+			t.Fatalf("stream %d has %d ops, want %d", s, len(ops), cfg.Ops)
+		}
+		for _, op := range ops {
+			if got := islandOf(t, op.Fact); got%streams != s {
+				t.Fatalf("stream %d touches island %d (owned by stream %d)", s, got, got%streams)
+			}
+			if op.Ingest {
+				toggles++
+			}
+		}
+	}
+	if toggles == 0 {
+		t.Fatal("streams contain no ingests; the concurrency workload is vacuous")
+	}
+	if d1.Size() == 0 {
+		t.Fatal("empty base database")
+	}
+}
+
+// TestServeStreamsOrderIndependentFinalState: applying the streams
+// sequentially in any order lands on the same database — the oracle the
+// concurrent server test recomputes against.
+func TestServeStreamsOrderIndependentFinalState(t *testing.T) {
+	const streams = 4
+	d, _, ops := ServeStreams(streamsConfig(60), streams)
+	apply := func(order []int) *relation.Database {
+		db := d.Clone()
+		for _, s := range order {
+			for _, op := range ops[s] {
+				if !op.Ingest {
+					continue
+				}
+				if op.Insert {
+					db.Insert(op.Fact)
+				} else {
+					db.Delete(op.Fact)
+				}
+			}
+		}
+		return db
+	}
+	fwd := apply([]int{0, 1, 2, 3})
+	rev := apply([]int{3, 2, 1, 0})
+	if !fwd.Equal(rev) {
+		t.Fatal("stream application order changed the final database")
+	}
+	if fwd.Equal(d) {
+		t.Fatal("streams were all no-ops")
+	}
+}
