@@ -39,7 +39,9 @@ func subsetRepairs(d *relation.Database, sigma *constraint.Set) []*relation.Data
 
 	var explore func(cur *relation.Database)
 	explore = func(cur *relation.Database) {
-		k := cur.Key()
+		// Dedup by the packed binary id key; the legacy string Key stays in
+		// sortDatabases/dedupDatabases, which define the reported order.
+		k := cur.IDKey()
 		if seen[k] {
 			return
 		}

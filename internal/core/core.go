@@ -118,9 +118,14 @@ func ComputeTreeMode(inst *repair.Instance, g markov.Generator, opt markov.Explo
 	}
 	type agg struct {
 		db   *relation.Database
-		p    *big.Rat
+		key  string // legacy database key, for the reported repair order
+		p    prob.Rat
 		seqs int
 	}
+	// Leaves are merged by the packed binary Database.IDKey (cheap, id-order
+	// grouping ≡ legacy Key grouping); the human-readable Key is computed
+	// once per distinct repair, only to report Repairs in the documented
+	// database-key order.
 	byDB := map[string]*agg{}
 	sem := &Semantics{SuccessP: prob.Zero(), FailP: prob.Zero()}
 	for _, leaf := range leaves {
@@ -140,24 +145,24 @@ func ComputeTreeMode(inst *repair.Instance, g markov.Generator, opt markov.Explo
 		}
 		sem.SuccessP.Add(sem.SuccessP, leaf.Pi)
 		db := leaf.State.Result()
-		k := db.Key()
+		k := db.IDKey()
 		a, ok := byDB[k]
 		if !ok {
-			a = &agg{db: db.Clone(), p: prob.Zero()}
+			a = &agg{db: db.Clone()}
+			a.key = a.db.Key()
 			byDB[k] = a
 		}
-		a.p.Add(a.p, leaf.Pi)
+		a.p.AddBig(leaf.Pi)
 		a.seqs++
 	}
-	keys := make([]string, 0, len(byDB))
-	for k := range byDB {
-		keys = append(keys, k)
+	aggs := make([]*agg, 0, len(byDB))
+	for _, a := range byDB {
+		aggs = append(aggs, a)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		a := byDB[k]
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].key < aggs[j].key })
+	for _, a := range aggs {
 		sem.Repairs = append(sem.Repairs, Repair{
-			DB: a.db, P: a.p, Sequences: a.seqs, SeqCount: big.NewInt(int64(a.seqs)),
+			DB: a.db, P: a.p.Big(), Sequences: a.seqs, SeqCount: big.NewInt(int64(a.seqs)),
 		})
 	}
 	sem.TotalSequences = big.NewInt(int64(len(leaves)))
@@ -190,8 +195,9 @@ func ComputeDAGMode(inst *repair.Instance, g markov.Generator, opt markov.Explor
 	if err != nil {
 		return nil, err
 	}
-	sem := &Semantics{SuccessP: prob.Zero(), FailP: prob.Zero()}
+	sem := &Semantics{}
 	absorbing, failing := new(big.Int), new(big.Int)
+	var succP, failP prob.Rat
 	var repairKeys []string
 	for _, leaf := range dag.Leaves {
 		absorbing.Add(absorbing, leaf.Sequences)
@@ -205,18 +211,22 @@ func ComputeDAGMode(inst *repair.Instance, g markov.Generator, opt markov.Explor
 		}
 		if !leaf.State.IsSuccessful() {
 			failing.Add(failing, leaf.Sequences)
-			sem.FailP.Add(sem.FailP, leaf.Pi)
+			failP.AddBig(leaf.Pi)
 			continue
 		}
-		sem.SuccessP.Add(sem.SuccessP, leaf.Pi)
+		succP.AddBig(leaf.Pi)
+		// The DAG's leaves are materialized fresh for this exploration and
+		// the dag value never escapes, so the semantics adopts leaf.Pi and
+		// leaf.Sequences instead of copying them.
 		sem.Repairs = append(sem.Repairs, Repair{
 			DB:        leaf.State.Result().Clone(),
-			P:         new(big.Rat).Set(leaf.Pi),
+			P:         leaf.Pi,
 			Sequences: satInt(leaf.Sequences),
-			SeqCount:  new(big.Int).Set(leaf.Sequences),
+			SeqCount:  leaf.Sequences,
 		})
 		repairKeys = append(repairKeys, leaf.Key)
 	}
+	sem.SuccessP, sem.FailP = succP.Big(), failP.Big()
 	sem.AbsorbingStates = satInt(absorbing)
 	sem.FailingStates = satInt(failing)
 	sem.TotalSequences = absorbing
@@ -332,27 +342,34 @@ type AnswerSet struct {
 // OCA evaluates the query over every operational repair and returns the
 // tuples with positive conditional probability, sorted lexicographically.
 func (s *Semantics) OCA(q *fo.Query) *AnswerSet {
-	num := map[string]*Answer{}
+	// Numerators accumulate on the small-rational fast path: one AddBig per
+	// (repair, answer) pair is the hot loop of exact query answering.
+	type acc struct {
+		tuple []string
+		p     prob.Rat
+	}
+	num := map[string]*acc{}
 	for _, r := range s.Repairs {
 		for _, tuple := range q.Answers(r.DB) {
 			k := fo.TupleKey(tuple)
 			a, ok := num[k]
 			if !ok {
-				a = &Answer{Tuple: tuple, P: prob.Zero()}
+				a = &acc{tuple: tuple}
 				num[k] = a
 			}
-			a.P.Add(a.P, r.P)
+			a.p.AddBig(r.P)
 		}
 	}
 	out := &AnswerSet{Query: q}
 	for _, a := range num {
+		p := a.p.Big()
 		if s.SuccessP.Sign() != 0 {
-			a.P.Quo(a.P, s.SuccessP)
+			p.Quo(p, s.SuccessP)
 		} else {
-			a.P = prob.Zero()
+			p = prob.Zero()
 		}
-		if a.P.Sign() > 0 {
-			out.Answers = append(out.Answers, *a)
+		if p.Sign() > 0 {
+			out.Answers = append(out.Answers, Answer{Tuple: a.tuple, P: p})
 		}
 	}
 	// Sort by the tuples themselves: TupleKey is a process-local interned

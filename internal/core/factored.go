@@ -176,12 +176,15 @@ func (c *Component) marginal(fact relation.Fact) *big.Rat {
 		}
 		sem = c.canon
 	}
-	p := prob.Zero()
+	// Repair masses are summed with the small-rational fast path; the
+	// canonical big.Rat is materialized once for the final division.
+	var acc prob.Rat
 	for _, r := range sem.Repairs {
 		if r.DB.Contains(fact) {
-			p.Add(p, r.P)
+			acc.AddBig(r.P)
 		}
 	}
+	p := acc.Big()
 	if sem.SuccessP.Sign() != 0 {
 		p.Quo(p, sem.SuccessP)
 	}
@@ -539,7 +542,7 @@ func canonSym(i int) intern.Sym {
 func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv []intern.Sym, ren map[intern.Sym]intern.Sym) {
 	ren = map[intern.Sym]intern.Sym{}
 	canon = make([]relation.Fact, len(facts))
-	buf := make([]byte, 0, 4*len(facts))
+	ids := make([]uint32, len(facts))
 	for i, f := range facts {
 		orig := f.Args()
 		args := make([]intern.Sym, len(orig))
@@ -554,10 +557,12 @@ func canonicalize(facts []relation.Fact) (canon []relation.Fact, key string, inv
 		}
 		cf := relation.FactOf(f.Pred(), args)
 		canon[i] = cf
-		id := cf.ID()
-		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		ids[i] = cf.ID()
 	}
-	return canon, string(buf), inv, ren
+	// Pack with the shared id-key encoding (relation.AppendIDKey), over the
+	// canonical ids in input (sorted-fact) order.
+	key = string(relation.AppendIDKey(make([]byte, 0, 4*len(ids)), ids))
+	return canon, key, inv, ren
 }
 
 // renameSemantics deep-copies a semantics with every repair fact's

@@ -3,6 +3,7 @@ package fo
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/intern"
 	"repro/internal/logic"
@@ -17,6 +18,16 @@ type Query struct {
 	Name string
 	Out  []logic.Term
 	F    Formula
+
+	// The conjunctive-query analysis — whether the formula is a CQ, its
+	// atom list, and the output positions unconstrained by the body — is a
+	// pure function of the query, so it is computed once and shared. The
+	// exact engines evaluate the same query over thousands of repairs;
+	// re-deriving the analysis per database was visible in OCA profiles.
+	cqOnce          sync.Once
+	cqAtoms         []logic.Atom
+	cqOK            bool
+	cqUnconstrained []int
 }
 
 // NewQuery builds and validates a query.
@@ -176,32 +187,45 @@ func (q *Query) forEachAnswerEnum(d *relation.Database, fn func([]intern.Sym)) {
 // asConjunctiveBody reports whether the formula is a pure conjunction of
 // positive relational atoms (possibly under existential quantifiers) whose
 // free variables are exactly the output variables — i.e. a conjunctive
-// query — and returns its atoms.
+// query — and returns its atoms. The analysis (including the projection of
+// cqProjection) is computed on first use and cached.
 func (q *Query) asConjunctiveBody() ([]logic.Atom, bool) {
-	f := q.F
-	// Strip one layer of existential quantifiers.
-	if ex, ok := f.(Exists); ok {
-		f = ex.F
-	}
-	var atoms []logic.Atom
-	var collect func(Formula) bool
-	collect = func(g Formula) bool {
-		switch t := g.(type) {
-		case Atom:
-			atoms = append(atoms, t.A)
-			return true
-		case And:
-			return collect(t.L) && collect(t.R)
-		case Exists:
-			return false // nested quantifiers: fall back to enumeration
-		default:
-			return false
+	q.cqOnce.Do(func() {
+		f := q.F
+		// Strip one layer of existential quantifiers.
+		if ex, ok := f.(Exists); ok {
+			f = ex.F
 		}
-	}
-	if !collect(f) {
-		return nil, false
-	}
-	return atoms, true
+		var atoms []logic.Atom
+		var collect func(Formula) bool
+		collect = func(g Formula) bool {
+			switch t := g.(type) {
+			case Atom:
+				atoms = append(atoms, t.A)
+				return true
+			case And:
+				return collect(t.L) && collect(t.R)
+			case Exists:
+				return false // nested quantifiers: fall back to enumeration
+			default:
+				return false
+			}
+		}
+		if !collect(f) {
+			return
+		}
+		q.cqAtoms, q.cqOK = atoms, true
+		bodyVars := map[intern.Sym]bool{}
+		for _, v := range logic.VarsOf(atoms) {
+			bodyVars[v.Sym()] = true
+		}
+		for i, v := range q.Out {
+			if !bodyVars[v.Sym()] {
+				q.cqUnconstrained = append(q.cqUnconstrained, i)
+			}
+		}
+	})
+	return q.cqAtoms, q.cqOK
 }
 
 // answersCQ is the direct-collect CQ evaluation behind Answers. It mirrors
@@ -251,25 +275,16 @@ func (q *Query) answersCQ(d *relation.Database, atoms []logic.Atom) [][]string {
 	return out
 }
 
-// cqProjection computes the output positions whose variables do not occur
-// in the body (they range over the active domain) and materializes the
-// domain only when such positions exist.
+// cqProjection returns the cached output positions whose variables do not
+// occur in the body (they range over the active domain) and materializes
+// the domain only when such positions exist. Callers reach it through
+// asConjunctiveBody, which fills the cache.
 func (q *Query) cqProjection(d *relation.Database, atoms []logic.Atom) ([]int, []intern.Sym) {
-	bodyVars := map[intern.Sym]bool{}
-	for _, v := range logic.VarsOf(atoms) {
-		bodyVars[v.Sym()] = true
-	}
-	var unconstrained []int
-	for i, v := range q.Out {
-		if !bodyVars[v.Sym()] {
-			unconstrained = append(unconstrained, i)
-		}
-	}
 	var dom []intern.Sym
-	if len(unconstrained) > 0 {
+	if len(q.cqUnconstrained) > 0 {
 		dom = d.DomSyms()
 	}
-	return unconstrained, dom
+	return q.cqUnconstrained, dom
 }
 
 // forEachAnswerCQ evaluates a conjunctive query via homomorphism search

@@ -8,27 +8,50 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ops"
 	"repro/internal/prob"
+	"repro/internal/relation"
 	"repro/internal/repair"
 )
 
 // This file implements the DAG-collapsed exact engine. The sequence tree of
 // Definition 5 distinguishes states by their whole history, so it is
 // factorial in the number of operations; but for a Collapsible chain
-// (memoryless generator, TGD-free constraints) states with equal
-// Database.Key() are interchangeable, and the tree quotients into a DAG
-// whose nodes are the distinct reachable sub-databases. The engine
-// accumulates each node's incoming path mass π (and the number of
-// sequences reaching it) and pushes mass along edges computed once per
-// node, instead of once per sequence prefix.
+// (memoryless generator, TGD-free constraints) states with equal databases
+// are interchangeable, and the tree quotients into a DAG whose nodes are
+// the distinct reachable sub-databases. The engine accumulates each node's
+// incoming path mass π (and the number of sequences reaching it) and pushes
+// mass along edges computed once per node, instead of once per sequence
+// prefix.
 //
 // Topological order comes for free: every operation of a TGD-free chain is
 // a deletion, so each edge strictly shrinks the database and the nodes
 // partition into levels by database size. A node's mass is complete once
 // every strictly larger level has been processed, so the engine sweeps
-// sizes downward, expanding each level's frontier with a worker pool
-// (states are copy-on-write clones, so expansion is embarrassingly
-// parallel; the merge that follows is sequential and deterministic).
+// sizes downward.
+//
+// States are merged by the packed binary Database.IDKey encoding, derived
+// incrementally: each state caches its sorted fact ids (repair.FactIDs) and
+// a child's key is the parent's minus the deleted entry — one binary search
+// plus two packed runs (State.AppendChildIDKey), never a re-enumeration of
+// the database. The human-readable Database.Key() appears only at the
+// presentation boundary: DAGLeaf.Key is converted once per absorbing
+// database when the leaf is emitted.
+//
+// Each level is processed in three phases. Phase 1 (parallel): every
+// frontier node resolves its edges via Step and derives each edge's packed
+// child key into a per-node byte arena — no child states yet. Phase 2
+// (sequential, sorted-key order): edges are merged into child nodes,
+// accumulating π with the small-rational fast path (prob.Rat) and sequence
+// counts, and recording, for every *distinct* new child database, the
+// deterministic (first in merge order) parent edge that creates it. Phase 3
+// (parallel): only those creator edges materialize child states via
+// repair.Child — one state per distinct database instead of one per edge.
+// Phase 2's merge order is independent of scheduling and exact rational
+// arithmetic is order-insensitive, so the result is bit-identical for every
+// worker count. Once a level is merged its non-absorbing states are
+// dropped, so retained memory tracks the live frontier (plus the witness
+// chains pinned by it), not the whole DAG.
 //
 // The propagated per-leaf sequence counts are load-bearing beyond
 // statistics: the sequence-uniform semantics (core.ComputeDAGMode with
@@ -44,9 +67,10 @@ var ErrNotCollapsible = errors.New("markov: chain does not collapse to a DAG; us
 
 // DAGLeaf is one absorbing database of the collapsed chain: a witness
 // absorbing state (one representative sequence producing the database), the
-// database's canonical key (the engine's merge key, saved so consumers
-// need not re-encode the database), the total hitting mass, and the number
-// of absorbing sequences the sequence tree would enumerate for it.
+// database's canonical string key (converted from the engine's packed merge
+// key once, here, so consumers need not re-encode the database), the total
+// hitting mass, and the number of absorbing sequences the sequence tree
+// would enumerate for it.
 type DAGLeaf struct {
 	State     *repair.State
 	Key       string // State.Result().Key()
@@ -61,8 +85,8 @@ type DAGLeaf struct {
 // DAG summarizes a collapsed exploration.
 type DAG struct {
 	// Leaves lists the absorbing databases in deterministic order, one
-	// entry per distinct result (leaves are merged by Database.Key, so no
-	// two entries share a database).
+	// entry per distinct result (leaves are merged by database identity, so
+	// no two entries share a database).
 	Leaves []DAGLeaf
 	// States counts the distinct databases visited, including the root;
 	// this is the quantity that replaces the tree's sequence count.
@@ -76,23 +100,47 @@ type DAG struct {
 }
 
 // dagNode accumulates a distinct state's incoming mass until its level is
-// processed.
+// processed. Nodes are carved from slabs (takeNode) and recycled through a
+// free list once their level is merged — absorbing nodes included, whose
+// accumulators are copied out into the emitted DAGLeaf first — so nothing
+// a node owns outlives the exploration and the embedded seqs big.Int keeps
+// its storage across reuses.
 type dagNode struct {
 	state *repair.State
-	pi    *big.Rat
-	seqs  *big.Int
+	// key is the node's packed id key — the same string the level map is
+	// keyed by, so retaining it costs a pointer (seqdag.go relies on this
+	// sharing for its child references).
+	key  string
+	pi   prob.Rat
+	seqs big.Int
 	// seqsByLen[l] counts the sequences of length l reaching the node; only
 	// maintained under ExploreOptions.TrackLengths.
 	seqsByLen []*big.Int
 }
 
-// expansion is the parallel phase's per-node result: the node's outgoing
-// edges with their child states and database keys, resolved by one worker.
+// expansion is phase 1's per-node result: the node's outgoing edges and the
+// packed id key of each edge's child database, derived incrementally from
+// the parent (no child state is materialized here). keyOff[j]:keyOff[j+1]
+// bounds edge j's key in arena; both arena and keyOff are reused across
+// levels.
 type expansion struct {
-	edges    []Edge
-	children []*repair.State
-	keys     []string
-	err      error
+	edges  []ratEdge
+	keyOff []int
+	arena  []byte
+	err    error
+}
+
+// childKey returns edge j's packed child database key.
+func (exp *expansion) childKey(j int) []byte {
+	return exp.arena[exp.keyOff[j]:exp.keyOff[j+1]]
+}
+
+// creator records the deterministic (parent, op) edge chosen to materialize
+// a distinct child database's state in phase 3.
+type creator struct {
+	parent *dagNode
+	child  *dagNode
+	op     ops.Op
 }
 
 // ExploreDAG explores the support of a Collapsible chain M_Σ(D) merged by
@@ -112,51 +160,75 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 
 	root := inst.Root()
 	rootSize := root.Result().Size()
-	rootNode := &dagNode{state: root, pi: prob.One(), seqs: big.NewInt(1)}
+	rootKey := string(relation.AppendIDKey(make([]byte, 0, 4*rootSize), root.FactIDs()))
+	rootNode := &dagNode{state: root, key: rootKey, pi: prob.RatOne()}
+	rootNode.seqs.SetInt64(1)
 	if opt.TrackLengths {
 		rootNode.seqsByLen = []*big.Int{big.NewInt(1)} // the empty sequence
 	}
-	// levels[n] holds the pending nodes whose database has n facts.
-	levels := map[int]map[string]*dagNode{
-		rootSize: {root.Result().Key(): rootNode},
-	}
+	// levels[n] holds the pending nodes whose database has n facts; edges
+	// only shrink the database, so sizes range over [0, rootSize] and a
+	// slice indexed by size replaces a map of levels.
+	levels := make([]map[string]*dagNode, rootSize+1)
+	levels[rootSize] = map[string]*dagNode{rootKey: rootNode}
 	dag := &DAG{States: 1, Sequences: new(big.Int)}
+
+	// Per-level scratch, reused across the sweep: the sorted frontier, its
+	// expansions (each with its key arena), the new-database creator list,
+	// and the dagNode free list.
+	var (
+		nodes    []*dagNode
+		exps     []expansion
+		creators []creator
+		arena    nodeArena
+		// total accumulates the emitted leaf mass for the Proposition 3
+		// sanity check, entirely on the small-rational fast path.
+		total prob.Rat
+	)
 
 	for size := rootSize; size >= 0; size-- {
 		level := levels[size]
-		delete(levels, size)
+		levels[size] = nil
 		if len(level) == 0 {
 			continue
 		}
-		keys := make([]string, 0, len(level))
-		for k := range level {
-			keys = append(keys, k)
+		nodes = nodes[:0]
+		for _, n := range level {
+			nodes = append(nodes, n)
 		}
-		sort.Strings(keys)
-
-		exps := expandLevel(g, level, keys, workers)
-
 		// Sequential merge in sorted-key order: deterministic leaf order
 		// and mass accumulation independent of scheduling.
-		for i, k := range keys {
-			n, exp := level[k], &exps[i]
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].key < nodes[j].key })
+
+		exps = expandLevel(g, nodes, exps, workers)
+
+		creators = creators[:0]
+		for i, n := range nodes {
+			exp := &exps[i]
 			if exp.err != nil {
 				return nil, exp.err
 			}
 			if len(exp.edges) == 0 {
+				// Absorbing: convert the packed merge key to the canonical
+				// string key — the engine's only legacy-key encoding, once
+				// per distinct absorbing database — and copy the accumulators
+				// out, so the node itself can be recycled below.
 				dag.Leaves = append(dag.Leaves, DAGLeaf{
-					State: n.state, Key: k, Pi: n.pi, Sequences: n.seqs, SeqsByLength: n.seqsByLen,
+					State: n.state, Key: n.state.Result().Key(), Pi: n.pi.Big(),
+					Sequences: new(big.Int).Set(&n.seqs), SeqsByLength: n.seqsByLen,
 				})
-				dag.Sequences.Add(dag.Sequences, n.seqs)
+				dag.Sequences.Add(dag.Sequences, &n.seqs)
+				total.Add(&n.pi)
 				continue
 			}
-			for j, e := range exp.edges {
-				child, ck := exp.children[j], exp.keys[j]
-				csize := child.Result().Size()
+			for j := range exp.edges {
+				e := &exp.edges[j]
+				ck := exp.childKey(j)
+				csize := len(ck) / 4
 				if csize >= size {
 					// Cannot happen for a TGD-free chain (every op deletes);
 					// guard the topological order rather than corrupt masses.
-					return nil, fmt.Errorf("%w: operation %s grew the database", ErrNotCollapsible, e.Op)
+					return nil, fmt.Errorf("%w: operation %s grew the database", ErrNotCollapsible, e.op)
 				}
 				dag.Edges++
 				lvl := levels[csize]
@@ -164,17 +236,19 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 					lvl = map[string]*dagNode{}
 					levels[csize] = lvl
 				}
-				cn, ok := lvl[ck]
+				cn, ok := lvl[string(ck)] // compiles to a no-alloc lookup
 				if !ok {
-					cn = &dagNode{state: child, pi: prob.Zero(), seqs: new(big.Int)}
-					lvl[ck] = cn
+					cn = arena.take()
+					cn.key = string(ck) // the one key allocation per distinct database
+					lvl[cn.key] = cn
+					creators = append(creators, creator{parent: n, child: cn, op: e.op})
 					dag.States++
 					if opt.MaxStates > 0 && dag.States > opt.MaxStates {
 						return nil, ErrStateBudget
 					}
 				}
-				cn.pi.Add(cn.pi, new(big.Rat).Mul(n.pi, e.P))
-				cn.seqs.Add(cn.seqs, n.seqs)
+				cn.pi.AddMulRat(&n.pi, &e.p)
+				cn.seqs.Add(&cn.seqs, &n.seqs)
 				if opt.TrackLengths {
 					// Every edge is one operation: sequences of length l at
 					// the parent extend to length l+1 at the child.
@@ -187,51 +261,95 @@ func ExploreDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*DAG, e
 				}
 			}
 		}
+
+		materializeStates(creators, workers)
+
+		// The level is merged: recycle every node and drop its state, so
+		// peak memory tracks the frontier. (Whatever a leaf's DAGLeaf needs
+		// was copied out or detached at emission.)
+		for _, n := range nodes {
+			n.state = nil
+			n.key = ""
+			n.pi = prob.Rat{}
+			n.seqs.SetInt64(0)
+			n.seqsByLen = nil
+			arena.free = append(arena.free, n)
+		}
 	}
 
-	total := new(big.Rat)
-	for _, l := range dag.Leaves {
-		total.Add(total, l.Pi)
-	}
-	if !prob.IsOne(total) {
-		return nil, fmt.Errorf("%w: hitting distribution sums to %s", ErrNotWellDefined, total.RatString())
+	if !total.IsOne() {
+		return nil, fmt.Errorf("%w: hitting distribution sums to %s", ErrNotWellDefined, total.Big().RatString())
 	}
 	return dag, nil
 }
 
-// expandLevel resolves every node of one frontier level: edges via Step and
-// one child state (plus database key) per edge. Nodes are independent —
-// each worker owns its states and their fresh copy-on-write clones — so the
-// level splits across min(workers, len(keys)) goroutines.
-func expandLevel(g Generator, level map[string]*dagNode, keys []string, workers int) []expansion {
-	exps := make([]expansion, len(keys))
+// nodeArena hands out dagNodes from a free list (recycled merged levels)
+// or geometrically growing slabs: tiny chains — the factored engine
+// explores thousands of few-state components — pay for a handful of
+// nodes, while large frontiers amortize to one allocation per slab. Nodes
+// never escape the exploration (leaves copy their accumulators out), so
+// pinning a slab until the run ends costs nothing extra.
+type nodeArena struct {
+	free []*dagNode
+	slab []dagNode
+	size int
+}
+
+func (a *nodeArena) take() *dagNode {
+	if n := len(a.free); n > 0 {
+		nd := a.free[n-1]
+		a.free = a.free[:n-1]
+		return nd
+	}
+	if len(a.slab) == 0 {
+		switch {
+		case a.size == 0:
+			a.size = 8
+		case a.size < 256:
+			a.size *= 4
+		}
+		a.slab = make([]dagNode, a.size)
+	}
+	nd := &a.slab[0]
+	a.slab = a.slab[1:]
+	return nd
+}
+
+// expandLevel is phase 1: every node of the frontier resolves its edges via
+// Step and derives each edge's packed child database key into the node's
+// reused arena. Nodes are independent — each worker owns its node and only
+// reads the shared instance caches — so the level splits across
+// min(workers, len(nodes)) goroutines. exps is scratch from the previous
+// level; it is grown as needed and returned.
+func expandLevel(g Generator, nodes []*dagNode, exps []expansion, workers int) []expansion {
+	if cap(exps) < len(nodes) {
+		exps = append(exps[:cap(exps)], make([]expansion, len(nodes)-cap(exps))...)
+	}
+	exps = exps[:len(nodes)]
 	expand := func(i int) {
-		n, exp := level[keys[i]], &exps[i]
-		edges, err := Step(g, n.state)
+		n, exp := nodes[i], &exps[i]
+		exp.err = nil
+		exp.arena = exp.arena[:0]
+		exp.keyOff = append(exp.keyOff[:0], 0)
+		edges, err := stepRats(g, n.state, exp.edges[:0])
+		exp.edges = edges
 		if err != nil {
 			exp.err = err
 			return
 		}
-		exp.edges = edges
-		if len(edges) == 0 {
-			return
-		}
-		exp.children = make([]*repair.State, len(edges))
-		exp.keys = make([]string, len(edges))
-		for j, e := range edges {
-			child := n.state.Child(e.Op)
-			exp.children[j] = child
-			exp.keys[j] = child.Result().Key()
+		for i := range edges {
+			exp.arena = n.state.AppendChildIDKey(exp.arena, edges[i].op)
+			exp.keyOff = append(exp.keyOff, len(exp.arena))
 		}
 	}
 	// Narrow frontiers (the first and last few levels of every chain, and
 	// all of a small chain) are cheaper to expand inline than to fan out.
 	const minParallelLevel = 16
-	if workers > len(keys) {
-		workers = len(keys)
+	if workers > len(nodes) {
+		workers = len(nodes)
 	}
-	if workers <= 1 || len(keys) < minParallelLevel {
-		for i := range keys {
+	if workers <= 1 || len(nodes) < minParallelLevel {
+		for i := range nodes {
 			expand(i)
 		}
 		return exps
@@ -247,10 +365,66 @@ func expandLevel(g Generator, level map[string]*dagNode, keys []string, workers 
 			}
 		}()
 	}
-	for i := range keys {
+	for i := range nodes {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 	return exps
+}
+
+// materializeStates is phase 3: each distinct new child database gets its
+// state from its recorded creator edge. Creators may share a parent state;
+// repair.Child only reads the parent (its id and extension caches were
+// warmed single-owner in phase 1), so the fan-out is safe. After the pool
+// drains, every new state's sorted fact ids — exactly the decode of its
+// packed merge key — are carved from one per-level arena and seeded with
+// SetFactIDs, so the next level's key derivations never write lazily (and
+// never allocate per state).
+func materializeStates(creators []creator, workers int) {
+	mk := func(i int) {
+		c := &creators[i]
+		c.child.state = c.parent.state.Child(c.op)
+	}
+	defer func() {
+		total := 0
+		for i := range creators {
+			total += len(creators[i].child.key) / 4
+		}
+		arena := make([]uint32, 0, total)
+		for i := range creators {
+			start := len(arena)
+			k := creators[i].child.key
+			for j := 0; j+4 <= len(k); j += 4 {
+				arena = append(arena, uint32(k[j])<<24|uint32(k[j+1])<<16|uint32(k[j+2])<<8|uint32(k[j+3]))
+			}
+			creators[i].child.state.SetFactIDs(arena[start:len(arena):len(arena)])
+		}
+	}()
+	const minParallel = 16
+	if workers > len(creators) {
+		workers = len(creators)
+	}
+	if workers <= 1 || len(creators) < minParallel {
+		for i := range creators {
+			mk(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mk(i)
+			}
+		}()
+	}
+	for i := range creators {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

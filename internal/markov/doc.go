@@ -16,11 +16,26 @@
 //     single RNG draw and zero big.Rat work, bit-identical to the exact
 //     path.
 //   - Explore / ExploreDAG: exact exploration. Explore walks the sequence
-//     tree; ExploreDAG (dag.go) merges states by Database.Key(), sweeps
+//     tree; ExploreDAG (dag.go) merges states by database identity, sweeps
 //     size levels in decreasing order (every deletion-only edge shrinks
 //     the database, so size classes are a topological order), accumulates
 //     exact path mass π and big.Int sequence counts per node, and expands
 //     each frontier with a worker pool.
+//
+// # Two-tier state keys
+//
+// The engines use a two-tier key scheme. The merge tier is binary: states
+// are grouped by the packed sorted-fact-id encoding (Database.IDKey /
+// relation.AppendIDKey), and a child's key is derived from its parent's
+// cached ids by one binary search plus two packed runs
+// (repair.State.AppendChildIDKey) — each level first computes every edge's
+// key, then materializes one repair.State per *distinct* child database.
+// Packed keys are process-local (they depend on interning order) and never
+// leave the process. The presentation tier is the human-readable
+// Database.Key(): it appears exactly once per absorbing database, when
+// DAGLeaf.Key is emitted, and in everything layered above (reported repair
+// order, HTTP JSON). The two keys group states identically — both encode
+// exactly the fact set — they only sort differently.
 //   - SemanticsMode (mode.go): walk-induced vs sequence-uniform — which
 //     distribution over complete sequences the layers above compute.
 //   - SequenceDAG (seqdag.go): the counting-to-sampling reduction. A
@@ -31,8 +46,12 @@
 //
 // # Invariants (the determinism contract)
 //
-//   - Exact arithmetic is big.Rat end to end; hitting distributions sum to
-//     exactly 1 or the exploration errors (ErrNotWellDefined).
+//   - Exact arithmetic is rational end to end; hitting distributions sum
+//     to exactly 1 or the exploration errors (ErrNotWellDefined). Path
+//     mass accumulates through prob.Rat — an int64 fast path that promotes
+//     to big.Rat exactly on overflow — and the *big.Rat a consumer sees is
+//     bit-identical to all-big.Rat arithmetic (big.Rat is canonical, and
+//     exact rational addition is order-insensitive).
 //   - ExploreDAG and BuildSequenceDAG produce bit-identical results for
 //     every Workers value: levels merge sequentially in sorted-key order,
 //     and workers only compute per-node expansions.

@@ -144,6 +144,78 @@ type Edge struct {
 	P  *big.Rat
 }
 
+// ratEdge is an Edge with its probability held as a small-rational
+// (prob.Rat) value instead of a *big.Rat pointer. The DAG engine resolves
+// edges in this form so the per-node hot loop touches no big.Rat at all
+// for integer-weighted generators.
+type ratEdge struct {
+	op ops.Op
+	p  prob.Rat
+}
+
+// stepRats is Step in small-rational form, appending the outgoing edges to
+// buf (scratch reused across nodes) instead of allocating fresh slices.
+// For IntWeighter generators the probabilities w_i/Σw are formed directly
+// from the integer weights — exactly the rationals Transitions would
+// return, without creating any big.Rat; otherwise it delegates to Step
+// (inheriting its full well-definedness validation) and converts. Like the
+// walkers, IntWeights errors propagate and a declined fast path (ok=false,
+// or a weight sum outside int64) falls back to the exact route.
+func stepRats(g Generator, s *repair.State, buf []ratEdge) ([]ratEdge, error) {
+	exts := s.Extensions()
+	if len(exts) == 0 {
+		return buf, nil
+	}
+	if iw, ok := g.(IntWeighter); ok {
+		ws, wok, err := iw.IntWeights(s, exts)
+		if err != nil {
+			return buf, fmt.Errorf("generator %s at state %q: %w", g.Name(), s, err)
+		}
+		if wok && len(ws) == len(exts) {
+			total := int64(0)
+			valid := true
+			for _, w := range ws {
+				if w < 0 {
+					valid = false
+					break
+				}
+				var sok bool
+				if total, sok = add64(total, w); !sok {
+					valid = false
+					break
+				}
+			}
+			if valid && total > 0 {
+				for i, w := range ws {
+					if w == 0 {
+						continue
+					}
+					buf = append(buf, ratEdge{op: exts[i], p: prob.RatFrac(w, total)})
+				}
+				return buf, nil
+			}
+		}
+	}
+	edges, err := Step(g, s)
+	if err != nil {
+		return buf, err
+	}
+	for _, e := range edges {
+		buf = append(buf, ratEdge{op: e.Op, p: prob.RatFromBig(e.P)})
+	}
+	return buf, nil
+}
+
+// add64 is overflow-checked int64 addition (mirrors the prob package's
+// internal helper).
+func add64(a, b int64) (int64, bool) {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		return 0, false
+	}
+	return c, true
+}
+
 // Leaf is a reachable absorbing state of the chain together with its
 // hitting probability π(s) (the product of edge probabilities along the
 // unique path from ε, since the chain is a tree).
@@ -184,8 +256,11 @@ var ErrStateBudget = errors.New("markov: state budget exceeded during exact expl
 func Explore(inst *repair.Instance, g Generator, opt ExploreOptions) ([]Leaf, error) {
 	var leaves []Leaf
 	visited := 0
-	var dfs func(s *repair.State, pi *big.Rat) error
-	dfs = func(s *repair.State, pi *big.Rat) error {
+	// Path mass is carried as a small-rational (prob.Rat): products of edge
+	// probabilities stay in two machine words until they would overflow, and
+	// the canonical *big.Rat is materialized once per leaf.
+	var dfs func(s *repair.State, pi prob.Rat) error
+	dfs = func(s *repair.State, pi prob.Rat) error {
 		visited++
 		if opt.MaxStates > 0 && visited > opt.MaxStates {
 			return ErrStateBudget
@@ -195,18 +270,18 @@ func Explore(inst *repair.Instance, g Generator, opt ExploreOptions) ([]Leaf, er
 			return err
 		}
 		if len(edges) == 0 {
-			leaves = append(leaves, Leaf{State: s, Pi: pi})
+			leaves = append(leaves, Leaf{State: s, Pi: pi.Big()})
 			return nil
 		}
 		for _, e := range edges {
 			child := s.Child(e.Op)
-			if err := dfs(child, new(big.Rat).Mul(pi, e.P)); err != nil {
+			if err := dfs(child, pi.MulBig(e.P)); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := dfs(inst.Root(), prob.One()); err != nil {
+	if err := dfs(inst.Root(), prob.RatOne()); err != nil {
 		return nil, err
 	}
 	return leaves, nil

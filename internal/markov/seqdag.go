@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ops"
 	"repro/internal/prob"
+	"repro/internal/relation"
 	"repro/internal/repair"
 )
 
@@ -30,7 +31,9 @@ import (
 // through every edge. Build it once with BuildSequenceDAG; Sample is then
 // cheap (one walk down the DAG) and safe for concurrent callers.
 type SequenceDAG struct {
-	inst  *repair.Instance
+	inst *repair.Instance
+	// nodes is keyed by the packed binary id key of each distinct database
+	// (relation.AppendIDKey), the same merge key ExploreDAG uses.
 	nodes map[string]*seqNode
 	total *big.Int
 	// states and edges mirror DAG.States / DAG.Edges.
@@ -40,8 +43,8 @@ type SequenceDAG struct {
 // seqNode is one distinct database of the collapsed chain. counts[i] is
 // C(child of ops[i]), the number of complete sequences continuing through
 // that edge; count is Σ counts, or 1 at absorbing nodes (the empty
-// continuation). childKeys[i] references the key string the expansion
-// already materialized, so retaining it costs a pointer, not a copy.
+// continuation). childKeys[i] references the packed key string the nodes
+// map already holds, so retaining it costs a pointer, not a copy.
 type seqNode struct {
 	ops       []ops.Op
 	childKeys []string
@@ -55,7 +58,10 @@ type seqNode struct {
 // back to importance sampling or the tree). opt.MaxStates bounds the number
 // of distinct databases; opt.Workers sizes the per-level expansion pool
 // (the index is identical for every worker count — counts are exact
-// integers and the merge is key-ordered).
+// integers and the merge is key-ordered). The level sweep shares
+// ExploreDAG's three-phase machinery: parallel edge/key expansion,
+// sequential key-ordered merge, and state materialization only for the
+// first edge reaching each distinct database.
 func BuildSequenceDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*SequenceDAG, error) {
 	if !Collapsible(inst, g) {
 		return nil, fmt.Errorf("%w (generator %s)", ErrNotCollapsible, g.Name())
@@ -67,60 +73,85 @@ func BuildSequenceDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*
 
 	root := inst.Root()
 	rootSize := root.Result().Size()
-	levels := map[int]map[string]*dagNode{
-		rootSize: {root.Result().Key(): {state: root}},
-	}
+	rootKey := string(relation.AppendIDKey(make([]byte, 0, 4*rootSize), root.FactIDs()))
+	levels := make([]map[string]*dagNode, rootSize+1)
+	levels[rootSize] = map[string]*dagNode{rootKey: {state: root, key: rootKey}}
 	sd := &SequenceDAG{inst: inst, nodes: map[string]*seqNode{}, states: 1}
 	// Non-empty levels in sweep (decreasing-size) order, replayed reversed
 	// by the upward count sweep.
 	var sweep [][]string
 
+	var (
+		nodes    []*dagNode
+		exps     []expansion
+		creators []creator
+		arena    nodeArena
+	)
+
 	for size := rootSize; size >= 0; size-- {
 		level := levels[size]
-		delete(levels, size)
+		levels[size] = nil
 		if len(level) == 0 {
 			continue
 		}
-		keys := make([]string, 0, len(level))
-		for k := range level {
-			keys = append(keys, k)
+		nodes = nodes[:0]
+		for _, n := range level {
+			nodes = append(nodes, n)
 		}
-		sort.Strings(keys)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].key < nodes[j].key })
+		keys := make([]string, len(nodes))
+		for i, n := range nodes {
+			keys[i] = n.key
+		}
 		sweep = append(sweep, keys)
 
-		exps := expandLevel(g, level, keys, workers)
-		for i, k := range keys {
+		exps = expandLevel(g, nodes, exps, workers)
+		creators = creators[:0]
+		for i, n := range nodes {
 			exp := &exps[i]
 			if exp.err != nil {
 				return nil, exp.err
 			}
-			n := &seqNode{
+			sn := &seqNode{
 				ops:       make([]ops.Op, 0, len(exp.edges)),
 				childKeys: make([]string, 0, len(exp.edges)),
 			}
-			sd.nodes[k] = n
-			for j, e := range exp.edges {
-				child, ck := exp.children[j], exp.keys[j]
-				csize := child.Result().Size()
+			sd.nodes[n.key] = sn
+			for j := range exp.edges {
+				e := &exp.edges[j]
+				ck := exp.childKey(j)
+				csize := len(ck) / 4
 				if csize >= size {
-					return nil, fmt.Errorf("%w: operation %s grew the database", ErrNotCollapsible, e.Op)
+					return nil, fmt.Errorf("%w: operation %s grew the database", ErrNotCollapsible, e.op)
 				}
-				n.ops = append(n.ops, e.Op)
-				n.childKeys = append(n.childKeys, ck)
 				sd.edges++
 				lvl := levels[csize]
 				if lvl == nil {
 					lvl = map[string]*dagNode{}
 					levels[csize] = lvl
 				}
-				if _, ok := lvl[ck]; !ok {
-					lvl[ck] = &dagNode{state: child}
+				cn, ok := lvl[string(ck)]
+				if !ok {
+					cn = arena.take()
+					cn.key = string(ck)
+					lvl[cn.key] = cn
+					creators = append(creators, creator{parent: n, child: cn, op: e.op})
 					sd.states++
 					if opt.MaxStates > 0 && sd.states > opt.MaxStates {
 						return nil, ErrStateBudget
 					}
 				}
+				sn.ops = append(sn.ops, e.op)
+				sn.childKeys = append(sn.childKeys, cn.key)
 			}
+		}
+		materializeStates(creators, workers)
+		// The level's structure is recorded in sd.nodes; the states (and
+		// their nodes) are no longer needed.
+		for _, n := range nodes {
+			n.state = nil
+			n.key = ""
+			arena.free = append(arena.free, n)
 		}
 	}
 
@@ -142,7 +173,7 @@ func BuildSequenceDAG(inst *repair.Instance, g Generator, opt ExploreOptions) (*
 			}
 		}
 	}
-	sd.total = sd.nodes[root.Result().Key()].count
+	sd.total = sd.nodes[rootKey].count
 	return sd, nil
 }
 
@@ -167,7 +198,8 @@ func (sd *SequenceDAG) Edges() int { return sd.edges }
 // concurrent callers with distinct RNGs.
 func (sd *SequenceDAG) Sample(rng *rand.Rand) (*repair.State, error) {
 	s := sd.inst.Root()
-	n := sd.nodes[s.Result().Key()]
+	rootKey := relation.AppendIDKey(make([]byte, 0, 4*s.Result().Size()), s.FactIDs())
+	n := sd.nodes[string(rootKey)]
 	if n == nil {
 		return nil, fmt.Errorf("markov: sequence DAG does not index the root database")
 	}
@@ -175,7 +207,7 @@ func (sd *SequenceDAG) Sample(rng *rand.Rand) (*repair.State, error) {
 		i := prob.PickBigInt(rng, n.counts)
 		next := sd.nodes[n.childKeys[i]]
 		if next == nil {
-			return nil, fmt.Errorf("markov: sequence DAG is missing node %q", n.childKeys[i])
+			return nil, fmt.Errorf("markov: sequence DAG is missing node %x", n.childKeys[i])
 		}
 		// The walk never revisits the parent, so the state's database is
 		// transferred, not cloned.

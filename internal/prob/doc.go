@@ -7,6 +7,15 @@
 //
 //   - big.Rat helpers (Zero/One/Sum/Normalize/IsOne/Format/...): all chain
 //     probability arithmetic stays exact; floats are for reporting only.
+//   - Rat (rat.go): the small-rational accumulator behind the exact
+//     engines' hot loops. Values live in an int64/int64 fraction until an
+//     operation's exact result would overflow, then promote — once,
+//     permanently, and without rounding — to an internal big.Rat. The
+//     promotion contract: a Rat always holds the exact rational, so
+//     Big() materializes the same canonical *big.Rat whichever
+//     representation the value took; callers can mix fast-path and
+//     promoted values freely and still compare bit-identical at the API
+//     boundary.
 //   - HoeffdingSamples: n = ⌈ln(2/δ)/(2ε²)⌉, the sample size behind the
 //     Theorem 9 approximation scheme (ε = δ = 0.1 gives the paper's 150).
 //   - Pick / PickInt / PickBigInt: weighted index choice consuming exactly

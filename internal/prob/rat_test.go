@@ -1,0 +1,164 @@
+package prob
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ratOracle mirrors a Rat with all-big.Rat arithmetic; every test drives
+// both and demands bit-identical materialization (big.Rat is canonical, so
+// Cmp == 0 together with RatString equality is the full check).
+func checkAgainst(t *testing.T, r *Rat, oracle *big.Rat, ctx string) {
+	t.Helper()
+	got := r.Big()
+	if got.Cmp(oracle) != 0 || got.RatString() != oracle.RatString() {
+		t.Fatalf("%s: Rat = %s, oracle = %s (promoted=%v)", ctx, got.RatString(), oracle.RatString(), r.IsBig())
+	}
+}
+
+func TestRatZeroValue(t *testing.T) {
+	var r Rat
+	if r.Sign() != 0 {
+		t.Errorf("zero value Sign = %d, want 0", r.Sign())
+	}
+	if r.Big().Sign() != 0 {
+		t.Errorf("zero value Big = %s, want 0", r.Big().RatString())
+	}
+	r.AddBig(big.NewRat(1, 3))
+	checkAgainst(t, &r, big.NewRat(1, 3), "0 + 1/3")
+}
+
+// TestRatAddMulSmallStaysSmall: typical chain arithmetic (products of
+// per-step fractions) never leaves the fast path.
+func TestRatAddMulSmallStaysSmall(t *testing.T) {
+	r := RatOne()
+	oracle := big.NewRat(1, 1)
+	for d := int64(2); d <= 20; d++ {
+		p := big.NewRat(1, d)
+		r = r.MulBig(p)
+		oracle.Mul(oracle, p)
+	}
+	if r.IsBig() {
+		t.Error("1/20! of magnitude should stay in the fast path")
+	}
+	checkAgainst(t, &r, oracle, "Π 1/d")
+
+	var sum Rat
+	sumOracle := new(big.Rat)
+	for d := int64(1); d <= 50; d++ {
+		w := RatFrac(1, d)
+		sum.AddMul(&w, big.NewRat(3, 7))
+		sumOracle.Add(sumOracle, new(big.Rat).Mul(big.NewRat(1, d), big.NewRat(3, 7)))
+	}
+	checkAgainst(t, &sum, sumOracle, "Σ (1/d)·(3/7)")
+}
+
+// TestRatPromotionBoundary drives values that straddle int64: products of
+// large primes overflow mulSmall, harmonic-style sums overflow addSmall's
+// lcm, and both must promote without changing the value.
+func TestRatPromotionBoundary(t *testing.T) {
+	big1 := int64(1)<<62 - 57 // near-2^62 odd values with no common factors
+	big2 := int64(1)<<62 - 87
+
+	r := RatFrac(big1, 1)
+	oracle := new(big.Rat).SetInt64(big1)
+	p := new(big.Rat).SetInt64(big2)
+	r = r.MulBig(p)
+	oracle.Mul(oracle, p)
+	if !r.IsBig() {
+		t.Error("2^124-scale product must promote")
+	}
+	checkAgainst(t, &r, oracle, "big1·big2")
+
+	// Denominator overflow on add: 1/(2^62-57) + 1/(2^62-87) has an lcm
+	// beyond int64.
+	s := RatFrac(1, big1)
+	so := big.NewRat(1, 1).SetFrac64(1, big1)
+	other := RatFrac(1, big2)
+	s.Add(&other)
+	so.Add(so, new(big.Rat).SetFrac64(1, big2))
+	if !s.IsBig() {
+		t.Error("huge-lcm sum must promote")
+	}
+	checkAgainst(t, &s, so, "1/big1 + 1/big2")
+
+	// MinInt64 edges: the negation/abs corner cases must not wrap.
+	m := RatFrac(math.MinInt64, 3)
+	mo := new(big.Rat).SetFrac64(math.MinInt64, 3)
+	checkAgainst(t, &m, mo, "MinInt64/3")
+	m = RatFrac(5, math.MinInt64+1) // negative denominator normalization
+	mo.SetFrac64(5, math.MinInt64+1)
+	checkAgainst(t, &m, mo, "5/(MinInt64+1)")
+
+	// Promotion is permanent: later small operations stay exact.
+	r.AddBig(big.NewRat(1, 2))
+	oracle.Add(oracle, big.NewRat(1, 2))
+	checkAgainst(t, &r, oracle, "promoted + 1/2")
+}
+
+// TestRatRandomizedOracle: randomized AddMul/Add/MulBig programs with
+// operands chosen to straddle the promotion boundary, checked step-by-step
+// against the big.Rat oracle. Also exercises add commutativity: the same
+// multiset of terms accumulated in reverse yields the identical big.Rat.
+func TestRatRandomizedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRat := func() *big.Rat {
+		// Mix small fractions with near-overflow magnitudes.
+		if rng.Intn(3) == 0 {
+			return new(big.Rat).SetFrac64(rng.Int63()-rng.Int63(), rng.Int63n(1<<40)+1)
+		}
+		return new(big.Rat).SetFrac64(int64(rng.Intn(41))-20, int64(rng.Intn(17))+1)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var r Rat
+		oracle := new(big.Rat)
+		var terms []*big.Rat
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				p := randRat()
+				r.AddBig(p)
+				oracle.Add(oracle, p)
+				terms = append(terms, new(big.Rat).Set(p))
+			case 1:
+				a, p := RatFrac(int64(rng.Intn(9))+1, int64(rng.Intn(9))+1), randRat()
+				r.AddMul(&a, p)
+				m := new(big.Rat).Mul(a.Big(), p)
+				oracle.Add(oracle, m)
+				terms = append(terms, m)
+			case 2:
+				p := randRat()
+				if p.Sign() == 0 {
+					continue
+				}
+				r = r.MulBig(p)
+				oracle.Mul(oracle, p)
+				for i, term := range terms {
+					terms[i] = term.Mul(term, p)
+				}
+			}
+			checkAgainst(t, &r, oracle, "randomized step")
+		}
+		// Commutativity/associativity at the boundary: re-accumulate the
+		// recorded terms in reverse order.
+		var rev Rat
+		for i := len(terms) - 1; i >= 0; i-- {
+			rev.AddBig(terms[i])
+		}
+		checkAgainst(t, &rev, oracle, "reverse-order accumulation")
+	}
+}
+
+// TestRatFracReduces: constructor normalizes sign and reduces, matching
+// big.Rat canonical form on materialization.
+func TestRatFracReduces(t *testing.T) {
+	for _, tc := range []struct{ n, d int64 }{{6, 8}, {-6, 8}, {6, -8}, {-6, -8}, {0, 5}, {7, 7}} {
+		r := RatFrac(tc.n, tc.d)
+		checkAgainst(t, &r, new(big.Rat).SetFrac64(tc.n, tc.d), "RatFrac")
+		if r.IsBig() {
+			t.Errorf("RatFrac(%d,%d) should stay small", tc.n, tc.d)
+		}
+	}
+}

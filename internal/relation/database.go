@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +26,12 @@ type snapshot struct {
 	// database copies it instead of re-sorting.
 	sortedOnce sync.Once
 	sorted     []Fact
+
+	// ids caches the facts' interned ids in ascending id order, computed
+	// once per snapshot; AppendFactIDs merges a database's delta against it
+	// instead of re-enumerating and re-sorting the whole fact set.
+	idsOnce sync.Once
+	ids     []uint32
 }
 
 // sortedFacts returns the snapshot's facts in canonical order; the shared
@@ -39,6 +46,20 @@ func (s *snapshot) sortedFacts() []Fact {
 		s.sorted = out
 	})
 	return s.sorted
+}
+
+// sortedIDs returns the snapshot's fact ids sorted ascending; the shared
+// slice must not be modified.
+func (s *snapshot) sortedIDs() []uint32 {
+	s.idsOnce.Do(func() {
+		out := make([]uint32, 0, s.size)
+		for f := range s.facts {
+			out = append(out, f.id)
+		}
+		slices.Sort(out)
+		s.ids = out
+	})
+	return s.ids
 }
 
 var emptySnapshot = &snapshot{}
@@ -594,6 +615,60 @@ func (d *Database) Key() string {
 	d.forEach(func(f Fact) { keys = append(keys, f.Key()) })
 	sort.Strings(keys)
 	return strings.Join(keys, ";")
+}
+
+// AppendFactIDs appends the interned ids of the database's facts to buf in
+// ascending id order and returns the extended slice. The snapshot's sorted
+// ids are cached once and merged against the (id-sorted) delta, so the call
+// is a linear weave with no per-fact hashing or string work — the building
+// block of IDKey and of the exact engine's incremental child keys.
+func (d *Database) AppendFactIDs(buf []uint32) []uint32 {
+	base := d.snap.sortedIDs()
+	if len(d.added) == 0 && len(d.removed) == 0 {
+		return append(buf, base...)
+	}
+	ai, ri := 0, 0
+	for _, id := range base {
+		if ri < len(d.removed) && d.removed[ri].id == id {
+			ri++
+			continue
+		}
+		for ai < len(d.added) && d.added[ai].id < id {
+			buf = append(buf, d.added[ai].id)
+			ai++
+		}
+		buf = append(buf, id)
+	}
+	for ; ai < len(d.added); ai++ {
+		buf = append(buf, d.added[ai].id)
+	}
+	return buf
+}
+
+// AppendIDKey appends the binary encoding of a fact-id list to dst: each id
+// packed as 4 big-endian bytes, so byte-lexicographic key order coincides
+// with numeric id order. Callers pass ascending ids (AppendFactIDs order)
+// to obtain canonical set keys.
+func AppendIDKey(dst []byte, ids []uint32) []byte {
+	for _, id := range ids {
+		dst = append(dst, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst
+}
+
+// IDKey returns a compact binary identity of the database: the facts'
+// interned ids, sorted ascending and packed 4 bytes each (AppendIDKey).
+// Two databases have equal IDKeys exactly when they contain the same facts
+// — interned ids are in bijection with fact content — so IDKey groups
+// states precisely like Key while costing one linear id weave instead of
+// per-fact string materialization and a string sort. The encoding is
+// process-local (interned ids depend on interning order): use it for
+// in-memory merge maps, and Key for anything persisted, displayed, or
+// compared across processes.
+func (d *Database) IDKey() string {
+	buf := make([]uint32, 0, d.size)
+	buf = d.AppendFactIDs(buf)
+	return string(AppendIDKey(make([]byte, 0, 4*len(buf)), buf))
 }
 
 // String renders the database as a sorted fact set.

@@ -32,6 +32,10 @@ type State struct {
 	removed    relation.FactSet       // facts deleted so far
 	extensions []ops.Op               // cached valid extensions (nil until computed)
 	extsReady  bool
+	// ids caches the sorted interned fact ids of db (nil until computed);
+	// children derive theirs from the parent's by applying the op's fact
+	// delta instead of re-enumerating the database (see FactIDs).
+	ids []uint32
 }
 
 // idSet is a sorted set of violation ids; cloning is a single copy and
@@ -95,6 +99,142 @@ func (s *State) Ops() []ops.Op {
 // Result returns the database produced by the sequence; callers must not
 // modify it (use Result().Clone() to mutate).
 func (s *State) Result() *relation.Database { return s.db }
+
+// FactIDs returns the interned ids of Result()'s facts, sorted ascending;
+// the cached slice is shared and must not be modified. The first request on
+// a lineage enumerates the database once; a descendant whose parent's slice
+// is already cached derives its own incrementally — a deletion-only op is
+// one binary search plus a memmove — so the exact engines key states by
+// packed ids (relation.AppendIDKey) without per-state re-enumeration. The
+// lazy fill makes FactIDs single-owner: concurrent use requires either
+// warming the cache first or pre-seeding it with SetFactIDs (the DAG
+// engines decode each new state's ids from its merge key into a per-level
+// arena, so in that regime FactIDs never writes).
+func (s *State) FactIDs() []uint32 {
+	if s.ids == nil {
+		if p := s.parent; p != nil && p.ids != nil {
+			s.ids = childFactIDs(p.ids, s.op)
+		} else {
+			s.ids = s.db.AppendFactIDs(make([]uint32, 0, s.db.Size()))
+		}
+	}
+	return s.ids
+}
+
+// SetFactIDs seeds the FactIDs cache. The slice must hold exactly the
+// interned ids of Result()'s facts in ascending order, and ownership
+// transfers to the state (the caller must not modify it afterwards). The
+// DAG engines use this to share one id arena per frontier level instead of
+// allocating a slice per state.
+func (s *State) SetFactIDs(ids []uint32) { s.ids = ids }
+
+// childFactIDs applies an op's fact delta to a parent's sorted id slice,
+// returning a fresh sorted slice. Singleton deletions — the bulk of all
+// repairing operations — are one binary search and two copies.
+func childFactIDs(parent []uint32, op ops.Op) []uint32 {
+	facts := op.Facts()
+	if op.IsInsert() {
+		out := make([]uint32, len(parent), len(parent)+len(facts))
+		copy(out, parent)
+		for _, f := range facts {
+			id := f.ID()
+			lo := idSearch(out, id)
+			if lo < len(out) && out[lo] == id {
+				continue
+			}
+			out = append(out, 0)
+			copy(out[lo+1:], out[lo:])
+			out[lo] = id
+		}
+		return out
+	}
+	if len(facts) == 1 {
+		id := facts[0].ID()
+		lo := idSearch(parent, id)
+		if lo >= len(parent) || parent[lo] != id {
+			return slices.Clone(parent)
+		}
+		out := make([]uint32, len(parent)-1)
+		copy(out, parent[:lo])
+		copy(out[lo:], parent[lo+1:])
+		return out
+	}
+	var delBuf [8]uint32
+	del := delBuf[:0]
+	for _, f := range facts {
+		del = append(del, f.ID())
+	}
+	slices.Sort(del)
+	out := make([]uint32, 0, len(parent))
+	di := 0
+	for _, id := range parent {
+		for di < len(del) && del[di] < id {
+			di++
+		}
+		if di < len(del) && del[di] == id {
+			di++
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// AppendChildIDKey appends the packed binary database key
+// (relation.AppendIDKey over the sorted fact ids) of the database that
+// Child(op) would produce — without materializing the child state. The DAG
+// engine uses this to compute every edge's merge key first and create a
+// state only once per *distinct* child database. The deletion fast path is
+// one binary search and two packed runs of the parent's cached ids.
+func (s *State) AppendChildIDKey(dst []byte, op ops.Op) []byte {
+	parent := s.FactIDs()
+	facts := op.Facts()
+	if op.IsInsert() {
+		return relation.AppendIDKey(dst, childFactIDs(parent, op))
+	}
+	if len(facts) == 1 {
+		id := facts[0].ID()
+		lo := idSearch(parent, id)
+		if lo >= len(parent) || parent[lo] != id {
+			return relation.AppendIDKey(dst, parent)
+		}
+		dst = relation.AppendIDKey(dst, parent[:lo])
+		return relation.AppendIDKey(dst, parent[lo+1:])
+	}
+	var delBuf [8]uint32
+	del := delBuf[:0]
+	for _, f := range facts {
+		del = append(del, f.ID())
+	}
+	slices.Sort(del)
+	di := 0
+	for _, id := range parent {
+		for di < len(del) && del[di] < id {
+			di++
+		}
+		if di < len(del) && del[di] == id {
+			di++
+			continue
+		}
+		dst = append(dst, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst
+}
+
+// idSearch returns the insertion position of id in the sorted slice
+// (hand-rolled like idInSorted: the generic BinarySearch is not inlined).
+func idSearch(ids []uint32, id uint32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // Violations returns V(D^s_i, Σ).
 func (s *State) Violations() *constraint.Violations { return s.violations }

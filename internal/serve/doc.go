@@ -48,7 +48,11 @@
 //     across all deltas of a Server, so recomputed components isomorphic
 //     to anything previously explored cost a renaming, not a DAG
 //     exploration. Σ must therefore stay fixed for the Server's lifetime
-//     (it does: Server has no way to change it).
+//     (it does: Server has no way to change it). Snapshot and payload
+//     identity is binary end to end: cache keys are the packed canonical
+//     fact-id encoding (relation.AppendIDKey) and islands route to writer
+//     shards by content hash — the human-readable Database.Key appears
+//     only in the HTTP JSON presentation layer.
 //   - Non-atomic queries that overflow the exact enumeration budget
 //     degrade to the (ε, δ) sampling estimator instead of failing; the
 //     response's exact flag reports which route answered.

@@ -16,7 +16,11 @@
 #
 # The JSON shape is:
 #   {"meta": {...}, "current": {name: {ns_per_op, bytes_per_op, allocs_per_op}},
-#    "baseline": {...}?, "speedup": {name: ratio}?}
+#    "baseline": {...}?, "speedup": {name: ratio}?,
+#    "alloc_ratio": {name: ratio}?, "bytes_ratio": {name: ratio}?}
+# speedup is baseline/current ns/op; alloc_ratio and bytes_ratio are the
+# same quotient over allocs/op and B/op (>1 = leaner than baseline), so
+# allocation wins (e.g. BenchmarkExactDAG) are captured alongside time.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,6 +126,20 @@ if baseline_path:
         for name, cur in current.items()
         if name in base and cur["ns_per_op"] > 0
     }
+
+    def ratios(field):
+        out = {}
+        for name, cur in current.items():
+            b = base.get(name)
+            if not b:
+                continue
+            bv, cv = b.get(field), cur.get(field)
+            if bv and cv:
+                out[name] = round(bv / cv, 2)
+        return out
+
+    doc["alloc_ratio"] = ratios("allocs_per_op")
+    doc["bytes_ratio"] = ratios("bytes_per_op")
 
 with open(out_path, "w") as fh:
     json.dump(doc, fh, indent=2, sort_keys=True)

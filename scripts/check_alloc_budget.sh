@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check_alloc_budget.sh — allocation regression gate for the exact engine.
+#
+# Runs BenchmarkExactDAG/conflicts=5 with -benchmem and fails when
+# allocs/op exceeds the checked-in budget (scripts/alloc_budget.txt) by
+# more than 20%. Allocation counts — unlike wall-clock time — are exact
+# and machine-independent for a deterministic benchmark, so a tight gate
+# is safe on shared CI runners where ns/op would be pure noise.
+#
+# Usage: scripts/check_alloc_budget.sh [slack_percent]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+slack="${1:-20}"
+budget="$(grep -v '^#' scripts/alloc_budget.txt | grep -m1 .)"
+
+out="$(go test -run '^$' -bench 'BenchmarkExactDAG/conflicts=5$' -benchmem -benchtime 5x -timeout 10m .)"
+echo "$out"
+
+allocs="$(echo "$out" | awk '/BenchmarkExactDAG\/conflicts=5/ {for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i}')"
+if [ -z "$allocs" ]; then
+  echo "check_alloc_budget: could not parse allocs/op from benchmark output" >&2
+  exit 2
+fi
+
+limit=$(( budget + budget * slack / 100 ))
+echo "allocs/op: $allocs (budget $budget, limit $limit = +${slack}%)"
+if [ "$allocs" -gt "$limit" ]; then
+  echo "check_alloc_budget: FAIL — allocs/op regressed past the budget." >&2
+  echo "If the regression is intentional, re-measure and update scripts/alloc_budget.txt." >&2
+  exit 1
+fi
+echo "check_alloc_budget: OK"
