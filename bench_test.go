@@ -2,6 +2,8 @@
 // the paper, one benchmark family per experiment id of EXPERIMENTS.md:
 //
 //	BenchmarkExactOCQA/*        — E6: exponential exact engine (Theorem 5)
+//	BenchmarkSATCertain/*       — E19: SAT certain answers vs DAG (with
+//	BenchmarkDAGCertain/*         the chain-side head-to-head column)
 //	BenchmarkSamplingWalks/*    — E6/E7: polynomial sampling (Theorem 9)
 //	BenchmarkEstimateOCA        — E7: full (ε,δ) estimation at n = 150
 //	BenchmarkRewriteOriginal/*  — E8: original query plans (Section 5)
@@ -110,6 +112,62 @@ func BenchmarkExactDAG(b *testing.B) {
 					b.Fatal(err)
 				}
 				sem.OCA(q)
+			}
+		})
+	}
+}
+
+// BenchmarkSATCertain and BenchmarkDAGCertain are the head-to-head for
+// the SAT backend on the huge-sequence-space / easy-structure cliques
+// family (g independent 3-fact violating key groups + 2 conflict-free
+// core keys; 4^g repairs): the DAG engine computes certain answers by
+// exploring every distinct database, the SAT engine by one CDCL solve
+// per candidate tuple over a CNF sized by the conflicted facts. The DAG
+// column stops where its state space explodes; the SAT column keeps
+// going at sizes (4^64 repairs) no chain engine can represent, and the
+// equivalence suite in internal/core proves the answers identical where
+// both run.
+func BenchmarkSATCertain(b *testing.B) {
+	for _, groups := range []int{2, 4, 5, 22, 64} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			d, sigma := workload.Cliques(workload.CliqueConfig{
+				Groups: groups, GroupSize: 3, Core: 2, Seed: 1,
+			})
+			q := keysQuery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.ComputeCertainSAT(d, sigma, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Answers) != 2 {
+					b.Fatalf("certain = %v", res.Answers)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDAGCertain(b *testing.B) {
+	// Each 3-fact group contributes 8 reachable sub-databases (any subset
+	// survives mid-chain), so the DAG has 8^g states — the wall arrives
+	// around g=5; the SAT column above continues to g=64.
+	for _, groups := range []int{2, 4, 5} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			d, sigma := workload.Cliques(workload.CliqueConfig{
+				Groups: groups, GroupSize: 3, Core: 2, Seed: 1,
+			})
+			inst := repair.MustInstance(d, sigma)
+			q := keysQuery()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sem, err := core.ComputeDAG(inst, generators.Uniform{}, markov.ExploreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := sem.Certain(q); len(got) != 2 {
+					b.Fatalf("certain = %v", got)
+				}
 			}
 		})
 	}

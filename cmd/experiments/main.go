@@ -1,5 +1,5 @@
 // Command experiments regenerates every reproduction experiment of
-// EXPERIMENTS.md (E1–E12) plus the extension experiments (E13–E18): the
+// EXPERIMENTS.md (E1–E12) plus the extension experiments (E13–E19): the
 // paper's worked examples with their exact probabilities, the
 // complexity-shape measurements for exact OCQA (tree and DAG engines), the
 // Hoeffding sample-size table and measured additive-error coverage, and the

@@ -1,0 +1,93 @@
+package main
+
+// E19: the SAT backend for certain answers. The chain engines price a
+// query by the size of the repair space they must enumerate or merge;
+// the SAT pipeline prices it by the number of conflicted facts, so on
+// the cliques family (g independent 3-fact violating groups, 4^g
+// repairs) it keeps answering exactly long after the factored engine's
+// enumeration budget and any DAG state budget are gone.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/generators"
+	"repro/internal/markov"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E19", "extension: SAT certain answers past any chain budget", func() error {
+		fmt.Println("  groups |              repairs | factored OCA | sat time | certain")
+		q := existsKeyQuery()
+		points := []int{2, 4, 8, 22, 64}
+		if fullScale {
+			points = append(points, 256)
+		}
+		const core5 = 5
+		for _, g := range points {
+			d, sigma := workload.Cliques(workload.CliqueConfig{
+				Groups: g, GroupSize: 3, Core: core5, Seed: 11,
+			})
+			inst := repair.MustInstance(d, sigma)
+			fac, err := core.ComputeFactored(inst, generators.Uniform{}, markov.ExploreOptions{})
+			if err != nil {
+				return err
+			}
+
+			ocaStatus := "exact"
+			if _, err := fac.OCA(q); err != nil {
+				if !errors.Is(err, core.ErrEnumerationBudget) {
+					return err
+				}
+				ocaStatus = "over budget"
+			}
+
+			start := time.Now()
+			res, err := core.ComputeCertainSAT(d, sigma, q)
+			if err != nil {
+				return err
+			}
+			satTime := time.Since(start).Round(time.Microsecond)
+
+			// Factored.Certain is the per-instance engine selection: the
+			// OCA filter while in budget, the SAT fallback beyond it. Both
+			// routes must agree with the direct SAT engine — and the
+			// certain set is provably the conflict-free core keys.
+			fc, err := fac.Certain(q)
+			if err != nil {
+				return err
+			}
+			if err := sameTuples(fc, res.Answers); err != nil {
+				return fmt.Errorf("groups=%d: factored vs sat: %w", g, err)
+			}
+			if len(res.Answers) != core5 {
+				return fmt.Errorf("groups=%d: certain = %v, want the %d core keys", g, res.Answers, core5)
+			}
+
+			fmt.Printf("  %6d | %20s | %-12s | %8s | %d tuples (%d solver calls)\n",
+				g, fac.NumRepairs(), ocaStatus, satTime, len(res.Answers), res.Solved)
+		}
+		fmt.Println("  every row's certain set is exactly the 5 conflict-free core keys: a")
+		fmt.Println("  violated key is never certain (the chain can delete its whole group),")
+		fmt.Println("  and the SAT engine proves it per candidate — UNSAT of 'some repair")
+		fmt.Println("  avoids every witness' — without touching the 4^g repair space.")
+		return nil
+	})
+}
+
+func sameTuples(a, b [][]string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%v vs %v", a, b)
+	}
+	for i := range a {
+		if fo.TupleKey(a[i]) != fo.TupleKey(b[i]) {
+			return fmt.Errorf("tuple %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

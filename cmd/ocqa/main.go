@@ -10,8 +10,9 @@
 //
 //	ocqa -db data.facts -constraints schema.rules -query query.fo \
 //	     [-gen uniform|uniform-deletions|preference|trust[:seed]] \
-//	     [-mode exact|factored|approx|practical] [-semantics walk|uniform] \
-//	     [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4] [-drop-all 0]
+//	     [-mode exact|factored|sat|approx|practical] [-semantics walk|uniform] \
+//	     [-eps 0.1] [-delta 0.1] [-seed 1] [-workers 4] [-drop-all 0] \
+//	     [-dimacs dir]
 //
 // File arguments also accept "inline:<text>". -semantics selects the
 // distribution over complete repairing sequences: "walk" (default) is the
@@ -25,7 +26,12 @@
 // across isomorphic components, and answers atomic queries exactly at any
 // scale. Practical mode derives the keys it repairs from the key-shaped
 // EGDs of the constraint file and runs rounds on a worker pool; factored
-// and practical results are bit-identical for any -workers.
+// and practical results are bit-identical for any -workers. SAT mode
+// computes the certain answers only (tuples with probability 1), by
+// compiling "this tuple is NOT certain" to CNF per candidate and running
+// an embedded CDCL solver — no chain exploration at all, so it scales
+// past any sequence-space budget; -dimacs exports the per-candidate
+// formulas for external solvers.
 package main
 
 import (
@@ -33,15 +39,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/fo"
 	"repro/internal/markov"
 	"repro/internal/plan"
 	"repro/internal/practical"
 	"repro/internal/prob"
 	"repro/internal/repair"
 	"repro/internal/sampling"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -50,7 +60,7 @@ func main() {
 		sigmaPath = flag.String("constraints", "", "constraint file (TGDs/EGDs/DCs), or inline:<text>")
 		queryPath = flag.String("query", "", "query file (Q(X) := formula), or inline:<text>")
 		genName   = flag.String("gen", "uniform", "chain generator: "+cliutil.GeneratorNames())
-		mode      = flag.String("mode", "exact", "exact (full chain exploration), factored (per-component exact, Section 6 localization), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
+		mode      = flag.String("mode", "exact", "exact (full chain exploration), factored (per-component exact, Section 6 localization), sat (certain answers via CNF + CDCL), approx (Theorem 9 sampling), or practical (Section 5 scheme)")
 		semantics = flag.String("semantics", "walk", "distribution over complete sequences: walk (PODS '18 walk-induced) or uniform (PODS '22 sequence-uniform)")
 		eps       = flag.Float64("eps", 0.1, "additive error bound ε (approx/practical mode)")
 		delta     = flag.Float64("delta", 0.1, "failure probability δ (approx/practical mode)")
@@ -59,6 +69,7 @@ func main() {
 		maxStates = flag.Int("max-states", 1_000_000, "exact-mode state budget (0 = unlimited)")
 		nulls     = flag.Bool("nulls", false, "repair TGDs with labeled-null insertions (Section 6 extension)")
 		dropAll   = flag.Float64("drop-all", 0, "practical mode: probability a violating key group keeps no tuple")
+		dimacs    = flag.String("dimacs", "", "sat mode: directory to export one DIMACS CNF per candidate tuple")
 	)
 	flag.Parse()
 	if *dbPath == "" || *sigmaPath == "" || *queryPath == "" {
@@ -66,13 +77,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *semantics, *eps, *delta, *seed, *workers, *maxStates, *nulls, *dropAll); err != nil {
+	if err := run(*dbPath, *sigmaPath, *queryPath, *genName, *mode, *semantics, *eps, *delta, *seed, *workers, *maxStates, *nulls, *dropAll, *dimacs); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, delta float64, seed int64, workers, maxStates int, nulls bool, dropAll float64) error {
+// validModes lists every -mode value run accepts, in the order the
+// usage message reports them.
+var validModes = []string{"exact", "factored", "sat", "approx", "practical"}
+
+func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, delta float64, seed int64, workers, maxStates int, nulls bool, dropAll float64, dimacsDir string) error {
+	known := false
+	for _, m := range validModes {
+		known = known || mode == m
+	}
+	if !known {
+		return fmt.Errorf("unknown -mode %q: valid modes are %s", mode, strings.Join(validModes, ", "))
+	}
 	semMode, err := core.ParseSemanticsMode(semantics)
 	if err != nil {
 		return err
@@ -141,6 +163,49 @@ func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, del
 			return err
 		}
 		fmt.Print(as)
+		return nil
+
+	case "sat":
+		if nulls {
+			return fmt.Errorf("-mode sat reasons over deletion-only repairs of key EGDs; -nulls needs -mode exact")
+		}
+		enc, err := sat.NewEncoder(d, sigma, sat.Options{})
+		if err != nil {
+			if errors.Is(err, sat.ErrUnsupportedConstraints) {
+				return fmt.Errorf("%w\n(-mode sat needs every constraint to be a key-shaped EGD; use -mode exact for general Σ)", err)
+			}
+			return err
+		}
+		res, err := enc.CertainAnswers(q)
+		if err != nil {
+			if errors.Is(err, sat.ErrUnsupportedQuery) {
+				return fmt.Errorf("%w\n(-mode sat handles conjunctive queries whose output positions are all constrained; use -mode exact)", err)
+			}
+			return err
+		}
+		fmt.Printf("sat encoding: %d violating groups, %d conflicted facts; base CNF %d vars, %d clauses\n",
+			res.Groups, enc.ConflictFacts(), res.Vars, res.Clauses)
+		fmt.Printf("candidates: %d witnessed tuples; %d certain via a conflict-free witness, %d decided by the solver\n",
+			res.Candidates, res.Immediate, res.Solved)
+		if res.Solved > 0 {
+			fmt.Printf("solver: %d decisions, %d propagations, %d conflicts, %d learned, %d restarts\n",
+				res.Stats.Decisions, res.Stats.Propagations, res.Stats.Conflicts, res.Stats.Learned, res.Stats.Restarts)
+		}
+		if dimacsDir != "" {
+			if err := exportDIMACS(enc, q, res.CandidateTuples, dimacsDir); err != nil {
+				return err
+			}
+			fmt.Printf("dimacs: wrote %d candidate formulas to %s\n", len(res.CandidateTuples), dimacsDir)
+		}
+		fmt.Println()
+		if len(res.Answers) == 0 {
+			fmt.Printf("no certain answers for %s\n", q)
+			return nil
+		}
+		fmt.Printf("certain answers for %s (probability 1 under every full-support generator, both semantics):\n", q)
+		for _, tup := range res.Answers {
+			fmt.Printf("  (%s) : 1\n", joinTuple(tup))
+		}
 		return nil
 
 	case "approx":
@@ -223,8 +288,33 @@ func run(dbPath, sigmaPath, queryPath, genName, mode, semantics string, eps, del
 		return nil
 
 	default:
-		return fmt.Errorf("unknown mode %q (want exact, factored, approx, or practical)", mode)
+		// Unreachable: run validates mode against validModes up front.
+		return fmt.Errorf("unknown -mode %q: valid modes are %s", mode, strings.Join(validModes, ", "))
 	}
+}
+
+// exportDIMACS writes one DIMACS file per candidate tuple so the "tuple
+// is NOT certain" formulas can be handed to an external solver as a
+// cross-check of the embedded one.
+func exportDIMACS(enc *sat.Encoder, q *fo.Query, tuples [][]string, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tup := range tuples {
+		path := filepath.Join(dir, fmt.Sprintf("candidate_%03d.cnf", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := enc.WriteTupleDIMACS(f, q, tup); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func joinTuple(tuple []string) string {

@@ -184,6 +184,16 @@ func (q *Query) forEachAnswerEnum(d *relation.Database, fn func([]intern.Sym)) {
 	rec(0)
 }
 
+// CQ exposes the cached conjunctive-query analysis: the body atoms, the
+// output positions whose variables do not occur in the body (they range
+// over the active domain), and whether the formula is a CQ at all. The
+// SAT certain-answer compiler keys on this to decide whether a query is
+// compilable to witness clauses.
+func (q *Query) CQ() (atoms []logic.Atom, unconstrained []int, ok bool) {
+	atoms, ok = q.asConjunctiveBody()
+	return atoms, q.cqUnconstrained, ok
+}
+
 // asConjunctiveBody reports whether the formula is a pure conjunction of
 // positive relational atoms (possibly under existential quantifiers) whose
 // free variables are exactly the output variables — i.e. a conjunctive

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"slices"
+
+	"repro/internal/intern"
+)
+
+// KeyViolatingGroups returns the groups of facts of pred with the given
+// arity that agree on the key argument positions and have more than one
+// member — the violating groups of a key constraint. The arity filter
+// matters: the interned database keys facts by predicate alone, so a
+// stray fact of a different arity (which the compiled CQ path ignores)
+// must not manufacture a violation against the table's rows. Groups come
+// from the sealed database's per-predicate argument index (one bucket
+// enumeration, no string keys); for multi-column keys the first
+// position's buckets are subdivided by the remaining positions. Members
+// and groups are in canonical fact order, so the enumeration is
+// deterministic across processes.
+//
+// Both the practical repair scheme (practical.KeyGroups) and the SAT
+// certain-answer compiler (internal/sat) drive their per-group logic off
+// this enumeration.
+func KeyViolatingGroups(db *Database, pred intern.Sym, arity int, keyPos []int) [][]Fact {
+	if len(keyPos) == 0 {
+		return nil
+	}
+	var groups [][]Fact
+	db.ForEachGroupAt(pred, keyPos[0], func(_ intern.Sym, fs []Fact) bool {
+		if len(fs) < 2 {
+			return true
+		}
+		if len(keyPos) == 1 {
+			g := make([]Fact, 0, len(fs))
+			for _, f := range fs {
+				if f.Arity() == arity {
+					g = append(g, f)
+				}
+			}
+			if len(g) > 1 {
+				groups = append(groups, g)
+			}
+			return true
+		}
+		// Subdivide the bucket by the remaining key positions.
+		sub := map[string][]Fact{}
+		var order []string
+		var buf [64]byte
+		rest := make([]intern.Sym, len(keyPos)-1)
+		for _, f := range fs {
+			if f.Arity() != arity {
+				continue
+			}
+			args := f.Args()
+			ok := true
+			for i, kp := range keyPos[1:] {
+				if kp >= len(args) {
+					ok = false
+					break
+				}
+				rest[i] = args[kp]
+			}
+			if !ok {
+				continue
+			}
+			k := string(intern.PackSyms(buf[:0], rest))
+			if _, seen := sub[k]; !seen {
+				order = append(order, k)
+			}
+			sub[k] = append(sub[k], f)
+		}
+		for _, k := range order {
+			if g := sub[k]; len(g) > 1 {
+				groups = append(groups, g)
+			}
+		}
+		return true
+	})
+	for _, g := range groups {
+		SortFacts(g)
+	}
+	slices.SortFunc(groups, func(a, b []Fact) int {
+		return CompareFacts(a[0], b[0])
+	})
+	return groups
+}

@@ -1,0 +1,390 @@
+package sat
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// bruteSAT decides a CNF by enumerating all 2^n assignments.
+func bruteSAT(c *CNF) bool {
+	return bruteCount(c, nil) > 0
+}
+
+// bruteCount counts satisfying assignments; when keep is non-nil, models
+// are first projected onto the keep variables and counted once per
+// distinct projection (for checking projection-equivalence of the
+// cardinality encodings, whose auxiliaries must not add or remove
+// projected models).
+func bruteCount(c *CNF, keep []Var) int {
+	if c.hasEmpty {
+		return 0
+	}
+	n := c.NumVars()
+	if n > 22 {
+		panic("bruteCount: too many variables")
+	}
+	seen := map[string]bool{}
+	count := 0
+	assign := make([]bool, n+1)
+	var rec func(v int)
+	rec = func(v int) {
+		if v > n {
+			for _, cl := range c.clauses {
+				ok := false
+				for _, l := range cl {
+					if l > 0 && assign[l] || l < 0 && !assign[-l] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return
+				}
+			}
+			if keep == nil {
+				count++
+				return
+			}
+			var sb strings.Builder
+			for _, k := range keep {
+				if assign[k] {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			if !seen[sb.String()] {
+				seen[sb.String()] = true
+				count++
+			}
+			return
+		}
+		assign[v] = false
+		rec(v + 1)
+		assign[v] = true
+		rec(v + 1)
+	}
+	rec(1)
+	return count
+}
+
+// modelSatisfies checks a solver model against the original CNF.
+func modelSatisfies(c *CNF, model []bool) bool {
+	for _, cl := range c.clauses {
+		ok := false
+		for _, l := range cl {
+			if l > 0 && model[l] || l < 0 && !model[-l] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolverAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive enumeration on random 3-ish-CNF instances across the
+// under/over-constrained spectrum, and validates returned models.
+func TestSolverAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		nv := 1 + rng.Intn(12)
+		// Clause/variable ratios spanning easy-SAT to easy-UNSAT around
+		// the ~4.26 threshold.
+		nc := 1 + rng.Intn(6*nv)
+		c := NewCNF(nv)
+		for i := 0; i < nc; i++ {
+			k := 1 + rng.Intn(3)
+			lits := make([]Lit, k)
+			for j := range lits {
+				v := Lit(1 + rng.Intn(nv))
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				lits[j] = v
+			}
+			c.Add(lits...)
+		}
+		want := bruteSAT(c)
+		s := NewSolver(c)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("trial %d (nv=%d nc=%d): solver=%v brute=%v", trial, nv, nc, got, want)
+		}
+		if got && !modelSatisfies(c, s.Model()) {
+			t.Fatalf("trial %d: solver returned a non-model", trial)
+		}
+	}
+}
+
+// TestSolverDeterministic: same formula, same verdict, same model, same
+// statistics — the solver has no hidden nondeterminism.
+func TestSolverDeterministic(t *testing.T) {
+	build := func() *CNF {
+		c := NewCNF(10)
+		for i := 0; i < 35; i++ {
+			a, b, d := Lit(1+i%10), Lit(1+(i*3)%10), Lit(1+(i*7)%10)
+			c.Add(a, -b, d)
+		}
+		return c
+	}
+	s1, s2 := NewSolver(build()), NewSolver(build())
+	r1, r2 := s1.Solve(), s2.Solve()
+	if r1 != r2 || s1.Stats != s2.Stats {
+		t.Fatalf("nondeterministic solve: %v/%v stats %+v vs %+v", r1, r2, s1.Stats, s2.Stats)
+	}
+	if r1 {
+		m1, m2 := s1.Model(), s2.Model()
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("models differ at var %d", i)
+			}
+		}
+	}
+}
+
+// TestAtMostOne checks the cardinality encoding by projected model
+// counting on both sides of the pairwise/sequential threshold: the
+// number of projected models must be n+1 (each singleton plus all-false),
+// and every ≥2-true assignment must be excluded.
+func TestAtMostOne(t *testing.T) {
+	for n := 0; n <= pairwiseAtMostOneLimit+3; n++ {
+		c := NewCNF(n)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = Var(i + 1)
+		}
+		c.AtMostOne(vars)
+		want := n + 1
+		if n == 0 {
+			want = 1
+		}
+		if got := bruteCount(c, vars); got != want {
+			t.Errorf("AtMostOne(%d): %d projected models, want %d", n, got, want)
+		}
+		// Forcing two variables true must be UNSAT for n ≥ 2.
+		if n >= 2 {
+			forced := c.Clone()
+			forced.Add(vars[0])
+			forced.Add(vars[n-1])
+			if s := NewSolver(forced); s.Solve() {
+				t.Errorf("AtMostOne(%d): two forced trues still satisfiable", n)
+			}
+		}
+		// Forcing any single variable true must stay SAT.
+		for _, v := range vars {
+			forced := c.Clone()
+			forced.Add(v)
+			if s := NewSolver(forced); !s.Solve() {
+				t.Errorf("AtMostOne(%d): singleton %d unsatisfiable", n, v)
+			}
+		}
+	}
+}
+
+// TestExactlyOne mirrors TestAtMostOne: exactly n projected models, the
+// all-false assignment excluded.
+func TestExactlyOne(t *testing.T) {
+	for n := 1; n <= pairwiseAtMostOneLimit+3; n++ {
+		c := NewCNF(n)
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = Var(i + 1)
+		}
+		c.ExactlyOne(vars)
+		if got := bruteCount(c, vars); got != n {
+			t.Errorf("ExactlyOne(%d): %d projected models, want %d", n, got, n)
+		}
+		allFalse := c.Clone()
+		for _, v := range vars {
+			allFalse.Add(-v)
+		}
+		if s := NewSolver(allFalse); s.Solve() {
+			t.Errorf("ExactlyOne(%d): all-false still satisfiable", n)
+		}
+	}
+}
+
+// TestUnitPropagation: an implication chain resolves by propagation
+// alone — zero decisions and zero conflicts.
+func TestUnitPropagation(t *testing.T) {
+	const n = 40
+	c := NewCNF(n)
+	c.Add(1)
+	for v := Lit(1); v < n; v++ {
+		c.Add(-v, v+1) // v → v+1
+	}
+	s := NewSolver(c)
+	if !s.Solve() {
+		t.Fatal("implication chain should be satisfiable")
+	}
+	for v := 1; v <= n; v++ {
+		if !s.Model()[v] {
+			t.Fatalf("var %d should be forced true", v)
+		}
+	}
+	if s.Stats.Decisions != 0 || s.Stats.Conflicts != 0 {
+		t.Fatalf("chain should solve by pure propagation, got %+v", s.Stats)
+	}
+
+	// Close the chain with ¬x_n: contradiction at level 0.
+	c2 := NewCNF(n)
+	c2.Add(1)
+	for v := Lit(1); v < n; v++ {
+		c2.Add(-v, v+1)
+	}
+	c2.Add(-Lit(n))
+	if s := NewSolver(c2); s.Solve() {
+		t.Fatal("contradictory chain should be unsatisfiable")
+	}
+}
+
+// TestConflictLearning: pigeonhole instances are UNSAT and force the
+// solver through genuine conflict analysis (learned clauses > 0).
+func TestConflictLearning(t *testing.T) {
+	for _, holes := range []int{3, 4, 5} {
+		pigeons := holes + 1
+		c := NewCNF(pigeons * holes)
+		x := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+		for p := 0; p < pigeons; p++ {
+			row := make([]Lit, holes)
+			for h := 0; h < holes; h++ {
+				row[h] = x(p, h)
+			}
+			c.Add(row...)
+		}
+		for h := 0; h < holes; h++ {
+			for p := 0; p < pigeons; p++ {
+				for q := p + 1; q < pigeons; q++ {
+					c.Add(-x(p, h), -x(q, h))
+				}
+			}
+		}
+		s := NewSolver(c)
+		if s.Solve() {
+			t.Fatalf("PHP(%d,%d) should be UNSAT", pigeons, holes)
+		}
+		if s.Stats.Learned == 0 || s.Stats.Conflicts == 0 {
+			t.Fatalf("PHP(%d,%d): expected learned conflict clauses, got %+v", pigeons, holes, s.Stats)
+		}
+	}
+}
+
+// TestDegenerateInputs: empty formulas, empty clauses, contradictory
+// units, tautologies, and duplicate literals.
+func TestDegenerateInputs(t *testing.T) {
+	if s := NewSolver(NewCNF(0)); !s.Solve() {
+		t.Error("empty formula should be SAT")
+	}
+	c := NewCNF(3)
+	c.Add()
+	if s := NewSolver(c); s.Solve() {
+		t.Error("empty clause should be UNSAT")
+	}
+	c = NewCNF(1)
+	c.Add(1)
+	c.Add(-1)
+	if s := NewSolver(c); s.Solve() {
+		t.Error("contradictory units should be UNSAT")
+	}
+	c = NewCNF(2)
+	c.Add(1, -1) // tautology: dropped
+	c.Add(2, 2, 2)
+	s := NewSolver(c)
+	if !s.Solve() || !s.Model()[2] {
+		t.Error("tautology+duplicate handling broken")
+	}
+}
+
+// TestAddPanicsOnUnallocated pins the literal-range guard.
+func TestAddPanicsOnUnallocated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of an unallocated variable should panic")
+		}
+	}()
+	NewCNF(2).Add(3)
+}
+
+// TestCloneIsolation: clauses added to a clone do not leak back.
+func TestCloneIsolation(t *testing.T) {
+	c := NewCNF(2)
+	c.Add(1, 2)
+	cl := c.Clone()
+	cl.Add(-1)
+	cl.Add(-2)
+	if s := NewSolver(cl); s.Solve() {
+		t.Error("clone with both negations should be UNSAT")
+	}
+	if c.NumClauses() != 1 {
+		t.Errorf("clone leaked clauses into parent: %d", c.NumClauses())
+	}
+	if s := NewSolver(c); !s.Solve() {
+		t.Error("parent should still be SAT")
+	}
+}
+
+// TestWriteDIMACS pins the export format.
+func TestWriteDIMACS(t *testing.T) {
+	c := NewCNF(3)
+	c.Add(1, -2)
+	c.Add(2, 3)
+	var buf bytes.Buffer
+	if err := c.WriteDIMACS(&buf, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	want := "c hello\np cnf 3 2\n1 -2 0\n2 3 0\n"
+	if buf.String() != want {
+		t.Errorf("DIMACS output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestRestarts drives the solver into its restart schedule on a hard
+// instance and checks it still terminates with the right verdict.
+func TestRestarts(t *testing.T) {
+	holes := 7
+	pigeons := holes + 1
+	c := NewCNF(pigeons * holes)
+	x := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		row := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			row[h] = x(p, h)
+		}
+		c.Add(row...)
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				c.Add(-x(p, h), -x(q, h))
+			}
+		}
+	}
+	s := NewSolver(c)
+	if s.Solve() {
+		t.Fatalf("PHP(%d,%d) should be UNSAT", pigeons, holes)
+	}
+	if s.Stats.Restarts == 0 {
+		t.Logf("note: PHP(%d,%d) solved without restarting (%d conflicts)", pigeons, holes, s.Stats.Conflicts)
+	}
+}
+
+func ExampleCNF_WriteDIMACS() {
+	c := NewCNF(2)
+	c.Add(1, 2)
+	c.Add(-1, -2)
+	var buf bytes.Buffer
+	_ = c.WriteDIMACS(&buf, "x xor y")
+	fmt.Print(buf.String())
+	// Output:
+	// c x xor y
+	// p cnf 2 2
+	// 1 2 0
+	// -1 -2 0
+}

@@ -1,0 +1,489 @@
+package sat
+
+// A self-contained CDCL (conflict-driven clause learning) SAT solver in
+// the MiniSat lineage: two-watched-literal unit propagation, first-UIP
+// conflict analysis with clause learning, exponential-decay variable
+// activities driving the branching heap, phase saving with false-first
+// polarity (the all-false assignment is a model of every at-most-one
+// group encoding, so certain-answer instances that are satisfiable for
+// the trivial reason resolve in one descent), and geometric restarts.
+// The solver is deterministic: no randomness, no time-based decisions —
+// the same CNF always produces the same model and the same statistics.
+
+// Stats counts the solver's work; aggregated across solves by the
+// certain-answer compiler.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	Restarts     int64
+}
+
+// Add merges another stats block into s.
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Learned += o.Learned
+	s.Restarts += o.Restarts
+}
+
+// enc is the internal literal encoding: variable v (1-based) positive is
+// v<<1, negated v<<1|1. enc^1 is the complement; enc>>1 the variable.
+type enc = int32
+
+// clause is a disjunction with lits[0] and lits[1] watched.
+type clause struct {
+	lits   []enc
+	learnt bool
+}
+
+// Solver decides satisfiability of one CNF. A Solver is single-use: build
+// with NewSolver, call Solve once, then read Model/Stats.
+type Solver struct {
+	nVars int32
+
+	watches  [][]*clause // indexed by enc literal currently watched
+	assigns  []int8      // var → 0 undef, 1 true, -1 false
+	levels   []int32     // var → decision level of its assignment
+	reasons  []*clause   // var → antecedent clause (nil for decisions)
+	phases   []int8      // var → last saved polarity (±1; -1 initially)
+	trail    []enc
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	seen  []bool
+	unsat bool // established during clause loading
+
+	model []bool
+
+	// Stats is the work counter; valid after Solve.
+	Stats Stats
+}
+
+// NewSolver loads the formula. Unit clauses are enqueued at level 0;
+// contradictory units or an empty clause mark the instance unsatisfiable
+// immediately.
+func NewSolver(f *CNF) *Solver {
+	n := f.nv
+	s := &Solver{
+		nVars:    n,
+		watches:  make([][]*clause, 2*(n+1)),
+		assigns:  make([]int8, n+1),
+		levels:   make([]int32, n+1),
+		reasons:  make([]*clause, n+1),
+		phases:   make([]int8, n+1),
+		activity: make([]float64, n+1),
+		seen:     make([]bool, n+1),
+		varInc:   1,
+	}
+	for v := int32(1); v <= n; v++ {
+		s.phases[v] = -1
+	}
+	s.heap.init(s.activity, n)
+	if f.hasEmpty {
+		s.unsat = true
+		return s
+	}
+	for _, cl := range f.clauses {
+		if !s.load(cl) {
+			s.unsat = true
+			return s
+		}
+	}
+	return s
+}
+
+// load normalizes and installs one input clause; false means the formula
+// is already unsatisfiable.
+func (s *Solver) load(lits []Lit) bool {
+	// Dedup and drop tautologies using the seen scratchpad over enc lits —
+	// a map would dominate load time on witness-heavy instances.
+	norm := make([]enc, 0, len(lits))
+	taut := false
+	for _, l := range lits {
+		e := encode(l)
+		dup := false
+		for _, have := range norm {
+			if have == e {
+				dup = true
+				break
+			}
+			if have == e^1 {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			break
+		}
+		if !dup {
+			norm = append(norm, e)
+		}
+	}
+	if taut {
+		return true
+	}
+	switch len(norm) {
+	case 0:
+		return false
+	case 1:
+		switch s.value(norm[0]) {
+		case -1:
+			return false
+		case 0:
+			s.uncheckedEnqueue(norm[0], nil)
+		}
+		return true
+	default:
+		c := &clause{lits: norm}
+		s.watch(c)
+		return true
+	}
+}
+
+func encode(l Lit) enc {
+	if l > 0 {
+		return enc(l) << 1
+	}
+	return enc(-l)<<1 | 1
+}
+
+// value evaluates an enc literal under the current assignment:
+// 1 true, -1 false, 0 unassigned.
+func (s *Solver) value(e enc) int8 {
+	a := s.assigns[e>>1]
+	if e&1 == 1 {
+		return -a
+	}
+	return a
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *Solver) uncheckedEnqueue(e enc, reason *clause) {
+	v := e >> 1
+	if e&1 == 1 {
+		s.assigns[v] = -1
+	} else {
+		s.assigns[v] = 1
+	}
+	s.levels[v] = s.decisionLevel()
+	s.reasons[v] = reason
+	s.trail = append(s.trail, e)
+	s.Stats.Propagations++
+}
+
+// propagate runs unit propagation to fixpoint and returns the conflicting
+// clause, if any.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		falsified := p ^ 1
+		ws := s.watches[falsified]
+		j := 0
+	nextClause:
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if c.lits[0] == falsified {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// Invariant now: c.lits[1] == falsified.
+			first := c.lits[0]
+			if s.value(first) == 1 {
+				ws[j] = c
+				j++
+				continue
+			}
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					continue nextClause
+				}
+			}
+			// No replacement: clause is unit or conflicting on first.
+			ws[j] = c
+			j++
+			if s.value(first) == -1 {
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[falsified] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[falsified] = ws[:j]
+	}
+	return nil
+}
+
+// analyze derives the first-UIP learnt clause from a conflict and the
+// level to backtrack to. learnt[0] is the asserting literal.
+func (s *Solver) analyze(confl *clause) (learnt []enc, btLevel int32) {
+	learnt = append(learnt, 0) // slot for the asserting literal
+	counter := 0
+	var p enc = -1
+	idx := len(s.trail) - 1
+	reason := confl
+	for {
+		for _, q := range reason.lits {
+			if q == p {
+				continue
+			}
+			v := q >> 1
+			if !s.seen[v] && s.levels[v] > 0 {
+				s.seen[v] = true
+				s.bump(v)
+				if s.levels[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx]>>1] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p>>1] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		reason = s.reasons[p>>1]
+	}
+	learnt[0] = p ^ 1
+	for _, q := range learnt[1:] {
+		s.seen[q>>1] = false
+	}
+	if len(learnt) == 1 {
+		return learnt, 0
+	}
+	// Watch the literal with the highest level in slot 1; backtracking to
+	// that level makes the clause asserting.
+	maxI := 1
+	for i := 2; i < len(learnt); i++ {
+		if s.levels[learnt[i]>>1] > s.levels[learnt[maxI]>>1] {
+			maxI = i
+		}
+	}
+	learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	return learnt, s.levels[learnt[1]>>1]
+}
+
+// backtrack undoes all assignments above the given decision level,
+// saving phases and re-inserting variables into the branching heap.
+func (s *Solver) backtrack(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i] >> 1
+		s.phases[v] = s.assigns[v]
+		s.assigns[v] = 0
+		s.reasons[v] = nil
+		s.heap.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+const (
+	varDecay        = 0.95
+	activityRescale = 1e100
+)
+
+func (s *Solver) bump(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > activityRescale {
+		for i := range s.activity {
+			s.activity[i] /= activityRescale
+		}
+		s.varInc /= activityRescale
+	}
+	s.heap.update(v)
+}
+
+// Solve decides the instance. It may be called once; the model (for SAT
+// instances) is retained for Model.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	if c := s.propagate(); c != nil {
+		return false // level-0 conflict among the input units
+	}
+	restartLimit := int64(100)
+	conflictsAtRestart := s.Stats.Conflicts
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				return false
+			}
+			learnt, bt := s.analyze(confl)
+			s.backtrack(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.watch(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.Stats.Learned++
+			s.varInc /= varDecay
+			if s.Stats.Conflicts-conflictsAtRestart >= restartLimit {
+				s.Stats.Restarts++
+				conflictsAtRestart = s.Stats.Conflicts
+				restartLimit += restartLimit / 2
+				s.backtrack(0)
+			}
+			continue
+		}
+		v := s.pickBranch()
+		if v == 0 {
+			s.model = make([]bool, s.nVars+1)
+			for u := int32(1); u <= s.nVars; u++ {
+				s.model[u] = s.assigns[u] == 1
+			}
+			return true
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		e := v << 1
+		if s.phases[v] < 0 {
+			e |= 1
+		}
+		s.uncheckedEnqueue(e, nil)
+	}
+}
+
+// pickBranch pops the highest-activity unassigned variable (0 when all
+// variables are assigned).
+func (s *Solver) pickBranch() int32 {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Model returns the satisfying assignment indexed by variable (index 0
+// unused); nil unless Solve returned true.
+func (s *Solver) Model() []bool { return s.model }
+
+// varHeap is an indexed binary max-heap over variable activities, the
+// branching order. Ties break toward the lower variable number, keeping
+// the solver deterministic.
+type varHeap struct {
+	act  []float64
+	heap []int32
+	pos  []int32 // var → index in heap, -1 when absent
+}
+
+func (h *varHeap) init(act []float64, n int32) {
+	h.act = act
+	h.heap = make([]int32, 0, n)
+	h.pos = make([]int32, n+1)
+	for v := int32(1); v <= n; v++ {
+		h.pos[v] = -1
+	}
+	for v := int32(1); v <= n; v++ {
+		h.push(v)
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.act[a] != h.act[b] {
+		return h.act[a] > h.act[b]
+	}
+	return a < b
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.heap) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.heap) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int32) {
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int32 {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores the heap invariant after v's activity increased; no-op
+// when v is currently assigned (it re-enters the heap on backtrack).
+func (h *varHeap) update(v int32) {
+	if h.pos[v] >= 0 {
+		h.up(int(h.pos[v]))
+	}
+}

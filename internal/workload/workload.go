@@ -87,6 +87,54 @@ func KeyViolations(cfg KeyConfig) (*relation.Database, *constraint.Set) {
 	return d, constraint.NewSet(key)
 }
 
+// CliqueConfig sizes a huge-sequence-space / easy-structure instance.
+type CliqueConfig struct {
+	// Groups is the number of violating key groups (conflict cliques).
+	Groups int
+	// GroupSize is the number of facts per violating group (≥ 2; each
+	// group is one key carrying GroupSize distinct values).
+	GroupSize int
+	// Core is the number of conflict-free facts (unique keys with a
+	// single value) — the certain backbone.
+	Core int
+	Seed int64
+}
+
+// Cliques generates R(k,v) where Groups keys carry GroupSize conflicting
+// values each and Core keys carry exactly one, with the key EGD
+// R(x,y), R(x,z) → y = z. The family is built so the chain blows up
+// while the logic stays shallow: each size-g clique alone has
+// Σ_{j<g} g!/j! absorbing sequences and the full instance interleaves
+// them across groups, so total sequences grow super-exponentially in
+// Groups (a few dozen groups of size 4 pass 2^63), while the certain
+// answers of Q(x) = ∃y R(x,y) are exactly the Core keys — every
+// violating group can be emptied by justified deletions, so none of its
+// keys is certain. The SAT engine decides that from Groups at-most-one
+// constraints without exploring any chain; the DAG engine must merge
+// (GroupSize+1)^Groups databases.
+func Cliques(cfg CliqueConfig) (*relation.Database, *constraint.Set) {
+	if cfg.GroupSize < 2 {
+		cfg.GroupSize = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := relation.NewDatabase()
+	for i := 0; i < cfg.Groups; i++ {
+		k := fmt.Sprintf("g%d", i)
+		for j := 0; j < cfg.GroupSize; j++ {
+			d.Insert(relation.NewFact("R", k, fmt.Sprintf("v%d_%d", j, rng.Intn(1000))))
+		}
+	}
+	for i := 0; i < cfg.Core; i++ {
+		d.Insert(relation.NewFact("R", fmt.Sprintf("c%d", i), fmt.Sprintf("u%d", rng.Intn(1000))))
+	}
+	x, y, z := logic.Var("x"), logic.Var("y"), logic.Var("z")
+	key := constraint.MustEGD(
+		[]logic.Atom{logic.NewAtom("R", x, y), logic.NewAtom("R", x, z)},
+		y, z,
+	)
+	return d, constraint.NewSet(key)
+}
+
 // ChainConfig sizes a conflict chain.
 type ChainConfig struct {
 	// Facts is the number of E facts; the conflict graph is a path with

@@ -27,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 out="bench_out.json"
 baseline=""
-pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval|BenchmarkExactDAG|BenchmarkExactTree|BenchmarkUniform|BenchmarkPractical/|BenchmarkFactored/|BenchmarkServe/'
+pattern='BenchmarkSurvey|BenchmarkEstimateOCA|BenchmarkEstimatorWalks|BenchmarkSamplingWalks|BenchmarkChainStep|BenchmarkViolationsFull|BenchmarkViolationsDelta|BenchmarkJustifiedOps|BenchmarkHomomorphism|BenchmarkFOEval|BenchmarkExactDAG|BenchmarkExactTree|BenchmarkUniform|BenchmarkPractical/|BenchmarkFactored/|BenchmarkServe/|BenchmarkSATCertain|BenchmarkDAGCertain'
 benchtime="2s"
 
 while [ $# -gt 0 ]; do

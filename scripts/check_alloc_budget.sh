@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# check_alloc_budget.sh — allocation regression gate for the exact engine.
+# check_alloc_budget.sh — allocation regression gate for the hot paths.
 #
-# Runs BenchmarkExactDAG/conflicts=5 with -benchmem and fails when
-# allocs/op exceeds the checked-in budget (scripts/alloc_budget.txt) by
-# more than 20%. Allocation counts — unlike wall-clock time — are exact
-# and machine-independent for a deterministic benchmark, so a tight gate
-# is safe on shared CI runners where ns/op would be pure noise.
+# scripts/alloc_budget.txt holds one "<benchmark-pattern> <budget>" entry
+# per gated hot path; for each entry this script runs the benchmark with
+# -benchmem and fails when allocs/op exceeds the budget by more than the
+# slack (default 20%). Allocation counts — unlike wall-clock time — are
+# exact and machine-independent for a deterministic benchmark, so a tight
+# gate is safe on shared CI runners where ns/op would be pure noise.
 #
 # Usage: scripts/check_alloc_budget.sh [slack_percent]
 set -euo pipefail
@@ -13,22 +14,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 slack="${1:-20}"
-budget="$(grep -v '^#' scripts/alloc_budget.txt | grep -m1 .)"
+fail=0
 
-out="$(go test -run '^$' -bench 'BenchmarkExactDAG/conflicts=5$' -benchmem -benchtime 5x -timeout 10m .)"
-echo "$out"
+while read -r bench budget; do
+  case "$bench" in ''|\#*) continue ;; esac
 
-allocs="$(echo "$out" | awk '/BenchmarkExactDAG\/conflicts=5/ {for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i}')"
-if [ -z "$allocs" ]; then
-  echo "check_alloc_budget: could not parse allocs/op from benchmark output" >&2
-  exit 2
-fi
+  out="$(go test -run '^$' -bench "${bench}\$" -benchmem -benchtime 5x -timeout 10m .)"
+  echo "$out"
 
-limit=$(( budget + budget * slack / 100 ))
-echo "allocs/op: $allocs (budget $budget, limit $limit = +${slack}%)"
-if [ "$allocs" -gt "$limit" ]; then
-  echo "check_alloc_budget: FAIL — allocs/op regressed past the budget." >&2
-  echo "If the regression is intentional, re-measure and update scripts/alloc_budget.txt." >&2
+  allocs="$(echo "$out" | awk -v b="$bench" \
+    'index($1, b) {for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i}' | head -n1)"
+  if [ -z "$allocs" ]; then
+    echo "check_alloc_budget: could not parse allocs/op for $bench" >&2
+    exit 2
+  fi
+
+  limit=$(( budget + budget * slack / 100 ))
+  echo "$bench: allocs/op $allocs (budget $budget, limit $limit = +${slack}%)"
+  if [ "$allocs" -gt "$limit" ]; then
+    echo "check_alloc_budget: FAIL — $bench allocs/op regressed past the budget." >&2
+    fail=1
+  fi
+done < scripts/alloc_budget.txt
+
+if [ "$fail" -ne 0 ]; then
+  echo "If a regression is intentional, re-measure and update scripts/alloc_budget.txt." >&2
   exit 1
 fi
 echo "check_alloc_budget: OK"
